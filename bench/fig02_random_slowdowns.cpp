@@ -1,0 +1,54 @@
+//===- bench/fig02_random_slowdowns.cpp - Figure 2 ---------------------------===//
+//
+// Speedup over the Android compiler for random *correct* LLVM sequences on
+// FFT. The paper: all 50 are slower than both Android and -O3, down to 8x
+// slower — evaluating them online would wreck the user experience.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/Format.h"
+#include "core/OnlineEvaluator.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+
+using namespace ropt;
+using namespace ropt::bench;
+
+int main(int Argc, char **Argv) {
+  Options Opt = parseArgs(Argc, Argv);
+  int Count = Opt.Evaluations ? Opt.Evaluations : 50;
+
+  printHeader("Figure 2: random correct binaries vs Android (FFT)",
+              "all slower than Android (0.12x-0.87x), up to 8x slower");
+
+  core::OnlineEvaluator Eval(workloads::buildByName("FFT"),
+                             pipelineConfig(Opt));
+  if (!Eval.ready()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+  std::vector<double> Speedups = Eval.randomCorrectSpeedups(Count);
+  std::sort(Speedups.begin(), Speedups.end());
+
+  CsvSink Csv(Opt, "fig02_random_slowdowns.csv", "rank,speedup");
+  std::printf("%-8s %9s\n", "binary", "speedup");
+  printRule(20);
+  for (size_t I = 0; I != Speedups.size(); ++I) {
+    std::printf("%-8zu %8.3fx\n", I + 1, Speedups[I]);
+    Csv.row(format("%zu,%.4f", I + 1, Speedups[I]));
+  }
+  printRule(20);
+
+  int Slower = 0;
+  for (double S : Speedups)
+    Slower += (S < 1.0);
+  std::printf("\n%d/%zu random correct binaries are slower than Android "
+              "(paper: 50/50)\n",
+              Slower, Speedups.size());
+  std::printf("worst %.3fx (%.1fx slowdown), median %.3fx, best %.3fx\n",
+              Speedups.front(), 1.0 / Speedups.front(),
+              median(Speedups), Speedups.back());
+  return 0;
+}

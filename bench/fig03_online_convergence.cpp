@@ -1,0 +1,84 @@
+//===- bench/fig03_online_convergence.cpp - Figure 3 --------------------------===//
+//
+// Estimating the speedup of -O1 over -O0 for FFT: online evaluations draw a
+// fresh input size (FFT_SIZE..FFT_SIZE_LARGE) and online noise per run;
+// offline replays process the fixed captured input. The paper: online needs
+// 100-1000x more evaluations for comparable confidence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/Format.h"
+#include "core/OnlineEvaluator.h"
+
+using namespace ropt;
+using namespace ropt::bench;
+
+namespace {
+
+void printTrajectory(const char *Name,
+                     const std::vector<core::ConvergencePoint> &Points,
+                     double Truth, CsvSink &Csv, const char *Mode) {
+  std::printf("%s (true speedup %.3fx):\n", Name, Truth);
+  std::printf("%8s %9s %19s %19s %s\n", "evals", "estimate", "75% CI",
+              "95% CI", "within 10%?");
+  printRule(72);
+  for (const core::ConvergencePoint &P : Points) {
+    bool Tight = P.Ci95High - P.Ci95Low < 0.2 * Truth &&
+                 std::abs(P.Estimate - Truth) < 0.1 * Truth;
+    std::printf("%8d %8.3fx [%7.3f, %7.3f] [%7.3f, %7.3f]   %s\n",
+                P.Evaluations, P.Estimate, P.Ci75Low, P.Ci75High,
+                P.Ci95Low, P.Ci95High, Tight ? "yes" : "no");
+    Csv.row(format("%s,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f", Mode,
+                   P.Evaluations, P.Estimate, P.Ci75Low, P.Ci75High,
+                   P.Ci95Low, P.Ci95High, Truth));
+  }
+  std::printf("\n");
+}
+
+int firstTightEval(const std::vector<core::ConvergencePoint> &Points,
+                   double Truth) {
+  for (const core::ConvergencePoint &P : Points)
+    if (P.Ci95High - P.Ci95Low < 0.2 * Truth &&
+        std::abs(P.Estimate - Truth) < 0.1 * Truth)
+      return P.Evaluations;
+  return -1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt = parseArgs(Argc, Argv);
+  int MaxEvals = Opt.Evaluations ? Opt.Evaluations : 1500;
+
+  printHeader("Figure 3: online vs offline speedup estimation (FFT, "
+              "-O1 over -O0)",
+              "offline: stable almost immediately; online: unstable for "
+              "tens of evals, 100-1000x more needed for <10% uncertainty");
+
+  core::OnlineEvaluator Eval(workloads::buildByName("FFT"),
+                             pipelineConfig(Opt));
+  if (!Eval.ready()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+  core::OnlineEvaluator::Convergence C = Eval.convergence(MaxEvals);
+
+  CsvSink Csv(Opt, "fig03_online_convergence.csv",
+              "mode,evals,estimate,ci75_low,ci75_high,ci95_low,ci95_high,"
+              "truth");
+  printTrajectory("OFFLINE (fixed captured input, replay environment)",
+                  C.Offline, C.TrueSpeedup, Csv, "offline");
+  printTrajectory("ONLINE (random input size, interactive environment)",
+                  C.Online, C.TrueSpeedup, Csv, "online");
+
+  int OfflineTight = firstTightEval(C.Offline, C.TrueSpeedup);
+  int OnlineTight = firstTightEval(C.Online, C.TrueSpeedup);
+  std::printf("first evaluation count with <10%% error and tight 95%% CI:\n"
+              "  offline: %d    online: %d    ratio: %s\n",
+              OfflineTight, OnlineTight,
+              (OfflineTight > 0 && OnlineTight > 0)
+                  ? std::to_string(OnlineTight / OfflineTight).c_str()
+                  : "online never converged in this budget");
+  return 0;
+}

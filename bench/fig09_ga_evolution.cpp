@@ -1,0 +1,93 @@
+//===- bench/fig09_ga_evolution.cpp - Figure 9 ---------------------------------===//
+//
+// Best/worst genome evolution over the GA's evaluations per application
+// (speedup over Android, hot region only, via replay). Paper: all programs
+// improve over the search; worst genomes reach ~10x slowdowns; sub-optimal
+// genomes keep appearing well past the early generations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace ropt;
+using namespace ropt::bench;
+
+int main(int Argc, char **Argv) {
+  Options Opt = parseArgs(Argc, Argv);
+  core::PipelineConfig Config = pipelineConfig(Opt);
+
+  printHeader("Figure 9: GA evolution of best/worst genomes (region "
+              "replays, speedup vs Android)",
+              "best improves over generations for nearly all apps; worst "
+              "valid genomes reach ~10x slowdowns; invalid genomes keep "
+              "being tried late into the search");
+
+  CsvSink Csv(Opt, "fig09_ga_evolution.csv",
+              "app,gen,evals,gen_best,gen_worst_valid,invalid");
+  for (const workloads::Application &App : selectedApps(Opt)) {
+    core::IterativeCompiler Pipeline(Config);
+    core::OptimizationReport R = Pipeline.optimize(App);
+    if (!R.Succeeded) {
+      std::printf("%s: FAILED (%s)\n\n", App.Name.c_str(),
+                  R.FailureReason.c_str());
+      continue;
+    }
+
+    std::printf("%s  (android region median: %.0f cycles)\n",
+                App.Name.c_str(), R.RegionAndroid);
+    std::printf("%6s %6s %10s %10s %8s %8s\n", "gen", "evals",
+                "best", "worst-valid", "invalid", "best-so-far?");
+    printRule(56);
+
+    int LastGen = 0;
+    for (const search::TraceEntry &T : R.Trace.Evaluations)
+      LastGen = std::max(LastGen, T.Generation);
+
+    double BestSoFar = 0.0;
+    int TotalEvals = 0;
+    for (int Gen = 0; Gen <= LastGen; ++Gen) {
+      double GenBest = 0.0, GenWorst = 1e18;
+      int Invalid = 0, Count = 0;
+      bool ImprovedHere = false;
+      for (const search::TraceEntry &T : R.Trace.Evaluations) {
+        if (T.Generation != Gen)
+          continue;
+        ++Count;
+        if (!T.Valid) {
+          ++Invalid;
+          continue;
+        }
+        double Speedup = R.RegionAndroid / T.MedianCycles;
+        if (Speedup > GenBest)
+          GenBest = Speedup;
+        if (Speedup < GenWorst)
+          GenWorst = Speedup;
+        if (Speedup > BestSoFar) {
+          BestSoFar = Speedup;
+          ImprovedHere = true;
+        }
+      }
+      TotalEvals += Count;
+      if (Count == 0)
+        continue;
+      std::printf("%6d %6d %9.2fx %9.2fx %8d %8s\n", Gen, TotalEvals,
+                  GenBest, GenWorst >= 1e17 ? 0.0 : GenWorst, Invalid,
+                  ImprovedHere ? "improved" : "");
+      Csv.row(format("%s,%d,%d,%.4f,%.4f,%d", App.Name.c_str(), Gen,
+                     TotalEvals, GenBest,
+                     GenWorst >= 1e17 ? 0.0 : GenWorst, Invalid));
+    }
+    printRule(56);
+    std::printf("final best: %.2fx over Android  [%s]\n",
+                R.RegionAndroid / R.RegionBest, R.Best.G.name().c_str());
+    std::printf("discarded during search: %d compile errors, %d crashes, "
+                "%d timeouts, %d wrong outputs (none reached a user)\n\n",
+                R.Counters.CompileError, R.Counters.RuntimeCrash,
+                R.Counters.RuntimeTimeout, R.Counters.WrongOutput);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- bench/micro_capture.cpp - google-benchmark capture micros -------------===//
+//
+// Wall-clock microbenchmarks of the substrate operations behind Figure 10:
+// fork+CoW, read-protection sweeps, and the full capture protocol. These
+// measure the *simulator's* real cost (engineering health), not the
+// modelled on-device milliseconds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "capture/CaptureManager.h"
+#include "vm/Runtime.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ropt;
+
+namespace {
+
+/// A booted FFT process the benchmarks operate on.
+struct FFTProcess {
+  workloads::Application App;
+  os::Kernel Kernel;
+  os::Process *Proc = nullptr;
+  vm::NativeRegistry Natives;
+  std::unique_ptr<vm::Runtime> RT;
+  dex::MethodId Kern = dex::InvalidId;
+
+  FFTProcess()
+      : App(workloads::buildByName("FFT")),
+        Natives(vm::NativeRegistry::standardLibrary()) {
+    Proc = &Kernel.spawn();
+    vm::Runtime::mapStandardLayout(Proc->space(), *App.File, App.RtConfig);
+    RT = std::make_unique<vm::Runtime>(Proc->space(), *App.File, Natives,
+                                       App.RtConfig);
+    RT->call(App.InitEntry, App.argsFor(App.InitParam));
+    Kern = App.File->findMethod("fftKernel");
+  }
+};
+
+void BM_ForkCow(benchmark::State &State) {
+  FFTProcess P;
+  for (auto _ : State) {
+    os::Process &Child = P.Kernel.fork(*P.Proc);
+    benchmark::DoNotOptimize(Child.pid());
+    P.Kernel.reap(Child.pid());
+  }
+}
+BENCHMARK(BM_ForkCow);
+
+void BM_ProtectSweep(benchmark::State &State) {
+  FFTProcess P;
+  for (auto _ : State) {
+    for (const os::Mapping &M : P.Proc->space().procMaps())
+      if (M.Kind == os::MappingKind::Heap)
+        P.Proc->space().protectRange(M.Start, M.sizeBytes(), os::ProtNone);
+    for (const os::Mapping &M : P.Proc->space().procMaps())
+      if (M.Kind == os::MappingKind::Heap)
+        P.Proc->space().protectRange(M.Start, M.sizeBytes(),
+                                     os::ProtRead | os::ProtWrite);
+  }
+}
+BENCHMARK(BM_ProtectSweep);
+
+void BM_FullCapture(benchmark::State &State) {
+  FFTProcess P;
+  int64_t Param = 100;
+  for (auto _ : State) {
+    capture::CaptureManager CM(P.Kernel, *P.Proc, *P.RT);
+    CM.armCapture(P.Kern);
+    P.RT->call(P.App.SessionEntry, P.App.argsFor(Param++));
+    benchmark::DoNotOptimize(CM.captureReady());
+  }
+}
+BENCHMARK(BM_FullCapture);
+
+void BM_CaptureSerialization(benchmark::State &State) {
+  FFTProcess P;
+  capture::CaptureManager CM(P.Kernel, *P.Proc, *P.RT);
+  CM.armCapture(P.Kern);
+  P.RT->call(P.App.SessionEntry, P.App.argsFor(7));
+  capture::Capture Cap = *CM.takeCapture();
+  for (auto _ : State) {
+    std::vector<uint8_t> Bytes = Cap.serialize();
+    benchmark::DoNotOptimize(Bytes.size());
+  }
+}
+BENCHMARK(BM_CaptureSerialization);
+
+} // namespace
+
+BENCHMARK_MAIN();

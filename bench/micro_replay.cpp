@@ -1,0 +1,105 @@
+//===- bench/micro_replay.cpp - google-benchmark replay/compiler micros ------===//
+//
+// Wall-clock microbenchmarks of one replay (the GA's inner loop), the LLVM
+// backend compilation, and the two execution tiers — the costs that
+// determine how long an offline search session takes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/IterativeCompiler.h"
+#include "hgraph/AndroidCompiler.h"
+#include "lir/Backend.h"
+#include "replay/Replayer.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ropt;
+
+namespace {
+
+/// Shared setup: FFT captured and ready to replay.
+struct ReplayFixture {
+  workloads::Application App;
+  core::PipelineConfig Config;
+  profiler::HotRegion Region;
+  core::IterativeCompiler::CapturedRegion Captured;
+  vm::NativeRegistry Natives;
+  vm::CodeCache Android;
+
+  ReplayFixture()
+      : App(workloads::buildByName("FFT")),
+        Natives(vm::NativeRegistry::standardLibrary()) {
+    core::IterativeCompiler Pipeline(Config);
+    auto P = Pipeline.profileApp(App);
+    Region = *P.Region;
+    Captured = *Pipeline.captureRegion(*P.Instance, Region);
+    hgraph::compileAllAndroid(*App.File, Region.Methods, Android);
+  }
+
+  static ReplayFixture &get() {
+    static ReplayFixture F;
+    return F;
+  }
+};
+
+void BM_CompiledReplay(benchmark::State &State) {
+  ReplayFixture &F = ReplayFixture::get();
+  replay::Replayer Rep(*F.App.File, F.Natives, F.App.RtConfig, 3);
+  for (auto _ : State) {
+    auto R = Rep.replay(F.Captured.Cap, replay::ReplayCode::Compiled,
+                        &F.Android);
+    benchmark::DoNotOptimize(R.Result.Cycles);
+  }
+}
+BENCHMARK(BM_CompiledReplay);
+
+void BM_InterpretedReplay(benchmark::State &State) {
+  ReplayFixture &F = ReplayFixture::get();
+  replay::Replayer Rep(*F.App.File, F.Natives, F.App.RtConfig, 3);
+  for (auto _ : State) {
+    auto R =
+        Rep.replay(F.Captured.Cap, replay::ReplayCode::Interpreter, nullptr);
+    benchmark::DoNotOptimize(R.Result.Cycles);
+  }
+}
+BENCHMARK(BM_InterpretedReplay);
+
+void BM_LlvmBackendCompile(benchmark::State &State) {
+  ReplayFixture &F = ReplayFixture::get();
+  lir::CompileOptions Options;
+  Options.Pipeline = lir::o3Pipeline();
+  for (auto _ : State) {
+    vm::CodeCache Code;
+    lir::CompileStatus Status = lir::compileAllLlvm(
+        *F.App.File, F.Region.Methods, Options, Code, &F.Captured.Profile);
+    benchmark::DoNotOptimize(Status);
+  }
+}
+BENCHMARK(BM_LlvmBackendCompile);
+
+void BM_AndroidCompile(benchmark::State &State) {
+  ReplayFixture &F = ReplayFixture::get();
+  for (auto _ : State) {
+    vm::CodeCache Code;
+    hgraph::compileAllAndroid(*F.App.File, F.Region.Methods, Code);
+    benchmark::DoNotOptimize(Code.size());
+  }
+}
+BENCHMARK(BM_AndroidCompile);
+
+void BM_VerifiedReplay(benchmark::State &State) {
+  ReplayFixture &F = ReplayFixture::get();
+  replay::Replayer Rep(*F.App.File, F.Natives, F.App.RtConfig, 3);
+  for (auto _ : State) {
+    replay::ReplayResult Out;
+    bool Ok = Rep.verifiedReplay(F.Captured.Cap, F.Android,
+                                 F.Captured.Map, Out);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_VerifiedReplay);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+//===- examples/search_playground.cpp - Random vs genetic search --------------===//
+//
+// Compares three ways of spending the same evaluation budget on one app's
+// hot region: pure random sampling, the paper's GA, and the -O presets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/IterativeCompiler.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace ropt;
+
+int main(int Argc, char **Argv) {
+  workloads::Application App =
+      workloads::buildByName(Argc > 1 ? Argv[1] : "LU");
+  core::PipelineConfig Config;
+  Config.Seed = 11;
+  core::IterativeCompiler Pipeline(Config);
+  auto Profiled = Pipeline.profileApp(App);
+  auto Captured = Pipeline.captureRegion(*Profiled.Instance,
+                                         *Profiled.Region);
+  if (!Captured) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+  core::RegionEvaluator Eval(App, *Profiled.Region, Captured->Cap,
+                             Captured->Map, Captured->Profile, Config);
+
+  double Android = Eval.evaluateAndroid().MedianCycles;
+  std::printf("app: %s   Android region baseline: %.0f cycles\n\n",
+              App.Name.c_str(), Android);
+
+  // Presets.
+  for (auto [Name, Pipe] : {std::pair{"-O1", lir::o1Pipeline()},
+                            {"-O2", lir::o2Pipeline()},
+                            {"-O3", lir::o3Pipeline()}}) {
+    search::Evaluation E = Eval.evaluatePipeline(Pipe);
+    std::printf("%-18s %6.2fx\n", Name,
+                E.ok() ? Android / E.MedianCycles : 0.0);
+  }
+
+  // Random search with the GA's total budget.
+  int Budget = Config.GA.Generations * Config.GA.PopulationSize;
+  {
+    Rng R(Config.Seed);
+    double Best = 0.0;
+    int Broken = 0;
+    for (int I = 0; I != Budget; ++I) {
+      search::Genome G = search::randomGenome(R, Config.GA.Genomes);
+      search::Evaluation E = Eval.evaluate(G);
+      if (!E.ok()) {
+        ++Broken;
+        continue;
+      }
+      Best = std::max(Best, Android / E.MedianCycles);
+    }
+    std::printf("%-18s %6.2fx   (%d evals, %d broken)\n", "random search",
+                Best, Budget, Broken);
+  }
+
+  // The GA.
+  {
+    search::GeneticSearch GA(Config.GA, Config.Seed,
+                             [&Eval](const search::Genome &G) {
+                               return Eval.evaluate(G);
+                             });
+    search::GaTrace Trace;
+    auto Best = GA.run(Android, Android, &Trace);
+    std::printf("%-18s %6.2fx   (%zu evals)   [%s]\n", "genetic search",
+                Best ? Android / Best->E.MedianCycles : 0.0,
+                Trace.Evaluations.size(),
+                Best ? Best->G.name().c_str() : "-");
+  }
+  return 0;
+}

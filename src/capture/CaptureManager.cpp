@@ -1,0 +1,184 @@
+//===- capture/CaptureManager.cpp - The online capture protocol -------------===//
+
+#include "capture/CaptureManager.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace ropt;
+using namespace ropt::capture;
+using os::AddressSpace;
+using os::Mapping;
+using os::MappingKind;
+using os::PageSize;
+
+CaptureManager::CaptureManager(os::Kernel &Kernel, os::Process &App,
+                               vm::Runtime &RT,
+                               os::KernelCostModel CostModel)
+    : Kernel(Kernel), App(App), RT(RT), CostModel(CostModel) {}
+
+CaptureManager::~CaptureManager() {
+  if (Target != dex::InvalidId)
+    RT.disarmRegionHook();
+}
+
+void CaptureManager::armCapture(dex::MethodId Root) {
+  Target = Root;
+  Done.reset();
+  vm::RegionHooks Hooks;
+  Hooks.OnEnter = [this](const std::vector<vm::Value> &Args) {
+    onRegionEnter(Args);
+  };
+  Hooks.OnExit = [this]() { onRegionExit(); };
+  RT.armRegionHook(Root, std::move(Hooks));
+}
+
+namespace {
+
+/// The mappings whose pages get read-protected: app-private memory. The
+/// runtime image and file-backed code must not be protected (touching them
+/// from runtime internals would crash the process, Section 3.2), and are
+/// handled via the common blob / path log instead.
+bool isProtectable(const Mapping &M) {
+  return M.Kind == MappingKind::Heap || M.Kind == MappingKind::Data ||
+         M.Kind == MappingKind::Stack || M.Kind == MappingKind::Anonymous;
+}
+
+} // namespace
+
+void CaptureManager::onRegionEnter(const std::vector<vm::Value> &Args) {
+  if (Done || InProgress)
+    return;
+  // Step 1: postpone when a collection is imminent — the GC walk would
+  // fault in (and thus capture) pages the region never touches.
+  if (RT.heap().gcImminent()) {
+    ++Postponed;
+    return;
+  }
+
+  InProgress = true;
+  SavedArgs = Args;
+  AccessedPages.clear();
+
+  AddressSpace &Space = App.space();
+
+  // Step 2: fork the child that preserves the pristine memory image.
+  PagesAtFork = Space.mappedPageCount();
+  os::Process &Child = Kernel.fork(App);
+  Child.setPriority(os::Priority::Lowest);
+  Child.sleep();
+  ChildPid = Child.pid();
+
+  // Step 3: parse the memory map and read-protect the app's own pages.
+  Space.resetStats();
+  SavedMappings = Space.procMaps();
+  for (const Mapping &M : SavedMappings)
+    if (isProtectable(M))
+      Space.protectRange(M.Start, M.sizeBytes(), os::ProtNone);
+
+  Space.setFaultHandler([this, &Space](uint64_t Addr, bool IsWrite) {
+    (void)IsWrite;
+    AccessedPages.insert(os::pageBase(Addr));
+    Space.protectRange(os::pageBase(Addr), PageSize,
+                       os::ProtRead | os::ProtWrite);
+    return true;
+  });
+  // Step 4 happens now: the caller executes the hot region as normal.
+}
+
+void CaptureManager::onRegionExit() {
+  if (!InProgress)
+    return;
+  InProgress = false;
+
+  AddressSpace &Space = App.space();
+
+  // Step 5: restore permissions, uninstall the handler.
+  Space.setFaultHandler(nullptr);
+  os::MemoryStats Stats = Space.stats(); // events before the unprotect
+  for (const Mapping &M : SavedMappings)
+    if (isProtectable(M))
+      Space.protectRange(M.Start, M.sizeBytes(),
+                         os::ProtRead | os::ProtWrite);
+
+  // Step 6: the child spools the original page contents.
+  os::Process *Child = Kernel.find(ChildPid);
+  assert(Child && "capture child vanished");
+  Child->wake();
+
+  Capture Cap;
+  Cap.Root = Target;
+  Cap.Args = SavedArgs;
+  Cap.BootId = RT.config().BootId;
+  Cap.Mappings = SavedMappings;
+  for (uint64_t Addr : AccessedPages) {
+    PageRecord P;
+    P.Addr = Addr;
+    P.Bytes.resize(PageSize);
+    [[maybe_unused]] bool Ok =
+        Child->space().peek(Addr, P.Bytes.data(), PageSize);
+    assert(Ok && "accessed page missing from the forked snapshot");
+    Cap.Pages.push_back(std::move(P));
+  }
+  for (const Mapping &M : SavedMappings) {
+    if (M.Kind == MappingKind::FileMapped) {
+      FileMapRecord F;
+      F.Addr = M.Start;
+      F.Size = M.sizeBytes();
+      F.Path = M.Name;
+      Cap.FileMaps.push_back(std::move(F));
+    } else if (M.Kind == MappingKind::RuntimeImage) {
+      Cap.CommonBytes += M.sizeBytes();
+    }
+  }
+
+  Cap.Events.MappedPagesAtFork = PagesAtFork;
+  Cap.Events.MappingsParsed = SavedMappings.size();
+  Cap.Events.ProtectCalls = Stats.ProtectCalls;
+  Cap.Events.PagesProtected = Stats.PagesProtected;
+  Cap.Events.ReadFaults = Stats.ReadFaults;
+  Cap.Events.WriteFaults = Stats.WriteFaults;
+  Cap.Events.CowCopies = Stats.CowCopies;
+  Cap.Overheads = CaptureOverheads::fromEvents(Cap.Events, CostModel);
+
+  Kernel.reap(ChildPid);
+  ChildPid = 0;
+  Space.resetStats(); // close the capture's measurement epoch
+
+  Done = std::move(Cap);
+  RT.disarmRegionHook();
+  Target = dex::InvalidId;
+}
+
+std::optional<Capture> CaptureManager::takeCapture() {
+  std::optional<Capture> Out = std::move(Done);
+  Done.reset();
+  return Out;
+}
+
+std::string CaptureManager::spoolToStorage(const Capture &Cap,
+                                           const std::string &AppName) {
+  os::StorageDevice &Disk = Kernel.storage();
+
+  // The per-boot common blob: runtime-image content, stored once.
+  std::string CommonPath = format("boot/%llu/image.art",
+                                  static_cast<unsigned long long>(
+                                      Cap.BootId));
+  if (!Disk.exists(CommonPath) && Cap.CommonBytes > 0) {
+    for (const Mapping &M : Cap.Mappings) {
+      if (M.Kind != MappingKind::RuntimeImage)
+        continue;
+      std::vector<uint8_t> Blob(M.sizeBytes());
+      [[maybe_unused]] bool Ok =
+          App.space().peek(M.Start, Blob.data(), Blob.size());
+      assert(Ok && "runtime image unmapped");
+      Disk.writeFile(CommonPath, std::move(Blob));
+    }
+  }
+
+  std::string Path = format("captures/%s/region-%u.cap", AppName.c_str(),
+                            Cap.Root);
+  Disk.writeFile(Path, Cap.serialize());
+  return Path;
+}

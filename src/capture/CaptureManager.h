@@ -1,0 +1,94 @@
+//===- capture/CaptureManager.h - The online capture protocol ---*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 4's capture mechanism, verbatim over the simulated kernel:
+///
+///   1. Entry-point hook fires on the hot region (postponed if GC is
+///      imminent — a collection would touch pages the region never uses).
+///   2. fork(): the child shares every physical page; Copy-on-Write keeps
+///      the child's view pristine as the parent keeps executing.
+///   3. Parse /proc-style mappings; read-protect the app's pages.
+///   4. The region runs; the fault handler records each first-touched page
+///      and restores its permissions.
+///   5. On exit, remaining protections are lifted.
+///   6. The low-priority child spools the *original* content of every
+///      accessed page to storage.
+///
+/// Runtime-image pages are captured once per boot; file-backed pages are
+/// never captured (paths logged instead).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_CAPTURE_CAPTURE_MANAGER_H
+#define ROPT_CAPTURE_CAPTURE_MANAGER_H
+
+#include "capture/Capture.h"
+#include "os/Kernel.h"
+#include "vm/Runtime.h"
+
+#include <optional>
+#include <set>
+
+namespace ropt {
+namespace capture {
+
+class CaptureManager {
+public:
+  /// \p App must be the process whose address space \p RT executes in.
+  CaptureManager(os::Kernel &Kernel, os::Process &App, vm::Runtime &RT,
+                 os::KernelCostModel CostModel = os::KernelCostModel());
+  ~CaptureManager();
+
+  CaptureManager(const CaptureManager &) = delete;
+  CaptureManager &operator=(const CaptureManager &) = delete;
+
+  /// Arms a capture of the next outermost execution of \p Root. The caller
+  /// keeps driving the app; the capture happens transparently.
+  void armCapture(dex::MethodId Root);
+
+  /// True once an armed capture completed.
+  bool captureReady() const { return Done.has_value(); }
+
+  /// Retrieves (and clears) the completed capture.
+  std::optional<Capture> takeCapture();
+
+  /// Number of times a capture was postponed because GC was imminent.
+  uint64_t postponedCount() const { return Postponed; }
+
+  /// Spools the capture to the storage device as the child would, plus the
+  /// per-boot common blob (runtime image) if not already present. Returns
+  /// the capture's storage path.
+  std::string spoolToStorage(const Capture &Cap,
+                             const std::string &AppName);
+
+private:
+  void onRegionEnter(const std::vector<vm::Value> &Args);
+  void onRegionExit();
+
+  os::Kernel &Kernel;
+  os::Process &App;
+  vm::Runtime &RT;
+  os::KernelCostModel CostModel;
+
+  dex::MethodId Target = dex::InvalidId;
+  bool InProgress = false;
+  uint64_t Postponed = 0;
+
+  // Live capture state.
+  os::Pid ChildPid = 0;
+  std::set<uint64_t> AccessedPages;
+  std::vector<vm::Value> SavedArgs;
+  std::vector<os::Mapping> SavedMappings;
+  uint64_t PagesAtFork = 0;
+
+  std::optional<Capture> Done;
+};
+
+} // namespace capture
+} // namespace ropt
+
+#endif // ROPT_CAPTURE_CAPTURE_MANAGER_H

@@ -1,0 +1,339 @@
+//===- core/IterativeCompiler.cpp - The replay-based main loop --------------===//
+
+#include "core/IterativeCompiler.h"
+
+#include "hgraph/AndroidCompiler.h"
+#include "support/Statistics.h"
+
+#include <cassert>
+
+using namespace ropt;
+using namespace ropt::core;
+
+// --- RegionEvaluator ----------------------------------------------------------
+
+RegionEvaluator::RegionEvaluator(const workloads::Application &App,
+                                 const profiler::HotRegion &Region,
+                                 const capture::Capture &Cap,
+                                 const replay::VerificationMap &Map,
+                                 const lir::TypeProfile &Profile,
+                                 const PipelineConfig &Config)
+    : App(App), Region(Region), Profile(Profile), Config(Config),
+      Natives(vm::NativeRegistry::standardLibrary()),
+      Rep(*App.File, Natives, App.RtConfig, Config.Seed ^ 0xa51f),
+      NoiseRng(Config.Seed ^ 0x90153) {
+  Caps.push_back(CaptureRef{&Cap, &Map});
+}
+
+RegionEvaluator::RegionEvaluator(
+    const workloads::Application &App, const profiler::HotRegion &Region,
+    const std::vector<CapturedRegion> &Captures,
+    const PipelineConfig &Config)
+    : App(App), Region(Region), Config(Config),
+      Natives(vm::NativeRegistry::standardLibrary()),
+      Rep(*App.File, Natives, App.RtConfig, Config.Seed ^ 0xa51f),
+      NoiseRng(Config.Seed ^ 0x90153) {
+  assert(!Captures.empty() && "need at least one capture");
+  for (const CapturedRegion &C : Captures) {
+    Caps.push_back(CaptureRef{&C.Cap, &C.Map});
+    Profile.merge(C.Profile);
+  }
+}
+
+namespace {
+
+/// Content hash over every compiled function (identical-binary detection).
+uint64_t hashCodeCache(const vm::CodeCache &Code) {
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ULL;
+  };
+  for (const auto &KV : Code.functions()) {
+    Mix(KV.first);
+    const vm::MachineFunction &Fn = *KV.second;
+    Mix(Fn.NumRegs);
+    for (const vm::MInsn &I : Fn.Code) {
+      Mix(static_cast<uint64_t>(I.Op));
+      Mix((uint64_t(I.A) << 32) | (uint64_t(I.B) << 16) | I.C);
+      Mix(static_cast<uint64_t>(I.Target) | (uint64_t(I.Idx) << 32));
+      Mix(static_cast<uint64_t>(I.ImmI));
+      uint64_t FBits;
+      static_assert(sizeof(FBits) == sizeof(I.ImmF), "bitcast");
+      __builtin_memcpy(&FBits, &I.ImmF, sizeof(FBits));
+      Mix(FBits);
+      Mix(static_cast<uint64_t>(I.Hint) + 2);
+      for (unsigned A = 0; A != I.ArgCount; ++A)
+        Mix(I.Args[A]);
+    }
+  }
+  return H;
+}
+
+} // namespace
+
+search::Evaluation RegionEvaluator::evaluateCache(const vm::CodeCache &Code) {
+  search::Evaluation E;
+  E.CodeSize = Code.totalSizeBytes();
+  E.BinaryHash = hashCodeCache(Code);
+
+  // One verified replay per capture classifies the binary — wrong on any
+  // input means wrong. Replays are cycle-exact, so the paper's 10
+  // measurement replays become 10 noise draws around the measured cycle
+  // count (documented substitution).
+  double Cycles = 0.0;
+  for (const CaptureRef &C : Caps) {
+    replay::ReplayResult Out;
+    bool Verified = Rep.verifiedReplay(*C.Cap, Code, *C.Map, Out);
+    if (Out.Result.Trap == vm::TrapKind::Timeout) {
+      E.Kind = search::EvalKind::RuntimeTimeout;
+      ++Stats.RuntimeTimeout;
+      return E;
+    }
+    if (Out.Result.Trap != vm::TrapKind::None) {
+      E.Kind = search::EvalKind::RuntimeCrash;
+      ++Stats.RuntimeCrash;
+      return E;
+    }
+    if (!Verified) {
+      E.Kind = search::EvalKind::WrongOutput;
+      ++Stats.WrongOutput;
+      return E;
+    }
+    Cycles += static_cast<double>(Out.Result.Cycles);
+  }
+
+  E.Kind = search::EvalKind::Ok;
+  ++Stats.Ok;
+  E.Samples = Config.Noise.offlineSamples(
+      NoiseRng, Cycles,
+      static_cast<size_t>(Config.ReplaysPerEvaluation));
+  E.Samples = removeOutliersMAD(E.Samples);
+  E.MedianCycles = median(E.Samples);
+  return E;
+}
+
+std::optional<vm::CodeCache>
+RegionEvaluator::compileRegion(const search::Genome &G) {
+  lir::CompileOptions Options;
+  Options.Pipeline = G.Passes;
+  Options.RegAlloc = G.RegAlloc;
+  Options.SizeBudget = Config.CompileSizeBudget;
+  vm::CodeCache Code;
+  lir::CompileStatus Status = lir::compileAllLlvm(
+      *App.File, Region.Methods, Options, Code, &Profile);
+  if (Status != lir::CompileStatus::Ok)
+    return std::nullopt;
+  return Code;
+}
+
+search::Evaluation RegionEvaluator::evaluate(const search::Genome &G) {
+  std::optional<vm::CodeCache> Code = compileRegion(G);
+  if (!Code) {
+    search::Evaluation E;
+    E.Kind = search::EvalKind::CompileError;
+    ++Stats.CompileError;
+    return E;
+  }
+  return evaluateCache(*Code);
+}
+
+search::Evaluation RegionEvaluator::evaluatePipeline(
+    const std::vector<lir::PassInstance> &Pipeline,
+    hgraph::RegAllocKind RegAlloc) {
+  search::Genome G;
+  G.Passes = Pipeline;
+  G.RegAlloc = RegAlloc;
+  return evaluate(G);
+}
+
+search::Evaluation RegionEvaluator::evaluateAndroid() {
+  vm::CodeCache Code;
+  hgraph::compileAllAndroid(*App.File, Region.Methods, Code);
+  return evaluateCache(Code);
+}
+
+// --- OptimizationReport -----------------------------------------------------------
+
+double OptimizationReport::speedupGaOverAndroid() const {
+  if (WholeGa.empty() || WholeAndroid.empty())
+    return 0.0;
+  return mean(WholeAndroid) / mean(WholeGa);
+}
+
+double OptimizationReport::speedupO3OverAndroid() const {
+  if (WholeO3.empty() || WholeAndroid.empty())
+    return 0.0;
+  return mean(WholeAndroid) / mean(WholeO3);
+}
+
+double OptimizationReport::speedupGaOverO3() const {
+  if (WholeGa.empty() || WholeO3.empty())
+    return 0.0;
+  return mean(WholeO3) / mean(WholeGa);
+}
+
+// --- IterativeCompiler ----------------------------------------------------------
+
+IterativeCompiler::ProfiledApp
+IterativeCompiler::profileApp(const workloads::Application &App) {
+  ProfiledApp Out{
+      std::make_unique<AppInstance>(App, Config.Seed,
+                                    /*AttributeCycles=*/true),
+      profiler::ReplayabilityAnalysis::analyze(*App.File),
+      {},
+      std::nullopt,
+      {}};
+  for (int I = 0; I != Config.ProfileSessions; ++I) {
+    vm::CallResult R = Out.Instance->runSession(App.DefaultParam + I);
+    assert(R.ok() && "profiling session trapped");
+    (void)R;
+  }
+  Out.Profile = profiler::MethodProfile::fromRuntime(Out.Instance->runtime());
+  Out.Region = profiler::detectHotRegion(*App.File, Out.Profile, Out.RA);
+  Out.Breakdown = profiler::computeBreakdown(
+      *App.File, Out.Profile, Out.RA,
+      Out.Region ? &*Out.Region : nullptr);
+  return Out;
+}
+
+std::optional<IterativeCompiler::CapturedRegion>
+IterativeCompiler::captureRegion(AppInstance &Instance,
+                                 const profiler::HotRegion &Region,
+                                 int SessionOffset) {
+  capture::CaptureManager CM(Instance.kernel(), Instance.process(),
+                             Instance.runtime(), Config.KernelCosts);
+  CM.armCapture(Region.Root);
+  // Captures are postponed while GC is imminent; a handful of sessions is
+  // always enough opportunity (Section 3.2: "plenty of opportunities").
+  const workloads::Application &App = Instance.app();
+  for (int Attempt = 0; Attempt != 32 && !CM.captureReady(); ++Attempt) {
+    vm::CallResult R =
+        Instance.runSession(App.DefaultParam + 100 + SessionOffset + Attempt);
+    if (!R.ok())
+      return std::nullopt;
+  }
+  if (!CM.captureReady())
+    return std::nullopt;
+
+  CapturedRegion Out;
+  Out.Postponements = CM.postponedCount();
+  Out.Cap = *CM.takeCapture();
+  CM.spoolToStorage(Out.Cap, App.Name);
+
+  vm::NativeRegistry Natives = vm::NativeRegistry::standardLibrary();
+  replay::Replayer Rep(*App.File, Natives, App.RtConfig,
+                       Config.Seed ^ 0x1e91a);
+  replay::InterpretedReplayResult IR = Rep.interpretedReplay(Out.Cap);
+  if (!IR.Replay.Result.ok())
+    return std::nullopt;
+  Out.Map = std::move(IR.Map);
+  Out.Profile = std::move(IR.Profile);
+  return Out;
+}
+
+std::vector<IterativeCompiler::CapturedRegion>
+IterativeCompiler::captureRegionMulti(AppInstance &Instance,
+                                      const profiler::HotRegion &Region,
+                                      int Count) {
+  std::vector<CapturedRegion> Out;
+  for (int I = 0; I != Count; ++I) {
+    std::optional<CapturedRegion> C =
+        captureRegion(Instance, Region, I * 37);
+    if (!C)
+      break;
+    Out.push_back(std::move(*C));
+  }
+  return Out;
+}
+
+OptimizationReport
+IterativeCompiler::optimize(const workloads::Application &App) {
+  OptimizationReport Report;
+  Report.AppName = App.Name;
+
+  // --- Phases 1-2: online profile + hot region (Section 3.1). ----------
+  ProfiledApp Profiled = profileApp(App);
+  Report.Breakdown = Profiled.Breakdown;
+  if (!Profiled.Region) {
+    Report.FailureReason = "no replayable hot region";
+    return Report;
+  }
+  Report.Region = *Profiled.Region;
+
+  // --- Phase 3: transparent capture + interpreted replay (3.2-3.4). ----
+  std::vector<CapturedRegion> Captures = captureRegionMulti(
+      *Profiled.Instance, Report.Region,
+      std::max(1, Config.CapturesPerRegion));
+  if (Captures.empty()) {
+    Report.FailureReason = "capture failed";
+    return Report;
+  }
+  Report.Cap = Captures.front().Cap;
+  Report.CapturePostponements = Captures.front().Postponements;
+
+  // --- Phase 4: the GA over the transformation space (3.6-3.7). --------
+  RegionEvaluator Evaluator(App, Report.Region, Captures, Config);
+  search::Evaluation Android = Evaluator.evaluateAndroid();
+  search::Evaluation O3 = Evaluator.evaluatePipeline(lir::o3Pipeline());
+  if (!Android.ok()) {
+    Report.FailureReason = "android baseline replay failed";
+    return Report;
+  }
+  Report.RegionAndroid = Android.MedianCycles;
+  Report.RegionO3 = O3.ok() ? O3.MedianCycles : 0.0;
+
+  search::GeneticSearch GA(
+      Config.GA, Config.Seed ^ 0x6a5e,
+      [&Evaluator](const search::Genome &G) {
+        return Evaluator.evaluate(G);
+      });
+  std::optional<search::Scored> Best =
+      GA.run(Android.MedianCycles,
+             O3.ok() ? O3.MedianCycles : Android.MedianCycles,
+             &Report.Trace);
+  Report.Counters = Evaluator.counters();
+  if (!Best) {
+    Report.FailureReason = "search produced no valid binary";
+    return Report;
+  }
+  Report.Best = *Best;
+  Report.RegionBest = Best->E.MedianCycles;
+
+  // --- Phase 5: install + whole-program measurement outside replay. ----
+  std::optional<vm::CodeCache> BestCode =
+      Evaluator.compileRegion(Best->G);
+  assert(BestCode && "winning genome stopped compiling");
+
+  lir::CompileOptions O3Options;
+  O3Options.Pipeline = lir::o3Pipeline();
+  vm::CodeCache O3Code;
+  lir::compileAllLlvm(*App.File, Report.Region.Methods, O3Options, O3Code,
+                      &Captures.front().Profile);
+
+  Rng NoiseRng(Config.Seed ^ 0x0911e);
+  auto MeasureVariant =
+      [&](const vm::CodeCache *Override) -> std::vector<double> {
+    AppInstance Fresh(App, Config.Seed + 7);
+    if (Override)
+      Fresh.overrideRegionCode(Report.Region.Methods, *Override);
+    uint64_t Block = Fresh.runSessionBlock(Config.FinalSessionBlock,
+                                           App.DefaultParam);
+    if (Block == 0)
+      return {};
+    std::vector<double> Samples;
+    for (int I = 0; I != Config.FinalMeasurementRuns; ++I)
+      Samples.push_back(
+          Config.Noise.online(NoiseRng, static_cast<double>(Block)));
+    return Samples;
+  };
+  Report.WholeAndroid = MeasureVariant(nullptr);
+  Report.WholeO3 = MeasureVariant(&O3Code);
+  Report.WholeGa = MeasureVariant(&*BestCode);
+
+  Report.Succeeded = !Report.WholeAndroid.empty() &&
+                     !Report.WholeGa.empty();
+  if (!Report.Succeeded)
+    Report.FailureReason = "final measurement failed";
+  return Report;
+}

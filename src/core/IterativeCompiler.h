@@ -1,0 +1,201 @@
+//===- core/IterativeCompiler.h - The replay-based main loop ----*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The system of Figure 6, end to end: profile online -> detect the hot
+/// region -> capture transparently -> interpreted replay (verification map
+/// + type profile) -> GA over the LLVM transformation space with
+/// replay-based fitness and verification-map rejection -> install the best
+/// binary -> measure whole-program speedups outside the replay
+/// environment. Also exposes the per-genome RegionEvaluator the Figure
+/// 1/2/9 experiments reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_CORE_ITERATIVE_COMPILER_H
+#define ROPT_CORE_ITERATIVE_COMPILER_H
+
+#include "capture/CaptureManager.h"
+#include "core/AppInstance.h"
+#include "core/Measurement.h"
+#include "lir/Backend.h"
+#include "profiler/HotRegion.h"
+#include "replay/Replayer.h"
+#include "search/GeneticSearch.h"
+
+#include <optional>
+
+namespace ropt {
+namespace core {
+
+/// Pipeline configuration (paper defaults, Section 4).
+struct PipelineConfig {
+  uint64_t Seed = 1;
+  search::GaConfig GA;
+  int ReplaysPerEvaluation = 10;
+  /// Captures taken per region; >1 evaluates genomes across several real
+  /// inputs (the paper's §5.4 multi-capture setting).
+  int CapturesPerRegion = 1;
+  int ProfileSessions = 6;
+  int FinalSessionBlock = 3;      ///< Sessions per whole-program sample.
+  int FinalMeasurementRuns = 10;
+  MeasurementModel Noise;
+  os::KernelCostModel KernelCosts;
+  size_t CompileSizeBudget = 2000;
+};
+
+/// One captured region with its interpreted-replay artifacts.
+struct CapturedRegion {
+  capture::Capture Cap;
+  replay::VerificationMap Map;
+  lir::TypeProfile Profile;
+  uint64_t Postponements = 0;
+};
+
+/// Evaluates one optimization decision against one or more captures:
+/// compile, verify through replay (against *every* capture — a binary that
+/// is only right for some inputs is wrong), measure. This is the GA's
+/// fitness callback and the random-search experiments' engine. Multiple
+/// captures per region are the paper's §5.4 "realistic system" setting and
+/// guard the search against overfitting to a single input.
+class RegionEvaluator {
+public:
+  /// Single-capture constructor (the paper's default configuration).
+  RegionEvaluator(const workloads::Application &App,
+                  const profiler::HotRegion &Region,
+                  const capture::Capture &Cap,
+                  const replay::VerificationMap &Map,
+                  const lir::TypeProfile &Profile,
+                  const PipelineConfig &Config);
+
+  /// Multi-capture constructor; \p Captures must outlive the evaluator.
+  RegionEvaluator(const workloads::Application &App,
+                  const profiler::HotRegion &Region,
+                  const std::vector<CapturedRegion> &Captures,
+                  const PipelineConfig &Config);
+
+  /// GA hook: compile with the genome, verify, sample timings.
+  search::Evaluation evaluate(const search::Genome &G);
+
+  /// Evaluates an explicit pipeline (the -O presets).
+  search::Evaluation
+  evaluatePipeline(const std::vector<lir::PassInstance> &Pipeline,
+                   hgraph::RegAllocKind RegAlloc =
+                       hgraph::RegAllocKind::LinearScan);
+
+  /// Evaluates the stock Android binary of the region.
+  search::Evaluation evaluateAndroid();
+
+  /// Compiles the region with \p G without evaluating (for installs).
+  /// Returns nullopt when compilation fails.
+  std::optional<vm::CodeCache> compileRegion(const search::Genome &G);
+
+  struct Counters {
+    int Ok = 0;
+    int CompileError = 0;
+    int RuntimeCrash = 0;
+    int RuntimeTimeout = 0;
+    int WrongOutput = 0;
+    int total() const {
+      return Ok + CompileError + RuntimeCrash + RuntimeTimeout +
+             WrongOutput;
+    }
+  };
+  const Counters &counters() const { return Stats; }
+
+private:
+  search::Evaluation evaluateCache(const vm::CodeCache &Code);
+
+  struct CaptureRef {
+    const capture::Capture *Cap;
+    const replay::VerificationMap *Map;
+  };
+
+  const workloads::Application &App;
+  const profiler::HotRegion &Region;
+  std::vector<CaptureRef> Caps;
+  lir::TypeProfile Profile; ///< Merged across captures.
+  const PipelineConfig &Config;
+  vm::NativeRegistry Natives;
+  replay::Replayer Rep;
+  Rng NoiseRng;
+  Counters Stats;
+};
+
+/// Everything the pipeline produced for one application.
+struct OptimizationReport {
+  std::string AppName;
+  bool Succeeded = false;
+  std::string FailureReason;
+
+  profiler::HotRegion Region;
+  profiler::CodeBreakdown Breakdown;
+  capture::Capture Cap;
+  uint64_t CapturePostponements = 0;
+
+  /// Region-level replay medians (cycles).
+  double RegionAndroid = 0.0;
+  double RegionO3 = 0.0;
+  double RegionBest = 0.0;
+
+  search::Scored Best;
+  search::GaTrace Trace;
+  RegionEvaluator::Counters Counters;
+
+  /// Whole-program session samples, measured outside the replay
+  /// environment (online noise included).
+  std::vector<double> WholeAndroid;
+  std::vector<double> WholeO3;
+  std::vector<double> WholeGa;
+
+  double speedupGaOverAndroid() const;
+  double speedupO3OverAndroid() const;
+  double speedupGaOverO3() const;
+};
+
+/// The orchestrator.
+class IterativeCompiler {
+public:
+  explicit IterativeCompiler(PipelineConfig Config) : Config(Config) {}
+
+  /// Runs the full pipeline on one application.
+  OptimizationReport optimize(const workloads::Application &App);
+
+  /// Pieces, exposed for the experiment harnesses: profile the app and
+  /// detect its region (phase 1-2)...
+  struct ProfiledApp {
+    std::unique_ptr<AppInstance> Instance;
+    profiler::ReplayabilityAnalysis RA;
+    profiler::MethodProfile Profile;
+    std::optional<profiler::HotRegion> Region;
+    profiler::CodeBreakdown Breakdown;
+  };
+  ProfiledApp profileApp(const workloads::Application &App);
+
+  /// ...and capture its hot region (phase 3), returning the capture plus
+  /// the interpreted replay artifacts.
+  using CapturedRegion = core::CapturedRegion;
+  /// \p SessionOffset shifts the scripted session parameters so distinct
+  /// captures snapshot distinct user inputs.
+  std::optional<CapturedRegion>
+  captureRegion(AppInstance &Instance, const profiler::HotRegion &Region,
+                int SessionOffset = 0);
+
+  /// Takes \p Count captures of the region across distinct sessions.
+  std::vector<CapturedRegion>
+  captureRegionMulti(AppInstance &Instance,
+                     const profiler::HotRegion &Region, int Count);
+
+  const PipelineConfig &config() const { return Config; }
+
+private:
+  PipelineConfig Config;
+};
+
+} // namespace core
+} // namespace ropt
+
+#endif // ROPT_CORE_ITERATIVE_COMPILER_H

@@ -1,0 +1,62 @@
+//===- core/Measurement.h - Timing noise models ------------------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded multiplicative log-normal noise models for the two measurement
+/// contexts the paper contrasts: offline replays (idle device, pinned
+/// frequency, identical state — per Section 3.7) versus the online
+/// environment (frequency scaling, thermal throttling, contention — per
+/// Section 2). The deterministic simulator gives exact cycle counts; these
+/// models reintroduce the measurement reality the paper's statistics exist
+/// to cope with.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_CORE_MEASUREMENT_H
+#define ROPT_CORE_MEASUREMENT_H
+
+#include "support/Random.h"
+
+namespace ropt {
+namespace core {
+
+struct MeasurementModel {
+  /// Replay environment: idle, charged, frequency pinned.
+  double OfflineSigma = 0.004;
+  /// Interactive environment: governors, thermals, background load. The
+  /// heavy right tail (GC, scheduler hiccups) is modelled explicitly.
+  double OnlineSigma = 0.05;
+  double OnlineSpikeProb = 0.03;
+  double OnlineSpikeScale = 1.8;
+
+  double offline(Rng &R, double Cycles) const {
+    return Cycles * R.logNormal(0.0, OfflineSigma);
+  }
+
+  double online(Rng &R, double Cycles) const {
+    double Noisy = Cycles * R.logNormal(0.0, OnlineSigma);
+    if (R.chance(OnlineSpikeProb))
+      Noisy *= OnlineSpikeScale;
+    return Noisy;
+  }
+
+  /// Draws \p Count offline samples around a deterministic cycle count —
+  /// equivalent to performing that many replays, since replays of the same
+  /// capture are cycle-exact (documented substitution, DESIGN.md §2).
+  std::vector<double> offlineSamples(Rng &R, double Cycles,
+                                     size_t Count) const {
+    std::vector<double> Out;
+    Out.reserve(Count);
+    for (size_t I = 0; I != Count; ++I)
+      Out.push_back(offline(R, Cycles));
+    return Out;
+  }
+};
+
+} // namespace core
+} // namespace ropt
+
+#endif // ROPT_CORE_MEASUREMENT_H

@@ -1,0 +1,426 @@
+//===- dex/Builder.cpp - Programmatic bytecode construction ---------------===//
+
+#include "dex/Builder.h"
+
+#include "dex/Verifier.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace ropt;
+using namespace ropt::dex;
+
+// --- FunctionBuilder ------------------------------------------------------
+
+void FunctionBuilder::emit3(Opcode Op, RegIdx A, RegIdx B, RegIdx C) {
+  Insn I;
+  I.Op = Op;
+  I.A = A;
+  I.B = B;
+  I.C = C;
+  Code.push_back(I);
+}
+
+void FunctionBuilder::constI(RegIdx D, int64_t V) {
+  Insn I;
+  I.Op = Opcode::ConstI;
+  I.A = D;
+  I.ImmI = V;
+  Code.push_back(I);
+}
+
+void FunctionBuilder::constF(RegIdx D, double V) {
+  Insn I;
+  I.Op = Opcode::ConstF;
+  I.A = D;
+  I.ImmF = V;
+  Code.push_back(I);
+}
+
+void FunctionBuilder::constNull(RegIdx D) {
+  emit3(Opcode::ConstNull, D, NoReg, NoReg);
+}
+
+void FunctionBuilder::move(RegIdx D, RegIdx S) {
+  emit3(Opcode::Move, D, S, NoReg);
+}
+
+FunctionBuilder::Label FunctionBuilder::newLabel() {
+  LabelPositions.push_back(-1);
+  return static_cast<Label>(LabelPositions.size() - 1);
+}
+
+void FunctionBuilder::bind(Label L) {
+  assert(L < LabelPositions.size() && "unknown label");
+  assert(LabelPositions[L] == -1 && "label bound twice");
+  LabelPositions[L] = static_cast<int32_t>(Code.size());
+}
+
+void FunctionBuilder::addFixup(size_t InsnIndex, Label L) {
+  assert(L < LabelPositions.size() && "unknown label");
+  Fixups.emplace_back(InsnIndex, L);
+}
+
+void FunctionBuilder::jump(Label L) {
+  Insn I;
+  I.Op = Opcode::Goto;
+  Code.push_back(I);
+  addFixup(Code.size() - 1, L);
+}
+
+void FunctionBuilder::branch(Opcode Op, RegIdx A, RegIdx B, Label L) {
+  Insn I;
+  I.Op = Op;
+  I.B = A;
+  I.C = B;
+  Code.push_back(I);
+  addFixup(Code.size() - 1, L);
+}
+
+void FunctionBuilder::branchZ(Opcode Op, RegIdx A, Label L) {
+  Insn I;
+  I.Op = Op;
+  I.B = A;
+  Code.push_back(I);
+  addFixup(Code.size() - 1, L);
+}
+
+void FunctionBuilder::emitInvoke(Opcode Op, RegIdx D, uint32_t Callee,
+                                 const std::vector<RegIdx> &Args) {
+  assert(Args.size() <= MaxInvokeArgs && "too many call arguments");
+  Insn I;
+  I.Op = Op;
+  I.A = D;
+  I.Idx = Callee;
+  I.ArgCount = static_cast<uint8_t>(Args.size());
+  for (size_t N = 0; N != Args.size(); ++N)
+    I.Args[N] = Args[N];
+  Code.push_back(I);
+}
+
+void FunctionBuilder::invokeStatic(RegIdx D, MethodId Callee,
+                                   const std::vector<RegIdx> &Args) {
+  emitInvoke(Opcode::InvokeStatic, D, Callee, Args);
+}
+
+void FunctionBuilder::invokeVirtual(RegIdx D, MethodId Callee,
+                                    const std::vector<RegIdx> &Args) {
+  assert(!Args.empty() && "virtual call needs a receiver");
+  emitInvoke(Opcode::InvokeVirtual, D, Callee, Args);
+}
+
+void FunctionBuilder::invokeNative(RegIdx D, NativeId Callee,
+                                   const std::vector<RegIdx> &Args) {
+  emitInvoke(Opcode::InvokeNative, D, Callee, Args);
+}
+
+void FunctionBuilder::ret(RegIdx S) { emit3(Opcode::Ret, NoReg, S, NoReg); }
+
+void FunctionBuilder::retVoid() {
+  emit3(Opcode::RetVoid, NoReg, NoReg, NoReg);
+}
+
+void FunctionBuilder::newInstance(RegIdx D, ClassId Cls) {
+  Insn I;
+  I.Op = Opcode::NewInstance;
+  I.A = D;
+  I.Idx = Cls;
+  Code.push_back(I);
+}
+
+void FunctionBuilder::getField(RegIdx D, RegIdx Obj, FieldId F) {
+  Opcode Op;
+  switch (Parent.field(F).FieldType) {
+  case Type::I64: Op = Opcode::GetFieldI; break;
+  case Type::F64: Op = Opcode::GetFieldF; break;
+  case Type::Ref: Op = Opcode::GetFieldR; break;
+  default: Op = Opcode::GetFieldI; break;
+  }
+  Insn I;
+  I.Op = Op;
+  I.A = D;
+  I.B = Obj;
+  I.Idx = F;
+  Code.push_back(I);
+}
+
+void FunctionBuilder::putField(RegIdx Obj, FieldId F, RegIdx S) {
+  Opcode Op;
+  switch (Parent.field(F).FieldType) {
+  case Type::I64: Op = Opcode::PutFieldI; break;
+  case Type::F64: Op = Opcode::PutFieldF; break;
+  case Type::Ref: Op = Opcode::PutFieldR; break;
+  default: Op = Opcode::PutFieldI; break;
+  }
+  Insn I;
+  I.Op = Op;
+  I.A = S;
+  I.B = Obj;
+  I.Idx = F;
+  Code.push_back(I);
+}
+
+void FunctionBuilder::getStatic(RegIdx D, StaticFieldId F) {
+  Opcode Op;
+  switch (Parent.staticField(F).FieldType) {
+  case Type::I64: Op = Opcode::GetStaticI; break;
+  case Type::F64: Op = Opcode::GetStaticF; break;
+  case Type::Ref: Op = Opcode::GetStaticR; break;
+  default: Op = Opcode::GetStaticI; break;
+  }
+  Insn I;
+  I.Op = Op;
+  I.A = D;
+  I.Idx = F;
+  Code.push_back(I);
+}
+
+void FunctionBuilder::putStatic(StaticFieldId F, RegIdx S) {
+  Opcode Op;
+  switch (Parent.staticField(F).FieldType) {
+  case Type::I64: Op = Opcode::PutStaticI; break;
+  case Type::F64: Op = Opcode::PutStaticF; break;
+  case Type::Ref: Op = Opcode::PutStaticR; break;
+  default: Op = Opcode::PutStaticI; break;
+  }
+  Insn I;
+  I.Op = Op;
+  I.A = S;
+  I.Idx = F;
+  Code.push_back(I);
+}
+
+void FunctionBuilder::newArray(RegIdx D, RegIdx Len, Type ElemType) {
+  Opcode Op;
+  switch (ElemType) {
+  case Type::I64: Op = Opcode::NewArrayI; break;
+  case Type::F64: Op = Opcode::NewArrayF; break;
+  case Type::Ref: Op = Opcode::NewArrayR; break;
+  default: Op = Opcode::NewArrayI; break;
+  }
+  emit3(Op, D, Len, NoReg);
+}
+
+void FunctionBuilder::aload(RegIdx D, RegIdx Arr, RegIdx Idx,
+                            Type ElemType) {
+  Opcode Op;
+  switch (ElemType) {
+  case Type::I64: Op = Opcode::ALoadI; break;
+  case Type::F64: Op = Opcode::ALoadF; break;
+  case Type::Ref: Op = Opcode::ALoadR; break;
+  default: Op = Opcode::ALoadI; break;
+  }
+  emit3(Op, D, Arr, Idx);
+}
+
+void FunctionBuilder::astore(RegIdx Arr, RegIdx Idx, RegIdx S,
+                             Type ElemType) {
+  Opcode Op;
+  switch (ElemType) {
+  case Type::I64: Op = Opcode::AStoreI; break;
+  case Type::F64: Op = Opcode::AStoreF; break;
+  case Type::Ref: Op = Opcode::AStoreR; break;
+  default: Op = Opcode::AStoreI; break;
+  }
+  emit3(Op, S, Arr, Idx);
+}
+
+void FunctionBuilder::arrayLen(RegIdx D, RegIdx Arr) {
+  emit3(Opcode::ArrayLen, D, Arr, NoReg);
+}
+
+// --- DexBuilder -------------------------------------------------------------
+
+std::string DexBuilder::qualify(ClassId Owner,
+                                const std::string &Name) const {
+  if (Owner == InvalidId)
+    return Name;
+  return File.Classes.at(Owner).Name + "." + Name;
+}
+
+ClassId DexBuilder::addClass(const std::string &Name, ClassId Super) {
+  assert(!Built && "builder already consumed");
+  assert((Super == InvalidId || Super < File.Classes.size()) &&
+         "superclass must be declared before the subclass");
+  ClassInfo C;
+  C.Name = Name;
+  C.Id = static_cast<ClassId>(File.Classes.size());
+  C.Super = Super;
+  File.Classes.push_back(std::move(C));
+  return File.Classes.back().Id;
+}
+
+FieldId DexBuilder::addField(ClassId Owner, const std::string &Name,
+                             Type T) {
+  assert(Owner < File.Classes.size() && "unknown class");
+  FieldInfo F;
+  F.Name = qualify(Owner, Name);
+  F.Owner = Owner;
+  F.FieldType = T;
+  FieldId Id = static_cast<FieldId>(File.Fields.size());
+  File.Fields.push_back(std::move(F));
+  File.Classes[Owner].Fields.push_back(Id);
+  return Id;
+}
+
+StaticFieldId DexBuilder::addStaticField(ClassId Owner,
+                                         const std::string &Name, Type T,
+                                         int64_t InitialBits) {
+  StaticFieldInfo F;
+  F.Name = qualify(Owner, Name);
+  F.Owner = Owner;
+  F.FieldType = T;
+  F.InitialValue = InitialBits;
+  File.StaticFields.push_back(std::move(F));
+  return static_cast<StaticFieldId>(File.StaticFields.size() - 1);
+}
+
+NativeId DexBuilder::addNative(const std::string &Name, uint16_t ParamCount,
+                               bool ReturnsValue, bool DoesIO,
+                               bool NonDeterministic,
+                               const std::string &IntrinsicKind) {
+  NativeDecl N;
+  N.Name = Name;
+  N.ParamCount = ParamCount;
+  N.ReturnsValue = ReturnsValue;
+  N.DoesIO = DoesIO;
+  N.NonDeterministic = NonDeterministic;
+  N.IntrinsicKind = IntrinsicKind;
+  File.Natives.push_back(std::move(N));
+  return static_cast<NativeId>(File.Natives.size() - 1);
+}
+
+MethodId DexBuilder::declareFunction(ClassId Owner, const std::string &Name,
+                                     uint16_t ParamCount, bool ReturnsValue,
+                                     uint32_t Flags) {
+  Method M;
+  M.Name = qualify(Owner, Name);
+  M.Id = static_cast<MethodId>(File.Methods.size());
+  M.Owner = Owner;
+  M.ParamCount = ParamCount;
+  M.RegCount = ParamCount;
+  M.ReturnsValue = ReturnsValue;
+  M.IsStatic = true;
+  M.Flags = Flags;
+  File.Methods.push_back(std::move(M));
+  if (Owner != InvalidId)
+    File.Classes[Owner].Methods.push_back(File.Methods.back().Id);
+  return File.Methods.back().Id;
+}
+
+MethodId DexBuilder::declareVirtual(ClassId Owner, const std::string &Name,
+                                    uint16_t ParamCount, bool ReturnsValue,
+                                    uint32_t Flags) {
+  assert(Owner != InvalidId && "virtual methods need a class");
+  assert(ParamCount >= 1 && "virtual methods take the receiver");
+  MethodId Id = declareFunction(Owner, Name, ParamCount, ReturnsValue,
+                                Flags);
+  Method &M = File.Methods[Id];
+  M.IsStatic = false;
+  M.IsVirtual = true;
+  return Id;
+}
+
+MethodId DexBuilder::declareNativeMethod(ClassId Owner,
+                                         const std::string &Name,
+                                         NativeId N) {
+  const NativeDecl &Decl = File.Natives.at(N);
+  uint32_t Flags = MF_None;
+  if (Decl.DoesIO)
+    Flags |= MF_DoesIO;
+  if (Decl.NonDeterministic)
+    Flags |= MF_NonDeterministic;
+  MethodId Id =
+      declareFunction(Owner, Name, Decl.ParamCount, Decl.ReturnsValue,
+                      Flags);
+  Method &M = File.Methods[Id];
+  M.IsNative = true;
+  M.Native = N;
+  return Id;
+}
+
+void DexBuilder::addMethodFlags(MethodId Id, uint32_t Flags) {
+  File.Methods.at(Id).Flags |= Flags;
+}
+
+FunctionBuilder DexBuilder::beginBody(MethodId Id) {
+  const Method &M = File.Methods.at(Id);
+  assert(!M.IsNative && "native methods have no bytecode body");
+  assert(M.Code.empty() && "method body already defined");
+  return FunctionBuilder(*this, Id, M.ParamCount);
+}
+
+void DexBuilder::endBody(FunctionBuilder &FB) {
+  for (const auto &[InsnIndex, L] : FB.Fixups) {
+    int32_t Pos = FB.LabelPositions.at(L);
+    assert(Pos >= 0 && "branch to unbound label");
+    FB.Code[InsnIndex].Target = Pos;
+  }
+  Method &M = File.Methods.at(FB.Id);
+  M.RegCount = FB.NextReg;
+  M.Code = std::move(FB.Code);
+}
+
+int64_t DexBuilder::doubleBits(double V) {
+  int64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits;
+}
+
+/// Returns the bare (unqualified) method name.
+static std::string bareName(const std::string &Qualified) {
+  size_t Dot = Qualified.rfind('.');
+  return Dot == std::string::npos ? Qualified : Qualified.substr(Dot + 1);
+}
+
+DexFile DexBuilder::build() {
+  assert(!Built && "builder already consumed");
+  Built = true;
+
+  // Field layout: inherited slots first, then own declarations.
+  for (ClassInfo &C : File.Classes) {
+    uint32_t Base =
+        C.Super == InvalidId ? 0 : File.Classes[C.Super].InstanceSlots;
+    uint32_t Next = Base;
+    for (FieldId F : C.Fields)
+      File.Fields[F].SlotIndex = Next++;
+    C.InstanceSlots = Next;
+  }
+
+  // VTable linking: start from the superclass table, override slots whose
+  // bare name matches, append genuinely new virtuals.
+  for (ClassInfo &C : File.Classes) {
+    if (C.Super != InvalidId)
+      C.VTable = File.Classes[C.Super].VTable;
+    for (MethodId Id : C.Methods) {
+      Method &M = File.Methods[Id];
+      if (!M.IsVirtual)
+        continue;
+      std::string Bare = bareName(M.Name);
+      int32_t Slot = -1;
+      for (size_t S = 0; S != C.VTable.size(); ++S) {
+        if (bareName(File.Methods[C.VTable[S]].Name) == Bare) {
+          Slot = static_cast<int32_t>(S);
+          break;
+        }
+      }
+      if (Slot < 0) {
+        Slot = static_cast<int32_t>(C.VTable.size());
+        C.VTable.push_back(Id);
+      } else {
+        C.VTable[static_cast<size_t>(Slot)] = Id;
+      }
+      M.VTableSlot = Slot;
+    }
+  }
+
+  std::vector<std::string> Errors = verify(File);
+  if (!Errors.empty()) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "dex verifier: %s\n", E.c_str());
+    std::abort();
+  }
+  return std::move(File);
+}

@@ -1,0 +1,112 @@
+//===- dex/Bytecode.cpp - ISA helpers -------------------------------------===//
+
+#include "dex/Bytecode.h"
+
+using namespace ropt;
+using namespace ropt::dex;
+
+const char *dex::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop: return "nop";
+  case Opcode::ConstI: return "const-i";
+  case Opcode::ConstF: return "const-f";
+  case Opcode::ConstNull: return "const-null";
+  case Opcode::Move: return "move";
+  case Opcode::AddI: return "add-i";
+  case Opcode::SubI: return "sub-i";
+  case Opcode::MulI: return "mul-i";
+  case Opcode::DivI: return "div-i";
+  case Opcode::RemI: return "rem-i";
+  case Opcode::AndI: return "and-i";
+  case Opcode::OrI: return "or-i";
+  case Opcode::XorI: return "xor-i";
+  case Opcode::ShlI: return "shl-i";
+  case Opcode::ShrI: return "shr-i";
+  case Opcode::NegI: return "neg-i";
+  case Opcode::AddF: return "add-f";
+  case Opcode::SubF: return "sub-f";
+  case Opcode::MulF: return "mul-f";
+  case Opcode::DivF: return "div-f";
+  case Opcode::NegF: return "neg-f";
+  case Opcode::CmpF: return "cmp-f";
+  case Opcode::SqrtF: return "sqrt-f";
+  case Opcode::I2F: return "i2f";
+  case Opcode::F2I: return "f2i";
+  case Opcode::Goto: return "goto";
+  case Opcode::IfEq: return "if-eq";
+  case Opcode::IfNe: return "if-ne";
+  case Opcode::IfLt: return "if-lt";
+  case Opcode::IfLe: return "if-le";
+  case Opcode::IfGt: return "if-gt";
+  case Opcode::IfGe: return "if-ge";
+  case Opcode::IfEqz: return "if-eqz";
+  case Opcode::IfNez: return "if-nez";
+  case Opcode::IfLtz: return "if-ltz";
+  case Opcode::IfLez: return "if-lez";
+  case Opcode::IfGtz: return "if-gtz";
+  case Opcode::IfGez: return "if-gez";
+  case Opcode::InvokeStatic: return "invoke-static";
+  case Opcode::InvokeVirtual: return "invoke-virtual";
+  case Opcode::InvokeNative: return "invoke-native";
+  case Opcode::Ret: return "ret";
+  case Opcode::RetVoid: return "ret-void";
+  case Opcode::NewInstance: return "new-instance";
+  case Opcode::GetFieldI: return "get-field-i";
+  case Opcode::GetFieldF: return "get-field-f";
+  case Opcode::GetFieldR: return "get-field-r";
+  case Opcode::PutFieldI: return "put-field-i";
+  case Opcode::PutFieldF: return "put-field-f";
+  case Opcode::PutFieldR: return "put-field-r";
+  case Opcode::GetStaticI: return "get-static-i";
+  case Opcode::GetStaticF: return "get-static-f";
+  case Opcode::GetStaticR: return "get-static-r";
+  case Opcode::PutStaticI: return "put-static-i";
+  case Opcode::PutStaticF: return "put-static-f";
+  case Opcode::PutStaticR: return "put-static-r";
+  case Opcode::NewArrayI: return "new-array-i";
+  case Opcode::NewArrayF: return "new-array-f";
+  case Opcode::NewArrayR: return "new-array-r";
+  case Opcode::ALoadI: return "aload-i";
+  case Opcode::ALoadF: return "aload-f";
+  case Opcode::ALoadR: return "aload-r";
+  case Opcode::AStoreI: return "astore-i";
+  case Opcode::AStoreF: return "astore-f";
+  case Opcode::AStoreR: return "astore-r";
+  case Opcode::ArrayLen: return "array-len";
+  case Opcode::OpcodeCount: break;
+  }
+  return "invalid";
+}
+
+bool dex::isConditionalBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfLe:
+  case Opcode::IfGt:
+  case Opcode::IfGe:
+  case Opcode::IfEqz:
+  case Opcode::IfNez:
+  case Opcode::IfLtz:
+  case Opcode::IfLez:
+  case Opcode::IfGtz:
+  case Opcode::IfGez:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool dex::isBranch(Opcode Op) {
+  return Op == Opcode::Goto || isConditionalBranch(Op);
+}
+
+bool dex::isReturn(Opcode Op) {
+  return Op == Opcode::Ret || Op == Opcode::RetVoid;
+}
+
+bool dex::isInvoke(Opcode Op) {
+  return Op == Opcode::InvokeStatic || Op == Opcode::InvokeVirtual ||
+         Op == Opcode::InvokeNative;
+}

@@ -1,0 +1,165 @@
+//===- dex/Bytecode.h - Register-based bytecode ISA -------------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set of our Dalvik-like register bytecode. Methods carry a
+/// fixed number of untyped 64-bit virtual registers; instructions are typed
+/// (integer, double, reference). The shape mirrors Dalvik: two-address-free
+/// three-operand ALU ops, compare-and-branch fusion for integers, a cmp +
+/// branch-on-zero idiom for doubles, and invoke instructions that carry an
+/// argument list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_DEX_BYTECODE_H
+#define ROPT_DEX_BYTECODE_H
+
+#include <cstdint>
+
+namespace ropt {
+namespace dex {
+
+/// Value categories the ISA distinguishes.
+enum class Type : uint8_t {
+  I64, ///< 64-bit integer.
+  F64, ///< IEEE double.
+  Ref, ///< Heap reference (object or array).
+};
+
+enum class Opcode : uint8_t {
+  Nop,
+
+  // Constants and moves. ConstI/ConstF write the immediate into register A.
+  ConstI,
+  ConstF,
+  ConstNull,
+  Move,
+
+  // Integer ALU: A = B op C.
+  AddI,
+  SubI,
+  MulI,
+  DivI, ///< Traps on zero divisor.
+  RemI, ///< Traps on zero divisor.
+  AndI,
+  OrI,
+  XorI,
+  ShlI,
+  ShrI, ///< Arithmetic shift right.
+  NegI, ///< A = -B.
+
+  // Double ALU: A = B op C.
+  AddF,
+  SubF,
+  MulF,
+  DivF,
+  NegF, ///< A = -B.
+  CmpF, ///< A = -1/0/+1 ordering of doubles B, C (NaN compares as +1).
+  SqrtF, ///< A = sqrt(B); in-ISA so kernels need not call JNI for it.
+
+  // Conversions.
+  I2F,
+  F2I,
+
+  // Control flow. Target is an instruction index within the method.
+  Goto,
+  IfEq, ///< if (B == C) goto Target
+  IfNe,
+  IfLt,
+  IfLe,
+  IfGt,
+  IfGe,
+  IfEqz, ///< if (B == 0) goto Target
+  IfNez,
+  IfLtz,
+  IfLez,
+  IfGtz,
+  IfGez,
+
+  // Calls. A is the destination register or NoReg; B is the method / native
+  // id. Arguments are in Args[0..ArgCount). For virtual calls Args[0] is
+  // the receiver and dispatch goes through the receiver's vtable.
+  InvokeStatic,
+  InvokeVirtual,
+  InvokeNative,
+
+  Ret,     ///< Return register B.
+  RetVoid,
+
+  // Objects. NewInstance: A = new (class B). Field ops use field id B.
+  NewInstance,
+  GetFieldI, ///< A = obj(B).field(C)
+  GetFieldF,
+  GetFieldR,
+  PutFieldI, ///< obj(B).field(C) = A
+  PutFieldF,
+  PutFieldR,
+  GetStaticI, ///< A = static field B
+  GetStaticF,
+  GetStaticR,
+  PutStaticI, ///< static field B = A
+  PutStaticF,
+  PutStaticR,
+
+  // Arrays. NewArray*: A = new T[len reg B]. Loads: A = arr(B)[idx C].
+  // Stores: arr(B)[idx C] = A. All index accesses are bounds checked.
+  NewArrayI,
+  NewArrayF,
+  NewArrayR,
+  ALoadI,
+  ALoadF,
+  ALoadR,
+  AStoreI,
+  AStoreF,
+  AStoreR,
+  ArrayLen, ///< A = length of arr(B)
+
+  OpcodeCount,
+};
+
+/// Register index type; methods are limited to 65535 registers.
+using RegIdx = uint16_t;
+
+/// Sentinel for "no destination register".
+constexpr RegIdx NoReg = 0xffff;
+
+/// Maximum argument count an invoke instruction can carry.
+constexpr unsigned MaxInvokeArgs = 8;
+
+/// One bytecode instruction. Deliberately a flat POD so methods are
+/// cache-friendly vectors of these.
+struct Insn {
+  Opcode Op = Opcode::Nop;
+  RegIdx A = NoReg; ///< Destination (or compared register for If*z).
+  RegIdx B = NoReg; ///< First source / method id low bits (see Idx).
+  RegIdx C = NoReg; ///< Second source.
+  int32_t Target = -1; ///< Branch target (instruction index).
+  uint32_t Idx = 0;    ///< Method/native/field/class id for the ops above.
+  int64_t ImmI = 0;    ///< ConstI payload.
+  double ImmF = 0.0;   ///< ConstF payload.
+  uint8_t ArgCount = 0;
+  RegIdx Args[MaxInvokeArgs] = {};
+};
+
+/// Returns the mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// True for Goto/If* instructions.
+bool isBranch(Opcode Op);
+
+/// True for If* instructions (conditional branches).
+bool isConditionalBranch(Opcode Op);
+
+/// True for Ret/RetVoid.
+bool isReturn(Opcode Op);
+
+/// True for the three invoke opcodes.
+bool isInvoke(Opcode Op);
+
+} // namespace dex
+} // namespace ropt
+
+#endif // ROPT_DEX_BYTECODE_H

@@ -1,0 +1,40 @@
+//===- dex/DexFile.cpp - Linked application image --------------------------===//
+
+#include "dex/DexFile.h"
+
+#include <cassert>
+
+using namespace ropt;
+using namespace ropt::dex;
+
+MethodId DexFile::findMethod(const std::string &Name) const {
+  for (const Method &M : Methods)
+    if (M.Name == Name)
+      return M.Id;
+  return InvalidId;
+}
+
+ClassId DexFile::findClass(const std::string &Name) const {
+  for (const ClassInfo &C : Classes)
+    if (C.Name == Name)
+      return C.Id;
+  return InvalidId;
+}
+
+MethodId DexFile::resolveVirtual(ClassId Receiver, MethodId Declared) const {
+  const Method &M = method(Declared);
+  assert(M.IsVirtual && M.VTableSlot >= 0 && "not a virtual method");
+  const ClassInfo &C = classAt(Receiver);
+  assert(static_cast<size_t>(M.VTableSlot) < C.VTable.size() &&
+         "receiver class does not implement the declared method");
+  return C.VTable[static_cast<size_t>(M.VTableSlot)];
+}
+
+bool DexFile::isSubclassOf(ClassId Sub, ClassId Base) const {
+  while (Sub != InvalidId) {
+    if (Sub == Base)
+      return true;
+    Sub = classAt(Sub).Super;
+  }
+  return false;
+}

@@ -1,0 +1,149 @@
+//===- dex/DexFile.h - Classes, methods, fields, natives --------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The container for a compiled application: classes with single
+/// inheritance and vtables, methods (bytecode or native), instance fields
+/// with fixed 8-byte slots, static fields, and native-method declarations.
+/// The analogue of an Android APK's classes.dex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_DEX_DEXFILE_H
+#define ROPT_DEX_DEXFILE_H
+
+#include "dex/Bytecode.h"
+
+#include <string>
+#include <vector>
+
+namespace ropt {
+namespace dex {
+
+using MethodId = uint32_t;
+using ClassId = uint32_t;
+using FieldId = uint32_t;
+using NativeId = uint32_t;
+using StaticFieldId = uint32_t;
+
+constexpr uint32_t InvalidId = 0xffffffff;
+
+/// Behavioural flags the replayability analysis (Section 3.1) consumes.
+enum MethodFlagBits : uint32_t {
+  MF_None = 0,
+  MF_DoesIO = 1u << 0,         ///< Performs input/output.
+  MF_NonDeterministic = 1u << 1, ///< Clock / PRNG / sensor access.
+  MF_HasTryCatch = 1u << 2,    ///< Contains exception handling.
+  MF_Uncompilable = 1u << 3,   ///< Android-compiler pathological case.
+};
+
+/// An instance field. All fields occupy one 8-byte slot.
+struct FieldInfo {
+  std::string Name;
+  ClassId Owner = InvalidId;
+  Type FieldType = Type::I64;
+  uint32_t SlotIndex = 0; ///< Slot within the object, set at build time.
+};
+
+/// A static (class-level) field, allocated in the process data segment.
+struct StaticFieldInfo {
+  std::string Name;
+  ClassId Owner = InvalidId;
+  Type FieldType = Type::I64;
+  int64_t InitialValue = 0; ///< Bit pattern for F64 initializers too.
+};
+
+/// A native (JNI) method declaration. Implementations are registered with
+/// the VM's native registry by name.
+struct NativeDecl {
+  std::string Name;
+  uint16_t ParamCount = 0;
+  bool ReturnsValue = false;
+  bool DoesIO = false;
+  bool NonDeterministic = false;
+  /// Non-empty when the LLVM backend knows an intrinsic replacement
+  /// (Section 3.5's JNI-math-to-intrinsic optimization), e.g. "sin".
+  std::string IntrinsicKind;
+};
+
+/// One method: either bytecode or a native stub.
+struct Method {
+  std::string Name; ///< Qualified "Class.method" (or plain for free fns).
+  MethodId Id = InvalidId;
+  ClassId Owner = InvalidId; ///< InvalidId for free functions.
+  uint16_t ParamCount = 0;   ///< Includes the receiver for instance methods.
+  uint16_t RegCount = 0;     ///< Total virtual registers (params first).
+  bool ReturnsValue = false;
+  bool IsStatic = true;
+  bool IsVirtual = false;
+  bool IsNative = false;
+  NativeId Native = InvalidId; ///< For native methods.
+  int32_t VTableSlot = -1;     ///< For virtual methods.
+  uint32_t Flags = MF_None;
+  std::vector<Insn> Code;
+
+  bool doesIO() const { return Flags & MF_DoesIO; }
+  bool isNonDeterministic() const { return Flags & MF_NonDeterministic; }
+  bool hasTryCatch() const { return Flags & MF_HasTryCatch; }
+  bool isUncompilable() const { return Flags & MF_Uncompilable; }
+};
+
+/// One class. Single inheritance; InvalidId superclass means root.
+struct ClassInfo {
+  std::string Name;
+  ClassId Id = InvalidId;
+  ClassId Super = InvalidId;
+  std::vector<FieldId> Fields;    ///< Declared here (not inherited).
+  std::vector<MethodId> Methods;  ///< Declared here.
+  std::vector<MethodId> VTable;   ///< Full table incl. inherited slots.
+  uint32_t InstanceSlots = 0;     ///< Total slots incl. inherited.
+};
+
+/// An immutable, fully linked application image.
+class DexFile {
+public:
+  const std::vector<ClassInfo> &classes() const { return Classes; }
+  const std::vector<Method> &methods() const { return Methods; }
+  const std::vector<FieldInfo> &fields() const { return Fields; }
+  const std::vector<StaticFieldInfo> &staticFields() const {
+    return StaticFields;
+  }
+  const std::vector<NativeDecl> &natives() const { return Natives; }
+
+  const ClassInfo &classAt(ClassId Id) const { return Classes.at(Id); }
+  const Method &method(MethodId Id) const { return Methods.at(Id); }
+  const FieldInfo &field(FieldId Id) const { return Fields.at(Id); }
+  const StaticFieldInfo &staticField(StaticFieldId Id) const {
+    return StaticFields.at(Id);
+  }
+  const NativeDecl &native(NativeId Id) const { return Natives.at(Id); }
+
+  /// Finds a method by its qualified name; InvalidId if absent.
+  MethodId findMethod(const std::string &Name) const;
+
+  /// Finds a class by name; InvalidId if absent.
+  ClassId findClass(const std::string &Name) const;
+
+  /// Resolves the vtable target: the implementation \p Receiver's class
+  /// provides for the declared method \p Declared.
+  MethodId resolveVirtual(ClassId Receiver, MethodId Declared) const;
+
+  /// True if \p Sub equals or derives from \p Base.
+  bool isSubclassOf(ClassId Sub, ClassId Base) const;
+
+private:
+  friend class DexBuilder;
+  std::vector<ClassInfo> Classes;
+  std::vector<Method> Methods;
+  std::vector<FieldInfo> Fields;
+  std::vector<StaticFieldInfo> StaticFields;
+  std::vector<NativeDecl> Natives;
+};
+
+} // namespace dex
+} // namespace ropt
+
+#endif // ROPT_DEX_DEXFILE_H

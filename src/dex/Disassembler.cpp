@@ -1,0 +1,86 @@
+//===- dex/Disassembler.cpp - Human-readable bytecode dumps ---------------===//
+
+#include "dex/Disassembler.h"
+
+#include "dex/DexFile.h"
+#include "support/Format.h"
+
+using namespace ropt;
+using namespace ropt::dex;
+
+std::string dex::disassembleInsn(const DexFile &File, const Insn &I) {
+  std::string S = opcodeName(I.Op);
+  auto Reg = [](RegIdx R) {
+    return R == NoReg ? std::string("_") : format("r%u", unsigned(R));
+  };
+  switch (I.Op) {
+  case Opcode::ConstI:
+    return S + format(" %s, %lld", Reg(I.A).c_str(),
+                      static_cast<long long>(I.ImmI));
+  case Opcode::ConstF:
+    return S + format(" %s, %g", Reg(I.A).c_str(), I.ImmF);
+  case Opcode::Goto:
+    return S + format(" -> %d", I.Target);
+  case Opcode::InvokeStatic:
+  case Opcode::InvokeVirtual: {
+    std::string Args;
+    for (unsigned N = 0; N != I.ArgCount; ++N)
+      Args += (N ? ", " : "") + Reg(I.Args[N]);
+    return S + format(" %s, %s(%s)", Reg(I.A).c_str(),
+                      File.method(I.Idx).Name.c_str(), Args.c_str());
+  }
+  case Opcode::InvokeNative: {
+    std::string Args;
+    for (unsigned N = 0; N != I.ArgCount; ++N)
+      Args += (N ? ", " : "") + Reg(I.Args[N]);
+    return S + format(" %s, native:%s(%s)", Reg(I.A).c_str(),
+                      File.native(I.Idx).Name.c_str(), Args.c_str());
+  }
+  case Opcode::NewInstance:
+    return S + format(" %s, %s", Reg(I.A).c_str(),
+                      File.classAt(I.Idx).Name.c_str());
+  case Opcode::GetFieldI:
+  case Opcode::GetFieldF:
+  case Opcode::GetFieldR:
+  case Opcode::PutFieldI:
+  case Opcode::PutFieldF:
+  case Opcode::PutFieldR:
+    return S + format(" %s, %s, %s", Reg(I.A).c_str(), Reg(I.B).c_str(),
+                      File.field(I.Idx).Name.c_str());
+  case Opcode::GetStaticI:
+  case Opcode::GetStaticF:
+  case Opcode::GetStaticR:
+  case Opcode::PutStaticI:
+  case Opcode::PutStaticF:
+  case Opcode::PutStaticR:
+    return S + format(" %s, %s", Reg(I.A).c_str(),
+                      File.staticField(I.Idx).Name.c_str());
+  default:
+    break;
+  }
+  if (isConditionalBranch(I.Op)) {
+    if (I.C != NoReg)
+      return S + format(" %s, %s -> %d", Reg(I.B).c_str(), Reg(I.C).c_str(),
+                        I.Target);
+    return S + format(" %s -> %d", Reg(I.B).c_str(), I.Target);
+  }
+  std::string Out = S;
+  bool First = true;
+  for (RegIdx R : {I.A, I.B, I.C}) {
+    if (R == NoReg)
+      continue;
+    Out += (First ? " " : ", ") + Reg(R);
+    First = false;
+  }
+  return Out;
+}
+
+std::string dex::disassemble(const DexFile &File, const Method &M) {
+  std::string Out = format("%s (params=%u regs=%u)%s\n", M.Name.c_str(),
+                           unsigned(M.ParamCount), unsigned(M.RegCount),
+                           M.IsNative ? " [native]" : "");
+  for (size_t Pc = 0; Pc != M.Code.size(); ++Pc)
+    Out += format("  %4zu: %s\n", Pc,
+                  disassembleInsn(File, M.Code[Pc]).c_str());
+  return Out;
+}

@@ -1,0 +1,33 @@
+//===- dex/Disassembler.h - Human-readable bytecode dumps ------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Debug-oriented textual rendering of bytecode methods.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_DEX_DISASSEMBLER_H
+#define ROPT_DEX_DISASSEMBLER_H
+
+#include <string>
+
+namespace ropt {
+namespace dex {
+
+class DexFile;
+struct Method;
+struct Insn;
+
+/// Renders one instruction, resolving ids against \p File.
+std::string disassembleInsn(const DexFile &File, const Insn &I);
+
+/// Renders a full method listing with instruction indices.
+std::string disassemble(const DexFile &File, const Method &M);
+
+} // namespace dex
+} // namespace ropt
+
+#endif // ROPT_DEX_DISASSEMBLER_H

@@ -1,0 +1,236 @@
+//===- dex/Verifier.cpp - Bytecode well-formedness checks -----------------===//
+
+#include "dex/Verifier.h"
+
+#include "dex/DexFile.h"
+#include "support/Format.h"
+
+using namespace ropt;
+using namespace ropt::dex;
+
+namespace {
+
+/// Collects problems for one method.
+class MethodVerifier {
+public:
+  MethodVerifier(const DexFile &File, const Method &M,
+                 std::vector<std::string> &Out)
+      : File(File), M(M), Out(Out) {}
+
+  void run();
+
+private:
+  void error(size_t Pc, const std::string &Msg) {
+    Out.push_back(format("%s@%zu: %s", M.Name.c_str(), Pc, Msg.c_str()));
+  }
+
+  /// Checks that \p R is a readable/writable register.
+  void checkReg(size_t Pc, RegIdx R, const char *What) {
+    if (R >= M.RegCount)
+      error(Pc, format("%s register r%u out of range (%u regs)", What,
+                       unsigned(R), unsigned(M.RegCount)));
+  }
+
+  void checkTarget(size_t Pc, int32_t Target) {
+    if (Target < 0 || static_cast<size_t>(Target) >= M.Code.size())
+      error(Pc, format("branch target %d out of range", Target));
+  }
+
+  void checkInvoke(size_t Pc, const Insn &I);
+
+  const DexFile &File;
+  const Method &M;
+  std::vector<std::string> &Out;
+};
+
+} // namespace
+
+void MethodVerifier::checkInvoke(size_t Pc, const Insn &I) {
+  for (unsigned N = 0; N != I.ArgCount; ++N)
+    checkReg(Pc, I.Args[N], "argument");
+
+  uint16_t ExpectedParams = 0;
+  bool CalleeReturns = false;
+
+  if (I.Op == Opcode::InvokeNative) {
+    if (I.Idx >= File.natives().size()) {
+      error(Pc, format("unknown native id %u", I.Idx));
+      return;
+    }
+    const NativeDecl &N = File.native(I.Idx);
+    ExpectedParams = N.ParamCount;
+    CalleeReturns = N.ReturnsValue;
+  } else {
+    if (I.Idx >= File.methods().size()) {
+      error(Pc, format("unknown method id %u", I.Idx));
+      return;
+    }
+    const Method &Callee = File.method(I.Idx);
+    ExpectedParams = Callee.ParamCount;
+    CalleeReturns = Callee.ReturnsValue;
+    if (I.Op == Opcode::InvokeVirtual && !Callee.IsVirtual)
+      error(Pc, format("invoke-virtual on non-virtual %s",
+                       Callee.Name.c_str()));
+    if (I.Op == Opcode::InvokeStatic && Callee.IsVirtual)
+      error(Pc, format("invoke-static on virtual %s", Callee.Name.c_str()));
+  }
+
+  if (I.ArgCount != ExpectedParams)
+    error(Pc, format("call passes %u args, callee takes %u",
+                     unsigned(I.ArgCount), unsigned(ExpectedParams)));
+  if (I.A != NoReg) {
+    checkReg(Pc, I.A, "result");
+    if (!CalleeReturns)
+      error(Pc, "result register on void callee");
+  }
+}
+
+void MethodVerifier::run() {
+  if (M.IsNative)
+    return;
+  if (M.Code.empty()) {
+    Out.push_back(format("%s: empty body", M.Name.c_str()));
+    return;
+  }
+  if (M.RegCount < M.ParamCount)
+    Out.push_back(format("%s: fewer registers than parameters",
+                         M.Name.c_str()));
+
+  for (size_t Pc = 0; Pc != M.Code.size(); ++Pc) {
+    const Insn &I = M.Code[Pc];
+    switch (I.Op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::ConstI:
+    case Opcode::ConstF:
+    case Opcode::ConstNull:
+      checkReg(Pc, I.A, "destination");
+      break;
+    case Opcode::Move:
+    case Opcode::NegI:
+    case Opcode::NegF:
+    case Opcode::SqrtF:
+    case Opcode::I2F:
+    case Opcode::F2I:
+    case Opcode::ArrayLen:
+    case Opcode::NewArrayI:
+    case Opcode::NewArrayF:
+    case Opcode::NewArrayR:
+      checkReg(Pc, I.A, "destination");
+      checkReg(Pc, I.B, "source");
+      break;
+    case Opcode::AddI:
+    case Opcode::SubI:
+    case Opcode::MulI:
+    case Opcode::DivI:
+    case Opcode::RemI:
+    case Opcode::AndI:
+    case Opcode::OrI:
+    case Opcode::XorI:
+    case Opcode::ShlI:
+    case Opcode::ShrI:
+    case Opcode::AddF:
+    case Opcode::SubF:
+    case Opcode::MulF:
+    case Opcode::DivF:
+    case Opcode::CmpF:
+      checkReg(Pc, I.A, "destination");
+      checkReg(Pc, I.B, "source");
+      checkReg(Pc, I.C, "source");
+      break;
+    case Opcode::Goto:
+      checkTarget(Pc, I.Target);
+      break;
+    case Opcode::IfEq:
+    case Opcode::IfNe:
+    case Opcode::IfLt:
+    case Opcode::IfLe:
+    case Opcode::IfGt:
+    case Opcode::IfGe:
+      checkReg(Pc, I.B, "compared");
+      checkReg(Pc, I.C, "compared");
+      checkTarget(Pc, I.Target);
+      break;
+    case Opcode::IfEqz:
+    case Opcode::IfNez:
+    case Opcode::IfLtz:
+    case Opcode::IfLez:
+    case Opcode::IfGtz:
+    case Opcode::IfGez:
+      checkReg(Pc, I.B, "compared");
+      checkTarget(Pc, I.Target);
+      break;
+    case Opcode::InvokeStatic:
+    case Opcode::InvokeVirtual:
+    case Opcode::InvokeNative:
+      checkInvoke(Pc, I);
+      break;
+    case Opcode::Ret:
+      checkReg(Pc, I.B, "returned");
+      if (!M.ReturnsValue)
+        error(Pc, "ret in void method");
+      break;
+    case Opcode::RetVoid:
+      if (M.ReturnsValue)
+        error(Pc, "ret-void in value-returning method");
+      break;
+    case Opcode::NewInstance:
+      checkReg(Pc, I.A, "destination");
+      if (I.Idx >= File.classes().size())
+        error(Pc, format("unknown class id %u", I.Idx));
+      break;
+    case Opcode::GetFieldI:
+    case Opcode::GetFieldF:
+    case Opcode::GetFieldR:
+    case Opcode::PutFieldI:
+    case Opcode::PutFieldF:
+    case Opcode::PutFieldR:
+      checkReg(Pc, I.A, "value");
+      checkReg(Pc, I.B, "object");
+      if (I.Idx >= File.fields().size())
+        error(Pc, format("unknown field id %u", I.Idx));
+      break;
+    case Opcode::GetStaticI:
+    case Opcode::GetStaticF:
+    case Opcode::GetStaticR:
+    case Opcode::PutStaticI:
+    case Opcode::PutStaticF:
+    case Opcode::PutStaticR:
+      checkReg(Pc, I.A, "value");
+      if (I.Idx >= File.staticFields().size())
+        error(Pc, format("unknown static field id %u", I.Idx));
+      break;
+    case Opcode::ALoadI:
+    case Opcode::ALoadF:
+    case Opcode::ALoadR:
+    case Opcode::AStoreI:
+    case Opcode::AStoreF:
+    case Opcode::AStoreR:
+      checkReg(Pc, I.A, "value");
+      checkReg(Pc, I.B, "array");
+      checkReg(Pc, I.C, "index");
+      break;
+    case Opcode::OpcodeCount:
+      error(Pc, "invalid opcode");
+      break;
+    }
+  }
+
+  // No fall-through off the end: the last instruction must divert control.
+  Opcode Last = M.Code.back().Op;
+  if (!isReturn(Last) && Last != Opcode::Goto)
+    Out.push_back(
+        format("%s: control can fall off the end", M.Name.c_str()));
+}
+
+void dex::verifyMethod(const DexFile &File, const Method &M,
+                       std::vector<std::string> &Out) {
+  MethodVerifier(File, M, Out).run();
+}
+
+std::vector<std::string> dex::verify(const DexFile &File) {
+  std::vector<std::string> Problems;
+  for (const Method &M : File.methods())
+    verifyMethod(File, M, Problems);
+  return Problems;
+}

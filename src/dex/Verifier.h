@@ -1,0 +1,37 @@
+//===- dex/Verifier.h - Bytecode well-formedness checks ---------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification of a linked DexFile: register bounds, branch
+/// target validity, call signature agreement, and return discipline. Run
+/// automatically by DexBuilder::build().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_DEX_VERIFIER_H
+#define ROPT_DEX_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace ropt {
+namespace dex {
+
+class DexFile;
+struct Method;
+
+/// Verifies every method body; returns human-readable problems (empty when
+/// the file is well formed).
+std::vector<std::string> verify(const DexFile &File);
+
+/// Verifies a single method against \p File; appends problems to \p Out.
+void verifyMethod(const DexFile &File, const Method &M,
+                  std::vector<std::string> &Out);
+
+} // namespace dex
+} // namespace ropt
+
+#endif // ROPT_DEX_VERIFIER_H

@@ -1,0 +1,29 @@
+//===- hgraph/AndroidCompiler.cpp - The stock compiler driver --------------===//
+
+#include "hgraph/AndroidCompiler.h"
+
+#include "hgraph/Build.h"
+#include "hgraph/Codegen.h"
+#include "hgraph/Passes.h"
+
+using namespace ropt;
+using namespace ropt::hgraph;
+
+std::shared_ptr<vm::MachineFunction>
+hgraph::compileMethodAndroid(const dex::DexFile &File,
+                             dex::MethodId Method) {
+  const dex::Method &M = File.method(Method);
+  if (M.IsNative || M.isUncompilable())
+    return nullptr;
+  HGraph G = buildHGraph(File, Method);
+  runAndroidPipeline(G, File);
+  return emitMachine(G, RegAllocKind::Frequency);
+}
+
+void hgraph::compileAllAndroid(const dex::DexFile &File,
+                               const std::vector<dex::MethodId> &Methods,
+                               vm::CodeCache &Cache) {
+  for (dex::MethodId Id : Methods)
+    if (auto Fn = compileMethodAndroid(File, Id))
+      Cache.install(std::move(Fn));
+}

@@ -1,0 +1,41 @@
+//===- hgraph/AndroidCompiler.h - The stock compiler driver -----*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The out-of-the-box compiler: buildHGraph -> conservative pass pipeline
+/// -> code generation. This is the baseline every speedup in the paper is
+/// measured against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_HGRAPH_ANDROID_COMPILER_H
+#define ROPT_HGRAPH_ANDROID_COMPILER_H
+
+#include "dex/DexFile.h"
+#include "vm/Machine.h"
+
+#include <memory>
+#include <vector>
+
+namespace ropt {
+namespace hgraph {
+
+/// Compiles one method with the stock pipeline. Returns nullptr for
+/// methods the Android compiler cannot process (natives, methods flagged
+/// MF_Uncompilable — the paper's "pathological cases").
+std::shared_ptr<vm::MachineFunction>
+compileMethodAndroid(const dex::DexFile &File, dex::MethodId Method);
+
+/// Compiles every given method, installing results into \p Cache
+/// (uncompilable methods are skipped and stay interpreted).
+void compileAllAndroid(const dex::DexFile &File,
+                       const std::vector<dex::MethodId> &Methods,
+                       vm::CodeCache &Cache);
+
+} // namespace hgraph
+} // namespace ropt
+
+#endif // ROPT_HGRAPH_ANDROID_COMPILER_H

@@ -1,0 +1,301 @@
+//===- hgraph/Build.cpp - Bytecode to HGraph construction ------------------===//
+
+#include "hgraph/Build.h"
+
+#include "vm/Heap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace ropt;
+using namespace ropt::hgraph;
+using namespace ropt::dex;
+using vm::MInsn;
+using vm::MNoReg;
+using vm::MOpcode;
+
+namespace {
+
+/// Translates one If* bytecode opcode to the matching machine branch.
+MOpcode branchOpcode(Opcode Op) {
+  switch (Op) {
+  case Opcode::IfEq: case Opcode::IfEqz: return MOpcode::MIfEq;
+  case Opcode::IfNe: case Opcode::IfNez: return MOpcode::MIfNe;
+  case Opcode::IfLt: case Opcode::IfLtz: return MOpcode::MIfLt;
+  case Opcode::IfLe: case Opcode::IfLez: return MOpcode::MIfLe;
+  case Opcode::IfGt: case Opcode::IfGtz: return MOpcode::MIfGt;
+  default: return MOpcode::MIfGe;
+  }
+}
+
+/// Simple 1:1 opcode translations.
+bool directOpcode(Opcode Op, MOpcode &Out) {
+  switch (Op) {
+  case Opcode::Move: Out = MOpcode::MMov; return true;
+  case Opcode::AddI: Out = MOpcode::MAddI; return true;
+  case Opcode::SubI: Out = MOpcode::MSubI; return true;
+  case Opcode::MulI: Out = MOpcode::MMulI; return true;
+  case Opcode::AndI: Out = MOpcode::MAndI; return true;
+  case Opcode::OrI: Out = MOpcode::MOrI; return true;
+  case Opcode::XorI: Out = MOpcode::MXorI; return true;
+  case Opcode::ShlI: Out = MOpcode::MShlI; return true;
+  case Opcode::ShrI: Out = MOpcode::MShrI; return true;
+  case Opcode::NegI: Out = MOpcode::MNegI; return true;
+  case Opcode::AddF: Out = MOpcode::MAddF; return true;
+  case Opcode::SubF: Out = MOpcode::MSubF; return true;
+  case Opcode::MulF: Out = MOpcode::MMulF; return true;
+  case Opcode::DivF: Out = MOpcode::MDivF; return true;
+  case Opcode::NegF: Out = MOpcode::MNegF; return true;
+  case Opcode::CmpF: Out = MOpcode::MCmpF; return true;
+  case Opcode::SqrtF: Out = MOpcode::MSqrtF; return true;
+  case Opcode::I2F: Out = MOpcode::MI2F; return true;
+  case Opcode::F2I: Out = MOpcode::MF2I; return true;
+  default: return false;
+  }
+}
+
+MInsn make(MOpcode Op, vm::MRegIdx A = MNoReg, vm::MRegIdx B = MNoReg,
+           vm::MRegIdx C = MNoReg) {
+  MInsn I;
+  I.Op = Op;
+  I.A = A;
+  I.B = B;
+  I.C = C;
+  return I;
+}
+
+} // namespace
+
+HGraph hgraph::buildHGraph(const DexFile &File, MethodId Method) {
+  const dex::Method &M = File.method(Method);
+  assert(!M.IsNative && "cannot build a graph for a native method");
+
+  HGraph G;
+  G.Method = Method;
+  G.Name = M.Name;
+  G.NumRegs = M.RegCount;
+  G.ParamCount = M.ParamCount;
+  G.ReturnsValue = M.ReturnsValue;
+
+  // --- Leader detection ----------------------------------------------------
+  std::map<uint32_t, uint32_t> LeaderToBlock; // bytecode pc -> block id
+  LeaderToBlock[0] = 0;
+  for (size_t Pc = 0; Pc != M.Code.size(); ++Pc) {
+    const Insn &I = M.Code[Pc];
+    if (dex::isBranch(I.Op)) {
+      LeaderToBlock[static_cast<uint32_t>(I.Target)] = 0;
+      if (Pc + 1 < M.Code.size())
+        LeaderToBlock[static_cast<uint32_t>(Pc + 1)] = 0;
+    } else if (dex::isReturn(I.Op) && Pc + 1 < M.Code.size()) {
+      LeaderToBlock[static_cast<uint32_t>(Pc + 1)] = 0;
+    }
+  }
+  uint32_t NextId = 0;
+  for (auto &KV : LeaderToBlock)
+    KV.second = NextId++;
+  G.Blocks.resize(LeaderToBlock.size());
+
+  auto BlockAt = [&LeaderToBlock](uint32_t Pc) {
+    auto It = LeaderToBlock.find(Pc);
+    assert(It != LeaderToBlock.end() && "branch to a non-leader pc");
+    return It->second;
+  };
+
+  // --- Translation -----------------------------------------------------------
+  for (auto It = LeaderToBlock.begin(); It != LeaderToBlock.end(); ++It) {
+    uint32_t StartPc = It->first;
+    uint32_t BlockId = It->second;
+    auto NextIt = std::next(It);
+    uint32_t EndPc = NextIt == LeaderToBlock.end()
+                         ? static_cast<uint32_t>(M.Code.size())
+                         : NextIt->first;
+    HBlock &B = G.Blocks[BlockId];
+    B.StartPc = StartPc;
+    bool Terminated = false;
+
+    for (uint32_t Pc = StartPc; Pc != EndPc && !Terminated; ++Pc) {
+      const Insn &I = M.Code[Pc];
+      MOpcode Direct;
+      if (directOpcode(I.Op, Direct)) {
+        B.Insns.push_back(make(Direct, I.A, I.B, I.C));
+        continue;
+      }
+      switch (I.Op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::ConstI: {
+        MInsn MI = make(MOpcode::MMovImmI, I.A);
+        MI.ImmI = I.ImmI;
+        B.Insns.push_back(MI);
+        break;
+      }
+      case Opcode::ConstF: {
+        MInsn MI = make(MOpcode::MMovImmF, I.A);
+        MI.ImmF = I.ImmF;
+        B.Insns.push_back(MI);
+        break;
+      }
+      case Opcode::ConstNull: {
+        MInsn MI = make(MOpcode::MMovImmI, I.A);
+        MI.ImmI = 0;
+        B.Insns.push_back(MI);
+        break;
+      }
+      case Opcode::DivI:
+      case Opcode::RemI:
+        B.Insns.push_back(make(MOpcode::MCheckDiv, MNoReg, I.C));
+        B.Insns.push_back(make(I.Op == Opcode::DivI ? MOpcode::MDivI
+                                                    : MOpcode::MRemI,
+                               I.A, I.B, I.C));
+        break;
+
+      case Opcode::Goto:
+        B.Term.K = Terminator::Kind::Goto;
+        B.Term.Taken = BlockAt(static_cast<uint32_t>(I.Target));
+        Terminated = true;
+        break;
+      case Opcode::IfEq: case Opcode::IfNe: case Opcode::IfLt:
+      case Opcode::IfLe: case Opcode::IfGt: case Opcode::IfGe:
+      case Opcode::IfEqz: case Opcode::IfNez: case Opcode::IfLtz:
+      case Opcode::IfLez: case Opcode::IfGtz: case Opcode::IfGez:
+        B.Term.K = Terminator::Kind::Cond;
+        B.Term.CondOp = branchOpcode(I.Op);
+        B.Term.B = I.B;
+        B.Term.C = I.C;
+        B.Term.Taken = BlockAt(static_cast<uint32_t>(I.Target));
+        B.Term.Fall = BlockAt(Pc + 1);
+        Terminated = true;
+        break;
+
+      case Opcode::Ret:
+        B.Term.K = Terminator::Kind::Ret;
+        B.Term.B = I.B;
+        Terminated = true;
+        break;
+      case Opcode::RetVoid:
+        B.Term.K = Terminator::Kind::RetVoid;
+        Terminated = true;
+        break;
+
+      case Opcode::InvokeStatic:
+      case Opcode::InvokeVirtual:
+      case Opcode::InvokeNative: {
+        MInsn Call;
+        if (I.Op == Opcode::InvokeVirtual) {
+          B.Insns.push_back(make(MOpcode::MCheckNull, MNoReg, I.Args[0]));
+          Call.Op = MOpcode::MCallVirtual;
+        } else {
+          Call.Op = I.Op == Opcode::InvokeStatic ? MOpcode::MCallStatic
+                                                 : MOpcode::MCallNative;
+        }
+        Call.A = I.A == dex::NoReg ? MNoReg : I.A;
+        Call.Idx = I.Idx;
+        Call.Site = Pc; // profile key for speculative devirtualization
+        Call.ArgCount = I.ArgCount;
+        for (unsigned N = 0; N != I.ArgCount; ++N)
+          Call.Args[N] = I.Args[N];
+        B.Insns.push_back(Call);
+        break;
+      }
+
+      case Opcode::NewInstance: {
+        MInsn MI = make(MOpcode::MNewInstance, I.A);
+        MI.Idx = I.Idx;
+        B.Insns.push_back(MI);
+        break;
+      }
+      case Opcode::NewArrayI:
+      case Opcode::NewArrayF:
+      case Opcode::NewArrayR: {
+        MInsn MI = make(MOpcode::MNewArray, I.A, I.B);
+        MI.Idx = static_cast<uint32_t>(
+            I.Op == Opcode::NewArrayI   ? vm::ObjKind::ArrayI
+            : I.Op == Opcode::NewArrayF ? vm::ObjKind::ArrayF
+                                        : vm::ObjKind::ArrayR);
+        B.Insns.push_back(MI);
+        break;
+      }
+
+      case Opcode::ALoadI: case Opcode::ALoadF: case Opcode::ALoadR:
+        B.Insns.push_back(make(MOpcode::MCheckNull, MNoReg, I.B));
+        B.Insns.push_back(make(MOpcode::MCheckBounds, MNoReg, I.B, I.C));
+        B.Insns.push_back(make(MOpcode::MALoad, I.A, I.B, I.C));
+        break;
+      case Opcode::AStoreI: case Opcode::AStoreF: case Opcode::AStoreR:
+        B.Insns.push_back(make(MOpcode::MCheckNull, MNoReg, I.B));
+        B.Insns.push_back(make(MOpcode::MCheckBounds, MNoReg, I.B, I.C));
+        B.Insns.push_back(make(MOpcode::MAStore, I.A, I.B, I.C));
+        break;
+      case Opcode::ArrayLen:
+        B.Insns.push_back(make(MOpcode::MCheckNull, MNoReg, I.B));
+        B.Insns.push_back(make(MOpcode::MArrayLen, I.A, I.B));
+        break;
+
+      case Opcode::GetFieldI: case Opcode::GetFieldF:
+      case Opcode::GetFieldR: {
+        B.Insns.push_back(make(MOpcode::MCheckNull, MNoReg, I.B));
+        MInsn MI = make(MOpcode::MLoadSlot, I.A, I.B);
+        MI.Idx = File.field(I.Idx).SlotIndex;
+        B.Insns.push_back(MI);
+        break;
+      }
+      case Opcode::PutFieldI: case Opcode::PutFieldF:
+      case Opcode::PutFieldR: {
+        B.Insns.push_back(make(MOpcode::MCheckNull, MNoReg, I.B));
+        MInsn MI = make(MOpcode::MStoreSlot, I.A, I.B);
+        MI.Idx = File.field(I.Idx).SlotIndex;
+        B.Insns.push_back(MI);
+        break;
+      }
+      case Opcode::GetStaticI: case Opcode::GetStaticF:
+      case Opcode::GetStaticR: {
+        MInsn MI = make(MOpcode::MLoadStatic, I.A);
+        MI.Idx = I.Idx;
+        B.Insns.push_back(MI);
+        break;
+      }
+      case Opcode::PutStaticI: case Opcode::PutStaticF:
+      case Opcode::PutStaticR: {
+        MInsn MI = make(MOpcode::MStoreStatic, I.A);
+        MI.Idx = I.Idx;
+        B.Insns.push_back(MI);
+        break;
+      }
+
+      default:
+        // Opcodes with a direct translation were handled before the
+        // switch; anything else here is a builder bug.
+        assert(false && "unhandled opcode in HGraph construction");
+        break;
+      }
+    }
+
+    // Fell through to the next leader: explicit goto.
+    if (!Terminated) {
+      assert(EndPc < M.Code.size() && "verified code cannot fall off");
+      B.Term.K = Terminator::Kind::Goto;
+      B.Term.Taken = BlockAt(EndPc);
+    }
+  }
+
+  // --- Safepoints ---------------------------------------------------------
+  // Method entry poll, and a poll on every loop back edge (a terminator
+  // that targets a block starting at a lower or equal bytecode pc).
+  G.Blocks[0].Insns.insert(G.Blocks[0].Insns.begin(),
+                           make(MOpcode::MSafepoint));
+  for (HBlock &B : G.Blocks) {
+    bool BackEdge = false;
+    for (uint32_t Succ : B.Term.successors())
+      if (G.Blocks[Succ].StartPc <= B.StartPc)
+        BackEdge = true;
+    if (BackEdge)
+      B.Insns.push_back(make(MOpcode::MSafepoint));
+  }
+
+  G.computePreds();
+  std::string Error;
+  [[maybe_unused]] bool Ok = G.verify(Error);
+  assert(Ok && "builder produced a malformed graph");
+  return G;
+}

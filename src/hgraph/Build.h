@@ -1,0 +1,31 @@
+//===- hgraph/Build.h - Bytecode to HGraph construction ---------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the HGraph for a bytecode method, materializing the implicit
+/// runtime semantics as explicit instructions: null checks before object
+/// and array accesses, bounds checks before indexing, divisor checks before
+/// division, a GC safepoint at method entry and on every loop back edge.
+/// This is the form every downstream compiler pipeline starts from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_HGRAPH_BUILD_H
+#define ROPT_HGRAPH_BUILD_H
+
+#include "hgraph/Hir.h"
+
+namespace ropt {
+namespace hgraph {
+
+/// Builds the HGraph of \p Method. The method must be verified bytecode
+/// (not native). Aborts on malformed input — run the dex verifier first.
+HGraph buildHGraph(const dex::DexFile &File, dex::MethodId Method);
+
+} // namespace hgraph
+} // namespace ropt
+
+#endif // ROPT_HGRAPH_BUILD_H

@@ -1,0 +1,125 @@
+//===- hgraph/Codegen.cpp - HGraph to machine code --------------------------===//
+
+#include "hgraph/Codegen.h"
+
+#include "vm/MachineUtil.h"
+
+#include <cassert>
+
+using namespace ropt;
+using namespace ropt::hgraph;
+using vm::MInsn;
+using vm::MNoReg;
+using vm::MOpcode;
+
+std::shared_ptr<vm::MachineFunction>
+hgraph::emitMachine(const HGraph &G, RegAllocKind RegAlloc) {
+  auto Fn = std::make_shared<vm::MachineFunction>();
+  Fn->Method = G.Method;
+  Fn->Name = G.Name;
+  Fn->NumRegs = G.NumRegs;
+  Fn->ParamCount = G.ParamCount;
+  Fn->ReturnsValue = G.ReturnsValue;
+
+  // Layout: reachable blocks in reverse post order keeps fallthroughs
+  // mostly adjacent and drops unreachable blocks.
+  std::vector<uint32_t> Order = G.reversePostOrder();
+  std::vector<int32_t> BlockStart(G.Blocks.size(), -1);
+  std::vector<size_t> LayoutPos(G.Blocks.size(), ~size_t(0));
+  for (size_t Pos = 0; Pos != Order.size(); ++Pos)
+    LayoutPos[Order[Pos]] = Pos;
+
+  struct Fixup {
+    size_t InsnIndex;
+    uint32_t Block;
+  };
+  std::vector<Fixup> Fixups;
+
+  for (size_t Pos = 0; Pos != Order.size(); ++Pos) {
+    uint32_t Id = Order[Pos];
+    const HBlock &B = G.Blocks[Id];
+    BlockStart[Id] = static_cast<int32_t>(Fn->Code.size());
+    for (const MInsn &I : B.Insns)
+      if (I.Op != MOpcode::MNop)
+        Fn->Code.push_back(I);
+
+    uint32_t NextInLayout =
+        Pos + 1 < Order.size() ? Order[Pos + 1] : ~0u;
+
+    const Terminator &T = B.Term;
+    switch (T.K) {
+    case Terminator::Kind::Goto:
+      if (T.Taken != NextInLayout) {
+        MInsn J;
+        J.Op = MOpcode::MGoto;
+        Fn->Code.push_back(J);
+        Fixups.push_back({Fn->Code.size() - 1, T.Taken});
+      }
+      break;
+    case Terminator::Kind::Cond: {
+      MInsn Br;
+      Br.Op = T.CondOp;
+      Br.B = T.B;
+      Br.C = T.C;
+      Br.Hint = T.Hint;
+      Fn->Code.push_back(Br);
+      Fixups.push_back({Fn->Code.size() - 1, T.Taken});
+      if (T.Fall != NextInLayout) {
+        MInsn J;
+        J.Op = MOpcode::MGoto;
+        Fn->Code.push_back(J);
+        Fixups.push_back({Fn->Code.size() - 1, T.Fall});
+      }
+      break;
+    }
+    case Terminator::Kind::Guard: {
+      MInsn Guard;
+      Guard.Op = MOpcode::MGuardClass;
+      Guard.B = T.B;
+      Guard.Idx = T.GuardClass;
+      Fn->Code.push_back(Guard);
+      Fixups.push_back({Fn->Code.size() - 1, T.Taken});
+      if (T.Fall != NextInLayout) {
+        MInsn J;
+        J.Op = MOpcode::MGoto;
+        Fn->Code.push_back(J);
+        Fixups.push_back({Fn->Code.size() - 1, T.Fall});
+      }
+      break;
+    }
+    case Terminator::Kind::Ret: {
+      MInsn R;
+      R.Op = MOpcode::MRet;
+      R.B = T.B;
+      Fn->Code.push_back(R);
+      break;
+    }
+    case Terminator::Kind::RetVoid: {
+      MInsn R;
+      R.Op = MOpcode::MRetVoid;
+      Fn->Code.push_back(R);
+      break;
+    }
+    }
+  }
+
+  for (const Fixup &F : Fixups) {
+    assert(BlockStart[F.Block] >= 0 && "branch to unlaid block");
+    Fn->Code[F.InsnIndex].Target = BlockStart[F.Block];
+  }
+
+  switch (RegAlloc) {
+  case RegAllocKind::LinearScan:
+    vm::allocateRegistersLinearScan(*Fn);
+    break;
+  case RegAllocKind::Frequency:
+    vm::compactRegistersByFrequency(*Fn);
+    break;
+  case RegAllocKind::FirstUse:
+    vm::compactRegistersByFirstUse(*Fn);
+    break;
+  case RegAllocKind::None:
+    break;
+  }
+  return Fn;
+}

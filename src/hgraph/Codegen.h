@@ -1,0 +1,40 @@
+//===- hgraph/Codegen.h - HGraph to machine code -----------------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linearizes an HGraph into an executable vm::MachineFunction: lays out
+/// blocks, lowers terminators to branch instructions, patches targets, and
+/// compacts virtual registers into the physical file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_HGRAPH_CODEGEN_H
+#define ROPT_HGRAPH_CODEGEN_H
+
+#include "hgraph/Hir.h"
+
+#include <memory>
+
+namespace ropt {
+namespace hgraph {
+
+/// Register-compaction strategy applied at emission.
+enum class RegAllocKind {
+  LinearScan, ///< Live-interval allocation (default, strongest).
+  Frequency,  ///< Hot registers get the physical file.
+  FirstUse,   ///< Weaker first-come allocation.
+  None,       ///< Keep virtual numbering (worst case; many spills).
+};
+
+/// Emits executable code for \p G.
+std::shared_ptr<vm::MachineFunction>
+emitMachine(const HGraph &G,
+            RegAllocKind RegAlloc = RegAllocKind::LinearScan);
+
+} // namespace hgraph
+} // namespace ropt
+
+#endif // ROPT_HGRAPH_CODEGEN_H

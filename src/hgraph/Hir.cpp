@@ -1,0 +1,163 @@
+//===- hgraph/Hir.cpp - HGraph: block-structured compiler IR ---------------===//
+
+#include "hgraph/Hir.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace ropt;
+using namespace ropt::hgraph;
+using vm::MInsn;
+using vm::MNoReg;
+using vm::MOpcode;
+using vm::MRegIdx;
+
+std::vector<uint32_t> Terminator::successors() const {
+  switch (K) {
+  case Kind::Goto:
+    return {Taken};
+  case Kind::Cond:
+  case Kind::Guard:
+    return {Taken, Fall};
+  case Kind::Ret:
+  case Kind::RetVoid:
+    return {};
+  }
+  return {};
+}
+
+void HGraph::computePreds() {
+  for (HBlock &B : Blocks)
+    B.Preds.clear();
+  for (uint32_t Id = 0; Id != Blocks.size(); ++Id)
+    for (uint32_t Succ : Blocks[Id].Term.successors())
+      Blocks[Succ].Preds.push_back(Id);
+}
+
+std::vector<uint32_t> HGraph::reversePostOrder() const {
+  std::vector<uint8_t> State(Blocks.size(), 0); // 0 unseen, 1 open, 2 done
+  std::vector<uint32_t> PostOrder;
+  PostOrder.reserve(Blocks.size());
+  // Iterative DFS with an explicit stack of (block, next-successor).
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  Stack.emplace_back(0, 0);
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[Block, NextSucc] = Stack.back();
+    std::vector<uint32_t> Succs = Blocks[Block].Term.successors();
+    if (NextSucc < Succs.size()) {
+      uint32_t S = Succs[NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    State[Block] = 2;
+    PostOrder.push_back(Block);
+    Stack.pop_back();
+  }
+  return std::vector<uint32_t>(PostOrder.rbegin(), PostOrder.rend());
+}
+
+size_t HGraph::instructionCount() const {
+  size_t Count = 0;
+  for (const HBlock &B : Blocks)
+    Count += B.Insns.size();
+  return Count;
+}
+
+bool HGraph::verify(std::string &Error) const {
+  Error.clear();
+  if (Blocks.empty()) {
+    Error = "graph has no blocks";
+    return false;
+  }
+  auto RegOk = [this](MRegIdx R) { return R == MNoReg || R < NumRegs; };
+  for (uint32_t Id = 0; Id != Blocks.size(); ++Id) {
+    const HBlock &B = Blocks[Id];
+    for (const MInsn &I : B.Insns) {
+      if (vm::isMBranch(I.Op) || I.Op == MOpcode::MRet ||
+          I.Op == MOpcode::MRetVoid || I.Op == MOpcode::MGuardClass) {
+        Error = format("block %u: control-flow opcode %s inside body", Id,
+                       vm::mopcodeName(I.Op));
+        return false;
+      }
+      if (!RegOk(I.A) || !RegOk(I.B) || !RegOk(I.C)) {
+        Error = format("block %u: register out of range in %s", Id,
+                       vm::mopcodeName(I.Op));
+        return false;
+      }
+      for (unsigned N = 0; N != I.ArgCount; ++N)
+        if (!RegOk(I.Args[N])) {
+          Error = format("block %u: call argument out of range", Id);
+          return false;
+        }
+    }
+    for (uint32_t Succ : B.Term.successors())
+      if (Succ >= Blocks.size()) {
+        Error = format("block %u: successor %u out of range", Id, Succ);
+        return false;
+      }
+    if (B.Term.K == Terminator::Kind::Cond && !vm::isMCondBranch(B.Term.CondOp)) {
+      Error = format("block %u: Cond terminator with non-branch opcode", Id);
+      return false;
+    }
+    if ((B.Term.K == Terminator::Kind::Cond ||
+         B.Term.K == Terminator::Kind::Guard || B.Term.K == Terminator::Kind::Ret) &&
+        !RegOk(B.Term.B)) {
+      Error = format("block %u: terminator register out of range", Id);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string hgraph::dump(const HGraph &G) {
+  std::string Out =
+      format("hgraph %s (regs=%u params=%u)\n", G.Name.c_str(),
+             unsigned(G.NumRegs), unsigned(G.ParamCount));
+  for (uint32_t Id = 0; Id != G.Blocks.size(); ++Id) {
+    const HBlock &B = G.Blocks[Id];
+    Out += format("bb%u:\n", Id);
+    for (const MInsn &I : B.Insns) {
+      Out += format("  %s", vm::mopcodeName(I.Op));
+      if (I.A != MNoReg)
+        Out += format(" r%u", unsigned(I.A));
+      if (I.B != MNoReg)
+        Out += format(", r%u", unsigned(I.B));
+      if (I.C != MNoReg)
+        Out += format(", r%u", unsigned(I.C));
+      if (I.Op == MOpcode::MMovImmI)
+        Out += format(", #%lld", static_cast<long long>(I.ImmI));
+      if (I.Op == MOpcode::MMovImmF)
+        Out += format(", #%g", I.ImmF);
+      Out += "\n";
+    }
+    const Terminator &T = B.Term;
+    switch (T.K) {
+    case Terminator::Kind::Goto:
+      Out += format("  goto bb%u\n", T.Taken);
+      break;
+    case Terminator::Kind::Cond:
+      Out += format("  %s r%u%s -> bb%u else bb%u\n",
+                    vm::mopcodeName(T.CondOp), unsigned(T.B),
+                    T.C == MNoReg ? ""
+                                  : format(", r%u", unsigned(T.C)).c_str(),
+                    T.Taken, T.Fall);
+      break;
+    case Terminator::Kind::Guard:
+      Out += format("  guard-class r%u == class%u ? bb%u : bb%u\n",
+                    unsigned(T.B), T.GuardClass, T.Fall, T.Taken);
+      break;
+    case Terminator::Kind::Ret:
+      Out += format("  ret r%u\n", unsigned(T.B));
+      break;
+    case Terminator::Kind::RetVoid:
+      Out += "  ret-void\n";
+      break;
+    }
+  }
+  return Out;
+}

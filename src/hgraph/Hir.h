@@ -1,0 +1,99 @@
+//===- hgraph/Hir.h - HGraph: block-structured compiler IR ------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Our analogue of ART's HGraph: a control-flow graph over machine-level
+/// operations with *explicit* runtime checks (null/bounds/div), GC
+/// safepoints, and guards. Built from bytecode by buildHGraph(); consumed
+/// by the conservative Android pass pipeline, by the Android code
+/// generator, and by the LLVM backend's HGraph-to-LIR translation
+/// (Section 3.5).
+///
+/// Blocks hold straight-line vm::MInsn sequences (no branches inside); all
+/// control flow lives in the block terminator, which references successor
+/// *block ids* until code generation linearizes everything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_HGRAPH_HIR_H
+#define ROPT_HGRAPH_HIR_H
+
+#include "dex/DexFile.h"
+#include "vm/Machine.h"
+
+#include <string>
+#include <vector>
+
+namespace ropt {
+namespace hgraph {
+
+/// How a block ends.
+struct Terminator {
+  enum class Kind {
+    Goto,    ///< Unconditional jump to Taken.
+    Cond,    ///< CondOp over (B, C); true -> Taken, false -> Fall.
+    Guard,   ///< Class guard on B against GuardClass; mismatch -> Taken
+             ///< (slow path), match -> Fall.
+    Ret,     ///< Return register B.
+    RetVoid,
+  };
+
+  Kind K = Kind::RetVoid;
+  vm::MOpcode CondOp = vm::MOpcode::MNop; ///< One of the MIf* opcodes.
+  vm::MRegIdx B = vm::MNoReg;
+  vm::MRegIdx C = vm::MNoReg;
+  vm::BranchHint Hint = vm::BranchHint::None;
+  uint32_t Taken = 0;
+  uint32_t Fall = 0;
+  uint32_t GuardClass = 0;
+
+  /// Successor block ids in evaluation order.
+  std::vector<uint32_t> successors() const;
+};
+
+/// One basic block.
+struct HBlock {
+  std::vector<vm::MInsn> Insns; ///< Straight-line body (no control flow).
+  Terminator Term;
+  std::vector<uint32_t> Preds; ///< Filled by HGraph::computePreds().
+  uint32_t StartPc = 0; ///< Bytecode pc this block started at (build info).
+};
+
+/// A function in HGraph form.
+class HGraph {
+public:
+  dex::MethodId Method = dex::InvalidId;
+  std::string Name;
+  uint16_t NumRegs = 0;
+  uint16_t ParamCount = 0;
+  bool ReturnsValue = false;
+  std::vector<HBlock> Blocks; ///< Block 0 is the entry.
+
+  /// Allocates a fresh virtual register.
+  vm::MRegIdx newReg() { return NumRegs++; }
+
+  /// Recomputes every block's predecessor list.
+  void computePreds();
+
+  /// Reverse-post-order over reachable blocks, starting at the entry.
+  std::vector<uint32_t> reversePostOrder() const;
+
+  /// Structural sanity check: successor ids in range, terminator operands
+  /// in range, no branch opcodes inside block bodies. Returns true and
+  /// leaves \p Error empty when well formed.
+  bool verify(std::string &Error) const;
+
+  /// Total instruction count (bodies only).
+  size_t instructionCount() const;
+};
+
+/// Renders a debug listing.
+std::string dump(const HGraph &G);
+
+} // namespace hgraph
+} // namespace ropt
+
+#endif // ROPT_HGRAPH_HIR_H

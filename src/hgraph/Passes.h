@@ -1,0 +1,67 @@
+//===- hgraph/Passes.h - The conservative Android pass set ------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The safe, always-beneficial optimizations of the stock Android compiler
+/// (Section 2: "designed to be safe rather than highly optimizing"). Every
+/// pass here is *block-local* and conservative by design; the aggressive
+/// global machinery lives in the LLVM-like backend. Each pass returns true
+/// when it changed the graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_HGRAPH_PASSES_H
+#define ROPT_HGRAPH_PASSES_H
+
+#include "hgraph/Hir.h"
+
+namespace ropt {
+namespace hgraph {
+
+/// Folds ALU operations whose operands are known constants within a block;
+/// converts always-taken/never-taken conditional terminators into gotos.
+bool constantFolding(HGraph &G);
+
+/// Algebraic identities: x+0, x*1, x*0, x*2^k -> shift, x-x, x^x, ...
+bool instructionSimplifier(HGraph &G);
+
+/// Replaces uses of registers that are block-local copies of another
+/// register.
+bool copyPropagation(HGraph &G);
+
+/// Block-local value numbering over pure operations.
+bool localValueNumbering(HGraph &G);
+
+/// Removes pure instructions whose result is overwritten later in the same
+/// block without an intervening read (safe without global liveness).
+bool localDeadCodeElimination(HGraph &G);
+
+/// Removes MCheckNull on registers already known non-null in the block
+/// (previous identical check, or defined by an allocation).
+bool nullCheckElimination(HGraph &G);
+
+/// Removes MCheckBounds over an (array, index) register pair already
+/// checked in the block with neither register redefined since.
+bool boundsCheckElimination(HGraph &G);
+
+/// Forwards stored values to subsequent loads of the same object register
+/// and slot within a block (invalidated by calls and unrelated stores).
+bool loadStoreElimination(HGraph &G);
+
+/// Inlines tiny single-block static callees (<= 8 instructions, no calls).
+/// The conservative inliner of the stock pipeline.
+bool inlineTrivialCalls(HGraph &G, const dex::DexFile &File);
+
+/// Runs the full stock pipeline to fixpoint (bounded iterations), matching
+/// the Android compiler's behaviour of applying only guaranteed-safe
+/// optimizations. Returns the number of pass applications that changed the
+/// graph.
+unsigned runAndroidPipeline(HGraph &G, const dex::DexFile &File);
+
+} // namespace hgraph
+} // namespace ropt
+
+#endif // ROPT_HGRAPH_PASSES_H

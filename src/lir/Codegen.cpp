@@ -1,0 +1,289 @@
+//===- lir/Codegen.cpp - SSA to machine code --------------------------------===//
+
+#include "lir/Codegen.h"
+
+#include "lir/Analysis.h"
+#include "vm/MachineUtil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace ropt;
+using namespace ropt::lir;
+using vm::MInsn;
+using vm::MNoReg;
+using vm::MOpcode;
+using vm::MRegIdx;
+
+namespace {
+
+/// A register copy Dst <- Src with parallel semantics.
+struct Copy {
+  uint32_t Dst;
+  uint32_t Src;
+};
+
+/// Sequentializes a parallel copy set: emits moves such that every Dst ends
+/// with the original value of its Src. Swap cycles go through \p Scratch.
+std::vector<Copy> sequentialize(std::vector<Copy> Pending,
+                                uint32_t Scratch) {
+  std::vector<Copy> Out;
+  // Drop no-op copies.
+  Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                               [](const Copy &C) { return C.Dst == C.Src; }),
+                Pending.end());
+  while (!Pending.empty()) {
+    bool Progress = false;
+    for (size_t N = 0; N != Pending.size(); ++N) {
+      uint32_t Dst = Pending[N].Dst;
+      bool DstIsPendingSrc = false;
+      for (const Copy &C : Pending)
+        if (C.Src == Dst && (C.Dst != C.Src))
+          DstIsPendingSrc = true;
+      if (DstIsPendingSrc)
+        continue;
+      Out.push_back(Pending[N]);
+      Pending.erase(Pending.begin() + N);
+      Progress = true;
+      break;
+    }
+    if (Progress)
+      continue;
+    // Pure cycle: move one source aside.
+    Copy &C = Pending.front();
+    Out.push_back({Scratch, C.Src});
+    for (Copy &P : Pending)
+      if (P.Src == C.Src)
+        P.Src = Scratch;
+  }
+  return Out;
+}
+
+/// Translates one SSA instruction into machine form (registers are value
+/// ids at this point).
+MInsn lowerInsn(const LInsn &I) {
+  MInsn Out;
+  Out.Op = I.Op;
+  Out.ImmI = I.ImmI;
+  Out.ImmF = I.ImmF;
+  Out.Idx = I.Idx;
+  Out.Site = I.Site;
+
+  auto Reg = [](ValueId V) {
+    return V == NoValue ? MNoReg : static_cast<MRegIdx>(V);
+  };
+
+  switch (I.Op) {
+  case MOpcode::MStoreSlot:
+    Out.A = Reg(I.Args.at(0)); // stored value
+    Out.B = Reg(I.A);          // object
+    break;
+  case MOpcode::MStoreStatic:
+    Out.A = Reg(I.Args.at(0));
+    break;
+  case MOpcode::MAStore:
+    Out.A = Reg(I.Args.at(0)); // stored value
+    Out.B = Reg(I.A);          // array
+    Out.C = Reg(I.B);          // index
+    break;
+  case MOpcode::MCallStatic:
+  case MOpcode::MCallVirtual:
+  case MOpcode::MCallNative:
+  case MOpcode::MIntrinsic:
+    Out.A = Reg(I.Dst);
+    assert(I.Args.size() <= vm::MMaxArgs && "too many call arguments");
+    Out.ArgCount = static_cast<uint8_t>(I.Args.size());
+    for (size_t N = 0; N != I.Args.size(); ++N)
+      Out.Args[N] = Reg(I.Args[N]);
+    break;
+  default:
+    Out.A = Reg(I.Dst);
+    Out.B = Reg(I.A);
+    Out.C = Reg(I.B);
+    break;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::shared_ptr<vm::MachineFunction>
+lir::emitMachine(LFunction Fn, hgraph::RegAllocKind RegAlloc) {
+  // --- Critical edge splitting ---------------------------------------------
+  // Any edge into a phi-bearing block from a multi-successor predecessor
+  // gets its own block so phi copies never execute before the branch.
+  size_t OriginalBlocks = Fn.Blocks.size();
+  std::vector<std::vector<bool>> Claimed(Fn.Blocks.size());
+  for (size_t Id = 0; Id != Fn.Blocks.size(); ++Id)
+    Claimed[Id].assign(Fn.Blocks[Id].Preds.size(), false);
+
+  // Fn.Blocks may reallocate inside the loop; never hold references across
+  // the emplace_back.
+  auto SplitSlot = [&Fn, &Claimed](uint32_t P, uint32_t S) -> uint32_t {
+    if (Fn.Blocks[S].Phis.empty())
+      return S;
+    uint32_t E = static_cast<uint32_t>(Fn.Blocks.size());
+    Fn.Blocks.emplace_back();
+    Fn.Blocks[E].Term.K = LTerminator::Kind::Goto;
+    Fn.Blocks[E].Term.Taken = S;
+    // Re-point the first unclaimed pred slot P -> E.
+    LBlock &SB = Fn.Blocks[S];
+    for (size_t N = 0; N != SB.Preds.size(); ++N) {
+      if (SB.Preds[N] == P && !Claimed[S][N]) {
+        SB.Preds[N] = E;
+        Claimed[S][N] = true;
+        break;
+      }
+    }
+    return E;
+  };
+  for (uint32_t P = 0; P != OriginalBlocks; ++P) {
+    if (Fn.Blocks[P].Term.successors().size() < 2)
+      continue;
+    uint32_t Taken = Fn.Blocks[P].Term.Taken;
+    uint32_t Fall = Fn.Blocks[P].Term.Fall;
+    Fn.Blocks[P].Term.Taken = SplitSlot(P, Taken);
+    Fn.Blocks[P].Term.Fall = SplitSlot(P, Fall);
+  }
+
+  // --- Phi elimination -------------------------------------------------------
+  // Identity value->register mapping plus one scratch register for cycles.
+  uint32_t Scratch = Fn.NumValues;
+  assert(Fn.NumValues + 1 < MNoReg && "function too large for RegIdx");
+
+  std::vector<std::vector<Copy>> CopiesFor(Fn.Blocks.size());
+  for (uint32_t S = 0; S != Fn.Blocks.size(); ++S) {
+    LBlock &SB = Fn.Blocks[S];
+    for (size_t PredPos = 0; PredPos != SB.Preds.size(); ++PredPos) {
+      uint32_t P = SB.Preds[PredPos];
+      for (const LPhi &Phi : SB.Phis) {
+        assert(PredPos < Phi.In.size() && "phi arity mismatch");
+        if (Phi.In[PredPos] != NoValue)
+          CopiesFor[P].push_back({Phi.Dst, Phi.In[PredPos]});
+      }
+      if (!SB.Phis.empty()) {
+        [[maybe_unused]] size_t Succs =
+            Fn.Blocks[P].Term.successors().size();
+        assert(Succs == 1 && "phi copies into a multi-successor block");
+      }
+    }
+  }
+
+  // --- Layout and emission ----------------------------------------------------
+  auto Out = std::make_shared<vm::MachineFunction>();
+  Out->Method = Fn.Method;
+  Out->Name = Fn.Name;
+  Out->ParamCount = Fn.ParamCount;
+  Out->ReturnsValue = Fn.ReturnsValue;
+  Out->NumRegs = static_cast<uint16_t>(Fn.NumValues + 1); // + scratch
+
+  std::vector<uint32_t> Order = Fn.reversePostOrder();
+  std::vector<int32_t> BlockStart(Fn.Blocks.size(), -1);
+
+  struct Fixup {
+    size_t InsnIndex;
+    uint32_t Block;
+  };
+  std::vector<Fixup> Fixups;
+
+  auto Reg = [](ValueId V) {
+    return V == NoValue ? MNoReg : static_cast<MRegIdx>(V);
+  };
+
+  for (size_t Pos = 0; Pos != Order.size(); ++Pos) {
+    uint32_t Id = Order[Pos];
+    const LBlock &B = Fn.Blocks[Id];
+    BlockStart[Id] = static_cast<int32_t>(Out->Code.size());
+
+    for (const LInsn &I : B.Insns)
+      if (I.Op != MOpcode::MNop)
+        Out->Code.push_back(lowerInsn(I));
+
+    for (const Copy &C : sequentialize(CopiesFor[Id], Scratch)) {
+      MInsn Mov;
+      Mov.Op = MOpcode::MMov;
+      Mov.A = static_cast<MRegIdx>(C.Dst);
+      Mov.B = static_cast<MRegIdx>(C.Src);
+      Out->Code.push_back(Mov);
+    }
+
+    uint32_t NextInLayout =
+        Pos + 1 < Order.size() ? Order[Pos + 1] : ~0u;
+    const LTerminator &T = B.Term;
+    switch (T.K) {
+    case LTerminator::Kind::Goto:
+      if (T.Taken != NextInLayout) {
+        MInsn J;
+        J.Op = MOpcode::MGoto;
+        Out->Code.push_back(J);
+        Fixups.push_back({Out->Code.size() - 1, T.Taken});
+      }
+      break;
+    case LTerminator::Kind::Cond: {
+      MInsn Br;
+      Br.Op = T.CondOp;
+      Br.B = Reg(T.A);
+      Br.C = Reg(T.B);
+      Br.Hint = T.Hint;
+      Out->Code.push_back(Br);
+      Fixups.push_back({Out->Code.size() - 1, T.Taken});
+      if (T.Fall != NextInLayout) {
+        MInsn J;
+        J.Op = MOpcode::MGoto;
+        Out->Code.push_back(J);
+        Fixups.push_back({Out->Code.size() - 1, T.Fall});
+      }
+      break;
+    }
+    case LTerminator::Kind::Guard: {
+      MInsn Guard;
+      Guard.Op = MOpcode::MGuardClass;
+      Guard.B = Reg(T.A);
+      Guard.Idx = T.GuardClass;
+      Out->Code.push_back(Guard);
+      Fixups.push_back({Out->Code.size() - 1, T.Taken});
+      if (T.Fall != NextInLayout) {
+        MInsn J;
+        J.Op = MOpcode::MGoto;
+        Out->Code.push_back(J);
+        Fixups.push_back({Out->Code.size() - 1, T.Fall});
+      }
+      break;
+    }
+    case LTerminator::Kind::Ret: {
+      MInsn R;
+      R.Op = MOpcode::MRet;
+      R.B = Reg(T.A);
+      Out->Code.push_back(R);
+      break;
+    }
+    case LTerminator::Kind::RetVoid: {
+      MInsn R;
+      R.Op = MOpcode::MRetVoid;
+      Out->Code.push_back(R);
+      break;
+    }
+    }
+  }
+
+  for (const Fixup &F : Fixups) {
+    assert(BlockStart[F.Block] >= 0 && "branch to unlaid block");
+    Out->Code[F.InsnIndex].Target = BlockStart[F.Block];
+  }
+
+  switch (RegAlloc) {
+  case hgraph::RegAllocKind::LinearScan:
+    vm::allocateRegistersLinearScan(*Out);
+    break;
+  case hgraph::RegAllocKind::Frequency:
+    vm::compactRegistersByFrequency(*Out);
+    break;
+  case hgraph::RegAllocKind::FirstUse:
+    vm::compactRegistersByFirstUse(*Out);
+    break;
+  case hgraph::RegAllocKind::None:
+    break;
+  }
+  return Out;
+}

@@ -1,0 +1,34 @@
+//===- lir/Codegen.h - SSA to machine code ----------------------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Out-of-SSA lowering: critical-edge splitting, phi elimination with
+/// parallel-copy sequentialization (swap cycles broken through a scratch
+/// register), block layout, branch fix-ups, and register compaction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_LIR_CODEGEN_H
+#define ROPT_LIR_CODEGEN_H
+
+#include "hgraph/Codegen.h" // RegAllocKind
+#include "lir/Lir.h"
+
+#include <memory>
+
+namespace ropt {
+namespace lir {
+
+/// Lowers \p Fn to executable machine code. \p Fn is taken by value: the
+/// lowering mutates the CFG (edge splitting, phi copies).
+std::shared_ptr<vm::MachineFunction>
+emitMachine(LFunction Fn,
+            hgraph::RegAllocKind RegAlloc = hgraph::RegAllocKind::LinearScan);
+
+} // namespace lir
+} // namespace ropt
+
+#endif // ROPT_LIR_CODEGEN_H

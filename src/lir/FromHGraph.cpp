@@ -1,0 +1,284 @@
+//===- lir/FromHGraph.cpp - HGraph to SSA translation ----------------------===//
+
+#include "lir/FromHGraph.h"
+
+#include "lir/Analysis.h"
+#include "vm/MachineUtil.h"
+
+#include <cassert>
+#include <map>
+
+using namespace ropt;
+using namespace ropt::lir;
+using hgraph::HBlock;
+using hgraph::HGraph;
+using hgraph::Terminator;
+using vm::MInsn;
+using vm::MNoReg;
+using vm::MOpcode;
+using vm::MRegIdx;
+
+namespace {
+
+/// SSA construction state.
+class Translator {
+public:
+  Translator(const HGraph &G, const TranslateOptions &Options)
+      : G(G), Options(Options) {}
+
+  LFunction run();
+
+private:
+  void buildSkeleton();
+  void placePhis();
+  void renameBlock(uint32_t Block);
+  LInsn translateInsn(const MInsn &I);
+  ValueId valueOf(MRegIdx Reg);
+  void pushDef(MRegIdx Reg, ValueId V);
+
+  const HGraph &G;
+  const TranslateOptions &Options;
+  LFunction Fn;
+  DomTree DT; // over Fn's skeleton CFG
+
+  /// Which register each phi in each block merges (parallel to Phis).
+  std::vector<std::vector<MRegIdx>> PhiRegs;
+  /// Renaming stacks.
+  std::vector<std::vector<ValueId>> Stacks;
+  /// Defs pushed per block (for popping on DFS exit).
+  std::vector<MRegIdx> PushedRegs;
+};
+
+ValueId Translator::valueOf(MRegIdx Reg) {
+  assert(Reg < Stacks.size() && !Stacks[Reg].empty() &&
+         "register read before any definition");
+  return Stacks[Reg].back();
+}
+
+void Translator::pushDef(MRegIdx Reg, ValueId V) {
+  Stacks[Reg].push_back(V);
+  PushedRegs.push_back(Reg);
+}
+
+void Translator::buildSkeleton() {
+  Fn.Method = G.Method;
+  Fn.Name = G.Name;
+  Fn.ParamCount = G.ParamCount;
+  Fn.ReturnsValue = G.ReturnsValue;
+  Fn.NumValues = G.ParamCount; // parameters are values [0, ParamCount)
+
+  Fn.Blocks.resize(G.Blocks.size());
+  for (uint32_t Id = 0; Id != G.Blocks.size(); ++Id) {
+    const Terminator &HT = G.Blocks[Id].Term;
+    LTerminator &LT = Fn.Blocks[Id].Term;
+    switch (HT.K) {
+    case Terminator::Kind::Goto:
+      LT.K = LTerminator::Kind::Goto;
+      LT.Taken = HT.Taken;
+      break;
+    case Terminator::Kind::Cond:
+      LT.K = LTerminator::Kind::Cond;
+      LT.CondOp = HT.CondOp;
+      LT.Hint = HT.Hint;
+      LT.Taken = HT.Taken;
+      LT.Fall = HT.Fall;
+      break;
+    case Terminator::Kind::Guard:
+      LT.K = LTerminator::Kind::Guard;
+      LT.GuardClass = HT.GuardClass;
+      LT.Taken = HT.Taken;
+      LT.Fall = HT.Fall;
+      break;
+    case Terminator::Kind::Ret:
+      LT.K = LTerminator::Kind::Ret;
+      break;
+    case Terminator::Kind::RetVoid:
+      LT.K = LTerminator::Kind::RetVoid;
+      break;
+    }
+  }
+  Fn.computePreds();
+  DT = DomTree::compute(Fn);
+}
+
+void Translator::placePhis() {
+  // Def sites per register. The entry block defines every register: the
+  // parameters properly, everything else as an explicit undef (zero) so
+  // that renaming never sees an empty stack on any path.
+  std::vector<std::set<uint32_t>> DefSites(G.NumRegs);
+  for (MRegIdx R = 0; R != G.NumRegs; ++R)
+    DefSites[R].insert(0);
+  for (uint32_t Id = 0; Id != G.Blocks.size(); ++Id)
+    for (const MInsn &I : G.Blocks[Id].Insns)
+      if (vm::definesA(I))
+        DefSites[I.A].insert(Id);
+
+  std::vector<std::set<uint32_t>> DF = DT.dominanceFrontiers(Fn);
+  PhiRegs.resize(Fn.Blocks.size());
+
+  for (MRegIdx R = 0; R != G.NumRegs; ++R) {
+    std::vector<uint32_t> Work(DefSites[R].begin(), DefSites[R].end());
+    std::set<uint32_t> HasPhi;
+    while (!Work.empty()) {
+      uint32_t Block = Work.back();
+      Work.pop_back();
+      if (!DT.isReachable(Block))
+        continue;
+      for (uint32_t Frontier : DF[Block]) {
+        if (!HasPhi.insert(Frontier).second)
+          continue;
+        LPhi P;
+        P.Dst = NoValue; // assigned during renaming
+        P.In.assign(Fn.Blocks[Frontier].Preds.size(), NoValue);
+        Fn.Blocks[Frontier].Phis.push_back(std::move(P));
+        PhiRegs[Frontier].push_back(R);
+        if (!DefSites[R].count(Frontier))
+          Work.push_back(Frontier);
+      }
+    }
+  }
+}
+
+LInsn Translator::translateInsn(const MInsn &I) {
+  LInsn Out;
+  Out.Op = I.Op;
+  Out.ImmI = I.ImmI;
+  Out.ImmF = I.ImmF;
+  Out.Idx = I.Idx;
+  Out.Site = I.Site;
+  Out.SiteMethod = G.Method;
+
+  switch (I.Op) {
+  // Stores: value operand moves into Args[0].
+  case MOpcode::MStoreSlot:
+    Out.A = valueOf(I.B); // object
+    Out.Args.push_back(valueOf(I.A));
+    return Out;
+  case MOpcode::MStoreStatic:
+    Out.Args.push_back(valueOf(I.A));
+    return Out;
+  case MOpcode::MAStore:
+    Out.A = valueOf(I.B); // array
+    Out.B = valueOf(I.C); // index
+    Out.Args.push_back(valueOf(I.A));
+    return Out;
+
+  case MOpcode::MCallStatic:
+  case MOpcode::MCallVirtual:
+  case MOpcode::MCallNative:
+  case MOpcode::MIntrinsic:
+    for (unsigned N = 0; N != I.ArgCount; ++N)
+      Out.Args.push_back(valueOf(I.Args[N]));
+    break;
+
+  default:
+    if (I.B != MNoReg)
+      Out.A = valueOf(I.B);
+    if (I.C != MNoReg)
+      Out.B = valueOf(I.C);
+    break;
+  }
+  return Out;
+}
+
+void Translator::renameBlock(uint32_t Block) {
+  size_t PushMark = PushedRegs.size();
+  LBlock &LB = Fn.Blocks[Block];
+  const HBlock &HB = G.Blocks[Block];
+
+  // Phi definitions first.
+  for (size_t N = 0; N != LB.Phis.size(); ++N) {
+    LB.Phis[N].Dst = Fn.newValue();
+    pushDef(PhiRegs[Block][N], LB.Phis[N].Dst);
+  }
+
+  if (Block == 0) {
+    // Parameters, then explicit undefs for every other register.
+    for (MRegIdx P = 0; P != G.ParamCount; ++P)
+      pushDef(P, P);
+    for (MRegIdx R = G.ParamCount; R < G.NumRegs; ++R) {
+      LInsn Undef;
+      Undef.Op = MOpcode::MMovImmI;
+      Undef.ImmI = 0;
+      Undef.Dst = Fn.newValue();
+      LB.Insns.push_back(Undef);
+      pushDef(R, Undef.Dst);
+    }
+  }
+
+  for (const MInsn &I : HB.Insns) {
+    if (I.Op == MOpcode::MNop)
+      continue;
+    if (I.Op == MOpcode::MSafepoint && Options.ConservativeBoundaries) {
+      // Conservative boundary re-materialization: the translation emits
+      // its own poll next to the one inherited from HGraph.
+      LInsn Extra;
+      Extra.Op = MOpcode::MSafepoint;
+      LB.Insns.push_back(Extra);
+    }
+    LInsn Out = translateInsn(I);
+    if (vm::definesA(I)) {
+      Out.Dst = Fn.newValue();
+      LB.Insns.push_back(Out);
+      pushDef(I.A, Out.Dst);
+      if (Options.ConservativeBoundaries && vm::isCallOp(I.Op)) {
+        // Boundary copy of the call result.
+        LInsn Copy;
+        Copy.Op = MOpcode::MMov;
+        Copy.A = Out.Dst;
+        Copy.Dst = Fn.newValue();
+        LB.Insns.push_back(Copy);
+        Stacks[I.A].back() = Copy.Dst;
+      }
+    } else {
+      LB.Insns.push_back(Out);
+    }
+  }
+
+  // Terminator operands.
+  const Terminator &HT = HB.Term;
+  if (HT.K == Terminator::Kind::Cond || HT.K == Terminator::Kind::Guard ||
+      HT.K == Terminator::Kind::Ret) {
+    LB.Term.A = valueOf(HT.B);
+    if (HT.K == Terminator::Kind::Cond && HT.C != MNoReg)
+      LB.Term.B = valueOf(HT.C);
+  }
+
+  // Fill successor phi inputs for every edge position from this block.
+  for (uint32_t Succ : LB.Term.successors()) {
+    LBlock &SB = Fn.Blocks[Succ];
+    for (size_t PredPos = 0; PredPos != SB.Preds.size(); ++PredPos) {
+      if (SB.Preds[PredPos] != Block)
+        continue;
+      for (size_t N = 0; N != SB.Phis.size(); ++N)
+        SB.Phis[N].In[PredPos] = valueOf(PhiRegs[Succ][N]);
+    }
+  }
+
+  // Recurse over dominated blocks.
+  for (uint32_t Child : DT.children(Block))
+    renameBlock(Child);
+
+  // Pop this block's definitions.
+  while (PushedRegs.size() > PushMark) {
+    Stacks[PushedRegs.back()].pop_back();
+    PushedRegs.pop_back();
+  }
+}
+
+LFunction Translator::run() {
+  buildSkeleton();
+  placePhis();
+  Stacks.assign(G.NumRegs, {});
+  renameBlock(0);
+  std::string Error;
+  [[maybe_unused]] bool Ok = Fn.verify(Error);
+  assert(Ok && "SSA construction produced invalid IR");
+  return std::move(Fn);
+}
+
+} // namespace
+
+LFunction lir::fromHGraph(const HGraph &G, const TranslateOptions &Options) {
+  return Translator(G, Options).run();
+}

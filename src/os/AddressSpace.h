@@ -1,0 +1,167 @@
+//===- os/AddressSpace.h - Simulated per-process virtual memory -*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A page-granular virtual address space with protection bits, fault
+/// delivery, and Copy-on-Write sharing. This is the substrate the paper's
+/// capture mechanism is built on: read-protect pages, let the fault handler
+/// record first accesses, and let CoW preserve the pre-region state of any
+/// page the application writes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_OS_ADDRESS_SPACE_H
+#define ROPT_OS_ADDRESS_SPACE_H
+
+#include "os/Memory.h"
+
+#include <cstring>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace ropt {
+namespace os {
+
+/// Counters for kernel-visible memory events; the capture overhead model
+/// (Figure 10) is driven by these.
+struct MemoryStats {
+  uint64_t ProtectCalls = 0;   ///< protectRange invocations.
+  uint64_t PagesProtected = 0; ///< Pages whose protection changed.
+  uint64_t ReadFaults = 0;     ///< Faults taken on read access.
+  uint64_t WriteFaults = 0;    ///< Faults taken on write access.
+  uint64_t CowCopies = 0;      ///< Pages duplicated by Copy-on-Write.
+  uint64_t MapsEnumerations = 0; ///< procMaps() style walks.
+};
+
+/// Outcome of a memory access attempt.
+enum class AccessResult {
+  Ok,        ///< Access performed.
+  Unmapped,  ///< No page at the address.
+  Violation, ///< Protection violation not resolved by the fault handler.
+};
+
+/// A page-table backed virtual address space.
+///
+/// Faults: when an access violates the page protection, the installed fault
+/// handler (if any) runs. If it returns true the access is retried once —
+/// the handler is expected to have changed the protection. A second failure,
+/// or the absence of a handler, yields AccessResult::Violation.
+class AddressSpace {
+public:
+  /// Handler invoked on a protection fault. \p Addr is the faulting address,
+  /// \p IsWrite distinguishes write faults. Returns true to retry.
+  using FaultHandler = std::function<bool(uint64_t Addr, bool IsWrite)>;
+
+  AddressSpace() = default;
+
+  /// Maps \p Size bytes (rounded up to pages) at \p Start with \p Prot.
+  /// The range must not overlap an existing mapping.
+  void mapRegion(uint64_t Start, uint64_t Size, uint8_t Prot,
+                 MappingKind Kind, const std::string &Name);
+
+  /// Unmaps every page in [Start, Start+Size). Pages outside any mapping
+  /// are ignored. Mappings fully contained in the range are removed;
+  /// partial overlap shrinks the mapping bookkeeping conservatively.
+  void unmapRegion(uint64_t Start, uint64_t Size);
+
+  /// Changes the protection of all mapped pages in [Start, Start+Size).
+  /// Counts one ProtectCall plus one PagesProtected per page touched.
+  void protectRange(uint64_t Start, uint64_t Size, uint8_t Prot);
+
+  /// Installs (or clears, with nullptr) the protection-fault handler.
+  void setFaultHandler(FaultHandler Handler) {
+    OnFault = std::move(Handler);
+  }
+
+  /// Reads \p Size bytes at \p Addr into \p Out. May span pages.
+  AccessResult read(uint64_t Addr, void *Out, uint64_t Size);
+
+  /// Writes \p Size bytes at \p Addr. May span pages. Triggers CoW.
+  AccessResult write(uint64_t Addr, const void *Data, uint64_t Size);
+
+  /// Typed helpers; assert on unaligned page-spanning is not required —
+  /// they go through read()/write().
+  AccessResult loadU64(uint64_t Addr, uint64_t &Out) {
+    return read(Addr, &Out, sizeof(Out));
+  }
+  AccessResult storeU64(uint64_t Addr, uint64_t Value) {
+    return write(Addr, &Value, sizeof(Value));
+  }
+  AccessResult loadF64(uint64_t Addr, double &Out) {
+    return read(Addr, &Out, sizeof(Out));
+  }
+  AccessResult storeF64(uint64_t Addr, double Value) {
+    return write(Addr, &Value, sizeof(Value));
+  }
+
+  /// Reads bytes ignoring protection (kernel-style access for capture and
+  /// snapshot tooling). Returns false if any page is unmapped.
+  bool peek(uint64_t Addr, void *Out, uint64_t Size) const;
+
+  /// Writes bytes ignoring protection, still honouring CoW so snapshots
+  /// stay intact. Returns false if any page is unmapped.
+  bool poke(uint64_t Addr, const void *Data, uint64_t Size);
+
+  /// True if the page containing \p Addr is mapped.
+  bool isMapped(uint64_t Addr) const {
+    return Pages.count(pageNumber(Addr)) != 0;
+  }
+
+  /// Protection of the page containing \p Addr; ProtNone if unmapped.
+  uint8_t protectionOf(uint64_t Addr) const;
+
+  /// Enumerates mappings, ordered by start address (the simulated
+  /// /proc/self/maps). Counts one MapsEnumeration.
+  std::vector<Mapping> procMaps();
+
+  /// Mapping lookup without stats side effects; nullptr if none.
+  const Mapping *findMapping(uint64_t Addr) const;
+
+  /// Clones this space for fork(): page table copied, physical pages
+  /// shared, so the first write on either side triggers Copy-on-Write.
+  AddressSpace forkClone() const;
+
+  /// Returns the physical page ref for tests/capture; nullptr if unmapped.
+  PhysPageRef physicalPage(uint64_t Addr) const;
+
+  /// Total number of mapped pages.
+  uint64_t mappedPageCount() const { return Pages.size(); }
+
+  const MemoryStats &stats() const { return Stats; }
+  void resetStats() { Stats = MemoryStats(); }
+
+private:
+  /// Physical backing is allocated lazily: a null Phys reads as zeros and
+  /// materializes on first write (the zero-page trick real kernels use).
+  struct PageEntry {
+    PhysPageRef Phys;
+    uint8_t Prot = ProtNone;
+  };
+
+  /// Ensures this space holds a private, materialized copy of the page
+  /// before writing.
+  void ensurePrivate(PageEntry &Entry);
+
+  /// One page-bounded access step. Returns the number of bytes handled or
+  /// sets \p Result and returns 0 on failure.
+  uint64_t accessChunk(uint64_t Addr, void *Buf, uint64_t Size, bool IsWrite,
+                       AccessResult &Result);
+
+  std::unordered_map<uint64_t, PageEntry> Pages;
+  std::vector<Mapping> Mappings; ///< Kept sorted by Start.
+  FaultHandler OnFault;
+  MemoryStats Stats;
+
+  // One-entry translation cache to keep the hot interpreter path cheap.
+  mutable uint64_t CachedPageNum = ~0ULL;
+  mutable PageEntry *CachedEntry = nullptr;
+};
+
+} // namespace os
+} // namespace ropt
+
+#endif // ROPT_OS_ADDRESS_SPACE_H

@@ -1,0 +1,73 @@
+//===- os/CostModel.h - Kernel event cost model -----------------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts counted kernel events into microseconds of online overhead.
+///
+/// The paper measures capture overhead on a Pixel 4 (Figure 10): fork takes
+/// 1-6 ms depending on the process state, preparation (parsing
+/// /proc/self/maps plus read-protecting pages) 4-11 ms, and the residual
+/// fault + Copy-on-Write cost is usually small but reaches 10-16 ms for
+/// write-heavy benchmarks. The constants below are calibrated so that a
+/// process with a few thousand mappings/pages lands in those bands while the
+/// *relative* weight of each component still derives from the workload's
+/// genuine event counts in the simulated kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_OS_COST_MODEL_H
+#define ROPT_OS_COST_MODEL_H
+
+#include "os/AddressSpace.h"
+
+#include <cstdint>
+
+namespace ropt {
+namespace os {
+
+/// Per-event costs, in microseconds.
+struct KernelCostModel {
+  /// fork(): base syscall plus page-table duplication per mapped page.
+  double ForkBaseUs = 1100.0;
+  double ForkPerPageUs = 0.50;
+
+  /// Parsing one /proc/self/maps line (the paper calls /proc "slow").
+  double MapsParsePerMappingUs = 14.0;
+
+  /// One mprotect() syscall and the per-page PTE update cost.
+  double ProtectCallUs = 4.0;
+  double ProtectPerPageUs = 0.90;
+
+  /// One user-space page-fault round trip (trap, handler, mprotect fix-up).
+  double PageFaultUs = 26.0;
+
+  /// Duplicating one page for Copy-on-Write (in-kernel).
+  double CowCopyUs = 12.0;
+
+  /// fork() cost for a process with \p MappedPages pages.
+  double forkCostUs(uint64_t MappedPages) const {
+    return ForkBaseUs + ForkPerPageUs * static_cast<double>(MappedPages);
+  }
+
+  /// Preparation cost: maps parsing plus read-protection.
+  double preparationCostUs(uint64_t Mappings, uint64_t ProtectCalls,
+                           uint64_t PagesProtected) const {
+    return MapsParsePerMappingUs * static_cast<double>(Mappings) +
+           ProtectCallUs * static_cast<double>(ProtectCalls) +
+           ProtectPerPageUs * static_cast<double>(PagesProtected);
+  }
+
+  /// In-region cost: page faults taken plus CoW duplications.
+  double faultAndCowCostUs(uint64_t Faults, uint64_t CowCopies) const {
+    return PageFaultUs * static_cast<double>(Faults) +
+           CowCopyUs * static_cast<double>(CowCopies);
+  }
+};
+
+} // namespace os
+} // namespace ropt
+
+#endif // ROPT_OS_COST_MODEL_H

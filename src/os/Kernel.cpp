@@ -1,0 +1,67 @@
+//===- os/Kernel.cpp - Processes, fork, storage device --------------------===//
+
+#include "os/Kernel.h"
+
+#include <cassert>
+
+using namespace ropt;
+using namespace ropt::os;
+
+void StorageDevice::writeFile(const std::string &Path,
+                              std::vector<uint8_t> Bytes) {
+  LifetimeBytesWritten += Bytes.size();
+  Files[Path] = std::move(Bytes);
+}
+
+const std::vector<uint8_t> *
+StorageDevice::readFile(const std::string &Path) const {
+  auto It = Files.find(Path);
+  return It == Files.end() ? nullptr : &It->second;
+}
+
+bool StorageDevice::removeFile(const std::string &Path) {
+  return Files.erase(Path) != 0;
+}
+
+std::vector<std::string> StorageDevice::listFiles() const {
+  std::vector<std::string> Paths;
+  Paths.reserve(Files.size());
+  for (const auto &KV : Files)
+    Paths.push_back(KV.first);
+  return Paths;
+}
+
+uint64_t StorageDevice::totalBytesStored() const {
+  uint64_t Total = 0;
+  for (const auto &KV : Files)
+    Total += KV.second.size();
+  return Total;
+}
+
+Process &Kernel::spawn() {
+  Pid Id = NextPid++;
+  auto Proc = std::make_unique<Process>(Id, /*Parent=*/0);
+  Process &Ref = *Proc;
+  Table.emplace(Id, std::move(Proc));
+  return Ref;
+}
+
+Process &Kernel::fork(Process &Parent) {
+  ++Forks;
+  Pid Id = NextPid++;
+  auto Child = std::make_unique<Process>(Id, Parent.pid());
+  Child->Space = Parent.Space.forkClone();
+  Process &Ref = *Child;
+  Table.emplace(Id, std::move(Child));
+  return Ref;
+}
+
+void Kernel::reap(Pid Id) {
+  [[maybe_unused]] size_t Erased = Table.erase(Id);
+  assert(Erased == 1 && "reaping unknown pid");
+}
+
+Process *Kernel::find(Pid Id) {
+  auto It = Table.find(Id);
+  return It == Table.end() ? nullptr : It->second.get();
+}

@@ -1,0 +1,132 @@
+//===- profiler/HotRegion.cpp - Profiling and hot-region detection ----------===//
+
+#include "profiler/HotRegion.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace ropt;
+using namespace ropt::dex;
+using namespace ropt::profiler;
+
+MethodProfile MethodProfile::fromRuntime(const vm::Runtime &RT) {
+  MethodProfile P;
+  P.ExclusiveCycles = RT.methodCycles();
+  for (uint64_t C : P.ExclusiveCycles)
+    P.TotalCycles += C;
+  return P;
+}
+
+bool HotRegion::contains(MethodId Id) const {
+  return std::find(Methods.begin(), Methods.end(), Id) != Methods.end();
+}
+
+std::vector<MethodId>
+profiler::compilableRegion(const DexFile &File,
+                           const ReplayabilityAnalysis &RA,
+                           MethodId Root) {
+  std::vector<MethodId> Region;
+  std::set<MethodId> Seen;
+  std::vector<MethodId> Work{Root};
+  while (!Work.empty()) {
+    MethodId Id = Work.back();
+    Work.pop_back();
+    if (Seen.count(Id) || !RA.isCompilable(Id))
+      continue;
+    Seen.insert(Id);
+    Region.push_back(Id);
+    const Method &M = File.method(Id);
+    for (const Insn &I : M.Code) {
+      if (I.Op == Opcode::InvokeStatic) {
+        Work.push_back(I.Idx);
+      } else if (I.Op == Opcode::InvokeVirtual) {
+        const Method &Declared = File.method(I.Idx);
+        // Every possible dispatch target joins the region.
+        for (const ClassInfo &C : File.classes()) {
+          if (!File.isSubclassOf(C.Id, Declared.Owner))
+            continue;
+          if (Declared.VTableSlot >= 0 &&
+              static_cast<size_t>(Declared.VTableSlot) < C.VTable.size())
+            Work.push_back(
+                C.VTable[static_cast<size_t>(Declared.VTableSlot)]);
+        }
+      }
+    }
+  }
+  return Region;
+}
+
+std::optional<HotRegion>
+profiler::detectHotRegion(const DexFile &File, const MethodProfile &Profile,
+                          const ReplayabilityAnalysis &RA) {
+  HotRegion Best;
+  bool Found = false;
+
+  for (const Method &M : File.methods()) {
+    // estimateRegionRuntime: -inf for unreplayable roots.
+    if (!RA.isReplayable(M.Id) || !RA.isCompilable(M.Id))
+      continue;
+    if (M.Id >= Profile.ExclusiveCycles.size())
+      continue;
+    std::vector<MethodId> Region = compilableRegion(File, RA, M.Id);
+    uint64_t Sum = 0;
+    for (MethodId R : Region)
+      if (R < Profile.ExclusiveCycles.size())
+        Sum += Profile.ExclusiveCycles[R];
+    if (Sum == 0)
+      continue;
+    if (!Found || Sum > Best.EstimatedCycles) {
+      Found = true;
+      Best.Root = M.Id;
+      Best.Methods = std::move(Region);
+      Best.EstimatedCycles = Sum;
+    }
+  }
+  if (!Found)
+    return std::nullopt;
+  return Best;
+}
+
+MethodCategory profiler::classifyMethod(const DexFile &File,
+                                        const ReplayabilityAnalysis &RA,
+                                        const HotRegion *Region,
+                                        MethodId Id) {
+  const Method &M = File.method(Id);
+  if (M.IsNative)
+    return MethodCategory::Jni;
+  if (M.isUncompilable())
+    return MethodCategory::Uncompilable;
+  if (Region && Region->contains(Id))
+    return MethodCategory::Compiled;
+  if (!RA.isReplayable(Id))
+    return MethodCategory::Unreplayable;
+  return MethodCategory::Cold;
+}
+
+CodeBreakdown profiler::computeBreakdown(const DexFile &File,
+                                         const MethodProfile &Profile,
+                                         const ReplayabilityAnalysis &RA,
+                                         const HotRegion *Region) {
+  CodeBreakdown Out;
+  if (Profile.TotalCycles == 0)
+    return Out;
+  // Native-work slots past the method table are JNI time.
+  for (size_t I = File.methods().size();
+       I < Profile.ExclusiveCycles.size(); ++I)
+    Out.Jni += static_cast<double>(Profile.ExclusiveCycles[I]) /
+               static_cast<double>(Profile.TotalCycles);
+  for (const Method &M : File.methods()) {
+    if (M.Id >= Profile.ExclusiveCycles.size())
+      continue;
+    double Share = static_cast<double>(Profile.ExclusiveCycles[M.Id]) /
+                   static_cast<double>(Profile.TotalCycles);
+    switch (classifyMethod(File, RA, Region, M.Id)) {
+    case MethodCategory::Compiled: Out.Compiled += Share; break;
+    case MethodCategory::Cold: Out.Cold += Share; break;
+    case MethodCategory::Jni: Out.Jni += Share; break;
+    case MethodCategory::Unreplayable: Out.Unreplayable += Share; break;
+    case MethodCategory::Uncompilable: Out.Uncompilable += Share; break;
+    }
+  }
+  return Out;
+}

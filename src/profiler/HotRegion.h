@@ -1,0 +1,82 @@
+//===- profiler/HotRegion.h - Profiling and hot-region detection -*- C++ -*-=//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 1: pick the replayable method whose compilable call-closure
+/// accounts for the most exclusive execution time, plus the Figure-8
+/// runtime code breakdown. Profiles come from the runtime's per-method
+/// exclusive cycle attribution — the noise-free equivalent of the paper's
+/// 1 ms sampling profiler (documented substitution, DESIGN.md §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_PROFILER_HOT_REGION_H
+#define ROPT_PROFILER_HOT_REGION_H
+
+#include "profiler/Replayability.h"
+#include "vm/Runtime.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace ropt {
+namespace profiler {
+
+/// Snapshot of per-method exclusive cycles.
+struct MethodProfile {
+  std::vector<uint64_t> ExclusiveCycles;
+  uint64_t TotalCycles = 0;
+
+  static MethodProfile fromRuntime(const vm::Runtime &RT);
+};
+
+/// A hot region: a root method plus its compilable callee closure.
+struct HotRegion {
+  dex::MethodId Root = dex::InvalidId;
+  std::vector<dex::MethodId> Methods; ///< Compilable closure incl. Root.
+  uint64_t EstimatedCycles = 0;       ///< Sum of exclusive cycles.
+
+  bool contains(dex::MethodId Id) const;
+};
+
+/// The compilable call-closure of \p Root (Algorithm 1's
+/// compilableRegion): Root plus every transitively called compilable
+/// method; uncompilable callees cut the recursion.
+std::vector<dex::MethodId> compilableRegion(const dex::DexFile &File,
+                                            const ReplayabilityAnalysis &RA,
+                                            dex::MethodId Root);
+
+/// Algorithm 1: the best region, or nullopt when nothing qualifies (no
+/// method is both replayable and compilable, or nothing ran).
+std::optional<HotRegion>
+detectHotRegion(const dex::DexFile &File, const MethodProfile &Profile,
+                const ReplayabilityAnalysis &RA);
+
+/// Figure 8: fraction of runtime per category.
+struct CodeBreakdown {
+  double Compiled = 0.0;
+  double Cold = 0.0;
+  double Jni = 0.0;
+  double Unreplayable = 0.0;
+  double Uncompilable = 0.0;
+};
+
+/// Classifies one method (region may be null for "no region yet").
+MethodCategory classifyMethod(const dex::DexFile &File,
+                              const ReplayabilityAnalysis &RA,
+                              const HotRegion *Region, dex::MethodId Id);
+
+/// Attributes the profile's exclusive cycles to categories.
+CodeBreakdown computeBreakdown(const dex::DexFile &File,
+                               const MethodProfile &Profile,
+                               const ReplayabilityAnalysis &RA,
+                               const HotRegion *Region);
+
+} // namespace profiler
+} // namespace ropt
+
+#endif // ROPT_PROFILER_HOT_REGION_H

@@ -1,0 +1,243 @@
+//===- replay/Replayer.cpp - Offline replay of captured regions -------------===//
+
+#include "replay/Replayer.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <functional>
+#include <set>
+
+using namespace ropt;
+using namespace ropt::replay;
+using os::AddressSpace;
+using os::Mapping;
+using os::MappingKind;
+using os::PageSize;
+
+Replayer::Replayer(const dex::DexFile &File,
+                   const vm::NativeRegistry &Natives,
+                   vm::RuntimeConfig Config, uint64_t AslrSeed)
+    : File(File), Natives(Natives), Config(Config), AslrRng(AslrSeed) {}
+
+namespace {
+
+/// Size of the loader's own footprint (stack, code, scratch).
+constexpr uint64_t LoaderPages = 24;
+
+/// Finds a page-aligned area of \p Pages pages not used by any captured
+/// mapping, scanning upward from \p From.
+uint64_t findFreeArea(const capture::Capture &Cap, uint64_t From,
+                      uint64_t Pages) {
+  uint64_t Addr = os::pageBase(From);
+  for (;;) {
+    bool Clear = true;
+    for (const Mapping &M : Cap.Mappings) {
+      uint64_t End = Addr + Pages * PageSize;
+      if (Addr < M.End && M.Start < End) {
+        Clear = false;
+        Addr = M.End;
+        break;
+      }
+    }
+    if (Clear)
+      return Addr;
+  }
+}
+
+/// Observer that collects the verification map's write set and the type
+/// profile during the interpreted replay.
+class RecordingObserver : public vm::ExecObserver {
+public:
+  std::set<uint64_t> WrittenCells;
+  lir::TypeProfile Profile;
+
+  void onCellWrite(uint64_t Addr) override { WrittenCells.insert(Addr); }
+  void onVirtualDispatch(dex::MethodId Caller, uint32_t Pc,
+                         dex::ClassId Receiver) override {
+    Profile.record(Caller, Pc, Receiver);
+  }
+};
+
+} // namespace
+
+os::AddressSpace &Replayer::bootTemplate(const capture::Capture &Cap) {
+  auto It = BootTemplates.find(Cap.BootId);
+  if (It != BootTemplates.end())
+    return It->second;
+
+  AddressSpace Template;
+  Rng ImageRng(0xb007ULL * 2654435761ULL + Cap.BootId);
+  for (const Mapping &M : Cap.Mappings) {
+    if (M.Kind != MappingKind::RuntimeImage)
+      continue;
+    Template.mapRegion(M.Start, M.sizeBytes(), os::ProtRead, M.Kind,
+                       M.Name);
+    for (uint64_t Offset = 0; Offset < M.sizeBytes(); Offset += 64) {
+      uint64_t Words[8];
+      for (uint64_t &W : Words)
+        W = ImageRng.next();
+      (void)Template.poke(M.Start + Offset, Words, sizeof(Words));
+    }
+  }
+  return BootTemplates.emplace(Cap.BootId, std::move(Template))
+      .first->second;
+}
+
+ReplayResult Replayer::replayImpl(
+    const capture::Capture &Cap, ReplayCode Mode,
+    const vm::CodeCache *Code, vm::ExecObserver *Observer,
+    const std::function<void(AddressSpace &, const vm::CallResult &)>
+        &PostRun) {
+  ReplayResult Out;
+  // Start from the per-boot template: runtime-image pages shared CoW.
+  AddressSpace Space = bootTemplate(Cap).forkClone();
+
+  // --- Stage 0: the loader occupies an ASLR-randomized base, chosen
+  // below the runtime image so it never lands on template pages but can
+  // genuinely collide with code/data/heap mappings. --------------------
+  uint64_t LoaderBase =
+      os::pageBase(0x10000000 + AslrRng.below(0x58000000));
+  Space.mapRegion(LoaderBase, LoaderPages * PageSize,
+                  os::ProtRead | os::ProtWrite, MappingKind::Anonymous,
+                  "loader");
+  Out.Loader.LoaderBase = LoaderBase;
+
+  // --- Stage 1: map the captured layout; collisions stage elsewhere. ----
+  uint64_t StagingBase = findFreeArea(Cap, 0xa0000000, LoaderPages);
+  std::vector<std::pair<uint64_t, uint64_t>> Staged; // (final, temp)
+
+  for (const Mapping &M : Cap.Mappings) {
+    if (M.Kind == MappingKind::RuntimeImage) {
+      Out.Loader.CommonPagesMapped += M.pageCount();
+      continue; // mapped via the boot template
+    }
+    bool CollidesWithLoader =
+        M.Start < LoaderBase + LoaderPages * PageSize &&
+        LoaderBase < M.End;
+    if (!CollidesWithLoader) {
+      Space.mapRegion(M.Start, M.sizeBytes(), os::ProtRead | os::ProtWrite,
+                      M.Kind, M.Name);
+      continue;
+    }
+    for (uint64_t Addr = M.Start; Addr < M.End; Addr += PageSize) {
+      bool Collides = Addr >= LoaderBase &&
+                      Addr < LoaderBase + LoaderPages * PageSize;
+      if (!Collides) {
+        Space.mapRegion(Addr, PageSize, os::ProtRead | os::ProtWrite,
+                        M.Kind, M.Name);
+        continue;
+      }
+      uint64_t Temp = StagingBase + Staged.size() * PageSize;
+      Space.mapRegion(Temp, PageSize, os::ProtRead | os::ProtWrite,
+                      MappingKind::Anonymous, "staged");
+      Staged.emplace_back(Addr, Temp);
+      ++Out.Loader.CollidingPages;
+    }
+  }
+
+  auto TargetAddr = [&Staged](uint64_t PageAddr) {
+    for (const auto &[Final, Temp] : Staged)
+      if (Final == PageAddr)
+        return Temp;
+    return PageAddr;
+  };
+
+  // Captured (process-specific) pages.
+  for (const capture::PageRecord &P : Cap.Pages) {
+    [[maybe_unused]] bool Ok =
+        Space.poke(TargetAddr(P.Addr), P.Bytes.data(), P.Bytes.size());
+    assert(Ok && "captured page has no mapping");
+    ++Out.Loader.PagesRestored;
+  }
+
+  // --- Stages 2+3: break-free — drop the loader, relocate staged pages. -
+  Space.unmapRegion(LoaderBase, LoaderPages * PageSize);
+  for (const auto &[Final, Temp] : Staged) {
+    std::vector<uint8_t> Bytes(PageSize);
+    [[maybe_unused]] bool Ok = Space.peek(Temp, Bytes.data(), PageSize);
+    assert(Ok && "staged page vanished");
+    const Mapping *Owner = nullptr;
+    for (const Mapping &Candidate : Cap.Mappings)
+      if (Candidate.contains(Final))
+        Owner = &Candidate;
+    assert(Owner && "staged page outside every mapping");
+    Space.mapRegion(Final, PageSize, os::ProtRead | os::ProtWrite,
+                    Owner->Kind, Owner->Name);
+    (void)Space.poke(Final, Bytes.data(), PageSize);
+    Space.unmapRegion(Temp, PageSize);
+  }
+
+  // --- Stage 4: pick the code version and execute the region. -----------
+  vm::Runtime RT(Space, File, Natives, Config);
+  if (Mode == ReplayCode::Compiled && Code) {
+    for (const auto &KV : Code->functions())
+      RT.codeCache().install(KV.second);
+    RT.setMode(vm::ExecMode::Mixed);
+  } else {
+    RT.setMode(vm::ExecMode::InterpretOnly);
+  }
+  if (Observer)
+    RT.setObserver(Observer);
+
+  Out.Result = RT.call(Cap.Root, Cap.Args);
+
+  if (PostRun)
+    PostRun(Space, Out.Result);
+  return Out;
+}
+
+ReplayResult Replayer::replay(const capture::Capture &Cap, ReplayCode Mode,
+                              const vm::CodeCache *Code,
+                              vm::ExecObserver *Observer) {
+  return replayImpl(Cap, Mode, Code, Observer, nullptr);
+}
+
+InterpretedReplayResult
+Replayer::interpretedReplay(const capture::Capture &Cap) {
+  InterpretedReplayResult Out;
+  RecordingObserver Obs;
+
+  Out.Replay = replayImpl(
+      Cap, ReplayCode::Interpreter, nullptr, &Obs,
+      [&Obs, &Out](AddressSpace &Space, const vm::CallResult &Result) {
+        (void)Result;
+        for (uint64_t Addr : Obs.WrittenCells) {
+          uint64_t Bits = 0;
+          if (Space.peek(Addr, &Bits, sizeof(Bits)))
+            Out.Map.Cells[Addr] = Bits;
+        }
+      });
+  Out.Profile = std::move(Obs.Profile);
+
+  if (Out.Replay.Result.Trap == vm::TrapKind::None &&
+      File.method(Cap.Root).ReturnsValue) {
+    Out.Map.HasReturn = true;
+    Out.Map.ReturnBits = Out.Replay.Result.Ret.Raw;
+  }
+  return Out;
+}
+
+bool Replayer::verifiedReplay(const capture::Capture &Cap,
+                              const vm::CodeCache &Code,
+                              const VerificationMap &Map,
+                              ReplayResult &Out) {
+  std::map<uint64_t, uint64_t> Observed;
+  Out = replayImpl(
+      Cap, ReplayCode::Compiled, &Code, nullptr,
+      [&Map, &Observed](AddressSpace &Space, const vm::CallResult &R) {
+        if (R.Trap != vm::TrapKind::None)
+          return;
+        for (const auto &KV : Map.Cells) {
+          uint64_t Bits = 0;
+          if (Space.peek(KV.first, &Bits, sizeof(Bits)))
+            Observed[KV.first] = Bits;
+        }
+      });
+
+  if (Out.Result.Trap != vm::TrapKind::None)
+    return false;
+  if (Map.HasReturn && Map.ReturnBits != Out.Result.Ret.Raw)
+    return false;
+  return Observed == Map.Cells;
+}

@@ -1,0 +1,123 @@
+//===- replay/Replayer.h - Offline replay of captured regions ---*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.3's replay mechanism: a loader rebuilds a partial process
+/// whose memory equals the captured snapshot, then re-executes the hot
+/// region under any code version — the original Android binary, the
+/// interpreter (for verification/profiling, Section 3.4), or a freshly
+/// optimized LLVM binary.
+///
+/// The loader itself occupies pages at an ASLR-randomized base; captured
+/// pages that collide are staged at a free temporary location, the loader's
+/// break-free stub releases the loader pages, and the staged pages move to
+/// their final addresses — faithfully modelled over the simulated address
+/// space, with every step observable for tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_REPLAY_REPLAYER_H
+#define ROPT_REPLAY_REPLAYER_H
+
+#include "capture/Capture.h"
+#include "lir/TypeProfile.h"
+#include "vm/Runtime.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace ropt {
+namespace replay {
+
+/// How the region is executed during a replay.
+enum class ReplayCode {
+  Interpreter, ///< Bytecode interpreter (verification / profiling runs).
+  Compiled,    ///< A supplied vm::CodeCache (Android or LLVM binary).
+};
+
+/// Loader bookkeeping, exposed for tests and the micro benches.
+struct LoaderStats {
+  uint64_t LoaderBase = 0;
+  uint64_t CollidingPages = 0; ///< Captured pages staged + relocated.
+  uint64_t PagesRestored = 0;
+  uint64_t CommonPagesMapped = 0;
+};
+
+/// Externally visible behaviour of one region execution: the final values
+/// of every heap/static cell the interpreted replay wrote, plus the return
+/// value (Section 3.4's verification map).
+struct VerificationMap {
+  std::map<uint64_t, uint64_t> Cells;
+  bool HasReturn = false;
+  uint64_t ReturnBits = 0;
+
+  bool empty() const { return Cells.empty() && !HasReturn; }
+};
+
+/// Result of one replay.
+struct ReplayResult {
+  vm::CallResult Result;
+  LoaderStats Loader;
+};
+
+/// Result of the interpreted verification/profiling replay.
+struct InterpretedReplayResult {
+  ReplayResult Replay;
+  VerificationMap Map;
+  lir::TypeProfile Profile;
+};
+
+/// Replays captured executions. One Replayer per application; each replay
+/// builds a fresh partial process.
+class Replayer {
+public:
+  Replayer(const dex::DexFile &File, const vm::NativeRegistry &Natives,
+           vm::RuntimeConfig Config, uint64_t AslrSeed = 1);
+
+  /// Replays \p Cap under \p Code (nullptr or Interpreter mode => pure
+  /// interpretation). \p Observer, if given, sees the execution's heap
+  /// writes and dispatches.
+  ReplayResult replay(const capture::Capture &Cap, ReplayCode Mode,
+                      const vm::CodeCache *Code,
+                      vm::ExecObserver *Observer = nullptr);
+
+  /// The interpreted replay: builds the verification map and the virtual
+  /// call-site type profile (Section 3.4).
+  InterpretedReplayResult interpretedReplay(const capture::Capture &Cap);
+
+  /// Replays \p Cap with \p Code and checks the externally visible
+  /// behaviour against \p Map. Returns true when behaviour matches
+  /// (same written cells, same return value, no trap).
+  bool verifiedReplay(const capture::Capture &Cap,
+                      const vm::CodeCache &Code,
+                      const VerificationMap &Map, ReplayResult &Out);
+
+private:
+  /// Core replay; \p PostRun (optional) observes the address space after
+  /// the region finished, before teardown.
+  ReplayResult
+  replayImpl(const capture::Capture &Cap, ReplayCode Mode,
+             const vm::CodeCache *Code, vm::ExecObserver *Observer,
+             const std::function<void(os::AddressSpace &,
+                                      const vm::CallResult &)> &PostRun);
+
+  /// Per-boot template space holding the (immutable) runtime image; each
+  /// replay forks it so the 12 MiB of content is shared copy-on-write
+  /// instead of being regenerated per replay.
+  os::AddressSpace &bootTemplate(const capture::Capture &Cap);
+
+  const dex::DexFile &File;
+  const vm::NativeRegistry &Natives;
+  vm::RuntimeConfig Config;
+  Rng AslrRng;
+  std::map<uint64_t, os::AddressSpace> BootTemplates;
+};
+
+} // namespace replay
+} // namespace ropt
+
+#endif // ROPT_REPLAY_REPLAYER_H

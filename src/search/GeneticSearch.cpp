@@ -1,0 +1,203 @@
+//===- search/GeneticSearch.cpp - The GA over the pass space ----------------===//
+
+#include "search/GeneticSearch.h"
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ropt;
+using namespace ropt::search;
+
+const char *search::evalKindName(EvalKind K) {
+  switch (K) {
+  case EvalKind::Ok: return "ok";
+  case EvalKind::CompileError: return "compile-error";
+  case EvalKind::RuntimeCrash: return "runtime-crash";
+  case EvalKind::RuntimeTimeout: return "runtime-timeout";
+  case EvalKind::WrongOutput: return "wrong-output";
+  }
+  return "unknown";
+}
+
+GeneticSearch::GeneticSearch(GaConfig Config, uint64_t Seed,
+                             EvaluateFn Evaluate)
+    : Config(Config), R(Seed), Evaluate(std::move(Evaluate)) {}
+
+Evaluation GeneticSearch::evaluate(const Genome &G, int Generation,
+                                   GaTrace *Trace) {
+  Evaluation E = Evaluate(G);
+  if (E.ok() && !SeenBinaries.insert(E.BinaryHash).second)
+    ++IdenticalCount;
+  if (Trace) {
+    TraceEntry T;
+    T.Generation = Generation;
+    T.Valid = E.ok();
+    T.MedianCycles = E.ok() ? E.MedianCycles : 0.0;
+    Trace->Evaluations.push_back(T);
+  }
+  return E;
+}
+
+bool GeneticSearch::better(const Evaluation &A, const Evaluation &B) const {
+  if (A.ok() != B.ok())
+    return A.ok();
+  if (!A.ok())
+    return false;
+  if (significantlyLess(A.Samples, B.Samples, Config.SignificanceAlpha))
+    return true;
+  if (significantlyLess(B.Samples, A.Samples, Config.SignificanceAlpha))
+    return false;
+  // Statistically indistinguishable: prefer the smaller binary.
+  return A.CodeSize < B.CodeSize;
+}
+
+void GeneticSearch::sortByFitness(std::vector<Scored> &Population) const {
+  std::stable_sort(Population.begin(), Population.end(),
+                   [this](const Scored &A, const Scored &B) {
+                     return better(A.E, B.E);
+                   });
+}
+
+const Scored *
+GeneticSearch::selectMate(const std::vector<Scored> &Population,
+                          Rng &Rand) const {
+  assert(!Population.empty());
+  // Three pipelines, chosen uniformly per mating (Section 3.6).
+  switch (Rand.below(3)) {
+  case 0: { // elites only
+    size_t Elites = std::min<size_t>(
+        std::max<size_t>(1, Config.EliteCount), Population.size());
+    return &Population[Rand.below(Elites)];
+  }
+  case 1: // fittest only
+    return &Population.front();
+  default: { // tournament selection
+    std::vector<size_t> Candidates;
+    for (int I = 0; I != Config.TournamentSize; ++I)
+      Candidates.push_back(
+          static_cast<size_t>(Rand.below(Population.size())));
+    std::sort(Candidates.begin(), Candidates.end());
+    // Pick the best with probability p, second best with p(1-p), ...
+    for (size_t N = 0; N + 1 < Candidates.size(); ++N)
+      if (Rand.chance(Config.TournamentProb))
+        return &Population[Candidates[N]];
+    return &Population[Candidates.back()];
+  }
+  }
+}
+
+std::optional<Scored> GeneticSearch::run(double AndroidCycles,
+                                         double O3Cycles, GaTrace *Trace) {
+  SeenBinaries.clear();
+  IdenticalCount = 0;
+
+  double BaselineBar = std::min(AndroidCycles, O3Cycles);
+
+  // --- Generation 0: random, with replacement biasing. -------------------
+  std::vector<Scored> Population;
+  for (int I = 0; I != Config.PopulationSize; ++I) {
+    Genome G = randomGenome(R, Config.Genomes);
+    removeRedundantPasses(G);
+    Evaluation E = evaluate(G, 0, Trace);
+    // Retry genomes slower than both baselines up to N times, biasing the
+    // search toward profitable space (Section 4).
+    for (int Retry = 0; Retry != Config.Gen0ReplacementRetries; ++Retry) {
+      bool Poor = !E.ok() || E.MedianCycles > BaselineBar;
+      if (!Poor)
+        break;
+      G = randomGenome(R, Config.Genomes);
+      removeRedundantPasses(G);
+      E = evaluate(G, 0, Trace);
+    }
+    Population.push_back(Scored{std::move(G), std::move(E)});
+  }
+  sortByFitness(Population);
+
+  // --- Generations 1..N-1. -----------------------------------------------
+  for (int Gen = 1; Gen < Config.Generations; ++Gen) {
+    if (IdenticalCount >= Config.MaxIdenticalBinaries) {
+      if (Trace)
+        Trace->HaltedOnIdentical = true;
+      break;
+    }
+    std::vector<Scored> Next;
+    // Elitism: the best genomes survive unchanged (no re-evaluation).
+    for (int E = 0; E < Config.EliteCount &&
+                    static_cast<size_t>(E) < Population.size();
+         ++E)
+      Next.push_back(Population[static_cast<size_t>(E)]);
+
+    while (static_cast<int>(Next.size()) < Config.PopulationSize) {
+      const Scored *MateA = selectMate(Population, R);
+      const Scored *MateB = selectMate(Population, R);
+      Genome Child = crossover(MateA->G, MateB->G, R, Config.Genomes);
+      if (R.chance(Config.GenomeMutationProb))
+        mutate(Child, R, Config.Genomes);
+      Evaluation E = evaluate(Child, Gen, Trace);
+      Next.push_back(Scored{std::move(Child), std::move(E)});
+      if (IdenticalCount >= Config.MaxIdenticalBinaries)
+        break;
+    }
+    Population = std::move(Next);
+    sortByFitness(Population);
+  }
+
+  if (Trace)
+    Trace->IdenticalBinaries = IdenticalCount;
+
+  if (Population.empty() || !Population.front().E.ok())
+    return std::nullopt;
+
+  // --- Hill climbing from the best genome. --------------------------------
+  Scored Best = Population.front();
+  for (int Round = 0; Round != Config.HillClimbRounds; ++Round) {
+    bool Improved = false;
+    // Neighborhood: drop each gene; nudge each parameter; toggle flags.
+    for (size_t I = 0; I <= Best.G.Passes.size(); ++I) {
+      std::vector<Genome> Neighbors;
+      if (I < Best.G.Passes.size()) {
+        if (Best.G.Passes.size() > Config.Genomes.MinLength) {
+          Genome Dropped = Best.G;
+          Dropped.Passes.erase(Dropped.Passes.begin() + I);
+          Neighbors.push_back(std::move(Dropped));
+        }
+        const lir::PassDescriptor &D =
+            lir::passDescriptor(Best.G.Passes[I].Id);
+        if (D.HasIntParam) {
+          for (int Delta : {-1, 1}) {
+            Genome Nudged = Best.G;
+            int &Param = Nudged.Passes[I].IntParam;
+            Param = std::clamp(Param + Delta * std::max(1, Param / 4),
+                               D.MinInt, D.MaxInt);
+            Neighbors.push_back(std::move(Nudged));
+          }
+        }
+        if (D.HasAggressive) {
+          Genome Toggled = Best.G;
+          Toggled.Passes[I].Aggressive = !Toggled.Passes[I].Aggressive;
+          Neighbors.push_back(std::move(Toggled));
+        }
+      } else {
+        Genome Extended = Best.G;
+        if (Extended.Passes.size() < Config.Genomes.MaxLength) {
+          Extended.Passes.push_back(randomGene(R, Config.Genomes));
+          Neighbors.push_back(std::move(Extended));
+        }
+      }
+      for (Genome &N : Neighbors) {
+        if (N == Best.G)
+          continue;
+        Evaluation E = evaluate(N, Config.Generations, Trace);
+        if (E.ok() && better(E, Best.E)) {
+          Best = Scored{std::move(N), std::move(E)};
+          Improved = true;
+        }
+      }
+    }
+    if (!Improved)
+      break;
+  }
+  return Best;
+}

@@ -1,0 +1,120 @@
+//===- search/GeneticSearch.h - The GA over the pass space ------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The genetic search of Sections 3.6 and 4: 11 generations of 50 genomes,
+/// three mate-selection pipelines (elites, fittest, tournament of 7 at
+/// 90%), 5% mutation probabilities, up to three gen-0 replacement retries
+/// for genomes slower than both baselines, a halt after 100 identical
+/// binaries, and a final hill-climbing step. Fitness is replay time with a
+/// binary-size tiebreak when two binaries are statistically
+/// indistinguishable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_SEARCH_GENETIC_SEARCH_H
+#define ROPT_SEARCH_GENETIC_SEARCH_H
+
+#include "search/Genome.h"
+
+#include <functional>
+#include <optional>
+#include <set>
+
+namespace ropt {
+namespace search {
+
+/// How one genome's evaluation ended. Everything but Ok would have been
+/// user-visible under online search (Figure 1's point).
+enum class EvalKind {
+  Ok,
+  CompileError,   ///< Verifier rejection or size-budget blowup.
+  RuntimeCrash,   ///< Trap during replay.
+  RuntimeTimeout, ///< Instruction budget exhausted.
+  WrongOutput,    ///< Verification map mismatch.
+};
+
+const char *evalKindName(EvalKind K);
+
+/// Result of evaluating one genome.
+struct Evaluation {
+  EvalKind Kind = EvalKind::CompileError;
+  std::vector<double> Samples; ///< Replay timings (outliers removed).
+  double MedianCycles = 0.0;
+  uint64_t CodeSize = 0;
+  uint64_t BinaryHash = 0; ///< Identity of the produced machine code.
+
+  bool ok() const { return Kind == EvalKind::Ok; }
+};
+
+using EvaluateFn = std::function<Evaluation(const Genome &)>;
+
+/// GA parameters (paper values, Section 4).
+struct GaConfig {
+  int Generations = 11;
+  int PopulationSize = 50;
+  double GenomeMutationProb = 0.05;
+  GenomeConfig Genomes; ///< GeneMutationProb defaults to 5%.
+  int TournamentSize = 7;
+  double TournamentProb = 0.9;
+  int MaxIdenticalBinaries = 100;
+  int Gen0ReplacementRetries = 3;
+  int EliteCount = 2;
+  int HillClimbRounds = 2;
+  double SignificanceAlpha = 0.05;
+};
+
+/// One scored population member.
+struct Scored {
+  Genome G;
+  Evaluation E;
+};
+
+/// Figure 9's raw material: one entry per evaluation.
+struct TraceEntry {
+  int Generation = 0;
+  double MedianCycles = 0.0; ///< 0 for invalid genomes.
+  bool Valid = false;
+};
+
+struct GaTrace {
+  std::vector<TraceEntry> Evaluations;
+  int IdenticalBinaries = 0;
+  bool HaltedOnIdentical = false;
+};
+
+/// The search engine. Pure logic: all measurement happens through the
+/// evaluator callback.
+class GeneticSearch {
+public:
+  GeneticSearch(GaConfig Config, uint64_t Seed, EvaluateFn Evaluate);
+
+  /// Runs the full search. \p AndroidCycles and \p O3Cycles drive the
+  /// gen-0 replacement biasing. Returns the best valid genome found, or
+  /// nullopt if every evaluation failed.
+  std::optional<Scored> run(double AndroidCycles, double O3Cycles,
+                            GaTrace *Trace = nullptr);
+
+private:
+  Evaluation evaluate(const Genome &G, int Generation, GaTrace *Trace);
+  /// Statistically-sound comparison: true when A is strictly better
+  /// (faster with significance, or indistinguishable but smaller).
+  bool better(const Evaluation &A, const Evaluation &B) const;
+  const Scored *selectMate(const std::vector<Scored> &Population,
+                           Rng &R) const;
+  void sortByFitness(std::vector<Scored> &Population) const;
+
+  GaConfig Config;
+  Rng R;
+  EvaluateFn Evaluate;
+  std::set<uint64_t> SeenBinaries;
+  int IdenticalCount = 0;
+};
+
+} // namespace search
+} // namespace ropt
+
+#endif // ROPT_SEARCH_GENETIC_SEARCH_H

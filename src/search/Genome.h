@@ -1,0 +1,71 @@
+//===- search/Genome.h - Optimization-decision genomes ----------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.6: genomes encode the sequence of passes, their parameters,
+/// and flags; they vary in length. Mutation operators enable/disable a
+/// pass, modify a parameter, or introduce new passes; crossover is single
+/// random point with a minimum-length guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_SEARCH_GENOME_H
+#define ROPT_SEARCH_GENOME_H
+
+#include "hgraph/Codegen.h"
+#include "lir/Passes.h"
+#include "support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace ropt {
+namespace search {
+
+/// One point in the transformation space.
+struct Genome {
+  std::vector<lir::PassInstance> Passes;
+  hgraph::RegAllocKind RegAlloc = hgraph::RegAllocKind::LinearScan;
+
+  /// Human-readable pipeline string, e.g. "gvn,loop-unroll=4,gc-elide".
+  std::string name() const;
+
+  bool operator==(const Genome &O) const;
+};
+
+/// Tunables for genome generation and mutation.
+struct GenomeConfig {
+  size_t MinLength = 2;
+  size_t MaxInitialLength = 12;
+  size_t MaxLength = 48;
+  /// Probability an aggressive-capable gene is generated aggressive.
+  double AggressiveProb = 0.65;
+  /// Probability that mutation perturbs each gene.
+  double GeneMutationProb = 0.05;
+};
+
+/// Uniformly random genome.
+Genome randomGenome(Rng &R, const GenomeConfig &Config);
+
+/// Uniformly random single gene.
+lir::PassInstance randomGene(Rng &R, const GenomeConfig &Config);
+
+/// Paper's mutation operators: per-gene perturbation (parameter change,
+/// aggressive toggle, gene replacement) plus genome-level insertion and
+/// deletion, bounded by Min/MaxLength.
+void mutate(Genome &G, Rng &R, const GenomeConfig &Config);
+
+/// Single-point crossover whose child meets the minimum length.
+Genome crossover(const Genome &A, const Genome &B, Rng &R,
+                 const GenomeConfig &Config);
+
+/// Gen-0 cleanup: collapse immediately repeated identical genes.
+void removeRedundantPasses(Genome &G);
+
+} // namespace search
+} // namespace ropt
+
+#endif // ROPT_SEARCH_GENOME_H

@@ -1,0 +1,394 @@
+//===- vm/Interpreter.cpp - Bytecode interpreter tier -----------------------===//
+//
+// The slow, always-correct tier: used online for cold methods and offline
+// for the interpreted verification/profiling replay (Section 3.4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Runtime.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace ropt;
+using namespace ropt::vm;
+
+namespace {
+
+int64_t safeDiv(int64_t A, int64_t B) {
+  if (B == -1 && A == std::numeric_limits<int64_t>::min())
+    return A; // wraps, as AArch64 sdiv does
+  return A / B;
+}
+
+int64_t safeRem(int64_t A, int64_t B) {
+  if (B == -1 && A == std::numeric_limits<int64_t>::min())
+    return 0;
+  return A % B;
+}
+
+int64_t doubleToInt(double D) {
+  if (std::isnan(D))
+    return 0;
+  if (D >= 9.2233720368547758e18)
+    return std::numeric_limits<int64_t>::max();
+  if (D <= -9.2233720368547758e18)
+    return std::numeric_limits<int64_t>::min();
+  return static_cast<int64_t>(D);
+}
+
+} // namespace
+
+Value Runtime::interpret(const dex::Method &M,
+                         const std::vector<Value> &Args) {
+  assert(!M.IsNative && "cannot interpret a native method");
+
+  std::vector<Value> Regs(M.RegCount);
+  for (size_t I = 0; I != Args.size(); ++I)
+    Regs[I] = Args[I];
+
+  charge(Costs.CallCycles);
+  safepoint(); // method-entry poll
+
+  size_t Pc = 0;
+  const std::vector<dex::Insn> &Code = M.Code;
+
+  while (Trap == TrapKind::None) {
+    assert(Pc < Code.size() && "fell off the end of verified bytecode");
+    const dex::Insn &I = Code[Pc];
+    if (!consumeInsn())
+      break;
+    charge(Costs.InterpreterDispatchCycles);
+
+    // Default control flow: fall through. Branches overwrite NextPc.
+    size_t NextPc = Pc + 1;
+
+    using dex::Opcode;
+    switch (I.Op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::ConstI:
+      Regs[I.A] = Value::fromI64(I.ImmI);
+      charge(Costs.MoveCycles);
+      break;
+    case Opcode::ConstF:
+      Regs[I.A] = Value::fromF64(I.ImmF);
+      charge(Costs.MoveCycles);
+      break;
+    case Opcode::ConstNull:
+      Regs[I.A] = Value::fromRef(0);
+      charge(Costs.MoveCycles);
+      break;
+    case Opcode::Move:
+      Regs[I.A] = Regs[I.B];
+      charge(Costs.MoveCycles);
+      break;
+
+    case Opcode::AddI:
+      Regs[I.A] = Value::fromI64(Regs[I.B].asI64() + Regs[I.C].asI64());
+      charge(Costs.AluCycles);
+      break;
+    case Opcode::SubI:
+      Regs[I.A] = Value::fromI64(Regs[I.B].asI64() - Regs[I.C].asI64());
+      charge(Costs.AluCycles);
+      break;
+    case Opcode::MulI:
+      Regs[I.A] = Value::fromI64(Regs[I.B].asI64() * Regs[I.C].asI64());
+      charge(Costs.MulCycles);
+      break;
+    case Opcode::DivI:
+    case Opcode::RemI: {
+      int64_t Divisor = Regs[I.C].asI64();
+      charge(Costs.CheckCycles);
+      if (Divisor == 0) {
+        Trap = TrapKind::DivByZero;
+        break;
+      }
+      int64_t Dividend = Regs[I.B].asI64();
+      Regs[I.A] = Value::fromI64(I.Op == Opcode::DivI
+                                     ? safeDiv(Dividend, Divisor)
+                                     : safeRem(Dividend, Divisor));
+      charge(Costs.DivCycles);
+      break;
+    }
+    case Opcode::AndI:
+      Regs[I.A] = Value::fromI64(Regs[I.B].asI64() & Regs[I.C].asI64());
+      charge(Costs.AluCycles);
+      break;
+    case Opcode::OrI:
+      Regs[I.A] = Value::fromI64(Regs[I.B].asI64() | Regs[I.C].asI64());
+      charge(Costs.AluCycles);
+      break;
+    case Opcode::XorI:
+      Regs[I.A] = Value::fromI64(Regs[I.B].asI64() ^ Regs[I.C].asI64());
+      charge(Costs.AluCycles);
+      break;
+    case Opcode::ShlI:
+      Regs[I.A] = Value::fromI64(Regs[I.B].asI64()
+                                 << (Regs[I.C].asI64() & 63));
+      charge(Costs.AluCycles);
+      break;
+    case Opcode::ShrI:
+      Regs[I.A] =
+          Value::fromI64(Regs[I.B].asI64() >> (Regs[I.C].asI64() & 63));
+      charge(Costs.AluCycles);
+      break;
+    case Opcode::NegI:
+      Regs[I.A] = Value::fromI64(-Regs[I.B].asI64());
+      charge(Costs.AluCycles);
+      break;
+
+    case Opcode::AddF:
+      Regs[I.A] = Value::fromF64(Regs[I.B].asF64() + Regs[I.C].asF64());
+      charge(Costs.FAddCycles);
+      break;
+    case Opcode::SubF:
+      Regs[I.A] = Value::fromF64(Regs[I.B].asF64() - Regs[I.C].asF64());
+      charge(Costs.FAddCycles);
+      break;
+    case Opcode::MulF:
+      Regs[I.A] = Value::fromF64(Regs[I.B].asF64() * Regs[I.C].asF64());
+      charge(Costs.FMulCycles);
+      break;
+    case Opcode::DivF:
+      Regs[I.A] = Value::fromF64(Regs[I.B].asF64() / Regs[I.C].asF64());
+      charge(Costs.FDivCycles);
+      break;
+    case Opcode::NegF:
+      Regs[I.A] = Value::fromF64(-Regs[I.B].asF64());
+      charge(Costs.FAddCycles);
+      break;
+    case Opcode::CmpF: {
+      double A = Regs[I.B].asF64(), B = Regs[I.C].asF64();
+      int64_t R = (A < B) ? -1 : (A == B ? 0 : 1); // NaN orders as +1
+      Regs[I.A] = Value::fromI64(R);
+      charge(Costs.FAddCycles);
+      break;
+    }
+    case Opcode::SqrtF:
+      Regs[I.A] = Value::fromF64(std::sqrt(Regs[I.B].asF64()));
+      charge(Costs.FSqrtCycles);
+      break;
+    case Opcode::I2F:
+      Regs[I.A] =
+          Value::fromF64(static_cast<double>(Regs[I.B].asI64()));
+      charge(Costs.ConvCycles);
+      break;
+    case Opcode::F2I:
+      Regs[I.A] = Value::fromI64(doubleToInt(Regs[I.B].asF64()));
+      charge(Costs.ConvCycles);
+      break;
+
+    case Opcode::Goto:
+      NextPc = static_cast<size_t>(I.Target);
+      charge(Costs.BranchCycles);
+      // Loop back-edge: poll for GC, as ART's interpreter does.
+      if (NextPc <= Pc)
+        safepoint();
+      break;
+    case Opcode::IfEq:
+    case Opcode::IfNe:
+    case Opcode::IfLt:
+    case Opcode::IfLe:
+    case Opcode::IfGt:
+    case Opcode::IfGe:
+    case Opcode::IfEqz:
+    case Opcode::IfNez:
+    case Opcode::IfLtz:
+    case Opcode::IfLez:
+    case Opcode::IfGtz:
+    case Opcode::IfGez: {
+      int64_t A = Regs[I.B].asI64();
+      int64_t B = I.C == dex::NoReg ? 0 : Regs[I.C].asI64();
+      bool Taken = false;
+      switch (I.Op) {
+      case Opcode::IfEq: case Opcode::IfEqz: Taken = A == B; break;
+      case Opcode::IfNe: case Opcode::IfNez: Taken = A != B; break;
+      case Opcode::IfLt: case Opcode::IfLtz: Taken = A < B; break;
+      case Opcode::IfLe: case Opcode::IfLez: Taken = A <= B; break;
+      case Opcode::IfGt: case Opcode::IfGtz: Taken = A > B; break;
+      default: Taken = A >= B; break;
+      }
+      charge(Costs.BranchCycles);
+      if (Taken) {
+        NextPc = static_cast<size_t>(I.Target);
+        // Loop back-edge: poll for GC, as ART's interpreter does.
+        if (NextPc <= Pc)
+          safepoint();
+      }
+      break;
+    }
+
+    case Opcode::InvokeStatic:
+    case Opcode::InvokeVirtual:
+    case Opcode::InvokeNative: {
+      std::vector<Value> CallArgs(I.Args, I.Args + I.ArgCount);
+      for (unsigned N = 0; N != I.ArgCount; ++N)
+        CallArgs[N] = Regs[I.Args[N]];
+      Value Ret;
+      if (I.Op == Opcode::InvokeNative) {
+        Ret = callNative(I.Idx, CallArgs);
+      } else if (I.Op == Opcode::InvokeStatic) {
+        charge(Costs.CallCycles);
+        Ret = invoke(I.Idx, CallArgs);
+      } else {
+        // Virtual dispatch: read the receiver header for its class.
+        uint64_t Receiver = CallArgs[0].asRef();
+        charge(Costs.VirtualDispatchCycles);
+        if (Receiver == 0) {
+          Trap = TrapKind::NullPointer;
+          break;
+        }
+        ObjectHeader Header;
+        if (!TheHeap.readHeader(Receiver, Header)) {
+          Trap = TrapKind::MemoryFault;
+          break;
+        }
+        dex::ClassId Cls = Header.ClassOrElem;
+        if (Observer)
+          Observer->onVirtualDispatch(M.Id, static_cast<uint32_t>(Pc),
+                                      Cls);
+        Ret = invoke(Dex.resolveVirtual(Cls, I.Idx), CallArgs);
+      }
+      if (Trap != TrapKind::None)
+        break;
+      if (I.A != dex::NoReg)
+        Regs[I.A] = Ret;
+      break;
+    }
+
+    case Opcode::Ret:
+      charge(Costs.ReturnCycles);
+      return Regs[I.B];
+    case Opcode::RetVoid:
+      charge(Costs.ReturnCycles);
+      return Value();
+
+    case Opcode::NewInstance: {
+      const dex::ClassInfo &Cls = Dex.classAt(I.Idx);
+      charge(Costs.AllocBaseCycles +
+             Costs.AllocPerSlotCycles * Cls.InstanceSlots);
+      Regs[I.A] = Value::fromRef(TheHeap.allocate(
+          ObjKind::Object, Cls.Id, Cls.InstanceSlots, Trap));
+      break;
+    }
+    case Opcode::NewArrayI:
+    case Opcode::NewArrayF:
+    case Opcode::NewArrayR: {
+      int64_t Len = Regs[I.B].asI64();
+      if (Len < 0) {
+        Trap = TrapKind::OutOfBounds;
+        break;
+      }
+      ObjKind Kind = I.Op == Opcode::NewArrayI   ? ObjKind::ArrayI
+                     : I.Op == Opcode::NewArrayF ? ObjKind::ArrayF
+                                                 : ObjKind::ArrayR;
+      charge(Costs.AllocBaseCycles +
+             Costs.AllocPerSlotCycles * static_cast<uint64_t>(Len));
+      Regs[I.A] = Value::fromRef(
+          TheHeap.allocate(Kind, 0, static_cast<uint64_t>(Len), Trap));
+      break;
+    }
+
+    case Opcode::ALoadI:
+    case Opcode::ALoadF:
+    case Opcode::ALoadR:
+    case Opcode::AStoreI:
+    case Opcode::AStoreF:
+    case Opcode::AStoreR: {
+      bool IsStore = I.Op == Opcode::AStoreI || I.Op == Opcode::AStoreF ||
+                     I.Op == Opcode::AStoreR;
+      uint64_t Arr = Regs[I.B].asRef();
+      charge(Costs.CheckCycles * 2);
+      if (Arr == 0) {
+        Trap = TrapKind::NullPointer;
+        break;
+      }
+      ObjectHeader Header;
+      if (!TheHeap.readHeader(Arr, Header)) {
+        Trap = TrapKind::MemoryFault;
+        break;
+      }
+      int64_t Index = Regs[I.C].asI64();
+      if (Index < 0 ||
+          static_cast<uint64_t>(Index) >= Header.Count) {
+        Trap = TrapKind::OutOfBounds;
+        break;
+      }
+      uint64_t Addr = Heap::elemAddr(Arr, static_cast<uint64_t>(Index));
+      if (IsStore) {
+        memStore(Addr, Regs[I.A].Raw);
+      } else {
+        uint64_t Bits = 0;
+        if (memLoad(Addr, Bits))
+          Regs[I.A].Raw = Bits;
+      }
+      break;
+    }
+    case Opcode::ArrayLen: {
+      uint64_t Arr = Regs[I.B].asRef();
+      charge(Costs.CheckCycles);
+      if (Arr == 0) {
+        Trap = TrapKind::NullPointer;
+        break;
+      }
+      ObjectHeader Header;
+      if (!TheHeap.readHeader(Arr, Header)) {
+        Trap = TrapKind::MemoryFault;
+        break;
+      }
+      charge(Costs.LoadCycles);
+      Regs[I.A] = Value::fromI64(static_cast<int64_t>(Header.Count));
+      break;
+    }
+
+    case Opcode::GetFieldI:
+    case Opcode::GetFieldF:
+    case Opcode::GetFieldR:
+    case Opcode::PutFieldI:
+    case Opcode::PutFieldF:
+    case Opcode::PutFieldR: {
+      bool IsPut = I.Op == Opcode::PutFieldI ||
+                   I.Op == Opcode::PutFieldF || I.Op == Opcode::PutFieldR;
+      uint64_t Obj = Regs[I.B].asRef();
+      charge(Costs.CheckCycles);
+      if (Obj == 0) {
+        Trap = TrapKind::NullPointer;
+        break;
+      }
+      uint64_t Addr =
+          Heap::slotAddr(Obj, Dex.field(I.Idx).SlotIndex);
+      if (IsPut) {
+        memStore(Addr, Regs[I.A].Raw);
+      } else {
+        uint64_t Bits = 0;
+        if (memLoad(Addr, Bits))
+          Regs[I.A].Raw = Bits;
+      }
+      break;
+    }
+
+    case Opcode::GetStaticI:
+    case Opcode::GetStaticF:
+    case Opcode::GetStaticR: {
+      uint64_t Bits = 0;
+      if (memLoad(staticSlotAddr(I.Idx), Bits))
+        Regs[I.A].Raw = Bits;
+      break;
+    }
+    case Opcode::PutStaticI:
+    case Opcode::PutStaticF:
+    case Opcode::PutStaticR:
+      memStore(staticSlotAddr(I.Idx), Regs[I.A].Raw);
+      break;
+
+    case Opcode::OpcodeCount:
+      assert(false && "invalid opcode reached the interpreter");
+      break;
+    }
+
+    Pc = NextPc;
+  }
+  return Value();
+}

@@ -1,0 +1,82 @@
+//===- vm/MachineUtil.h - MInsn classification helpers ----------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operand and effect classification for machine instructions, shared by
+/// every optimization pass in both compiler backends, plus register
+/// renumbering utilities used at code generation time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_VM_MACHINE_UTIL_H
+#define ROPT_VM_MACHINE_UTIL_H
+
+#include "vm/Machine.h"
+
+#include <functional>
+
+namespace ropt {
+namespace vm {
+
+/// True when \p I defines register I.A.
+bool definesA(const MInsn &I);
+
+/// Invokes \p Fn for every register the instruction reads (B/C/Args and,
+/// for stores, the stored value in A).
+void forEachUse(const MInsn &I, const std::function<void(MRegIdx)> &Fn);
+
+/// Invokes \p Fn for a *mutable reference* to every use operand, allowing
+/// passes to rewrite them in place.
+void forEachUseMut(MInsn &I, const std::function<void(MRegIdx &)> &Fn);
+
+/// True for instructions with no effect beyond writing I.A and that cannot
+/// trap: immediates, moves, non-div ALU, FP arithmetic, compares,
+/// conversions. Safe to remove when dead and to value-number.
+bool isPureOp(MOpcode Op);
+
+/// True for memory reads (slot/static/array loads, array length).
+bool isLoadOp(MOpcode Op);
+
+/// True for memory writes (slot/static/array stores).
+bool isStoreOp(MOpcode Op);
+
+/// True for the three call opcodes (not intrinsics).
+bool isCallOp(MOpcode Op);
+
+/// True for runtime checks (null/bounds/div).
+bool isCheckOp(MOpcode Op);
+
+/// True when the instruction may trap, perform I/O, allocate, or otherwise
+/// must not be removed even if its result is unused.
+bool hasSideEffects(const MInsn &I);
+
+/// Renumbers virtual registers above the parameter window so the most
+/// frequently used ones land in the physical register file (indexes below
+/// PhysRegCount). Parameters keep their positions — they are the calling
+/// convention. Returns the new register count.
+uint16_t compactRegistersByFrequency(MachineFunction &Fn);
+
+/// Same, but in first-use order — a deliberately weaker allocation the
+/// search space exposes as an alternative.
+uint16_t compactRegistersByFirstUse(MachineFunction &Fn);
+
+/// Linear-scan register allocation over occurrence intervals: computes a
+/// conservative live interval per virtual register (extended across
+/// backward branches so loop-carried values never share a register with
+/// loop-local ones), then assigns the lowest free register to each
+/// interval in start order. Parameters keep their calling-convention slots
+/// while live. This is the strong allocator; the compact-by-frequency and
+/// first-use heuristics remain in the search space as weaker choices.
+/// Returns the new register count (the maximum live overlap).
+uint16_t allocateRegistersLinearScan(MachineFunction &Fn);
+
+/// Renders a one-line disassembly of \p I (debug aid).
+std::string formatMInsn(const MInsn &I);
+
+} // namespace vm
+} // namespace ropt
+
+#endif // ROPT_VM_MACHINE_UTIL_H

@@ -1,0 +1,224 @@
+//===- vm/Runtime.cpp - Mixed-mode execution engine (shared plumbing) ------===//
+
+#include "vm/Runtime.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ropt;
+using namespace ropt::vm;
+
+Runtime::Runtime(os::AddressSpace &Space, const dex::DexFile &Dex,
+                 const NativeRegistry &Natives, RuntimeConfig Config)
+    : Space(Space), Dex(Dex), Natives(Natives), Config(Config),
+      TheHeap(Space, Config.HeapLimitBytes, Config.GcThresholdBytes) {
+  ResolvedNatives.reserve(Dex.natives().size());
+  for (const dex::NativeDecl &Decl : Dex.natives()) {
+    const NativeImpl *Impl = Natives.lookup(Decl.Name);
+    assert(Impl && "native declared in dex file but not registered");
+    ResolvedNatives.push_back(Impl);
+  }
+  MethodCycles.assign(Dex.methods().size() + Dex.natives().size(), 0);
+}
+
+void Runtime::mapStandardLayout(os::AddressSpace &Space,
+                                const dex::DexFile &Dex,
+                                const RuntimeConfig &Config) {
+  using os::MappingKind;
+  using os::ProtExec;
+  using os::ProtRead;
+  using os::ProtWrite;
+
+  Space.mapRegion(Layout::CodeBase, Layout::CodeSize, ProtRead | ProtExec,
+                  MappingKind::FileMapped, "app.oat");
+  Space.mapRegion(Layout::DataBase, Layout::DataSize, ProtRead | ProtWrite,
+                  MappingKind::Data, "statics");
+  Space.mapRegion(Layout::HeapBase, Config.HeapLimitBytes,
+                  ProtRead | ProtWrite, MappingKind::Heap, "dalvik-heap");
+  Space.mapRegion(Layout::RuntimeImageBase, Layout::RuntimeImageSize,
+                  ProtRead, MappingKind::RuntimeImage, "boot.art");
+  Space.mapRegion(Layout::StackBase, Layout::StackSize,
+                  ProtRead | ProtWrite, MappingKind::Stack, "stack");
+
+  // Static field initial values.
+  for (size_t I = 0; I != Dex.staticFields().size(); ++I) {
+    uint64_t Bits =
+        static_cast<uint64_t>(Dex.staticFields()[I].InitialValue);
+    [[maybe_unused]] bool Ok =
+        Space.poke(Layout::DataBase + 8 * I, &Bits, sizeof(Bits));
+    assert(Ok && "static field outside data segment");
+  }
+
+  // Heap control block.
+  Heap H(Space, Config.HeapLimitBytes, Config.GcThresholdBytes);
+  H.initialize();
+
+  // Runtime image: immutable objects identical for every process created
+  // during this boot. Content is a deterministic function of the boot id.
+  Rng ImageRng(0xb007ULL * 2654435761ULL + Config.BootId);
+  for (uint64_t Offset = 0; Offset < Layout::RuntimeImageSize;
+       Offset += 64) {
+    uint64_t Words[8];
+    for (uint64_t &W : Words)
+      W = ImageRng.next();
+    [[maybe_unused]] bool Ok = Space.poke(Layout::RuntimeImageBase + Offset,
+                                          Words, sizeof(Words));
+    assert(Ok && "runtime image mapping too small");
+  }
+}
+
+void Runtime::charge(uint64_t Cycles) {
+  CallCycles += Cycles;
+  TotalCycles += Cycles;
+  if (Config.AttributeCycles && !AttributionStack.empty())
+    MethodCycles[AttributionStack.back()] += Cycles;
+}
+
+void Runtime::chargeMemRead(uint64_t Addr) {
+  uint64_t Cost = Costs.LoadCycles;
+  if (!DCache.access(Addr))
+    Cost += Costs.CacheMissPenalty;
+  charge(Cost);
+}
+
+void Runtime::chargeMemWrite(uint64_t Addr) {
+  DCache.access(Addr); // stores install the line; latency is absorbed
+  charge(Costs.StoreCycles);
+}
+
+bool Runtime::memLoad(uint64_t Addr, uint64_t &Out) {
+  chargeMemRead(Addr);
+  if (Space.loadU64(Addr, Out) == os::AccessResult::Ok)
+    return true;
+  Trap = TrapKind::MemoryFault;
+  return false;
+}
+
+bool Runtime::memStore(uint64_t Addr, uint64_t ValueBits) {
+  chargeMemWrite(Addr);
+  if (Space.storeU64(Addr, ValueBits) == os::AccessResult::Ok) {
+    if (Observer)
+      Observer->onCellWrite(Addr);
+    return true;
+  }
+  Trap = TrapKind::MemoryFault;
+  return false;
+}
+
+bool Runtime::consumeInsn() {
+  ++CallInsns;
+  ++TotalInsns;
+  if (CallInsns > Config.InsnBudget) {
+    Trap = TrapKind::Timeout;
+    return false;
+  }
+  return true;
+}
+
+void Runtime::safepoint() {
+  charge(Costs.SafepointCycles);
+  uint64_t GcCost = TheHeap.pollSafepoint(Costs.GcPauseCycles);
+  if (GcCost > 0)
+    charge(GcCost);
+}
+
+Value Runtime::callNative(dex::NativeId Id,
+                          const std::vector<Value> &Args) {
+  const NativeImpl *Impl = ResolvedNatives.at(Id);
+  // The JNI transition is the caller's cost; the native body's work is
+  // attributed to the native itself (profile slots after the method table)
+  // so the code-breakdown's JNI category sees it.
+  charge(Costs.NativeCallCycles);
+  if (Config.AttributeCycles)
+    AttributionStack.push_back(
+        static_cast<dex::MethodId>(Dex.methods().size() + Id));
+  charge(Impl->WorkCycles);
+  if (Config.AttributeCycles)
+    AttributionStack.pop_back();
+  Env.IoLog = &IoLog;
+  Env.InputQueue = &Inputs;
+  // A coarse monotone clock: cycles at 1 GHz, rounded to milliseconds.
+  Env.NowMillis = TotalCycles / 1000000;
+  return Impl->Fn(Env, Args);
+}
+
+Value Runtime::invoke(dex::MethodId MethodId,
+                      const std::vector<Value> &Args) {
+  if (Trap != TrapKind::None)
+    return Value();
+  if (Depth >= Config.MaxCallDepth) {
+    Trap = TrapKind::StackOverflow;
+    return Value();
+  }
+
+  const dex::Method &M = Dex.method(MethodId);
+  assert(Args.size() == M.ParamCount && "argument count mismatch");
+
+  ++Depth;
+  if (Config.AttributeCycles)
+    AttributionStack.push_back(MethodId);
+
+  bool FiredHook = false;
+  if (MethodId == HookTarget && !RegionActive) {
+    RegionActive = true;
+    FiredHook = true;
+    if (Hook.OnEnter)
+      Hook.OnEnter(Args);
+  }
+
+  Value Ret;
+  if (M.IsNative) {
+    Ret = callNative(M.Native, Args);
+  } else if (const MachineFunction *Fn =
+                 Mode == ExecMode::Mixed ? Cache.lookup(MethodId)
+                                         : nullptr) {
+    Ret = execMachine(*Fn, Args);
+  } else {
+    Ret = interpret(M, Args);
+  }
+
+  if (FiredHook) {
+    if (Hook.OnExit)
+      Hook.OnExit();
+    RegionActive = false;
+  }
+
+  if (Config.AttributeCycles)
+    AttributionStack.pop_back();
+  --Depth;
+  return Ret;
+}
+
+CallResult Runtime::call(dex::MethodId Method,
+                         const std::vector<Value> &Args) {
+  assert(Depth == 0 && "call() is not reentrant");
+  Trap = TrapKind::None;
+  CallCycles = 0;
+  CallInsns = 0;
+
+  Value Ret = invoke(Method, Args);
+
+  CallResult Result;
+  Result.Trap = Trap;
+  Result.Ret = Ret;
+  Result.Cycles = CallCycles;
+  Result.Insns = CallInsns;
+  Trap = TrapKind::None;
+  return Result;
+}
+
+void Runtime::resetProfile() {
+  MethodCycles.assign(Dex.methods().size() + Dex.natives().size(), 0);
+}
+
+Value Runtime::readStatic(dex::StaticFieldId Id) {
+  uint64_t Bits = 0;
+  [[maybe_unused]] bool Ok =
+      Space.peek(staticSlotAddr(Id), &Bits, sizeof(Bits));
+  assert(Ok && "static slot unmapped");
+  Value V;
+  V.Raw = Bits;
+  return V;
+}

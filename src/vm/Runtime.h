@@ -1,0 +1,214 @@
+//===- vm/Runtime.h - Mixed-mode execution engine ---------------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution engine: a bytecode interpreter and a machine-code executor
+/// sharing one heap, one static area, one native registry, and one cycle
+/// accounting stream — the analogue of ART running a mix of interpreted and
+/// AOT-compiled methods. Every call picks the best available tier per
+/// method (unless forced to interpret, as the verification replay is).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_VM_RUNTIME_H
+#define ROPT_VM_RUNTIME_H
+
+#include "dex/DexFile.h"
+#include "os/AddressSpace.h"
+#include "vm/CostModel.h"
+#include "vm/Heap.h"
+#include "vm/Machine.h"
+#include "vm/Native.h"
+#include "vm/Trap.h"
+#include "vm/Value.h"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace ropt {
+namespace vm {
+
+/// Hooks the interpreted replay uses to build type profiles and the
+/// verification map (Section 3.4). Only the interpreter fires them.
+class ExecObserver {
+public:
+  virtual ~ExecObserver() = default;
+  /// An invoke-virtual at (Caller, Pc) dispatched on ReceiverClass.
+  virtual void onVirtualDispatch(dex::MethodId Caller, uint32_t Pc,
+                                 dex::ClassId ReceiverClass) {
+    (void)Caller;
+    (void)Pc;
+    (void)ReceiverClass;
+  }
+  /// An 8-byte heap or static cell at Addr was written.
+  virtual void onCellWrite(uint64_t Addr) { (void)Addr; }
+};
+
+/// Runtime configuration.
+struct RuntimeConfig {
+  uint64_t InsnBudget = 50000000; ///< Per top-level call; Timeout beyond.
+  uint32_t MaxCallDepth = 512;
+  uint64_t HeapLimitBytes = 24 * 1024 * 1024;
+  uint64_t GcThresholdBytes = 8 * 1024 * 1024;
+  bool AttributeCycles = false; ///< Per-method exclusive cycle profile.
+  uint64_t BootId = 1;          ///< Seeds the runtime-image content.
+};
+
+/// Result of one top-level call.
+struct CallResult {
+  TrapKind Trap = TrapKind::None;
+  Value Ret;
+  uint64_t Cycles = 0;
+  uint64_t Insns = 0;
+
+  bool ok() const { return Trap == TrapKind::None; }
+};
+
+/// Callbacks fired around the outermost invocation of a designated hot
+/// region root — the capture mechanism's entry-point instrumentation
+/// (Section 3.2, step 1).
+struct RegionHooks {
+  std::function<void(const std::vector<Value> &)> OnEnter;
+  std::function<void()> OnExit;
+};
+
+/// Execution tier selection.
+enum class ExecMode {
+  Mixed,         ///< Compiled code when available, interpreter otherwise.
+  InterpretOnly, ///< Force the interpreter everywhere.
+};
+
+/// The engine. One Runtime per process address space.
+class Runtime {
+public:
+  Runtime(os::AddressSpace &Space, const dex::DexFile &Dex,
+          const NativeRegistry &Natives, RuntimeConfig Config);
+
+  /// Maps the standard process layout into \p Space and initializes the
+  /// data segment (static fields), heap control block, and the
+  /// boot-deterministic runtime image. Call once for a fresh app process;
+  /// replay loaders restore captured pages instead.
+  static void mapStandardLayout(os::AddressSpace &Space,
+                                const dex::DexFile &Dex,
+                                const RuntimeConfig &Config);
+
+  /// Invokes \p Method with \p Args. Resets the per-call budget; cycle and
+  /// instruction counts accumulate into the lifetime totals too.
+  CallResult call(dex::MethodId Method, const std::vector<Value> &Args);
+
+  Heap &heap() { return TheHeap; }
+  os::AddressSpace &space() { return Space; }
+  const RuntimeConfig &config() const { return Config; }
+  const dex::DexFile &dexFile() const { return Dex; }
+  CodeCache &codeCache() { return Cache; }
+  const CycleCostModel &costModel() const { return Costs; }
+
+  void setMode(ExecMode M) { Mode = M; }
+  ExecMode mode() const { return Mode; }
+
+  void setObserver(ExecObserver *Obs) { Observer = Obs; }
+
+  /// Arms hooks around the outermost call of \p Target (recursion does not
+  /// re-fire). Used by the capture manager.
+  void armRegionHook(dex::MethodId Target, RegionHooks Hooks) {
+    HookTarget = Target;
+    Hook = std::move(Hooks);
+  }
+  void disarmRegionHook() {
+    HookTarget = dex::InvalidId;
+    Hook = RegionHooks();
+  }
+
+  /// Environment for natives: scripted inputs, io log, nondeterminism.
+  NativeContext &env() { return Env; }
+  std::vector<int64_t> &ioLog() { return IoLog; }
+  std::deque<int64_t> &inputQueue() { return Inputs; }
+  /// Installs the nondeterminism source natives draw from.
+  void setEnvironmentRng(Rng *R) { Env.EnvRng = R; }
+
+  /// Lifetime accounting.
+  uint64_t totalCycles() const { return TotalCycles; }
+  uint64_t totalInsns() const { return TotalInsns; }
+
+  /// Exclusive cycles per method id (only filled when AttributeCycles).
+  /// Entries past the method table — [methods().size(),
+  /// methods().size() + natives().size()) — attribute native (JNI) work.
+  const std::vector<uint64_t> &methodCycles() const { return MethodCycles; }
+  void resetProfile();
+
+  /// Static field cell address.
+  static uint64_t staticSlotAddr(dex::StaticFieldId Id) {
+    return Layout::DataBase + 8 * Id;
+  }
+
+  /// Reads a static field directly (test/verification convenience).
+  Value readStatic(dex::StaticFieldId Id);
+
+private:
+  // --- Shared execution plumbing (Runtime.cpp) ---------------------------
+  void charge(uint64_t Cycles);
+  void chargeMemRead(uint64_t Addr);
+  void chargeMemWrite(uint64_t Addr);
+  bool memLoad(uint64_t Addr, uint64_t &Out);
+  bool memStore(uint64_t Addr, uint64_t ValueBits);
+  bool consumeInsn();
+  Value callNative(dex::NativeId Id, const std::vector<Value> &Args);
+  Value invoke(dex::MethodId Method, const std::vector<Value> &Args);
+  void safepoint();
+
+  // --- Interpreter (Interpreter.cpp) ---------------------------------------
+  Value interpret(const dex::Method &M, const std::vector<Value> &Args);
+
+  // --- Machine executor (Executor.cpp) -------------------------------------
+  Value execMachine(const MachineFunction &Fn,
+                    const std::vector<Value> &Args);
+
+  friend class RuntimeTestPeer;
+
+  os::AddressSpace &Space;
+  const dex::DexFile &Dex;
+  const NativeRegistry &Natives;
+  RuntimeConfig Config;
+  CycleCostModel Costs;
+  Heap TheHeap;
+  CodeCache Cache;
+  ExecMode Mode = ExecMode::Mixed;
+  ExecObserver *Observer = nullptr;
+
+  /// Resolved native implementations, indexed by NativeId.
+  std::vector<const NativeImpl *> ResolvedNatives;
+
+  NativeContext Env;
+  std::vector<int64_t> IoLog;
+  std::deque<int64_t> Inputs;
+
+  CacheSim DCache;
+  BranchPredictor Predictor;
+
+  dex::MethodId HookTarget = dex::InvalidId;
+  RegionHooks Hook;
+  bool RegionActive = false;
+
+  // Per-call execution state.
+  TrapKind Trap = TrapKind::None;
+  uint64_t CallCycles = 0;
+  uint64_t CallInsns = 0;
+  uint32_t Depth = 0;
+
+  // Lifetime accounting.
+  uint64_t TotalCycles = 0;
+  uint64_t TotalInsns = 0;
+
+  // Profiling.
+  std::vector<uint64_t> MethodCycles;
+  std::vector<dex::MethodId> AttributionStack;
+};
+
+} // namespace vm
+} // namespace ropt
+
+#endif // ROPT_VM_RUNTIME_H

@@ -1,0 +1,50 @@
+//===- vm/Trap.h - Abnormal execution outcomes -------------------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trap kinds shared by the interpreter and the machine-code executor.
+/// These are the runtime-visible failure modes Figure 1 classifies: a
+/// miscompiled binary crashes (null/bounds/div/memory), times out, or runs
+/// to completion with wrong output (caught by the verification map).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_VM_TRAP_H
+#define ROPT_VM_TRAP_H
+
+namespace ropt {
+namespace vm {
+
+enum class TrapKind {
+  None,
+  NullPointer,
+  OutOfBounds,
+  DivByZero,
+  Timeout,       ///< Instruction budget exhausted.
+  OutOfMemory,   ///< Heap exhausted.
+  MemoryFault,   ///< Raw access violation / unmapped access.
+  StackOverflow, ///< Call depth limit exceeded.
+};
+
+/// Short name for \p Kind.
+inline const char *trapKindName(TrapKind Kind) {
+  switch (Kind) {
+  case TrapKind::None: return "none";
+  case TrapKind::NullPointer: return "null-pointer";
+  case TrapKind::OutOfBounds: return "out-of-bounds";
+  case TrapKind::DivByZero: return "div-by-zero";
+  case TrapKind::Timeout: return "timeout";
+  case TrapKind::OutOfMemory: return "out-of-memory";
+  case TrapKind::MemoryFault: return "memory-fault";
+  case TrapKind::StackOverflow: return "stack-overflow";
+  }
+  return "unknown";
+}
+
+} // namespace vm
+} // namespace ropt
+
+#endif // ROPT_VM_TRAP_H

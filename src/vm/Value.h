@@ -1,0 +1,60 @@
+//===- vm/Value.h - Runtime value representation ----------------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registers and slots are raw 64-bit cells; Value provides the typed
+/// views. References are virtual addresses into the process address space
+/// (0 is null), so captured memory snapshots stay self-describing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_VM_VALUE_H
+#define ROPT_VM_VALUE_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace ropt {
+namespace vm {
+
+/// One 64-bit register / slot cell.
+struct Value {
+  uint64_t Raw = 0;
+
+  static Value fromI64(int64_t V) {
+    Value Out;
+    Out.Raw = static_cast<uint64_t>(V);
+    return Out;
+  }
+
+  static Value fromF64(double V) {
+    Value Out;
+    std::memcpy(&Out.Raw, &V, sizeof(V));
+    return Out;
+  }
+
+  static Value fromRef(uint64_t Addr) {
+    Value Out;
+    Out.Raw = Addr;
+    return Out;
+  }
+
+  int64_t asI64() const { return static_cast<int64_t>(Raw); }
+
+  double asF64() const {
+    double V;
+    std::memcpy(&V, &Raw, sizeof(V));
+    return V;
+  }
+
+  uint64_t asRef() const { return Raw; }
+  bool isNullRef() const { return Raw == 0; }
+};
+
+} // namespace vm
+} // namespace ropt
+
+#endif // ROPT_VM_VALUE_H

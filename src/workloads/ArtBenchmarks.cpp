@@ -1,0 +1,665 @@
+//===- workloads/ArtBenchmarks.cpp - The six "Art" benchmarks ---------------===//
+//
+// Sieve, BubbleSort, SelectionSort, Linpack, Fibonacci (iterative and
+// recursive), and Dhrystone — the benchmarks historically used to evaluate
+// the Android compiler (Table 1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/BuilderUtil.h"
+
+using namespace ropt;
+using namespace ropt::dex;
+using namespace ropt::workloads;
+
+namespace {
+
+MethodId makeSession(DexBuilder &B, const CommonNatives &N,
+                     MethodId Kernel) {
+  // Cold bookkeeping: replayable, compilable, but outside the hot region.
+  MethodId Cold = B.declareFunction(InvalidId, "coldBookkeeping", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Cold);
+    RegIdx Acc = F.newReg(), I = F.newReg(), Rounds = F.immI(900),
+           Five = F.immI(5);
+    F.constI(Acc, 0);
+    emitCountedLoop(F, I, Rounds, [&] {
+      RegIdx T = F.newReg();
+      F.xorI(T, F.param(0), I);
+      F.remI(T, T, Five);
+      F.addI(Acc, Acc, T);
+    });
+    F.ret(Acc);
+    B.endBody(F);
+  }
+  MethodId Session = B.declareFunction(InvalidId, "session", 1, true);
+  FunctionBuilder F = B.beginBody(Session);
+  RegIdx R = F.newReg(), C = F.newReg();
+  F.invokeStatic(R, Kernel, {F.param(0)});
+  F.invokeStatic(C, Cold, {R});
+  F.addI(R, R, C);
+  F.invokeNative(NoReg, N.Print, {R});
+  F.ret(R);
+  B.endBody(F);
+  return Session;
+}
+
+/// Declares init(n) allocating one static i64 array of n elements.
+MethodId makeArrayInit(DexBuilder &B, StaticFieldId ArrF) {
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  FunctionBuilder F = B.beginBody(Init);
+  RegIdx Arr = F.newReg();
+  F.newArray(Arr, F.param(0), Type::I64);
+  F.putStatic(ArrF, Arr);
+  F.retVoid();
+  B.endBody(F);
+  return Init;
+}
+
+/// Emits: refill Arr with LCG values seeded by Seed0 (an i64 register).
+void emitRefill(FunctionBuilder &F, RegIdx Arr, RegIdx Seed) {
+  RegIdx Len = F.newReg(), I = F.newReg();
+  F.arrayLen(Len, Arr);
+  emitCountedLoop(F, I, Len, [&] {
+    RegIdx Draw = F.newReg();
+    emitLcgStep(F, Seed, Draw);
+    F.astore(Arr, I, Draw, Type::I64);
+  });
+}
+
+} // namespace
+
+// --- Sieve -----------------------------------------------------------------------
+
+Application workloads::buildSieve() {
+  DexBuilder B;
+  CommonNatives N(B);
+  ClassId State = B.addClass("Sieve");
+  StaticFieldId FlagsF = B.addStaticField(State, "flags", Type::Ref);
+  ScratchBuffer Scratch = addScratch(B, 16);
+  ColdPool Pool = addColdPool(B, 2LL * 1024 * 1024);
+
+  MethodId InitPlain = makeArrayInit(B, FlagsF);
+  MethodId Init = B.declareFunction(InvalidId, "initAll", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    F.invokeStatic(NoReg, InitPlain, {F.param(0)});
+    emitColdPoolInit(F, Pool);
+    emitScratchInit(F, Scratch);
+    F.retVoid();
+    B.endBody(F);
+  }
+  MethodId Kernel = B.declareFunction(InvalidId, "sieveKernel", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Flags = F.newReg(), Len = F.newReg(), Limit = F.newReg(),
+           One = F.immI(1), Floor = F.immI(512);
+    F.getStatic(Flags, FlagsF);
+    F.arrayLen(Len, Flags);
+    // limit = clamp(param, 512, len)
+    F.move(Limit, F.param(0));
+    auto AboveFloor = F.newLabel(), Clamped = F.newLabel();
+    F.ifGe(Limit, Floor, AboveFloor);
+    F.move(Limit, Floor);
+    F.bind(AboveFloor);
+    F.ifLe(Limit, Len, Clamped);
+    F.move(Limit, Len);
+    F.bind(Clamped);
+
+    RegIdx I = F.newReg();
+    emitCountedLoop(F, I, Limit, [&] {
+      F.astore(Flags, I, One, Type::I64);
+    });
+    RegIdx Count = F.newReg(), P = F.newReg(), Two = F.immI(2);
+    F.constI(Count, 0);
+    F.constI(P, 2);
+    auto PHead = F.newLabel(), PDone = F.newLabel();
+    F.bind(PHead);
+    F.ifGe(P, Limit, PDone);
+    {
+      RegIdx Flag = F.newReg();
+      F.aload(Flag, Flags, P, Type::I64);
+      auto NotPrime = F.newLabel();
+      F.ifEqz(Flag, NotPrime);
+      F.addI(Count, Count, One);
+      RegIdx M = F.newReg(), Zero = F.immI(0);
+      F.mulI(M, P, Two);
+      auto MHead = F.newLabel(), MDone = F.newLabel();
+      F.bind(MHead);
+      F.ifGe(M, Limit, MDone);
+      F.astore(Flags, M, Zero, Type::I64);
+      F.addI(M, M, P);
+      F.jump(MHead);
+      F.bind(MDone);
+      F.bind(NotPrime);
+    }
+    F.addI(P, P, One);
+    F.jump(PHead);
+    F.bind(PDone);
+    emitScratchTouch(F, Scratch, Count);
+    F.ret(Count);
+    B.endBody(F);
+  }
+  MethodId Session = makeSession(B, N, Kernel);
+
+  Application App;
+  App.Name = "Sieve";
+  App.RtConfig.HeapLimitBytes = 12 * 1024 * 1024;
+  App.Kind = Suite::Art;
+  App.File = std::make_shared<DexFile>(B.build());
+  App.InitEntry = Init;
+  App.SessionEntry = Session;
+  App.InitParam = 6000;
+  App.DefaultParam = 6000;
+  App.MinParam = 512;
+  App.MaxParam = 6000;
+  return App;
+}
+
+// --- BubbleSort --------------------------------------------------------------------
+
+Application workloads::buildBubbleSort() {
+  DexBuilder B;
+  CommonNatives N(B);
+  ClassId State = B.addClass("BubbleSort");
+  StaticFieldId ArrF = B.addStaticField(State, "data", Type::Ref);
+  ScratchBuffer Scratch = addScratch(B, 200);
+  ColdPool Pool = addColdPool(B, 8LL * 1024 * 1024);
+
+  MethodId InitPlain = makeArrayInit(B, ArrF);
+  MethodId Init = B.declareFunction(InvalidId, "initAll", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    F.invokeStatic(NoReg, InitPlain, {F.param(0)});
+    emitScratchInit(F, Scratch);
+    emitColdPoolInit(F, Pool);
+    F.retVoid();
+    B.endBody(F);
+  }
+  MethodId Kernel = B.declareFunction(InvalidId, "bubbleKernel", 1, true);
+  {
+    // bubbleKernel(param): refill the whole array (heavy write traffic —
+    // the Figure-10 CoW-outlier), then run (param % 4 + 3) bubble passes.
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Arr = F.newReg(), Len = F.newReg(), One = F.immI(1);
+    F.getStatic(Arr, ArrF);
+    F.arrayLen(Len, Arr);
+    RegIdx Seed = F.newReg(), SeedMul = F.immI(31);
+    F.mulI(Seed, F.param(0), SeedMul);
+    F.addI(Seed, Seed, One);
+    emitRefill(F, Arr, Seed);
+
+    RegIdx Passes = F.newReg(), FourI = F.immI(4), Three = F.immI(3);
+    F.remI(Passes, F.param(0), FourI);
+    F.addI(Passes, Passes, Three);
+    RegIdx LenM1 = F.newReg();
+    F.subI(LenM1, Len, One);
+
+    RegIdx Swaps = F.newReg(), P = F.newReg();
+    F.constI(Swaps, 0);
+    emitCountedLoop(F, P, Passes, [&] {
+      RegIdx I = F.newReg();
+      emitCountedLoop(F, I, LenM1, [&] {
+        RegIdx A = F.newReg(), Bv = F.newReg(), Ip1 = F.newReg();
+        F.addI(Ip1, I, One);
+        F.aload(A, Arr, I, Type::I64);
+        F.aload(Bv, Arr, Ip1, Type::I64);
+        auto NoSwap = F.newLabel();
+        F.ifLe(A, Bv, NoSwap);
+        F.astore(Arr, I, Bv, Type::I64);
+        F.astore(Arr, Ip1, A, Type::I64);
+        F.addI(Swaps, Swaps, One);
+        F.bind(NoSwap);
+      });
+    });
+    emitScratchTouch(F, Scratch, Swaps);
+    F.ret(Swaps);
+    B.endBody(F);
+  }
+  MethodId Session = makeSession(B, N, Kernel);
+
+  Application App;
+  App.Name = "BubbleSort";
+  App.RtConfig.HeapLimitBytes = 16 * 1024 * 1024;
+  App.Kind = Suite::Art;
+  App.File = std::make_shared<DexFile>(B.build());
+  App.InitEntry = Init;
+  App.SessionEntry = Session;
+  App.InitParam = 6000; // ~12 pages of array rewritten per kernel run
+  App.DefaultParam = 5;
+  App.MinParam = 1;
+  App.MaxParam = 1000;
+  return App;
+}
+
+// --- SelectionSort ------------------------------------------------------------------
+
+Application workloads::buildSelectionSort() {
+  DexBuilder B;
+  CommonNatives N(B);
+  ClassId State = B.addClass("SelectionSort");
+  StaticFieldId ArrF = B.addStaticField(State, "data", Type::Ref);
+  ColdPool Pool = addColdPool(B, 1LL * 1024 * 1024);
+
+  MethodId InitPlain2 = makeArrayInit(B, ArrF);
+  MethodId Init = B.declareFunction(InvalidId, "initAll", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    F.invokeStatic(NoReg, InitPlain2, {F.param(0)});
+    emitColdPoolInit(F, Pool);
+    F.retVoid();
+    B.endBody(F);
+  }
+  MethodId Kernel =
+      B.declareFunction(InvalidId, "selectionKernel", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Arr = F.newReg(), Len = F.newReg(), One = F.immI(1);
+    F.getStatic(Arr, ArrF);
+    F.arrayLen(Len, Arr);
+    RegIdx Seed = F.newReg(), SeedMul = F.immI(17);
+    F.mulI(Seed, F.param(0), SeedMul);
+    F.addI(Seed, Seed, One);
+    emitRefill(F, Arr, Seed);
+
+    RegIdx I = F.newReg(), LenM1 = F.newReg();
+    F.subI(LenM1, Len, One);
+    emitCountedLoop(F, I, LenM1, [&] {
+      RegIdx Min = F.newReg(), MinIdx = F.newReg(), J = F.newReg();
+      F.aload(Min, Arr, I, Type::I64);
+      F.move(MinIdx, I);
+      F.addI(J, I, One);
+      auto JHead = F.newLabel(), JDone = F.newLabel();
+      F.bind(JHead);
+      F.ifGe(J, Len, JDone);
+      RegIdx V = F.newReg();
+      F.aload(V, Arr, J, Type::I64);
+      auto NotSmaller = F.newLabel();
+      F.ifGe(V, Min, NotSmaller);
+      F.move(Min, V);
+      F.move(MinIdx, J);
+      F.bind(NotSmaller);
+      F.addI(J, J, One);
+      F.jump(JHead);
+      F.bind(JDone);
+      RegIdx Tmp = F.newReg();
+      F.aload(Tmp, Arr, I, Type::I64);
+      F.astore(Arr, MinIdx, Tmp, Type::I64);
+      F.astore(Arr, I, Min, Type::I64);
+    });
+
+    // Digest: middle element after sorting.
+    RegIdx Mid = F.newReg(), Two = F.immI(2), Out = F.newReg();
+    F.divI(Mid, Len, Two);
+    F.aload(Out, Arr, Mid, Type::I64);
+    F.ret(Out);
+    B.endBody(F);
+  }
+  MethodId Session = makeSession(B, N, Kernel);
+
+  Application App;
+  App.Name = "SelectionSort";
+  App.RtConfig.HeapLimitBytes = 10 * 1024 * 1024;
+  App.Kind = Suite::Art;
+  App.File = std::make_shared<DexFile>(B.build());
+  App.InitEntry = Init;
+  App.SessionEntry = Session;
+  App.InitParam = 220;
+  App.DefaultParam = 9;
+  App.MinParam = 1;
+  App.MaxParam = 1000;
+  return App;
+}
+
+// --- Linpack ------------------------------------------------------------------------
+
+Application workloads::buildLinpack() {
+  DexBuilder B;
+  CommonNatives N(B);
+  ClassId State = B.addClass("Linpack");
+  StaticFieldId MatF = B.addStaticField(State, "a", Type::Ref);
+  StaticFieldId SizeF = B.addStaticField(State, "n", Type::I64);
+  constexpr int64_t MatN = 24;
+
+  ColdPool Pool = addColdPool(B, 1LL * 1024 * 1024);
+  // daxpy(base1, base2, count, scaleBits): a[base1+k] += scale*a[base2+k].
+  // A separate static function — Linpack's structure rewards inlining.
+  MethodId Daxpy = B.declareFunction(InvalidId, "daxpy", 4, false);
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  MethodId Kernel = B.declareFunction(InvalidId, "linpackKernel", 1, true);
+
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx Nn = F.param(0), Size = F.newReg(), A = F.newReg();
+    F.mulI(Size, Nn, Nn);
+    F.newArray(A, Size, Type::F64);
+    F.putStatic(MatF, A);
+    F.putStatic(SizeF, Nn);
+    emitColdPoolInit(F, Pool);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  {
+    FunctionBuilder F = B.beginBody(Daxpy);
+    RegIdx Base1 = F.param(0), Base2 = F.param(1), Count = F.param(2),
+           ScaleBits = F.param(3);
+    RegIdx A = F.newReg(), K = F.newReg(), One = F.immI(1);
+    (void)One;
+    F.getStatic(A, MatF);
+    // The scale arrives as raw f64 bits in an i64 register.
+    RegIdx Scale = F.newReg();
+    F.move(Scale, ScaleBits);
+    emitCountedLoop(F, K, Count, [&] {
+      RegIdx I1 = F.newReg(), I2 = F.newReg(), Va = F.newReg(),
+             Vb = F.newReg(), P = F.newReg();
+      F.addI(I1, Base1, K);
+      F.addI(I2, Base2, K);
+      F.aload(Va, A, I1, Type::F64);
+      F.aload(Vb, A, I2, Type::F64);
+      F.mulF(P, Vb, Scale);
+      F.addF(Va, Va, P);
+      F.astore(A, I1, Va, Type::F64);
+    });
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx A = F.newReg(), Nn = F.newReg(), One = F.immI(1);
+    F.getStatic(A, MatF);
+    F.getStatic(Nn, SizeF);
+    RegIdx Size = F.newReg();
+    F.mulI(Size, Nn, Nn);
+
+    RegIdx Seed = F.newReg(), SeedMul = F.immI(53), I = F.newReg(),
+           Scale = F.immF(1.0 / 2147483648.0);
+    F.mulI(Seed, F.param(0), SeedMul);
+    F.addI(Seed, Seed, One);
+    emitCountedLoop(F, I, Size, [&] {
+      RegIdx Draw = F.newReg(), D = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.i2f(D, Draw);
+      F.mulF(D, D, Scale);
+      F.astore(A, I, D, Type::F64);
+    });
+    RegIdx DiagBoost = F.immF(double(MatN) + 2.0);
+    emitCountedLoop(F, I, Nn, [&] {
+      RegIdx Idx = F.newReg(), V = F.newReg();
+      F.mulI(Idx, I, Nn);
+      F.addI(Idx, Idx, I);
+      F.aload(V, A, Idx, Type::F64);
+      F.addF(V, V, DiagBoost);
+      F.astore(A, Idx, V, Type::F64);
+    });
+
+    // Gaussian elimination built on daxpy row updates.
+    RegIdx K = F.newReg();
+    emitCountedLoop(F, K, Nn, [&] {
+      RegIdx Kk = F.newReg(), Pivot = F.newReg();
+      F.mulI(Kk, K, Nn);
+      F.addI(Kk, Kk, K);
+      F.aload(Pivot, A, Kk, Type::F64);
+      RegIdx Ii = F.newReg();
+      F.addI(Ii, K, One);
+      auto IHead = F.newLabel(), IDone = F.newLabel();
+      F.bind(IHead);
+      F.ifGe(Ii, Nn, IDone);
+      {
+        RegIdx Ik = F.newReg(), L = F.newReg(), NegL = F.newReg();
+        F.mulI(Ik, Ii, Nn);
+        F.addI(Ik, Ik, K);
+        F.aload(L, A, Ik, Type::F64);
+        F.divF(L, L, Pivot);
+        F.astore(A, Ik, L, Type::F64);
+        F.negF(NegL, L);
+        // a[i][k+1..] -= l * a[k][k+1..]
+        RegIdx Base1 = F.newReg(), Base2 = F.newReg(), Count = F.newReg();
+        F.addI(Base1, Ik, One);
+        RegIdx Kk1 = F.newReg();
+        F.addI(Kk1, Kk, One);
+        F.move(Base2, Kk1);
+        F.subI(Count, Nn, K);
+        F.subI(Count, Count, One);
+        F.invokeStatic(NoReg, Daxpy, {Base1, Base2, Count, NegL});
+      }
+      F.addI(Ii, Ii, One);
+      F.jump(IHead);
+      F.bind(IDone);
+    });
+
+    RegIdx Sum = F.newReg(), Thousand = F.immF(1000.0);
+    F.constF(Sum, 0.0);
+    emitCountedLoop(F, I, Nn, [&] {
+      RegIdx Idx = F.newReg(), V = F.newReg();
+      F.mulI(Idx, I, Nn);
+      F.addI(Idx, Idx, I);
+      F.aload(V, A, Idx, Type::F64);
+      F.addF(Sum, Sum, V);
+    });
+    F.mulF(Sum, Sum, Thousand);
+    RegIdx Out = F.newReg();
+    F.f2i(Out, Sum);
+    F.ret(Out);
+    B.endBody(F);
+  }
+
+  MethodId Session = makeSession(B, N, Kernel);
+
+  Application App;
+  App.Name = "Linpack";
+  App.RtConfig.HeapLimitBytes = 12 * 1024 * 1024;
+  App.Kind = Suite::Art;
+  App.File = std::make_shared<DexFile>(B.build());
+  App.InitEntry = Init;
+  App.SessionEntry = Session;
+  App.InitParam = MatN;
+  App.DefaultParam = 21;
+  App.MinParam = 1;
+  App.MaxParam = 1000;
+  return App;
+}
+
+// --- Fibonacci --------------------------------------------------------------------
+
+Application workloads::buildFibonacciIter() {
+  DexBuilder B;
+  CommonNatives N(B);
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    F.retVoid();
+    B.endBody(F);
+  }
+  MethodId Kernel = B.declareFunction(InvalidId, "fibIterKernel", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Steps = F.newReg(), Mask = F.immI(16383), Floor = F.immI(8000);
+    F.andI(Steps, F.param(0), Mask);
+    F.addI(Steps, Steps, Floor);
+    RegIdx A = F.newReg(), Bv = F.newReg(), T = F.newReg(), I = F.newReg();
+    F.constI(A, 0);
+    F.constI(Bv, 1);
+    emitCountedLoop(F, I, Steps, [&] {
+      F.addI(T, A, Bv);
+      F.move(A, Bv);
+      F.move(Bv, T);
+    });
+    F.ret(A);
+    B.endBody(F);
+  }
+  MethodId Session = makeSession(B, N, Kernel);
+
+  Application App;
+  App.Name = "Fibonacci.iter";
+  App.RtConfig.HeapLimitBytes = 8 * 1024 * 1024;
+  App.Kind = Suite::Art;
+  App.File = std::make_shared<DexFile>(B.build());
+  App.InitEntry = Init;
+  App.SessionEntry = Session;
+  App.InitParam = 0;
+  App.DefaultParam = 9000;
+  App.MinParam = 100;
+  App.MaxParam = 16000;
+  return App;
+}
+
+Application workloads::buildFibonacciRecv() {
+  DexBuilder B;
+  CommonNatives N(B);
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    F.retVoid();
+    B.endBody(F);
+  }
+  MethodId Fib = B.declareFunction(InvalidId, "fib", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Fib);
+    auto BaseCase = F.newLabel();
+    RegIdx Two = F.immI(2), One = F.immI(1);
+    F.ifLt(F.param(0), Two, BaseCase);
+    RegIdx A = F.newReg(), Bv = F.newReg(), T = F.newReg();
+    F.subI(T, F.param(0), One);
+    F.invokeStatic(A, Fib, {T});
+    F.subI(T, T, One);
+    F.invokeStatic(Bv, Fib, {T});
+    F.addI(A, A, Bv);
+    F.ret(A);
+    F.bind(BaseCase);
+    F.ret(F.param(0));
+    B.endBody(F);
+  }
+  MethodId Kernel = B.declareFunction(InvalidId, "fibRecvKernel", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Nn = F.newReg(), Mask = F.immI(7), Floor = F.immI(14);
+    F.andI(Nn, F.param(0), Mask);
+    F.addI(Nn, Nn, Floor); // fib(14..21)
+    RegIdx R = F.newReg();
+    F.invokeStatic(R, Fib, {Nn});
+    F.ret(R);
+    B.endBody(F);
+  }
+  MethodId Session = makeSession(B, N, Kernel);
+
+  Application App;
+  App.Name = "Fibonacci.recv";
+  App.RtConfig.HeapLimitBytes = 8 * 1024 * 1024;
+  App.Kind = Suite::Art;
+  App.File = std::make_shared<DexFile>(B.build());
+  App.InitEntry = Init;
+  App.SessionEntry = Session;
+  App.InitParam = 0;
+  App.DefaultParam = 4; // fib(18)
+  App.MinParam = 0;
+  App.MaxParam = 1000;
+  return App;
+}
+
+// --- Dhrystone --------------------------------------------------------------------
+
+Application workloads::buildDhrystone() {
+  DexBuilder B;
+  CommonNatives N(B);
+  ClassId Record = B.addClass("Record");
+  FieldId IntComp = B.addField(Record, "intComp", Type::I64);
+  FieldId EnumComp = B.addField(Record, "enumComp", Type::I64);
+  FieldId NextRef = B.addField(Record, "next", Type::Ref);
+  ClassId State = B.addClass("Dhry");
+  StaticFieldId GlobF = B.addStaticField(State, "glob", Type::Ref);
+  StaticFieldId Arr1F = B.addStaticField(State, "arr1", Type::Ref);
+
+  MethodId Proc7 = B.declareFunction(InvalidId, "proc7", 2, true);
+  MethodId Func2 = B.declareFunction(InvalidId, "func2", 2, true);
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  MethodId Kernel = B.declareFunction(InvalidId, "dhryKernel", 1, true);
+
+  { // proc7(a, b) = a + b + 2 (classic tiny leaf).
+    FunctionBuilder F = B.beginBody(Proc7);
+    RegIdx Two = F.immI(2), R = F.newReg();
+    F.addI(R, F.param(0), F.param(1));
+    F.addI(R, R, Two);
+    F.ret(R);
+    B.endBody(F);
+  }
+  { // func2(a, b): branchy comparison helper.
+    FunctionBuilder F = B.beginBody(Func2);
+    RegIdx R = F.newReg(), Seven = F.immI(7);
+    auto Gt = F.newLabel();
+    F.ifGt(F.param(0), F.param(1), Gt);
+    F.addI(R, F.param(1), Seven);
+    F.ret(R);
+    F.bind(Gt);
+    F.subI(R, F.param(0), F.param(1));
+    F.ret(R);
+    B.endBody(F);
+  }
+  ColdPool Pool = addColdPool(B, 1LL * 1024 * 1024);
+  { // init: two linked records + a 50-element array.
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx RecA = F.newReg(), RecB = F.newReg(), Fifty = F.immI(50),
+           Arr = F.newReg();
+    F.newInstance(RecA, Record);
+    F.newInstance(RecB, Record);
+    F.putField(RecA, NextRef, RecB);
+    F.putStatic(GlobF, RecA);
+    F.newArray(Arr, Fifty, Type::I64);
+    F.putStatic(Arr1F, Arr);
+    emitColdPoolInit(F, Pool);
+    F.retVoid();
+    B.endBody(F);
+  }
+  { // dhryKernel(rounds): the classic mixed workload loop.
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Rounds = F.newReg(), Mask = F.immI(4095), Floor = F.immI(1500);
+    F.andI(Rounds, F.param(0), Mask);
+    F.addI(Rounds, Rounds, Floor);
+    RegIdx Glob = F.newReg(), Arr = F.newReg(), One = F.immI(1),
+           Three = F.immI(3), Fifty = F.immI(50);
+    F.getStatic(Glob, GlobF);
+    F.getStatic(Arr, Arr1F);
+    RegIdx Sum = F.newReg(), I = F.newReg();
+    F.constI(Sum, 0);
+    emitCountedLoop(F, I, Rounds, [&] {
+      // Record manipulation through the pointer chain.
+      RegIdx NextRec = F.newReg(), V = F.newReg();
+      F.getField(NextRec, Glob, NextRef);
+      F.putField(Glob, IntComp, I);
+      F.getField(V, Glob, IntComp);
+      F.addI(V, V, Three);
+      F.putField(NextRec, IntComp, V);
+      F.putField(NextRec, EnumComp, One);
+      // Array traffic.
+      RegIdx Idx = F.newReg();
+      F.remI(Idx, I, Fifty);
+      F.astore(Arr, Idx, V, Type::I64);
+      RegIdx Back = F.newReg();
+      F.aload(Back, Arr, Idx, Type::I64);
+      // Calls.
+      RegIdx C1 = F.newReg(), C2 = F.newReg();
+      F.invokeStatic(C1, Proc7, {Back, I});
+      F.invokeStatic(C2, Func2, {C1, Back});
+      F.addI(Sum, Sum, C2);
+    });
+    F.ret(Sum);
+    B.endBody(F);
+  }
+  MethodId Session = makeSession(B, N, Kernel);
+
+  Application App;
+  App.Name = "Dhrystone";
+  App.RtConfig.HeapLimitBytes = 10 * 1024 * 1024;
+  App.Kind = Suite::Art;
+  App.File = std::make_shared<DexFile>(B.build());
+  App.InitEntry = Init;
+  App.SessionEntry = Session;
+  App.InitParam = 0;
+  App.DefaultParam = 2500;
+  App.MinParam = 100;
+  App.MaxParam = 5000;
+  return App;
+}

@@ -1,0 +1,148 @@
+//===- workloads/BuilderUtil.h - Bytecode authoring helpers -----*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared snippets the workload definitions use: counted loops, an
+/// in-bytecode LCG (deterministic pseudo-randomness that stays replayable,
+/// unlike the blocklisted randomInt native), and the common native
+/// declarations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_WORKLOADS_BUILDER_UTIL_H
+#define ROPT_WORKLOADS_BUILDER_UTIL_H
+
+#include "dex/Builder.h"
+
+#include <functional>
+
+namespace ropt {
+namespace workloads {
+
+/// Emits `for (I = 0; I < N; ++I) { Body(); }`. \p I must be a register
+/// the caller owns; it holds the index inside \p Body.
+inline void emitCountedLoop(dex::FunctionBuilder &F, dex::RegIdx I,
+                            dex::RegIdx N,
+                            const std::function<void()> &Body) {
+  dex::RegIdx One = F.immI(1);
+  F.constI(I, 0);
+  auto Head = F.newLabel(), Done = F.newLabel();
+  F.bind(Head);
+  F.ifGe(I, N, Done);
+  Body();
+  F.addI(I, I, One);
+  F.jump(Head);
+  F.bind(Done);
+}
+
+/// Emits `State = State * 6364136223846793005 + 1442695040888963407;
+/// Dst = (State >> 33) & (2^31 - 1)` — a 64-bit LCG step. Deterministic,
+/// hence replayable (the Scimark/game AIs use in-code PRNGs, not the
+/// blocklisted randomInt native).
+inline void emitLcgStep(dex::FunctionBuilder &F, dex::RegIdx State,
+                        dex::RegIdx Dst) {
+  dex::RegIdx Mul = F.immI(6364136223846793005LL);
+  dex::RegIdx Add = F.immI(1442695040888963407LL);
+  dex::RegIdx Sh = F.immI(33);
+  dex::RegIdx Mask = F.immI((1LL << 31) - 1);
+  F.mulI(State, State, Mul);
+  F.addI(State, State, Add);
+  F.shrI(Dst, State, Sh);
+  F.andI(Dst, Dst, Mask);
+}
+
+/// Declares, initializes and touches a page-granular scratch buffer: the
+/// kernel stride-writes one word per 4 KiB page, modelling the sparse page
+/// working sets (framebuffers, caches, pools) real hot regions touch. The
+/// capture mechanism's fault/CoW counts — Figure 10's differentiator — come
+/// from exactly this traffic.
+struct ScratchBuffer {
+  dex::StaticFieldId Field;
+  int64_t Pages;
+};
+
+inline ScratchBuffer addScratch(dex::DexBuilder &B, int64_t Pages) {
+  ScratchBuffer S;
+  S.Field = B.addStaticField(dex::InvalidId, "scratchPages",
+                             dex::Type::Ref);
+  S.Pages = Pages;
+  return S;
+}
+
+/// Call inside init(): allocates the buffer (512 i64 words per page).
+inline void emitScratchInit(dex::FunctionBuilder &F,
+                            const ScratchBuffer &S) {
+  dex::RegIdx Len = F.immI(S.Pages * 512), Arr = F.newReg();
+  F.newArray(Arr, Len, dex::Type::I64);
+  F.putStatic(S.Field, Arr);
+}
+
+/// Call inside the kernel (before returning): one store per page.
+inline void emitScratchTouch(dex::FunctionBuilder &F,
+                             const ScratchBuffer &S, dex::RegIdx Seed) {
+  dex::RegIdx Arr = F.newReg(), I = F.newReg(),
+              PageCount = F.immI(S.Pages), Stride = F.immI(512);
+  F.getStatic(Arr, S.Field);
+  emitCountedLoop(F, I, PageCount, [&] {
+    dex::RegIdx Idx = F.newReg(), V = F.newReg();
+    F.mulI(Idx, I, Stride);
+    F.addI(V, Seed, I);
+    F.astore(Arr, Idx, V, dex::Type::I64);
+  });
+}
+
+/// A cold resource pool: live heap data (decoded assets, caches, pools)
+/// the hot region never touches. It grows the app's heap footprint without
+/// growing captures — the reason Figure 11's captures are a few percent of
+/// the heap.
+struct ColdPool {
+  dex::StaticFieldId Field;
+  int64_t Bytes;
+};
+
+inline ColdPool addColdPool(dex::DexBuilder &B, int64_t Bytes) {
+  ColdPool P;
+  P.Field = B.addStaticField(dex::InvalidId, "resourcePool",
+                             dex::Type::Ref);
+  P.Bytes = Bytes;
+  return P;
+}
+
+/// Call inside init().
+inline void emitColdPoolInit(dex::FunctionBuilder &F, const ColdPool &P) {
+  dex::RegIdx Len = F.immI(P.Bytes / 8), Arr = F.newReg();
+  F.newArray(Arr, Len, dex::Type::I64);
+  F.putStatic(P.Field, Arr);
+}
+
+/// The natives every workload file declares (subset used varies).
+struct CommonNatives {
+  dex::NativeId Sin, Cos, Exp, Log, Pow, AbsF;
+  dex::NativeId Print, DrawCell, Vibrate, ReadInput, WriteRecord;
+  dex::NativeId CurrentTimeMillis, RandomInt;
+
+  explicit CommonNatives(dex::DexBuilder &B) {
+    Sin = B.addNative("sin", 1, true, false, false, "sin");
+    Cos = B.addNative("cos", 1, true, false, false, "cos");
+    Exp = B.addNative("exp", 1, true, false, false, "exp");
+    Log = B.addNative("log", 1, true, false, false, "log");
+    Pow = B.addNative("pow", 2, true, false, false, "pow");
+    AbsF = B.addNative("absF", 1, true, false, false, "absF");
+    Print = B.addNative("print", 1, false, /*DoesIO=*/true);
+    DrawCell = B.addNative("drawCell", 3, false, /*DoesIO=*/true);
+    Vibrate = B.addNative("vibrate", 1, false, /*DoesIO=*/true);
+    ReadInput = B.addNative("readInput", 0, true, /*DoesIO=*/true);
+    WriteRecord = B.addNative("writeRecord", 2, false, /*DoesIO=*/true);
+    CurrentTimeMillis =
+        B.addNative("currentTimeMillis", 0, true, false, /*NonDet=*/true);
+    RandomInt = B.addNative("randomInt", 1, true, false, /*NonDet=*/true);
+  }
+};
+
+} // namespace workloads
+} // namespace ropt
+
+#endif // ROPT_WORKLOADS_BUILDER_UTIL_H

@@ -1,0 +1,1163 @@
+//===- workloads/InteractiveApps.cpp - The nine interactive apps ------------===//
+//
+// Faithful-in-structure miniatures of Table 1's interactive applications:
+// a deterministic, compute-bound hot kernel (the capture/replay target)
+// surrounded by the messy parts of a real app — JNI drawing and engine
+// probes, scripted user input, an uncompilable legacy path, and a
+// clock-reading frame pacer — in proportions that reproduce Figure 8's
+// runtime code breakdown shapes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/BuilderUtil.h"
+
+using namespace ropt;
+using namespace ropt::dex;
+using namespace ropt::workloads;
+
+namespace {
+
+/// Extra natives the interactive apps use.
+struct GameNatives {
+  NativeId EngineProbe, DecodeAsset;
+  explicit GameNatives(DexBuilder &B) {
+    EngineProbe =
+        B.addNative("engineProbe", 1, true, /*DoesIO=*/true);
+    DecodeAsset =
+        B.addNative("decodeAsset", 1, true, /*DoesIO=*/true);
+  }
+};
+
+/// Knobs for the generic session wrapper.
+struct SessionSpec {
+  uint32_t DrawCalls = 30;
+  uint32_t EngineProbes = 0;
+  uint32_t AssetDecodes = 0;
+  bool UseLegacy = true;
+};
+
+/// Builds the canonical interactive session around \p Kernel:
+///   mv = readInput(); r = kernel(param + (mv & 3));
+///   drawBoard(); [engine probes; asset decodes;] legacy score; frame pace;
+///   return r.
+MethodId makeInteractiveSession(DexBuilder &B, const CommonNatives &N,
+                                const GameNatives &G, MethodId Kernel,
+                                const SessionSpec &Spec) {
+  // framePace(): reads the clock — non-deterministic, unreplayable.
+  MethodId FramePace = B.declareFunction(InvalidId, "framePace", 0, true);
+  {
+    FunctionBuilder F = B.beginBody(FramePace);
+    RegIdx T = F.newReg(), Mask = F.immI(1023);
+    F.invokeNative(T, N.CurrentTimeMillis, {});
+    F.andI(T, T, Mask);
+    F.ret(T);
+    B.endBody(F);
+  }
+
+  // legacyScore(x): an Android-compiler pathological case — runs
+  // interpreted forever (MF_Uncompilable).
+  MethodId Legacy = B.declareFunction(InvalidId, "legacyScore", 1, true,
+                                      MF_Uncompilable);
+  {
+    FunctionBuilder F = B.beginBody(Legacy);
+    RegIdx Acc = F.newReg(), I = F.newReg(), Count = F.immI(25),
+           Seven = F.immI(7);
+    F.constI(Acc, 0);
+    emitCountedLoop(F, I, Count, [&] {
+      RegIdx T = F.newReg();
+      F.xorI(T, F.param(0), I);
+      F.remI(T, T, Seven);
+      F.addI(Acc, Acc, T);
+    });
+    F.ret(Acc);
+    B.endBody(F);
+  }
+
+  // drawBoard(v): DrawCalls JNI invocations.
+  MethodId Draw = B.declareFunction(InvalidId, "drawBoard", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Draw);
+    RegIdx I = F.newReg(), Count = F.immI(Spec.DrawCalls);
+    emitCountedLoop(F, I, Count, [&] {
+      F.invokeNative(NoReg, N.DrawCell, {I, I, F.param(0)});
+    });
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  // Cold bookkeeping: replayable, but not part of the hot region.
+  MethodId Cold = B.declareFunction(InvalidId, "coldBookkeeping", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Cold);
+    RegIdx Acc = F.newReg(), I = F.newReg(), Rounds = F.immI(700),
+           Five = F.immI(5);
+    F.constI(Acc, 0);
+    emitCountedLoop(F, I, Rounds, [&] {
+      RegIdx T = F.newReg();
+      F.xorI(T, F.param(0), I);
+      F.remI(T, T, Five);
+      F.addI(Acc, Acc, T);
+    });
+    F.ret(Acc);
+    B.endBody(F);
+  }
+
+  MethodId Session = B.declareFunction(InvalidId, "session", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Session);
+    RegIdx Mv = F.newReg(), Three = F.immI(3), P = F.newReg();
+    F.invokeNative(Mv, N.ReadInput, {});
+    F.andI(Mv, Mv, Three);
+    F.addI(P, F.param(0), Mv);
+
+    RegIdx R = F.newReg();
+    F.invokeStatic(R, Kernel, {P});
+
+    F.invokeStatic(NoReg, Draw, {R});
+    if (Spec.EngineProbes) {
+      RegIdx I = F.newReg(), Count = F.immI(Spec.EngineProbes);
+      emitCountedLoop(F, I, Count, [&] {
+        RegIdx Q = F.newReg(), E = F.newReg();
+        F.addI(Q, R, I);
+        F.invokeNative(E, G.EngineProbe, {Q});
+        F.addI(R, R, E);
+      });
+    }
+    if (Spec.AssetDecodes) {
+      RegIdx I = F.newReg(), Count = F.immI(Spec.AssetDecodes);
+      emitCountedLoop(F, I, Count, [&] {
+        F.invokeNative(NoReg, G.DecodeAsset, {I});
+      });
+    }
+    if (Spec.UseLegacy) {
+      RegIdx L = F.newReg();
+      F.invokeStatic(L, Legacy, {R});
+      F.addI(R, R, L);
+    }
+    RegIdx CB = F.newReg();
+    F.invokeStatic(CB, Cold, {R});
+    F.addI(R, R, CB);
+    F.invokeStatic(NoReg, FramePace, {});
+    F.invokeNative(NoReg, N.Print, {R});
+    F.ret(R);
+    B.endBody(F);
+  }
+  return Session;
+}
+
+Application finish(DexBuilder &B, const char *Name, MethodId Init,
+                   MethodId Session, int64_t InitParam,
+                   int64_t DefaultParam, int64_t MinParam,
+                   int64_t MaxParam,
+                   uint64_t HeapBytes = 24 * 1024 * 1024) {
+  Application App;
+  App.Name = Name;
+  App.Kind = Suite::Interactive;
+  App.File = std::make_shared<DexFile>(B.build());
+  App.InitEntry = Init;
+  App.SessionEntry = Session;
+  App.InitParam = InitParam;
+  App.DefaultParam = DefaultParam;
+  App.MinParam = MinParam;
+  App.MaxParam = MaxParam;
+  App.InputsPerSession = 1;
+  App.RtConfig.HeapLimitBytes = HeapBytes;
+  return App;
+}
+
+} // namespace
+
+// --- MaterialLife (game of life) -----------------------------------------------
+
+Application workloads::buildMaterialLife() {
+  DexBuilder B;
+  CommonNatives N(B);
+  GameNatives G(B);
+  ClassId State = B.addClass("Life");
+  StaticFieldId GridF = B.addStaticField(State, "grid", Type::Ref);
+  StaticFieldId Grid2F = B.addStaticField(State, "grid2", Type::Ref);
+  StaticFieldId WF = B.addStaticField(State, "w", Type::I64);
+  ScratchBuffer Scratch = addScratch(B, 36);
+  ColdPool Pool = addColdPool(B, 4LL * 1024 * 1024);
+  constexpr int64_t W = 44;
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx Ww = F.param(0), Size = F.newReg(), A = F.newReg(),
+           Bb = F.newReg();
+    F.mulI(Size, Ww, Ww);
+    F.newArray(A, Size, Type::I64);
+    F.newArray(Bb, Size, Type::I64);
+    RegIdx Seed = F.immI(999331), I = F.newReg(), Two = F.immI(2);
+    emitCountedLoop(F, I, Size, [&] {
+      RegIdx Draw = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.remI(Draw, Draw, Two);
+      F.astore(A, I, Draw, Type::I64);
+    });
+    F.putStatic(GridF, A);
+    F.putStatic(Grid2F, Bb);
+    F.putStatic(WF, Ww);
+    emitColdPoolInit(F, Pool);
+    emitScratchInit(F, Scratch);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  MethodId Kernel = B.declareFunction(InvalidId, "lifeKernel", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Gens = F.newReg(), Three = F.immI(3), One = F.immI(1);
+    F.remI(Gens, F.param(0), Three);
+    F.addI(Gens, Gens, One);
+    RegIdx A = F.newReg(), Bb = F.newReg(), Ww = F.newReg();
+    F.getStatic(A, GridF);
+    F.getStatic(Bb, Grid2F);
+    F.getStatic(Ww, WF);
+    RegIdx WM1 = F.newReg(), Size = F.newReg();
+    F.subI(WM1, Ww, One);
+    F.mulI(Size, Ww, Ww);
+
+    RegIdx Gen = F.newReg();
+    emitCountedLoop(F, Gen, Gens, [&] {
+      RegIdx Y = F.newReg();
+      F.constI(Y, 1);
+      auto YHead = F.newLabel(), YDone = F.newLabel();
+      F.bind(YHead);
+      F.ifGe(Y, WM1, YDone);
+      {
+        RegIdx X = F.newReg(), Row = F.newReg();
+        F.mulI(Row, Y, Ww);
+        F.constI(X, 1);
+        auto XHead = F.newLabel(), XDone = F.newLabel();
+        F.bind(XHead);
+        F.ifGe(X, WM1, XDone);
+        {
+          RegIdx Idx = F.newReg(), Cnt = F.newReg(), T = F.newReg(),
+                 V = F.newReg();
+          F.addI(Idx, Row, X);
+          F.constI(Cnt, 0);
+          // Eight neighbours (offsets relative to idx).
+          for (int64_t Dy = -1; Dy <= 1; ++Dy) {
+            for (int64_t Dx = -1; Dx <= 1; ++Dx) {
+              if (Dy == 0 && Dx == 0)
+                continue;
+              RegIdx Off = F.immI(Dy * W + Dx);
+              F.addI(T, Idx, Off);
+              F.aload(V, A, T, Type::I64);
+              F.addI(Cnt, Cnt, V);
+            }
+          }
+          // next = (cnt == 3) || (alive && cnt == 2)
+          RegIdx Cur = F.newReg(), Next = F.newReg(), Two = F.immI(2),
+                 ThreeI = F.immI(3);
+          F.aload(Cur, A, Idx, Type::I64);
+          F.constI(Next, 0);
+          auto Dead = F.newLabel(), Store = F.newLabel();
+          F.ifEq(Cnt, ThreeI, Dead); // born/survives
+          F.ifEqz(Cur, Store);
+          F.ifNe(Cnt, Two, Store);
+          F.bind(Dead);
+          F.constI(Next, 1);
+          F.bind(Store);
+          F.astore(Bb, Idx, Next, Type::I64);
+        }
+        F.addI(X, X, One);
+        F.jump(XHead);
+        F.bind(XDone);
+      }
+      F.addI(Y, Y, One);
+      F.jump(YHead);
+      F.bind(YDone);
+      // Copy back.
+      RegIdx I = F.newReg(), V = F.newReg();
+      emitCountedLoop(F, I, Size, [&] {
+        F.aload(V, Bb, I, Type::I64);
+        F.astore(A, I, V, Type::I64);
+      });
+    });
+
+    // Digest: live count.
+    RegIdx Live = F.newReg(), I = F.newReg(), V = F.newReg();
+    F.constI(Live, 0);
+    emitCountedLoop(F, I, Size, [&] {
+      F.aload(V, A, I, Type::I64);
+      F.addI(Live, Live, V);
+    });
+    emitScratchTouch(F, Scratch, Live);
+    F.ret(Live);
+    B.endBody(F);
+  }
+
+  SessionSpec Spec;
+  Spec.DrawCalls = 160;
+  MethodId Session = makeInteractiveSession(B, N, G, Kernel, Spec);
+  return finish(B, "MaterialLife", Init, Session, W, 5, 1, 500,
+                /*HeapBytes=*/20 * 1024 * 1024);
+}
+
+// --- 4inaRow -----------------------------------------------------------------------
+
+Application workloads::buildFourInARow() {
+  DexBuilder B;
+  CommonNatives N(B);
+  GameNatives G(B);
+  ClassId State = B.addClass("FourInARow");
+  StaticFieldId BoardF = B.addStaticField(State, "board", Type::Ref);
+  StaticFieldId TableF = B.addStaticField(State, "evalTable", Type::Ref);
+  constexpr int64_t TableWords = 1 << 20; // 8 MiB eval table
+  ColdPool Pool = addColdPool(B, 16LL * 1024 * 1024);
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx FortyTwo = F.immI(42), Board = F.newReg();
+    F.newArray(Board, FortyTwo, Type::I64);
+    F.putStatic(BoardF, Board);
+    RegIdx Words = F.immI(TableWords), Table = F.newReg();
+    F.newArray(Table, Words, Type::I64);
+    RegIdx Seed = F.immI(5551212), I = F.newReg();
+    emitCountedLoop(F, I, Words, [&] {
+      RegIdx Draw = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.astore(Table, I, Draw, Type::I64);
+    });
+    emitColdPoolInit(F, Pool);
+    F.putStatic(TableF, Table);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  // aiKernel(param): search over move triples, scoring each position via
+  // the big table — a scattered working set, the largest capture of the
+  // suite (Figure 11's 41 MB outlier analogue).
+  MethodId Kernel = B.declareFunction(InvalidId, "aiKernel", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Board = F.newReg(), Table = F.newReg(), Seven = F.immI(7),
+           One = F.immI(1);
+    F.getStatic(Board, BoardF);
+    F.getStatic(Table, TableF);
+    RegIdx Base = F.newReg(), Mul = F.immI(2654435761LL);
+    F.mulI(Base, F.param(0), Mul);
+    RegIdx Best = F.newReg(), Mask = F.immI(TableWords - 1),
+           Thousand = F.immI(1000);
+    F.constI(Best, -1000000);
+
+    RegIdx C1 = F.newReg();
+    emitCountedLoop(F, C1, Seven, [&] {
+      RegIdx C2 = F.newReg();
+      emitCountedLoop(F, C2, Seven, [&] {
+        RegIdx C3 = F.newReg();
+        emitCountedLoop(F, C3, Seven, [&] {
+          RegIdx H = F.newReg(), T = F.newReg(), Score = F.newReg();
+          // Position hash over the move triple and board cells.
+          F.mulI(H, C1, Thousand);
+          F.addI(H, H, C2);
+          F.mulI(H, H, Thousand);
+          F.addI(H, H, C3);
+          F.addI(H, H, Base);
+          RegIdx Cell = F.newReg(), BV = F.newReg(), FortyTwoI =
+              F.immI(42);
+          F.remI(Cell, H, FortyTwoI);
+          F.aload(BV, Board, Cell, Type::I64);
+          F.addI(H, H, BV);
+          F.mulI(H, H, Mul);
+          F.andI(T, H, Mask);
+          F.aload(Score, Table, T, Type::I64);
+          RegIdx Small = F.immI(4095);
+          F.andI(Score, Score, Small);
+          auto NotBetter = F.newLabel();
+          F.ifLe(Score, Best, NotBetter);
+          F.move(Best, Score);
+          F.bind(NotBetter);
+        });
+      });
+    });
+    // Board advances a little each round (externally visible writes).
+    RegIdx Cell = F.newReg(), FortyTwoI = F.immI(42), V = F.newReg();
+    F.remI(Cell, F.param(0), FortyTwoI);
+    F.aload(V, Board, Cell, Type::I64);
+    F.addI(V, V, One);
+    F.astore(Board, Cell, V, Type::I64);
+    F.ret(Best);
+    B.endBody(F);
+  }
+
+  SessionSpec Spec;
+  Spec.DrawCalls = 100;
+  Spec.AssetDecodes = 2;
+  MethodId Session = makeInteractiveSession(B, N, G, Kernel, Spec);
+  return finish(B, "4inaRow", Init, Session, 0, 37, 1, 5000,
+                /*HeapBytes=*/40 * 1024 * 1024);
+}
+
+// --- DroidFish (chess) ----------------------------------------------------------------
+
+Application workloads::buildDroidFish() {
+  DexBuilder B;
+  CommonNatives N(B);
+  GameNatives G(B);
+  ClassId State = B.addClass("Chess");
+  StaticFieldId BoardF = B.addStaticField(State, "board", Type::Ref);
+  StaticFieldId PsqF = B.addStaticField(State, "psq", Type::Ref);
+  ColdPool Pool = addColdPool(B, 6LL * 1024 * 1024);
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx SixtyFour = F.immI(64), Board = F.newReg(), Psq = F.newReg(),
+           PsqLen = F.immI(64 * 7);
+    F.newArray(Board, SixtyFour, Type::I64);
+    F.newArray(Psq, PsqLen, Type::I64);
+    RegIdx Seed = F.immI(31337), I = F.newReg(), Twelve = F.immI(13);
+    emitCountedLoop(F, I, SixtyFour, [&] {
+      RegIdx Draw = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.remI(Draw, Draw, Twelve); // 0..12 piece codes
+      F.astore(Board, I, Draw, Type::I64);
+    });
+    RegIdx Hundred = F.immI(100);
+    emitCountedLoop(F, I, PsqLen, [&] {
+      RegIdx Draw = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.remI(Draw, Draw, Hundred);
+      F.astore(Psq, I, Draw, Type::I64);
+    });
+    emitColdPoolInit(F, Pool);
+    F.putStatic(BoardF, Board);
+    F.putStatic(PsqF, Psq);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  // evalKernel(param): Java-side static evaluation — a modest kernel; the
+  // session's engine probes (native) dominate, as DroidFish's JNI does.
+  MethodId Kernel = B.declareFunction(InvalidId, "evalKernel", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Board = F.newReg(), Psq = F.newReg(), SixtyFour = F.immI(64),
+           Seven = F.immI(7), One = F.immI(1);
+    F.getStatic(Board, BoardF);
+    F.getStatic(Psq, PsqF);
+    RegIdx Score = F.newReg(), Sq = F.newReg(), Rounds = F.newReg(),
+           Mask = F.immI(7);
+    F.constI(Score, 0);
+    F.andI(Rounds, F.param(0), Mask);
+    F.addI(Rounds, Rounds, One);
+    RegIdx R = F.newReg();
+    emitCountedLoop(F, R, Rounds, [&] {
+      emitCountedLoop(F, Sq, SixtyFour, [&] {
+        RegIdx P = F.newReg(), T = F.newReg(), V = F.newReg();
+        F.aload(P, Board, Sq, Type::I64);
+        F.remI(T, P, Seven);
+        F.mulI(T, T, SixtyFour);
+        F.addI(T, T, Sq);
+        F.aload(V, Psq, T, Type::I64);
+        F.addI(Score, Score, V);
+        // Mobility-ish inner scan along the rank.
+        RegIdx D = F.newReg(), Eight = F.immI(8);
+        emitCountedLoop(F, D, Eight, [&] {
+          RegIdx T2 = F.newReg(), V2 = F.newReg();
+          F.addI(T2, Sq, D);
+          F.remI(T2, T2, SixtyFour);
+          F.aload(V2, Board, T2, Type::I64);
+          auto Occupied = F.newLabel();
+          F.ifNez(V2, Occupied);
+          F.addI(Score, Score, One);
+          F.bind(Occupied);
+        });
+      });
+    });
+    F.ret(Score);
+    B.endBody(F);
+  }
+
+  SessionSpec Spec;
+  Spec.DrawCalls = 64;
+  Spec.EngineProbes = 6; // the UCI engine does the heavy lifting in C++
+  MethodId Session = makeInteractiveSession(B, N, G, Kernel, Spec);
+  return finish(B, "DroidFish", Init, Session, 0, 13, 1, 5000,
+                /*HeapBytes=*/28 * 1024 * 1024);
+}
+
+// --- ColorOverflow ---------------------------------------------------------------------
+
+Application workloads::buildColorOverflow() {
+  DexBuilder B;
+  CommonNatives N(B);
+  GameNatives G(B);
+  ClassId State = B.addClass("Overflow");
+  StaticFieldId GridF = B.addStaticField(State, "grid", Type::Ref);
+  StaticFieldId StackF = B.addStaticField(State, "stack", Type::Ref);
+  StaticFieldId SeenF = B.addStaticField(State, "seen", Type::Ref);
+  constexpr int64_t W = 32;
+  ColdPool Pool = addColdPool(B, 2LL * 1024 * 1024);
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx Size = F.newReg(), Ww = F.param(0), Grid = F.newReg(),
+           Stack = F.newReg(), Seen = F.newReg(), Six = F.immI(6);
+    F.mulI(Size, Ww, Ww);
+    F.newArray(Grid, Size, Type::I64);
+    F.newArray(Stack, Size, Type::I64);
+    F.newArray(Seen, Size, Type::I64);
+    RegIdx Seed = F.immI(777), I = F.newReg();
+    emitCountedLoop(F, I, Size, [&] {
+      RegIdx Draw = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.remI(Draw, Draw, Six);
+      F.astore(Grid, I, Draw, Type::I64);
+    });
+    emitColdPoolInit(F, Pool);
+    F.putStatic(GridF, Grid);
+    F.putStatic(StackF, Stack);
+    F.putStatic(SeenF, Seen);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  // floodKernel(param): flood-fill area from the corner matching
+  // param-coloured cells; returns the captured area size.
+  MethodId Kernel = B.declareFunction(InvalidId, "floodKernel", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Grid = F.newReg(), Stack = F.newReg(), Seen = F.newReg();
+    F.getStatic(Grid, GridF);
+    F.getStatic(Stack, StackF);
+    F.getStatic(Seen, SeenF);
+    RegIdx Size = F.newReg(), One = F.immI(1), Zero = F.immI(0),
+           WReg = F.immI(W), Six = F.immI(6);
+    F.arrayLen(Size, Grid);
+
+    RegIdx Rounds = F.immI(8), Round = F.newReg(), Area = F.newReg();
+    RegIdx TotalArea = F.newReg();
+    F.constI(TotalArea, 0);
+    emitCountedLoop(F, Round, Rounds, [&] {
+    // Reset the seen bitmap; pick the target colour.
+    RegIdx I = F.newReg();
+    emitCountedLoop(F, I, Size, [&] {
+      F.astore(Seen, I, Zero, Type::I64);
+    });
+    RegIdx Color = F.newReg(), PR = F.newReg();
+    F.addI(PR, F.param(0), Round);
+    F.remI(Color, PR, Six);
+
+    // Iterative DFS from cell 0 over same-colour neighbours.
+    RegIdx Sp = F.newReg();
+    F.constI(Sp, 0);
+    F.constI(Area, 0);
+    F.astore(Stack, Sp, Zero, Type::I64);
+    F.addI(Sp, Sp, One);
+    F.astore(Seen, Zero, One, Type::I64);
+
+    auto Loop = F.newLabel(), Done = F.newLabel();
+    F.bind(Loop);
+    F.ifLez(Sp, Done);
+    F.subI(Sp, Sp, One);
+    RegIdx Cur = F.newReg(), CurColor = F.newReg();
+    F.aload(Cur, Stack, Sp, Type::I64);
+    F.aload(CurColor, Grid, Cur, Type::I64);
+    {
+      auto Skip = F.newLabel();
+      F.ifNe(CurColor, Color, Skip);
+      F.addI(Area, Area, One);
+      // Push the four neighbours (bounds-guarded).
+      struct Dir {
+        int64_t Delta;
+      };
+      for (int64_t Delta : {int64_t(-1), int64_t(1), -W, W}) {
+        RegIdx Nb = F.newReg(), Off = F.immI(Delta);
+        F.addI(Nb, Cur, Off);
+        auto Out = F.newLabel();
+        F.ifLtz(Nb, Out);
+        F.ifGe(Nb, Size, Out);
+        RegIdx S = F.newReg();
+        F.aload(S, Seen, Nb, Type::I64);
+        F.ifNez(S, Out);
+        F.astore(Seen, Nb, One, Type::I64);
+        F.astore(Stack, Sp, Nb, Type::I64);
+        F.addI(Sp, Sp, One);
+        F.bind(Out);
+      }
+      F.bind(Skip);
+    }
+    F.jump(Loop);
+    F.bind(Done);
+    F.addI(TotalArea, TotalArea, Area);
+    });
+
+    // Rotate the corner colour so sessions differ.
+    RegIdx C0 = F.newReg();
+    F.aload(C0, Grid, Zero, Type::I64);
+    F.addI(C0, C0, One);
+    F.remI(C0, C0, Six);
+    F.astore(Grid, Zero, C0, Type::I64);
+    (void)WReg;
+    F.ret(TotalArea);
+    B.endBody(F);
+  }
+
+  SessionSpec Spec;
+  Spec.DrawCalls = 90;
+  MethodId Session = makeInteractiveSession(B, N, G, Kernel, Spec);
+  return finish(B, "ColorOverflow", Init, Session, W, 2, 0, 500,
+                /*HeapBytes=*/16 * 1024 * 1024);
+}
+
+// --- Brainstonz -----------------------------------------------------------------------
+
+Application workloads::buildBrainstonz() {
+  DexBuilder B;
+  CommonNatives N(B);
+  GameNatives G(B);
+  ClassId State = B.addClass("Brainstonz");
+  StaticFieldId BoardF = B.addStaticField(State, "board", Type::Ref);
+  constexpr int64_t Cells = 36;
+  ColdPool Pool = addColdPool(B, 1LL * 1024 * 1024);
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx CellsR = F.immI(Cells), Board = F.newReg();
+    emitColdPoolInit(F, Pool);
+    F.newArray(Board, CellsR, Type::I64);
+    F.putStatic(BoardF, Board);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  // minimaxKernel(param): depth-2 exhaustive placement search on the 6x6
+  // board with a weighted line evaluation.
+  MethodId Eval = B.declareFunction(InvalidId, "evalBoard", 0, true);
+  {
+    FunctionBuilder F = B.beginBody(Eval);
+    RegIdx Board = F.newReg(), CellsR = F.immI(Cells), Score = F.newReg(),
+           I = F.newReg(), Six = F.immI(6);
+    F.getStatic(Board, BoardF);
+    F.constI(Score, 0);
+    emitCountedLoop(F, I, CellsR, [&] {
+      RegIdx V = F.newReg(), Wt = F.newReg(), T = F.newReg();
+      F.aload(V, Board, I, Type::I64);
+      F.remI(Wt, I, Six);
+      F.mulI(T, V, Wt);
+      F.addI(Score, Score, T);
+      F.mulI(T, V, V);
+      F.addI(Score, Score, T);
+    });
+    F.ret(Score);
+    B.endBody(F);
+  }
+
+  MethodId Kernel = B.declareFunction(InvalidId, "minimaxKernel", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Board = F.newReg(), CellsR = F.immI(Cells), One = F.immI(1),
+           Zero = F.immI(0), Two = F.immI(2);
+    F.getStatic(Board, BoardF);
+    RegIdx Best = F.newReg();
+    F.constI(Best, -1000000000);
+    RegIdx Mv = F.newReg();
+    emitCountedLoop(F, Mv, CellsR, [&] {
+      RegIdx Occ = F.newReg();
+      F.aload(Occ, Board, Mv, Type::I64);
+      auto SkipMove = F.newLabel();
+      F.ifNez(Occ, SkipMove);
+      F.astore(Board, Mv, One, Type::I64); // place our stone
+      RegIdx WorstReply = F.newReg(), Tried = F.newReg(),
+             MaxReplies = F.immI(12);
+      F.constI(WorstReply, 1000000000);
+      F.constI(Tried, 0);
+      RegIdx Reply = F.newReg();
+      emitCountedLoop(F, Reply, CellsR, [&] {
+        RegIdx Occ2 = F.newReg();
+        auto SkipReply = F.newLabel();
+        F.ifGe(Tried, MaxReplies, SkipReply); // pruned search
+        F.aload(Occ2, Board, Reply, Type::I64);
+        F.ifNez(Occ2, SkipReply);
+        F.addI(Tried, Tried, One);
+        F.astore(Board, Reply, Two, Type::I64); // opponent stone
+        RegIdx S = F.newReg();
+        F.invokeStatic(S, Eval, {});
+        auto NotWorse = F.newLabel();
+        F.ifGe(S, WorstReply, NotWorse);
+        F.move(WorstReply, S);
+        F.bind(NotWorse);
+        F.astore(Board, Reply, Zero, Type::I64); // undo
+        F.bind(SkipReply);
+      });
+      auto NotBetter = F.newLabel();
+      F.ifLe(WorstReply, Best, NotBetter);
+      F.move(Best, WorstReply);
+      F.bind(NotBetter);
+      F.astore(Board, Mv, Zero, Type::I64); // undo
+      F.bind(SkipMove);
+    });
+    // Commit one stone so the board evolves between sessions.
+    RegIdx Cell = F.newReg();
+    F.remI(Cell, F.param(0), CellsR);
+    F.astore(Board, Cell, One, Type::I64);
+    F.ret(Best);
+    B.endBody(F);
+  }
+
+  SessionSpec Spec;
+  Spec.DrawCalls = 72;
+  MethodId Session = makeInteractiveSession(B, N, G, Kernel, Spec);
+  return finish(B, "Brainstonz", Init, Session, 0, 11, 0, 500,
+                /*HeapBytes=*/12 * 1024 * 1024);
+}
+
+// --- Blokish --------------------------------------------------------------------------
+
+Application workloads::buildBlokish() {
+  DexBuilder B;
+  CommonNatives N(B);
+  GameNatives G(B);
+  ClassId State = B.addClass("Blokish");
+  StaticFieldId BoardF = B.addStaticField(State, "board", Type::Ref);
+  StaticFieldId PiecesF = B.addStaticField(State, "pieces", Type::Ref);
+  constexpr int64_t W = 14;
+  constexpr int64_t PieceCount = 8;
+  ColdPool Pool = addColdPool(B, 2LL * 1024 * 1024);
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx Size = F.immI(W * W), Board = F.newReg();
+    F.newArray(Board, Size, Type::I64);
+    F.putStatic(BoardF, Board);
+    // Piece masks: 4 cell offsets per piece.
+    RegIdx Len = F.immI(PieceCount * 4), Pieces = F.newReg();
+    F.newArray(Pieces, Len, Type::I64);
+    RegIdx Seed = F.immI(909090), I = F.newReg(), Span = F.immI(3 * W + 3);
+    emitCountedLoop(F, I, Len, [&] {
+      RegIdx Draw = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.remI(Draw, Draw, Span);
+      F.astore(Pieces, I, Draw, Type::I64);
+    });
+    emitColdPoolInit(F, Pool);
+    F.putStatic(PiecesF, Pieces);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  // placementKernel(param): count/score legal placements of every piece
+  // at every anchor.
+  MethodId Kernel =
+      B.declareFunction(InvalidId, "placementKernel", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Board = F.newReg(), Pieces = F.newReg(), One = F.immI(1);
+    F.getStatic(Board, BoardF);
+    F.getStatic(Pieces, PiecesF);
+    RegIdx Size = F.immI(W * W), PieceN = F.immI(PieceCount),
+           FourI = F.immI(4);
+    RegIdx Score = F.newReg();
+    F.constI(Score, 0);
+    RegIdx P = F.newReg();
+    emitCountedLoop(F, P, PieceN, [&] {
+      RegIdx BaseOff = F.newReg();
+      F.mulI(BaseOff, P, FourI);
+      RegIdx Anchor = F.newReg();
+      emitCountedLoop(F, Anchor, Size, [&] {
+        RegIdx Legal = F.newReg(), K = F.newReg();
+        F.constI(Legal, 1);
+        emitCountedLoop(F, K, FourI, [&] {
+          RegIdx Oi = F.newReg(), Off = F.newReg(), Cell = F.newReg(),
+                 V = F.newReg();
+          F.addI(Oi, BaseOff, K);
+          F.aload(Off, Pieces, Oi, Type::I64);
+          F.addI(Cell, Anchor, Off);
+          auto OffBoard = F.newLabel(), Checked = F.newLabel();
+          F.ifLtz(Cell, OffBoard);
+          F.ifGe(Cell, Size, OffBoard);
+          F.aload(V, Board, Cell, Type::I64);
+          F.ifEqz(V, Checked);
+          F.bind(OffBoard);
+          F.constI(Legal, 0);
+          F.bind(Checked);
+        });
+        F.addI(Score, Score, Legal);
+      });
+    });
+    // Occupy one cell per session.
+    RegIdx Cell = F.newReg();
+    F.remI(Cell, F.param(0), Size);
+    F.astore(Board, Cell, One, Type::I64);
+    F.ret(Score);
+    B.endBody(F);
+  }
+
+  SessionSpec Spec;
+  Spec.DrawCalls = 80;
+  MethodId Session = makeInteractiveSession(B, N, G, Kernel, Spec);
+  return finish(B, "Blokish", Init, Session, 0, 7, 0, 500,
+                /*HeapBytes=*/16 * 1024 * 1024);
+}
+
+// --- Svarka Calculator -------------------------------------------------------------------
+
+Application workloads::buildSvarkaCalculator() {
+  DexBuilder B;
+  CommonNatives N(B);
+  GameNatives G(B);
+  ClassId State = B.addClass("Svarka");
+  StaticFieldId DeckF = B.addStaticField(State, "deck", Type::Ref);
+  constexpr int64_t DeckSize = 22;
+  ColdPool Pool = addColdPool(B, 1LL * 1024 * 1024);
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx Len = F.immI(DeckSize), Deck = F.newReg(), I = F.newReg();
+    F.newArray(Deck, Len, Type::I64);
+    emitCountedLoop(F, I, Len, [&] {
+      F.astore(Deck, I, I, Type::I64);
+    });
+    emitColdPoolInit(F, Pool);
+    F.putStatic(DeckF, Deck);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  // oddsKernel(param): shuffle (LCG), then enumerate all 3-card combos and
+  // score them (Svarka hand values: pairs, 7s, suit sums).
+  MethodId Kernel = B.declareFunction(InvalidId, "oddsKernel", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Deck = F.newReg(), Len = F.immI(DeckSize), One = F.immI(1);
+    F.getStatic(Deck, DeckF);
+    // Fisher-Yates with the in-code LCG.
+    RegIdx Seed = F.newReg(), SeedMul = F.immI(71);
+    F.mulI(Seed, F.param(0), SeedMul);
+    F.addI(Seed, Seed, One);
+    RegIdx I = F.newReg();
+    emitCountedLoop(F, I, Len, [&] {
+      RegIdx Draw = F.newReg(), J = F.newReg(), A = F.newReg(),
+             Bv = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.remI(J, Draw, Len);
+      F.aload(A, Deck, I, Type::I64);
+      F.aload(Bv, Deck, J, Type::I64);
+      F.astore(Deck, I, Bv, Type::I64);
+      F.astore(Deck, J, A, Type::I64);
+    });
+
+    RegIdx Total = F.newReg(), Eight = F.immI(8), Four = F.immI(4),
+           Seven = F.immI(7), Bonus = F.immI(20);
+    F.constI(Total, 0);
+    RegIdx A = F.newReg();
+    emitCountedLoop(F, A, Len, [&] {
+      RegIdx Bi = F.newReg();
+      F.addI(Bi, A, One);
+      auto BHead = F.newLabel(), BDone = F.newLabel();
+      F.bind(BHead);
+      F.ifGe(Bi, Len, BDone);
+      {
+        RegIdx Ci = F.newReg();
+        F.addI(Ci, Bi, One);
+        auto CHead = F.newLabel(), CDone = F.newLabel();
+        F.bind(CHead);
+        F.ifGe(Ci, Len, CDone);
+        {
+          RegIdx Ca = F.newReg(), Cb = F.newReg(), Cc = F.newReg();
+          F.aload(Ca, Deck, A, Type::I64);
+          F.aload(Cb, Deck, Bi, Type::I64);
+          F.aload(Cc, Deck, Ci, Type::I64);
+          RegIdx Ra = F.newReg(), Rb = F.newReg(), Rc = F.newReg(),
+                 Score = F.newReg();
+          F.remI(Ra, Ca, Eight);
+          F.remI(Rb, Cb, Eight);
+          F.remI(Rc, Cc, Eight);
+          F.addI(Score, Ra, Rb);
+          F.addI(Score, Score, Rc);
+          // Pair bonuses.
+          auto NoPairAB = F.newLabel(), NoPairBC = F.newLabel();
+          F.ifNe(Ra, Rb, NoPairAB);
+          F.addI(Score, Score, Bonus);
+          F.bind(NoPairAB);
+          F.ifNe(Rb, Rc, NoPairBC);
+          F.addI(Score, Score, Bonus);
+          F.bind(NoPairBC);
+          // Sevens are special in Svarka.
+          auto NotSeven = F.newLabel();
+          F.ifNe(Ra, Seven, NotSeven);
+          F.addI(Score, Score, Bonus);
+          F.bind(NotSeven);
+          // Suit flush-ish bonus.
+          RegIdx Sa = F.newReg(), Sb = F.newReg();
+          F.divI(Sa, Ca, Eight);
+          F.divI(Sb, Cb, Eight);
+          auto NoSuit = F.newLabel();
+          F.ifNe(Sa, Sb, NoSuit);
+          F.addI(Score, Score, Four);
+          F.bind(NoSuit);
+          F.addI(Total, Total, Score);
+        }
+        F.addI(Ci, Ci, One);
+        F.jump(CHead);
+        F.bind(CDone);
+      }
+      F.addI(Bi, Bi, One);
+      F.jump(BHead);
+      F.bind(BDone);
+    });
+    F.ret(Total);
+    B.endBody(F);
+  }
+
+  SessionSpec Spec;
+  Spec.DrawCalls = 48;
+  Spec.AssetDecodes = 1;
+  MethodId Session = makeInteractiveSession(B, N, G, Kernel, Spec);
+  return finish(B, "Svarka Calculator", Init, Session, 0, 3, 0, 500,
+                /*HeapBytes=*/14 * 1024 * 1024);
+}
+
+// --- Reversi ---------------------------------------------------------------------------
+
+Application workloads::buildReversi() {
+  DexBuilder B;
+  CommonNatives N(B);
+  GameNatives G(B);
+  ClassId State = B.addClass("Reversi");
+  StaticFieldId BoardF = B.addStaticField(State, "board", Type::Ref);
+  StaticFieldId GreedyF = B.addStaticField(State, "greedy", Type::Ref);
+  StaticFieldId PositionalF =
+      B.addStaticField(State, "positional", Type::Ref);
+  ColdPool Pool = addColdPool(B, 3LL * 1024 * 1024);
+
+  // Polymorphic strategies: the interpreted replay's type profile sees a
+  // 90%-dominant Greedy receiver, making this the devirtualization target.
+  ClassId Strategy = B.addClass("Strategy");
+  ClassId Greedy = B.addClass("Greedy", Strategy);
+  ClassId Positional = B.addClass("Positional", Strategy);
+  MethodId EvalV = B.declareVirtual(Strategy, "eval", 3, true);
+  MethodId GreedyEval = B.declareVirtual(Greedy, "eval", 3, true);
+  MethodId PositionalEval = B.declareVirtual(Positional, "eval", 3, true);
+  {
+    FunctionBuilder F = B.beginBody(EvalV);
+    RegIdx Z = F.immI(0);
+    F.ret(Z);
+    B.endBody(F);
+  }
+  { // Greedy: flips dominate.
+    FunctionBuilder F = B.beginBody(GreedyEval);
+    RegIdx Ten = F.immI(10), R = F.newReg();
+    F.mulI(R, F.param(1), Ten);
+    F.addI(R, R, F.param(2));
+    F.ret(R);
+    B.endBody(F);
+  }
+  { // Positional: corner/edge weighting.
+    FunctionBuilder F = B.beginBody(PositionalEval);
+    RegIdx Eight = F.immI(8), R = F.newReg(), Row = F.newReg(),
+           Col = F.newReg(), Three = F.immI(3);
+    F.divI(Row, F.param(2), Eight);
+    F.remI(Col, F.param(2), Eight);
+    F.mulI(R, Row, Col);
+    F.addI(R, R, F.param(1));
+    F.mulI(R, R, Three);
+    F.ret(R);
+    B.endBody(F);
+  }
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx SixtyFour = F.immI(64), Board = F.newReg();
+    F.newArray(Board, SixtyFour, Type::I64);
+    RegIdx Seed = F.immI(246810), I = F.newReg(), Three = F.immI(3);
+    emitCountedLoop(F, I, SixtyFour, [&] {
+      RegIdx Draw = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.remI(Draw, Draw, Three); // 0 empty, 1 us, 2 them
+      F.astore(Board, I, Draw, Type::I64);
+    });
+    F.putStatic(BoardF, Board);
+    RegIdx S = F.newReg();
+    F.newInstance(S, Greedy);
+    F.putStatic(GreedyF, S);
+    emitColdPoolInit(F, Pool);
+    F.newInstance(S, Positional);
+    F.putStatic(PositionalF, S);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  // moveKernel(param): scan every cell, count directional flips, and rank
+  // candidates through the (mostly monomorphic) strategy object.
+  MethodId Kernel = B.declareFunction(InvalidId, "moveKernel", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Board = F.newReg(), SixtyFour = F.immI(64), One = F.immI(1),
+           Two = F.immI(2), Ten = F.immI(10);
+    F.getStatic(Board, BoardF);
+    RegIdx GreedyS = F.newReg(), PositionalS = F.newReg();
+    F.getStatic(GreedyS, GreedyF);
+    F.getStatic(PositionalS, PositionalF);
+    RegIdx Best = F.newReg(), Cell = F.newReg();
+    F.constI(Best, -1000000);
+    RegIdx Rounds = F.immI(10), Round = F.newReg();
+    emitCountedLoop(F, Round, Rounds, [&] {
+    emitCountedLoop(F, Cell, SixtyFour, [&] {
+      RegIdx V = F.newReg();
+      F.aload(V, Board, Cell, Type::I64);
+      auto Skip = F.newLabel();
+      F.ifNez(V, Skip); // only empty cells
+      // Count flips in 4 directions (simplified line scan).
+      RegIdx Flips = F.newReg();
+      F.constI(Flips, 0);
+      for (int64_t Delta : {int64_t(1), int64_t(-1), int64_t(8),
+                            int64_t(-8)}) {
+        RegIdx Cur = F.newReg(), Off = F.immI(Delta), Run = F.newReg();
+        F.move(Cur, Cell);
+        F.constI(Run, 0);
+        auto DHead = F.newLabel(), DDone = F.newLabel();
+        F.bind(DHead);
+        F.addI(Cur, Cur, Off);
+        F.ifLtz(Cur, DDone);
+        F.ifGe(Cur, SixtyFour, DDone);
+        RegIdx W = F.newReg();
+        F.aload(W, Board, Cur, Type::I64);
+        F.ifNe(W, Two, DDone); // run of opponent stones
+        F.addI(Run, Run, One);
+        F.jump(DHead);
+        F.bind(DDone);
+        F.addI(Flips, Flips, Run);
+      }
+      // Strategy dispatch: 90% Greedy, 10% Positional.
+      RegIdx Pick = F.newReg(), Strat = F.newReg();
+      F.remI(Pick, Cell, Ten);
+      auto UsePositional = F.newLabel(), Dispatch = F.newLabel();
+      F.ifEqz(Pick, UsePositional);
+      F.move(Strat, GreedyS);
+      F.jump(Dispatch);
+      F.bind(UsePositional);
+      F.move(Strat, PositionalS);
+      F.bind(Dispatch);
+      RegIdx Score = F.newReg();
+      F.invokeVirtual(Score, EvalV, {Strat, Flips, Cell});
+      auto NotBetter = F.newLabel();
+      F.ifLe(Score, Best, NotBetter);
+      F.move(Best, Score);
+      F.bind(NotBetter);
+      F.bind(Skip);
+    });
+    });
+    // Flip one cell per session so state evolves.
+    RegIdx C = F.newReg();
+    F.remI(C, F.param(0), SixtyFour);
+    F.astore(Board, C, One, Type::I64);
+    F.ret(Best);
+    B.endBody(F);
+  }
+
+  SessionSpec Spec;
+  Spec.DrawCalls = 96;
+  MethodId Session = makeInteractiveSession(B, N, G, Kernel, Spec);
+  return finish(B, "Reversi Android", Init, Session, 0, 23, 0, 500,
+                /*HeapBytes=*/18 * 1024 * 1024);
+}
+
+// --- Poker Odds (Vitosha) --------------------------------------------------------------
+
+Application workloads::buildPokerOdds() {
+  DexBuilder B;
+  CommonNatives N(B);
+  GameNatives G(B);
+  ClassId State = B.addClass("Poker");
+  StaticFieldId DeckF = B.addStaticField(State, "deck", Type::Ref);
+  StaticFieldId CountsF = B.addStaticField(State, "counts", Type::Ref);
+  ColdPool Pool = addColdPool(B, 30LL * 1024 * 1024);
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx FiftyTwo = F.immI(52), Deck = F.newReg(), I = F.newReg();
+    F.newArray(Deck, FiftyTwo, Type::I64);
+    emitCountedLoop(F, I, FiftyTwo, [&] {
+      F.astore(Deck, I, I, Type::I64);
+    });
+    F.putStatic(DeckF, Deck);
+    RegIdx Thirteen = F.immI(13), Counts = F.newReg();
+    emitColdPoolInit(F, Pool);
+    F.newArray(Counts, Thirteen, Type::I64);
+    F.putStatic(CountsF, Counts);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  // oddsKernel(param): Monte-Carlo poker deals (in-code LCG) with a rank
+  // histogram hand evaluator. Tiny working set — the suite's smallest
+  // capture — inside a deliberately oversized heap (Figure 11's Poker
+  // Odds: 0.3 MB captured of an 88 MB heap).
+  MethodId Kernel = B.declareFunction(InvalidId, "oddsKernel", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Deck = F.newReg(), Counts = F.newReg(), One = F.immI(1),
+           Thirteen = F.immI(13), FiftyTwo = F.immI(52);
+    F.getStatic(Deck, DeckF);
+    F.getStatic(Counts, CountsF);
+    RegIdx Trials = F.newReg(), Mask = F.immI(127), Floor = F.immI(150);
+    F.andI(Trials, F.param(0), Mask);
+    F.addI(Trials, Trials, Floor);
+    RegIdx Seed = F.newReg(), SeedMul = F.immI(1337);
+    F.mulI(Seed, F.param(0), SeedMul);
+    F.addI(Seed, Seed, One);
+
+    RegIdx Pairs = F.newReg(), Trips = F.newReg(), T = F.newReg();
+    F.constI(Pairs, 0);
+    F.constI(Trips, 0);
+    RegIdx Trial = F.newReg(), FiveI = F.immI(5);
+    emitCountedLoop(F, Trial, Trials, [&] {
+      // Reset the rank histogram.
+      RegIdx I = F.newReg(), Zero = F.immI(0);
+      emitCountedLoop(F, I, Thirteen, [&] {
+        F.astore(Counts, I, Zero, Type::I64);
+      });
+      // Deal five cards.
+      RegIdx K = F.newReg();
+      emitCountedLoop(F, K, FiveI, [&] {
+        RegIdx Draw = F.newReg(), Card = F.newReg(), Rank = F.newReg(),
+               C = F.newReg();
+        emitLcgStep(F, Seed, Draw);
+        F.remI(Card, Draw, FiftyTwo);
+        F.aload(Rank, Deck, Card, Type::I64);
+        F.remI(Rank, Rank, Thirteen);
+        F.aload(C, Counts, Rank, Type::I64);
+        F.addI(C, C, One);
+        F.astore(Counts, Rank, C, Type::I64);
+      });
+      // Classify.
+      emitCountedLoop(F, I, Thirteen, [&] {
+        RegIdx C = F.newReg(), Two = F.immI(2), ThreeI = F.immI(3);
+        F.aload(C, Counts, I, Type::I64);
+        auto NotPair = F.newLabel(), NotTrips = F.newLabel();
+        F.ifNe(C, Two, NotPair);
+        F.addI(Pairs, Pairs, One);
+        F.bind(NotPair);
+        F.ifLt(C, ThreeI, NotTrips);
+        F.addI(Trips, Trips, One);
+        F.bind(NotTrips);
+      });
+    });
+    RegIdx Thousand = F.immI(1000);
+    F.mulI(T, Trips, Thousand);
+    F.addI(T, T, Pairs);
+    F.ret(T);
+    B.endBody(F);
+  }
+
+  SessionSpec Spec;
+  Spec.DrawCalls = 36;
+  MethodId Session = makeInteractiveSession(B, N, G, Kernel, Spec);
+  return finish(B, "Poker Odds (Vitosha)", Init, Session, 0, 17, 0, 500,
+                /*HeapBytes=*/40 * 1024 * 1024);
+}

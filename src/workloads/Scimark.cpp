@@ -1,0 +1,756 @@
+//===- workloads/Scimark.cpp - The five Scimark kernels ---------------------===//
+//
+// FFT, SOR, MonteCarlo, SparseMatmult, and LU, written against the bytecode
+// builder. Each app keeps its data in statics (set up by init), exposes a
+// deterministic, replayable hot kernel, and wraps it in a session that does
+// the I/O — matching the structure the hot-region detector expects.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/BuilderUtil.h"
+
+using namespace ropt;
+using namespace ropt::dex;
+using namespace ropt::workloads;
+
+namespace {
+
+/// The canonical session wrapper: r = kernel(param); cold bookkeeping;
+/// print(r); return r. The session does I/O, so only the kernel is
+/// replayable; the bookkeeping helper is replayable but outside the hot
+/// region — the profiler's "Cold" share.
+MethodId makeSession(DexBuilder &B, const CommonNatives &N,
+                     MethodId Kernel) {
+  MethodId Cold = B.declareFunction(InvalidId, "coldBookkeeping", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Cold);
+    RegIdx Acc = F.newReg(), I = F.newReg(), Rounds = F.immI(900),
+           Five = F.immI(5);
+    F.constI(Acc, 0);
+    emitCountedLoop(F, I, Rounds, [&] {
+      RegIdx T = F.newReg();
+      F.xorI(T, F.param(0), I);
+      F.remI(T, T, Five);
+      F.addI(Acc, Acc, T);
+    });
+    F.ret(Acc);
+    B.endBody(F);
+  }
+  MethodId Session = B.declareFunction(InvalidId, "session", 1, true);
+  FunctionBuilder F = B.beginBody(Session);
+  RegIdx R = F.newReg(), C = F.newReg();
+  F.invokeStatic(R, Kernel, {F.param(0)});
+  F.invokeStatic(C, Cold, {R});
+  F.addI(R, R, C);
+  F.invokeNative(NoReg, N.Print, {R});
+  F.ret(R);
+  B.endBody(F);
+  return Session;
+}
+
+/// Emits `M = 64; while (M*2 <= param && M*2 <= Limit) M <<= 1` — the
+/// round-down-to-power-of-two sizing FFT uses.
+void emitPow2Clamp(FunctionBuilder &F, RegIdx M, RegIdx Param,
+                   RegIdx Limit) {
+  RegIdx One = F.immI(1), Twice = F.newReg();
+  F.constI(M, 64);
+  auto Head = F.newLabel(), Done = F.newLabel();
+  F.bind(Head);
+  F.shlI(Twice, M, One);
+  F.ifGt(Twice, Param, Done);
+  F.ifGt(Twice, Limit, Done);
+  F.move(M, Twice);
+  F.jump(Head);
+  F.bind(Done);
+}
+
+} // namespace
+
+// --- FFT ------------------------------------------------------------------------
+
+Application workloads::buildFFT() {
+  DexBuilder B;
+  CommonNatives N(B);
+  ClassId State = B.addClass("FFT");
+  StaticFieldId ReF = B.addStaticField(State, "re", Type::Ref);
+  StaticFieldId ImF = B.addStaticField(State, "im", Type::Ref);
+  ScratchBuffer Scratch = addScratch(B, 120);
+  ColdPool Pool = addColdPool(B, 7LL * 1024 * 1024);
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  MethodId Core = B.declareFunction(InvalidId, "fftCore", 2, false);
+  MethodId Kernel = B.declareFunction(InvalidId, "fftKernel", 1, true);
+
+  { // init(n): allocate the coefficient arrays.
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx Arr = F.newReg();
+    F.newArray(Arr, F.param(0), Type::F64);
+    F.putStatic(ReF, Arr);
+    F.newArray(Arr, F.param(0), Type::F64);
+    F.putStatic(ImF, Arr);
+    emitColdPoolInit(F, Pool);
+    emitScratchInit(F, Scratch);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  { // fftCore(m, dir): radix-2 in-place FFT over the first m elements.
+    FunctionBuilder F = B.beginBody(Core);
+    RegIdx M = F.param(0), Dir = F.param(1);
+    RegIdx Re = F.newReg(), Im = F.newReg();
+    F.getStatic(Re, ReF);
+    F.getStatic(Im, ImF);
+    RegIdx One = F.immI(1);
+
+    // Bit-reversal permutation: the j += m / m >>= 1 index chain is the
+    // multiplicative-update pattern aggressive BCE mishandles.
+    RegIdx J = F.newReg(), I = F.newReg(), Mm = F.newReg();
+    F.constI(J, 0);
+    F.constI(I, 0);
+    {
+      auto Head = F.newLabel(), Done = F.newLabel();
+      F.bind(Head);
+      F.ifGe(I, M, Done);
+      auto NoSwap = F.newLabel();
+      F.ifGe(I, J, NoSwap);
+      RegIdx Ta = F.newReg(), Tb = F.newReg();
+      F.aload(Ta, Re, I, Type::F64);
+      F.aload(Tb, Re, J, Type::F64);
+      F.astore(Re, I, Tb, Type::F64);
+      F.astore(Re, J, Ta, Type::F64);
+      F.aload(Ta, Im, I, Type::F64);
+      F.aload(Tb, Im, J, Type::F64);
+      F.astore(Im, I, Tb, Type::F64);
+      F.astore(Im, J, Ta, Type::F64);
+      F.bind(NoSwap);
+      F.shrI(Mm, M, One);
+      auto WHead = F.newLabel(), WDone = F.newLabel();
+      F.bind(WHead);
+      F.ifLt(Mm, One, WDone);
+      F.ifLt(J, Mm, WDone);
+      F.subI(J, J, Mm);
+      F.shrI(Mm, Mm, One);
+      F.jump(WHead);
+      F.bind(WDone);
+      F.addI(J, J, Mm);
+      F.addI(I, I, One);
+      F.jump(Head);
+      F.bind(Done);
+    }
+
+    // Butterfly stages.
+    RegIdx Len = F.newReg();
+    F.constI(Len, 2);
+    auto LenHead = F.newLabel(), LenDone = F.newLabel();
+    F.bind(LenHead);
+    F.ifGt(Len, M, LenDone);
+    {
+      RegIdx Ang = F.newReg(), T = F.newReg(), Wre = F.newReg(),
+             Wim = F.newReg();
+      RegIdx MinusTwoPi = F.immF(-6.283185307179586);
+      F.i2f(T, Len);
+      F.divF(Ang, MinusTwoPi, T);
+      F.i2f(T, Dir);
+      F.mulF(Ang, Ang, T);
+      F.invokeNative(Wre, N.Cos, {Ang});
+      F.invokeNative(Wim, N.Sin, {Ang});
+
+      RegIdx Ii = F.newReg();
+      F.constI(Ii, 0);
+      auto BlockHead = F.newLabel(), BlockDone = F.newLabel();
+      F.bind(BlockHead);
+      F.ifGe(Ii, M, BlockDone);
+      RegIdx Cre = F.newReg(), Cim = F.newReg();
+      F.constF(Cre, 1.0);
+      F.constF(Cim, 0.0);
+      RegIdx Half = F.newReg(), K = F.newReg();
+      F.shrI(Half, Len, One);
+      F.constI(K, 0);
+      auto BflyHead = F.newLabel(), BflyDone = F.newLabel();
+      F.bind(BflyHead);
+      F.ifGe(K, Half, BflyDone);
+      {
+        RegIdx A = F.newReg(), Bb = F.newReg();
+        F.addI(A, Ii, K);
+        F.addI(Bb, A, Half);
+        RegIdx Are = F.newReg(), Aim = F.newReg(), Bre = F.newReg(),
+               Bim = F.newReg();
+        F.aload(Are, Re, A, Type::F64);
+        F.aload(Aim, Im, A, Type::F64);
+        F.aload(Bre, Re, Bb, Type::F64);
+        F.aload(Bim, Im, Bb, Type::F64);
+        RegIdx Tre = F.newReg(), Tim = F.newReg(), P1 = F.newReg(),
+               P2 = F.newReg();
+        F.mulF(P1, Bre, Cre);
+        F.mulF(P2, Bim, Cim);
+        F.subF(Tre, P1, P2);
+        F.mulF(P1, Bre, Cim);
+        F.mulF(P2, Bim, Cre);
+        F.addF(Tim, P1, P2);
+        RegIdx Sre = F.newReg(), Sim = F.newReg();
+        F.addF(Sre, Are, Tre);
+        F.addF(Sim, Aim, Tim);
+        F.astore(Re, A, Sre, Type::F64);
+        F.astore(Im, A, Sim, Type::F64);
+        F.subF(Sre, Are, Tre);
+        F.subF(Sim, Aim, Tim);
+        F.astore(Re, Bb, Sre, Type::F64);
+        F.astore(Im, Bb, Sim, Type::F64);
+        F.mulF(P1, Cre, Wre);
+        F.mulF(P2, Cim, Wim);
+        F.subF(Tre, P1, P2);
+        F.mulF(P1, Cre, Wim);
+        F.mulF(P2, Cim, Wre);
+        F.addF(Tim, P1, P2);
+        F.move(Cre, Tre);
+        F.move(Cim, Tim);
+      }
+      F.addI(K, K, One);
+      F.jump(BflyHead);
+      F.bind(BflyDone);
+      F.addI(Ii, Ii, Len);
+      F.jump(BlockHead);
+      F.bind(BlockDone);
+    }
+    F.shlI(Len, Len, One);
+    F.jump(LenHead);
+    F.bind(LenDone);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  { // fftKernel(param): refill, forward + inverse transform, digest.
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Re = F.newReg(), Im = F.newReg(), Limit = F.newReg();
+    F.getStatic(Re, ReF);
+    F.getStatic(Im, ImF);
+    F.arrayLen(Limit, Re);
+    RegIdx M = F.newReg();
+    emitPow2Clamp(F, M, F.param(0), Limit);
+
+    // Refill with deterministic pseudo-random coefficients.
+    RegIdx Seed = F.newReg(), Mul = F.immI(2654435761LL), One = F.immI(1);
+    F.mulI(Seed, F.param(0), Mul);
+    F.addI(Seed, Seed, One);
+    RegIdx I = F.newReg(), Zero = F.immF(0.0), Scale = F.immF(1.0 / 2147483648.0);
+    emitCountedLoop(F, I, M, [&] {
+      RegIdx Draw = F.newReg(), D = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.i2f(D, Draw);
+      F.mulF(D, D, Scale);
+      F.astore(Re, I, D, Type::F64);
+      F.astore(Im, I, Zero, Type::F64);
+    });
+
+    RegIdx Dir = F.newReg();
+    F.constI(Dir, 1);
+    F.invokeStatic(NoReg, Core, {M, Dir});
+    F.constI(Dir, -1);
+    F.invokeStatic(NoReg, Core, {M, Dir});
+
+    // Digest: sum of coefficients (inverse transform un-normalized).
+    RegIdx Sum = F.newReg(), V = F.newReg();
+    F.constF(Sum, 0.0);
+    emitCountedLoop(F, I, M, [&] {
+      F.aload(V, Re, I, Type::F64);
+      F.addF(Sum, Sum, V);
+      F.aload(V, Im, I, Type::F64);
+      F.addF(Sum, Sum, V);
+    });
+    RegIdx Out = F.newReg();
+    F.f2i(Out, Sum);
+    emitScratchTouch(F, Scratch, Out);
+    F.ret(Out);
+    B.endBody(F);
+  }
+
+  MethodId Session = makeSession(B, N, Kernel);
+
+  Application App;
+  App.Name = "FFT";
+  App.RtConfig.HeapLimitBytes = 14 * 1024 * 1024;
+  App.Kind = Suite::Scimark;
+  App.File = std::make_shared<DexFile>(B.build());
+  App.InitEntry = Init;
+  App.SessionEntry = Session;
+  App.InitParam = 512;   // FFT_SIZE_LARGE
+  App.DefaultParam = 512;
+  App.MinParam = 64;     // FFT_SIZE
+  App.MaxParam = 512;
+  return App;
+}
+
+// --- SOR ------------------------------------------------------------------------
+
+Application workloads::buildSOR() {
+  DexBuilder B;
+  CommonNatives N(B);
+  ClassId State = B.addClass("SOR");
+  StaticFieldId GridF = B.addStaticField(State, "grid", Type::Ref);
+  StaticFieldId SizeF = B.addStaticField(State, "n", Type::I64);
+  ScratchBuffer Scratch = addScratch(B, 40);
+  ColdPool Pool = addColdPool(B, 3LL * 1024 * 1024);
+  constexpr int64_t GridN = 48;
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  MethodId Kernel = B.declareFunction(InvalidId, "sorKernel", 1, true);
+
+  { // init(n): n x n grid, LCG-filled.
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx Nn = F.param(0), Size = F.newReg(), Grid = F.newReg();
+    F.mulI(Size, Nn, Nn);
+    F.newArray(Grid, Size, Type::F64);
+    RegIdx Seed = F.immI(12345), I = F.newReg(),
+           Scale = F.immF(1.0 / 2147483648.0);
+    emitCountedLoop(F, I, Size, [&] {
+      RegIdx Draw = F.newReg(), D = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.i2f(D, Draw);
+      F.mulF(D, D, Scale);
+      F.astore(Grid, I, D, Type::F64);
+    });
+    F.putStatic(GridF, Grid);
+    F.putStatic(SizeF, Nn);
+    emitScratchInit(F, Scratch);
+    emitColdPoolInit(F, Pool);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  { // sorKernel(iters): Jacobi successive over-relaxation sweeps.
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Iters = F.newReg(), Four = F.immI(4), One = F.immI(1);
+    F.remI(Iters, F.param(0), Four);
+    F.addI(Iters, Iters, One); // 1..4 sweeps
+    RegIdx Grid = F.newReg(), Nn = F.newReg();
+    F.getStatic(Grid, GridF);
+    F.getStatic(Nn, SizeF);
+    RegIdx NMinus1 = F.newReg();
+    F.subI(NMinus1, Nn, One);
+
+    RegIdx OmegaOver4 = F.immF(1.25 * 0.25),
+           OneMinusOmega = F.immF(1.0 - 1.25);
+    RegIdx P = F.newReg();
+    emitCountedLoop(F, P, Iters, [&] {
+      RegIdx I = F.newReg();
+      F.constI(I, 1);
+      auto IHead = F.newLabel(), IDone = F.newLabel();
+      F.bind(IHead);
+      F.ifGe(I, NMinus1, IDone);
+      {
+        RegIdx RowBase = F.newReg(), J = F.newReg();
+        F.mulI(RowBase, I, Nn);
+        F.constI(J, 1);
+        auto JHead = F.newLabel(), JDone = F.newLabel();
+        F.bind(JHead);
+        F.ifGe(J, NMinus1, JDone);
+        {
+          RegIdx Idx = F.newReg(), Up = F.newReg(), Down = F.newReg(),
+                 Left = F.newReg(), Right = F.newReg(), T = F.newReg();
+          F.addI(Idx, RowBase, J);
+          F.subI(T, Idx, Nn);
+          F.aload(Up, Grid, T, Type::F64);
+          F.addI(T, Idx, Nn);
+          F.aload(Down, Grid, T, Type::F64);
+          F.subI(T, Idx, One);
+          F.aload(Left, Grid, T, Type::F64);
+          F.addI(T, Idx, One);
+          F.aload(Right, Grid, T, Type::F64);
+          RegIdx Acc = F.newReg(), Cur = F.newReg();
+          F.addF(Acc, Up, Down);
+          F.addF(Acc, Acc, Left);
+          F.addF(Acc, Acc, Right);
+          F.mulF(Acc, Acc, OmegaOver4);
+          F.aload(Cur, Grid, Idx, Type::F64);
+          F.mulF(Cur, Cur, OneMinusOmega);
+          F.addF(Acc, Acc, Cur);
+          F.astore(Grid, Idx, Acc, Type::F64);
+        }
+        F.addI(J, J, One);
+        F.jump(JHead);
+        F.bind(JDone);
+      }
+      F.addI(I, I, One);
+      F.jump(IHead);
+      F.bind(IDone);
+    });
+
+    // Digest: scaled center value.
+    RegIdx Idx = F.newReg(), V = F.newReg(), Million = F.immF(1e6);
+    F.mulI(Idx, Nn, Nn);
+    RegIdx Two = F.immI(2);
+    F.divI(Idx, Idx, Two);
+    F.aload(V, Grid, Idx, Type::F64);
+    F.mulF(V, V, Million);
+    RegIdx Out = F.newReg();
+    F.f2i(Out, V);
+    emitScratchTouch(F, Scratch, Out);
+    F.ret(Out);
+    B.endBody(F);
+  }
+
+  MethodId Session = makeSession(B, N, Kernel);
+
+  Application App;
+  App.Name = "SOR";
+  App.RtConfig.HeapLimitBytes = 12 * 1024 * 1024;
+  App.Kind = Suite::Scimark;
+  App.File = std::make_shared<DexFile>(B.build());
+  App.InitEntry = Init;
+  App.SessionEntry = Session;
+  App.InitParam = GridN;
+  App.DefaultParam = 3;
+  App.MinParam = 1;
+  App.MaxParam = 8;
+  return App;
+}
+
+// --- MonteCarlo -------------------------------------------------------------------
+
+Application workloads::buildMonteCarlo() {
+  DexBuilder B;
+  CommonNatives N(B);
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  MethodId Kernel = B.declareFunction(InvalidId, "mcKernel", 1, true);
+  ColdPool Pool = addColdPool(B, 1LL * 1024 * 1024);
+
+  { // init: nothing persistent.
+    FunctionBuilder F = B.beginBody(Init);
+    emitColdPoolInit(F, Pool);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  { // mcKernel(samples): estimate pi with an in-code LCG (replayable).
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Samples = F.newReg(), Floor = F.immI(2000), Mask = F.immI(8191);
+    F.andI(Samples, F.param(0), Mask);
+    F.addI(Samples, Samples, Floor); // 2000..10191 samples
+    RegIdx Seed = F.newReg(), SeedMul = F.immI(77), One = F.immI(1);
+    F.mulI(Seed, F.param(0), SeedMul);
+    F.addI(Seed, Seed, One);
+
+    RegIdx Hits = F.newReg(), I = F.newReg(),
+           Scale = F.immF(1.0 / 2147483648.0), OneF = F.immF(1.0);
+    F.constI(Hits, 0);
+    emitCountedLoop(F, I, Samples, [&] {
+      RegIdx Draw = F.newReg(), X = F.newReg(), Y = F.newReg(),
+             D = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.i2f(X, Draw);
+      F.mulF(X, X, Scale);
+      emitLcgStep(F, Seed, Draw);
+      F.i2f(Y, Draw);
+      F.mulF(Y, Y, Scale);
+      RegIdx X2 = F.newReg(), Y2 = F.newReg();
+      F.mulF(X2, X, X);
+      F.mulF(Y2, Y, Y);
+      F.addF(D, X2, Y2);
+      RegIdx Cmp = F.newReg();
+      F.cmpF(Cmp, D, OneF);
+      auto Miss = F.newLabel();
+      F.ifGtz(Cmp, Miss);
+      F.addI(Hits, Hits, One);
+      F.bind(Miss);
+    });
+
+    // Return round(4e6 * hits / samples) — pi in micro-units.
+    RegIdx H = F.newReg(), S = F.newReg(), Pi = F.newReg(),
+           FourMillion = F.immF(4e6);
+    F.i2f(H, Hits);
+    F.i2f(S, Samples);
+    F.divF(Pi, H, S);
+    F.mulF(Pi, Pi, FourMillion);
+    RegIdx Out = F.newReg();
+    F.f2i(Out, Pi);
+    F.ret(Out);
+    B.endBody(F);
+  }
+
+  MethodId Session = makeSession(B, N, Kernel);
+
+  Application App;
+  App.Name = "MonteCarlo";
+  App.RtConfig.HeapLimitBytes = 8 * 1024 * 1024;
+  App.Kind = Suite::Scimark;
+  App.File = std::make_shared<DexFile>(B.build());
+  App.InitEntry = Init;
+  App.SessionEntry = Session;
+  App.InitParam = 0;
+  App.DefaultParam = 5000;
+  App.MinParam = 100;
+  App.MaxParam = 9000;
+  return App;
+}
+
+// --- SparseMatmult -----------------------------------------------------------------
+
+Application workloads::buildSparseMatmult() {
+  DexBuilder B;
+  CommonNatives N(B);
+  ClassId State = B.addClass("Sparse");
+  StaticFieldId ValF = B.addStaticField(State, "val", Type::Ref);
+  StaticFieldId ColF = B.addStaticField(State, "col", Type::Ref);
+  StaticFieldId RowF = B.addStaticField(State, "row", Type::Ref);
+  StaticFieldId XF = B.addStaticField(State, "x", Type::Ref);
+  StaticFieldId YF = B.addStaticField(State, "y", Type::Ref);
+  constexpr int64_t Rows = 600;
+  ColdPool Pool = addColdPool(B, 2LL * 1024 * 1024);
+  constexpr int64_t PerRow = 5;
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  MethodId Kernel = B.declareFunction(InvalidId, "spKernel", 1, true);
+
+  { // init(rows): CRS structure with PerRow entries per row.
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx Nn = F.param(0), Nz = F.newReg(), K = F.immI(PerRow),
+           One = F.immI(1);
+    F.mulI(Nz, Nn, K);
+    RegIdx Val = F.newReg(), Col = F.newReg(), Row = F.newReg(),
+           X = F.newReg(), Y = F.newReg(), RowLen = F.newReg();
+    F.newArray(Val, Nz, Type::F64);
+    F.newArray(Col, Nz, Type::I64);
+    F.addI(RowLen, Nn, One);
+    F.newArray(Row, RowLen, Type::I64);
+    F.newArray(X, Nn, Type::F64);
+    F.newArray(Y, Nn, Type::F64);
+
+    RegIdx Seed = F.immI(424242), I = F.newReg(),
+           Scale = F.immF(1.0 / 2147483648.0);
+    emitCountedLoop(F, I, Nz, [&] {
+      RegIdx Draw = F.newReg(), D = F.newReg(), C = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.i2f(D, Draw);
+      F.mulF(D, D, Scale);
+      F.astore(Val, I, D, Type::F64);
+      emitLcgStep(F, Seed, Draw);
+      F.remI(C, Draw, Nn); // indirection: scattered columns
+      F.astore(Col, I, C, Type::I64);
+    });
+    emitCountedLoop(F, I, Nn, [&] {
+      RegIdx D = F.newReg(), T = F.newReg();
+      F.i2f(D, I);
+      F.astore(X, I, D, Type::F64);
+      F.mulI(T, I, K);
+      F.astore(Row, I, T, Type::I64);
+    });
+    RegIdx T = F.newReg();
+    F.mulI(T, Nn, K);
+    F.astore(Row, Nn, T, Type::I64);
+
+    F.putStatic(ValF, Val);
+    F.putStatic(ColF, Col);
+    F.putStatic(RowF, Row);
+    F.putStatic(XF, X);
+    emitColdPoolInit(F, Pool);
+    F.putStatic(YF, Y);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  { // spKernel(rounds): y = A * x, `rounds` times; digest y.
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx Rounds = F.newReg(), Seven = F.immI(7), One = F.immI(1);
+    F.remI(Rounds, F.param(0), Seven);
+    F.addI(Rounds, Rounds, One);
+    RegIdx Val = F.newReg(), Col = F.newReg(), Row = F.newReg(),
+           X = F.newReg(), Y = F.newReg(), Nn = F.newReg();
+    F.getStatic(Val, ValF);
+    F.getStatic(Col, ColF);
+    F.getStatic(Row, RowF);
+    F.getStatic(X, XF);
+    F.getStatic(Y, YF);
+    F.arrayLen(Nn, X);
+
+    RegIdx R = F.newReg();
+    emitCountedLoop(F, R, Rounds, [&] {
+      RegIdx I = F.newReg();
+      emitCountedLoop(F, I, Nn, [&] {
+        RegIdx Lo = F.newReg(), Hi = F.newReg(), Acc = F.newReg(),
+               Ip1 = F.newReg();
+        F.aload(Lo, Row, I, Type::I64);
+        F.addI(Ip1, I, One);
+        F.aload(Hi, Row, Ip1, Type::I64);
+        F.constF(Acc, 0.0);
+        auto KHead = F.newLabel(), KDone = F.newLabel();
+        F.bind(KHead);
+        F.ifGe(Lo, Hi, KDone);
+        RegIdx C = F.newReg(), A = F.newReg(), Xv = F.newReg(),
+               P = F.newReg();
+        F.aload(C, Col, Lo, Type::I64);
+        F.aload(A, Val, Lo, Type::F64);
+        F.aload(Xv, X, C, Type::F64);
+        F.mulF(P, A, Xv);
+        F.addF(Acc, Acc, P);
+        F.addI(Lo, Lo, One);
+        F.jump(KHead);
+        F.bind(KDone);
+        F.astore(Y, I, Acc, Type::F64);
+      });
+    });
+
+    RegIdx Sum = F.newReg(), I = F.newReg(), V = F.newReg();
+    F.constF(Sum, 0.0);
+    emitCountedLoop(F, I, Nn, [&] {
+      F.aload(V, Y, I, Type::F64);
+      F.addF(Sum, Sum, V);
+    });
+    RegIdx Out = F.newReg();
+    F.f2i(Out, Sum);
+    F.ret(Out);
+    B.endBody(F);
+  }
+
+  MethodId Session = makeSession(B, N, Kernel);
+
+  Application App;
+  App.Name = "Sparse matmult";
+  App.RtConfig.HeapLimitBytes = 12 * 1024 * 1024;
+  App.Kind = Suite::Scimark;
+  App.File = std::make_shared<DexFile>(B.build());
+  App.InitEntry = Init;
+  App.SessionEntry = Session;
+  App.InitParam = Rows;
+  App.DefaultParam = 4;
+  App.MinParam = 1;
+  App.MaxParam = 14;
+  return App;
+}
+
+// --- LU --------------------------------------------------------------------------
+
+Application workloads::buildLU() {
+  DexBuilder B;
+  CommonNatives N(B);
+  ClassId State = B.addClass("LU");
+  StaticFieldId MatF = B.addStaticField(State, "a", Type::Ref);
+  StaticFieldId SizeF = B.addStaticField(State, "n", Type::I64);
+  constexpr int64_t MatN = 26;
+  ColdPool Pool = addColdPool(B, 1LL * 1024 * 1024);
+
+  MethodId Init = B.declareFunction(InvalidId, "init", 1, false);
+  MethodId Kernel = B.declareFunction(InvalidId, "luKernel", 1, true);
+
+  { // init(n).
+    FunctionBuilder F = B.beginBody(Init);
+    RegIdx Nn = F.param(0), Size = F.newReg(), A = F.newReg();
+    F.mulI(Size, Nn, Nn);
+    F.newArray(A, Size, Type::F64);
+    emitColdPoolInit(F, Pool);
+    F.putStatic(MatF, A);
+    F.putStatic(SizeF, Nn);
+    F.retVoid();
+    B.endBody(F);
+  }
+
+  { // luKernel(param): refill the matrix, factor in place, digest diag.
+    FunctionBuilder F = B.beginBody(Kernel);
+    RegIdx A = F.newReg(), Nn = F.newReg(), One = F.immI(1);
+    F.getStatic(A, MatF);
+    F.getStatic(Nn, SizeF);
+    RegIdx Size = F.newReg();
+    F.mulI(Size, Nn, Nn);
+
+    // Refill (diagonally dominant so pivoting stays benign).
+    RegIdx Seed = F.newReg(), SeedMul = F.immI(97), I = F.newReg(),
+           Scale = F.immF(1.0 / 2147483648.0);
+    F.mulI(Seed, F.param(0), SeedMul);
+    F.addI(Seed, Seed, One);
+    emitCountedLoop(F, I, Size, [&] {
+      RegIdx Draw = F.newReg(), D = F.newReg();
+      emitLcgStep(F, Seed, Draw);
+      F.i2f(D, Draw);
+      F.mulF(D, D, Scale);
+      F.astore(A, I, D, Type::F64);
+    });
+    RegIdx DiagBoost = F.immF(double(MatN) + 1.0);
+    emitCountedLoop(F, I, Nn, [&] {
+      RegIdx Idx = F.newReg(), V = F.newReg();
+      F.mulI(Idx, I, Nn);
+      F.addI(Idx, Idx, I);
+      F.aload(V, A, Idx, Type::F64);
+      F.addF(V, V, DiagBoost);
+      F.astore(A, Idx, V, Type::F64);
+    });
+
+    // In-place LU (no pivoting needed for a diagonally dominant matrix).
+    RegIdx K = F.newReg();
+    emitCountedLoop(F, K, Nn, [&] {
+      RegIdx Kk = F.newReg(), Pivot = F.newReg();
+      F.mulI(Kk, K, Nn);
+      F.addI(Kk, Kk, K);
+      F.aload(Pivot, A, Kk, Type::F64);
+      RegIdx Ii = F.newReg();
+      F.addI(Ii, K, One);
+      auto IHead = F.newLabel(), IDone = F.newLabel();
+      F.bind(IHead);
+      F.ifGe(Ii, Nn, IDone);
+      {
+        RegIdx Ik = F.newReg(), L = F.newReg();
+        F.mulI(Ik, Ii, Nn);
+        F.addI(Ik, Ik, K);
+        F.aload(L, A, Ik, Type::F64);
+        F.divF(L, L, Pivot);
+        F.astore(A, Ik, L, Type::F64);
+        RegIdx Jj = F.newReg();
+        F.addI(Jj, K, One);
+        auto JHead = F.newLabel(), JDone = F.newLabel();
+        F.bind(JHead);
+        F.ifGe(Jj, Nn, JDone);
+        {
+          RegIdx Ij = F.newReg(), Kj = F.newReg(), Va = F.newReg(),
+                 Vb = F.newReg(), P = F.newReg();
+          F.mulI(Ij, Ii, Nn);
+          F.addI(Ij, Ij, Jj);
+          F.mulI(Kj, K, Nn);
+          F.addI(Kj, Kj, Jj);
+          F.aload(Va, A, Ij, Type::F64);
+          F.aload(Vb, A, Kj, Type::F64);
+          F.mulF(P, L, Vb);
+          F.subF(Va, Va, P);
+          F.astore(A, Ij, Va, Type::F64);
+        }
+        F.addI(Jj, Jj, One);
+        F.jump(JHead);
+        F.bind(JDone);
+      }
+      F.addI(Ii, Ii, One);
+      F.jump(IHead);
+      F.bind(IDone);
+    });
+
+    // Digest: product-of-diagonal-ish sum.
+    RegIdx Sum = F.newReg(), Thousand = F.immF(1000.0);
+    F.constF(Sum, 0.0);
+    emitCountedLoop(F, I, Nn, [&] {
+      RegIdx Idx = F.newReg(), V = F.newReg();
+      F.mulI(Idx, I, Nn);
+      F.addI(Idx, Idx, I);
+      F.aload(V, A, Idx, Type::F64);
+      F.addF(Sum, Sum, V);
+    });
+    F.mulF(Sum, Sum, Thousand);
+    RegIdx Out = F.newReg();
+    F.f2i(Out, Sum);
+    F.ret(Out);
+    B.endBody(F);
+  }
+
+  MethodId Session = makeSession(B, N, Kernel);
+
+  Application App;
+  App.Name = "LU";
+  App.RtConfig.HeapLimitBytes = 10 * 1024 * 1024;
+  App.Kind = Suite::Scimark;
+  App.File = std::make_shared<DexFile>(B.build());
+  App.InitEntry = Init;
+  App.SessionEntry = Session;
+  App.InitParam = MatN;
+  App.DefaultParam = 11;
+  App.MinParam = 1;
+  App.MaxParam = 1000;
+  return App;
+}

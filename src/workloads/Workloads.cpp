@@ -1,0 +1,52 @@
+//===- workloads/Workloads.cpp - Suite assembly ------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ropt;
+using namespace ropt::workloads;
+
+const char *workloads::suiteName(Suite S) {
+  switch (S) {
+  case Suite::Scimark: return "Scimark";
+  case Suite::Art: return "Art";
+  case Suite::Interactive: return "Interactive";
+  }
+  return "unknown";
+}
+
+std::vector<Application> workloads::buildSuite() {
+  std::vector<Application> Suite;
+  Suite.push_back(buildFFT());
+  Suite.push_back(buildSOR());
+  Suite.push_back(buildMonteCarlo());
+  Suite.push_back(buildSparseMatmult());
+  Suite.push_back(buildLU());
+  Suite.push_back(buildSieve());
+  Suite.push_back(buildBubbleSort());
+  Suite.push_back(buildSelectionSort());
+  Suite.push_back(buildLinpack());
+  Suite.push_back(buildFibonacciIter());
+  Suite.push_back(buildFibonacciRecv());
+  Suite.push_back(buildDhrystone());
+  Suite.push_back(buildMaterialLife());
+  Suite.push_back(buildFourInARow());
+  Suite.push_back(buildDroidFish());
+  Suite.push_back(buildColorOverflow());
+  Suite.push_back(buildBrainstonz());
+  Suite.push_back(buildBlokish());
+  Suite.push_back(buildSvarkaCalculator());
+  Suite.push_back(buildReversi());
+  Suite.push_back(buildPokerOdds());
+  return Suite;
+}
+
+Application workloads::buildByName(const std::string &Name) {
+  for (Application &App : buildSuite())
+    if (App.Name == Name)
+      return App;
+  std::fprintf(stderr, "unknown application '%s'\n", Name.c_str());
+  std::abort();
+}

@@ -1,0 +1,105 @@
+//===- workloads/Workloads.h - The 21 Table-1 applications ------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The application suite of Table 1: the six Scimark kernels, six
+/// benchmarks used historically to evaluate the Android compiler ("Art"),
+/// and nine interactive applications modelled as faithful-in-structure
+/// miniatures (hot deterministic kernels + JNI drawing/vibration + scripted
+/// user input + unreplayable/uncompilable corners), sized so the paper's
+/// code-breakdown and storage shapes hold (DESIGN.md §2).
+///
+/// Every application follows the same protocol:
+///   init(InitParam)      — builds persistent state (boards, arrays).
+///   session(Param)       — one conceptual main-loop iteration (a player
+///                          round for games); may do I/O and read input.
+///   a hot kernel reached from session() — replayable, compute-bound; this
+///   is what the profiler finds and the capture targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_WORKLOADS_WORKLOADS_H
+#define ROPT_WORKLOADS_WORKLOADS_H
+
+#include "dex/DexFile.h"
+#include "vm/Runtime.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ropt {
+namespace workloads {
+
+/// Table 1's three suite groups.
+enum class Suite { Scimark, Art, Interactive };
+
+const char *suiteName(Suite S);
+
+/// One runnable application.
+struct Application {
+  std::string Name;
+  Suite Kind = Suite::Scimark;
+  std::shared_ptr<dex::DexFile> File;
+
+  dex::MethodId InitEntry = dex::InvalidId;
+  dex::MethodId SessionEntry = dex::InvalidId;
+
+  int64_t InitParam = 0;
+  /// The fixed "offline" input and the online variability range
+  /// (session parameter drawn uniformly in [MinParam, MaxParam]).
+  int64_t DefaultParam = 0;
+  int64_t MinParam = 0;
+  int64_t MaxParam = 0;
+
+  /// Scripted user inputs queued before each session (interactive apps).
+  uint32_t InputsPerSession = 0;
+
+  /// Per-app runtime sizing (heap footprints vary across Table 1).
+  vm::RuntimeConfig RtConfig;
+
+  std::vector<vm::Value> argsFor(int64_t Param) const {
+    return {vm::Value::fromI64(Param)};
+  }
+};
+
+// --- Scimark ------------------------------------------------------------
+Application buildFFT();
+Application buildSOR();
+Application buildMonteCarlo();
+Application buildSparseMatmult();
+Application buildLU();
+
+// --- Art benchmarks -------------------------------------------------------
+Application buildSieve();
+Application buildBubbleSort();
+Application buildSelectionSort();
+Application buildLinpack();
+Application buildFibonacciIter();
+Application buildFibonacciRecv();
+Application buildDhrystone();
+
+// --- Interactive applications ----------------------------------------------
+Application buildMaterialLife();
+Application buildFourInARow();
+Application buildDroidFish();
+Application buildColorOverflow();
+Application buildBrainstonz();
+Application buildBlokish();
+Application buildSvarkaCalculator();
+Application buildReversi();
+Application buildPokerOdds();
+
+/// All 21, in Table-1 order.
+std::vector<Application> buildSuite();
+
+/// Lookup by name; aborts on unknown names.
+Application buildByName(const std::string &Name);
+
+} // namespace workloads
+} // namespace ropt
+
+#endif // ROPT_WORKLOADS_WORKLOADS_H

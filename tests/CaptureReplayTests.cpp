@@ -1,0 +1,633 @@
+//===- tests/CaptureReplayTests.cpp - capture/ + replay/ tests --------------===//
+
+#include "capture/CaptureManager.h"
+#include "hgraph/AndroidCompiler.h"
+#include "lir/Backend.h"
+#include "profiler/HotRegion.h"
+#include "replay/Replayer.h"
+#include "support/Random.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace ropt;
+using namespace ropt::dex;
+using namespace ropt::capture;
+using namespace ropt::replay;
+using vm::Value;
+
+namespace {
+
+/// A stateful app: init() builds an array in the heap referenced from a
+/// static; step(x) folds x into the array and returns a digest. The hot
+/// region (step) is fully determined by memory — ideal for capture.
+struct StatefulApp {
+  DexFile File;
+  MethodId Init = InvalidId;
+  MethodId Step = InvalidId;
+
+  StatefulApp() {
+    DexBuilder B;
+    ClassId State = B.addClass("State");
+    StaticFieldId DataRef = B.addStaticField(State, "data", Type::Ref);
+    StaticFieldId Counter = B.addStaticField(State, "count", Type::I64);
+
+    Init = B.declareFunction(InvalidId, "init", 1, false);
+    {
+      FunctionBuilder F = B.beginBody(Init);
+      RegIdx Arr = F.newReg(), I = F.newReg(), One = F.immI(1);
+      F.newArray(Arr, F.param(0), Type::I64);
+      F.constI(I, 0);
+      auto Head = F.newLabel(), Done = F.newLabel();
+      F.bind(Head);
+      F.ifGe(I, F.param(0), Done);
+      RegIdx V = F.newReg();
+      F.mulI(V, I, I);
+      F.astore(Arr, I, V, Type::I64);
+      F.addI(I, I, One);
+      F.jump(Head);
+      F.bind(Done);
+      F.putStatic(DataRef, Arr);
+      F.retVoid();
+      B.endBody(F);
+    }
+
+    Step = B.declareFunction(InvalidId, "step", 1, true);
+    {
+      FunctionBuilder F = B.beginBody(Step);
+      RegIdx Arr = F.newReg(), Len = F.newReg(), I = F.newReg(),
+             Sum = F.newReg(), One = F.immI(1);
+      F.getStatic(Arr, DataRef);
+      F.arrayLen(Len, Arr);
+      F.constI(Sum, 0);
+      F.constI(I, 0);
+      auto Head = F.newLabel(), Done = F.newLabel();
+      F.bind(Head);
+      F.ifGe(I, Len, Done);
+      RegIdx V = F.newReg();
+      F.aload(V, Arr, I, Type::I64);
+      F.addI(Sum, Sum, V);
+      // arr[i] = arr[i] + x (externally visible writes)
+      F.addI(V, V, F.param(0));
+      F.astore(Arr, I, V, Type::I64);
+      F.addI(I, I, One);
+      F.jump(Head);
+      F.bind(Done);
+      RegIdx C = F.newReg();
+      F.getStatic(C, Counter);
+      F.addI(C, C, One);
+      F.putStatic(Counter, C);
+      F.addI(Sum, Sum, C);
+      F.ret(Sum);
+      B.endBody(F);
+    }
+    File = B.build();
+  }
+};
+
+/// Booted app process with a kernel, ready for capture.
+struct AppEnv {
+  os::Kernel Kernel;
+  os::Process &Proc;
+  vm::NativeRegistry Natives;
+  vm::RuntimeConfig Config;
+  std::unique_ptr<vm::Runtime> RT;
+
+  explicit AppEnv(const DexFile &File,
+                  vm::RuntimeConfig C = vm::RuntimeConfig())
+      : Proc(Kernel.spawn()),
+        Natives(vm::NativeRegistry::standardLibrary()), Config(C) {
+    vm::Runtime::mapStandardLayout(Proc.space(), File, Config);
+    RT = std::make_unique<vm::Runtime>(Proc.space(), File, Natives,
+                                       Config);
+  }
+};
+
+/// Captures one execution of step(x) after init(n).
+Capture captureStep(const StatefulApp &App, AppEnv &Env, int64_t N,
+                    int64_t X, vm::CallResult *LiveResult = nullptr) {
+  EXPECT_TRUE(Env.RT->call(App.Init, {Value::fromI64(N)}).ok());
+  CaptureManager CM(Env.Kernel, Env.Proc, *Env.RT);
+  CM.armCapture(App.Step);
+  vm::CallResult R = Env.RT->call(App.Step, {Value::fromI64(X)});
+  EXPECT_TRUE(R.ok());
+  if (LiveResult)
+    *LiveResult = R;
+  EXPECT_TRUE(CM.captureReady());
+  return *CM.takeCapture();
+}
+
+} // namespace
+
+// --- Capture mechanics ------------------------------------------------------------
+
+TEST(Capture, RecordsAccessedPagesOnly) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, /*N=*/2000, /*X=*/3);
+
+  // ~2000 i64s = ~4 pages of array + control block + statics + a few.
+  EXPECT_GE(Cap.Pages.size(), 4u);
+  EXPECT_LT(Cap.Pages.size(), 40u);
+  // Far fewer than the process' mapped pages.
+  EXPECT_LT(Cap.Pages.size(), Env.Proc.space().mappedPageCount() / 50);
+  EXPECT_EQ(Cap.Root, App.Step);
+  ASSERT_EQ(Cap.Args.size(), 1u);
+  EXPECT_EQ(Cap.Args[0].asI64(), 3);
+}
+
+TEST(Capture, EventsAndOverheadsPopulated) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, 1000, 1);
+
+  EXPECT_GT(Cap.Events.MappedPagesAtFork, 1000u);
+  EXPECT_GT(Cap.Events.MappingsParsed, 3u);
+  EXPECT_GT(Cap.Events.PagesProtected, 100u);
+  EXPECT_GT(Cap.Events.ReadFaults + Cap.Events.WriteFaults, 2u);
+  EXPECT_GT(Cap.Events.CowCopies, 0u); // region writes shared pages
+
+  EXPECT_GT(Cap.Overheads.ForkMs, 0.5);
+  EXPECT_GT(Cap.Overheads.PreparationMs, 0.5);
+  EXPECT_GT(Cap.Overheads.FaultCowMs, 0.0);
+  EXPECT_LT(Cap.Overheads.totalMs(), 60.0);
+}
+
+TEST(Capture, CapturedBytesAreThePreRegionState) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  // init builds squares 0,1,4,9... step(+5) mutates them. The capture must
+  // hold the *pre-step* values even though step ran to completion.
+  Capture Cap = captureStep(App, Env, 64, 5);
+
+  // Find the captured page holding the array payload: scan pages in the
+  // heap range for the sequence 0,1,4,9.
+  bool FoundOriginal = false;
+  for (const PageRecord &P : Cap.Pages) {
+    if (P.Addr < vm::Layout::HeapBase)
+      continue;
+    for (size_t Off = 0; Off + 32 <= P.Bytes.size(); Off += 8) {
+      const uint64_t *Words =
+          reinterpret_cast<const uint64_t *>(P.Bytes.data() + Off);
+      if (Words[0] == 0 && Words[1] == 1 && Words[2] == 4 && Words[3] == 9)
+        FoundOriginal = true;
+    }
+  }
+  EXPECT_TRUE(FoundOriginal);
+}
+
+TEST(Capture, PostponedWhenGcImminent) {
+  StatefulApp App;
+  vm::RuntimeConfig Config;
+  Config.GcThresholdBytes = 1 << 20;
+  AppEnv Env(App.File, Config);
+  ASSERT_TRUE(Env.RT->call(App.Init, {Value::fromI64(100)}).ok());
+
+  // Make a collection imminent at the moment the hot region is entered:
+  // the entry hook must postpone the capture (Section 3.2, step 1). The
+  // imminence is injected straight into the heap's control block, the
+  // state an allocation burst between safepoints would leave behind.
+  uint64_t AlmostThreshold = (Config.GcThresholdBytes / 10) * 95 / 10;
+  ASSERT_TRUE(Env.Proc.space().poke(
+      vm::Layout::HeapBase + vm::Heap::BytesSinceGcSlot, &AlmostThreshold,
+      sizeof(AlmostThreshold)));
+  ASSERT_TRUE(Env.RT->heap().gcImminent());
+
+  CaptureManager CM(Env.Kernel, Env.Proc, *Env.RT);
+  CM.armCapture(App.Step);
+  ASSERT_TRUE(Env.RT->call(App.Step, {Value::fromI64(1)}).ok());
+  EXPECT_FALSE(CM.captureReady());
+  EXPECT_EQ(CM.postponedCount(), 1u);
+
+  // That run's safepoints collected; the next run captures.
+  ASSERT_TRUE(Env.RT->call(App.Step, {Value::fromI64(1)}).ok());
+  EXPECT_TRUE(CM.captureReady());
+}
+
+TEST(Capture, AppKeepsRunningNormallyAfterCapture) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  vm::CallResult Live;
+  captureStep(App, Env, 100, 2, &Live);
+  // Protections restored: further calls behave normally.
+  vm::CallResult Next = Env.RT->call(App.Step, {Value::fromI64(2)});
+  ASSERT_TRUE(Next.ok());
+  EXPECT_NE(Next.Ret.asI64(), Live.Ret.asI64()); // state advanced
+  EXPECT_EQ(Env.Proc.space().stats().ReadFaults, 0u);
+}
+
+TEST(Capture, SerializationRoundTrip) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, 256, 7);
+
+  std::vector<uint8_t> Bytes = Cap.serialize();
+  Capture Out;
+  ASSERT_TRUE(Capture::deserialize(Bytes, Out));
+  EXPECT_EQ(Out.Root, Cap.Root);
+  EXPECT_EQ(Out.Args.size(), Cap.Args.size());
+  EXPECT_EQ(Out.Pages.size(), Cap.Pages.size());
+  EXPECT_EQ(Out.Mappings.size(), Cap.Mappings.size());
+  EXPECT_EQ(Out.CommonBytes, Cap.CommonBytes);
+  for (size_t I = 0; I != Cap.Pages.size(); ++I) {
+    EXPECT_EQ(Out.Pages[I].Addr, Cap.Pages[I].Addr);
+    EXPECT_EQ(Out.Pages[I].Bytes, Cap.Pages[I].Bytes);
+  }
+  EXPECT_FALSE(Capture::deserialize({1, 2, 3}, Out));
+}
+
+// Storage blobs are untrusted input to the replay host: truncated or
+// bit-flipped bytes must be rejected (or survive as a well-formed other
+// capture), never crash or over-allocate.
+TEST(Capture, DeserializeRejectsEveryTruncation) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, 256, 7);
+  std::vector<uint8_t> Bytes = Cap.serialize();
+  ASSERT_GT(Bytes.size(), 64u);
+
+  // Step through prefixes (all short ones, sampled long ones).
+  for (size_t Len = 0; Len < Bytes.size();
+       Len += (Len < 128 ? 1 : 211)) {
+    std::vector<uint8_t> Trunc(Bytes.begin(), Bytes.begin() + Len);
+    Capture Out;
+    EXPECT_FALSE(Capture::deserialize(Trunc, Out)) << "len=" << Len;
+  }
+  Capture Out;
+  EXPECT_TRUE(Capture::deserialize(Bytes, Out));
+}
+
+TEST(Capture, DeserializeSurvivesRandomCorruption) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, 256, 7);
+  std::vector<uint8_t> Bytes = Cap.serialize();
+
+  Rng R(0xF00D);
+  for (int Trial = 0; Trial != 400; ++Trial) {
+    std::vector<uint8_t> Bad = Bytes;
+    int Flips = 1 + static_cast<int>(R.below(8));
+    for (int F = 0; F != Flips; ++F)
+      Bad[R.below(Bad.size())] ^=
+          static_cast<uint8_t>(1u << R.below(8));
+    Capture Out;
+    // Must terminate without crashing; header-intact corruptions may
+    // still parse, but never into something absurd.
+    if (Capture::deserialize(Bad, Out)) {
+      EXPECT_LT(Out.Pages.size(), 1u << 20);
+      EXPECT_LT(Out.Args.size(), 1u << 20);
+    }
+  }
+}
+
+TEST(Capture, SpoolsToStorageWithCommonBlobOnce) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap1 = captureStep(App, Env, 128, 1);
+
+  CaptureManager CM(Env.Kernel, Env.Proc, *Env.RT);
+  std::string Path1 = CM.spoolToStorage(Cap1, "app");
+  uint64_t AfterFirst = Env.Kernel.storage().totalBytesStored();
+  EXPECT_TRUE(Env.Kernel.storage().exists(Path1));
+  // Common blob (runtime image) dominates the first spool.
+  EXPECT_GT(AfterFirst, Cap1.CommonBytes);
+
+  // Second capture of the same boot: only process-specific bytes grow.
+  CM.armCapture(App.Step);
+  ASSERT_TRUE(Env.RT->call(App.Step, {Value::fromI64(2)}).ok());
+  Capture Cap2 = *CM.takeCapture();
+  CM.spoolToStorage(Cap2, "app2");
+  uint64_t AfterSecond = Env.Kernel.storage().totalBytesStored();
+  EXPECT_LT(AfterSecond - AfterFirst, Cap2.CommonBytes / 4);
+}
+
+// --- Replay fidelity -----------------------------------------------------------------
+
+TEST(Replay, InterpretedReplayReproducesTheLiveResult) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  vm::CallResult Live;
+  Capture Cap = captureStep(App, Env, 300, 9, &Live);
+
+  Replayer R(App.File, Env.Natives, Env.Config);
+  ReplayResult Rep = R.replay(Cap, ReplayCode::Interpreter, nullptr);
+  ASSERT_TRUE(Rep.Result.ok());
+  EXPECT_EQ(Rep.Result.Ret.asI64(), Live.Ret.asI64());
+}
+
+TEST(Replay, ReplayIsIdempotent) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, 300, 9);
+
+  Replayer R(App.File, Env.Natives, Env.Config);
+  ReplayResult A = R.replay(Cap, ReplayCode::Interpreter, nullptr);
+  ReplayResult B = R.replay(Cap, ReplayCode::Interpreter, nullptr);
+  ASSERT_TRUE(A.Result.ok());
+  EXPECT_EQ(A.Result.Ret.Raw, B.Result.Ret.Raw);
+  EXPECT_EQ(A.Result.Cycles, B.Result.Cycles);
+  EXPECT_EQ(A.Result.Insns, B.Result.Insns);
+}
+
+TEST(Replay, CompiledReplayMatchesInterpreted) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  vm::CallResult Live;
+  Capture Cap = captureStep(App, Env, 300, 4, &Live);
+
+  vm::CodeCache Android;
+  hgraph::compileAllAndroid(App.File, {App.Step}, Android);
+
+  Replayer R(App.File, Env.Natives, Env.Config);
+  ReplayResult Interp = R.replay(Cap, ReplayCode::Interpreter, nullptr);
+  ReplayResult Comp = R.replay(Cap, ReplayCode::Compiled, &Android);
+  ASSERT_TRUE(Comp.Result.ok());
+  EXPECT_EQ(Comp.Result.Ret.asI64(), Interp.Result.Ret.asI64());
+  EXPECT_EQ(Comp.Result.Ret.asI64(), Live.Ret.asI64());
+  EXPECT_LT(Comp.Result.Cycles, Interp.Result.Cycles);
+}
+
+// The full on-disk path: spool to bytes, parse the bytes back, replay.
+// The deserialized capture must replay to the identical result.
+TEST(Replay, ReplayFromStorageRoundTripMatchesLive) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  vm::CallResult Live;
+  Capture Cap = captureStep(App, Env, 300, 9, &Live);
+
+  std::vector<uint8_t> Bytes = Cap.serialize();
+  Capture FromDisk;
+  ASSERT_TRUE(Capture::deserialize(Bytes, FromDisk));
+
+  Replayer R(App.File, Env.Natives, Env.Config);
+  ReplayResult Rep = R.replay(FromDisk, ReplayCode::Interpreter, nullptr);
+  ASSERT_TRUE(Rep.Result.ok());
+  EXPECT_EQ(Rep.Result.Ret.asI64(), Live.Ret.asI64());
+}
+
+// Bit-rot inside captured page *contents* (the header still parses): the
+// replay host must terminate cleanly every time — a wrong result, a trap,
+// or a timeout, never a crash of the host itself.
+TEST(Replay, CorruptedPageContentsFailSafely) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  vm::CallResult Live;
+  Capture Cap = captureStep(App, Env, 300, 9, &Live);
+  ASSERT_FALSE(Cap.Pages.empty());
+
+  Rng Rand(0xBADC0DE);
+  int Diverged = 0;
+  for (int Trial = 0; Trial != 24; ++Trial) {
+    Capture Bad = Cap;
+    // Flip a few bytes in random captured pages.
+    for (int F = 0; F != 4; ++F) {
+      PageRecord &P = Bad.Pages[Rand.below(Bad.Pages.size())];
+      P.Bytes[Rand.below(P.Bytes.size())] ^=
+          static_cast<uint8_t>(1u << Rand.below(8));
+    }
+    Replayer R(App.File, Env.Natives, Env.Config);
+    ReplayResult Rep = R.replay(Bad, ReplayCode::Interpreter, nullptr);
+    // Terminated (ok, trap, or timeout) — reaching this line is the
+    // assertion. Count observable divergence for the sanity check below.
+    if (!Rep.Result.ok() || Rep.Result.Ret.Raw != Live.Ret.Raw)
+      ++Diverged;
+  }
+  // Most 4-byte corruptions of a small working set are visible.
+  EXPECT_GT(Diverged, 4);
+}
+
+TEST(Replay, AslrCollisionsAreHandled) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  vm::CallResult Live;
+  Capture Cap = captureStep(App, Env, 300, 4, &Live);
+
+  // Many replays with different loader bases: results never change, and
+  // at least one placement collides with a captured mapping.
+  // The loader lands in ~670 MB of address space of which ~30 MB belongs
+  // to captured mappings: a few percent collision probability per replay,
+  // so a few hundred (seed-deterministic) replays guarantee several.
+  Replayer R(App.File, Env.Natives, Env.Config, /*AslrSeed=*/42);
+  bool SawCollision = false;
+  for (int I = 0; I != 300; ++I) {
+    ReplayResult Rep = R.replay(Cap, ReplayCode::Interpreter, nullptr);
+    ASSERT_TRUE(Rep.Result.ok());
+    EXPECT_EQ(Rep.Result.Ret.asI64(), Live.Ret.asI64());
+    SawCollision |= Rep.Loader.CollidingPages > 0;
+  }
+  EXPECT_TRUE(SawCollision);
+}
+
+TEST(Replay, VerificationMapSeesExternalWrites) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, 50, 6);
+
+  Replayer R(App.File, Env.Natives, Env.Config);
+  InterpretedReplayResult IR = R.interpretedReplay(Cap);
+  ASSERT_TRUE(IR.Replay.Result.ok());
+  // 50 array writes + counter static + heap control block.
+  EXPECT_GE(IR.Map.Cells.size(), 50u);
+  EXPECT_TRUE(IR.Map.HasReturn);
+}
+
+TEST(Replay, VerifiedReplayAcceptsCorrectBinary) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, 50, 6);
+
+  Replayer R(App.File, Env.Natives, Env.Config);
+  InterpretedReplayResult IR = R.interpretedReplay(Cap);
+
+  vm::CodeCache Android;
+  hgraph::compileAllAndroid(App.File, {App.Step}, Android);
+  ReplayResult Out;
+  EXPECT_TRUE(R.verifiedReplay(Cap, Android, IR.Map, Out));
+}
+
+TEST(Replay, VerifiedReplayRejectsWrongBinary) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, 50, 6);
+
+  Replayer R(App.File, Env.Natives, Env.Config);
+  InterpretedReplayResult IR = R.interpretedReplay(Cap);
+
+  // Sabotage the compiled step: flip an add into a sub.
+  auto Fn = hgraph::compileMethodAndroid(App.File, App.Step);
+  ASSERT_NE(Fn, nullptr);
+  bool Flipped = false;
+  for (vm::MInsn &I : Fn->Code) {
+    if (!Flipped && I.Op == vm::MOpcode::MAddI) {
+      I.Op = vm::MOpcode::MSubI;
+      Flipped = true;
+    }
+  }
+  ASSERT_TRUE(Flipped);
+  vm::CodeCache Bad;
+  Bad.install(Fn);
+
+  ReplayResult Out;
+  EXPECT_FALSE(R.verifiedReplay(Cap, Bad, IR.Map, Out));
+}
+
+TEST(Replay, TypeProfileFromInterpretedReplay) {
+  DexBuilder B;
+  testprogs::definePolyShapes(B);
+  DexFile File = B.build();
+  MethodId Poly = File.findMethod("polyLoop");
+
+  os::Kernel Kernel;
+  os::Process &Proc = Kernel.spawn();
+  vm::NativeRegistry Natives = vm::NativeRegistry::standardLibrary();
+  vm::RuntimeConfig Config;
+  vm::Runtime::mapStandardLayout(Proc.space(), File, Config);
+  vm::Runtime RT(Proc.space(), File, Natives, Config);
+
+  CaptureManager CM(Kernel, Proc, RT);
+  CM.armCapture(Poly);
+  ASSERT_TRUE(RT.call(Poly, {Value::fromI64(30)}).ok());
+  Capture Cap = *CM.takeCapture();
+
+  Replayer R(File, Natives, Config);
+  InterpretedReplayResult IR = R.interpretedReplay(Cap);
+  ASSERT_TRUE(IR.Replay.Result.ok());
+  EXPECT_GE(IR.Profile.siteCount(), 1u);
+  // Even/odd split: no class dominates at 90%.
+  ClassId Dominant;
+  const auto &Site = *IR.Profile.sites().begin();
+  EXPECT_FALSE(IR.Profile.dominantType(Site.first.Method, Site.first.Site,
+                                       0.9, Dominant));
+}
+
+// --- Hot region detection over a real profile ----------------------------------------
+
+TEST(HotRegionDetection, FindsTheComputeKernel) {
+  StatefulApp App;
+  vm::RuntimeConfig Config;
+  Config.AttributeCycles = true;
+  AppEnv Env(App.File, Config);
+  ASSERT_TRUE(Env.RT->call(App.Init, {Value::fromI64(500)}).ok());
+  for (int I = 0; I != 10; ++I)
+    ASSERT_TRUE(Env.RT->call(App.Step, {Value::fromI64(I)}).ok());
+
+  auto RA = profiler::ReplayabilityAnalysis::analyze(App.File);
+  auto Profile = profiler::MethodProfile::fromRuntime(*Env.RT);
+  auto Region = profiler::detectHotRegion(App.File, Profile, RA);
+  ASSERT_TRUE(Region.has_value());
+  EXPECT_EQ(Region->Root, App.Step);
+}
+
+TEST(Replayability, IoAndNondetBlockRegions) {
+  DexBuilder B;
+  NativeId Print = B.addNative("print", 1, false, /*DoesIO=*/true);
+  NativeId Rand =
+      B.addNative("randomInt", 1, true, false, /*NonDet=*/true);
+  NativeId Sin = B.addNative("sin", 1, true, false, false, "sin");
+
+  MethodId Printer = B.declareNativeMethod(InvalidId, "printN", Print);
+  MethodId Roller = B.declareNativeMethod(InvalidId, "rollN", Rand);
+  (void)Roller;
+
+  MethodId UsesIo = B.declareFunction(InvalidId, "usesIo", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(UsesIo);
+    F.invokeStatic(NoReg, Printer, {F.param(0)});
+    F.retVoid();
+    B.endBody(F);
+  }
+  MethodId CallsIo = B.declareFunction(InvalidId, "callsIo", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(CallsIo);
+    F.invokeStatic(NoReg, UsesIo, {F.param(0)});
+    F.retVoid();
+    B.endBody(F);
+  }
+  MethodId UsesRand = B.declareFunction(InvalidId, "usesRand", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(UsesRand);
+    RegIdx R = F.newReg();
+    F.invokeNative(R, Rand, {F.param(0)});
+    F.ret(R);
+    B.endBody(F);
+  }
+  MethodId PureMath = B.declareFunction(InvalidId, "pureMath", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(PureMath);
+    RegIdx R = F.newReg();
+    F.invokeNative(R, Sin, {F.param(0)});
+    F.ret(R);
+    B.endBody(F);
+  }
+  MethodId Thrower = B.declareFunction(InvalidId, "thrower", 0, false,
+                                       MF_HasTryCatch);
+  {
+    FunctionBuilder F = B.beginBody(Thrower);
+    F.retVoid();
+    B.endBody(F);
+  }
+  DexFile File = B.build();
+
+  auto RA = profiler::ReplayabilityAnalysis::analyze(File);
+  EXPECT_FALSE(RA.isReplayable(UsesIo));
+  EXPECT_FALSE(RA.isReplayable(CallsIo)); // transitive
+  EXPECT_FALSE(RA.isReplayable(UsesRand));
+  EXPECT_FALSE(RA.isReplayable(Thrower));
+  EXPECT_TRUE(RA.isReplayable(PureMath)); // intrinsic-replaceable JNI
+  EXPECT_FALSE(RA.isCompilable(Printer)); // native
+}
+
+TEST(Replayability, VirtualDispatchIsConservative) {
+  DexBuilder B;
+  NativeId Print = B.addNative("print", 1, false, true);
+  ClassId Base = B.addClass("Base");
+  ClassId Bad = B.addClass("Bad", Base);
+  MethodId BaseF = B.declareVirtual(Base, "f", 1, false);
+  MethodId BadF = B.declareVirtual(Bad, "f", 1, false);
+  {
+    FunctionBuilder F = B.beginBody(BaseF);
+    F.retVoid();
+    B.endBody(F);
+  }
+  {
+    FunctionBuilder F = B.beginBody(BadF);
+    RegIdx T = F.immI(1);
+    F.invokeNative(NoReg, Print, {T});
+    F.retVoid();
+    B.endBody(F);
+  }
+  MethodId Caller = B.declareFunction(InvalidId, "vcaller", 0, false);
+  {
+    FunctionBuilder F = B.beginBody(Caller);
+    RegIdx Obj = F.newReg();
+    F.newInstance(Obj, Base); // dynamically always Base...
+    F.invokeVirtual(NoReg, BaseF, {Obj});
+    F.retVoid();
+    B.endBody(F);
+  }
+  DexFile File = B.build();
+  auto RA = profiler::ReplayabilityAnalysis::analyze(File);
+  // ...but statically, Bad.f could be the target: conservative block.
+  EXPECT_FALSE(RA.isReplayable(Caller));
+}
+
+TEST(Breakdown, SharesSumToOne) {
+  StatefulApp App;
+  vm::RuntimeConfig Config;
+  Config.AttributeCycles = true;
+  AppEnv Env(App.File, Config);
+  ASSERT_TRUE(Env.RT->call(App.Init, {Value::fromI64(200)}).ok());
+  for (int I = 0; I != 5; ++I)
+    ASSERT_TRUE(Env.RT->call(App.Step, {Value::fromI64(I)}).ok());
+
+  auto RA = profiler::ReplayabilityAnalysis::analyze(App.File);
+  auto Profile = profiler::MethodProfile::fromRuntime(*Env.RT);
+  auto Region = profiler::detectHotRegion(App.File, Profile, RA);
+  ASSERT_TRUE(Region.has_value());
+  auto BD =
+      profiler::computeBreakdown(App.File, Profile, RA, &*Region);
+  double Total =
+      BD.Compiled + BD.Cold + BD.Jni + BD.Unreplayable + BD.Uncompilable;
+  EXPECT_NEAR(Total, 1.0, 1e-9);
+  EXPECT_GT(BD.Compiled, 0.5); // step dominates
+}

@@ -1,0 +1,479 @@
+//===- tests/HGraphTests.cpp - hgraph/ unit tests ---------------------------===//
+
+#include "hgraph/AndroidCompiler.h"
+#include "hgraph/Build.h"
+#include "hgraph/Codegen.h"
+#include "hgraph/Passes.h"
+#include "tests/TestPrograms.h"
+#include "vm/MachineUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace ropt;
+using namespace ropt::dex;
+using namespace ropt::hgraph;
+using namespace ropt::testprogs;
+using vm::MInsn;
+using vm::MOpcode;
+
+namespace {
+
+/// Counts instructions with opcode \p Op across the graph.
+size_t countOps(const HGraph &G, MOpcode Op) {
+  size_t Count = 0;
+  for (const HBlock &B : G.Blocks)
+    for (const MInsn &I : B.Insns)
+      Count += (I.Op == Op);
+  return Count;
+}
+
+/// Runs `Name` interpreted and compiled-with-Android and expects identical
+/// results plus a compiled-speedup.
+void expectParityAndSpeedup(DexFile File, const std::string &Name,
+                            std::vector<vm::Value> Args,
+                            bool ExpectSpeedup = true) {
+  MethodId Id = File.findMethod(Name);
+  ASSERT_NE(Id, InvalidId);
+
+  Harness Interp(File);
+  Interp.RT->setMode(vm::ExecMode::InterpretOnly);
+  vm::CallResult RInterp = Interp.RT->call(Id, Args);
+
+  Harness Compiled(File);
+  std::vector<MethodId> All;
+  for (const auto &M : File.methods())
+    if (!M.IsNative)
+      All.push_back(M.Id);
+  compileAllAndroid(File, All, Compiled.RT->codeCache());
+  vm::CallResult RComp = Compiled.RT->call(Id, Args);
+
+  ASSERT_EQ(RInterp.Trap, vm::TrapKind::None);
+  ASSERT_EQ(RComp.Trap, vm::TrapKind::None);
+  EXPECT_EQ(RInterp.Ret.Raw, RComp.Ret.Raw) << Name;
+  if (ExpectSpeedup) {
+    EXPECT_LT(RComp.Cycles, RInterp.Cycles) << Name;
+  }
+}
+
+} // namespace
+
+// --- Graph construction -------------------------------------------------------
+
+TEST(Build, LoopShape) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, File.findMethod("sumTo"));
+
+  // Entry, loop header, body, exit — at least 3 blocks with a back edge.
+  EXPECT_GE(G.Blocks.size(), 3u);
+  bool HasBackEdge = false;
+  for (const HBlock &Blk : G.Blocks)
+    for (uint32_t Succ : Blk.Term.successors())
+      if (G.Blocks[Succ].StartPc <= Blk.StartPc && &G.Blocks[Succ] != &Blk)
+        HasBackEdge = true;
+  EXPECT_TRUE(HasBackEdge);
+
+  // Entry safepoint + back-edge safepoint.
+  EXPECT_GE(countOps(G, MOpcode::MSafepoint), 2u);
+
+  std::string Error;
+  EXPECT_TRUE(G.verify(Error)) << Error;
+}
+
+TEST(Build, ChecksMaterialized) {
+  DexBuilder B;
+  defineDotProduct(B);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, File.findMethod("dot"));
+
+  EXPECT_GT(countOps(G, MOpcode::MCheckNull), 0u);
+  EXPECT_GT(countOps(G, MOpcode::MCheckBounds), 0u);
+  EXPECT_GT(countOps(G, MOpcode::MALoad), 0u);
+  EXPECT_GT(countOps(G, MOpcode::MAStore), 0u);
+}
+
+TEST(Build, DivCheckMaterialized) {
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "d", 2, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx R = F.newReg();
+  F.divI(R, F.param(0), F.param(1));
+  F.ret(R);
+  B.endBody(F);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, M);
+  EXPECT_EQ(countOps(G, MOpcode::MCheckDiv), 1u);
+}
+
+TEST(Build, PredsAndRpo) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, File.findMethod("sumTo"));
+
+  auto Rpo = G.reversePostOrder();
+  EXPECT_EQ(Rpo.front(), 0u);
+  // Every reachable block except entry has a predecessor.
+  for (uint32_t Id : Rpo) {
+    if (Id != 0) {
+      EXPECT_FALSE(G.Blocks[Id].Preds.empty()) << "block " << Id;
+    }
+  }
+}
+
+TEST(Build, VirtualCallGetsNullCheck) {
+  DexBuilder B;
+  definePolyShapes(B);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, File.findMethod("polyLoop"));
+  EXPECT_GT(countOps(G, MOpcode::MCheckNull), 0u);
+  EXPECT_EQ(countOps(G, MOpcode::MCallVirtual), 1u);
+}
+
+// --- Individual passes -----------------------------------------------------------
+
+TEST(Passes, ConstantFoldingFoldsChains) {
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "c", 0, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx A = F.immI(6), Bv = F.immI(7), C = F.newReg();
+  F.mulI(C, A, Bv);
+  RegIdx D = F.newReg();
+  F.addI(D, C, C);
+  F.ret(D);
+  B.endBody(F);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, M);
+
+  EXPECT_TRUE(constantFolding(G));
+  // Both ALU ops folded to immediates.
+  EXPECT_EQ(countOps(G, MOpcode::MMulI), 0u);
+  EXPECT_EQ(countOps(G, MOpcode::MAddI), 0u);
+
+  Harness H(File);
+  H.RT->codeCache().install(emitMachine(G));
+  EXPECT_EQ(H.run("c").Ret.asI64(), 84);
+}
+
+TEST(Passes, ConstantFoldingDoesNotFoldDivByZero) {
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "dz", 0, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx A = F.immI(6), Z = F.immI(0), C = F.newReg();
+  F.divI(C, A, Z);
+  F.ret(C);
+  B.endBody(F);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, M);
+
+  constantFolding(G);
+  EXPECT_EQ(countOps(G, MOpcode::MDivI), 1u);
+  EXPECT_EQ(countOps(G, MOpcode::MCheckDiv), 1u);
+}
+
+TEST(Passes, SimplifierIdentities) {
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "s", 1, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx Zero = F.immI(0), One = F.immI(1);
+  RegIdx T1 = F.newReg(), T2 = F.newReg(), T3 = F.newReg();
+  F.addI(T1, F.param(0), Zero); // x + 0 -> x
+  F.mulI(T2, T1, One);          // x * 1 -> x
+  F.subI(T3, T2, T2);           // x - x -> 0
+  F.addI(T3, T3, T2);
+  F.ret(T3);
+  B.endBody(F);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, M);
+
+  EXPECT_TRUE(instructionSimplifier(G));
+  EXPECT_EQ(countOps(G, MOpcode::MMulI), 0u);
+  EXPECT_EQ(countOps(G, MOpcode::MSubI), 0u);
+
+  Harness H(File);
+  H.RT->codeCache().install(emitMachine(G));
+  EXPECT_EQ(H.run("s", {vm::Value::fromI64(9)}).Ret.asI64(), 9);
+}
+
+TEST(Passes, NullCheckEliminationDedupes) {
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "n", 1, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx Arr = F.newReg(), Ten = F.immI(10), V1 = F.newReg(),
+         V2 = F.newReg(), Zero = F.immI(0), One = F.immI(1);
+  F.newArray(Arr, Ten, Type::I64);
+  F.aload(V1, Arr, Zero, Type::I64);
+  F.aload(V2, Arr, One, Type::I64);
+  F.addI(V1, V1, V2);
+  F.ret(V1);
+  B.endBody(F);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, M);
+
+  size_t Before = countOps(G, MOpcode::MCheckNull);
+  EXPECT_TRUE(nullCheckElimination(G));
+  // Array comes straight from an allocation: all null checks go away.
+  EXPECT_LT(countOps(G, MOpcode::MCheckNull), Before);
+  EXPECT_EQ(countOps(G, MOpcode::MCheckNull), 0u);
+}
+
+TEST(Passes, BoundsCheckEliminationDedupes) {
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "bc", 1, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx Arr = F.newReg(), Ten = F.immI(10), Zero = F.immI(0);
+  RegIdx V1 = F.newReg(), V2 = F.newReg();
+  F.newArray(Arr, Ten, Type::I64);
+  F.aload(V1, Arr, Zero, Type::I64); // check (arr, 0)
+  F.aload(V2, Arr, Zero, Type::I64); // duplicate check
+  F.addI(V1, V1, V2);
+  F.ret(V1);
+  B.endBody(F);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, M);
+
+  EXPECT_EQ(countOps(G, MOpcode::MCheckBounds), 2u);
+  EXPECT_TRUE(boundsCheckElimination(G));
+  EXPECT_EQ(countOps(G, MOpcode::MCheckBounds), 1u);
+}
+
+TEST(Passes, LoadStoreForwarding) {
+  DexBuilder B;
+  ClassId C = B.addClass("Box");
+  FieldId Fd = B.addField(C, "v", Type::I64);
+  MethodId M = B.declareFunction(InvalidId, "ls", 1, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx Obj = F.newReg(), V = F.newReg();
+  F.newInstance(Obj, C);
+  F.putField(Obj, Fd, F.param(0));
+  F.getField(V, Obj, Fd); // forwarded from the store
+  F.ret(V);
+  B.endBody(F);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, M);
+
+  EXPECT_TRUE(loadStoreElimination(G));
+  EXPECT_EQ(countOps(G, MOpcode::MLoadSlot), 0u);
+
+  Harness H(File);
+  H.RT->codeCache().install(emitMachine(G));
+  EXPECT_EQ(H.run("ls", {vm::Value::fromI64(77)}).Ret.asI64(), 77);
+}
+
+TEST(Passes, LocalValueNumberingReusesComputation) {
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "vn", 2, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx T1 = F.newReg(), T2 = F.newReg(), R = F.newReg();
+  F.addI(T1, F.param(0), F.param(1));
+  F.addI(T2, F.param(0), F.param(1)); // same value
+  F.mulI(R, T1, T2);
+  F.ret(R);
+  B.endBody(F);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, M);
+
+  EXPECT_TRUE(localValueNumbering(G));
+  EXPECT_EQ(countOps(G, MOpcode::MAddI), 1u);
+
+  Harness H(File);
+  H.RT->codeCache().install(emitMachine(G));
+  EXPECT_EQ(
+      H.run("vn", {vm::Value::fromI64(3), vm::Value::fromI64(4)}).Ret.asI64(),
+      49);
+}
+
+TEST(Passes, DeadCodeEliminationRemovesOverwrittenDefs) {
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "dc", 1, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx T = F.newReg();
+  F.constI(T, 1); // dead: overwritten below, never read
+  F.constI(T, 2);
+  F.addI(T, T, F.param(0));
+  F.ret(T);
+  B.endBody(F);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, M);
+
+  size_t Before = G.instructionCount();
+  EXPECT_TRUE(localDeadCodeElimination(G));
+  EXPECT_LT(G.instructionCount(), Before);
+
+  Harness H(File);
+  H.RT->codeCache().install(emitMachine(G));
+  EXPECT_EQ(H.run("dc", {vm::Value::fromI64(10)}).Ret.asI64(), 12);
+}
+
+TEST(Passes, InlinerSplicesTinyCallee) {
+  DexBuilder B;
+  MethodId Callee = B.declareFunction(InvalidId, "twice", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Callee);
+    RegIdx R = F.newReg();
+    F.addI(R, F.param(0), F.param(0));
+    F.ret(R);
+    B.endBody(F);
+  }
+  MethodId Caller = B.declareFunction(InvalidId, "caller", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Caller);
+    RegIdx R = F.newReg();
+    F.invokeStatic(R, Callee, {F.param(0)});
+    F.ret(R);
+    B.endBody(F);
+  }
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, Caller);
+
+  EXPECT_TRUE(inlineTrivialCalls(G, File));
+  EXPECT_EQ(countOps(G, MOpcode::MCallStatic), 0u);
+
+  Harness H(File);
+  H.RT->codeCache().install(emitMachine(G));
+  EXPECT_EQ(H.run("caller", {vm::Value::fromI64(21)}).Ret.asI64(), 42);
+}
+
+// --- Full pipeline: differential semantics + performance -------------------------
+
+TEST(AndroidCompiler, ParitySumTo) {
+  DexBuilder B;
+  defineSumTo(B);
+  expectParityAndSpeedup(B.build(), "sumTo", {vm::Value::fromI64(500)});
+}
+
+TEST(AndroidCompiler, ParityDotProduct) {
+  DexBuilder B;
+  defineDotProduct(B);
+  expectParityAndSpeedup(B.build(), "dot", {vm::Value::fromI64(200)});
+}
+
+TEST(AndroidCompiler, ParityPolyShapes) {
+  DexBuilder B;
+  definePolyShapes(B);
+  expectParityAndSpeedup(B.build(), "polyLoop", {vm::Value::fromI64(100)});
+}
+
+TEST(AndroidCompiler, ParityMathNatives) {
+  DexBuilder B;
+  defineMathMix(B);
+  expectParityAndSpeedup(B.build(), "mathMix", {vm::Value::fromF64(0.7)},
+                         /*ExpectSpeedup=*/false);
+}
+
+TEST(AndroidCompiler, ParityMatrixSum) {
+  DexBuilder B;
+  defineMatrixSum(B);
+  expectParityAndSpeedup(B.build(), "matSum", {vm::Value::fromI64(24)});
+}
+
+TEST(AndroidCompiler, CompiledIsMuchFasterThanInterpreter) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  MethodId Id = File.findMethod("sumTo");
+
+  Harness H(File);
+  vm::CallResult Interp = H.RT->call(Id, {vm::Value::fromI64(2000)});
+  compileAllAndroid(File, {Id}, H.RT->codeCache());
+  vm::CallResult Comp = H.RT->call(Id, {vm::Value::fromI64(2000)});
+  EXPECT_EQ(Interp.Ret.asI64(), Comp.Ret.asI64());
+  // The interpreter pays dispatch per bytecode; expect >= 3x.
+  EXPECT_GT(Interp.Cycles, 3 * Comp.Cycles);
+}
+
+TEST(AndroidCompiler, RefusesUncompilable) {
+  DexBuilder B;
+  MethodId M =
+      B.declareFunction(InvalidId, "weird", 0, true, MF_Uncompilable);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx R = F.immI(5);
+  F.ret(R);
+  B.endBody(F);
+  DexFile File = B.build();
+  EXPECT_EQ(compileMethodAndroid(File, M), nullptr);
+}
+
+TEST(AndroidCompiler, PipelineShrinksCode) {
+  DexBuilder B;
+  defineMatrixSum(B);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, File.findMethod("matSum"));
+  size_t Before = G.instructionCount();
+  runAndroidPipeline(G, File);
+  EXPECT_LE(G.instructionCount(), Before);
+}
+
+// --- Codegen ----------------------------------------------------------------------
+
+TEST(Codegen, BranchTargetsValid) {
+  DexBuilder B;
+  defineMatrixSum(B);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, File.findMethod("matSum"));
+  auto Fn = emitMachine(G);
+
+  for (const MInsn &I : Fn->Code)
+    if (vm::isMBranch(I.Op) || I.Op == MOpcode::MGuardClass) {
+      EXPECT_GE(I.Target, 0);
+      EXPECT_LT(static_cast<size_t>(I.Target), Fn->Code.size());
+    }
+}
+
+TEST(Codegen, RegisterCompactionKeepsSemantics) {
+  DexBuilder B;
+  // Lots of registers: force a spill-prone function.
+  MethodId M = B.declareFunction(InvalidId, "fat", 1, true);
+  FunctionBuilder F = B.beginBody(M);
+  std::vector<RegIdx> Regs;
+  for (int I = 0; I != 30; ++I) {
+    RegIdx R = F.newReg();
+    F.constI(R, I);
+    Regs.push_back(R);
+  }
+  RegIdx Acc = F.newReg();
+  F.constI(Acc, 0);
+  for (RegIdx R : Regs)
+    F.addI(Acc, Acc, R);
+  F.ret(Acc);
+  B.endBody(F);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, M);
+
+  auto FnFreq = emitMachine(G, RegAllocKind::Frequency);
+  auto FnNone = emitMachine(G, RegAllocKind::None);
+
+  Harness H1(File);
+  H1.RT->codeCache().install(FnFreq);
+  Harness H2(File);
+  H2.RT->codeCache().install(FnNone);
+  vm::CallResult R1 = H1.run("fat", {vm::Value::fromI64(0)});
+  vm::CallResult R2 = H2.run("fat", {vm::Value::fromI64(0)});
+  EXPECT_EQ(R1.Ret.asI64(), 435);
+  EXPECT_EQ(R2.Ret.asI64(), 435);
+  // Compaction reduces spill traffic.
+  EXPECT_LE(R1.Cycles, R2.Cycles);
+}
+
+TEST(Codegen, UnreachableBlocksDropped) {
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "u", 1, true);
+  FunctionBuilder F = B.beginBody(M);
+  auto Exit = F.newLabel();
+  F.jump(Exit);
+  // Unreachable garbage between the jump and the target.
+  RegIdx T = F.newReg();
+  F.constI(T, 999);
+  F.ret(T);
+  F.bind(Exit);
+  F.ret(F.param(0));
+  B.endBody(F);
+  DexFile File = B.build();
+  HGraph G = buildHGraph(File, M);
+  auto Fn = emitMachine(G);
+
+  Harness H(File);
+  H.RT->codeCache().install(Fn);
+  EXPECT_EQ(H.run("u", {vm::Value::fromI64(3)}).Ret.asI64(), 3);
+}

@@ -1,0 +1,922 @@
+//===- tests/LirTests.cpp - lir/ unit and differential tests -----------------===//
+
+#include "hgraph/Build.h"
+#include "lir/Analysis.h"
+#include "lir/Backend.h"
+#include "lir/Codegen.h"
+#include "lir/FromHGraph.h"
+#include "lir/Passes.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace ropt;
+using namespace ropt::dex;
+using namespace ropt::lir;
+using namespace ropt::testprogs;
+using vm::MOpcode;
+
+namespace {
+
+LFunction buildLir(const DexFile &File, const std::string &Name) {
+  MethodId Id = File.findMethod(Name);
+  EXPECT_NE(Id, InvalidId);
+  return fromHGraph(hgraph::buildHGraph(File, Id));
+}
+
+size_t countLOps(const LFunction &Fn, MOpcode Op) {
+  size_t Count = 0;
+  for (const LBlock &B : Fn.Blocks)
+    for (const LInsn &I : B.Insns)
+      Count += (I.Op == Op);
+  return Count;
+}
+
+size_t countPhis(const LFunction &Fn) {
+  size_t Count = 0;
+  for (const LBlock &B : Fn.Blocks)
+    Count += B.Phis.size();
+  return Count;
+}
+
+/// Runs `Name` interpreted and through the given pipeline; expects equal
+/// results, valid IR, and no traps.
+void expectPipelineParity(const DexFile &File, const std::string &Name,
+                          std::vector<vm::Value> Args,
+                          std::vector<PassInstance> Pipeline,
+                          uint64_t *CompiledCycles = nullptr) {
+  MethodId Id = File.findMethod(Name);
+  ASSERT_NE(Id, InvalidId);
+
+  Harness Interp(File);
+  Interp.RT->setMode(vm::ExecMode::InterpretOnly);
+  vm::CallResult RI = Interp.RT->call(Id, Args);
+  ASSERT_EQ(RI.Trap, vm::TrapKind::None);
+
+  CompileOptions Options;
+  Options.Pipeline = std::move(Pipeline);
+  Harness Compiled(File);
+  std::vector<MethodId> All;
+  for (const auto &M : File.methods())
+    if (!M.IsNative)
+      All.push_back(M.Id);
+  CompileStatus Status =
+      compileAllLlvm(File, All, Options, Compiled.RT->codeCache());
+  ASSERT_EQ(Status, CompileStatus::Ok);
+  vm::CallResult RC = Compiled.RT->call(Id, Args);
+  ASSERT_EQ(RC.Trap, vm::TrapKind::None) << Name;
+  EXPECT_EQ(RI.Ret.Raw, RC.Ret.Raw) << Name;
+  if (CompiledCycles)
+    *CompiledCycles = RC.Cycles;
+}
+
+PassInstance mk(PassId Id, int IntParam = 0, bool Aggressive = false) {
+  PassInstance P;
+  P.Id = Id;
+  P.IntParam = IntParam;
+  P.Aggressive = Aggressive;
+  return P;
+}
+
+} // namespace
+
+// --- Analysis ------------------------------------------------------------------
+
+TEST(Analysis, DomTreeOfLoop) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "sumTo");
+  DomTree DT = DomTree::compute(Fn);
+
+  // Entry dominates everything reachable.
+  for (uint32_t Id : Fn.reversePostOrder())
+    EXPECT_TRUE(DT.dominates(0, Id));
+  EXPECT_EQ(DT.idom(0), 0u);
+}
+
+TEST(Analysis, LoopDetection) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "sumTo");
+  DomTree DT = DomTree::compute(Fn);
+  LoopInfo LI = LoopInfo::compute(Fn, DT);
+
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  EXPECT_GE(L.Blocks.size(), 2u);
+  EXPECT_EQ(L.Latches.size(), 1u);
+  EXPECT_FALSE(L.Exits.empty());
+}
+
+TEST(Analysis, NestedLoops) {
+  DexBuilder B;
+  defineMatrixSum(B);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "matSum");
+  DomTree DT = DomTree::compute(Fn);
+  LoopInfo LI = LoopInfo::compute(Fn, DT);
+  // i-loop, j-loop, k-loop.
+  EXPECT_EQ(LI.loops().size(), 3u);
+}
+
+// --- SSA construction --------------------------------------------------------------
+
+TEST(FromHGraph, ProducesValidSsa) {
+  DexBuilder B;
+  defineSumTo(B);
+  defineDotProduct(B);
+  defineMatrixSum(B);
+  definePolyShapes(B);
+  DexFile File = B.build();
+
+  for (const char *Name : {"sumTo", "dot", "matSum", "polyLoop"}) {
+    LFunction Fn = buildLir(File, Name);
+    std::string Error;
+    EXPECT_TRUE(Fn.verify(Error)) << Name << ": " << Error;
+    EXPECT_GT(countPhis(Fn), 0u) << Name; // loops need phis
+  }
+}
+
+TEST(FromHGraph, LoopVariablesBecomePhis) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "sumTo");
+  // sum and i merge at the loop header: at least 2 phis somewhere.
+  EXPECT_GE(countPhis(Fn), 2u);
+}
+
+TEST(FromHGraph, ConservativeBoundariesDuplicateSafepoints) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  MethodId Id = File.findMethod("sumTo");
+  hgraph::HGraph G = hgraph::buildHGraph(File, Id);
+
+  TranslateOptions Loose;
+  Loose.ConservativeBoundaries = false;
+  LFunction Tight = fromHGraph(G, Loose);
+  LFunction Fat = fromHGraph(G);
+  EXPECT_EQ(countLOps(Fat, MOpcode::MSafepoint),
+            2 * countLOps(Tight, MOpcode::MSafepoint));
+}
+
+TEST(FromHGraph, RoundTripSemantics) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  // No passes at all (-O0): translate + codegen must still be correct.
+  expectPipelineParity(File, "sumTo", {vm::Value::fromI64(137)}, {});
+}
+
+// --- Scalar pass unit tests --------------------------------------------------------
+
+TEST(LirPasses, ConstPropFoldsBranches) {
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "cp", 0, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx A = F.immI(10), Bv = F.immI(3), C = F.newReg();
+  auto Big = F.newLabel();
+  F.ifGt(A, Bv, Big);
+  F.constI(C, 111);
+  F.ret(C);
+  F.bind(Big);
+  F.constI(C, 222);
+  F.ret(C);
+  B.endBody(F);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "cp");
+
+  EXPECT_TRUE(constProp(Fn));
+  // The comparison is decided at compile time: one side is unreachable.
+  size_t CondCount = 0;
+  for (const LBlock &Blk : Fn.Blocks)
+    CondCount += Blk.Term.K == LTerminator::Kind::Cond;
+  EXPECT_EQ(CondCount, 0u);
+
+  std::string Error;
+  EXPECT_TRUE(Fn.verify(Error)) << Error;
+  Harness H(File);
+  H.RT->codeCache().install(lir::emitMachine(Fn));
+  EXPECT_EQ(H.run("cp").Ret.asI64(), 222);
+}
+
+TEST(LirPasses, InstCombineStrengthReduction) {
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "sr", 1, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx Eight = F.immI(8), R = F.newReg();
+  F.mulI(R, F.param(0), Eight);
+  F.ret(R);
+  B.endBody(F);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "sr");
+
+  EXPECT_TRUE(instCombine(Fn));
+  EXPECT_EQ(countLOps(Fn, MOpcode::MMulI), 0u);
+  EXPECT_EQ(countLOps(Fn, MOpcode::MShlI), 1u);
+
+  std::string Error;
+  ASSERT_TRUE(Fn.verify(Error)) << Error;
+  Harness H(File);
+  H.RT->codeCache().install(lir::emitMachine(Fn));
+  EXPECT_EQ(H.run("sr", {vm::Value::fromI64(5)}).Ret.asI64(), 40);
+}
+
+TEST(LirPasses, GvnAcrossBlocks) {
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "g", 2, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx T1 = F.newReg(), T2 = F.newReg(), R = F.newReg();
+  F.addI(T1, F.param(0), F.param(1));
+  auto L = F.newLabel();
+  F.ifGtz(T1, L);
+  F.ret(T1);
+  F.bind(L);
+  F.addI(T2, F.param(0), F.param(1)); // redundant with T1 (dominating)
+  F.addI(R, T2, T1);
+  F.ret(R);
+  B.endBody(F);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "g");
+
+  EXPECT_TRUE(gvn(Fn));
+  EXPECT_EQ(countLOps(Fn, MOpcode::MAddI), 2u); // T2 collapsed into T1
+
+  std::string Error;
+  ASSERT_TRUE(Fn.verify(Error)) << Error;
+  Harness H(File);
+  H.RT->codeCache().install(lir::emitMachine(Fn));
+  EXPECT_EQ(
+      H.run("g", {vm::Value::fromI64(2), vm::Value::fromI64(3)}).Ret.asI64(),
+      10);
+}
+
+TEST(LirPasses, DceRemovesUndefSeeds) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "sumTo");
+  size_t Before = Fn.instructionCount();
+  dce(Fn, /*Aggressive=*/false);
+  // The entry undef seeds for unused paths die, among others.
+  EXPECT_LT(Fn.instructionCount(), Before);
+  std::string Error;
+  EXPECT_TRUE(Fn.verify(Error)) << Error;
+}
+
+TEST(LirPasses, SimplifyCfgMergesChains) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "sumTo");
+  simplifyCfg(Fn);
+  std::string Error;
+  EXPECT_TRUE(Fn.verify(Error)) << Error;
+  expectPipelineParity(File, "sumTo", {vm::Value::fromI64(55)},
+                       {mk(PassId::SimplifyCfg)});
+}
+
+TEST(LirPasses, JniIntrinsicsRewritesMathCalls) {
+  DexBuilder B;
+  defineMathMix(B);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "mathMix");
+  PassContext Ctx;
+  Ctx.File = &File;
+  EXPECT_TRUE(applyPass(Fn, mk(PassId::JniIntrinsics), Ctx));
+  EXPECT_EQ(countLOps(Fn, MOpcode::MCallNative), 0u);
+  EXPECT_EQ(countLOps(Fn, MOpcode::MIntrinsic), 3u);
+}
+
+TEST(LirPasses, JniIntrinsicsIsFasterAndEquivalent) {
+  DexBuilder B;
+  defineMathMix(B);
+  DexFile File = B.build();
+  uint64_t Plain = 0, Intrinsified = 0;
+  expectPipelineParity(File, "mathMix", {vm::Value::fromF64(0.6)}, {},
+                       &Plain);
+  expectPipelineParity(File, "mathMix", {vm::Value::fromF64(0.6)},
+                       {mk(PassId::JniIntrinsics)}, &Intrinsified);
+  EXPECT_LT(Intrinsified, Plain);
+}
+
+TEST(LirPasses, GcElideRemovesDuplicatePolls) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "sumTo");
+  size_t Before = countLOps(Fn, MOpcode::MSafepoint);
+  EXPECT_TRUE(gcElide(Fn, /*StripLoops=*/false));
+  EXPECT_LT(countLOps(Fn, MOpcode::MSafepoint), Before);
+  std::string Error;
+  EXPECT_TRUE(Fn.verify(Error)) << Error;
+  expectPipelineParity(File, "sumTo", {vm::Value::fromI64(99)},
+                       {mk(PassId::GcElide)});
+}
+
+TEST(LirPasses, BoundsCheckElimSafeModeKeepsSemantics) {
+  DexBuilder B;
+  defineDotProduct(B);
+  DexFile File = B.build();
+  expectPipelineParity(File, "dot", {vm::Value::fromI64(60)},
+                       {mk(PassId::BoundsCheckElim)});
+}
+
+TEST(LirPasses, SinkMovesCodeOffTheHotPath) {
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "sk", 2, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx T = F.newReg();
+  F.mulI(T, F.param(0), F.param(0)); // only used on the taken side
+  auto L = F.newLabel();
+  F.ifGtz(F.param(1), L);
+  F.ret(F.param(1));
+  F.bind(L);
+  F.ret(T);
+  B.endBody(F);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "sk");
+  simplifyCfg(Fn);
+  dce(Fn, false);
+  EXPECT_TRUE(sinkCode(Fn));
+  std::string Error;
+  EXPECT_TRUE(Fn.verify(Error)) << Error;
+  expectPipelineParity(File, "sk",
+                       {vm::Value::fromI64(7), vm::Value::fromI64(1)},
+                       {mk(PassId::SimplifyCfg), mk(PassId::Dce),
+                        mk(PassId::Sink)});
+}
+
+// --- Loop passes -------------------------------------------------------------------
+
+TEST(LoopPasses, LicmHoistsInvariants) {
+  DexBuilder B;
+  // loop computing sum += (a * b) each iteration: a*b is invariant.
+  MethodId M = B.declareFunction(InvalidId, "li", 3, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx Sum = F.newReg(), I = F.newReg(), One = F.immI(1);
+  F.constI(Sum, 0);
+  F.constI(I, 0);
+  auto Head = F.newLabel(), Done = F.newLabel();
+  F.bind(Head);
+  F.ifGe(I, F.param(0), Done);
+  RegIdx T = F.newReg();
+  F.mulI(T, F.param(1), F.param(2));
+  F.addI(Sum, Sum, T);
+  F.addI(I, I, One);
+  F.jump(Head);
+  F.bind(Done);
+  F.ret(Sum);
+  B.endBody(F);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "li");
+
+  DomTree DT = DomTree::compute(Fn);
+  LoopInfo LI = LoopInfo::compute(Fn, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+
+  EXPECT_TRUE(licm(Fn, /*SpeculateDiv=*/false));
+  // The multiply no longer lives in the loop.
+  for (uint32_t Id : L.Blocks)
+    for (const LInsn &I2 : Fn.Blocks[Id].Insns)
+      EXPECT_NE(I2.Op, MOpcode::MMulI);
+
+  std::string Error;
+  ASSERT_TRUE(Fn.verify(Error)) << Error;
+  expectPipelineParity(File, "li",
+                       {vm::Value::fromI64(10), vm::Value::fromI64(6),
+                        vm::Value::fromI64(7)},
+                       {mk(PassId::Licm)});
+}
+
+TEST(LoopPasses, RotateProducesBottomTest) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "sumTo");
+  simplifyCfg(Fn);
+  EXPECT_TRUE(loopRotate(Fn));
+  std::string Error;
+  ASSERT_TRUE(Fn.verify(Error)) << Error;
+
+  // After rotation some block conditionally branches to itself.
+  bool HasSelfLoop = false;
+  for (uint32_t Id = 0; Id != Fn.Blocks.size(); ++Id) {
+    const LTerminator &T = Fn.Blocks[Id].Term;
+    if (T.K == LTerminator::Kind::Cond &&
+        (T.Taken == Id || T.Fall == Id))
+      HasSelfLoop = true;
+  }
+  EXPECT_TRUE(HasSelfLoop);
+}
+
+TEST(LoopPasses, RotateKeepsSemanticsIncludingZeroTrip) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  for (int64_t N : {0, 1, 2, 7, 100}) {
+    expectPipelineParity(File, "sumTo", {vm::Value::fromI64(N)},
+                         {mk(PassId::SimplifyCfg),
+                          mk(PassId::LoopRotate)});
+  }
+}
+
+TEST(LoopPasses, UnrollKeepsSemantics) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  for (int Factor : {2, 3, 4, 8}) {
+    for (int64_t N : {0, 1, 2, 3, 5, 16, 17, 100}) {
+      expectPipelineParity(File, "sumTo", {vm::Value::fromI64(N)},
+                           {mk(PassId::SimplifyCfg), mk(PassId::LoopRotate),
+                            mk(PassId::LoopUnroll, Factor)});
+    }
+  }
+}
+
+TEST(LoopPasses, UnrollPlusGcElideIsFaster) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  uint64_t Plain = 0, Optimized = 0;
+  std::vector<vm::Value> Args = {vm::Value::fromI64(3000)};
+  expectPipelineParity(File, "sumTo", Args, o1Pipeline(), &Plain);
+  std::vector<PassInstance> Tuned = o1Pipeline();
+  Tuned.push_back(mk(PassId::LoopRotate));
+  Tuned.push_back(mk(PassId::LoopUnroll, 4));
+  Tuned.push_back(mk(PassId::GcElide));
+  Tuned.push_back(mk(PassId::Dce));
+  expectPipelineParity(File, "sumTo", Args, Tuned, &Optimized);
+  EXPECT_LT(Optimized, Plain);
+}
+
+TEST(LoopPasses, PeelKeepsSemantics) {
+  DexBuilder B;
+  defineSumTo(B);
+  DexFile File = B.build();
+  for (int Count : {1, 2, 3}) {
+    for (int64_t N : {0, 1, 2, 3, 10}) {
+      expectPipelineParity(File, "sumTo", {vm::Value::fromI64(N)},
+                           {mk(PassId::SimplifyCfg), mk(PassId::LoopRotate),
+                            mk(PassId::LoopPeel, Count)});
+    }
+  }
+}
+
+TEST(LoopPasses, UnrollWorksOnRealKernels) {
+  DexBuilder B;
+  defineDotProduct(B);
+  defineMatrixSum(B);
+  DexFile File = B.build();
+  std::vector<PassInstance> Pipe = {
+      mk(PassId::SimplifyCfg), mk(PassId::LoopRotate),
+      mk(PassId::LoopUnroll, 4), mk(PassId::GcElide), mk(PassId::Dce)};
+  expectPipelineParity(File, "dot", {vm::Value::fromI64(37)}, Pipe);
+  expectPipelineParity(File, "matSum", {vm::Value::fromI64(9)}, Pipe);
+}
+
+// --- Inline and devirtualize ----------------------------------------------------------
+
+TEST(InlinePass, InlinesSmallCallee) {
+  DexBuilder B;
+  MethodId Callee = B.declareFunction(InvalidId, "addOne", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Callee);
+    RegIdx One = F.immI(1), R = F.newReg();
+    F.addI(R, F.param(0), One);
+    F.ret(R);
+    B.endBody(F);
+  }
+  MethodId Caller = B.declareFunction(InvalidId, "callerFn", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Caller);
+    RegIdx R = F.newReg();
+    F.invokeStatic(R, Callee, {F.param(0)});
+    RegIdx R2 = F.newReg();
+    F.invokeStatic(R2, Callee, {R});
+    F.ret(R2);
+    B.endBody(F);
+  }
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "callerFn");
+
+  EXPECT_TRUE(inlineCalls(Fn, File, /*Threshold=*/50));
+  EXPECT_EQ(countLOps(Fn, MOpcode::MCallStatic), 0u);
+  std::string Error;
+  ASSERT_TRUE(Fn.verify(Error)) << Error;
+
+  Harness H(File);
+  H.RT->codeCache().install(lir::emitMachine(Fn));
+  EXPECT_EQ(H.run("callerFn", {vm::Value::fromI64(5)}).Ret.asI64(), 7);
+}
+
+TEST(InlinePass, InlineBranchyCallee) {
+  DexBuilder B;
+  MethodId Callee = B.declareFunction(InvalidId, "absFn", 1, true);
+  {
+    FunctionBuilder F = B.beginBody(Callee);
+    auto Pos = F.newLabel();
+    F.ifGez(F.param(0), Pos);
+    RegIdx N = F.newReg();
+    F.negI(N, F.param(0));
+    F.ret(N);
+    F.bind(Pos);
+    F.ret(F.param(0));
+    B.endBody(F);
+  }
+  MethodId Caller = B.declareFunction(InvalidId, "sumAbs", 2, true);
+  {
+    FunctionBuilder F = B.beginBody(Caller);
+    RegIdx A = F.newReg(), Bv = F.newReg(), R = F.newReg();
+    F.invokeStatic(A, Callee, {F.param(0)});
+    F.invokeStatic(Bv, Callee, {F.param(1)});
+    F.addI(R, A, Bv);
+    F.ret(R);
+    B.endBody(F);
+  }
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "sumAbs");
+
+  EXPECT_TRUE(inlineCalls(Fn, File, 50));
+  std::string Error;
+  ASSERT_TRUE(Fn.verify(Error)) << Error;
+
+  Harness H(File);
+  H.RT->codeCache().install(lir::emitMachine(Fn));
+  EXPECT_EQ(H.run("sumAbs",
+                  {vm::Value::fromI64(-4), vm::Value::fromI64(9)})
+                .Ret.asI64(),
+            13);
+}
+
+TEST(DevirtPass, GuardsAndDirectCalls) {
+  DexBuilder B;
+  definePolyShapes(B);
+  DexFile File = B.build();
+
+  // Collect a genuine interpreter type profile first.
+  TypeProfile Profile;
+  struct Collector : vm::ExecObserver {
+    TypeProfile &P;
+    explicit Collector(TypeProfile &P) : P(P) {}
+    void onVirtualDispatch(MethodId M, uint32_t Pc, ClassId C) override {
+      P.record(M, Pc, C);
+    }
+  } Collector{Profile};
+
+  Harness H(File);
+  H.RT->setMode(vm::ExecMode::InterpretOnly);
+  H.RT->setObserver(&Collector);
+  // Even iterations make squares, odd circles: bimodal profile.
+  ASSERT_TRUE(H.run("polyLoop", {vm::Value::fromI64(20)}).ok());
+  H.RT->setObserver(nullptr);
+  EXPECT_GE(Profile.siteCount(), 1u);
+
+  LFunction Fn = buildLir(File, "polyLoop");
+  // 50-50 profile: a 90% threshold refuses to speculate...
+  EXPECT_FALSE(devirtualize(Fn, File, Profile, 90));
+  // ...a 50% threshold accepts the dominant (or tied-first) class.
+  EXPECT_TRUE(devirtualize(Fn, File, Profile, 50));
+  std::string Error;
+  ASSERT_TRUE(Fn.verify(Error)) << Error;
+
+  Harness H2(File);
+  H2.RT->codeCache().install(lir::emitMachine(Fn));
+  vm::CallResult R = H2.run("polyLoop", {vm::Value::fromI64(20)});
+  ASSERT_TRUE(R.ok());
+
+  Harness H3(File);
+  H3.RT->setMode(vm::ExecMode::InterpretOnly);
+  EXPECT_EQ(R.Ret.asI64(),
+            H3.run("polyLoop", {vm::Value::fromI64(20)}).Ret.asI64());
+}
+
+// --- Unsound modes really break things --------------------------------------------------
+
+TEST(UnsoundModes, FastMathChangesFpResults) {
+  DexBuilder B;
+  // Catastrophic-cancellation-prone sum: (big + tiny) - big != tiny.
+  MethodId M = B.declareFunction(InvalidId, "fp", 0, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx Big = F.immF(1e16), Tiny = F.immF(1.0), NegBig = F.immF(-1e16);
+  RegIdx T = F.newReg(), R = F.newReg();
+  // (tiny + big) + (-big): rounds to 0. Reassociated tiny + (big - big)
+  // evaluates to exactly 1.0 — visibly different output.
+  F.addF(T, Tiny, Big);
+  F.addF(R, T, NegBig);
+  F.ret(R);
+  B.endBody(F);
+  DexFile File = B.build();
+
+  LFunction Fn = buildLir(File, "fp");
+  // Safe mode refuses to touch FP.
+  LFunction SafeCopy = Fn;
+  EXPECT_FALSE(reassociate(SafeCopy, /*FastMath=*/false));
+
+  EXPECT_TRUE(reassociate(Fn, /*FastMath=*/true));
+  std::string Error;
+  ASSERT_TRUE(Fn.verify(Error)) << Error;
+  constProp(Fn); // fold the re-associated chain
+
+  Harness H(File);
+  H.RT->codeCache().install(lir::emitMachine(Fn));
+  double FastMathResult = H.run("fp").Ret.asF64();
+  Harness H2(File);
+  H2.RT->setMode(vm::ExecMode::InterpretOnly);
+  double Reference = H2.run("fp").Ret.asF64();
+  // (1e16 + 1) - 1e16 == 0 under doubles; 1e16 + (1 - 1e16) == ... also?
+  // Re-association here flips which rounding happens: expect a difference.
+  EXPECT_NE(FastMathResult, Reference);
+}
+
+TEST(UnsoundModes, AggressiveBceCorruptsMultiplicativeIndexing) {
+  DexBuilder B;
+  // j starts at n-1 and doubles each iteration with wraparound *intended*
+  // to stay in range only via the bounds check failing... here we build a
+  // loop whose index genuinely exceeds the array when checks vanish:
+  // for (j = 1; j < 64; j = j * 3) arr[j] = 7;   with arr.length = 40.
+  // Valid run traps OutOfBounds at j = 81? No: 1,3,9,27,81 -> stops by
+  // condition j < 64 at j=81? j=81 fails j<64, loop ends; last store j=27.
+  // Use: for (j = 1; j < 40; j = j * 3) arr[j + 24] = 7; -> j+24 hits 51
+  // while length is 40: the checked program traps; we compare the
+  // *unchecked* one which silently corrupts neighbouring memory instead.
+  MethodId M = B.declareFunction(InvalidId, "bce", 1, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx Len = F.immI(40), Arr = F.newReg(), Arr2 = F.newReg();
+  F.newArray(Arr, Len, Type::I64);
+  F.newArray(Arr2, Len, Type::I64); // the corruption victim
+  RegIdx J = F.newReg(), Three = F.immI(3), Seven = F.immI(7),
+         Off = F.immI(24), Idx = F.newReg(), Limit = F.immI(40);
+  F.constI(J, 1);
+  auto Head = F.newLabel(), Done = F.newLabel();
+  F.bind(Head);
+  F.ifGe(J, Limit, Done);
+  F.addI(Idx, J, Off);
+  F.astore(Arr, Idx, Seven, Type::I64);
+  F.mulI(J, J, Three);
+  F.jump(Head);
+  F.bind(Done);
+  // Return a value from the victim array: corruption becomes visible.
+  // The escaped store (j=27 -> idx 51) lands 424 bytes past Arr's base,
+  // which is element 9 of Arr2 under the bump allocator's layout.
+  RegIdx Z = F.immI(9), V = F.newReg();
+  F.aload(V, Arr2, Z, Type::I64);
+  F.ret(V);
+  B.endBody(F);
+  DexFile File = B.build();
+  MethodId Id = File.findMethod("bce");
+
+  // Reference: the checked program traps OutOfBounds (idx 51 >= 40).
+  Harness HRef(File);
+  HRef.RT->setMode(vm::ExecMode::InterpretOnly);
+  EXPECT_EQ(HRef.run("bce", {vm::Value::fromI64(0)}).Trap,
+            vm::TrapKind::OutOfBounds);
+
+  // Aggressive BCE removes the check: the store lands in the second
+  // array (silent corruption) or beyond.
+  CompileOptions Options;
+  Options.Pipeline = {mk(PassId::BoundsCheckElim, 0, true)};
+  CompileResult Result = compileMethodLlvm(File, Id, Options);
+  ASSERT_TRUE(Result.ok());
+  Harness H(File);
+  H.RT->codeCache().install(Result.Fn);
+  vm::CallResult R = H.RT->call(Id, {vm::Value::fromI64(0)});
+  // No trap where there should have been one — and the neighbouring
+  // array got dirtied (its slot no longer reads 0 — wrong output).
+  EXPECT_EQ(R.Trap, vm::TrapKind::None);
+  EXPECT_NE(R.Ret.asI64(), 0);
+}
+
+TEST(UnsoundModes, SpeculativeDivTrapsOnGuardedDivisor) {
+  DexBuilder B;
+  // if (d != 0) { loop: sum += n / d } else return -1. With a zero-trip
+  // guard the division is safe; speculating it above a loop whose trip
+  // count is zero when d == 0 introduces a fresh trap... build directly:
+  // for (i = 0; i < k; ++i) sum += n / d   called with k == 0, d == 0.
+  MethodId M = B.declareFunction(InvalidId, "sd", 3, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx Sum = F.newReg(), I = F.newReg(), One = F.immI(1);
+  F.constI(Sum, 0);
+  F.constI(I, 0);
+  auto Head = F.newLabel(), Done = F.newLabel();
+  F.bind(Head);
+  F.ifGe(I, F.param(0), Done);
+  RegIdx Q = F.newReg();
+  F.divI(Q, F.param(1), F.param(2));
+  F.addI(Sum, Sum, Q);
+  F.addI(I, I, One);
+  F.jump(Head);
+  F.bind(Done);
+  F.ret(Sum);
+  B.endBody(F);
+  DexFile File = B.build();
+  MethodId Id = File.findMethod("sd");
+
+  std::vector<vm::Value> ZeroTrip = {vm::Value::fromI64(0),
+                                     vm::Value::fromI64(10),
+                                     vm::Value::fromI64(0)};
+
+  // Reference: zero-trip loop, no division, returns 0.
+  Harness HRef(File);
+  HRef.RT->setMode(vm::ExecMode::InterpretOnly);
+  vm::CallResult RRef = HRef.RT->call(Id, ZeroTrip);
+  ASSERT_TRUE(RRef.ok());
+  EXPECT_EQ(RRef.Ret.asI64(), 0);
+
+  // licm! hoists the division above the loop: traps on d == 0.
+  CompileOptions Options;
+  Options.Pipeline = {mk(PassId::Licm, 0, true)};
+  CompileResult Result = compileMethodLlvm(File, Id, Options);
+  ASSERT_TRUE(Result.ok());
+  Harness H(File);
+  H.RT->codeCache().install(Result.Fn);
+  EXPECT_EQ(H.RT->call(Id, ZeroTrip).Trap, vm::TrapKind::DivByZero);
+}
+
+TEST(UnsoundModes, SafeLicmDoesNotSpeculate) {
+  // Same program, safe licm: still correct on the zero-trip input.
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "sd", 3, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx Sum = F.newReg(), I = F.newReg(), One = F.immI(1);
+  F.constI(Sum, 0);
+  F.constI(I, 0);
+  auto Head = F.newLabel(), Done = F.newLabel();
+  F.bind(Head);
+  F.ifGe(I, F.param(0), Done);
+  RegIdx Q = F.newReg();
+  F.divI(Q, F.param(1), F.param(2));
+  F.addI(Sum, Sum, Q);
+  F.addI(I, I, One);
+  F.jump(Head);
+  F.bind(Done);
+  F.ret(Sum);
+  B.endBody(F);
+  DexFile File = B.build();
+  expectPipelineParity(File, "sd",
+                       {vm::Value::fromI64(0), vm::Value::fromI64(10),
+                        vm::Value::fromI64(1)},
+                       {mk(PassId::Licm)});
+}
+
+// --- Presets --------------------------------------------------------------------------
+
+TEST(Presets, AllLevelsPreserveSemantics) {
+  DexBuilder B;
+  defineSumTo(B);
+  defineDotProduct(B);
+  defineMatrixSum(B);
+  DexFile File = B.build();
+  for (auto &Pipe :
+       {o0Pipeline(), o1Pipeline(), o2Pipeline(), o3Pipeline()}) {
+    expectPipelineParity(File, "sumTo", {vm::Value::fromI64(64)}, Pipe);
+    expectPipelineParity(File, "dot", {vm::Value::fromI64(33)}, Pipe);
+    expectPipelineParity(File, "matSum", {vm::Value::fromI64(8)}, Pipe);
+  }
+}
+
+TEST(Presets, HigherLevelsAreFasterHere) {
+  DexBuilder B;
+  defineMatrixSum(B);
+  DexFile File = B.build();
+  uint64_t C0 = 0, C2 = 0;
+  expectPipelineParity(File, "matSum", {vm::Value::fromI64(16)},
+                       o0Pipeline(), &C0);
+  expectPipelineParity(File, "matSum", {vm::Value::fromI64(16)},
+                       o2Pipeline(), &C2);
+  EXPECT_LT(C2, C0);
+}
+
+TEST(Presets, SizeBudgetStopsExplosion) {
+  DexBuilder B;
+  defineMatrixSum(B);
+  DexFile File = B.build();
+  MethodId Id = File.findMethod("matSum");
+  CompileOptions Options;
+  Options.Pipeline = {mk(PassId::SimplifyCfg), mk(PassId::LoopRotate)};
+  for (int I = 0; I != 6; ++I) {
+    Options.Pipeline.push_back(mk(PassId::LoopUnroll, 64));
+    Options.Pipeline.push_back(mk(PassId::LoopRotate));
+  }
+  // Sanity: the same pipeline with a generous budget really does explode
+  // the code (so the tight budget below is a genuine stop, not a trivial
+  // base-size trip).
+  Options.SizeBudget = 1u << 20;
+  CompileResult Grown = compileMethodLlvm(File, Id, Options);
+  ASSERT_TRUE(Grown.ok());
+  CompileOptions Plain;
+  CompileResult Base = compileMethodLlvm(File, Id, Plain);
+  ASSERT_TRUE(Base.ok());
+  EXPECT_GT(Grown.Fn->Code.size(), 3 * Base.Fn->Code.size());
+
+  Options.SizeBudget = Base.Fn->Code.size() * 2;
+  CompileResult Result = compileMethodLlvm(File, Id, Options);
+  EXPECT_EQ(Result.Status, CompileStatus::SizeBudget);
+}
+
+// --- Induction-range bounds-check elimination (paper §7 future work) -----------
+
+TEST(RangeBce, RemovesChecksInCountedLoops) {
+  DexBuilder B;
+  defineDotProduct(B);
+  DexFile File = B.build();
+  LFunction Fn = buildLir(File, "dot");
+  simplifyCfg(Fn);
+  constProp(Fn);
+  gvn(Fn);
+  dce(Fn, false);
+  size_t Before = countLOps(Fn, MOpcode::MCheckBounds);
+  ASSERT_GT(Before, 0u);
+  EXPECT_TRUE(boundsCheckElim(Fn, /*Aggressive=*/false));
+  EXPECT_EQ(countLOps(Fn, MOpcode::MCheckBounds), 0u);
+  std::string Error;
+  ASSERT_TRUE(Fn.verify(Error)) << Error;
+
+  // Differential, including the empty-loop boundary.
+  for (int64_t N : {0, 1, 2, 17, 60}) {
+    expectPipelineParity(File, "dot", {vm::Value::fromI64(N)},
+                         {mk(PassId::SimplifyCfg), mk(PassId::ConstProp),
+                          mk(PassId::Gvn), mk(PassId::Dce),
+                          mk(PassId::BoundsCheckElim)});
+  }
+}
+
+TEST(RangeBce, KeepsChecksWhenBoundExceedsLength) {
+  // for (i = 0; i < n + 3; ++i) arr[i]  with arr.length == n: the range
+  // analysis must NOT remove the check — the program genuinely traps.
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "over", 1, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx Arr = F.newReg(), I = F.newReg(), One = F.immI(1),
+         Three = F.immI(3), Bound = F.newReg(), Sum = F.newReg();
+  F.newArray(Arr, F.param(0), Type::I64);
+  F.addI(Bound, F.param(0), Three);
+  F.constI(I, 0);
+  F.constI(Sum, 0);
+  auto Head = F.newLabel(), Done = F.newLabel();
+  F.bind(Head);
+  F.ifGe(I, Bound, Done);
+  RegIdx V = F.newReg();
+  F.aload(V, Arr, I, Type::I64);
+  F.addI(Sum, Sum, V);
+  F.addI(I, I, One);
+  F.jump(Head);
+  F.bind(Done);
+  F.ret(Sum);
+  B.endBody(F);
+  DexFile File = B.build();
+
+  LFunction Fn = buildLir(File, "over");
+  simplifyCfg(Fn);
+  boundsCheckElim(Fn, /*Aggressive=*/false);
+  EXPECT_GT(countLOps(Fn, MOpcode::MCheckBounds), 0u);
+
+  // And the compiled program still traps where the interpreter does.
+  CompileOptions Options;
+  Options.Pipeline = {mk(PassId::SimplifyCfg),
+                      mk(PassId::BoundsCheckElim)};
+  CompileResult Result =
+      compileMethodLlvm(File, File.findMethod("over"), Options);
+  ASSERT_TRUE(Result.ok());
+  Harness H(File);
+  H.RT->codeCache().install(Result.Fn);
+  EXPECT_EQ(H.run("over", {vm::Value::fromI64(8)}).Trap,
+            vm::TrapKind::OutOfBounds);
+}
+
+TEST(RangeBce, DownwardLoopsAreLeftAlone) {
+  // for (i = n - 1; i >= 0; --i): negative step — not handled, must keep.
+  DexBuilder B;
+  MethodId M = B.declareFunction(InvalidId, "down", 1, true);
+  FunctionBuilder F = B.beginBody(M);
+  RegIdx Arr = F.newReg(), I = F.newReg(), One = F.immI(1),
+         Sum = F.newReg();
+  F.newArray(Arr, F.param(0), Type::I64);
+  F.subI(I, F.param(0), One);
+  F.constI(Sum, 0);
+  auto Head = F.newLabel(), Done = F.newLabel();
+  F.bind(Head);
+  F.ifLtz(I, Done);
+  RegIdx V = F.newReg();
+  F.aload(V, Arr, I, Type::I64);
+  F.addI(Sum, Sum, V);
+  F.subI(I, I, One);
+  F.jump(Head);
+  F.bind(Done);
+  F.ret(Sum);
+  B.endBody(F);
+  DexFile File = B.build();
+
+  LFunction Fn = buildLir(File, "down");
+  simplifyCfg(Fn);
+  size_t Before = countLOps(Fn, MOpcode::MCheckBounds);
+  boundsCheckElim(Fn, /*Aggressive=*/false);
+  EXPECT_EQ(countLOps(Fn, MOpcode::MCheckBounds), Before);
+  expectPipelineParity(File, "down", {vm::Value::fromI64(9)},
+                       {mk(PassId::SimplifyCfg),
+                        mk(PassId::BoundsCheckElim)});
+}

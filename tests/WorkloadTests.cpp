@@ -1,0 +1,355 @@
+//===- tests/WorkloadTests.cpp - Suite-wide integration tests ---------------===//
+//
+// Parameterized over all 21 Table-1 applications: every app boots, runs
+// sessions deterministically, has a detectable replayable hot region, and
+// executes identically under the interpreter, the Android compiler, and
+// the LLVM backend presets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hgraph/AndroidCompiler.h"
+#include "lir/Backend.h"
+#include "profiler/HotRegion.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace ropt;
+using namespace ropt::workloads;
+using vm::Value;
+
+namespace {
+
+std::vector<std::string> allAppNames() {
+  std::vector<std::string> Names;
+  for (const Application &App : buildSuite())
+    Names.push_back(App.Name);
+  return Names;
+}
+
+/// Boots the app and runs init.
+struct BootedApp {
+  Application App;
+  os::AddressSpace Space;
+  vm::NativeRegistry Natives;
+  std::unique_ptr<vm::Runtime> RT;
+
+  explicit BootedApp(const std::string &Name,
+                     bool AttributeCycles = false)
+      : App(buildByName(Name)),
+        Natives(vm::NativeRegistry::standardLibrary()) {
+    App.RtConfig.AttributeCycles = AttributeCycles;
+    vm::Runtime::mapStandardLayout(Space, *App.File, App.RtConfig);
+    RT = std::make_unique<vm::Runtime>(Space, *App.File, Natives,
+                                       App.RtConfig);
+    vm::CallResult R =
+        RT->call(App.InitEntry, App.argsFor(App.InitParam));
+    EXPECT_TRUE(R.ok()) << Name << " init trapped: "
+                        << vm::trapKindName(R.Trap);
+  }
+
+  vm::CallResult session(int64_t Param) {
+    RT->inputQueue().push_back(Param & 3);
+    return RT->call(App.SessionEntry, App.argsFor(Param));
+  }
+};
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string> {};
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, WorkloadSuite, ::testing::ValuesIn(allAppNames()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST_P(WorkloadSuite, SessionsRunAndEvolve) {
+  BootedApp App(GetParam());
+  vm::CallResult First = App.session(App.App.DefaultParam);
+  ASSERT_TRUE(First.ok()) << vm::trapKindName(First.Trap);
+  EXPECT_GT(First.Cycles, 1000u);
+
+  // Sessions keep succeeding; most apps evolve their persistent state.
+  for (int I = 0; I != 4; ++I) {
+    vm::CallResult R = App.session(App.App.DefaultParam + I);
+    EXPECT_TRUE(R.ok()) << vm::trapKindName(R.Trap);
+  }
+}
+
+TEST_P(WorkloadSuite, DeterministicAcrossBoots) {
+  auto RunOnce = [&] {
+    BootedApp App(GetParam());
+    std::vector<uint64_t> Digest;
+    for (int I = 0; I != 3; ++I) {
+      vm::CallResult R = App.session(App.App.DefaultParam + I);
+      EXPECT_TRUE(R.ok());
+      Digest.push_back(R.Ret.Raw);
+      Digest.push_back(R.Cycles);
+    }
+    return Digest;
+  };
+  EXPECT_EQ(RunOnce(), RunOnce());
+}
+
+TEST_P(WorkloadSuite, HotRegionDetectableAndSignificant) {
+  BootedApp App(GetParam(), /*AttributeCycles=*/true);
+  for (int I = 0; I != 6; ++I)
+    ASSERT_TRUE(App.session(App.App.DefaultParam + I).ok());
+
+  auto RA = profiler::ReplayabilityAnalysis::analyze(*App.App.File);
+  auto Profile = profiler::MethodProfile::fromRuntime(*App.RT);
+  auto Region = profiler::detectHotRegion(*App.App.File, Profile, RA);
+  ASSERT_TRUE(Region.has_value()) << GetParam();
+
+  // The region must be the app's kernel, not the io-laden session.
+  EXPECT_NE(Region->Root, App.App.SessionEntry);
+  EXPECT_TRUE(RA.isReplayable(Region->Root));
+
+  // And it should cover a meaningful share of the runtime.
+  auto BD = profiler::computeBreakdown(*App.App.File, Profile, RA,
+                                       &*Region);
+  EXPECT_GT(BD.Compiled, 0.10) << GetParam();
+}
+
+TEST_P(WorkloadSuite, AndroidCompiledParityAndSpeedup) {
+  // Interpreted digest.
+  std::vector<uint64_t> InterpDigest;
+  uint64_t InterpCycles = 0;
+  {
+    BootedApp App(GetParam());
+    App.RT->setMode(vm::ExecMode::InterpretOnly);
+    for (int I = 0; I != 3; ++I) {
+      vm::CallResult R = App.session(App.App.DefaultParam + I);
+      ASSERT_TRUE(R.ok());
+      InterpDigest.push_back(R.Ret.Raw);
+      InterpCycles += R.Cycles;
+    }
+  }
+  // Android-compiled digest.
+  std::vector<uint64_t> CompDigest;
+  uint64_t CompCycles = 0;
+  {
+    BootedApp App(GetParam());
+    std::vector<dex::MethodId> All;
+    for (const auto &M : App.App.File->methods())
+      if (!M.IsNative)
+        All.push_back(M.Id);
+    hgraph::compileAllAndroid(*App.App.File, All, App.RT->codeCache());
+    for (int I = 0; I != 3; ++I) {
+      vm::CallResult R = App.session(App.App.DefaultParam + I);
+      ASSERT_TRUE(R.ok()) << vm::trapKindName(R.Trap);
+      CompDigest.push_back(R.Ret.Raw);
+      CompCycles += R.Cycles;
+    }
+  }
+  EXPECT_EQ(InterpDigest, CompDigest) << GetParam();
+  EXPECT_LT(CompCycles, InterpCycles) << GetParam();
+}
+
+namespace {
+
+/// Runs three sessions with either the Android compiler or a given LLVM
+/// pipeline installed and returns the per-session result digest.
+std::vector<uint64_t>
+sessionDigest(const std::string &Name,
+              const std::vector<lir::PassInstance> *Pipeline) {
+  BootedApp App(Name);
+  std::vector<dex::MethodId> All;
+  for (const auto &M : App.App.File->methods())
+    if (!M.IsNative)
+      All.push_back(M.Id);
+  if (Pipeline) {
+    lir::CompileOptions Options;
+    Options.Pipeline = *Pipeline;
+    lir::CompileStatus Status = lir::compileAllLlvm(
+        *App.App.File, All, Options, App.RT->codeCache());
+    EXPECT_EQ(Status, lir::CompileStatus::Ok) << Name;
+  } else {
+    hgraph::compileAllAndroid(*App.App.File, All, App.RT->codeCache());
+  }
+  std::vector<uint64_t> Digest;
+  for (int I = 0; I != 3; ++I) {
+    vm::CallResult R = App.session(App.App.DefaultParam + I);
+    EXPECT_TRUE(R.ok()) << vm::trapKindName(R.Trap);
+    Digest.push_back(R.Ret.Raw);
+  }
+  return Digest;
+}
+
+} // namespace
+
+TEST_P(WorkloadSuite, LlvmO2ParityWithAndroid) {
+  std::vector<lir::PassInstance> O2 = lir::o2Pipeline();
+  EXPECT_EQ(sessionDigest(GetParam(), nullptr),
+            sessionDigest(GetParam(), &O2))
+      << GetParam();
+}
+
+// -O3's default flags are all sound (the unsound behaviours live behind
+// aggressive flags the presets never set), so the most optimized preset
+// must still agree with the safe baseline on every app.
+TEST_P(WorkloadSuite, LlvmO3ParityWithAndroid) {
+  std::vector<lir::PassInstance> O3 = lir::o3Pipeline();
+  EXPECT_EQ(sessionDigest(GetParam(), nullptr),
+            sessionDigest(GetParam(), &O3))
+      << GetParam();
+}
+
+// -O0 (no mid-level passes at all, straight translation + codegen) is the
+// other end of the preset ladder and must also be semantics-preserving.
+TEST_P(WorkloadSuite, LlvmO0ParityWithAndroid) {
+  std::vector<lir::PassInstance> O0 = lir::o0Pipeline();
+  EXPECT_EQ(sessionDigest(GetParam(), nullptr),
+            sessionDigest(GetParam(), &O0))
+      << GetParam();
+}
+
+// --- Suite-level shape checks ----------------------------------------------------
+
+TEST(Suite, HasAllTwentyOneApps) {
+  auto Suite = buildSuite();
+  ASSERT_EQ(Suite.size(), 21u);
+  int Scimark = 0, Art = 0, Interactive = 0;
+  for (const Application &App : Suite) {
+    switch (App.Kind) {
+    case Suite::Scimark: ++Scimark; break;
+    case Suite::Art: ++Art; break;
+    case Suite::Interactive: ++Interactive; break;
+    }
+  }
+  EXPECT_EQ(Scimark, 5);
+  EXPECT_EQ(Art, 7);
+  EXPECT_EQ(Interactive, 9);
+}
+
+TEST(Suite, InteractiveAppsHaveJniShare) {
+  // Figure 8: JNI is a large share for interactive apps, small for
+  // benchmarks.
+  double BenchJni = 0, InteractiveJni = 0;
+  int BenchN = 0, InteractiveN = 0;
+  for (const std::string &Name :
+       {std::string("FFT"), std::string("DroidFish"),
+        std::string("Reversi Android")}) {
+    BootedApp App(Name, /*AttributeCycles=*/true);
+    for (int I = 0; I != 4; ++I)
+      ASSERT_TRUE(App.session(App.App.DefaultParam + I).ok());
+    auto RA = profiler::ReplayabilityAnalysis::analyze(*App.App.File);
+    auto Profile = profiler::MethodProfile::fromRuntime(*App.RT);
+    auto Region = profiler::detectHotRegion(*App.App.File, Profile, RA);
+    auto BD = profiler::computeBreakdown(*App.App.File, Profile, RA,
+                                         Region ? &*Region : nullptr);
+    if (App.App.Kind == Suite::Interactive) {
+      InteractiveJni += BD.Jni;
+      ++InteractiveN;
+    } else {
+      BenchJni += BD.Jni;
+      ++BenchN;
+    }
+  }
+  EXPECT_LT(BenchJni / BenchN, 0.15);
+  EXPECT_GT(InteractiveJni / InteractiveN, 0.15);
+}
+
+// --- Per-pass soundness sweep ---------------------------------------------------
+//
+// Every registered pass, run *alone* at its default parameter in
+// non-aggressive mode, must preserve semantics on real applications.
+// (The aggressive modes are the documented Figure-1 miscompile model and
+// are excluded by construction here.)
+
+namespace {
+
+struct PassOnApp {
+  lir::PassId Id;
+  const char *App;
+};
+
+std::vector<PassOnApp> allPassAppPairs() {
+  std::vector<PassOnApp> Out;
+  for (const lir::PassDescriptor &D : lir::passRegistry())
+    for (const char *App : {"FFT", "Dhrystone", "Reversi Android"})
+      Out.push_back({D.Id, App});
+  return Out;
+}
+
+class PassSoundness : public ::testing::TestWithParam<PassOnApp> {};
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPasses, PassSoundness, ::testing::ValuesIn(allPassAppPairs()),
+    [](const ::testing::TestParamInfo<PassOnApp> &Info) {
+      std::string Name = lir::passDescriptor(Info.param.Id).Name;
+      Name += "_on_";
+      Name += Info.param.App;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST_P(PassSoundness, SinglePassDefaultModePreservesSemantics) {
+  const lir::PassDescriptor &D = lir::passDescriptor(GetParam().Id);
+  lir::PassInstance P;
+  P.Id = D.Id;
+  P.IntParam = D.DefaultInt;
+  P.Aggressive = false;
+  std::vector<lir::PassInstance> Pipe{P};
+  EXPECT_EQ(sessionDigest(GetParam().App, nullptr),
+            sessionDigest(GetParam().App, &Pipe))
+      << D.Name << " on " << GetParam().App;
+}
+
+// --- Pass-pair phase-ordering soundness ------------------------------------------
+//
+// Phase ordering is the paper's core search dimension: any *order* of
+// sound passes may change performance but never semantics. Sweep all
+// ordered pairs on the FFT kernel.
+
+namespace {
+
+std::vector<std::pair<lir::PassId, lir::PassId>> allPassPairs() {
+  std::vector<std::pair<lir::PassId, lir::PassId>> Out;
+  for (const lir::PassDescriptor &A : lir::passRegistry())
+    for (const lir::PassDescriptor &B : lir::passRegistry())
+      Out.push_back({A.Id, B.Id});
+  return Out;
+}
+
+class PassPairSoundness
+    : public ::testing::TestWithParam<std::pair<lir::PassId, lir::PassId>> {
+};
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrderedPairs, PassPairSoundness,
+    ::testing::ValuesIn(allPassPairs()),
+    [](const ::testing::TestParamInfo<std::pair<lir::PassId, lir::PassId>>
+           &Info) {
+      std::string Name = lir::passDescriptor(Info.param.first).Name;
+      Name += "_then_";
+      Name += lir::passDescriptor(Info.param.second).Name;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST_P(PassPairSoundness, OrderedPairPreservesSemanticsOnFFT) {
+  auto Mk = [](lir::PassId Id) {
+    const lir::PassDescriptor &D = lir::passDescriptor(Id);
+    lir::PassInstance P;
+    P.Id = Id;
+    P.IntParam = D.DefaultInt;
+    return P;
+  };
+  std::vector<lir::PassInstance> Pipe{Mk(GetParam().first),
+                                      Mk(GetParam().second)};
+  EXPECT_EQ(sessionDigest("FFT", nullptr), sessionDigest("FFT", &Pipe));
+}
