@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_devirt.dir/abl_devirt.cpp.o"
+  "CMakeFiles/abl_devirt.dir/abl_devirt.cpp.o.d"
+  "abl_devirt"
+  "abl_devirt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_devirt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

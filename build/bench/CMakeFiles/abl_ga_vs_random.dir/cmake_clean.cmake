@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ga_vs_random.dir/abl_ga_vs_random.cpp.o"
+  "CMakeFiles/abl_ga_vs_random.dir/abl_ga_vs_random.cpp.o.d"
+  "abl_ga_vs_random"
+  "abl_ga_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ga_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gc_elision.dir/abl_gc_elision.cpp.o"
+  "CMakeFiles/abl_gc_elision.dir/abl_gc_elision.cpp.o.d"
+  "abl_gc_elision"
+  "abl_gc_elision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gc_elision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

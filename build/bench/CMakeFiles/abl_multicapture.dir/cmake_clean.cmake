@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multicapture.dir/abl_multicapture.cpp.o"
+  "CMakeFiles/abl_multicapture.dir/abl_multicapture.cpp.o.d"
+  "abl_multicapture"
+  "abl_multicapture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multicapture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

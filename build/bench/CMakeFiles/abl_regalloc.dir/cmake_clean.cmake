@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_regalloc.dir/abl_regalloc.cpp.o"
+  "CMakeFiles/abl_regalloc.dir/abl_regalloc.cpp.o.d"
+  "abl_regalloc"
+  "abl_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

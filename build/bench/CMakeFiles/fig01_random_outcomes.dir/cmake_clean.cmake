@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_random_outcomes.dir/fig01_random_outcomes.cpp.o"
+  "CMakeFiles/fig01_random_outcomes.dir/fig01_random_outcomes.cpp.o.d"
+  "fig01_random_outcomes"
+  "fig01_random_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_random_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

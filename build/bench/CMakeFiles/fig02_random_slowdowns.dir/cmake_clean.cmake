@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_random_slowdowns.dir/fig02_random_slowdowns.cpp.o"
+  "CMakeFiles/fig02_random_slowdowns.dir/fig02_random_slowdowns.cpp.o.d"
+  "fig02_random_slowdowns"
+  "fig02_random_slowdowns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_random_slowdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

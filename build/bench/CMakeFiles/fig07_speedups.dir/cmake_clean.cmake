@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_speedups.dir/fig07_speedups.cpp.o"
+  "CMakeFiles/fig07_speedups.dir/fig07_speedups.cpp.o.d"
+  "fig07_speedups"
+  "fig07_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ga_evolution.dir/fig09_ga_evolution.cpp.o"
+  "CMakeFiles/fig09_ga_evolution.dir/fig09_ga_evolution.cpp.o.d"
+  "fig09_ga_evolution"
+  "fig09_ga_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ga_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_ga_evolution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_capture.dir/micro_capture.cpp.o"
+  "CMakeFiles/micro_capture.dir/micro_capture.cpp.o.d"
+  "micro_capture"
+  "micro_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

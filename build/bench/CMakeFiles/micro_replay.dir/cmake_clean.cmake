@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_replay.dir/micro_replay.cpp.o"
+  "CMakeFiles/micro_replay.dir/micro_replay.cpp.o.d"
+  "micro_replay"
+  "micro_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_replay_tour.dir/capture_replay_tour.cpp.o"
+  "CMakeFiles/capture_replay_tour.dir/capture_replay_tour.cpp.o.d"
+  "capture_replay_tour"
+  "capture_replay_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_replay_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_game.dir/optimize_game.cpp.o"
+  "CMakeFiles/optimize_game.dir/optimize_game.cpp.o.d"
+  "optimize_game"
+  "optimize_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

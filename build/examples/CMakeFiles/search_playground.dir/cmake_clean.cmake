@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_playground.dir/search_playground.cpp.o"
+  "CMakeFiles/search_playground.dir/search_playground.cpp.o.d"
+  "search_playground"
+  "search_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("os")
+subdirs("dex")
+subdirs("vm")
+subdirs("hgraph")
+subdirs("lir")
+subdirs("profiler")
+subdirs("capture")
+subdirs("replay")
+subdirs("search")
+subdirs("workloads")
+subdirs("core")

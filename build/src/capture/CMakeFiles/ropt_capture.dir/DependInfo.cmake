@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/Capture.cpp" "src/capture/CMakeFiles/ropt_capture.dir/Capture.cpp.o" "gcc" "src/capture/CMakeFiles/ropt_capture.dir/Capture.cpp.o.d"
+  "/root/repo/src/capture/CaptureManager.cpp" "src/capture/CMakeFiles/ropt_capture.dir/CaptureManager.cpp.o" "gcc" "src/capture/CMakeFiles/ropt_capture.dir/CaptureManager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/ropt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ropt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/ropt_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ropt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropt_capture.dir/Capture.cpp.o"
+  "CMakeFiles/ropt_capture.dir/Capture.cpp.o.d"
+  "CMakeFiles/ropt_capture.dir/CaptureManager.cpp.o"
+  "CMakeFiles/ropt_capture.dir/CaptureManager.cpp.o.d"
+  "libropt_capture.a"
+  "libropt_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropt_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropt_core.dir/AppInstance.cpp.o"
+  "CMakeFiles/ropt_core.dir/AppInstance.cpp.o.d"
+  "CMakeFiles/ropt_core.dir/IterativeCompiler.cpp.o"
+  "CMakeFiles/ropt_core.dir/IterativeCompiler.cpp.o.d"
+  "CMakeFiles/ropt_core.dir/OnlineEvaluator.cpp.o"
+  "CMakeFiles/ropt_core.dir/OnlineEvaluator.cpp.o.d"
+  "libropt_core.a"
+  "libropt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dex/Builder.cpp" "src/dex/CMakeFiles/ropt_dex.dir/Builder.cpp.o" "gcc" "src/dex/CMakeFiles/ropt_dex.dir/Builder.cpp.o.d"
+  "/root/repo/src/dex/Bytecode.cpp" "src/dex/CMakeFiles/ropt_dex.dir/Bytecode.cpp.o" "gcc" "src/dex/CMakeFiles/ropt_dex.dir/Bytecode.cpp.o.d"
+  "/root/repo/src/dex/DexFile.cpp" "src/dex/CMakeFiles/ropt_dex.dir/DexFile.cpp.o" "gcc" "src/dex/CMakeFiles/ropt_dex.dir/DexFile.cpp.o.d"
+  "/root/repo/src/dex/Disassembler.cpp" "src/dex/CMakeFiles/ropt_dex.dir/Disassembler.cpp.o" "gcc" "src/dex/CMakeFiles/ropt_dex.dir/Disassembler.cpp.o.d"
+  "/root/repo/src/dex/Verifier.cpp" "src/dex/CMakeFiles/ropt_dex.dir/Verifier.cpp.o" "gcc" "src/dex/CMakeFiles/ropt_dex.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ropt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

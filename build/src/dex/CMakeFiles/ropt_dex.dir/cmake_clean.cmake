@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropt_dex.dir/Builder.cpp.o"
+  "CMakeFiles/ropt_dex.dir/Builder.cpp.o.d"
+  "CMakeFiles/ropt_dex.dir/Bytecode.cpp.o"
+  "CMakeFiles/ropt_dex.dir/Bytecode.cpp.o.d"
+  "CMakeFiles/ropt_dex.dir/DexFile.cpp.o"
+  "CMakeFiles/ropt_dex.dir/DexFile.cpp.o.d"
+  "CMakeFiles/ropt_dex.dir/Disassembler.cpp.o"
+  "CMakeFiles/ropt_dex.dir/Disassembler.cpp.o.d"
+  "CMakeFiles/ropt_dex.dir/Verifier.cpp.o"
+  "CMakeFiles/ropt_dex.dir/Verifier.cpp.o.d"
+  "libropt_dex.a"
+  "libropt_dex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropt_dex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hgraph/AndroidCompiler.cpp" "src/hgraph/CMakeFiles/ropt_hgraph.dir/AndroidCompiler.cpp.o" "gcc" "src/hgraph/CMakeFiles/ropt_hgraph.dir/AndroidCompiler.cpp.o.d"
+  "/root/repo/src/hgraph/Build.cpp" "src/hgraph/CMakeFiles/ropt_hgraph.dir/Build.cpp.o" "gcc" "src/hgraph/CMakeFiles/ropt_hgraph.dir/Build.cpp.o.d"
+  "/root/repo/src/hgraph/Codegen.cpp" "src/hgraph/CMakeFiles/ropt_hgraph.dir/Codegen.cpp.o" "gcc" "src/hgraph/CMakeFiles/ropt_hgraph.dir/Codegen.cpp.o.d"
+  "/root/repo/src/hgraph/Hir.cpp" "src/hgraph/CMakeFiles/ropt_hgraph.dir/Hir.cpp.o" "gcc" "src/hgraph/CMakeFiles/ropt_hgraph.dir/Hir.cpp.o.d"
+  "/root/repo/src/hgraph/Passes.cpp" "src/hgraph/CMakeFiles/ropt_hgraph.dir/Passes.cpp.o" "gcc" "src/hgraph/CMakeFiles/ropt_hgraph.dir/Passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/ropt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/ropt_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ropt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ropt_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

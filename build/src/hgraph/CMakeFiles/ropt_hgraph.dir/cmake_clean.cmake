@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropt_hgraph.dir/AndroidCompiler.cpp.o"
+  "CMakeFiles/ropt_hgraph.dir/AndroidCompiler.cpp.o.d"
+  "CMakeFiles/ropt_hgraph.dir/Build.cpp.o"
+  "CMakeFiles/ropt_hgraph.dir/Build.cpp.o.d"
+  "CMakeFiles/ropt_hgraph.dir/Codegen.cpp.o"
+  "CMakeFiles/ropt_hgraph.dir/Codegen.cpp.o.d"
+  "CMakeFiles/ropt_hgraph.dir/Hir.cpp.o"
+  "CMakeFiles/ropt_hgraph.dir/Hir.cpp.o.d"
+  "CMakeFiles/ropt_hgraph.dir/Passes.cpp.o"
+  "CMakeFiles/ropt_hgraph.dir/Passes.cpp.o.d"
+  "libropt_hgraph.a"
+  "libropt_hgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropt_hgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

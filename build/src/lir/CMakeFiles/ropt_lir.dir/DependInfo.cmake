@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lir/Analysis.cpp" "src/lir/CMakeFiles/ropt_lir.dir/Analysis.cpp.o" "gcc" "src/lir/CMakeFiles/ropt_lir.dir/Analysis.cpp.o.d"
+  "/root/repo/src/lir/Backend.cpp" "src/lir/CMakeFiles/ropt_lir.dir/Backend.cpp.o" "gcc" "src/lir/CMakeFiles/ropt_lir.dir/Backend.cpp.o.d"
+  "/root/repo/src/lir/Codegen.cpp" "src/lir/CMakeFiles/ropt_lir.dir/Codegen.cpp.o" "gcc" "src/lir/CMakeFiles/ropt_lir.dir/Codegen.cpp.o.d"
+  "/root/repo/src/lir/FromHGraph.cpp" "src/lir/CMakeFiles/ropt_lir.dir/FromHGraph.cpp.o" "gcc" "src/lir/CMakeFiles/ropt_lir.dir/FromHGraph.cpp.o.d"
+  "/root/repo/src/lir/InlineDevirt.cpp" "src/lir/CMakeFiles/ropt_lir.dir/InlineDevirt.cpp.o" "gcc" "src/lir/CMakeFiles/ropt_lir.dir/InlineDevirt.cpp.o.d"
+  "/root/repo/src/lir/Lir.cpp" "src/lir/CMakeFiles/ropt_lir.dir/Lir.cpp.o" "gcc" "src/lir/CMakeFiles/ropt_lir.dir/Lir.cpp.o.d"
+  "/root/repo/src/lir/LoopPasses.cpp" "src/lir/CMakeFiles/ropt_lir.dir/LoopPasses.cpp.o" "gcc" "src/lir/CMakeFiles/ropt_lir.dir/LoopPasses.cpp.o.d"
+  "/root/repo/src/lir/Passes.cpp" "src/lir/CMakeFiles/ropt_lir.dir/Passes.cpp.o" "gcc" "src/lir/CMakeFiles/ropt_lir.dir/Passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hgraph/CMakeFiles/ropt_hgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ropt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/ropt_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ropt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ropt_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

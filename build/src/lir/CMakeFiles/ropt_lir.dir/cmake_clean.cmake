@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropt_lir.dir/Analysis.cpp.o"
+  "CMakeFiles/ropt_lir.dir/Analysis.cpp.o.d"
+  "CMakeFiles/ropt_lir.dir/Backend.cpp.o"
+  "CMakeFiles/ropt_lir.dir/Backend.cpp.o.d"
+  "CMakeFiles/ropt_lir.dir/Codegen.cpp.o"
+  "CMakeFiles/ropt_lir.dir/Codegen.cpp.o.d"
+  "CMakeFiles/ropt_lir.dir/FromHGraph.cpp.o"
+  "CMakeFiles/ropt_lir.dir/FromHGraph.cpp.o.d"
+  "CMakeFiles/ropt_lir.dir/InlineDevirt.cpp.o"
+  "CMakeFiles/ropt_lir.dir/InlineDevirt.cpp.o.d"
+  "CMakeFiles/ropt_lir.dir/Lir.cpp.o"
+  "CMakeFiles/ropt_lir.dir/Lir.cpp.o.d"
+  "CMakeFiles/ropt_lir.dir/LoopPasses.cpp.o"
+  "CMakeFiles/ropt_lir.dir/LoopPasses.cpp.o.d"
+  "CMakeFiles/ropt_lir.dir/Passes.cpp.o"
+  "CMakeFiles/ropt_lir.dir/Passes.cpp.o.d"
+  "libropt_lir.a"
+  "libropt_lir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropt_lir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

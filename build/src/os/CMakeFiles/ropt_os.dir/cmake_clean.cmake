@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropt_os.dir/AddressSpace.cpp.o"
+  "CMakeFiles/ropt_os.dir/AddressSpace.cpp.o.d"
+  "CMakeFiles/ropt_os.dir/Kernel.cpp.o"
+  "CMakeFiles/ropt_os.dir/Kernel.cpp.o.d"
+  "libropt_os.a"
+  "libropt_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropt_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

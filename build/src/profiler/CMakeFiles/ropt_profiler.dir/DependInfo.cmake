@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/HotRegion.cpp" "src/profiler/CMakeFiles/ropt_profiler.dir/HotRegion.cpp.o" "gcc" "src/profiler/CMakeFiles/ropt_profiler.dir/HotRegion.cpp.o.d"
+  "/root/repo/src/profiler/Replayability.cpp" "src/profiler/CMakeFiles/ropt_profiler.dir/Replayability.cpp.o" "gcc" "src/profiler/CMakeFiles/ropt_profiler.dir/Replayability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/ropt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/ropt_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ropt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ropt_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropt_profiler.dir/HotRegion.cpp.o"
+  "CMakeFiles/ropt_profiler.dir/HotRegion.cpp.o.d"
+  "CMakeFiles/ropt_profiler.dir/Replayability.cpp.o"
+  "CMakeFiles/ropt_profiler.dir/Replayability.cpp.o.d"
+  "libropt_profiler.a"
+  "libropt_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropt_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

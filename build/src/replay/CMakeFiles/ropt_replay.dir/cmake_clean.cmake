@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropt_replay.dir/Replayer.cpp.o"
+  "CMakeFiles/ropt_replay.dir/Replayer.cpp.o.d"
+  "libropt_replay.a"
+  "libropt_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropt_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

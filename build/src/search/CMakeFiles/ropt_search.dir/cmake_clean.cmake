@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropt_search.dir/GeneticSearch.cpp.o"
+  "CMakeFiles/ropt_search.dir/GeneticSearch.cpp.o.d"
+  "CMakeFiles/ropt_search.dir/Genome.cpp.o"
+  "CMakeFiles/ropt_search.dir/Genome.cpp.o.d"
+  "libropt_search.a"
+  "libropt_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropt_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

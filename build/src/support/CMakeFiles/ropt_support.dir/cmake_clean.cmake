@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropt_support.dir/Format.cpp.o"
+  "CMakeFiles/ropt_support.dir/Format.cpp.o.d"
+  "CMakeFiles/ropt_support.dir/Random.cpp.o"
+  "CMakeFiles/ropt_support.dir/Random.cpp.o.d"
+  "CMakeFiles/ropt_support.dir/Statistics.cpp.o"
+  "CMakeFiles/ropt_support.dir/Statistics.cpp.o.d"
+  "libropt_support.a"
+  "libropt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

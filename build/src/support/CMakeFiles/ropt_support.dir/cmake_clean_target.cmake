@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libropt_support.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Executor.cpp" "src/vm/CMakeFiles/ropt_vm.dir/Executor.cpp.o" "gcc" "src/vm/CMakeFiles/ropt_vm.dir/Executor.cpp.o.d"
+  "/root/repo/src/vm/Heap.cpp" "src/vm/CMakeFiles/ropt_vm.dir/Heap.cpp.o" "gcc" "src/vm/CMakeFiles/ropt_vm.dir/Heap.cpp.o.d"
+  "/root/repo/src/vm/Interpreter.cpp" "src/vm/CMakeFiles/ropt_vm.dir/Interpreter.cpp.o" "gcc" "src/vm/CMakeFiles/ropt_vm.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/vm/Machine.cpp" "src/vm/CMakeFiles/ropt_vm.dir/Machine.cpp.o" "gcc" "src/vm/CMakeFiles/ropt_vm.dir/Machine.cpp.o.d"
+  "/root/repo/src/vm/MachineUtil.cpp" "src/vm/CMakeFiles/ropt_vm.dir/MachineUtil.cpp.o" "gcc" "src/vm/CMakeFiles/ropt_vm.dir/MachineUtil.cpp.o.d"
+  "/root/repo/src/vm/Native.cpp" "src/vm/CMakeFiles/ropt_vm.dir/Native.cpp.o" "gcc" "src/vm/CMakeFiles/ropt_vm.dir/Native.cpp.o.d"
+  "/root/repo/src/vm/Runtime.cpp" "src/vm/CMakeFiles/ropt_vm.dir/Runtime.cpp.o" "gcc" "src/vm/CMakeFiles/ropt_vm.dir/Runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dex/CMakeFiles/ropt_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ropt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ropt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

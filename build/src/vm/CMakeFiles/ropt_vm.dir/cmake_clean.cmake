@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropt_vm.dir/Executor.cpp.o"
+  "CMakeFiles/ropt_vm.dir/Executor.cpp.o.d"
+  "CMakeFiles/ropt_vm.dir/Heap.cpp.o"
+  "CMakeFiles/ropt_vm.dir/Heap.cpp.o.d"
+  "CMakeFiles/ropt_vm.dir/Interpreter.cpp.o"
+  "CMakeFiles/ropt_vm.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/ropt_vm.dir/Machine.cpp.o"
+  "CMakeFiles/ropt_vm.dir/Machine.cpp.o.d"
+  "CMakeFiles/ropt_vm.dir/MachineUtil.cpp.o"
+  "CMakeFiles/ropt_vm.dir/MachineUtil.cpp.o.d"
+  "CMakeFiles/ropt_vm.dir/Native.cpp.o"
+  "CMakeFiles/ropt_vm.dir/Native.cpp.o.d"
+  "CMakeFiles/ropt_vm.dir/Runtime.cpp.o"
+  "CMakeFiles/ropt_vm.dir/Runtime.cpp.o.d"
+  "libropt_vm.a"
+  "libropt_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropt_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

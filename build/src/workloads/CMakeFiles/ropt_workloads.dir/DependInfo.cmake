@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ArtBenchmarks.cpp" "src/workloads/CMakeFiles/ropt_workloads.dir/ArtBenchmarks.cpp.o" "gcc" "src/workloads/CMakeFiles/ropt_workloads.dir/ArtBenchmarks.cpp.o.d"
+  "/root/repo/src/workloads/InteractiveApps.cpp" "src/workloads/CMakeFiles/ropt_workloads.dir/InteractiveApps.cpp.o" "gcc" "src/workloads/CMakeFiles/ropt_workloads.dir/InteractiveApps.cpp.o.d"
+  "/root/repo/src/workloads/Scimark.cpp" "src/workloads/CMakeFiles/ropt_workloads.dir/Scimark.cpp.o" "gcc" "src/workloads/CMakeFiles/ropt_workloads.dir/Scimark.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/workloads/CMakeFiles/ropt_workloads.dir/Workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/ropt_workloads.dir/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/ropt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/ropt_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ropt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ropt_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

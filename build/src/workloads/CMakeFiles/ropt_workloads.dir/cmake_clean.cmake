@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropt_workloads.dir/ArtBenchmarks.cpp.o"
+  "CMakeFiles/ropt_workloads.dir/ArtBenchmarks.cpp.o.d"
+  "CMakeFiles/ropt_workloads.dir/InteractiveApps.cpp.o"
+  "CMakeFiles/ropt_workloads.dir/InteractiveApps.cpp.o.d"
+  "CMakeFiles/ropt_workloads.dir/Scimark.cpp.o"
+  "CMakeFiles/ropt_workloads.dir/Scimark.cpp.o.d"
+  "CMakeFiles/ropt_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/ropt_workloads.dir/Workloads.cpp.o.d"
+  "libropt_workloads.a"
+  "libropt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_replay_tests.dir/CaptureReplayTests.cpp.o"
+  "CMakeFiles/capture_replay_tests.dir/CaptureReplayTests.cpp.o.d"
+  "capture_replay_tests"
+  "capture_replay_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_replay_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

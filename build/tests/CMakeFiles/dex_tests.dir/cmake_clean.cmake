@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_tests.dir/DexTests.cpp.o"
+  "CMakeFiles/dex_tests.dir/DexTests.cpp.o.d"
+  "dex_tests"
+  "dex_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgraph_tests.dir/HGraphTests.cpp.o"
+  "CMakeFiles/hgraph_tests.dir/HGraphTests.cpp.o.d"
+  "hgraph_tests"
+  "hgraph_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgraph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

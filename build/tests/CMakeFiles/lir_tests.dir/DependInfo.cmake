@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/LirTests.cpp" "tests/CMakeFiles/lir_tests.dir/LirTests.cpp.o" "gcc" "tests/CMakeFiles/lir_tests.dir/LirTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ropt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ropt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/ropt_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/ropt_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/ropt_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/ropt_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/lir/CMakeFiles/ropt_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hgraph/CMakeFiles/ropt_hgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ropt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/ropt_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ropt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ropt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

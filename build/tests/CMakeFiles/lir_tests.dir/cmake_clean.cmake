@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lir_tests.dir/LirTests.cpp.o"
+  "CMakeFiles/lir_tests.dir/LirTests.cpp.o.d"
+  "lir_tests"
+  "lir_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

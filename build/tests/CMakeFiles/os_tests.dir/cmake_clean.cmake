@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_tests.dir/OsTests.cpp.o"
+  "CMakeFiles/os_tests.dir/OsTests.cpp.o.d"
+  "os_tests"
+  "os_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

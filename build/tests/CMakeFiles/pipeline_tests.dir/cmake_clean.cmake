@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_tests.dir/PipelineTests.cpp.o"
+  "CMakeFiles/pipeline_tests.dir/PipelineTests.cpp.o.d"
+  "pipeline_tests"
+  "pipeline_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_tests.dir/RobustnessTests.cpp.o"
+  "CMakeFiles/robustness_tests.dir/RobustnessTests.cpp.o.d"
+  "robustness_tests"
+  "robustness_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

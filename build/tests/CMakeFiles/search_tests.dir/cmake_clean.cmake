@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_tests.dir/SearchTests.cpp.o"
+  "CMakeFiles/search_tests.dir/SearchTests.cpp.o.d"
+  "search_tests"
+  "search_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

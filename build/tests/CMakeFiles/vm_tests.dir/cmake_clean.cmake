@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_tests.dir/VmTests.cpp.o"
+  "CMakeFiles/vm_tests.dir/VmTests.cpp.o.d"
+  "vm_tests"
+  "vm_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/WorkloadTests.cpp.o"
+  "CMakeFiles/workload_tests.dir/WorkloadTests.cpp.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_tests "/root/repo/build/tests/support_tests")
+set_tests_properties(support_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;ropt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(os_tests "/root/repo/build/tests/os_tests")
+set_tests_properties(os_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;ropt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dex_tests "/root/repo/build/tests/dex_tests")
+set_tests_properties(dex_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;ropt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vm_tests "/root/repo/build/tests/vm_tests")
+set_tests_properties(vm_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;ropt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hgraph_tests "/root/repo/build/tests/hgraph_tests")
+set_tests_properties(hgraph_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;ropt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lir_tests "/root/repo/build/tests/lir_tests")
+set_tests_properties(lir_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;ropt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(capture_replay_tests "/root/repo/build/tests/capture_replay_tests")
+set_tests_properties(capture_replay_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;ropt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_tests "/root/repo/build/tests/workload_tests")
+set_tests_properties(workload_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;ropt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(search_tests "/root/repo/build/tests/search_tests")
+set_tests_properties(search_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;ropt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pipeline_tests "/root/repo/build/tests/pipeline_tests")
+set_tests_properties(pipeline_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;ropt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(robustness_tests "/root/repo/build/tests/robustness_tests")
+set_tests_properties(robustness_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;ropt_add_test;/root/repo/tests/CMakeLists.txt;0;")
