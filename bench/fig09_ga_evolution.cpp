@@ -18,6 +18,7 @@ using namespace ropt::bench;
 int main(int Argc, char **Argv) {
   Options Opt = parseArgs(Argc, Argv);
   core::PipelineConfig Config = pipelineConfig(Opt);
+  beginObservability(Opt);
 
   printHeader("Figure 9: GA evolution of best/worst genomes (region "
               "replays, speedup vs Android)",
@@ -26,7 +27,7 @@ int main(int Argc, char **Argv) {
               "being tried late into the search");
 
   CsvSink Csv(Opt, "fig09_ga_evolution.csv",
-              "app,gen,evals,gen_best,gen_worst_valid,invalid");
+              "app,gen,evals,gen_best,gen_worst_valid,gen_mean,invalid");
   for (const workloads::Application &App : selectedApps(Opt)) {
     core::IterativeCompiler Pipeline(Config);
     core::OptimizationReport R = Pipeline.optimize(App);
@@ -38,49 +39,33 @@ int main(int Argc, char **Argv) {
 
     std::printf("%s  (android region median: %.0f cycles)\n",
                 App.Name.c_str(), R.RegionAndroid);
-    std::printf("%6s %6s %10s %10s %8s %8s\n", "gen", "evals",
-                "best", "worst-valid", "invalid", "best-so-far?");
-    printRule(56);
+    std::printf("%6s %6s %10s %10s %9s %8s %8s\n", "gen", "evals", "best",
+                "worst-valid", "mean", "invalid", "best-so-far?");
+    printRule(66);
 
-    int LastGen = 0;
-    for (const search::TraceEntry &T : R.Trace.Evaluations)
-      LastGen = std::max(LastGen, T.Generation);
-
+    // The search's own generation log (GaTrace::Generations) is the
+    // authoritative per-generation accounting; no re-derivation from the
+    // raw evaluation stream.
     double BestSoFar = 0.0;
     int TotalEvals = 0;
-    for (int Gen = 0; Gen <= LastGen; ++Gen) {
-      double GenBest = 0.0, GenWorst = 1e18;
-      int Invalid = 0, Count = 0;
-      bool ImprovedHere = false;
-      for (const search::TraceEntry &T : R.Trace.Evaluations) {
-        if (T.Generation != Gen)
-          continue;
-        ++Count;
-        if (!T.Valid) {
-          ++Invalid;
-          continue;
-        }
-        double Speedup = R.RegionAndroid / T.MedianCycles;
-        if (Speedup > GenBest)
-          GenBest = Speedup;
-        if (Speedup < GenWorst)
-          GenWorst = Speedup;
-        if (Speedup > BestSoFar) {
-          BestSoFar = Speedup;
-          ImprovedHere = true;
-        }
-      }
-      TotalEvals += Count;
-      if (Count == 0)
+    for (const search::GenerationStats &S : R.Trace.Generations) {
+      TotalEvals += S.Evaluations;
+      if (S.Evaluations == 0)
         continue;
-      std::printf("%6d %6d %9.2fx %9.2fx %8d %8s\n", Gen, TotalEvals,
-                  GenBest, GenWorst >= 1e17 ? 0.0 : GenWorst, Invalid,
+      double GenBest = S.valid() ? R.RegionAndroid / S.BestCycles : 0.0;
+      double GenWorst = S.valid() ? R.RegionAndroid / S.WorstCycles : 0.0;
+      double GenMean = S.valid() ? R.RegionAndroid / S.MeanCycles : 0.0;
+      bool ImprovedHere = GenBest > BestSoFar;
+      if (ImprovedHere)
+        BestSoFar = GenBest;
+      std::printf("%6d %6d %9.2fx %9.2fx %8.2fx %8d %8s\n", S.Generation,
+                  TotalEvals, GenBest, GenWorst, GenMean, S.Invalid,
                   ImprovedHere ? "improved" : "");
-      Csv.row(format("%s,%d,%d,%.4f,%.4f,%d", App.Name.c_str(), Gen,
-                     TotalEvals, GenBest,
-                     GenWorst >= 1e17 ? 0.0 : GenWorst, Invalid));
+      Csv.row(format("%s,%d,%d,%.4f,%.4f,%.4f,%d", App.Name.c_str(),
+                     S.Generation, TotalEvals, GenBest, GenWorst, GenMean,
+                     S.Invalid));
     }
-    printRule(56);
+    printRule(66);
     std::printf("final best: %.2fx over Android  [%s]\n",
                 R.RegionAndroid / R.RegionBest, R.Best.G.name().c_str());
     std::printf("discarded during search: %d compile errors, %d crashes, "
@@ -89,5 +74,6 @@ int main(int Argc, char **Argv) {
                 R.Counters.RuntimeTimeout, R.Counters.WrongOutput);
     std::fflush(stdout);
   }
+  finishObservability(Opt);
   return 0;
 }

@@ -16,6 +16,7 @@ using namespace ropt::bench;
 int main(int Argc, char **Argv) {
   Options Opt = parseArgs(Argc, Argv);
   core::PipelineConfig Config = pipelineConfig(Opt);
+  beginObservability(Opt);
 
   printHeader("Figure 10: online capture overhead breakdown (ms)",
               "fork 1-6ms; preparation 4-11ms; faults+CoW usually small "
@@ -37,25 +38,32 @@ int main(int Argc, char **Argv) {
       std::printf("%-22s  no region\n", App.Name.c_str());
       continue;
     }
+    // Event counts come from the metrics registry the capture layer
+    // maintains (snapshot delta around the capture), not from a
+    // harness-side re-derivation.
+    MetricsSnapshot Before = Metrics::instance().snapshot();
     auto Captured = Pipeline.captureRegion(*P.Instance, *P.Region);
+    MetricsSnapshot After = Metrics::instance().snapshot();
     if (!Captured) {
       std::printf("%-22s  capture failed\n", App.Name.c_str());
       continue;
     }
     const capture::CaptureOverheads &O = Captured->Cap.Overheads;
-    const capture::CaptureEvents &E = Captured->Cap.Events;
+    uint64_t Faults = After.counter("capture.read_faults") +
+                      After.counter("capture.write_faults") -
+                      Before.counter("capture.read_faults") -
+                      Before.counter("capture.write_faults");
+    uint64_t Cow = After.counter("capture.cow_copies") -
+                   Before.counter("capture.cow_copies");
     std::printf("%-22s %7.1f  %7.1f  %7.1f  %7.1f   %llu/%llu\n",
                 App.Name.c_str(), O.ForkMs, O.PreparationMs, O.FaultCowMs,
-                O.totalMs(),
-                static_cast<unsigned long long>(E.ReadFaults +
-                                                E.WriteFaults),
-                static_cast<unsigned long long>(E.CowCopies));
+                O.totalMs(), static_cast<unsigned long long>(Faults),
+                static_cast<unsigned long long>(Cow));
     Csv.row(format("%s,%.3f,%.3f,%.3f,%.3f,%llu,%llu",
                    App.Name.c_str(), O.ForkMs, O.PreparationMs,
                    O.FaultCowMs, O.totalMs(),
-                   static_cast<unsigned long long>(E.ReadFaults +
-                                                   E.WriteFaults),
-                   static_cast<unsigned long long>(E.CowCopies)));
+                   static_cast<unsigned long long>(Faults),
+                   static_cast<unsigned long long>(Cow)));
     Sum += O.totalMs();
     Max = std::max(Max, O.totalMs());
     Min = std::min(Min, O.totalMs());
@@ -67,5 +75,6 @@ int main(int Argc, char **Argv) {
     std::printf("%-22s %34.1f   (paper avg 14.5ms; min 5.7; max ~30)\n"
                 "min %.1fms  max %.1fms\n",
                 "AVERAGE", Sum / N, Min, Max);
+  finishObservability(Opt);
   return 0;
 }

@@ -3,6 +3,8 @@
 #include "capture/CaptureManager.h"
 
 #include "support/Format.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -54,9 +56,12 @@ void CaptureManager::onRegionEnter(const std::vector<vm::Value> &Args) {
   // fault in (and thus capture) pages the region never touches.
   if (RT.heap().gcImminent()) {
     ++Postponed;
+    ROPT_METRIC_INC("capture.postponements");
+    ROPT_TRACE_INSTANT("capture.postponed");
     return;
   }
 
+  ROPT_TRACE_INSTANT("capture.region_enter");
   InProgress = true;
   SavedArgs = Args;
   AccessedPages.clear();
@@ -91,6 +96,7 @@ void CaptureManager::onRegionExit() {
   if (!InProgress)
     return;
   InProgress = false;
+  ROPT_TRACE_SPAN("capture.collect");
 
   AddressSpace &Space = App.space();
 
@@ -142,6 +148,22 @@ void CaptureManager::onRegionExit() {
   Cap.Events.CowCopies = Stats.CowCopies;
   Cap.Overheads = CaptureOverheads::fromEvents(Cap.Events, CostModel);
 
+  ROPT_METRIC_INC("capture.captures");
+  ROPT_METRIC_ADD("capture.pages_spooled", Cap.Pages.size());
+  ROPT_METRIC_ADD("capture.bytes_spooled", Cap.Pages.size() * PageSize);
+  ROPT_METRIC_ADD("capture.pages_protected", Stats.PagesProtected);
+  ROPT_METRIC_ADD("capture.read_faults", Stats.ReadFaults);
+  ROPT_METRIC_ADD("capture.write_faults", Stats.WriteFaults);
+  ROPT_METRIC_ADD("capture.cow_copies", Stats.CowCopies);
+  ROPT_METRIC_ADD("capture.fork_pages", PagesAtFork);
+  ROPT_METRIC_OBSERVE("capture.pages_per_capture", Cap.Pages.size(),
+                      ({4, 16, 64, 256, 1024, 4096}));
+  ROPT_METRIC_OBSERVE("capture.fork_ms", Cap.Overheads.ForkMs,
+                      ({1, 2, 4, 8, 16, 32}));
+  ROPT_METRIC_OBSERVE("capture.overhead_ms", Cap.Overheads.totalMs(),
+                      ({2, 5, 10, 15, 20, 30, 50}));
+  ROPT_TRACE_COUNTER("capture.pages_spooled", Cap.Pages.size());
+
   Kernel.reap(ChildPid);
   ChildPid = 0;
   Space.resetStats(); // close the capture's measurement epoch
@@ -159,6 +181,7 @@ std::optional<Capture> CaptureManager::takeCapture() {
 
 std::string CaptureManager::spoolToStorage(const Capture &Cap,
                                            const std::string &AppName) {
+  ROPT_TRACE_SPAN("capture.spool");
   os::StorageDevice &Disk = Kernel.storage();
 
   // The per-boot common blob: runtime-image content, stored once.
@@ -179,6 +202,8 @@ std::string CaptureManager::spoolToStorage(const Capture &Cap,
 
   std::string Path = format("captures/%s/region-%u.cap", AppName.c_str(),
                             Cap.Root);
-  Disk.writeFile(Path, Cap.serialize());
+  std::vector<uint8_t> Bytes = Cap.serialize();
+  ROPT_METRIC_ADD("capture.bytes_written_disk", Bytes.size());
+  Disk.writeFile(Path, std::move(Bytes));
   return Path;
 }

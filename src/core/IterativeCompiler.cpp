@@ -3,7 +3,9 @@
 #include "core/IterativeCompiler.h"
 
 #include "hgraph/AndroidCompiler.h"
+#include "support/Metrics.h"
 #include "support/Statistics.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -115,6 +117,7 @@ search::Evaluation RegionEvaluator::evaluateCache(const vm::CodeCache &Code) {
 
 std::optional<vm::CodeCache>
 RegionEvaluator::compileRegion(const search::Genome &G) {
+  ROPT_TRACE_SPAN("compile.region");
   lir::CompileOptions Options;
   Options.Pipeline = G.Passes;
   Options.RegAlloc = G.RegAlloc;
@@ -177,6 +180,7 @@ double OptimizationReport::speedupGaOverO3() const {
 
 IterativeCompiler::ProfiledApp
 IterativeCompiler::profileApp(const workloads::Application &App) {
+  ROPT_TRACE_SPAN("pipeline.profile");
   ProfiledApp Out{
       std::make_unique<AppInstance>(App, Config.Seed,
                                     /*AttributeCycles=*/true),
@@ -201,6 +205,7 @@ std::optional<IterativeCompiler::CapturedRegion>
 IterativeCompiler::captureRegion(AppInstance &Instance,
                                  const profiler::HotRegion &Region,
                                  int SessionOffset) {
+  ROPT_TRACE_SPAN("pipeline.capture");
   capture::CaptureManager CM(Instance.kernel(), Instance.process(),
                              Instance.runtime(), Config.KernelCosts);
   CM.armCapture(Region.Root);
@@ -249,6 +254,8 @@ IterativeCompiler::captureRegionMulti(AppInstance &Instance,
 
 OptimizationReport
 IterativeCompiler::optimize(const workloads::Application &App) {
+  ROPT_TRACE_SPAN("pipeline.optimize");
+  ROPT_METRIC_INC("pipeline.runs");
   OptimizationReport Report;
   Report.AppName = App.Name;
 
@@ -257,6 +264,7 @@ IterativeCompiler::optimize(const workloads::Application &App) {
   Report.Breakdown = Profiled.Breakdown;
   if (!Profiled.Region) {
     Report.FailureReason = "no replayable hot region";
+    ROPT_METRIC_INC("pipeline.failures");
     return Report;
   }
   Report.Region = *Profiled.Region;
@@ -267,6 +275,7 @@ IterativeCompiler::optimize(const workloads::Application &App) {
       std::max(1, Config.CapturesPerRegion));
   if (Captures.empty()) {
     Report.FailureReason = "capture failed";
+    ROPT_METRIC_INC("pipeline.failures");
     return Report;
   }
   Report.Cap = Captures.front().Cap;
@@ -274,33 +283,39 @@ IterativeCompiler::optimize(const workloads::Application &App) {
 
   // --- Phase 4: the GA over the transformation space (3.6-3.7). --------
   RegionEvaluator Evaluator(App, Report.Region, Captures, Config);
-  search::Evaluation Android = Evaluator.evaluateAndroid();
-  search::Evaluation O3 = Evaluator.evaluatePipeline(lir::o3Pipeline());
-  if (!Android.ok()) {
-    Report.FailureReason = "android baseline replay failed";
-    return Report;
-  }
-  Report.RegionAndroid = Android.MedianCycles;
-  Report.RegionO3 = O3.ok() ? O3.MedianCycles : 0.0;
+  std::optional<search::Scored> Best;
+  {
+    ROPT_TRACE_SPAN("pipeline.search");
+    search::Evaluation Android = Evaluator.evaluateAndroid();
+    search::Evaluation O3 = Evaluator.evaluatePipeline(lir::o3Pipeline());
+    if (!Android.ok()) {
+      Report.FailureReason = "android baseline replay failed";
+      ROPT_METRIC_INC("pipeline.failures");
+      return Report;
+    }
+    Report.RegionAndroid = Android.MedianCycles;
+    Report.RegionO3 = O3.ok() ? O3.MedianCycles : 0.0;
 
-  search::GeneticSearch GA(
-      Config.GA, Config.Seed ^ 0x6a5e,
-      [&Evaluator](const search::Genome &G) {
-        return Evaluator.evaluate(G);
-      });
-  std::optional<search::Scored> Best =
-      GA.run(Android.MedianCycles,
-             O3.ok() ? O3.MedianCycles : Android.MedianCycles,
-             &Report.Trace);
+    search::GeneticSearch GA(
+        Config.GA, Config.Seed ^ 0x6a5e,
+        [&Evaluator](const search::Genome &G) {
+          return Evaluator.evaluate(G);
+        });
+    Best = GA.run(Android.MedianCycles,
+                  O3.ok() ? O3.MedianCycles : Android.MedianCycles,
+                  &Report.Trace);
+  }
   Report.Counters = Evaluator.counters();
   if (!Best) {
     Report.FailureReason = "search produced no valid binary";
+    ROPT_METRIC_INC("pipeline.failures");
     return Report;
   }
   Report.Best = *Best;
   Report.RegionBest = Best->E.MedianCycles;
 
   // --- Phase 5: install + whole-program measurement outside replay. ----
+  ROPT_TRACE_SPAN("pipeline.install_measure");
   std::optional<vm::CodeCache> BestCode =
       Evaluator.compileRegion(Best->G);
   assert(BestCode && "winning genome stopped compiling");
@@ -333,7 +348,9 @@ IterativeCompiler::optimize(const workloads::Application &App) {
 
   Report.Succeeded = !Report.WholeAndroid.empty() &&
                      !Report.WholeGa.empty();
-  if (!Report.Succeeded)
+  if (!Report.Succeeded) {
     Report.FailureReason = "final measurement failed";
+    ROPT_METRIC_INC("pipeline.failures");
+  }
   return Report;
 }

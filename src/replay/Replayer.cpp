@@ -2,7 +2,9 @@
 
 #include "replay/Replayer.h"
 
+#include "support/Metrics.h"
 #include "support/Random.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <functional>
@@ -89,6 +91,7 @@ ReplayResult Replayer::replayImpl(
     const vm::CodeCache *Code, vm::ExecObserver *Observer,
     const std::function<void(AddressSpace &, const vm::CallResult &)>
         &PostRun) {
+  ROPT_TRACE_SPAN("replay.run");
   ReplayResult Out;
   // Start from the per-boot template: runtime-image pages shared CoW.
   AddressSpace Space = bootTemplate(Cap).forkClone();
@@ -180,7 +183,16 @@ ReplayResult Replayer::replayImpl(
   if (Observer)
     RT.setObserver(Observer);
 
-  Out.Result = RT.call(Cap.Root, Cap.Args);
+  {
+    ROPT_TRACE_SPAN("replay.execute");
+    Out.Result = RT.call(Cap.Root, Cap.Args);
+  }
+
+  ROPT_METRIC_INC("replay.replays");
+  ROPT_METRIC_ADD("replay.pages_restored", Out.Loader.PagesRestored);
+  ROPT_METRIC_ADD("replay.collisions_handled", Out.Loader.CollidingPages);
+  ROPT_METRIC_OBSERVE("replay.cycles", Out.Result.Cycles,
+                      ({1e4, 1e5, 1e6, 1e7, 1e8, 1e9}));
 
   if (PostRun)
     PostRun(Space, Out.Result);
@@ -195,6 +207,8 @@ ReplayResult Replayer::replay(const capture::Capture &Cap, ReplayCode Mode,
 
 InterpretedReplayResult
 Replayer::interpretedReplay(const capture::Capture &Cap) {
+  ROPT_TRACE_SPAN("replay.interpreted");
+  ROPT_METRIC_INC("replay.interpreted_replays");
   InterpretedReplayResult Out;
   RecordingObserver Obs;
 
@@ -222,6 +236,7 @@ bool Replayer::verifiedReplay(const capture::Capture &Cap,
                               const vm::CodeCache &Code,
                               const VerificationMap &Map,
                               ReplayResult &Out) {
+  ROPT_TRACE_SPAN("replay.verified");
   std::map<uint64_t, uint64_t> Observed;
   Out = replayImpl(
       Cap, ReplayCode::Compiled, &Code, nullptr,
@@ -237,7 +252,11 @@ bool Replayer::verifiedReplay(const capture::Capture &Cap,
 
   if (Out.Result.Trap != vm::TrapKind::None)
     return false;
-  if (Map.HasReturn && Map.ReturnBits != Out.Result.Ret.Raw)
-    return false;
-  return Observed == Map.Cells;
+  bool Matches = !(Map.HasReturn && Map.ReturnBits != Out.Result.Ret.Raw) &&
+                 Observed == Map.Cells;
+  if (Matches)
+    ROPT_METRIC_INC("replay.verify_ok");
+  else
+    ROPT_METRIC_INC("replay.verify_mismatches");
+  return Matches;
 }

@@ -2,7 +2,9 @@
 
 #include "search/GeneticSearch.h"
 
+#include "support/Metrics.h"
 #include "support/Statistics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -37,6 +39,29 @@ Evaluation GeneticSearch::evaluate(const Genome &G, int Generation,
     T.MedianCycles = E.ok() ? E.MedianCycles : 0.0;
     Trace->Evaluations.push_back(T);
   }
+
+  // The generation log. MeanCycles carries the running sum until run()
+  // finalizes it into a mean.
+  if (static_cast<size_t>(Generation) >= GenStats.size())
+    GenStats.resize(static_cast<size_t>(Generation) + 1);
+  GenerationStats &S = GenStats[static_cast<size_t>(Generation)];
+  S.Generation = Generation;
+  ++S.Evaluations;
+  if (!E.ok()) {
+    ++S.Invalid;
+  } else {
+    if (S.valid() == 1 || E.MedianCycles < S.BestCycles)
+      S.BestCycles = E.MedianCycles;
+    if (S.valid() == 1 || E.MedianCycles > S.WorstCycles)
+      S.WorstCycles = E.MedianCycles;
+    S.MeanCycles += E.MedianCycles;
+  }
+
+  ROPT_METRIC_INC("search.evaluations");
+  if (E.ok())
+    ROPT_METRIC_INC("search.genomes_accepted");
+  else
+    ROPT_METRIC_INC("search.genomes_rejected");
   return E;
 }
 
@@ -90,28 +115,33 @@ GeneticSearch::selectMate(const std::vector<Scored> &Population,
 
 std::optional<Scored> GeneticSearch::run(double AndroidCycles,
                                          double O3Cycles, GaTrace *Trace) {
+  ROPT_TRACE_SPAN("search.run");
   SeenBinaries.clear();
+  GenStats.clear();
   IdenticalCount = 0;
 
   double BaselineBar = std::min(AndroidCycles, O3Cycles);
 
   // --- Generation 0: random, with replacement biasing. -------------------
   std::vector<Scored> Population;
-  for (int I = 0; I != Config.PopulationSize; ++I) {
-    Genome G = randomGenome(R, Config.Genomes);
-    removeRedundantPasses(G);
-    Evaluation E = evaluate(G, 0, Trace);
-    // Retry genomes slower than both baselines up to N times, biasing the
-    // search toward profitable space (Section 4).
-    for (int Retry = 0; Retry != Config.Gen0ReplacementRetries; ++Retry) {
-      bool Poor = !E.ok() || E.MedianCycles > BaselineBar;
-      if (!Poor)
-        break;
-      G = randomGenome(R, Config.Genomes);
+  {
+    ROPT_TRACE_SPAN_V("search.generation", 0);
+    for (int I = 0; I != Config.PopulationSize; ++I) {
+      Genome G = randomGenome(R, Config.Genomes);
       removeRedundantPasses(G);
-      E = evaluate(G, 0, Trace);
+      Evaluation E = evaluate(G, 0, Trace);
+      // Retry genomes slower than both baselines up to N times, biasing the
+      // search toward profitable space (Section 4).
+      for (int Retry = 0; Retry != Config.Gen0ReplacementRetries; ++Retry) {
+        bool Poor = !E.ok() || E.MedianCycles > BaselineBar;
+        if (!Poor)
+          break;
+        G = randomGenome(R, Config.Genomes);
+        removeRedundantPasses(G);
+        E = evaluate(G, 0, Trace);
+      }
+      Population.push_back(Scored{std::move(G), std::move(E)});
     }
-    Population.push_back(Scored{std::move(G), std::move(E)});
   }
   sortByFitness(Population);
 
@@ -122,6 +152,7 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
         Trace->HaltedOnIdentical = true;
       break;
     }
+    ROPT_TRACE_SPAN_V("search.generation", Gen);
     std::vector<Scored> Next;
     // Elitism: the best genomes survive unchanged (no re-evaluation).
     for (int E = 0; E < Config.EliteCount &&
@@ -142,15 +173,25 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
     }
     Population = std::move(Next);
     sortByFitness(Population);
+    if (!Population.empty() && Population.front().E.ok()) {
+      ROPT_TRACE_COUNTER("search.best_cycles",
+                         Population.front().E.MedianCycles);
+      ROPT_METRIC_GAUGE_SET("search.best_cycles",
+                            Population.front().E.MedianCycles);
+    }
   }
 
   if (Trace)
     Trace->IdenticalBinaries = IdenticalCount;
+  ROPT_METRIC_ADD("search.identical_binaries", IdenticalCount);
 
-  if (Population.empty() || !Population.front().E.ok())
+  if (Population.empty() || !Population.front().E.ok()) {
+    finalizeGenerationStats(Trace);
     return std::nullopt;
+  }
 
   // --- Hill climbing from the best genome. --------------------------------
+  ROPT_TRACE_SPAN("search.hillclimb");
   Scored Best = Population.front();
   for (int Round = 0; Round != Config.HillClimbRounds; ++Round) {
     bool Improved = false;
@@ -190,6 +231,7 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
         if (N == Best.G)
           continue;
         Evaluation E = evaluate(N, Config.Generations, Trace);
+        ROPT_METRIC_INC("search.hillclimb_steps");
         if (E.ok() && better(E, Best.E)) {
           Best = Scored{std::move(N), std::move(E)};
           Improved = true;
@@ -199,5 +241,16 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
     if (!Improved)
       break;
   }
+  finalizeGenerationStats(Trace);
   return Best;
+}
+
+void GeneticSearch::finalizeGenerationStats(GaTrace *Trace) {
+  // evaluate() accumulates the valid-genome sum in MeanCycles; turn it
+  // into a mean now that the generation populations are final.
+  for (GenerationStats &S : GenStats)
+    if (S.valid() > 0)
+      S.MeanCycles /= S.valid();
+  if (Trace)
+    Trace->Generations = GenStats;
 }

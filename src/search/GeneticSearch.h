@@ -80,8 +80,25 @@ struct TraceEntry {
   bool Valid = false;
 };
 
+/// Per-generation aggregate the search maintains as it runs — the
+/// authoritative generation log Figure 9 consumes (harnesses no longer
+/// re-derive it from the evaluation stream). The final row (Generation ==
+/// GaConfig::Generations) accounts the hill-climbing evaluations.
+struct GenerationStats {
+  int Generation = 0;
+  int Evaluations = 0; ///< Genomes evaluated in this generation.
+  int Invalid = 0;     ///< Rejected: compile error, crash, timeout, wrong
+                       ///< output.
+  double BestCycles = 0.0;  ///< Min median cycles among valid; 0 if none.
+  double WorstCycles = 0.0; ///< Max median cycles among valid; 0 if none.
+  double MeanCycles = 0.0;  ///< Mean over valid genomes; 0 if none.
+
+  int valid() const { return Evaluations - Invalid; }
+};
+
 struct GaTrace {
   std::vector<TraceEntry> Evaluations;
+  std::vector<GenerationStats> Generations;
   int IdenticalBinaries = 0;
   bool HaltedOnIdentical = false;
 };
@@ -98,8 +115,17 @@ public:
   std::optional<Scored> run(double AndroidCycles, double O3Cycles,
                             GaTrace *Trace = nullptr);
 
+  /// The per-generation log of the last run() (also copied into the
+  /// GaTrace when one is supplied).
+  const std::vector<GenerationStats> &generationStats() const {
+    return GenStats;
+  }
+
 private:
   Evaluation evaluate(const Genome &G, int Generation, GaTrace *Trace);
+  /// Converts the per-generation running sums into means and copies the
+  /// log into \p Trace.
+  void finalizeGenerationStats(GaTrace *Trace);
   /// Statistically-sound comparison: true when A is strictly better
   /// (faster with significance, or indistinguishable but smaller).
   bool better(const Evaluation &A, const Evaluation &B) const;
@@ -111,6 +137,7 @@ private:
   Rng R;
   EvaluateFn Evaluate;
   std::set<uint64_t> SeenBinaries;
+  std::vector<GenerationStats> GenStats;
   int IdenticalCount = 0;
 };
 

@@ -1,0 +1,202 @@
+//===- support/Trace.cpp - Process-wide execution tracing -------------------===//
+
+#include "support/Trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace ropt;
+
+namespace {
+
+uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Small dense thread ids (Chrome's tid field), 1-based in first-use order.
+uint32_t currentThreadId() {
+  static std::atomic<uint32_t> Next{1};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+/// JSON string escaping. Names are ASCII literals, but the exporter stays
+/// robust anyway.
+void appendEscaped(std::string &Out, const char *S) {
+  for (; *S; ++S) {
+    unsigned char C = static_cast<unsigned char>(*S);
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+}
+
+/// One event as a compact JSON object (shared by both exporters).
+void appendEventJson(std::string &Out, const TraceEvent &E) {
+  char Buf[96];
+  Out += "{\"pid\":1,\"tid\":";
+  std::snprintf(Buf, sizeof(Buf), "%u", E.ThreadId);
+  Out += Buf;
+  Out += ",\"name\":\"";
+  appendEscaped(Out, E.Name);
+  Out += "\",\"cat\":\"ropt\",\"ts\":";
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(E.StartUs));
+  Out += Buf;
+  switch (E.Ph) {
+  case TraceEvent::Phase::Complete:
+    Out += ",\"ph\":\"X\",\"dur\":";
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(E.DurUs));
+    Out += Buf;
+    if (E.HasValue) {
+      Out += ",\"args\":{\"value\":";
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(E.Value));
+      Out += Buf;
+      Out += "}";
+    }
+    break;
+  case TraceEvent::Phase::Counter:
+    Out += ",\"ph\":\"C\",\"args\":{\"value\":";
+    std::snprintf(Buf, sizeof(Buf), "%lld",
+                  static_cast<long long>(E.Value));
+    Out += Buf;
+    Out += "}";
+    break;
+  case TraceEvent::Phase::Instant:
+    Out += ",\"ph\":\"i\",\"s\":\"t\"";
+    break;
+  }
+  Out += "}";
+}
+
+bool writeWholeFile(const std::string &Path, const std::string &Content) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Content.data(), 1, Content.size(), F);
+  bool Ok = Written == Content.size();
+  return std::fclose(F) == 0 && Ok;
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder() : EpochNs(steadyNowNs()) {}
+
+TraceRecorder &TraceRecorder::instance() {
+  static TraceRecorder T;
+  return T;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.clear();
+}
+
+uint64_t TraceRecorder::nowUs() const {
+  return (steadyNowNs() - EpochNs) / 1000;
+}
+
+void TraceRecorder::recordComplete(const char *Name, uint64_t StartUs,
+                                   uint64_t DurUs, int64_t Value,
+                                   bool HasValue) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Ph = TraceEvent::Phase::Complete;
+  E.Name = Name;
+  E.StartUs = StartUs;
+  E.DurUs = DurUs;
+  E.Value = Value;
+  E.HasValue = HasValue;
+  E.ThreadId = currentThreadId();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back(E);
+}
+
+void TraceRecorder::recordCounter(const char *Name, int64_t Value) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Ph = TraceEvent::Phase::Counter;
+  E.Name = Name;
+  E.StartUs = nowUs();
+  E.Value = Value;
+  E.HasValue = true;
+  E.ThreadId = currentThreadId();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back(E);
+}
+
+void TraceRecorder::recordInstant(const char *Name) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Ph = TraceEvent::Phase::Instant;
+  E.Name = Name;
+  E.StartUs = nowUs();
+  E.ThreadId = currentThreadId();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back(E);
+}
+
+size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events;
+}
+
+std::string TraceRecorder::toChromeJson() const {
+  std::vector<TraceEvent> Snapshot = events();
+  std::string Out;
+  Out.reserve(64 + Snapshot.size() * 96);
+  Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t I = 0; I != Snapshot.size(); ++I) {
+    if (I)
+      Out += ",\n";
+    else
+      Out += "\n";
+    appendEventJson(Out, Snapshot[I]);
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+std::string TraceRecorder::toJsonl() const {
+  std::vector<TraceEvent> Snapshot = events();
+  std::string Out;
+  Out.reserve(Snapshot.size() * 96);
+  for (const TraceEvent &E : Snapshot) {
+    appendEventJson(Out, E);
+    Out += "\n";
+  }
+  return Out;
+}
+
+bool TraceRecorder::writeChromeJson(const std::string &Path) const {
+  return writeWholeFile(Path, toChromeJson());
+}
+
+bool TraceRecorder::writeJsonl(const std::string &Path) const {
+  return writeWholeFile(Path, toJsonl());
+}

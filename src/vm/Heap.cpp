@@ -2,6 +2,8 @@
 
 #include "vm/Heap.h"
 
+#include "support/Metrics.h"
+
 #include <cassert>
 
 using namespace ropt;
@@ -63,6 +65,8 @@ uint64_t Heap::allocate(ObjKind Kind, uint32_t ClassOrElem, uint64_t Count,
 
   writeControl(BumpOffsetSlot, Bump + Bytes);
   writeControl(BytesSinceGcSlot, readControl(BytesSinceGcSlot) + Bytes);
+  ROPT_METRIC_INC("vm.heap_allocs");
+  ROPT_METRIC_ADD("vm.heap_bytes", Bytes);
   return Ref;
 }
 
@@ -94,6 +98,7 @@ uint64_t Heap::pollSafepoint(uint64_t GcPauseCycles) {
   }
   writeControl(BytesSinceGcSlot, 0);
   writeControl(GcRunsSlot, readControl(GcRunsSlot) + 1);
+  ROPT_METRIC_INC("vm.gc_runs");
   return GcPauseCycles;
 }
 

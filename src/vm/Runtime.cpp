@@ -2,6 +2,7 @@
 
 #include "vm/Runtime.h"
 
+#include "support/Metrics.h"
 #include "support/Random.h"
 
 #include <cassert>
@@ -206,6 +207,14 @@ CallResult Runtime::call(dex::MethodId Method,
   Result.Cycles = CallCycles;
   Result.Insns = CallInsns;
   Trap = TrapKind::None;
+
+  // Flushed per top-level call, not per instruction, so the interpreter's
+  // hot loop stays untouched.
+  ROPT_METRIC_INC("vm.calls");
+  ROPT_METRIC_ADD("vm.insns", Result.Insns);
+  ROPT_METRIC_ADD("vm.cycles", Result.Cycles);
+  if (Result.Trap != TrapKind::None)
+    ROPT_METRIC_INC("vm.traps");
   return Result;
 }
 
