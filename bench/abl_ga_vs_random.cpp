@@ -46,9 +46,10 @@ int main(int Argc, char **Argv) {
 
     // --- The GA, tracing so we know its true evaluation count. --------
     search::GaTrace Trace;
-    search::GeneticSearch GA(
-        Config.GA, Config.Seed ^ 0x6a5e,
+    search::FunctionEvaluator GaEval(
         [&](const search::Genome &G) { return Eval.evaluate(G); });
+    search::GeneticSearch GA(Config.Search.GA, Config.Seed ^ 0x6a5e,
+                             GaEval);
     std::optional<search::Scored> Best = GA.run(Android, O3, &Trace);
     int Budget = static_cast<int>(Trace.Evaluations.size());
     int GaValid = 0;
@@ -62,7 +63,7 @@ int main(int Argc, char **Argv) {
     double RndBestCycles = 0.0;
     int RndValid = 0;
     for (int I = 0; I != Budget; ++I) {
-      search::Genome G = search::randomGenome(R, Config.GA.Genomes);
+      search::Genome G = search::randomGenome(R, Config.Search.GA.Genomes);
       search::Evaluation E = Eval.evaluate(G);
       if (!E.ok())
         continue;

@@ -36,7 +36,7 @@ int main(int Argc, char **Argv) {
 
     auto TrainWith = [&](int Captures) {
       core::PipelineConfig Config = pipelineConfig(Opt);
-      Config.CapturesPerRegion = Captures;
+      Config.Capture.CapturesPerRegion = Captures;
       core::IterativeCompiler Pipeline(Config);
       return Pipeline.optimize(workloads::buildByName(Name));
     };

@@ -79,7 +79,7 @@ void BM_CaptureSerialization(benchmark::State &State) {
   capture::CaptureManager CM(P.Kernel, *P.Proc, *P.RT);
   CM.armCapture(P.Kern);
   P.RT->call(P.App.SessionEntry, P.App.argsFor(7));
-  capture::Capture Cap = *CM.takeCapture();
+  capture::Capture Cap = CM.takeCapture().value();
   for (auto _ : State) {
     std::vector<uint8_t> Bytes = Cap.serialize();
     benchmark::DoNotOptimize(Bytes.size());

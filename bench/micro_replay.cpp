@@ -92,10 +92,9 @@ void BM_VerifiedReplay(benchmark::State &State) {
   ReplayFixture &F = ReplayFixture::get();
   replay::Replayer Rep(*F.App.File, F.Natives, F.App.RtConfig, 3);
   for (auto _ : State) {
-    replay::ReplayResult Out;
-    bool Ok = Rep.verifiedReplay(F.Captured.Cap, F.Android,
-                                 F.Captured.Map, Out);
-    benchmark::DoNotOptimize(Ok);
+    support::Result<replay::ReplayResult> R =
+        Rep.verifiedReplay(F.Captured.Cap, F.Android, F.Captured.Map);
+    benchmark::DoNotOptimize(R.ok());
   }
 }
 BENCHMARK(BM_VerifiedReplay);

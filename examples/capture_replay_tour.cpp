@@ -91,7 +91,7 @@ int main() {
   capture::CaptureManager CM(Kernel, Proc, RT);
   CM.armCapture(App.Tick);
   vm::CallResult Live = RT.call(App.Tick, {vm::Value::fromI64(7)});
-  capture::Capture Cap = *CM.takeCapture();
+  capture::Capture Cap = CM.takeCapture().value();
   std::printf("\nlive run returned %lld\n",
               static_cast<long long>(Live.Ret.asI64()));
   std::printf("capture: %zu pages (the region's working set), "
@@ -125,7 +125,8 @@ int main() {
   }
 
   // --- Interpreted replay: verification map + type profile. --------------
-  replay::InterpretedReplayResult IR = Rep.interpretedReplay(Cap);
+  replay::InterpretedReplayResult IR =
+      Rep.interpretedReplay(Cap).value();
   std::printf("\nverification map: %zu externally visible cells + return "
               "value\n",
               IR.Map.Cells.size());
@@ -133,9 +134,8 @@ int main() {
   // --- Step 5: a correct binary passes; a sabotaged one is caught. -------
   vm::CodeCache Good;
   hgraph::compileAllAndroid(App.File, {App.Tick}, Good);
-  replay::ReplayResult Out;
   std::printf("compiled (correct) binary verifies: %s\n",
-              Rep.verifiedReplay(Cap, Good, IR.Map, Out) ? "yes" : "NO");
+              Rep.verifiedReplay(Cap, Good, IR.Map).ok() ? "yes" : "NO");
 
   auto Bad = hgraph::compileMethodAndroid(App.File, App.Tick);
   for (vm::MInsn &I : Bad->Code)
@@ -145,9 +145,15 @@ int main() {
     }
   vm::CodeCache BadCache;
   BadCache.install(Bad);
+  support::Result<replay::ReplayResult> BadRun =
+      Rep.verifiedReplay(Cap, BadCache, IR.Map);
   std::printf("sabotaged binary verifies:         %s\n",
-              Rep.verifiedReplay(Cap, BadCache, IR.Map, Out)
+              BadRun.ok()
                   ? "yes (BUG!)"
                   : "no — rejected offline, the user never sees it");
+  if (!BadRun)
+    std::printf("  rejection: %s (%s)\n",
+                support::errorCodeName(BadRun.error().Code),
+                BadRun.error().Message.c_str());
   return 0;
 }

@@ -63,21 +63,38 @@ int main(int Argc, char **Argv) {
               "LLVM -O3 %.0f cycles\n",
               Android.MedianCycles, O3.MedianCycles);
 
-  search::GeneticSearch GA(Config.GA, Config.Seed,
-                           [&Eval](const search::Genome &G) {
-                             return Eval.evaluate(G);
-                           });
+  // The engine parallelizes the GA's batches across workers (one replay
+  // sandbox each) and memoizes duplicate genomes/binaries. Seeded runs
+  // are bit-identical at any worker count.
+  search::EngineOptions EngineOpts;
+  EngineOpts.Jobs = Config.Search.Jobs;
+  search::EvaluationEngine Engine(
+      [&]() {
+        return std::make_unique<core::RegionEvaluator>(
+            App, *Profiled.Region, Captured->Cap, Captured->Map,
+            Captured->Profile, Config);
+      },
+      EngineOpts, Config.Seed);
+  std::printf("evaluation engine: %zu workers\n", Engine.jobs());
+
+  search::GeneticSearch GA(Config.Search.GA, Config.Seed, Engine);
   search::GaTrace Trace;
   auto Best = GA.run(Android.MedianCycles, O3.MedianCycles, &Trace);
   if (!Best) {
     std::fprintf(stderr, "search failed\n");
     return 1;
   }
-  const auto &C = Eval.counters();
+  const search::EngineCounters &C = Engine.counters();
   std::printf("%d genomes evaluated: %d ok, %d compile errors, %d "
               "crashes, %d timeouts, %d wrong outputs\n",
               C.total(), C.Ok, C.CompileError, C.RuntimeCrash,
               C.RuntimeTimeout, C.WrongOutput);
+  const search::EngineCacheStats &CS = Engine.cacheStats();
+  std::printf("memoization: %llu genome hits + %llu binary hits saved "
+              "replays (%llu fresh compiles)\n",
+              static_cast<unsigned long long>(CS.GenomeHits),
+              static_cast<unsigned long long>(CS.BinaryHits),
+              static_cast<unsigned long long>(CS.Misses));
   std::printf("every failure above was discarded offline — under online "
               "search each one would have hit the user\n");
   std::printf("winner: %.2fx over Android on the region  [%s]\n",

@@ -43,13 +43,13 @@ int main(int Argc, char **Argv) {
   }
 
   // Random search with the GA's total budget.
-  int Budget = Config.GA.Generations * Config.GA.PopulationSize;
+  int Budget = Config.Search.GA.Generations * Config.Search.GA.PopulationSize;
   {
     Rng R(Config.Seed);
     double Best = 0.0;
     int Broken = 0;
     for (int I = 0; I != Budget; ++I) {
-      search::Genome G = search::randomGenome(R, Config.GA.Genomes);
+      search::Genome G = search::randomGenome(R, Config.Search.GA.Genomes);
       search::Evaluation E = Eval.evaluate(G);
       if (!E.ok()) {
         ++Broken;
@@ -61,17 +61,25 @@ int main(int Argc, char **Argv) {
                 Best, Budget, Broken);
   }
 
-  // The GA.
+  // The GA, through the parallel memoizing engine (one RegionEvaluator
+  // replay sandbox per worker).
   {
-    search::GeneticSearch GA(Config.GA, Config.Seed,
-                             [&Eval](const search::Genome &G) {
-                               return Eval.evaluate(G);
-                             });
+    search::EvaluationEngine Engine(
+        [&]() {
+          return std::make_unique<core::RegionEvaluator>(
+              App, *Profiled.Region, Captured->Cap, Captured->Map,
+              Captured->Profile, Config);
+        },
+        search::EngineOptions{}, Config.Seed);
+    search::GeneticSearch GA(Config.Search.GA, Config.Seed, Engine);
     search::GaTrace Trace;
     auto Best = GA.run(Android, Android, &Trace);
-    std::printf("%-18s %6.2fx   (%zu evals)   [%s]\n", "genetic search",
+    std::printf("%-18s %6.2fx   (%zu evals, %llu cache hits)   [%s]\n",
+                "genetic search",
                 Best ? Android / Best->E.MedianCycles : 0.0,
                 Trace.Evaluations.size(),
+                static_cast<unsigned long long>(
+                    Engine.cacheStats().hits()),
                 Best ? Best->G.name().c_str() : "-");
   }
   return 0;

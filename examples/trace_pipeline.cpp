@@ -50,10 +50,10 @@ int main(int Argc, char **Argv) {
   core::PipelineConfig Config;
   Config.Seed = 42;
   if (!Full) {
-    Config.GA.Generations = 4;
-    Config.GA.PopulationSize = 12;
-    Config.GA.HillClimbRounds = 1;
-    Config.ReplaysPerEvaluation = 5;
+    Config.Search.GA.Generations = 4;
+    Config.Search.GA.PopulationSize = 12;
+    Config.Search.GA.HillClimbRounds = 1;
+    Config.Search.ReplaysPerEvaluation = 5;
   }
   core::IterativeCompiler Pipeline(Config);
   core::OptimizationReport Report = Pipeline.optimize(App);

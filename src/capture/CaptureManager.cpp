@@ -173,8 +173,11 @@ void CaptureManager::onRegionExit() {
   Target = dex::InvalidId;
 }
 
-std::optional<Capture> CaptureManager::takeCapture() {
-  std::optional<Capture> Out = std::move(Done);
+support::Result<Capture> CaptureManager::takeCapture() {
+  if (!Done)
+    return support::Error{support::ErrorCode::CaptureNotReady,
+                          "no completed capture to take"};
+  Capture Out = std::move(*Done);
   Done.reset();
   return Out;
 }

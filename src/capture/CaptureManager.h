@@ -28,6 +28,7 @@
 
 #include "capture/Capture.h"
 #include "os/Kernel.h"
+#include "support/Result.h"
 #include "vm/Runtime.h"
 
 #include <optional>
@@ -53,8 +54,9 @@ public:
   /// True once an armed capture completed.
   bool captureReady() const { return Done.has_value(); }
 
-  /// Retrieves (and clears) the completed capture.
-  std::optional<Capture> takeCapture();
+  /// Retrieves (and clears) the completed capture; CaptureNotReady when
+  /// no armed capture has completed.
+  support::Result<Capture> takeCapture();
 
   /// Number of times a capture was postponed because GC was imminent.
   uint64_t postponedCount() const { return Postponed; }

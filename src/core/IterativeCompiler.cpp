@@ -12,6 +12,12 @@
 using namespace ropt;
 using namespace ropt::core;
 
+PipelineConfig PipelineConfig::paperDefaults() {
+  // The member initializers are the Section 4 values already; the named
+  // constructor exists so call sites say which configuration they mean.
+  return PipelineConfig{};
+}
+
 // --- RegionEvaluator ----------------------------------------------------------
 
 RegionEvaluator::RegionEvaluator(const workloads::Application &App,
@@ -74,7 +80,8 @@ uint64_t hashCodeCache(const vm::CodeCache &Code) {
 
 } // namespace
 
-search::Evaluation RegionEvaluator::evaluateCache(const vm::CodeCache &Code) {
+search::Evaluation RegionEvaluator::evaluateCache(const vm::CodeCache &Code,
+                                                  Rng &Noise) {
   search::Evaluation E;
   E.CodeSize = Code.totalSizeBytes();
   E.BinaryHash = hashCodeCache(Code);
@@ -85,31 +92,21 @@ search::Evaluation RegionEvaluator::evaluateCache(const vm::CodeCache &Code) {
   // count (documented substitution).
   double Cycles = 0.0;
   for (const CaptureRef &C : Caps) {
-    replay::ReplayResult Out;
-    bool Verified = Rep.verifiedReplay(*C.Cap, Code, *C.Map, Out);
-    if (Out.Result.Trap == vm::TrapKind::Timeout) {
-      E.Kind = search::EvalKind::RuntimeTimeout;
-      ++Stats.RuntimeTimeout;
+    support::Result<replay::ReplayResult> R =
+        Rep.verifiedReplay(*C.Cap, Code, *C.Map);
+    if (!R) {
+      E.Kind = search::evalKindForError(R.error().Code);
+      Stats.count(E.Kind);
       return E;
     }
-    if (Out.Result.Trap != vm::TrapKind::None) {
-      E.Kind = search::EvalKind::RuntimeCrash;
-      ++Stats.RuntimeCrash;
-      return E;
-    }
-    if (!Verified) {
-      E.Kind = search::EvalKind::WrongOutput;
-      ++Stats.WrongOutput;
-      return E;
-    }
-    Cycles += static_cast<double>(Out.Result.Cycles);
+    Cycles += static_cast<double>(R.value().Result.Cycles);
   }
 
   E.Kind = search::EvalKind::Ok;
-  ++Stats.Ok;
-  E.Samples = Config.Noise.offlineSamples(
-      NoiseRng, Cycles,
-      static_cast<size_t>(Config.ReplaysPerEvaluation));
+  Stats.count(E.Kind);
+  E.Samples = Config.Measure.Noise.offlineSamples(
+      Noise, Cycles,
+      static_cast<size_t>(Config.Search.ReplaysPerEvaluation));
   E.Samples = removeOutliersMAD(E.Samples);
   E.MedianCycles = median(E.Samples);
   return E;
@@ -121,7 +118,7 @@ RegionEvaluator::compileRegion(const search::Genome &G) {
   lir::CompileOptions Options;
   Options.Pipeline = G.Passes;
   Options.RegAlloc = G.RegAlloc;
-  Options.SizeBudget = Config.CompileSizeBudget;
+  Options.SizeBudget = Config.Search.CompileSizeBudget;
   vm::CodeCache Code;
   lir::CompileStatus Status = lir::compileAllLlvm(
       *App.File, Region.Methods, Options, Code, &Profile);
@@ -130,15 +127,38 @@ RegionEvaluator::compileRegion(const search::Genome &G) {
   return Code;
 }
 
+search::CompiledBinary
+RegionEvaluator::compileGenome(const search::Genome &G) {
+  search::CompiledBinary B;
+  std::optional<vm::CodeCache> Code = compileRegion(G);
+  if (!Code)
+    return B;
+  B.Ok = true;
+  B.BinaryHash = hashCodeCache(*Code);
+  B.CodeSize = Code->totalSizeBytes();
+  B.Artifact = std::make_shared<const vm::CodeCache>(std::move(*Code));
+  return B;
+}
+
+search::Evaluation
+RegionEvaluator::measureBinary(const search::CompiledBinary &B,
+                               uint64_t NoiseSeed) {
+  assert(B.Ok && B.Artifact && "measuring a failed compile");
+  const vm::CodeCache &Code =
+      *static_cast<const vm::CodeCache *>(B.Artifact.get());
+  Rng Noise(NoiseSeed);
+  return evaluateCache(Code, Noise);
+}
+
 search::Evaluation RegionEvaluator::evaluate(const search::Genome &G) {
   std::optional<vm::CodeCache> Code = compileRegion(G);
   if (!Code) {
     search::Evaluation E;
     E.Kind = search::EvalKind::CompileError;
-    ++Stats.CompileError;
+    Stats.count(E.Kind);
     return E;
   }
-  return evaluateCache(*Code);
+  return evaluateCache(*Code, NoiseRng);
 }
 
 search::Evaluation RegionEvaluator::evaluatePipeline(
@@ -153,7 +173,7 @@ search::Evaluation RegionEvaluator::evaluatePipeline(
 search::Evaluation RegionEvaluator::evaluateAndroid() {
   vm::CodeCache Code;
   hgraph::compileAllAndroid(*App.File, Region.Methods, Code);
-  return evaluateCache(Code);
+  return evaluateCache(Code, NoiseRng);
 }
 
 // --- OptimizationReport -----------------------------------------------------------
@@ -188,7 +208,7 @@ IterativeCompiler::profileApp(const workloads::Application &App) {
       {},
       std::nullopt,
       {}};
-  for (int I = 0; I != Config.ProfileSessions; ++I) {
+  for (int I = 0; I != Config.Capture.ProfileSessions; ++I) {
     vm::CallResult R = Out.Instance->runSession(App.DefaultParam + I);
     assert(R.ok() && "profiling session trapped");
     (void)R;
@@ -207,7 +227,8 @@ IterativeCompiler::captureRegion(AppInstance &Instance,
                                  int SessionOffset) {
   ROPT_TRACE_SPAN("pipeline.capture");
   capture::CaptureManager CM(Instance.kernel(), Instance.process(),
-                             Instance.runtime(), Config.KernelCosts);
+                             Instance.runtime(),
+                             Config.Capture.KernelCosts);
   CM.armCapture(Region.Root);
   // Captures are postponed while GC is imminent; a handful of sessions is
   // always enough opportunity (Section 3.2: "plenty of opportunities").
@@ -218,22 +239,24 @@ IterativeCompiler::captureRegion(AppInstance &Instance,
     if (!R.ok())
       return std::nullopt;
   }
-  if (!CM.captureReady())
-    return std::nullopt;
 
   CapturedRegion Out;
   Out.Postponements = CM.postponedCount();
-  Out.Cap = *CM.takeCapture();
+  support::Result<capture::Capture> Taken = CM.takeCapture();
+  if (!Taken)
+    return std::nullopt;
+  Out.Cap = std::move(Taken).value();
   CM.spoolToStorage(Out.Cap, App.Name);
 
   vm::NativeRegistry Natives = vm::NativeRegistry::standardLibrary();
   replay::Replayer Rep(*App.File, Natives, App.RtConfig,
                        Config.Seed ^ 0x1e91a);
-  replay::InterpretedReplayResult IR = Rep.interpretedReplay(Out.Cap);
-  if (!IR.Replay.Result.ok())
+  support::Result<replay::InterpretedReplayResult> IR =
+      Rep.interpretedReplay(Out.Cap);
+  if (!IR)
     return std::nullopt;
-  Out.Map = std::move(IR.Map);
-  Out.Profile = std::move(IR.Profile);
+  Out.Map = std::move(IR.value().Map);
+  Out.Profile = std::move(IR.value().Profile);
   return Out;
 }
 
@@ -272,7 +295,7 @@ IterativeCompiler::optimize(const workloads::Application &App) {
   // --- Phase 3: transparent capture + interpreted replay (3.2-3.4). ----
   std::vector<CapturedRegion> Captures = captureRegionMulti(
       *Profiled.Instance, Report.Region,
-      std::max(1, Config.CapturesPerRegion));
+      std::max(1, Config.Capture.CapturesPerRegion));
   if (Captures.empty()) {
     Report.FailureReason = "capture failed";
     ROPT_METRIC_INC("pipeline.failures");
@@ -282,12 +305,25 @@ IterativeCompiler::optimize(const workloads::Application &App) {
   Report.CapturePostponements = Captures.front().Postponements;
 
   // --- Phase 4: the GA over the transformation space (3.6-3.7). --------
-  RegionEvaluator Evaluator(App, Report.Region, Captures, Config);
+  // Baselines and the final install run on a serial evaluator; the GA's
+  // batches run through the engine, which owns one RegionEvaluator per
+  // worker and memoizes duplicate genomes/binaries.
+  RegionEvaluator Baselines(App, Report.Region, Captures, Config);
+  search::EngineOptions EngineOpts;
+  EngineOpts.Jobs = Config.Search.Jobs;
+  EngineOpts.Memoize = Config.Search.Memoize;
+  search::EvaluationEngine Engine(
+      [&App, &Report, &Captures, this]() {
+        return std::make_unique<RegionEvaluator>(App, Report.Region,
+                                                 Captures, Config);
+      },
+      EngineOpts, Config.Seed);
+
   std::optional<search::Scored> Best;
   {
     ROPT_TRACE_SPAN("pipeline.search");
-    search::Evaluation Android = Evaluator.evaluateAndroid();
-    search::Evaluation O3 = Evaluator.evaluatePipeline(lir::o3Pipeline());
+    search::Evaluation Android = Baselines.evaluateAndroid();
+    search::Evaluation O3 = Baselines.evaluatePipeline(lir::o3Pipeline());
     if (!Android.ok()) {
       Report.FailureReason = "android baseline replay failed";
       ROPT_METRIC_INC("pipeline.failures");
@@ -296,16 +332,15 @@ IterativeCompiler::optimize(const workloads::Application &App) {
     Report.RegionAndroid = Android.MedianCycles;
     Report.RegionO3 = O3.ok() ? O3.MedianCycles : 0.0;
 
-    search::GeneticSearch GA(
-        Config.GA, Config.Seed ^ 0x6a5e,
-        [&Evaluator](const search::Genome &G) {
-          return Evaluator.evaluate(G);
-        });
+    search::GeneticSearch GA(Config.Search.GA, Config.Seed ^ 0x6a5e,
+                             Engine);
     Best = GA.run(Android.MedianCycles,
                   O3.ok() ? O3.MedianCycles : Android.MedianCycles,
                   &Report.Trace);
   }
-  Report.Counters = Evaluator.counters();
+  Report.Counters = Engine.counters();
+  Report.Counters += Baselines.counters();
+  Report.CacheStats = Engine.cacheStats();
   if (!Best) {
     Report.FailureReason = "search produced no valid binary";
     ROPT_METRIC_INC("pipeline.failures");
@@ -317,7 +352,7 @@ IterativeCompiler::optimize(const workloads::Application &App) {
   // --- Phase 5: install + whole-program measurement outside replay. ----
   ROPT_TRACE_SPAN("pipeline.install_measure");
   std::optional<vm::CodeCache> BestCode =
-      Evaluator.compileRegion(Best->G);
+      Baselines.compileRegion(Best->G);
   assert(BestCode && "winning genome stopped compiling");
 
   lir::CompileOptions O3Options;
@@ -332,14 +367,14 @@ IterativeCompiler::optimize(const workloads::Application &App) {
     AppInstance Fresh(App, Config.Seed + 7);
     if (Override)
       Fresh.overrideRegionCode(Report.Region.Methods, *Override);
-    uint64_t Block = Fresh.runSessionBlock(Config.FinalSessionBlock,
+    uint64_t Block = Fresh.runSessionBlock(Config.Measure.FinalSessionBlock,
                                            App.DefaultParam);
     if (Block == 0)
       return {};
     std::vector<double> Samples;
-    for (int I = 0; I != Config.FinalMeasurementRuns; ++I)
-      Samples.push_back(
-          Config.Noise.online(NoiseRng, static_cast<double>(Block)));
+    for (int I = 0; I != Config.Measure.FinalMeasurementRuns; ++I)
+      Samples.push_back(Config.Measure.Noise.online(
+          NoiseRng, static_cast<double>(Block)));
     return Samples;
   };
   Report.WholeAndroid = MeasureVariant(nullptr);

@@ -10,8 +10,13 @@
 /// + type profile) -> GA over the LLVM transformation space with
 /// replay-based fitness and verification-map rejection -> install the best
 /// binary -> measure whole-program speedups outside the replay
-/// environment. Also exposes the per-genome RegionEvaluator the Figure
-/// 1/2/9 experiments reuse.
+/// environment.
+///
+/// Fitness runs through search::EvaluationEngine: the pipeline hands the
+/// engine a factory for RegionEvaluator backends (one per worker, each
+/// with its own replay sandbox) and the engine parallelizes and memoizes
+/// the GA's batches. RegionEvaluator remains directly usable as the
+/// serial per-genome evaluator for the ablation experiments.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +29,7 @@
 #include "lir/Backend.h"
 #include "profiler/HotRegion.h"
 #include "replay/Replayer.h"
+#include "search/EvaluationEngine.h"
 #include "search/GeneticSearch.h"
 
 #include <optional>
@@ -31,20 +37,45 @@
 namespace ropt {
 namespace core {
 
-/// Pipeline configuration (paper defaults, Section 4).
-struct PipelineConfig {
-  uint64_t Seed = 1;
+/// Everything that shapes the offline search (phase 4).
+struct SearchOptions {
   search::GaConfig GA;
   int ReplaysPerEvaluation = 10;
+  size_t CompileSizeBudget = 2000;
+  /// Worker threads for the evaluation engine; 0 = hardware concurrency.
+  int Jobs = 0;
+  /// The engine's two-level genome/binary cache.
+  bool Memoize = true;
+};
+
+/// Everything that shapes profiling and capture (phases 1-3).
+struct CaptureOptions {
   /// Captures taken per region; >1 evaluates genomes across several real
   /// inputs (the paper's §5.4 multi-capture setting).
   int CapturesPerRegion = 1;
   int ProfileSessions = 6;
-  int FinalSessionBlock = 3;      ///< Sessions per whole-program sample.
+  os::KernelCostModel KernelCosts;
+};
+
+/// Everything that shapes the final whole-program measurement (phase 5)
+/// and the noise model shared with replay-time sampling.
+struct MeasureOptions {
+  int FinalSessionBlock = 3; ///< Sessions per whole-program sample.
   int FinalMeasurementRuns = 10;
   MeasurementModel Noise;
-  os::KernelCostModel KernelCosts;
-  size_t CompileSizeBudget = 2000;
+};
+
+/// Pipeline configuration. The member initializers *are* the paper's
+/// Section 4 values; paperDefaults() spells that out at call sites.
+struct PipelineConfig {
+  uint64_t Seed = 1;
+  SearchOptions Search;
+  CaptureOptions Capture;
+  MeasureOptions Measure;
+
+  /// The configuration of the paper's evaluation (Section 4): 11x50 GA,
+  /// 10 replays per evaluation, single capture, 6 profile sessions.
+  static PipelineConfig paperDefaults();
 };
 
 /// One captured region with its interpreted-replay artifacts.
@@ -57,11 +88,12 @@ struct CapturedRegion {
 
 /// Evaluates one optimization decision against one or more captures:
 /// compile, verify through replay (against *every* capture — a binary that
-/// is only right for some inputs is wrong), measure. This is the GA's
-/// fitness callback and the random-search experiments' engine. Multiple
+/// is only right for some inputs is wrong), measure. Implements the
+/// engine's per-worker EvalBackend; the evaluation engine creates one
+/// RegionEvaluator per worker slot, so instances need no locking. Multiple
 /// captures per region are the paper's §5.4 "realistic system" setting and
 /// guard the search against overfitting to a single input.
-class RegionEvaluator {
+class RegionEvaluator : public search::EvalBackend {
 public:
   /// Single-capture constructor (the paper's default configuration).
   RegionEvaluator(const workloads::Application &App,
@@ -77,7 +109,18 @@ public:
                   const std::vector<CapturedRegion> &Captures,
                   const PipelineConfig &Config);
 
-  /// GA hook: compile with the genome, verify, sample timings.
+  /// EvalBackend: compile with the genome, hand back hash/size/artifact.
+  search::CompiledBinary compileGenome(const search::Genome &G) override;
+
+  /// EvalBackend: verify + sample timings for a compiled binary. Noise is
+  /// drawn from \p NoiseSeed (a pure function of binary identity), so the
+  /// result is independent of scheduling.
+  search::Evaluation measureBinary(const search::CompiledBinary &B,
+                                   uint64_t NoiseSeed) override;
+
+  /// Serial convenience: compile + verify + sample in one call, drawing
+  /// noise from this evaluator's own stream (the ablation harnesses'
+  /// entry point).
   search::Evaluation evaluate(const search::Genome &G);
 
   /// Evaluates an explicit pipeline (the -O presets).
@@ -93,21 +136,12 @@ public:
   /// Returns nullopt when compilation fails.
   std::optional<vm::CodeCache> compileRegion(const search::Genome &G);
 
-  struct Counters {
-    int Ok = 0;
-    int CompileError = 0;
-    int RuntimeCrash = 0;
-    int RuntimeTimeout = 0;
-    int WrongOutput = 0;
-    int total() const {
-      return Ok + CompileError + RuntimeCrash + RuntimeTimeout +
-             WrongOutput;
-    }
-  };
+  /// Outcome counts over every evaluation this instance performed.
+  using Counters = search::EngineCounters;
   const Counters &counters() const { return Stats; }
 
 private:
-  search::Evaluation evaluateCache(const vm::CodeCache &Code);
+  search::Evaluation evaluateCache(const vm::CodeCache &Code, Rng &Noise);
 
   struct CaptureRef {
     const capture::Capture *Cap;
@@ -121,7 +155,7 @@ private:
   const PipelineConfig &Config;
   vm::NativeRegistry Natives;
   replay::Replayer Rep;
-  Rng NoiseRng;
+  Rng NoiseRng; ///< Serial-path noise stream (evaluate()).
   Counters Stats;
 };
 
@@ -143,7 +177,10 @@ struct OptimizationReport {
 
   search::Scored Best;
   search::GaTrace Trace;
-  RegionEvaluator::Counters Counters;
+  /// GA evaluations (through the engine) plus the two baselines.
+  search::EngineCounters Counters;
+  /// The engine's memoization story for the search.
+  search::EngineCacheStats CacheStats;
 
   /// Whole-program session samples, measured outside the replay
   /// environment (online noise included).

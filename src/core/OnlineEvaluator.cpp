@@ -32,7 +32,7 @@ OutcomeHistogram OnlineEvaluator::classifyRandomSequences(int Count) {
   assert(Ready && "setup failed");
   OutcomeHistogram H;
   for (int I = 0; I != Count; ++I) {
-    search::Genome G = search::randomGenome(R, Config.GA.Genomes);
+    search::Genome G = search::randomGenome(R, Config.Search.GA.Genomes);
     search::Evaluation E = Evaluator->evaluate(G);
     switch (E.Kind) {
     case search::EvalKind::Ok: ++H.Correct; break;
@@ -40,6 +40,7 @@ OutcomeHistogram OnlineEvaluator::classifyRandomSequences(int Count) {
     case search::EvalKind::RuntimeCrash: ++H.RuntimeCrash; break;
     case search::EvalKind::RuntimeTimeout: ++H.RuntimeTimeout; break;
     case search::EvalKind::WrongOutput: ++H.WrongOutput; break;
+    case search::EvalKind::Unevaluated: break; // cannot come from evaluate()
     }
   }
   return H;
@@ -56,7 +57,7 @@ OnlineEvaluator::randomCorrectSpeedups(int Count, int MaxAttempts) {
        Attempt != MaxAttempts &&
        static_cast<int>(Speedups.size()) < Count;
        ++Attempt) {
-    search::Genome G = search::randomGenome(R, Config.GA.Genomes);
+    search::Genome G = search::randomGenome(R, Config.Search.GA.Genomes);
     search::Evaluation E = Evaluator->evaluate(G);
     if (E.ok())
       Speedups.push_back(Android.MedianCycles / E.MedianCycles);
@@ -122,7 +123,7 @@ OnlineEvaluator::convergence(int MaxEvaluations) {
     vm::CallResult Res =
         Inst.runtime().call(Region.Root, App.argsFor(Param));
     assert(Res.ok() && "online evaluation trapped");
-    return Config.Noise.online(R, static_cast<double>(Res.Cycles));
+    return Config.Measure.Noise.online(R, static_cast<double>(Res.Cycles));
   };
 
   std::vector<double> OnT0, OnT1;
@@ -144,8 +145,8 @@ OnlineEvaluator::convergence(int MaxEvaluations) {
           .Result.Cycles);
   std::vector<double> OffT0, OffT1;
   for (int I = 0; I != MaxEvaluations; ++I) {
-    OffT0.push_back(Config.Noise.offline(R, Off0));
-    OffT1.push_back(Config.Noise.offline(R, Off1));
+    OffT0.push_back(Config.Measure.Noise.offline(R, Off0));
+    OffT1.push_back(Config.Measure.Noise.offline(R, Off1));
   }
 
   Out.TrueSpeedup = Off0 / Off1;

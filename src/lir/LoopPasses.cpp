@@ -422,11 +422,20 @@ bool lir::loopUnroll(LFunction &Fn, int Factor, bool AssumeDivisible) {
     for (size_t N = 0; N != Clones.size(); ++N)
       SetSuccs(Clones[N], N + 1 < Clones.size() ? Clones[N + 1] : B);
 
-    // UNSOUND with AssumeDivisible (DESIGN.md §4): only the final replica
-    // keeps its exit test. When the trip count is not a multiple of the
-    // factor, the overshoot iterations run with out-of-range state —
-    // genuine memory corruption or wild traps, like a real remainder bug.
+    // Locate B's pred slot in the exit block before any edges are
+    // rewritten; both branches below key off it.
+    LBlock &EB = Fn.Blocks[E];
+    size_t IdxE = ~size_t(0);
+    for (size_t N = 0; N != EB.Preds.size(); ++N)
+      if (EB.Preds[N] == B)
+        IdxE = N;
+    assert(IdxE != ~size_t(0) && "exit lost its loop edge");
+
     if (AssumeDivisible) {
+      // UNSOUND (DESIGN.md §4): only the final replica keeps its exit
+      // test. When the trip count is not a multiple of the factor, the
+      // overshoot iterations run with out-of-range state — genuine
+      // memory corruption or wild traps, like a real remainder bug.
       auto DropExit = [&](uint32_t Block, uint32_t Continue) {
         LTerminator &T = Fn.Blocks[Block].Term;
         T = LTerminator();
@@ -436,19 +445,18 @@ bool lir::loopUnroll(LFunction &Fn, int Factor, bool AssumeDivisible) {
       DropExit(B, Clones.front());
       for (size_t N = 0; N + 1 < Clones.size(); ++N)
         DropExit(Clones[N], Clones[N + 1]);
-      // The exit block loses every edge except the last replica's; its
-      // pred slots for the dropped edges must go away (with phi inputs).
-      LBlock &EBlk = Fn.Blocks[E];
-      for (size_t N = EBlk.Preds.size(); N-- > 0;) {
-        uint32_t P = EBlk.Preds[N];
-        bool Dropped = P == B;
-        for (size_t CN = 0; CN + 1 < Clones.size(); ++CN)
-          Dropped |= P == Clones[CN];
-        if (!Dropped)
-          continue;
-        EBlk.Preds.erase(EBlk.Preds.begin() + N);
-        for (LPhi &Phi : EBlk.Phis)
-          Phi.In.erase(Phi.In.begin() + N);
+      // The exit edge now leaves from the last replica only: retarget
+      // B's old pred slot in place (keeping Preds and phi inputs
+      // aligned) instead of erasing and re-adding slots.
+      EB.Preds[IdxE] = Clones.back();
+      for (LPhi &P : EB.Phis)
+        P.In[IdxE] = subst(Maps.back(), P.In[IdxE]);
+    } else {
+      // Every replica keeps its exit test: one new pred slot per clone.
+      for (size_t N = 0; N != Clones.size(); ++N) {
+        EB.Preds.push_back(Clones[N]);
+        for (LPhi &P : EB.Phis)
+          P.In.push_back(subst(Maps[N], P.In[IdxE]));
       }
     }
 
@@ -465,19 +473,6 @@ bool lir::loopUnroll(LFunction &Fn, int Factor, bool AssumeDivisible) {
       P.In[SL.SelfPredSlot] =
           subst(Maps.back(), P.In[SL.SelfPredSlot]);
 
-    // Exit block: new pred slots for every clone's exit edge.
-    LBlock &EB = Fn.Blocks[E];
-    size_t IdxE = ~size_t(0);
-    for (size_t N = 0; N != EB.Preds.size(); ++N)
-      if (EB.Preds[N] == B)
-        IdxE = N;
-    assert(IdxE != ~size_t(0) && "exit lost its loop edge");
-    for (size_t N = 0; N != Clones.size(); ++N) {
-      EB.Preds.push_back(Clones[N]);
-      for (LPhi &P : EB.Phis)
-        P.In.push_back(subst(Maps[N], P.In[IdxE]));
-    }
-
     // Values defined in B and used beyond the loop need merge phis in E
     // (only possible when E's one pred was B).
     if (ExitWasSinglePred) {
@@ -487,9 +482,14 @@ bool lir::loopUnroll(LFunction &Fn, int Factor, bool AssumeDivisible) {
       for (ValueId V : blockDefs(Fn, B)) {
         LPhi ExitPhi;
         ExitPhi.Dst = Fn.newValue();
-        ExitPhi.In.push_back(V); // from B
-        for (const auto &Map : Maps)
-          ExitPhi.In.push_back(subst(Map, V));
+        if (AssumeDivisible) {
+          // Only the last replica reaches E: one input.
+          ExitPhi.In.push_back(subst(Maps.back(), V));
+        } else {
+          ExitPhi.In.push_back(V); // from B
+          for (const auto &Map : Maps)
+            ExitPhi.In.push_back(subst(Map, V));
+        }
         replaceUsesOutside(Fn, V, ExitPhi.Dst, Skip, E);
         EB.Phis.push_back(std::move(ExitPhi));
       }

@@ -205,7 +205,7 @@ ReplayResult Replayer::replay(const capture::Capture &Cap, ReplayCode Mode,
   return replayImpl(Cap, Mode, Code, Observer, nullptr);
 }
 
-InterpretedReplayResult
+support::Result<InterpretedReplayResult>
 Replayer::interpretedReplay(const capture::Capture &Cap) {
   ROPT_TRACE_SPAN("replay.interpreted");
   ROPT_METRIC_INC("replay.interpreted_replays");
@@ -224,21 +224,26 @@ Replayer::interpretedReplay(const capture::Capture &Cap) {
       });
   Out.Profile = std::move(Obs.Profile);
 
-  if (Out.Replay.Result.Trap == vm::TrapKind::None &&
-      File.method(Cap.Root).ReturnsValue) {
+  if (Out.Replay.Result.Trap == vm::TrapKind::Timeout)
+    return support::Error{support::ErrorCode::ReplayTimeout,
+                          "interpreted replay exhausted its budget"};
+  if (Out.Replay.Result.Trap != vm::TrapKind::None)
+    return support::Error{support::ErrorCode::ReplayCrash,
+                          "interpreted replay trapped"};
+  if (File.method(Cap.Root).ReturnsValue) {
     Out.Map.HasReturn = true;
     Out.Map.ReturnBits = Out.Replay.Result.Ret.Raw;
   }
   return Out;
 }
 
-bool Replayer::verifiedReplay(const capture::Capture &Cap,
-                              const vm::CodeCache &Code,
-                              const VerificationMap &Map,
-                              ReplayResult &Out) {
+support::Result<ReplayResult>
+Replayer::verifiedReplay(const capture::Capture &Cap,
+                         const vm::CodeCache &Code,
+                         const VerificationMap &Map) {
   ROPT_TRACE_SPAN("replay.verified");
   std::map<uint64_t, uint64_t> Observed;
-  Out = replayImpl(
+  ReplayResult Out = replayImpl(
       Cap, ReplayCode::Compiled, &Code, nullptr,
       [&Map, &Observed](AddressSpace &Space, const vm::CallResult &R) {
         if (R.Trap != vm::TrapKind::None)
@@ -250,13 +255,19 @@ bool Replayer::verifiedReplay(const capture::Capture &Cap,
         }
       });
 
+  if (Out.Result.Trap == vm::TrapKind::Timeout)
+    return support::Error{support::ErrorCode::ReplayTimeout,
+                          "verified replay exhausted its budget"};
   if (Out.Result.Trap != vm::TrapKind::None)
-    return false;
+    return support::Error{support::ErrorCode::ReplayCrash,
+                          "verified replay trapped"};
   bool Matches = !(Map.HasReturn && Map.ReturnBits != Out.Result.Ret.Raw) &&
                  Observed == Map.Cells;
-  if (Matches)
-    ROPT_METRIC_INC("replay.verify_ok");
-  else
+  if (!Matches) {
     ROPT_METRIC_INC("replay.verify_mismatches");
-  return Matches;
+    return support::Error{support::ErrorCode::OutputMismatch,
+                          "verification map mismatch"};
+  }
+  ROPT_METRIC_INC("replay.verify_ok");
+  return Out;
 }

@@ -24,6 +24,7 @@
 
 #include "capture/Capture.h"
 #include "lir/TypeProfile.h"
+#include "support/Result.h"
 #include "vm/Runtime.h"
 
 #include <functional>
@@ -86,15 +87,18 @@ public:
                       vm::ExecObserver *Observer = nullptr);
 
   /// The interpreted replay: builds the verification map and the virtual
-  /// call-site type profile (Section 3.4).
-  InterpretedReplayResult interpretedReplay(const capture::Capture &Cap);
+  /// call-site type profile (Section 3.4). Fails with ReplayCrash /
+  /// ReplayTimeout when the interpretation itself traps.
+  support::Result<InterpretedReplayResult>
+  interpretedReplay(const capture::Capture &Cap);
 
   /// Replays \p Cap with \p Code and checks the externally visible
-  /// behaviour against \p Map. Returns true when behaviour matches
-  /// (same written cells, same return value, no trap).
-  bool verifiedReplay(const capture::Capture &Cap,
-                      const vm::CodeCache &Code,
-                      const VerificationMap &Map, ReplayResult &Out);
+  /// behaviour against \p Map. Succeeds only when behaviour matches (same
+  /// written cells, same return value, no trap); otherwise the error code
+  /// says how it diverged: ReplayCrash, ReplayTimeout, or OutputMismatch.
+  support::Result<ReplayResult>
+  verifiedReplay(const capture::Capture &Cap, const vm::CodeCache &Code,
+                 const VerificationMap &Map);
 
 private:
   /// Core replay; \p PostRun (optional) observes the address space after

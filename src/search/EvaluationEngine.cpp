@@ -1,0 +1,211 @@
+//===- search/EvaluationEngine.cpp - Parallel, memoizing fitness ----------===//
+
+#include "search/EvaluationEngine.h"
+
+#include "support/Metrics.h"
+#include "support/ThreadPool.h"
+#include "support/Trace.h"
+
+#include <cassert>
+
+using namespace ropt;
+using namespace ropt::search;
+
+EvalKind search::evalKindForError(support::ErrorCode Code) {
+  switch (Code) {
+  case support::ErrorCode::CompileFailed:
+    return EvalKind::CompileError;
+  case support::ErrorCode::ReplayCrash:
+    return EvalKind::RuntimeCrash;
+  case support::ErrorCode::ReplayTimeout:
+    return EvalKind::RuntimeTimeout;
+  case support::ErrorCode::OutputMismatch:
+    return EvalKind::WrongOutput;
+  case support::ErrorCode::CaptureNotReady:
+  case support::ErrorCode::CaptureFailed:
+  case support::ErrorCode::Unknown:
+    // No capture means nothing ever ran: treat like a crash rather than a
+    // compiler defect, so the GA rejects without blaming the pipeline.
+    return EvalKind::RuntimeCrash;
+  }
+  return EvalKind::RuntimeCrash;
+}
+
+EvaluationEngine::EvaluationEngine(BackendFactory Factory,
+                                   EngineOptions Options, uint64_t Seed)
+    : Factory(std::move(Factory)), Options(Options), Seed(Seed) {
+  size_t Jobs = Options.Jobs > 0 ? static_cast<size_t>(Options.Jobs)
+                                 : ThreadPool::defaultThreadCount();
+  Pool = std::make_unique<ThreadPool>(Jobs);
+  ROPT_METRIC_GAUGE_SET("search.parallel_workers",
+                        static_cast<double>(Jobs));
+}
+
+EvaluationEngine::~EvaluationEngine() = default;
+
+size_t EvaluationEngine::jobs() const { return Pool->size(); }
+
+void EvaluationEngine::ensureBackends(size_t Count) {
+  // Backends are built serially on the calling thread so any RNG draws in
+  // the factory happen in a deterministic order.
+  while (Backends.size() < Count)
+    Backends.push_back(Factory());
+}
+
+uint64_t EvaluationEngine::noiseSeed(uint64_t BinaryHash) const {
+  // splitmix64 finalizer over (engine seed, binary hash): measurement
+  // noise becomes a pure function of binary identity, so samples do not
+  // depend on scheduling order or worker count.
+  uint64_t Z = Seed ^ (BinaryHash + 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+void EngineCounters::count(EvalKind K) {
+  switch (K) {
+  case EvalKind::Ok: ++Ok; break;
+  case EvalKind::CompileError: ++CompileError; break;
+  case EvalKind::RuntimeCrash: ++RuntimeCrash; break;
+  case EvalKind::RuntimeTimeout: ++RuntimeTimeout; break;
+  case EvalKind::WrongOutput: ++WrongOutput; break;
+  case EvalKind::Unevaluated: break;
+  }
+}
+
+std::vector<Evaluation>
+EvaluationEngine::evaluateBatch(const std::vector<Genome> &Genomes) {
+  ROPT_TRACE_SPAN_V("search.batch", static_cast<int64_t>(Genomes.size()));
+
+  const size_t N = Genomes.size();
+  std::vector<Evaluation> Results(N);
+  if (N == 0)
+    return Results;
+
+  // --- Plan (serial, batch order): decide per genome whether its compile
+  // outcome is already known, deduplicating textually equal genomes
+  // within the batch. ------------------------------------------------------
+  std::vector<std::string> Keys(N);
+  // Genome index -> index into CompileWork, or SIZE_MAX when the compile
+  // outcome comes from GenomeCache / an earlier duplicate in this batch.
+  constexpr size_t NoWork = static_cast<size_t>(-1);
+  std::vector<size_t> WorkOf(N, NoWork);
+  std::vector<size_t> CompileWork; // genome indices to actually compile
+  std::unordered_map<std::string, size_t> BatchFirst; // key -> work index
+
+  for (size_t I = 0; I != N; ++I) {
+    Keys[I] = Genomes[I].name();
+    if (!Options.Memoize) {
+      WorkOf[I] = CompileWork.size();
+      CompileWork.push_back(I);
+      continue;
+    }
+    if (GenomeCache.count(Keys[I]))
+      continue; // answered from the genome-level cache
+    auto It = BatchFirst.find(Keys[I]);
+    if (It != BatchFirst.end()) {
+      WorkOf[I] = It->second; // share the first occurrence's compile
+      continue;
+    }
+    WorkOf[I] = CompileWork.size();
+    BatchFirst.emplace(Keys[I], CompileWork.size());
+    CompileWork.push_back(I);
+  }
+
+  // --- Compile stage (parallel). ------------------------------------------
+  ensureBackends(std::min(Pool->size(), CompileWork.size()));
+  std::vector<CompiledBinary> Compiled(CompileWork.size());
+  Pool->parallelFor(CompileWork.size(), [&](size_t W, size_t Slot) {
+    Compiled[W] = Backends[Slot]->compileGenome(Genomes[CompileWork[W]]);
+  });
+
+  // --- Commit compiles (serial, batch order) and plan the measure stage:
+  // one measurement per distinct fresh binary. -----------------------------
+  struct MeasureTask {
+    size_t WorkIndex;   // into Compiled
+    uint64_t NoiseSeed;
+  };
+  std::vector<MeasureTask> MeasureWork;
+  std::unordered_map<uint64_t, size_t> MeasureOf; // hash -> MeasureWork idx
+
+  for (size_t W = 0; W != Compiled.size(); ++W) {
+    const CompiledBinary &B = Compiled[W];
+    if (Options.Memoize)
+      GenomeCache.emplace(Keys[CompileWork[W]],
+                          GenomeEntry{B.Ok, B.BinaryHash});
+    if (!B.Ok)
+      continue;
+    bool Known = Options.Memoize && BinaryCache.count(B.BinaryHash);
+    if (!Known && !MeasureOf.count(B.BinaryHash)) {
+      MeasureOf.emplace(B.BinaryHash, MeasureWork.size());
+      MeasureWork.push_back(MeasureTask{W, noiseSeed(B.BinaryHash)});
+    }
+  }
+
+  // --- Measure stage (parallel). ------------------------------------------
+  std::vector<Evaluation> Measured(MeasureWork.size());
+  Pool->parallelFor(MeasureWork.size(), [&](size_t M, size_t Slot) {
+    const MeasureTask &T = MeasureWork[M];
+    Measured[M] =
+        Backends[Slot]->measureBinary(Compiled[T.WorkIndex], T.NoiseSeed);
+  });
+
+  // --- Commit measurements (serial, batch order). -------------------------
+  if (Options.Memoize)
+    for (size_t M = 0; M != MeasureWork.size(); ++M)
+      BinaryCache.emplace(Compiled[MeasureWork[M].WorkIndex].BinaryHash,
+                          Measured[M]);
+
+  // --- Assemble results in genome order, classifying each answer as a
+  // genome hit, binary hit, or miss. ---------------------------------------
+  auto evaluationFor = [&](size_t I) -> Evaluation {
+    uint64_t Hash = 0;
+    bool CompileOk = false;
+    if (WorkOf[I] != NoWork) {
+      const CompiledBinary &B = Compiled[WorkOf[I]];
+      CompileOk = B.Ok;
+      Hash = B.BinaryHash;
+    } else {
+      const GenomeEntry &E = GenomeCache.at(Keys[I]);
+      CompileOk = E.Ok;
+      Hash = E.BinaryHash;
+    }
+    if (!CompileOk) {
+      Evaluation E;
+      E.Kind = EvalKind::CompileError;
+      return E;
+    }
+    if (Options.Memoize)
+      return BinaryCache.at(Hash);
+    return Measured[MeasureOf.at(Hash)];
+  };
+
+  for (size_t I = 0; I != N; ++I) {
+    Results[I] = evaluationFor(I);
+    if (WorkOf[I] != NoWork && CompileWork[WorkOf[I]] == I) {
+      // This genome paid a fresh compile. A failed compile is a miss; an
+      // Ok compile is a miss only if it also paid the measurement — when
+      // the binary was already known (from an earlier batch, or an
+      // earlier same-hash compile in this one) it is a binary-level hit.
+      const CompiledBinary &B = Compiled[WorkOf[I]];
+      auto MIt = B.Ok ? MeasureOf.find(B.BinaryHash) : MeasureOf.end();
+      bool PaidMeasure = MIt != MeasureOf.end() &&
+                         MeasureWork[MIt->second].WorkIndex == WorkOf[I];
+      if (B.Ok && !PaidMeasure) {
+        ++Cache.BinaryHits;
+        ROPT_METRIC_INC("search.cache_hits");
+      } else {
+        ++Cache.Misses;
+        ROPT_METRIC_INC("search.cache_misses");
+      }
+    } else {
+      // Answered without compiling: genome-level hit (earlier batch or an
+      // earlier duplicate within this one).
+      ++Cache.GenomeHits;
+      ROPT_METRIC_INC("search.cache_hits");
+    }
+    Stats.count(Results[I].Kind);
+  }
+
+  return Results;
+}

@@ -1,0 +1,170 @@
+//===- search/EvaluationEngine.h - Parallel, memoizing fitness --*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one way fitness is computed: a concurrent, memoizing evaluation
+/// engine between the GA and the replay backends. The paper's search
+/// burns 550 replay evaluations per app and halts after 100 *identical*
+/// binaries — an admission that the search keeps recompiling and
+/// re-replaying duplicates. The engine removes both costs:
+///
+///  - **Parallelism.** Each batch is split into a compile stage and a
+///    measure (replay) stage, both fanned out over a fixed ThreadPool.
+///    Every worker slot owns its own EvalBackend — its own replay sandbox
+///    and RNGs — so no VM or kernel state is ever shared between threads.
+///
+///  - **Memoization.** A two-level cache: canonicalized genome -> compile
+///    outcome (so textually equal pipelines compile once), and binary
+///    hash -> Evaluation (so *different* genomes producing the same
+///    machine code cost a hash lookup instead of ReplaysPerEvaluation
+///    replays).
+///
+///  - **Determinism.** Work lists and cache commits happen in batch
+///    order on the calling thread; workers only fill pre-assigned slots.
+///    Measurement noise is seeded from (engine seed, binary hash), never
+///    from scheduling order. A seeded run is therefore bit-identical at
+///    any `--jobs` value.
+///
+/// Replay failures surface as typed support::Error values; the engine
+/// maps them onto EvalKind in exactly one place (evalKindForError).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_SEARCH_EVALUATION_ENGINE_H
+#define ROPT_SEARCH_EVALUATION_ENGINE_H
+
+#include "search/GeneticSearch.h"
+#include "support/Result.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace ropt {
+
+class ThreadPool;
+
+namespace search {
+
+/// One compiled genome, as produced by a backend worker.
+struct CompiledBinary {
+  bool Ok = false;
+  uint64_t BinaryHash = 0;
+  uint64_t CodeSize = 0;
+  /// Backend-defined compiled artifact consumed by measureBinary();
+  /// immutable once built, so it may be measured by any worker.
+  std::shared_ptr<const void> Artifact;
+};
+
+/// Per-worker compile+measure backend. The engine constructs one backend
+/// per worker slot and guarantees a backend is never driven by two
+/// threads at once, so implementations may keep mutable state (replay
+/// sandboxes, ASLR RNGs) without synchronization. Everything a backend
+/// reads from its construction context (dex file, captures, verification
+/// maps, config) must be immutable for the engine's lifetime.
+class EvalBackend {
+public:
+  virtual ~EvalBackend() = default;
+
+  virtual CompiledBinary compileGenome(const Genome &G) = 0;
+
+  /// Replays/measures a compiled binary. \p NoiseSeed is a pure function
+  /// of binary identity, making the returned samples independent of
+  /// scheduling and worker count.
+  virtual Evaluation measureBinary(const CompiledBinary &B,
+                                   uint64_t NoiseSeed) = 0;
+};
+
+/// The single mapping from typed capture/replay errors onto the GA's
+/// outcome classification.
+EvalKind evalKindForError(support::ErrorCode Code);
+
+struct EngineOptions {
+  int Jobs = 0;        ///< Worker threads; 0 = hardware concurrency.
+  bool Memoize = true; ///< The two-level genome/binary cache.
+};
+
+/// Outcome classes over every evaluation the engine answered (cache hits
+/// included, matching the old per-call RegionEvaluator counters).
+struct EngineCounters {
+  int Ok = 0;
+  int CompileError = 0;
+  int RuntimeCrash = 0;
+  int RuntimeTimeout = 0;
+  int WrongOutput = 0;
+
+  int total() const {
+    return Ok + CompileError + RuntimeCrash + RuntimeTimeout + WrongOutput;
+  }
+
+  /// Tallies one evaluation outcome (Unevaluated is not counted).
+  void count(EvalKind K);
+
+  EngineCounters &operator+=(const EngineCounters &O) {
+    Ok += O.Ok;
+    CompileError += O.CompileError;
+    RuntimeCrash += O.RuntimeCrash;
+    RuntimeTimeout += O.RuntimeTimeout;
+    WrongOutput += O.WrongOutput;
+    return *this;
+  }
+};
+
+struct EngineCacheStats {
+  uint64_t GenomeHits = 0; ///< Answered by the genome-level cache.
+  uint64_t BinaryHits = 0; ///< Fresh compile, but the binary was known.
+  uint64_t Misses = 0;     ///< Paid a fresh compile (and replays if Ok).
+
+  uint64_t hits() const { return GenomeHits + BinaryHits; }
+};
+
+class EvaluationEngine : public BatchEvaluator {
+public:
+  using BackendFactory = std::function<std::unique_ptr<EvalBackend>()>;
+
+  /// \p Seed feeds per-binary measurement-noise streams; pass the
+  /// pipeline seed so runs stay reproducible.
+  EvaluationEngine(BackendFactory Factory, EngineOptions Options,
+                   uint64_t Seed);
+  ~EvaluationEngine() override;
+
+  std::vector<Evaluation>
+  evaluateBatch(const std::vector<Genome> &Genomes) override;
+
+  /// Worker threads the engine schedules over.
+  size_t jobs() const;
+
+  const EngineCounters &counters() const { return Stats; }
+  const EngineCacheStats &cacheStats() const { return Cache; }
+
+private:
+  struct GenomeEntry {
+    bool Ok = false;
+    uint64_t BinaryHash = 0;
+  };
+
+  /// Lazily constructs backends for slots [0, Count).
+  void ensureBackends(size_t Count);
+  uint64_t noiseSeed(uint64_t BinaryHash) const;
+
+  BackendFactory Factory;
+  EngineOptions Options;
+  uint64_t Seed;
+  std::unique_ptr<ThreadPool> Pool;
+  std::vector<std::unique_ptr<EvalBackend>> Backends;
+
+  /// Level 1: canonical genome key -> compile outcome.
+  std::unordered_map<std::string, GenomeEntry> GenomeCache;
+  /// Level 2: binary hash -> full evaluation.
+  std::unordered_map<uint64_t, Evaluation> BinaryCache;
+
+  EngineCounters Stats;
+  EngineCacheStats Cache;
+};
+
+} // namespace search
+} // namespace ropt
+
+#endif // ROPT_SEARCH_EVALUATION_ENGINE_H

@@ -14,6 +14,7 @@ using namespace ropt::search;
 
 const char *search::evalKindName(EvalKind K) {
   switch (K) {
+  case EvalKind::Unevaluated: return "unevaluated";
   case EvalKind::Ok: return "ok";
   case EvalKind::CompileError: return "compile-error";
   case EvalKind::RuntimeCrash: return "runtime-crash";
@@ -23,13 +24,27 @@ const char *search::evalKindName(EvalKind K) {
   return "unknown";
 }
 
-GeneticSearch::GeneticSearch(GaConfig Config, uint64_t Seed,
-                             EvaluateFn Evaluate)
-    : Config(Config), R(Seed), Evaluate(std::move(Evaluate)) {}
+Evaluation BatchEvaluator::evaluateOne(const Genome &G) {
+  std::vector<Evaluation> Results = evaluateBatch({G});
+  assert(Results.size() == 1 && "evaluator broke the batch contract");
+  return std::move(Results.front());
+}
 
-Evaluation GeneticSearch::evaluate(const Genome &G, int Generation,
-                                   GaTrace *Trace) {
-  Evaluation E = Evaluate(G);
+std::vector<Evaluation>
+FunctionEvaluator::evaluateBatch(const std::vector<Genome> &Genomes) {
+  std::vector<Evaluation> Out;
+  Out.reserve(Genomes.size());
+  for (const Genome &G : Genomes)
+    Out.push_back(Fn(G));
+  return Out;
+}
+
+GeneticSearch::GeneticSearch(GaConfig Config, uint64_t Seed,
+                             BatchEvaluator &Evaluator)
+    : Config(Config), R(Seed), Evaluator(Evaluator) {}
+
+void GeneticSearch::record(const Evaluation &E, int Generation,
+                           GaTrace *Trace) {
   if (E.ok() && !SeenBinaries.insert(E.BinaryHash).second)
     ++IdenticalCount;
   if (Trace) {
@@ -62,7 +77,17 @@ Evaluation GeneticSearch::evaluate(const Genome &G, int Generation,
     ROPT_METRIC_INC("search.genomes_accepted");
   else
     ROPT_METRIC_INC("search.genomes_rejected");
-  return E;
+}
+
+std::vector<Evaluation>
+GeneticSearch::evaluateBatch(const std::vector<Genome> &Batch,
+                             int Generation, GaTrace *Trace) {
+  std::vector<Evaluation> Results = Evaluator.evaluateBatch(Batch);
+  assert(Results.size() == Batch.size() &&
+         "evaluator broke the batch contract");
+  for (const Evaluation &E : Results)
+    record(E, Generation, Trace);
+  return Results;
 }
 
 bool GeneticSearch::better(const Evaluation &A, const Evaluation &B) const {
@@ -113,6 +138,45 @@ GeneticSearch::selectMate(const std::vector<Scored> &Population,
   }
 }
 
+std::vector<Genome> GeneticSearch::neighborhood(const Genome &Base) {
+  std::vector<Genome> Neighbors;
+  for (size_t I = 0; I <= Base.Passes.size(); ++I) {
+    if (I < Base.Passes.size()) {
+      if (Base.Passes.size() > Config.Genomes.MinLength) {
+        Genome Dropped = Base;
+        Dropped.Passes.erase(Dropped.Passes.begin() + I);
+        Neighbors.push_back(std::move(Dropped));
+      }
+      const lir::PassDescriptor &D = lir::passDescriptor(Base.Passes[I].Id);
+      if (D.HasIntParam) {
+        for (int Delta : {-1, 1}) {
+          Genome Nudged = Base;
+          int &Param = Nudged.Passes[I].IntParam;
+          Param = std::clamp(Param + Delta * std::max(1, Param / 4),
+                             D.MinInt, D.MaxInt);
+          Neighbors.push_back(std::move(Nudged));
+        }
+      }
+      if (D.HasAggressive) {
+        Genome Toggled = Base;
+        Toggled.Passes[I].Aggressive = !Toggled.Passes[I].Aggressive;
+        Neighbors.push_back(std::move(Toggled));
+      }
+    } else if (Base.Passes.size() < Config.Genomes.MaxLength) {
+      Genome Extended = Base;
+      Extended.Passes.push_back(randomGene(R, Config.Genomes));
+      Neighbors.push_back(std::move(Extended));
+    }
+  }
+  // No-op neighbors (clamped parameters, duplicate drops) waste budget.
+  Neighbors.erase(std::remove_if(Neighbors.begin(), Neighbors.end(),
+                                 [&Base](const Genome &N) {
+                                   return N == Base;
+                                 }),
+                  Neighbors.end());
+  return Neighbors;
+}
+
 std::optional<Scored> GeneticSearch::run(double AndroidCycles,
                                          double O3Cycles, GaTrace *Trace) {
   ROPT_TRACE_SPAN("search.run");
@@ -126,21 +190,40 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
   std::vector<Scored> Population;
   {
     ROPT_TRACE_SPAN_V("search.generation", 0);
+    std::vector<Genome> Initial;
+    Initial.reserve(static_cast<size_t>(Config.PopulationSize));
     for (int I = 0; I != Config.PopulationSize; ++I) {
       Genome G = randomGenome(R, Config.Genomes);
       removeRedundantPasses(G);
-      Evaluation E = evaluate(G, 0, Trace);
-      // Retry genomes slower than both baselines up to N times, biasing the
-      // search toward profitable space (Section 4).
-      for (int Retry = 0; Retry != Config.Gen0ReplacementRetries; ++Retry) {
-        bool Poor = !E.ok() || E.MedianCycles > BaselineBar;
-        if (!Poor)
-          break;
-        G = randomGenome(R, Config.Genomes);
-        removeRedundantPasses(G);
-        E = evaluate(G, 0, Trace);
+      Initial.push_back(std::move(G));
+    }
+    std::vector<Evaluation> Evals = evaluateBatch(Initial, 0, Trace);
+    for (size_t I = 0; I != Initial.size(); ++I)
+      Population.push_back(
+          Scored{std::move(Initial[I]), std::move(Evals[I])});
+
+    // Replace genomes slower than both baselines, one round per retry,
+    // biasing the search toward profitable space (Section 4).
+    for (int Retry = 0; Retry != Config.Gen0ReplacementRetries; ++Retry) {
+      std::vector<size_t> Poor;
+      for (size_t I = 0; I != Population.size(); ++I) {
+        const Evaluation &E = Population[I].E;
+        if (!E.ok() || E.MedianCycles > BaselineBar)
+          Poor.push_back(I);
       }
-      Population.push_back(Scored{std::move(G), std::move(E)});
+      if (Poor.empty())
+        break;
+      std::vector<Genome> Replacements;
+      Replacements.reserve(Poor.size());
+      for (size_t I = 0; I != Poor.size(); ++I) {
+        Genome G = randomGenome(R, Config.Genomes);
+        removeRedundantPasses(G);
+        Replacements.push_back(std::move(G));
+      }
+      Evals = evaluateBatch(Replacements, 0, Trace);
+      for (size_t I = 0; I != Poor.size(); ++I)
+        Population[Poor[I]] =
+            Scored{std::move(Replacements[I]), std::move(Evals[I])};
     }
   }
   sortByFitness(Population);
@@ -160,17 +243,20 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
          ++E)
       Next.push_back(Population[static_cast<size_t>(E)]);
 
-    while (static_cast<int>(Next.size()) < Config.PopulationSize) {
+    std::vector<Genome> Children;
+    while (Next.size() + Children.size() <
+           static_cast<size_t>(Config.PopulationSize)) {
       const Scored *MateA = selectMate(Population, R);
       const Scored *MateB = selectMate(Population, R);
       Genome Child = crossover(MateA->G, MateB->G, R, Config.Genomes);
       if (R.chance(Config.GenomeMutationProb))
         mutate(Child, R, Config.Genomes);
-      Evaluation E = evaluate(Child, Gen, Trace);
-      Next.push_back(Scored{std::move(Child), std::move(E)});
-      if (IdenticalCount >= Config.MaxIdenticalBinaries)
-        break;
+      Children.push_back(std::move(Child));
     }
+    std::vector<Evaluation> Evals = evaluateBatch(Children, Gen, Trace);
+    for (size_t I = 0; I != Children.size(); ++I)
+      Next.push_back(Scored{std::move(Children[I]), std::move(Evals[I])});
+
     Population = std::move(Next);
     sortByFitness(Population);
     if (!Population.empty() && Population.front().E.ok()) {
@@ -190,52 +276,22 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
     return std::nullopt;
   }
 
-  // --- Hill climbing from the best genome. --------------------------------
+  // --- Hill climbing from the best genome: evaluate the whole
+  // neighborhood as one batch, then step to its best improvement. --------
   ROPT_TRACE_SPAN("search.hillclimb");
   Scored Best = Population.front();
   for (int Round = 0; Round != Config.HillClimbRounds; ++Round) {
+    std::vector<Genome> Neighbors = neighborhood(Best.G);
+    if (Neighbors.empty())
+      break;
+    std::vector<Evaluation> Evals =
+        evaluateBatch(Neighbors, Config.Generations, Trace);
+    ROPT_METRIC_ADD("search.hillclimb_steps", Neighbors.size());
     bool Improved = false;
-    // Neighborhood: drop each gene; nudge each parameter; toggle flags.
-    for (size_t I = 0; I <= Best.G.Passes.size(); ++I) {
-      std::vector<Genome> Neighbors;
-      if (I < Best.G.Passes.size()) {
-        if (Best.G.Passes.size() > Config.Genomes.MinLength) {
-          Genome Dropped = Best.G;
-          Dropped.Passes.erase(Dropped.Passes.begin() + I);
-          Neighbors.push_back(std::move(Dropped));
-        }
-        const lir::PassDescriptor &D =
-            lir::passDescriptor(Best.G.Passes[I].Id);
-        if (D.HasIntParam) {
-          for (int Delta : {-1, 1}) {
-            Genome Nudged = Best.G;
-            int &Param = Nudged.Passes[I].IntParam;
-            Param = std::clamp(Param + Delta * std::max(1, Param / 4),
-                               D.MinInt, D.MaxInt);
-            Neighbors.push_back(std::move(Nudged));
-          }
-        }
-        if (D.HasAggressive) {
-          Genome Toggled = Best.G;
-          Toggled.Passes[I].Aggressive = !Toggled.Passes[I].Aggressive;
-          Neighbors.push_back(std::move(Toggled));
-        }
-      } else {
-        Genome Extended = Best.G;
-        if (Extended.Passes.size() < Config.Genomes.MaxLength) {
-          Extended.Passes.push_back(randomGene(R, Config.Genomes));
-          Neighbors.push_back(std::move(Extended));
-        }
-      }
-      for (Genome &N : Neighbors) {
-        if (N == Best.G)
-          continue;
-        Evaluation E = evaluate(N, Config.Generations, Trace);
-        ROPT_METRIC_INC("search.hillclimb_steps");
-        if (E.ok() && better(E, Best.E)) {
-          Best = Scored{std::move(N), std::move(E)};
-          Improved = true;
-        }
+    for (size_t I = 0; I != Neighbors.size(); ++I) {
+      if (Evals[I].ok() && better(Evals[I], Best.E)) {
+        Best = Scored{std::move(Neighbors[I]), std::move(Evals[I])};
+        Improved = true;
       }
     }
     if (!Improved)
@@ -246,7 +302,7 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
 }
 
 void GeneticSearch::finalizeGenerationStats(GaTrace *Trace) {
-  // evaluate() accumulates the valid-genome sum in MeanCycles; turn it
+  // record() accumulates the valid-genome sum in MeanCycles; turn it
   // into a mean now that the generation populations are final.
   for (GenerationStats &S : GenStats)
     if (S.valid() > 0)

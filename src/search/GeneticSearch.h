@@ -13,6 +13,15 @@
 /// binary-size tiebreak when two binaries are statistically
 /// indistinguishable.
 ///
+/// Fitness is computed through the BatchEvaluator interface (the old
+/// per-genome EvaluateFn callback is gone): the GA hands over whole
+/// batches — generation 0, each generation's children, each gen-0
+/// replacement round, each hill-climb neighborhood — and the evaluator is
+/// free to schedule them across workers and memoize duplicates, as long
+/// as Results[i] corresponds to Genomes[i]. All of the GA's own state
+/// updates (identical-binary accounting, generation log, trace) happen in
+/// batch order, so a seeded run is bit-identical at any parallelism.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ROPT_SEARCH_GENETIC_SEARCH_H
@@ -30,6 +39,7 @@ namespace search {
 /// How one genome's evaluation ended. Everything but Ok would have been
 /// user-visible under online search (Figure 1's point).
 enum class EvalKind {
+  Unevaluated,    ///< Default-constructed: no evaluation happened (yet).
   Ok,
   CompileError,   ///< Verifier rejection or size-budget blowup.
   RuntimeCrash,   ///< Trap during replay.
@@ -41,7 +51,7 @@ const char *evalKindName(EvalKind K);
 
 /// Result of evaluating one genome.
 struct Evaluation {
-  EvalKind Kind = EvalKind::CompileError;
+  EvalKind Kind = EvalKind::Unevaluated;
   std::vector<double> Samples; ///< Replay timings (outliers removed).
   double MedianCycles = 0.0;
   uint64_t CodeSize = 0;
@@ -50,7 +60,35 @@ struct Evaluation {
   bool ok() const { return Kind == EvalKind::Ok; }
 };
 
-using EvaluateFn = std::function<Evaluation(const Genome &)>;
+/// Batch fitness interface. Implementations must be deterministic in the
+/// batch content: the result for a genome may not depend on scheduling,
+/// worker count, or which other genomes share the batch (memoization that
+/// returns the identical Evaluation for duplicates is fine).
+class BatchEvaluator {
+public:
+  virtual ~BatchEvaluator() = default;
+
+  /// Evaluates every genome; Results[i] belongs to Genomes[i].
+  virtual std::vector<Evaluation>
+  evaluateBatch(const std::vector<Genome> &Genomes) = 0;
+
+  /// Single-genome convenience (a batch of one).
+  Evaluation evaluateOne(const Genome &G);
+};
+
+/// Serial adapter over a per-genome callback, for synthetic landscapes
+/// and tests. Evaluates strictly in batch order on the calling thread.
+class FunctionEvaluator : public BatchEvaluator {
+public:
+  explicit FunctionEvaluator(std::function<Evaluation(const Genome &)> Fn)
+      : Fn(std::move(Fn)) {}
+
+  std::vector<Evaluation>
+  evaluateBatch(const std::vector<Genome> &Genomes) override;
+
+private:
+  std::function<Evaluation(const Genome &)> Fn;
+};
 
 /// GA parameters (paper values, Section 4).
 struct GaConfig {
@@ -104,10 +142,10 @@ struct GaTrace {
 };
 
 /// The search engine. Pure logic: all measurement happens through the
-/// evaluator callback.
+/// batch evaluator, which must outlive the search.
 class GeneticSearch {
 public:
-  GeneticSearch(GaConfig Config, uint64_t Seed, EvaluateFn Evaluate);
+  GeneticSearch(GaConfig Config, uint64_t Seed, BatchEvaluator &Evaluator);
 
   /// Runs the full search. \p AndroidCycles and \p O3Cycles drive the
   /// gen-0 replacement biasing. Returns the best valid genome found, or
@@ -122,7 +160,14 @@ public:
   }
 
 private:
-  Evaluation evaluate(const Genome &G, int Generation, GaTrace *Trace);
+  /// Evaluates one batch and folds every result — in batch order — into
+  /// the identical-binary count, the generation log, and the trace.
+  std::vector<Evaluation> evaluateBatch(const std::vector<Genome> &Batch,
+                                        int Generation, GaTrace *Trace);
+  void record(const Evaluation &E, int Generation, GaTrace *Trace);
+  /// The hill-climb neighborhood of \p Base: gene drops, parameter
+  /// nudges, flag toggles, one random extension.
+  std::vector<Genome> neighborhood(const Genome &Base);
   /// Converts the per-generation running sums into means and copies the
   /// log into \p Trace.
   void finalizeGenerationStats(GaTrace *Trace);
@@ -135,7 +180,7 @@ private:
 
   GaConfig Config;
   Rng R;
-  EvaluateFn Evaluate;
+  BatchEvaluator &Evaluator;
   std::set<uint64_t> SeenBinaries;
   std::vector<GenerationStats> GenStats;
   int IdenticalCount = 0;

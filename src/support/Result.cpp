@@ -1,0 +1,18 @@
+//===- support/Result.cpp - Typed error propagation --------------------------===//
+
+#include "support/Result.h"
+
+using namespace ropt;
+
+const char *support::errorCodeName(support::ErrorCode Code) {
+  switch (Code) {
+  case support::ErrorCode::Unknown: return "unknown";
+  case support::ErrorCode::CaptureNotReady: return "capture-not-ready";
+  case support::ErrorCode::CaptureFailed: return "capture-failed";
+  case support::ErrorCode::ReplayCrash: return "replay-crash";
+  case support::ErrorCode::ReplayTimeout: return "replay-timeout";
+  case support::ErrorCode::OutputMismatch: return "output-mismatch";
+  case support::ErrorCode::CompileFailed: return "compile-failed";
+  }
+  return "unknown";
+}

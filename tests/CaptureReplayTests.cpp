@@ -114,7 +114,7 @@ Capture captureStep(const StatefulApp &App, AppEnv &Env, int64_t N,
   if (LiveResult)
     *LiveResult = R;
   EXPECT_TRUE(CM.captureReady());
-  return *CM.takeCapture();
+  return CM.takeCapture().value();
 }
 
 } // namespace
@@ -295,7 +295,7 @@ TEST(Capture, SpoolsToStorageWithCommonBlobOnce) {
   // Second capture of the same boot: only process-specific bytes grow.
   CM.armCapture(App.Step);
   ASSERT_TRUE(Env.RT->call(App.Step, {Value::fromI64(2)}).ok());
-  Capture Cap2 = *CM.takeCapture();
+  Capture Cap2 = CM.takeCapture().value();
   CM.spoolToStorage(Cap2, "app2");
   uint64_t AfterSecond = Env.Kernel.storage().totalBytesStored();
   EXPECT_LT(AfterSecond - AfterFirst, Cap2.CommonBytes / 4);
@@ -424,8 +424,9 @@ TEST(Replay, VerificationMapSeesExternalWrites) {
   Capture Cap = captureStep(App, Env, 50, 6);
 
   Replayer R(App.File, Env.Natives, Env.Config);
-  InterpretedReplayResult IR = R.interpretedReplay(Cap);
-  ASSERT_TRUE(IR.Replay.Result.ok());
+  support::Result<InterpretedReplayResult> IRes = R.interpretedReplay(Cap);
+  ASSERT_TRUE(IRes.ok());
+  InterpretedReplayResult &IR = IRes.value();
   // 50 array writes + counter static + heap control block.
   EXPECT_GE(IR.Map.Cells.size(), 50u);
   EXPECT_TRUE(IR.Map.HasReturn);
@@ -437,12 +438,11 @@ TEST(Replay, VerifiedReplayAcceptsCorrectBinary) {
   Capture Cap = captureStep(App, Env, 50, 6);
 
   Replayer R(App.File, Env.Natives, Env.Config);
-  InterpretedReplayResult IR = R.interpretedReplay(Cap);
+  InterpretedReplayResult IR = R.interpretedReplay(Cap).value();
 
   vm::CodeCache Android;
   hgraph::compileAllAndroid(App.File, {App.Step}, Android);
-  ReplayResult Out;
-  EXPECT_TRUE(R.verifiedReplay(Cap, Android, IR.Map, Out));
+  EXPECT_TRUE(R.verifiedReplay(Cap, Android, IR.Map).ok());
 }
 
 TEST(Replay, VerifiedReplayRejectsWrongBinary) {
@@ -451,7 +451,7 @@ TEST(Replay, VerifiedReplayRejectsWrongBinary) {
   Capture Cap = captureStep(App, Env, 50, 6);
 
   Replayer R(App.File, Env.Natives, Env.Config);
-  InterpretedReplayResult IR = R.interpretedReplay(Cap);
+  InterpretedReplayResult IR = R.interpretedReplay(Cap).value();
 
   // Sabotage the compiled step: flip an add into a sub.
   auto Fn = hgraph::compileMethodAndroid(App.File, App.Step);
@@ -467,8 +467,10 @@ TEST(Replay, VerifiedReplayRejectsWrongBinary) {
   vm::CodeCache Bad;
   Bad.install(Fn);
 
-  ReplayResult Out;
-  EXPECT_FALSE(R.verifiedReplay(Cap, Bad, IR.Map, Out));
+  support::Result<ReplayResult> Bad2 = R.verifiedReplay(Cap, Bad, IR.Map);
+  ASSERT_FALSE(Bad2.ok());
+  // The typed error pinpoints the divergence class.
+  EXPECT_EQ(Bad2.error().Code, support::ErrorCode::OutputMismatch);
 }
 
 TEST(Replay, TypeProfileFromInterpretedReplay) {
@@ -487,11 +489,10 @@ TEST(Replay, TypeProfileFromInterpretedReplay) {
   CaptureManager CM(Kernel, Proc, RT);
   CM.armCapture(Poly);
   ASSERT_TRUE(RT.call(Poly, {Value::fromI64(30)}).ok());
-  Capture Cap = *CM.takeCapture();
+  Capture Cap = CM.takeCapture().value();
 
   Replayer R(File, Natives, Config);
-  InterpretedReplayResult IR = R.interpretedReplay(Cap);
-  ASSERT_TRUE(IR.Replay.Result.ok());
+  InterpretedReplayResult IR = R.interpretedReplay(Cap).value();
   EXPECT_GE(IR.Profile.siteCount(), 1u);
   // Even/odd split: no class dominates at 90%.
   ClassId Dominant;

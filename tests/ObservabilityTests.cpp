@@ -409,12 +409,12 @@ TEST(ObservabilityPipeline, SmokeCountersAndSpans) {
 
   core::PipelineConfig Config;
   Config.Seed = 1;
-  Config.GA.Generations = 3;
-  Config.GA.PopulationSize = 10;
-  Config.GA.HillClimbRounds = 1;
-  Config.ReplaysPerEvaluation = 5;
-  Config.ProfileSessions = 4;
-  Config.FinalMeasurementRuns = 4;
+  Config.Search.GA.Generations = 3;
+  Config.Search.GA.PopulationSize = 10;
+  Config.Search.GA.HillClimbRounds = 1;
+  Config.Search.ReplaysPerEvaluation = 5;
+  Config.Capture.ProfileSessions = 4;
+  Config.Measure.FinalMeasurementRuns = 4;
   core::IterativeCompiler Pipeline(Config);
   core::OptimizationReport Report =
       Pipeline.optimize(workloads::buildByName("Sieve"));

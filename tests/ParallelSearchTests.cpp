@@ -1,0 +1,416 @@
+//===- tests/ParallelSearchTests.cpp - Engine/ThreadPool/Result tests --------===//
+//
+// The parallel evaluation engine's contracts: ThreadPool scheduling and
+// exception propagation, jobs-invariant determinism (bit-identical
+// results at any worker count), two-level memoization accounting, and
+// the Result error plumbing into EvalKind. These tests carry the
+// "parallel" ctest label and are the ThreadSanitizer targets
+// (-Dropt_tsan=ON).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/IterativeCompiler.h"
+#include "search/EvaluationEngine.h"
+#include "support/Metrics.h"
+#include "support/Result.h"
+#include "support/Statistics.h"
+#include "support/ThreadPool.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+using namespace ropt;
+using namespace ropt::search;
+
+// --- ThreadPool --------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](size_t I, size_t Slot) {
+    EXPECT_LT(Slot, 4u);
+    Hits[I].fetch_add(1);
+  });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, WorkerSlotsAreExclusive) {
+  // Two tasks may never run on the same slot at the same time: per-slot
+  // state needs no synchronization.
+  ThreadPool Pool(3);
+  std::vector<std::atomic<int>> InSlot(3);
+  std::atomic<bool> Clashed{false};
+  Pool.parallelFor(300, [&](size_t, size_t Slot) {
+    if (InSlot[Slot].fetch_add(1) != 0)
+      Clashed = true;
+    InSlot[Slot].fetch_sub(1);
+  });
+  EXPECT_FALSE(Clashed.load());
+}
+
+TEST(ThreadPool, SubmitRunsTasksAndPropagatesExceptions) {
+  ThreadPool Pool(2);
+  std::future<void> Ok = Pool.submit([] {});
+  Ok.get(); // does not throw
+  std::future<void> Bad =
+      Pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(Bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsAndStaysUsable) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(100,
+                                [&](size_t I, size_t) {
+                                  if (I == 37)
+                                    throw std::runtime_error("item 37");
+                                }),
+               std::runtime_error);
+  // The sweep stopped, the pool survived; later work still runs.
+  std::atomic<int> Count{0};
+  Pool.parallelFor(50, [&](size_t, size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 50);
+}
+
+TEST(ThreadPool, CleanShutdownWithQueuedWork) {
+  // Destroying a pool with tasks still queued must not hang or crash;
+  // unstarted tasks are abandoned.
+  for (int Round = 0; Round != 10; ++Round) {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 64; ++I)
+      Pool.submit([] {});
+  } // dtor joins here
+  SUCCEED();
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool Pool(1);
+  std::thread::id Caller = std::this_thread::get_id();
+  std::vector<std::thread::id> Seen;
+  Pool.parallelFor(5, [&](size_t, size_t Slot) {
+    EXPECT_EQ(Slot, 0u);
+    Seen.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(Seen.size(), 5u);
+  for (std::thread::id Id : Seen)
+    EXPECT_EQ(Id, Caller);
+}
+
+// --- A deterministic synthetic backend for engine tests ----------------------
+
+namespace {
+
+/// Compile = FNV over the canonical genome string; empty pipelines fail.
+/// Binary identity deliberately collapses pass *parameters* so distinct
+/// genomes can produce identical "binaries" (exercising the binary-level
+/// cache). Measurement cost is a pure function of (hash, noise seed).
+class SyntheticBackend : public EvalBackend {
+public:
+  SyntheticBackend(std::atomic<int> &Compiles, std::atomic<int> &Measures)
+      : Compiles(Compiles), Measures(Measures) {}
+
+  CompiledBinary compileGenome(const Genome &G) override {
+    Compiles.fetch_add(1);
+    CompiledBinary B;
+    if (G.Passes.empty())
+      return B; // compile error
+    uint64_t H = 1469598103934665603ULL;
+    for (const lir::PassInstance &P : G.Passes) {
+      H ^= static_cast<uint64_t>(P.Id) + 1;
+      H *= 1099511628211ULL;
+    }
+    B.Ok = true;
+    B.BinaryHash = H;
+    B.CodeSize = 10 * G.Passes.size();
+    B.Artifact = std::make_shared<const uint64_t>(H);
+    return B;
+  }
+
+  Evaluation measureBinary(const CompiledBinary &B,
+                           uint64_t NoiseSeed) override {
+    Measures.fetch_add(1);
+    Evaluation E;
+    E.Kind = EvalKind::Ok;
+    E.CodeSize = B.CodeSize;
+    E.BinaryHash = B.BinaryHash;
+    Rng Noise(NoiseSeed);
+    double Base = 1000.0 + static_cast<double>(B.BinaryHash % 977);
+    for (int I = 0; I != 5; ++I)
+      E.Samples.push_back(Base * Noise.logNormal(0.0, 0.01));
+    E.MedianCycles = median(E.Samples);
+    return E;
+  }
+
+private:
+  std::atomic<int> &Compiles;
+  std::atomic<int> &Measures;
+};
+
+std::vector<Genome> randomBatch(uint64_t Seed, size_t N) {
+  Rng R(Seed);
+  GenomeConfig GC;
+  std::vector<Genome> Out;
+  for (size_t I = 0; I != N; ++I)
+    Out.push_back(randomGenome(R, GC));
+  return Out;
+}
+
+bool sameEvaluation(const Evaluation &A, const Evaluation &B) {
+  return A.Kind == B.Kind && A.Samples == B.Samples &&
+         A.MedianCycles == B.MedianCycles && A.CodeSize == B.CodeSize &&
+         A.BinaryHash == B.BinaryHash;
+}
+
+} // namespace
+
+// --- EvaluationEngine: determinism across worker counts ----------------------
+
+TEST(EvaluationEngine, BatchResultsAreIdenticalAtAnyJobCount) {
+  std::vector<Genome> Batch = randomBatch(71, 64);
+  std::vector<std::vector<Evaluation>> Runs;
+  for (int Jobs : {1, 2, 8}) {
+    std::atomic<int> Compiles{0}, Measures{0};
+    EngineOptions Opts;
+    Opts.Jobs = Jobs;
+    EvaluationEngine Engine(
+        [&]() {
+          return std::make_unique<SyntheticBackend>(Compiles, Measures);
+        },
+        Opts, /*Seed=*/9);
+    EXPECT_EQ(Engine.jobs(), static_cast<size_t>(Jobs));
+    Runs.push_back(Engine.evaluateBatch(Batch));
+  }
+  for (size_t R = 1; R != Runs.size(); ++R) {
+    ASSERT_EQ(Runs[R].size(), Runs[0].size());
+    for (size_t I = 0; I != Runs[0].size(); ++I)
+      EXPECT_TRUE(sameEvaluation(Runs[R][I], Runs[0][I]))
+          << "jobs run " << R << ", genome " << I;
+  }
+}
+
+TEST(EvaluationEngine, GaIsBitIdenticalAcrossJobCounts) {
+  // The full search — generations, gen-0 retries, hill climb — produces
+  // the same winner and the same evaluation trace at jobs=1 and jobs=8.
+  auto RunGa = [](int Jobs) {
+    std::atomic<int> Compiles{0}, Measures{0};
+    EngineOptions Opts;
+    Opts.Jobs = Jobs;
+    EvaluationEngine Engine(
+        [&]() {
+          return std::make_unique<SyntheticBackend>(Compiles, Measures);
+        },
+        Opts, 5);
+    GaConfig C;
+    C.Generations = 5;
+    C.PopulationSize = 16;
+    GeneticSearch GA(C, 123, Engine);
+    GaTrace Trace;
+    std::optional<Scored> Best = GA.run(5000.0, 4800.0, &Trace);
+    std::string Name = Best ? Best->G.name() : "none";
+    return std::tuple{Name, Best ? Best->E.MedianCycles : 0.0,
+                      Trace.Evaluations.size(), Trace.IdenticalBinaries};
+  };
+  auto Serial = RunGa(1);
+  auto Wide = RunGa(8);
+  EXPECT_EQ(Serial, Wide);
+}
+
+// --- EvaluationEngine: memoization -------------------------------------------
+
+TEST(EvaluationEngine, DuplicateGenomesHitTheGenomeCache) {
+  std::atomic<int> Compiles{0}, Measures{0};
+  EngineOptions Opts;
+  Opts.Jobs = 2;
+  EvaluationEngine Engine(
+      [&]() {
+        return std::make_unique<SyntheticBackend>(Compiles, Measures);
+      },
+      Opts, 1);
+
+  std::vector<Genome> Batch = randomBatch(3, 4);
+  Batch.push_back(Batch[0]); // duplicate inside the batch
+  Batch.push_back(Batch[1]);
+
+  std::vector<Evaluation> R1 = Engine.evaluateBatch(Batch);
+  ASSERT_EQ(R1.size(), 6u);
+  // Duplicates got the identical evaluation, noise included.
+  EXPECT_TRUE(sameEvaluation(R1[0], R1[4]));
+  EXPECT_TRUE(sameEvaluation(R1[1], R1[5]));
+  EXPECT_EQ(Compiles.load(), 4); // one compile per distinct genome
+  EXPECT_EQ(Engine.cacheStats().GenomeHits, 2u);
+
+  // A second batch of the same genomes is answered entirely from cache.
+  int CompilesBefore = Compiles.load();
+  std::vector<Evaluation> R2 = Engine.evaluateBatch(Batch);
+  EXPECT_EQ(Compiles.load(), CompilesBefore);
+  EXPECT_EQ(Engine.cacheStats().GenomeHits, 8u);
+  for (size_t I = 0; I != R1.size(); ++I)
+    EXPECT_TRUE(sameEvaluation(R1[I], R2[I]));
+
+  // Every one of the 12 answers was tallied.
+  EXPECT_EQ(Engine.counters().total(), 12);
+}
+
+TEST(EvaluationEngine, IdenticalBinariesHitTheBinaryCache) {
+  std::atomic<int> Compiles{0}, Measures{0};
+  EvaluationEngine Engine(
+      [&]() {
+        return std::make_unique<SyntheticBackend>(Compiles, Measures);
+      },
+      EngineOptions{}, 1);
+
+  // Same passes, different parameters: distinct genomes (distinct
+  // canonical names), but SyntheticBackend gives them one binary hash.
+  Rng R(17);
+  GenomeConfig GC;
+  Genome A = randomGenome(R, GC);
+  while (A.Passes.empty() ||
+         !lir::passDescriptor(A.Passes[0].Id).HasIntParam)
+    A = randomGenome(R, GC);
+  Genome B = A;
+  B.Passes[0].IntParam = A.Passes[0].IntParam > 1
+                             ? A.Passes[0].IntParam - 1
+                             : A.Passes[0].IntParam + 1;
+  ASSERT_NE(A.name(), B.name());
+
+  std::vector<Evaluation> Out = Engine.evaluateBatch({A, B});
+  EXPECT_TRUE(sameEvaluation(Out[0], Out[1]));
+  EXPECT_EQ(Compiles.load(), 2);  // both compiled...
+  EXPECT_EQ(Measures.load(), 1);  // ...but only one was measured
+  EXPECT_EQ(Engine.cacheStats().BinaryHits, 1u);
+  EXPECT_EQ(Engine.cacheStats().Misses, 1u);
+}
+
+TEST(EvaluationEngine, MemoizeOffReplaysEveryBatch) {
+  std::atomic<int> Compiles{0}, Measures{0};
+  EngineOptions Opts;
+  Opts.Memoize = false;
+  EvaluationEngine Engine(
+      [&]() {
+        return std::make_unique<SyntheticBackend>(Compiles, Measures);
+      },
+      Opts, 1);
+  std::vector<Genome> Batch = randomBatch(21, 8);
+  Engine.evaluateBatch(Batch);
+  Engine.evaluateBatch(Batch);
+  EXPECT_EQ(Compiles.load(), 16); // recompiled every time
+  EXPECT_EQ(Engine.cacheStats().GenomeHits, 0u);
+}
+
+#if ROPT_OBSERVABILITY
+TEST(EvaluationEngine, CacheMetricsArePublished) {
+  Metrics::instance().reset();
+  std::atomic<int> Compiles{0}, Measures{0};
+  EvaluationEngine Engine(
+      [&]() {
+        return std::make_unique<SyntheticBackend>(Compiles, Measures);
+      },
+      EngineOptions{}, 1);
+  std::vector<Genome> Batch = randomBatch(5, 6);
+  Engine.evaluateBatch(Batch);
+  Engine.evaluateBatch(Batch); // all hits
+  MetricsSnapshot S = Metrics::instance().snapshot();
+  EXPECT_EQ(S.counter("search.cache_hits") + S.counter("search.cache_misses"),
+            12u);
+  EXPECT_EQ(S.counter("search.cache_hits"),
+            Engine.cacheStats().hits());
+  Metrics::instance().reset();
+}
+#endif
+
+// --- Evaluation defaults and error mapping -----------------------------------
+
+TEST(Evaluation, DefaultsToUnevaluatedNotCompileError) {
+  // The old default (CompileError) made uninitialized evaluations look
+  // like real compiler rejections.
+  Evaluation E;
+  EXPECT_EQ(E.Kind, EvalKind::Unevaluated);
+  EXPECT_FALSE(E.ok());
+  EXPECT_STREQ(evalKindName(E.Kind), "unevaluated");
+}
+
+TEST(ErrorMapping, EveryReplayErrorLandsOnAnEvalKind) {
+  using support::ErrorCode;
+  EXPECT_EQ(evalKindForError(ErrorCode::CompileFailed),
+            EvalKind::CompileError);
+  EXPECT_EQ(evalKindForError(ErrorCode::ReplayCrash),
+            EvalKind::RuntimeCrash);
+  EXPECT_EQ(evalKindForError(ErrorCode::ReplayTimeout),
+            EvalKind::RuntimeTimeout);
+  EXPECT_EQ(evalKindForError(ErrorCode::OutputMismatch),
+            EvalKind::WrongOutput);
+  EXPECT_EQ(evalKindForError(ErrorCode::CaptureNotReady),
+            EvalKind::RuntimeCrash);
+}
+
+TEST(ResultType, CarriesValueOrTypedError) {
+  support::Result<int> Ok = 42;
+  ASSERT_TRUE(Ok.ok());
+  EXPECT_EQ(Ok.value(), 42);
+  EXPECT_EQ(Ok.valueOr(7), 42);
+
+  support::Result<int> Bad =
+      support::Error{support::ErrorCode::ReplayTimeout, "too slow"};
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.error().Code, support::ErrorCode::ReplayTimeout);
+  EXPECT_EQ(Bad.error().Message, "too slow");
+  EXPECT_EQ(Bad.valueOr(7), 7);
+  EXPECT_STREQ(support::errorCodeName(Bad.error().Code),
+               "replay-timeout");
+}
+
+// --- The real pipeline through the engine ------------------------------------
+
+namespace {
+
+core::PipelineConfig fastPipelineConfig(int Jobs) {
+  core::PipelineConfig C = core::PipelineConfig::paperDefaults();
+  C.Seed = 1;
+  C.Search.GA.Generations = 3;
+  C.Search.GA.PopulationSize = 10;
+  C.Search.GA.HillClimbRounds = 1;
+  C.Search.ReplaysPerEvaluation = 5;
+  C.Search.Jobs = Jobs;
+  C.Capture.ProfileSessions = 4;
+  C.Measure.FinalMeasurementRuns = 4;
+  return C;
+}
+
+} // namespace
+
+TEST(ParallelPipeline, OptimizeIsBitIdenticalAcrossJobCounts) {
+  auto RunOnce = [](int Jobs) {
+    core::IterativeCompiler Pipeline(fastPipelineConfig(Jobs));
+    return Pipeline.optimize(workloads::buildByName("Sieve"));
+  };
+  core::OptimizationReport Serial = RunOnce(1);
+  core::OptimizationReport Wide = RunOnce(4);
+  ASSERT_TRUE(Serial.Succeeded) << Serial.FailureReason;
+  ASSERT_TRUE(Wide.Succeeded) << Wide.FailureReason;
+
+  // The search walked the same path...
+  EXPECT_EQ(Serial.Best.G.name(), Wide.Best.G.name());
+  EXPECT_EQ(Serial.RegionBest, Wide.RegionBest);
+  EXPECT_EQ(Serial.Best.E.Samples, Wide.Best.E.Samples);
+  ASSERT_EQ(Serial.Trace.Evaluations.size(), Wide.Trace.Evaluations.size());
+  for (size_t I = 0; I != Serial.Trace.Evaluations.size(); ++I) {
+    EXPECT_EQ(Serial.Trace.Evaluations[I].MedianCycles,
+              Wide.Trace.Evaluations[I].MedianCycles);
+    EXPECT_EQ(Serial.Trace.Evaluations[I].Valid,
+              Wide.Trace.Evaluations[I].Valid);
+  }
+  // ...and the installed binary measures identically.
+  EXPECT_EQ(Serial.WholeGa, Wide.WholeGa);
+
+  // The GA revisits genomes/binaries, so the memoization layer must have
+  // fired on a default seeded run.
+  EXPECT_GT(Serial.CacheStats.hits(), 0u);
+  EXPECT_GT(Wide.CacheStats.hits(), 0u);
+}

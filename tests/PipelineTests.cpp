@@ -21,12 +21,12 @@ namespace {
 PipelineConfig fastConfig(uint64_t Seed = 1) {
   PipelineConfig C;
   C.Seed = Seed;
-  C.GA.Generations = 4;
-  C.GA.PopulationSize = 12;
-  C.GA.HillClimbRounds = 1;
-  C.ReplaysPerEvaluation = 5;
-  C.ProfileSessions = 4;
-  C.FinalMeasurementRuns = 6;
+  C.Search.GA.Generations = 4;
+  C.Search.GA.PopulationSize = 12;
+  C.Search.GA.HillClimbRounds = 1;
+  C.Search.ReplaysPerEvaluation = 5;
+  C.Capture.ProfileSessions = 4;
+  C.Measure.FinalMeasurementRuns = 6;
   return C;
 }
 
@@ -170,7 +170,7 @@ TEST(MultiCapture, EvaluatesAcrossSeveralInputs) {
 
 TEST(MultiCapture, FullPipelineWithThreeCaptures) {
   PipelineConfig Config = fastConfig(22);
-  Config.CapturesPerRegion = 3;
+  Config.Capture.CapturesPerRegion = 3;
   IterativeCompiler Pipeline(Config);
   OptimizationReport Report = Pipeline.optimize(buildByName("SOR"));
   ASSERT_TRUE(Report.Succeeded) << Report.FailureReason;

@@ -395,6 +395,9 @@ TEST_P(GenomeFuzz, RandomPipelineClassifiesCleanly) {
   case search::EvalKind::RuntimeTimeout:
   case search::EvalKind::WrongOutput:
     break;
+  case search::EvalKind::Unevaluated:
+    FAIL() << "evaluate() returned an unevaluated result";
+    break;
   }
   // A correct baseline still evaluates correctly afterwards.
   search::Evaluation Android = F.Eval->evaluateAndroid();
@@ -404,7 +407,7 @@ TEST_P(GenomeFuzz, RandomPipelineClassifiesCleanly) {
 TEST_P(GenomeFuzz, ValidGenomesAreDeterministic) {
   FuzzFixture &F = FuzzFixture::get();
   Rng R(static_cast<uint64_t>(GetParam()) * 104729 + 7);
-  search::Genome G = search::randomGenome(R, F.Config.GA.Genomes);
+  search::Genome G = search::randomGenome(R, F.Config.Search.GA.Genomes);
 
   std::optional<vm::CodeCache> C1 = F.Eval->compileRegion(G);
   std::optional<vm::CodeCache> C2 = F.Eval->compileRegion(G);
@@ -467,7 +470,7 @@ TEST(GcInRegion, AllocatingKernelReplaysExactly) {
   vm::CallResult Live = RT.call(Kernel, {vm::Value::fromI64(400)});
   ASSERT_TRUE(Live.ok());
   ASSERT_TRUE(CM.captureReady());
-  capture::Capture Cap = *CM.takeCapture();
+  capture::Capture Cap = CM.takeCapture().value();
   EXPECT_GE(RT.heap().gcRuns(), 1u);
 
   replay::Replayer Rep(File, Natives, Config);

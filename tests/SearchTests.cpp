@@ -149,9 +149,10 @@ TEST(GeneticSearch, ImprovesOverRandom) {
   GaConfig C;
   C.Generations = 8;
   C.PopulationSize = 24;
-  GeneticSearch GA(C, 42, [&NoiseRng](const Genome &G) {
+  FunctionEvaluator Eval([&NoiseRng](const Genome &G) {
     return syntheticEval(G, NoiseRng);
   });
+  GeneticSearch GA(C, 42, Eval);
   GaTrace Trace;
   auto Best = GA.run(9000.0, 8500.0, &Trace);
   ASSERT_TRUE(Best.has_value());
@@ -172,9 +173,10 @@ TEST(GeneticSearch, BestImprovesMonotonicallyInTrace) {
   GaConfig C;
   C.Generations = 6;
   C.PopulationSize = 16;
-  GeneticSearch GA(C, 17, [&NoiseRng](const Genome &G) {
+  FunctionEvaluator Eval([&NoiseRng](const Genome &G) {
     return syntheticEval(G, NoiseRng);
   });
+  GeneticSearch GA(C, 17, Eval);
   GaTrace Trace;
   auto Best = GA.run(9000.0, 9000.0, &Trace);
   ASSERT_TRUE(Best.has_value());
@@ -194,9 +196,10 @@ TEST(GeneticSearch, DeterministicForFixedSeed) {
     GaConfig C;
     C.Generations = 4;
     C.PopulationSize = 10;
-    GeneticSearch GA(C, Seed, [&NoiseRng](const Genome &G) {
+    FunctionEvaluator Eval([&NoiseRng](const Genome &G) {
       return syntheticEval(G, NoiseRng);
     });
+    GeneticSearch GA(C, Seed, Eval);
     auto Best = GA.run(9000.0, 9000.0);
     return Best ? Best->G.name() : std::string("none");
   };
@@ -211,7 +214,7 @@ TEST(GeneticSearch, HaltsOnIdenticalBinaries) {
   C.PopulationSize = 50;
   C.MaxIdenticalBinaries = 30;
   int Evaluations = 0;
-  GeneticSearch GA(C, 3, [&Evaluations](const Genome &) {
+  FunctionEvaluator Eval([&Evaluations](const Genome &) {
     ++Evaluations;
     Evaluation E;
     E.Kind = EvalKind::Ok;
@@ -221,6 +224,7 @@ TEST(GeneticSearch, HaltsOnIdenticalBinaries) {
     E.BinaryHash = 0xdead;
     return E;
   });
+  GeneticSearch GA(C, 3, Eval);
   GaTrace Trace;
   auto Best = GA.run(200.0, 200.0, &Trace);
   ASSERT_TRUE(Best.has_value());
@@ -234,11 +238,12 @@ TEST(GeneticSearch, AllFailuresYieldNullopt) {
   GaConfig C;
   C.Generations = 2;
   C.PopulationSize = 6;
-  GeneticSearch GA(C, 3, [](const Genome &) {
+  FunctionEvaluator Eval([](const Genome &) {
     Evaluation E;
     E.Kind = EvalKind::CompileError;
     return E;
   });
+  GeneticSearch GA(C, 3, Eval);
   EXPECT_FALSE(GA.run(100.0, 100.0).has_value());
 }
 
@@ -248,7 +253,7 @@ TEST(GeneticSearch, SizeBreaksTiesWhenTimingIsIndistinguishable) {
   C.Generations = 5;
   C.PopulationSize = 16;
   Rng NoiseRng(11);
-  GeneticSearch GA(C, 21, [&NoiseRng](const Genome &G) {
+  FunctionEvaluator Eval([&NoiseRng](const Genome &G) {
     Evaluation E;
     E.Kind = EvalKind::Ok;
     for (int I = 0; I != 10; ++I)
@@ -258,6 +263,7 @@ TEST(GeneticSearch, SizeBreaksTiesWhenTimingIsIndistinguishable) {
     E.BinaryHash = NoiseRng.next(); // all distinct
     return E;
   });
+  GeneticSearch GA(C, 21, Eval);
   auto Best = GA.run(1000.0, 1000.0);
   ASSERT_TRUE(Best.has_value());
   // The search gravitated toward the minimum length.
