@@ -15,6 +15,8 @@ using namespace ropt::bench;
 int main(int Argc, char **Argv) {
   Options Opt = parseArgs(Argc, Argv);
   core::PipelineConfig Config = pipelineConfig(Opt);
+  beginObservability(Opt);
+  ReportScope Report(Opt, "abl_ga_vs_random", Config);
 
   printHeader("Ablation: GA vs random search at equal evaluation budget",
               "the GA's selection pressure matters; random search wastes "
@@ -45,12 +47,21 @@ int main(int Argc, char **Argv) {
     double O3 = Eval.evaluatePipeline(lir::o3Pipeline()).MedianCycles;
 
     // --- The GA, tracing so we know its true evaluation count. --------
+    Report.beginApp(Name);
     search::GaTrace Trace;
     search::FunctionEvaluator GaEval(
         [&](const search::Genome &G) { return Eval.evaluate(G); });
     search::GeneticSearch GA(Config.Search.GA, Config.Seed ^ 0x6a5e,
-                             GaEval);
+                             GaEval, Report.report());
     std::optional<search::Scored> Best = GA.run(Android, O3, &Trace);
+    if (report::RunReport *RR = Report.report()) {
+      report::AppOutcome O;
+      O.Succeeded = Best.has_value();
+      O.RegionAndroid = Android;
+      O.RegionO3 = O3;
+      O.RegionBest = Best ? Best->E.MedianCycles : 0.0;
+      RR->endApp(O);
+    }
     int Budget = static_cast<int>(Trace.Evaluations.size());
     int GaValid = 0;
     for (const search::TraceEntry &E : Trace.Evaluations)
@@ -85,5 +96,6 @@ int main(int Argc, char **Argv) {
   if (Rows)
     std::printf("\naverage best-found speedup: GA %.2fx, random %.2fx\n",
                 SumGa / Rows, SumRnd / Rows);
+  finishObservability(Opt);
   return 0;
 }

@@ -15,6 +15,9 @@ using namespace ropt::bench;
 
 int main(int Argc, char **Argv) {
   Options Opt = parseArgs(Argc, Argv);
+  core::PipelineConfig BaseConfig = pipelineConfig(Opt);
+  beginObservability(Opt);
+  ReportScope Report(Opt, "abl_multicapture", BaseConfig);
 
   printHeader("Ablation: multi-capture fitness (paper Section 5.4)",
               "GA winners trained on 1 vs 3 captures, judged on a "
@@ -37,8 +40,13 @@ int main(int Argc, char **Argv) {
     auto TrainWith = [&](int Captures) {
       core::PipelineConfig Config = pipelineConfig(Opt);
       Config.Capture.CapturesPerRegion = Captures;
+      Config.Provenance = Report.report();
+      Report.beginApp(Name + "@" + std::to_string(Captures) + "cap");
       core::IterativeCompiler Pipeline(Config);
-      return Pipeline.optimize(workloads::buildByName(Name));
+      core::OptimizationReport R =
+          Pipeline.optimize(workloads::buildByName(Name));
+      Report.endApp(R);
+      return R;
     };
     core::OptimizationReport R1 = TrainWith(1);
     core::OptimizationReport R3 = TrainWith(3);
@@ -92,5 +100,6 @@ int main(int Argc, char **Argv) {
                 "shows up here as the lower column; 0.00x means it "
                 "failed verification on the unseen input)\n");
   }
+  finishObservability(Opt);
   return 0;
 }

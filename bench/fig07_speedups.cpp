@@ -17,6 +17,8 @@ using namespace ropt::bench;
 int main(int Argc, char **Argv) {
   Options Opt = parseArgs(Argc, Argv);
   core::PipelineConfig Config = pipelineConfig(Opt);
+  beginObservability(Opt);
+  ReportScope Report(Opt, "fig07_speedups", Config);
 
   printHeader("Figure 7: whole-program speedup vs the Android compiler",
               "LLVM -O3 in 0.89x..1.66x (avg ~1.07x); LLVM GA in "
@@ -30,8 +32,10 @@ int main(int Argc, char **Argv) {
               "app,suite,o3_speedup,ga_speedup,ga_over_o3,genome");
   std::vector<double> O3s, GAs, GaOverO3s;
   for (const workloads::Application &App : selectedApps(Opt)) {
+    Report.beginApp(App.Name);
     core::IterativeCompiler Pipeline(Config);
     core::OptimizationReport R = Pipeline.optimize(App);
+    Report.endApp(R);
     if (!R.Succeeded) {
       std::printf("%-22s %-11s  FAILED: %s\n", App.Name.c_str(),
                   workloads::suiteName(App.Kind), R.FailureReason.c_str());
@@ -65,5 +69,6 @@ int main(int Argc, char **Argv) {
                 "Android on %d apps (paper: a few, e.g. FFT)\n",
                 GaWins, GAs.size(), O3Losses);
   }
+  finishObservability(Opt);
   return 0;
 }

@@ -19,6 +19,7 @@ int main(int Argc, char **Argv) {
   Options Opt = parseArgs(Argc, Argv);
   core::PipelineConfig Config = pipelineConfig(Opt);
   beginObservability(Opt);
+  ReportScope Report(Opt, "fig09_ga_evolution", Config);
 
   printHeader("Figure 9: GA evolution of best/worst genomes (region "
               "replays, speedup vs Android)",
@@ -29,8 +30,10 @@ int main(int Argc, char **Argv) {
   CsvSink Csv(Opt, "fig09_ga_evolution.csv",
               "app,gen,evals,gen_best,gen_worst_valid,gen_mean,invalid");
   for (const workloads::Application &App : selectedApps(Opt)) {
+    Report.beginApp(App.Name);
     core::IterativeCompiler Pipeline(Config);
     core::OptimizationReport R = Pipeline.optimize(App);
+    Report.endApp(R);
     if (!R.Succeeded) {
       std::printf("%s: FAILED (%s)\n\n", App.Name.c_str(),
                   R.FailureReason.c_str());

@@ -96,6 +96,7 @@ search::Evaluation RegionEvaluator::evaluateCache(const vm::CodeCache &Code,
         Rep.verifiedReplay(*C.Cap, Code, *C.Map);
     if (!R) {
       E.Kind = search::evalKindForError(R.error().Code);
+      E.Error = R.error().Code;
       Stats.count(E.Kind);
       return E;
     }
@@ -155,6 +156,7 @@ search::Evaluation RegionEvaluator::evaluate(const search::Genome &G) {
   if (!Code) {
     search::Evaluation E;
     E.Kind = search::EvalKind::CompileError;
+    E.Error = support::ErrorCode::CompileFailed;
     Stats.count(E.Kind);
     return E;
   }
@@ -333,7 +335,7 @@ IterativeCompiler::optimize(const workloads::Application &App) {
     Report.RegionO3 = O3.ok() ? O3.MedianCycles : 0.0;
 
     search::GeneticSearch GA(Config.Search.GA, Config.Seed ^ 0x6a5e,
-                             Engine);
+                             Engine, Config.Provenance);
     Best = GA.run(Android.MedianCycles,
                   O3.ok() ? O3.MedianCycles : Android.MedianCycles,
                   &Report.Trace);

@@ -73,6 +73,11 @@ struct PipelineConfig {
   CaptureOptions Capture;
   MeasureOptions Measure;
 
+  /// Run-report flight recorder (report::RunReport), when the harness
+  /// opened one with --report: the GA hands it one provenance record per
+  /// evaluation, strictly in batch order. Not owned; may be null.
+  search::ProvenanceSink *Provenance = nullptr;
+
   /// The configuration of the paper's evaluation (Section 4): 11x50 GA,
   /// 10 replays per evaluation, single capture, 6 profile sessions.
   static PipelineConfig paperDefaults();

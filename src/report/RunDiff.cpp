@@ -1,0 +1,346 @@
+//===- report/RunDiff.cpp - Loading, summarizing, diffing runs ------------===//
+
+#include "report/RunDiff.h"
+
+#include "report/ReportWriter.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace ropt;
+using namespace ropt::report;
+
+// --- Loading ----------------------------------------------------------------
+
+namespace {
+
+support::Result<std::string> slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return support::Error(support::ErrorCode::Unknown,
+                          "cannot read " + Path);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+/// Applies \p Fn to each non-empty line of \p Path as parsed JSON.
+/// Returns an error naming the first bad line.
+template <typename Fn>
+support::Result<bool> forEachJsonl(const std::string &Path, Fn &&F) {
+  support::Result<std::string> Text = slurp(Path);
+  if (!Text)
+    return Text.error();
+  std::istringstream In(Text.value());
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    support::Result<json::Value> V = json::parse(Line);
+    if (!V)
+      return support::Error(support::ErrorCode::Unknown,
+                            Path + ":" + std::to_string(LineNo) + ": " +
+                                V.error().Message);
+    F(V.value());
+  }
+  return true;
+}
+
+} // namespace
+
+support::Result<LoadedRun> report::loadRun(const std::string &Dir) {
+  LoadedRun Run;
+  Run.Dir = Dir;
+
+  support::Result<std::string> ManifestText =
+      slurp(Dir + "/" + ManifestFile);
+  if (!ManifestText)
+    return ManifestText.error();
+  support::Result<json::Value> Manifest = json::parse(ManifestText.value());
+  if (!Manifest)
+    return support::Error(support::ErrorCode::Unknown,
+                          Dir + "/" + ManifestFile + ": " +
+                              Manifest.error().Message);
+  Run.Manifest = std::move(Manifest).value();
+
+  support::Result<bool> Evals = forEachJsonl(
+      Dir + "/" + EvaluationsFile, [&Run](const json::Value &V) {
+        EvalRecord R;
+        R.Id = static_cast<uint64_t>(V.number("id"));
+        R.App = V.string("app");
+        R.Generation = static_cast<int>(V.number("gen"));
+        R.Genome = V.string("genome");
+        if (const json::Value *P = V.find("parents"))
+          for (const json::Value &E : P->elements())
+            R.Parents.push_back(static_cast<uint64_t>(E.asNumber()));
+        R.Verdict = V.string("verdict");
+        R.Error = V.string("error");
+        R.Cache = V.string("cache");
+        R.MedianCycles = V.number("median_cycles");
+        R.CiLow = V.number("ci_low");
+        R.CiHigh = V.number("ci_high");
+        R.CodeSize = static_cast<uint64_t>(V.number("code_size"));
+        R.BinaryHash = V.string("binary_hash");
+        Run.Evaluations.push_back(std::move(R));
+      });
+  if (!Evals)
+    return Evals.error();
+
+  support::Result<bool> Gens = forEachJsonl(
+      Dir + "/" + GenerationsFile, [&Run](const json::Value &V) {
+        GenRecord R;
+        R.App = V.string("app");
+        R.Generation = static_cast<int>(V.number("gen"));
+        R.Evaluations = static_cast<int>(V.number("evaluations"));
+        R.Invalid = static_cast<int>(V.number("invalid"));
+        R.BestCycles = V.number("best_cycles");
+        R.WorstCycles = V.number("worst_cycles");
+        R.MeanCycles = V.number("mean_cycles");
+        Run.Generations.push_back(std::move(R));
+      });
+  if (!Gens)
+    return Gens.error();
+
+  return Run;
+}
+
+// --- Validation -------------------------------------------------------------
+
+std::vector<std::string> report::validateRun(const LoadedRun &Run) {
+  std::vector<std::string> Problems;
+  auto Problem = [&Problems](std::string Msg) {
+    Problems.push_back(std::move(Msg));
+  };
+
+  for (const char *Key : {"schema", "tool", "git", "seed", "jobs",
+                          "config", "apps", "totals"})
+    if (!Run.Manifest.find(Key))
+      Problem(std::string("manifest.json: missing field \"") + Key + "\"");
+  if (Run.Manifest.find("schema") && Run.Manifest.number("schema") != 1)
+    Problem("manifest.json: unknown schema version");
+
+  static const std::set<std::string> Verdicts = {
+      "ok", "compile-error", "runtime-crash", "runtime-timeout",
+      "wrong-output"};
+  static const std::set<std::string> Caches = {"miss", "genome-hit",
+                                               "binary-hit"};
+
+  uint64_t LastId = 0;
+  for (const EvalRecord &R : Run.Evaluations) {
+    std::string Where = "evaluations.jsonl id " + std::to_string(R.Id);
+    if (R.Id != LastId + 1)
+      Problem(Where + ": ids not dense (expected " +
+              std::to_string(LastId + 1) + ")");
+    LastId = R.Id;
+    if (!Verdicts.count(R.Verdict))
+      Problem(Where + ": unknown verdict \"" + R.Verdict + "\"");
+    if (!Caches.count(R.Cache))
+      Problem(Where + ": unknown cache origin \"" + R.Cache + "\"");
+    if (R.Verdict == "ok" && !R.Error.empty())
+      Problem(Where + ": ok verdict carries error \"" + R.Error + "\"");
+    for (uint64_t Parent : R.Parents)
+      if (Parent == 0 || Parent >= R.Id)
+        Problem(Where + ": parent " + std::to_string(Parent) +
+                " does not reference an earlier record");
+    if (R.BinaryHash.rfind("0x", 0) != 0)
+      Problem(Where + ": binary_hash is not a hex string");
+  }
+
+  std::map<std::string, int> GenSeen;
+  for (const GenRecord &G : Run.Generations) {
+    if (G.Invalid > G.Evaluations)
+      Problem("generations.jsonl " + G.App + " gen " +
+              std::to_string(G.Generation) + ": invalid > evaluations");
+    ++GenSeen[G.App];
+  }
+  (void)GenSeen;
+  return Problems;
+}
+
+// --- Summarizing ------------------------------------------------------------
+
+namespace {
+
+/// Per-app rollup of the evaluation stream.
+struct AppRoll {
+  int Total = 0;
+  std::map<std::string, int> ByVerdict;
+  std::map<std::string, int> ByError; ///< Rejection reasons only.
+  int CacheHits = 0;
+  int CacheMisses = 0;
+  double BestCycles = 0.0; ///< Min ok median; 0 when no ok record.
+};
+
+std::map<std::string, AppRoll> rollUp(const LoadedRun &Run) {
+  std::map<std::string, AppRoll> Apps;
+  for (const EvalRecord &R : Run.Evaluations) {
+    AppRoll &A = Apps[R.App];
+    ++A.Total;
+    ++A.ByVerdict[R.Verdict];
+    if (R.Verdict != "ok" && !R.Error.empty())
+      ++A.ByError[R.Error];
+    if (R.Cache == "miss")
+      ++A.CacheMisses;
+    else
+      ++A.CacheHits;
+    if (R.Verdict == "ok" &&
+        (A.BestCycles == 0.0 || R.MedianCycles < A.BestCycles))
+      A.BestCycles = R.MedianCycles;
+  }
+  return Apps;
+}
+
+/// App order as the evaluation stream first mentions them (map iteration
+/// would alphabetize; the stream order is the run order).
+std::vector<std::string> appOrder(const LoadedRun &Run) {
+  std::vector<std::string> Order;
+  std::set<std::string> Seen;
+  for (const EvalRecord &R : Run.Evaluations)
+    if (Seen.insert(R.App).second)
+      Order.push_back(R.App);
+  return Order;
+}
+
+} // namespace
+
+std::string report::summarize(const LoadedRun &Run, bool Markdown) {
+  std::ostringstream Out;
+  const json::Value &M = Run.Manifest;
+  const char *H = Markdown ? "## " : "=== ";
+  const char *HEnd = Markdown ? "" : " ===";
+
+  Out << H << "run " << Run.Dir << HEnd << "\n";
+  Out << "tool: " << M.string("tool", "?") << "   git: "
+      << M.string("git", "?") << "\n";
+  Out << "seed: " << static_cast<uint64_t>(M.number("seed")) << "   jobs: "
+      << static_cast<int>(M.number("jobs"))
+      << "   evaluations: " << Run.Evaluations.size() << "\n\n";
+
+  std::map<std::string, AppRoll> Apps = rollUp(Run);
+  for (const std::string &Name : appOrder(Run)) {
+    const AppRoll &A = Apps[Name];
+    Out << (Markdown ? "### " : "--- ") << Name
+        << (Markdown ? "" : " ---") << "\n";
+
+    Out << "verdicts:";
+    for (const auto &KV : A.ByVerdict)
+      Out << " " << KV.first << "=" << KV.second;
+    Out << "  (total " << A.Total << ")\n";
+
+    int CacheTotal = A.CacheHits + A.CacheMisses;
+    Out << "cache: " << A.CacheHits << "/" << CacheTotal << " hits ("
+        << format("%.1f", CacheTotal ? 100.0 * A.CacheHits / CacheTotal : 0.0)
+        << "%)\n";
+
+    if (!A.ByError.empty()) {
+      // Top rejection reasons, most frequent first.
+      std::vector<std::pair<int, std::string>> Reasons;
+      for (const auto &KV : A.ByError)
+        Reasons.push_back({KV.second, KV.first});
+      std::sort(Reasons.rbegin(), Reasons.rend());
+      Out << "rejections:";
+      for (const auto &R : Reasons)
+        Out << " " << R.second << "=" << R.first;
+      Out << "\n";
+    }
+
+    bool Any = false;
+    for (const GenRecord &G : Run.Generations) {
+      if (G.App != Name)
+        continue;
+      if (!Any)
+        Out << "best by generation:";
+      Any = true;
+      Out << " " << G.Generation << ":" << format("%.0f", G.BestCycles);
+    }
+    if (Any)
+      Out << "\n";
+    if (A.BestCycles != 0.0)
+      Out << "best median cycles: " << format("%.1f", A.BestCycles)
+          << "\n";
+    Out << "\n";
+  }
+  return Out.str();
+}
+
+// --- Diffing ----------------------------------------------------------------
+
+DiffResult report::diffRuns(const LoadedRun &A, const LoadedRun &B,
+                            const DiffOptions &Opt) {
+  DiffResult Out;
+  std::ostringstream Text;
+
+  std::map<std::string, AppRoll> RollA = rollUp(A), RollB = rollUp(B);
+
+  for (const std::string &Name : appOrder(A)) {
+    if (!RollB.count(Name)) {
+      Text << Name << ": only in baseline " << A.Dir << "\n";
+      continue;
+    }
+    const AppRoll &RA = RollA[Name];
+    const AppRoll &RB = RollB[Name];
+
+    // Fitness gate: best-of-run median cycles, B relative to A.
+    if (RA.BestCycles > 0.0 && RB.BestCycles > 0.0) {
+      double Rel = (RB.BestCycles - RA.BestCycles) / RA.BestCycles;
+      if (Rel > Opt.FitnessThreshold) {
+        ++Out.FitnessRegressions;
+        Text << Name << ": FITNESS REGRESSION best "
+             << format("%.1f", RA.BestCycles) << " -> "
+             << format("%.1f", RB.BestCycles) << " (+"
+             << format("%.1f", 100.0 * Rel) << "%)\n";
+      } else if (Rel < -Opt.FitnessThreshold) {
+        Text << Name << ": improved best " << format("%.1f", RA.BestCycles)
+             << " -> " << format("%.1f", RB.BestCycles) << " ("
+             << format("%.1f", 100.0 * Rel) << "%)\n";
+      }
+    } else if (RA.BestCycles > 0.0 && RB.BestCycles == 0.0) {
+      ++Out.FitnessRegressions;
+      Text << Name << ": FITNESS REGRESSION — baseline found a valid "
+                      "binary, new run did not\n";
+    }
+
+    // Verdict-mix gate: share of each verdict among all evaluations.
+    std::set<std::string> Kinds;
+    for (const auto &KV : RA.ByVerdict)
+      Kinds.insert(KV.first);
+    for (const auto &KV : RB.ByVerdict)
+      Kinds.insert(KV.first);
+    for (const std::string &Kind : Kinds) {
+      double ShareA =
+          RA.Total ? static_cast<double>(RA.ByVerdict.count(Kind)
+                                             ? RA.ByVerdict.at(Kind)
+                                             : 0) /
+                         RA.Total
+                   : 0.0;
+      double ShareB =
+          RB.Total ? static_cast<double>(RB.ByVerdict.count(Kind)
+                                             ? RB.ByVerdict.at(Kind)
+                                             : 0) /
+                         RB.Total
+                   : 0.0;
+      if (std::fabs(ShareA - ShareB) > Opt.MixThreshold) {
+        ++Out.VerdictShifts;
+        Text << Name << ": verdict mix shift " << Kind << " "
+             << format("%.1f", 100.0 * ShareA) << "% -> "
+             << format("%.1f", 100.0 * ShareB) << "%\n";
+      }
+    }
+  }
+  for (const std::string &Name : appOrder(B))
+    if (!RollA.count(Name))
+      Text << Name << ": only in new run " << B.Dir << "\n";
+
+  if (Out.FitnessRegressions == 0 && Out.VerdictShifts == 0)
+    Text << "no regressions (" << A.Dir << " vs " << B.Dir << ")\n";
+  Out.Text = Text.str();
+  return Out;
+}

@@ -1,0 +1,104 @@
+//===- report/RunDiff.h - Loading, summarizing, diffing runs ----*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The read side of the run-report flight recorder: parse a run directory
+/// back into typed records, validate its artifacts, render a human (or
+/// markdown) summary, and diff two runs as a regression gate — fitness
+/// regressions beyond a configurable threshold and verdict-mix shifts
+/// both fail the gate, which is what `ropt-report diff` exits non-zero
+/// on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_REPORT_RUN_DIFF_H
+#define ROPT_REPORT_RUN_DIFF_H
+
+#include "support/Json.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ropt {
+namespace report {
+
+/// One evaluations.jsonl record, parsed.
+struct EvalRecord {
+  uint64_t Id = 0;
+  std::string App;
+  int Generation = 0;
+  std::string Genome;
+  std::vector<uint64_t> Parents;
+  std::string Verdict; ///< evalKindName spelling ("ok", "compile-error"...).
+  std::string Error;   ///< errorCodeName spelling; "" when verdict is ok.
+  std::string Cache;   ///< "miss", "genome-hit" or "binary-hit".
+  double MedianCycles = 0.0;
+  double CiLow = 0.0;
+  double CiHigh = 0.0;
+  uint64_t CodeSize = 0;
+  std::string BinaryHash; ///< "0x..." hex string.
+};
+
+/// One generations.jsonl record, parsed.
+struct GenRecord {
+  std::string App;
+  int Generation = 0;
+  int Evaluations = 0;
+  int Invalid = 0;
+  double BestCycles = 0.0;
+  double WorstCycles = 0.0;
+  double MeanCycles = 0.0;
+};
+
+/// A run directory pulled back into memory.
+struct LoadedRun {
+  std::string Dir;
+  json::Value Manifest;
+  std::vector<EvalRecord> Evaluations;
+  std::vector<GenRecord> Generations;
+};
+
+/// Reads manifest.json + the JSONL streams. Fails on missing files or
+/// unparseable JSON (line number in the message).
+support::Result<LoadedRun> loadRun(const std::string &Dir);
+
+/// Structural checks beyond parseability: manifest fields present, record
+/// ids dense and increasing, parent ids referencing earlier records,
+/// known verdict/cache spellings. Returns one message per problem (empty
+/// = valid).
+std::vector<std::string> validateRun(const LoadedRun &Run);
+
+/// Renders the run: manifest header, per-app verdict breakdown, cache
+/// hit rate, best-fitness-per-generation curve, top rejection reasons.
+std::string summarize(const LoadedRun &Run, bool Markdown = false);
+
+struct DiffOptions {
+  /// Relative best-fitness slowdown that counts as a regression (B worse
+  /// than A by more than this fraction).
+  double FitnessThreshold = 0.02;
+  /// Absolute shift in a verdict's share of evaluations that counts as a
+  /// mix shift.
+  double MixThreshold = 0.05;
+};
+
+struct DiffResult {
+  int FitnessRegressions = 0;
+  int VerdictShifts = 0;
+  std::string Text; ///< Human-readable diff report.
+
+  bool regressed() const { return FitnessRegressions != 0; }
+};
+
+/// Compares run B against baseline A, app by app.
+DiffResult diffRuns(const LoadedRun &A, const LoadedRun &B,
+                    const DiffOptions &Opt = DiffOptions());
+
+} // namespace report
+} // namespace ropt
+
+#endif // ROPT_REPORT_RUN_DIFF_H

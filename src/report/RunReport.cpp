@@ -1,0 +1,223 @@
+//===- report/RunReport.cpp - The run-report flight recorder --------------===//
+
+#include "report/RunReport.h"
+
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Statistics.h"
+#include "support/Trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace ropt;
+using namespace ropt::report;
+
+#ifndef ROPT_GIT_DESCRIBE
+#define ROPT_GIT_DESCRIBE "unknown"
+#endif
+
+namespace {
+
+std::string hexHash(uint64_t H) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+std::string countersJson(const search::EngineCounters &C) {
+  json::Builder B;
+  B.field("ok", C.Ok)
+      .field("compile_error", C.CompileError)
+      .field("runtime_crash", C.RuntimeCrash)
+      .field("runtime_timeout", C.RuntimeTimeout)
+      .field("wrong_output", C.WrongOutput)
+      .field("total", C.total());
+  return std::move(B).str();
+}
+
+std::string cacheJson(const search::EngineCacheStats &S) {
+  uint64_t Total = S.hits() + S.Misses;
+  json::Builder B;
+  B.field("genome_hits", S.GenomeHits)
+      .field("binary_hits", S.BinaryHits)
+      .field("misses", S.Misses)
+      .field("hit_rate", Total ? static_cast<double>(S.hits()) /
+                                     static_cast<double>(Total)
+                               : 0.0);
+  return std::move(B).str();
+}
+
+} // namespace
+
+support::Result<std::unique_ptr<RunReport>>
+RunReport::open(const std::string &Dir, RunInfo Info) {
+  support::Result<std::unique_ptr<ReportWriter>> W = ReportWriter::open(Dir);
+  if (!W)
+    return W.error();
+  return std::unique_ptr<RunReport>(
+      new RunReport(std::move(W).value(), std::move(Info)));
+}
+
+RunReport::RunReport(std::unique_ptr<ReportWriter> Writer, RunInfo Info)
+    : Writer(std::move(Writer)), Info(std::move(Info)),
+      Start(std::chrono::steady_clock::now()) {}
+
+RunReport::~RunReport() { finish(); }
+
+void RunReport::beginApp(const std::string &AppName) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Apps.push_back(AppEntry{AppName, AppOutcome{}, false});
+}
+
+void RunReport::endApp(const AppOutcome &Outcome) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Apps.empty() || Apps.back().Ended)
+    Apps.push_back(AppEntry{"", AppOutcome{}, false});
+  Apps.back().Outcome = Outcome;
+  Apps.back().Ended = true;
+}
+
+uint64_t RunReport::onEvaluation(const search::Genome &G,
+                                 const search::Evaluation &E, int Generation,
+                                 const std::vector<uint64_t> &Parents) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Id = NextId++;
+  ++TotalEvaluations;
+
+  // The record must be a pure function of (id, app, genome, evaluation):
+  // no timestamps, %.17g doubles, hashes as hex strings — this is what
+  // keeps a seeded run byte-identical at any --jobs value.
+  json::Builder B;
+  B.field("id", Id);
+  B.field("app", Apps.empty() ? std::string() : Apps.back().Name);
+  B.field("gen", Generation);
+  B.field("genome", G.name());
+  {
+    json::Builder P(/*Array=*/true);
+    for (uint64_t Parent : Parents)
+      P.element(Parent);
+    B.fieldRaw("parents", std::move(P).str());
+  }
+  B.field("verdict", search::evalKindName(E.Kind));
+  if (E.ok())
+    B.fieldNull("error");
+  else
+    B.field("error", support::errorCodeName(E.Error));
+  B.field("cache", search::cacheOriginName(E.Origin));
+  B.field("median_cycles", E.MedianCycles);
+  // Deterministic normal-approximation CI over the replay samples (the
+  // bootstrap needs an RNG, which records must not consume).
+  double CiLow = 0.0, CiHigh = 0.0;
+  if (E.ok() && !E.Samples.empty()) {
+    double M = mean(E.Samples);
+    double Half = 1.96 * sampleStdDev(E.Samples) /
+                  std::sqrt(static_cast<double>(E.Samples.size()));
+    CiLow = M - Half;
+    CiHigh = M + Half;
+  }
+  B.field("ci_low", CiLow);
+  B.field("ci_high", CiHigh);
+  {
+    json::Builder S(/*Array=*/true);
+    for (double Sample : E.Samples)
+      S.element(Sample);
+    B.fieldRaw("samples", std::move(S).str());
+  }
+  B.field("code_size", E.CodeSize);
+  B.field("binary_hash", hexHash(E.BinaryHash));
+  Writer->appendEvaluation(std::move(B).str());
+  return Id;
+}
+
+void RunReport::onGenerationDone(const search::GenerationStats &S) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  json::Builder B;
+  B.field("app", Apps.empty() ? std::string() : Apps.back().Name);
+  B.field("gen", S.Generation);
+  B.field("evaluations", S.Evaluations);
+  B.field("invalid", S.Invalid);
+  B.field("best_cycles", S.BestCycles);
+  B.field("worst_cycles", S.WorstCycles);
+  B.field("mean_cycles", S.MeanCycles);
+  Writer->appendGeneration(std::move(B).str());
+}
+
+std::string RunReport::manifestJson() const {
+  double WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  search::EngineCounters Totals;
+  search::EngineCacheStats CacheTotals;
+  for (const AppEntry &A : Apps) {
+    Totals += A.Outcome.Counters;
+    CacheTotals.GenomeHits += A.Outcome.Cache.GenomeHits;
+    CacheTotals.BinaryHits += A.Outcome.Cache.BinaryHits;
+    CacheTotals.Misses += A.Outcome.Cache.Misses;
+  }
+
+  json::Builder B;
+  B.field("schema", 1);
+  B.field("tool", Info.Tool);
+  B.field("git", ROPT_GIT_DESCRIBE);
+  B.field("seed", Info.Seed);
+  B.field("jobs", Info.Jobs);
+  B.field("fast", Info.Fast);
+  {
+    json::Builder C;
+    C.field("generations", Info.Generations)
+        .field("population", Info.PopulationSize)
+        .field("replays_per_evaluation", Info.ReplaysPerEvaluation)
+        .field("captures_per_region", Info.CapturesPerRegion)
+        .field("memoize", Info.Memoize);
+    B.fieldRaw("config", std::move(C).str());
+  }
+  B.field("wall_seconds", WallSeconds);
+  B.field("evaluations", TotalEvaluations);
+  {
+    json::Builder AppsB(/*Array=*/true);
+    for (const AppEntry &A : Apps) {
+      json::Builder E;
+      E.field("name", A.Name);
+      E.field("succeeded", A.Outcome.Succeeded);
+      if (A.Outcome.FailureReason.empty())
+        E.fieldNull("failure");
+      else
+        E.field("failure", A.Outcome.FailureReason);
+      E.fieldRaw("verdicts", countersJson(A.Outcome.Counters));
+      E.fieldRaw("cache", cacheJson(A.Outcome.Cache));
+      E.field("region_android_cycles", A.Outcome.RegionAndroid);
+      E.field("region_o3_cycles", A.Outcome.RegionO3);
+      E.field("region_best_cycles", A.Outcome.RegionBest);
+      E.field("speedup_ga_over_android", A.Outcome.SpeedupGaOverAndroid);
+      E.field("speedup_ga_over_o3", A.Outcome.SpeedupGaOverO3);
+      AppsB.elementRaw(std::move(E).str());
+    }
+    B.fieldRaw("apps", std::move(AppsB).str());
+  }
+  {
+    json::Builder T;
+    T.fieldRaw("verdicts", countersJson(Totals));
+    T.fieldRaw("cache", cacheJson(CacheTotals));
+    B.fieldRaw("totals", std::move(T).str());
+  }
+  return std::move(B).str();
+}
+
+bool RunReport::finish() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Finished)
+    return true;
+  Finished = true;
+
+  bool Ok = Writer->writeFile(ManifestFile, manifestJson());
+  Ok &= Writer->writeFile(MetricsFile,
+                          Metrics::instance().snapshot().toJson());
+  // Always write the trace so a run directory has the same artifact set
+  // whether or not instrumentation recorded anything (it compiles away
+  // under -Dropt_observability=OFF, leaving an empty event list).
+  Ok &= Writer->writeFile(TraceFile, TraceRecorder::instance().toChromeJson());
+  return Ok;
+}

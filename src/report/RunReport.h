@@ -1,0 +1,122 @@
+//===- report/RunReport.h - The run-report flight recorder ------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistent provenance for every pipeline run: a RunReport owns one run
+/// directory and records every genome evaluation (`evaluations.jsonl`),
+/// every per-generation aggregate (`generations.jsonl`), per-app outcomes
+/// and engine cache statistics (`manifest.json`), the final metrics
+/// snapshot (`metrics.json`) and the Chrome trace (`trace.json`).
+///
+/// The recorder implements search::ProvenanceSink, so the GA hands it one
+/// record per evaluation strictly in batch order on the calling thread.
+/// Records carry no timestamps, doubles are formatted %.17g, and 64-bit
+/// binary hashes are hex strings — a seeded run therefore produces a
+/// byte-identical `evaluations.jsonl` at any `--jobs` value, which is
+/// exactly what `ropt-report diff` leans on as a regression gate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_REPORT_RUN_REPORT_H
+#define ROPT_REPORT_RUN_REPORT_H
+
+#include "report/ReportWriter.h"
+#include "search/EvaluationEngine.h"
+#include "search/GeneticSearch.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ropt {
+namespace report {
+
+/// What the harness knows about the run before it starts; lands in
+/// manifest.json verbatim.
+struct RunInfo {
+  std::string Tool;     ///< Harness name, e.g. "fig09_ga_evolution".
+  uint64_t Seed = 1;
+  int Jobs = 0;         ///< Requested workers (0 = hardware).
+  bool Fast = false;
+  bool Memoize = true;
+  int Generations = 0;
+  int PopulationSize = 0;
+  int ReplaysPerEvaluation = 0;
+  int CapturesPerRegion = 0;
+};
+
+/// Everything the harness reports when one app's pipeline run ends;
+/// summarized per app in the manifest (and into the run totals).
+struct AppOutcome {
+  bool Succeeded = false;
+  std::string FailureReason;
+  search::EngineCounters Counters;  ///< GA + baseline verdict counts.
+  search::EngineCacheStats Cache;   ///< The engine's memoization story.
+  double RegionAndroid = 0.0;
+  double RegionO3 = 0.0;
+  double RegionBest = 0.0;
+  double SpeedupGaOverAndroid = 0.0;
+  double SpeedupGaOverO3 = 0.0;
+};
+
+/// The flight recorder. Open one per run, point PipelineConfig at it (it
+/// is the search's ProvenanceSink), bracket each app with
+/// beginApp()/endApp(), and call finish() (or let the destructor) to seal
+/// the manifest.
+class RunReport : public search::ProvenanceSink {
+public:
+  /// Creates \p Dir and its streams. \p Info is frozen into the manifest.
+  static support::Result<std::unique_ptr<RunReport>>
+  open(const std::string &Dir, RunInfo Info);
+
+  ~RunReport() override;
+
+  const std::string &directory() const { return Writer->directory(); }
+
+  /// Starts attributing records to \p AppName (the "app" field of every
+  /// subsequent JSONL record).
+  void beginApp(const std::string &AppName);
+  /// Seals the current app's manifest entry.
+  void endApp(const AppOutcome &Outcome);
+
+  // ProvenanceSink: called by the GA in batch order.
+  uint64_t onEvaluation(const search::Genome &G,
+                        const search::Evaluation &E, int Generation,
+                        const std::vector<uint64_t> &Parents) override;
+  void onGenerationDone(const search::GenerationStats &S) override;
+
+  /// Writes manifest.json, metrics.json and (when the recorder is
+  /// enabled) trace.json. Idempotent; returns false on I/O failure.
+  bool finish();
+
+private:
+  RunReport(std::unique_ptr<ReportWriter> Writer, RunInfo Info);
+
+  struct AppEntry {
+    std::string Name;
+    AppOutcome Outcome;
+    bool Ended = false;
+  };
+
+  std::string manifestJson() const;
+
+  std::unique_ptr<ReportWriter> Writer;
+  RunInfo Info;
+  std::chrono::steady_clock::time_point Start;
+
+  mutable std::mutex Mutex;
+  std::vector<AppEntry> Apps;
+  uint64_t NextId = 1;
+  uint64_t TotalEvaluations = 0;
+  bool Finished = false;
+};
+
+} // namespace report
+} // namespace ropt
+
+#endif // ROPT_REPORT_RUN_REPORT_H

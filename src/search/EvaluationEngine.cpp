@@ -173,6 +173,7 @@ EvaluationEngine::evaluateBatch(const std::vector<Genome> &Genomes) {
     if (!CompileOk) {
       Evaluation E;
       E.Kind = EvalKind::CompileError;
+      E.Error = support::ErrorCode::CompileFailed;
       return E;
     }
     if (Options.Memoize)
@@ -193,15 +194,18 @@ EvaluationEngine::evaluateBatch(const std::vector<Genome> &Genomes) {
                          MeasureWork[MIt->second].WorkIndex == WorkOf[I];
       if (B.Ok && !PaidMeasure) {
         ++Cache.BinaryHits;
+        Results[I].Origin = CacheOrigin::BinaryHit;
         ROPT_METRIC_INC("search.cache_hits");
       } else {
         ++Cache.Misses;
+        Results[I].Origin = CacheOrigin::Fresh;
         ROPT_METRIC_INC("search.cache_misses");
       }
     } else {
       // Answered without compiling: genome-level hit (earlier batch or an
       // earlier duplicate within this one).
       ++Cache.GenomeHits;
+      Results[I].Origin = CacheOrigin::GenomeHit;
       ROPT_METRIC_INC("search.cache_hits");
     }
     Stats.count(Results[I].Kind);

@@ -24,6 +24,15 @@ const char *search::evalKindName(EvalKind K) {
   return "unknown";
 }
 
+const char *search::cacheOriginName(CacheOrigin O) {
+  switch (O) {
+  case CacheOrigin::Fresh: return "miss";
+  case CacheOrigin::GenomeHit: return "genome-hit";
+  case CacheOrigin::BinaryHit: return "binary-hit";
+  }
+  return "unknown";
+}
+
 Evaluation BatchEvaluator::evaluateOne(const Genome &G) {
   std::vector<Evaluation> Results = evaluateBatch({G});
   assert(Results.size() == 1 && "evaluator broke the batch contract");
@@ -40,8 +49,9 @@ FunctionEvaluator::evaluateBatch(const std::vector<Genome> &Genomes) {
 }
 
 GeneticSearch::GeneticSearch(GaConfig Config, uint64_t Seed,
-                             BatchEvaluator &Evaluator)
-    : Config(Config), R(Seed), Evaluator(Evaluator) {}
+                             BatchEvaluator &Evaluator,
+                             ProvenanceSink *Sink)
+    : Config(Config), R(Seed), Evaluator(Evaluator), Sink(Sink) {}
 
 void GeneticSearch::record(const Evaluation &E, int Generation,
                            GaTrace *Trace) {
@@ -79,14 +89,28 @@ void GeneticSearch::record(const Evaluation &E, int Generation,
     ROPT_METRIC_INC("search.genomes_rejected");
 }
 
-std::vector<Evaluation>
-GeneticSearch::evaluateBatch(const std::vector<Genome> &Batch,
-                             int Generation, GaTrace *Trace) {
+std::vector<Evaluation> GeneticSearch::evaluateBatch(
+    const std::vector<Genome> &Batch, int Generation, GaTrace *Trace,
+    const std::vector<std::vector<uint64_t>> *Parents,
+    std::vector<uint64_t> *IdsOut) {
+  assert((!Parents || Parents->size() == Batch.size()) &&
+         "one parent list per batch genome");
   std::vector<Evaluation> Results = Evaluator.evaluateBatch(Batch);
   assert(Results.size() == Batch.size() &&
          "evaluator broke the batch contract");
-  for (const Evaluation &E : Results)
-    record(E, Generation, Trace);
+  if (IdsOut)
+    IdsOut->assign(Batch.size(), 0);
+  static const std::vector<uint64_t> NoParents;
+  for (size_t I = 0; I != Results.size(); ++I) {
+    record(Results[I], Generation, Trace);
+    if (Sink) {
+      uint64_t Id = Sink->onEvaluation(
+          Batch[I], Results[I], Generation,
+          Parents ? (*Parents)[I] : NoParents);
+      if (IdsOut)
+        (*IdsOut)[I] = Id;
+    }
+  }
   return Results;
 }
 
@@ -197,10 +221,12 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
       removeRedundantPasses(G);
       Initial.push_back(std::move(G));
     }
-    std::vector<Evaluation> Evals = evaluateBatch(Initial, 0, Trace);
+    std::vector<uint64_t> Ids;
+    std::vector<Evaluation> Evals =
+        evaluateBatch(Initial, 0, Trace, nullptr, &Ids);
     for (size_t I = 0; I != Initial.size(); ++I)
       Population.push_back(
-          Scored{std::move(Initial[I]), std::move(Evals[I])});
+          Scored{std::move(Initial[I]), std::move(Evals[I]), Ids[I]});
 
     // Replace genomes slower than both baselines, one round per retry,
     // biasing the search toward profitable space (Section 4).
@@ -220,10 +246,10 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
         removeRedundantPasses(G);
         Replacements.push_back(std::move(G));
       }
-      Evals = evaluateBatch(Replacements, 0, Trace);
+      Evals = evaluateBatch(Replacements, 0, Trace, nullptr, &Ids);
       for (size_t I = 0; I != Poor.size(); ++I)
         Population[Poor[I]] =
-            Scored{std::move(Replacements[I]), std::move(Evals[I])};
+            Scored{std::move(Replacements[I]), std::move(Evals[I]), Ids[I]};
     }
   }
   sortByFitness(Population);
@@ -244,6 +270,7 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
       Next.push_back(Population[static_cast<size_t>(E)]);
 
     std::vector<Genome> Children;
+    std::vector<std::vector<uint64_t>> ChildParents;
     while (Next.size() + Children.size() <
            static_cast<size_t>(Config.PopulationSize)) {
       const Scored *MateA = selectMate(Population, R);
@@ -252,10 +279,14 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
       if (R.chance(Config.GenomeMutationProb))
         mutate(Child, R, Config.Genomes);
       Children.push_back(std::move(Child));
+      ChildParents.push_back({MateA->ReportId, MateB->ReportId});
     }
-    std::vector<Evaluation> Evals = evaluateBatch(Children, Gen, Trace);
+    std::vector<uint64_t> Ids;
+    std::vector<Evaluation> Evals =
+        evaluateBatch(Children, Gen, Trace, &ChildParents, &Ids);
     for (size_t I = 0; I != Children.size(); ++I)
-      Next.push_back(Scored{std::move(Children[I]), std::move(Evals[I])});
+      Next.push_back(
+          Scored{std::move(Children[I]), std::move(Evals[I]), Ids[I]});
 
     Population = std::move(Next);
     sortByFitness(Population);
@@ -284,13 +315,16 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
     std::vector<Genome> Neighbors = neighborhood(Best.G);
     if (Neighbors.empty())
       break;
-    std::vector<Evaluation> Evals =
-        evaluateBatch(Neighbors, Config.Generations, Trace);
+    std::vector<std::vector<uint64_t>> NeighborParents(
+        Neighbors.size(), std::vector<uint64_t>{Best.ReportId});
+    std::vector<uint64_t> Ids;
+    std::vector<Evaluation> Evals = evaluateBatch(
+        Neighbors, Config.Generations, Trace, &NeighborParents, &Ids);
     ROPT_METRIC_ADD("search.hillclimb_steps", Neighbors.size());
     bool Improved = false;
     for (size_t I = 0; I != Neighbors.size(); ++I) {
       if (Evals[I].ok() && better(Evals[I], Best.E)) {
-        Best = Scored{std::move(Neighbors[I]), std::move(Evals[I])};
+        Best = Scored{std::move(Neighbors[I]), std::move(Evals[I]), Ids[I]};
         Improved = true;
       }
     }
@@ -309,4 +343,7 @@ void GeneticSearch::finalizeGenerationStats(GaTrace *Trace) {
       S.MeanCycles /= S.valid();
   if (Trace)
     Trace->Generations = GenStats;
+  if (Sink)
+    for (const GenerationStats &S : GenStats)
+      Sink->onGenerationDone(S);
 }

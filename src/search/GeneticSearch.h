@@ -28,6 +28,7 @@
 #define ROPT_SEARCH_GENETIC_SEARCH_H
 
 #include "search/Genome.h"
+#include "support/Result.h"
 
 #include <functional>
 #include <optional>
@@ -49,6 +50,18 @@ enum class EvalKind {
 
 const char *evalKindName(EvalKind K);
 
+/// How the evaluation engine answered a genome: with fresh work, or from
+/// one of its two cache levels. Deterministic in batch content, so it may
+/// appear in persistent provenance records without breaking the
+/// bit-identical-at-any-jobs guarantee.
+enum class CacheOrigin {
+  Fresh,     ///< Paid a compile (and replays when the compile succeeded).
+  GenomeHit, ///< Answered by the canonical-genome-string cache.
+  BinaryHit, ///< Fresh compile, but the binary hash was already measured.
+};
+
+const char *cacheOriginName(CacheOrigin O);
+
 /// Result of evaluating one genome.
 struct Evaluation {
   EvalKind Kind = EvalKind::Unevaluated;
@@ -56,6 +69,11 @@ struct Evaluation {
   double MedianCycles = 0.0;
   uint64_t CodeSize = 0;
   uint64_t BinaryHash = 0; ///< Identity of the produced machine code.
+  /// The typed capture/replay/compile error behind a non-Ok Kind
+  /// (Unknown when Ok or never evaluated).
+  support::ErrorCode Error = support::ErrorCode::Unknown;
+  /// How the evaluation engine answered (Fresh for serial evaluators).
+  CacheOrigin Origin = CacheOrigin::Fresh;
 
   bool ok() const { return Kind == EvalKind::Ok; }
 };
@@ -105,10 +123,13 @@ struct GaConfig {
   double SignificanceAlpha = 0.05;
 };
 
-/// One scored population member.
+/// One scored population member. ReportId is the provenance-record id the
+/// genome's evaluation received (0 when no sink is attached); children
+/// cite their parents' ids in the run report.
 struct Scored {
   Genome G;
   Evaluation E;
+  uint64_t ReportId = 0;
 };
 
 /// Figure 9's raw material: one entry per evaluation.
@@ -141,11 +162,38 @@ struct GaTrace {
   bool HaltedOnIdentical = false;
 };
 
+/// Consumer of the search's evaluation-by-evaluation provenance (the
+/// run-report flight recorder implements this). The GA calls it on the
+/// calling thread, strictly in batch order, immediately after folding a
+/// batch into its own state — so a seeded run emits an identical record
+/// sequence at any evaluator parallelism. Implementations may write from
+/// behind a lock; they must not call back into the search.
+class ProvenanceSink {
+public:
+  virtual ~ProvenanceSink() = default;
+
+  /// One evaluated genome. \p Parents are the record ids of the genomes
+  /// this one was bred from (empty for random genomes, two for crossover
+  /// children, one for hill-climb neighbors). Returns the id assigned to
+  /// this record.
+  virtual uint64_t onEvaluation(const Genome &G, const Evaluation &E,
+                                int Generation,
+                                const std::vector<uint64_t> &Parents) = 0;
+
+  /// One finalized per-generation aggregate (means already computed);
+  /// called once per generation when the search finishes.
+  virtual void onGenerationDone(const GenerationStats &S) = 0;
+};
+
 /// The search engine. Pure logic: all measurement happens through the
 /// batch evaluator, which must outlive the search.
 class GeneticSearch {
 public:
-  GeneticSearch(GaConfig Config, uint64_t Seed, BatchEvaluator &Evaluator);
+  /// \p Sink, when non-null, receives one provenance record per
+  /// evaluation and the finalized generation log; it must outlive the
+  /// search.
+  GeneticSearch(GaConfig Config, uint64_t Seed, BatchEvaluator &Evaluator,
+                ProvenanceSink *Sink = nullptr);
 
   /// Runs the full search. \p AndroidCycles and \p O3Cycles drive the
   /// gen-0 replacement biasing. Returns the best valid genome found, or
@@ -161,9 +209,15 @@ public:
 
 private:
   /// Evaluates one batch and folds every result — in batch order — into
-  /// the identical-binary count, the generation log, and the trace.
-  std::vector<Evaluation> evaluateBatch(const std::vector<Genome> &Batch,
-                                        int Generation, GaTrace *Trace);
+  /// the identical-binary count, the generation log, the trace, and the
+  /// provenance sink. \p Parents (when given) holds one parent-id list
+  /// per batch genome; \p IdsOut (when given) receives the sink-assigned
+  /// record id per genome (0s without a sink).
+  std::vector<Evaluation>
+  evaluateBatch(const std::vector<Genome> &Batch, int Generation,
+                GaTrace *Trace,
+                const std::vector<std::vector<uint64_t>> *Parents = nullptr,
+                std::vector<uint64_t> *IdsOut = nullptr);
   void record(const Evaluation &E, int Generation, GaTrace *Trace);
   /// The hill-climb neighborhood of \p Base: gene drops, parameter
   /// nudges, flag toggles, one random extension.
@@ -181,6 +235,7 @@ private:
   GaConfig Config;
   Rng R;
   BatchEvaluator &Evaluator;
+  ProvenanceSink *Sink = nullptr;
   std::set<uint64_t> SeenBinaries;
   std::vector<GenerationStats> GenStats;
   int IdenticalCount = 0;

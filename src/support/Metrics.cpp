@@ -52,6 +52,31 @@ Histogram::Snapshot Histogram::snapshot() const {
   return S;
 }
 
+double Histogram::Snapshot::quantile(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  Q = std::clamp(Q, 0.0, 1.0);
+  double TargetRank = Q * static_cast<double>(Count);
+  uint64_t Before = 0;
+  for (size_t B = 0; B != Counts.size(); ++B) {
+    if (Counts[B] == 0)
+      continue;
+    double InBucket = static_cast<double>(Counts[B]);
+    if (TargetRank > static_cast<double>(Before) + InBucket) {
+      Before += Counts[B];
+      continue;
+    }
+    bool Overflow = B >= Bounds.size();
+    double Lo = B == 0 ? Min : Bounds[B - 1];
+    double Hi = Overflow ? Max : Bounds[B];
+    Lo = std::clamp(Lo, Min, Max);
+    Hi = std::clamp(Hi, Min, Max);
+    double Frac = (TargetRank - static_cast<double>(Before)) / InBucket;
+    return Lo + Frac * (Hi - Lo);
+  }
+  return Max;
+}
+
 // --- MetricsSnapshot ---------------------------------------------------------
 
 uint64_t MetricsSnapshot::counter(const std::string &Name) const {

@@ -78,6 +78,12 @@ public:
     double Min = 0.0; ///< 0 when Count == 0.
     double Max = 0.0;
     double mean() const { return Count ? Sum / static_cast<double>(Count) : 0.0; }
+    /// Estimated \p Q-quantile (Q in [0,1]) by linear interpolation
+    /// inside the bucket holding the target rank — the Prometheus
+    /// histogram_quantile estimator, except the first bucket interpolates
+    /// from the observed Min (not 0) and the overflow bucket toward the
+    /// observed Max, so estimates are always within [Min, Max].
+    double quantile(double Q) const;
   };
   Snapshot snapshot() const;
 

@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Trace.h"
+
 #include <atomic>
 
 using namespace ropt;
@@ -16,7 +18,11 @@ ThreadPool::ThreadPool(size_t Threads) {
     Threads = defaultThreadCount();
   Workers.reserve(Threads);
   for (size_t I = 0; I != Threads; ++I)
-    Workers.emplace_back([this] { workerMain(); });
+    Workers.emplace_back([this, I] {
+      TraceRecorder::instance().setCurrentThreadName(
+          "worker-" + std::to_string(I));
+      workerMain();
+    });
 }
 
 ThreadPool::~ThreadPool() {

@@ -2,10 +2,14 @@
 
 #include "support/Trace.h"
 
+#include "support/Json.h"
+
 #include <chrono>
 #include <cstdio>
 
 using namespace ropt;
+using json::appendEscaped; // string escaping shared with the run-report
+                           // and metrics exporters
 
 namespace {
 
@@ -21,29 +25,6 @@ uint32_t currentThreadId() {
   static std::atomic<uint32_t> Next{1};
   thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
   return Id;
-}
-
-/// JSON string escaping. Names are ASCII literals, but the exporter stays
-/// robust anyway.
-void appendEscaped(std::string &Out, const char *S) {
-  for (; *S; ++S) {
-    unsigned char C = static_cast<unsigned char>(*S);
-    switch (C) {
-    case '"': Out += "\\\""; break;
-    case '\\': Out += "\\\\"; break;
-    case '\n': Out += "\\n"; break;
-    case '\r': Out += "\\r"; break;
-    case '\t': Out += "\\t"; break;
-    default:
-      if (C < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += static_cast<char>(C);
-      }
-    }
-  }
 }
 
 /// One event as a compact JSON object (shared by both exporters).
@@ -84,6 +65,18 @@ void appendEventJson(std::string &Out, const TraceEvent &E) {
     break;
   }
   Out += "}";
+}
+
+/// Chrome "M" thread_name metadata: labels the lane for \p Tid.
+void appendThreadNameJson(std::string &Out, uint32_t Tid,
+                          const std::string &Name) {
+  char Buf[32];
+  Out += "{\"pid\":1,\"tid\":";
+  std::snprintf(Buf, sizeof(Buf), "%u", Tid);
+  Out += Buf;
+  Out += ",\"name\":\"thread_name\",\"ph\":\"M\",\"args\":{\"name\":\"";
+  appendEscaped(Out, Name);
+  Out += "\"}}";
 }
 
 bool writeWholeFile(const std::string &Path, const std::string &Content) {
@@ -156,6 +149,17 @@ void TraceRecorder::recordInstant(const char *Name) {
   Events.push_back(E);
 }
 
+void TraceRecorder::setCurrentThreadName(const std::string &Name) {
+  uint32_t Id = currentThreadId();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ThreadNames[Id] = Name;
+}
+
+std::map<uint32_t, std::string> TraceRecorder::threadNames() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return ThreadNames;
+}
+
 size_t TraceRecorder::eventCount() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Events.size();
@@ -168,15 +172,21 @@ std::vector<TraceEvent> TraceRecorder::events() const {
 
 std::string TraceRecorder::toChromeJson() const {
   std::vector<TraceEvent> Snapshot = events();
+  std::map<uint32_t, std::string> Names = threadNames();
   std::string Out;
   Out.reserve(64 + Snapshot.size() * 96);
   Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  for (size_t I = 0; I != Snapshot.size(); ++I) {
-    if (I)
-      Out += ",\n";
-    else
-      Out += "\n";
-    appendEventJson(Out, Snapshot[I]);
+  bool First = true;
+  // Metadata first so viewers label the lanes before any event lands.
+  for (const auto &KV : Names) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    appendThreadNameJson(Out, KV.first, KV.second);
+  }
+  for (const TraceEvent &E : Snapshot) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    appendEventJson(Out, E);
   }
   Out += "\n]}\n";
   return Out;
@@ -184,8 +194,13 @@ std::string TraceRecorder::toChromeJson() const {
 
 std::string TraceRecorder::toJsonl() const {
   std::vector<TraceEvent> Snapshot = events();
+  std::map<uint32_t, std::string> Names = threadNames();
   std::string Out;
   Out.reserve(Snapshot.size() * 96);
+  for (const auto &KV : Names) {
+    appendThreadNameJson(Out, KV.first, KV.second);
+    Out += "\n";
+  }
   for (const TraceEvent &E : Snapshot) {
     appendEventJson(Out, E);
     Out += "\n";

@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Metrics.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
 
 #include "core/IterativeCompiler.h"
@@ -19,6 +20,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstring>
+#include <map>
 #include <thread>
 
 using namespace ropt;
@@ -286,17 +288,53 @@ TEST(Trace, ChromeJsonAndJsonlAreWellFormed) {
   EXPECT_NE(Chrome.find("\"ph\":\"C\""), std::string::npos);
   EXPECT_NE(Chrome.find("\"ph\":\"i\""), std::string::npos);
 
-  // JSONL: every line independently parses.
+  // JSONL: every line independently parses. Thread-name metadata lines
+  // (ph:"M") may precede the events depending on what earlier tests
+  // registered; only the event lines are counted.
   std::string Jsonl = T.toJsonl();
-  size_t Lines = 0, At = 0;
+  size_t EventLines = 0, At = 0;
   while (At < Jsonl.size()) {
     size_t End = Jsonl.find('\n', At);
     ASSERT_NE(End, std::string::npos);
-    EXPECT_TRUE(jsonValid(Jsonl.substr(At, End - At)));
+    std::string Line = Jsonl.substr(At, End - At);
+    EXPECT_TRUE(jsonValid(Line));
+    if (Line.find("\"thread_name\"") == std::string::npos)
+      ++EventLines;
     At = End + 1;
-    ++Lines;
   }
-  EXPECT_EQ(Lines, 3u);
+  EXPECT_EQ(EventLines, 3u);
+}
+
+TEST(Trace, ThreadNamesExportAsChromeMetadata) {
+  TraceSession Session;
+  TraceRecorder &T = TraceRecorder::instance();
+  T.setCurrentThreadName("test-main");
+  { ScopedSpan Span("test.span"); }
+
+  std::map<uint32_t, std::string> Names = T.threadNames();
+  bool Found = false;
+  for (const auto &KV : Names)
+    Found |= KV.second == "test-main";
+  EXPECT_TRUE(Found);
+
+  std::string Chrome = T.toChromeJson();
+  EXPECT_TRUE(jsonValid(Chrome)) << Chrome;
+  EXPECT_NE(Chrome.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(Chrome.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(Chrome.find("test-main"), std::string::npos);
+}
+
+TEST(Trace, ThreadPoolWorkersRegisterNames) {
+  // Worker naming is metadata: it happens even while recording is off.
+  ThreadPool Pool(3);
+  Pool.parallelFor(3, [](size_t, size_t) {});
+  std::map<uint32_t, std::string> Names =
+      TraceRecorder::instance().threadNames();
+  int Workers = 0;
+  for (const auto &KV : Names)
+    if (KV.second.rfind("worker-", 0) == 0)
+      ++Workers;
+  EXPECT_GE(Workers, 3);
 }
 
 // --- Metrics ----------------------------------------------------------------
@@ -339,6 +377,58 @@ TEST(MetricsTest, HistogramBuckets) {
   EXPECT_DOUBLE_EQ(S.Min, 0.5);
   EXPECT_DOUBLE_EQ(S.Max, 5000.0);
   EXPECT_NEAR(S.mean(), 5556.5 / 6.0, 1e-9);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaryEdges) {
+  Metrics Reg;
+  Histogram &H = Reg.histogram("edges", {10.0, 100.0});
+  H.observe(10.0);  // exactly on a bound: first bucket (inclusive)
+  H.observe(10.000001);
+  H.observe(100.0); // exactly on the last finite bound
+  H.observe(100.000001); // just past it: overflow
+  Histogram::Snapshot S = H.snapshot();
+  ASSERT_EQ(S.Counts.size(), 3u);
+  EXPECT_EQ(S.Counts[0], 1u);
+  EXPECT_EQ(S.Counts[1], 2u);
+  EXPECT_EQ(S.Counts[2], 1u);
+  EXPECT_EQ(S.Count, 4u);
+}
+
+TEST(MetricsTest, HistogramQuantileEstimates) {
+  Metrics Reg;
+  Histogram &H = Reg.histogram("q", {10.0, 20.0});
+  for (double V : {2.0, 4.0, 6.0, 8.0, 10.0})
+    H.observe(V); // bucket 0
+  for (double V : {12.0, 14.0, 16.0, 18.0, 20.0})
+    H.observe(V); // bucket 1
+  Histogram::Snapshot S = H.snapshot();
+  // Rank interpolation: the first bucket spans [Min, Bounds[0]].
+  EXPECT_NEAR(S.quantile(0.0), 2.0, 1e-9);
+  EXPECT_NEAR(S.quantile(0.25), 6.0, 1e-9);  // 2 + (2.5/5) * (10 - 2)
+  EXPECT_NEAR(S.quantile(0.5), 10.0, 1e-9);
+  EXPECT_NEAR(S.quantile(0.75), 15.0, 1e-9); // 10 + (2.5/5) * (20 - 10)
+  EXPECT_NEAR(S.quantile(1.0), 20.0, 1e-9);
+  // Out-of-range Q is clamped.
+  EXPECT_NEAR(S.quantile(-1.0), 2.0, 1e-9);
+  EXPECT_NEAR(S.quantile(2.0), 20.0, 1e-9);
+}
+
+TEST(MetricsTest, HistogramQuantileOverflowBucket) {
+  Metrics Reg;
+  Histogram &H = Reg.histogram("ovf", {10.0});
+  H.observe(5.0);
+  H.observe(50.0);  // overflow
+  H.observe(150.0); // overflow
+  Histogram::Snapshot S = H.snapshot();
+  // The overflow bucket interpolates between the last bound and Max, so
+  // estimates stay within [Min, Max] instead of running off to infinity.
+  double Q9 = S.quantile(0.9);
+  EXPECT_GE(Q9, 10.0);
+  EXPECT_LE(Q9, 150.0);
+  EXPECT_NEAR(S.quantile(1.0), 150.0, 1e-9);
+
+  Histogram &Empty = Reg.histogram("empty", {1.0});
+  EXPECT_DOUBLE_EQ(Empty.snapshot().quantile(0.5), 0.0);
 }
 
 TEST(MetricsTest, CountersAreThreadSafe) {

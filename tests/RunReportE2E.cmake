@@ -1,0 +1,84 @@
+# End-to-end check of the run-report flight recorder over the real
+# binaries (invoked by ctest as the `run_report_e2e` test):
+#
+#   1. fig09_ga_evolution --fast --seed 1 --report A          (jobs 1)
+#   2. fig09_ga_evolution --fast --seed 1 --jobs 4 --report B
+#   3. ropt-report validate A        -> artifacts parse, manifest fields ok
+#   4. ropt-report summarize A       -> renders without error
+#   5. evaluations.jsonl A == B      -> provenance is jobs-invariant
+#   6. ropt-report diff A B          -> zero fitness regressions
+#
+# Inputs: -DFIG09=..., -DROPT_REPORT=..., -DWORK_DIR=...
+
+foreach(Var FIG09 ROPT_REPORT WORK_DIR)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "missing -D${Var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(RunA "${WORK_DIR}/runA")
+set(RunB "${WORK_DIR}/runB")
+
+execute_process(
+  COMMAND ${FIG09} --fast --seed 1 --apps Sieve --report ${RunA}
+  RESULT_VARIABLE Rc OUTPUT_QUIET)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "fig09 --report ${RunA} failed (${Rc})")
+endif()
+
+execute_process(
+  COMMAND ${FIG09} --fast --seed 1 --apps Sieve --jobs 4 --report ${RunB}
+  RESULT_VARIABLE Rc OUTPUT_QUIET)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "fig09 --jobs 4 --report ${RunB} failed (${Rc})")
+endif()
+
+foreach(Artifact manifest.json evaluations.jsonl generations.jsonl
+        metrics.json trace.json)
+  if(NOT EXISTS "${RunA}/${Artifact}")
+    message(FATAL_ERROR "missing artifact ${RunA}/${Artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${ROPT_REPORT} validate ${RunA}
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "ropt-report validate failed (${Rc}):\n${Out}${Err}")
+endif()
+
+execute_process(
+  COMMAND ${ROPT_REPORT} summarize ${RunA}
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "ropt-report summarize failed (${Rc}):\n${Out}${Err}")
+endif()
+if(NOT Out MATCHES "Sieve")
+  message(FATAL_ERROR "summary does not mention the app:\n${Out}")
+endif()
+
+# The tentpole guarantee: byte-identical provenance at any --jobs.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${RunA}/evaluations.jsonl" "${RunB}/evaluations.jsonl"
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR
+          "evaluations.jsonl differs between --jobs 1 and --jobs 4")
+endif()
+
+execute_process(
+  COMMAND ${ROPT_REPORT} diff ${RunA} ${RunB}
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "ropt-report diff found regressions (${Rc}):\n"
+                      "${Out}${Err}")
+endif()
+if(NOT Out MATCHES "fitness regressions: 0")
+  message(FATAL_ERROR "unexpected diff output:\n${Out}")
+endif()
+
+message(STATUS "run_report_e2e: all artifacts valid, provenance "
+               "jobs-invariant, diff clean")

@@ -1,0 +1,117 @@
+//===- tools/ropt_report.cpp - Summarize and diff run directories ---------===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+// The read side of the run-report flight recorder, as a CLI:
+//
+//   ropt-report summarize DIR [--markdown]   human/markdown run summary
+//   ropt-report diff A B [--threshold F]     regression gate (exit 1 on
+//                                            fitness regressions)
+//   ropt-report validate DIR                 structural artifact checks
+//
+// Exit codes: 0 clean, 1 regressions/validation problems, 2 usage or
+// unreadable run directory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/RunDiff.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace ropt;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s summarize DIR [--markdown]\n"
+               "       %s diff BASELINE_DIR NEW_DIR [--threshold FRACTION]\n"
+               "       %s validate DIR\n",
+               Argv0, Argv0, Argv0);
+  return 2;
+}
+
+report::LoadedRun loadOrExit(const std::string &Dir) {
+  support::Result<report::LoadedRun> Run = report::loadRun(Dir);
+  if (!Run) {
+    std::fprintf(stderr, "error: %s\n", Run.error().Message.c_str());
+    std::exit(2);
+  }
+  return std::move(Run).value();
+}
+
+int runSummarize(int Argc, char **Argv) {
+  std::string Dir;
+  bool Markdown = false;
+  for (int I = 2; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--markdown"))
+      Markdown = true;
+    else if (Argv[I][0] != '-' && Dir.empty())
+      Dir = Argv[I];
+    else
+      return usage(Argv[0]);
+  }
+  if (Dir.empty())
+    return usage(Argv[0]);
+  report::LoadedRun Run = loadOrExit(Dir);
+  std::fputs(report::summarize(Run, Markdown).c_str(), stdout);
+  return 0;
+}
+
+int runDiff(int Argc, char **Argv) {
+  std::string DirA, DirB;
+  report::DiffOptions Opt;
+  for (int I = 2; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--threshold") && I + 1 < Argc)
+      Opt.FitnessThreshold = std::strtod(Argv[++I], nullptr);
+    else if (Argv[I][0] != '-' && DirA.empty())
+      DirA = Argv[I];
+    else if (Argv[I][0] != '-' && DirB.empty())
+      DirB = Argv[I];
+    else
+      return usage(Argv[0]);
+  }
+  if (DirA.empty() || DirB.empty())
+    return usage(Argv[0]);
+  report::LoadedRun A = loadOrExit(DirA);
+  report::LoadedRun B = loadOrExit(DirB);
+  report::DiffResult D = report::diffRuns(A, B, Opt);
+  std::fputs(D.Text.c_str(), stdout);
+  std::printf("fitness regressions: %d, verdict mix shifts: %d\n",
+              D.FitnessRegressions, D.VerdictShifts);
+  return D.regressed() ? 1 : 0;
+}
+
+int runValidate(int Argc, char **Argv) {
+  if (Argc != 3)
+    return usage(Argv[0]);
+  report::LoadedRun Run = loadOrExit(Argv[2]);
+  std::vector<std::string> Problems = report::validateRun(Run);
+  for (const std::string &P : Problems)
+    std::fprintf(stderr, "problem: %s\n", P.c_str());
+  if (Problems.empty()) {
+    std::printf("%s: %zu evaluation records, %zu generation records, "
+                "manifest ok\n",
+                Run.Dir.c_str(), Run.Evaluations.size(),
+                Run.Generations.size());
+    return 0;
+  }
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  if (!std::strcmp(Argv[1], "summarize"))
+    return runSummarize(Argc, Argv);
+  if (!std::strcmp(Argv[1], "diff"))
+    return runDiff(Argc, Argv);
+  if (!std::strcmp(Argv[1], "validate"))
+    return runValidate(Argc, Argv);
+  return usage(Argv[0]);
+}
