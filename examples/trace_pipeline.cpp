@@ -53,7 +53,7 @@ int main(int Argc, char **Argv) {
     Config.Search.GA.Generations = 4;
     Config.Search.GA.PopulationSize = 12;
     Config.Search.GA.HillClimbRounds = 1;
-    Config.Search.ReplaysPerEvaluation = 5;
+    Config.Search.MaxReplaysPerEvaluation = 5;
   }
   core::IterativeCompiler Pipeline(Config);
   core::OptimizationReport Report = Pipeline.optimize(App);

@@ -80,16 +80,15 @@ uint64_t hashCodeCache(const vm::CodeCache &Code) {
 
 } // namespace
 
-search::Evaluation RegionEvaluator::evaluateCache(const vm::CodeCache &Code,
-                                                  Rng &Noise) {
-  search::Evaluation E;
+bool RegionEvaluator::verifyCache(const vm::CodeCache &Code,
+                                  search::Evaluation &E) {
   E.CodeSize = Code.totalSizeBytes();
   E.BinaryHash = hashCodeCache(Code);
 
   // One verified replay per capture classifies the binary — wrong on any
-  // input means wrong. Replays are cycle-exact, so the paper's 10
-  // measurement replays become 10 noise draws around the measured cycle
-  // count (documented substitution).
+  // input means wrong. Replays are cycle-exact, so measurement replays
+  // become noise draws around the measured cycle count (documented
+  // substitution).
   double Cycles = 0.0;
   for (const CaptureRef &C : Caps) {
     support::Result<replay::ReplayResult> R =
@@ -98,16 +97,26 @@ search::Evaluation RegionEvaluator::evaluateCache(const vm::CodeCache &Code,
       E.Kind = search::evalKindForError(R.error().Code);
       E.Error = R.error().Code;
       Stats.count(E.Kind);
-      return E;
+      return false;
     }
     Cycles += static_cast<double>(R.value().Result.Cycles);
   }
 
   E.Kind = search::EvalKind::Ok;
+  E.BaseCycles = Cycles;
   Stats.count(E.Kind);
+  return true;
+}
+
+search::Evaluation RegionEvaluator::evaluateCache(const vm::CodeCache &Code,
+                                                  Rng &Noise) {
+  search::Evaluation E;
+  if (!verifyCache(Code, E))
+    return E;
   E.Samples = Config.Measure.Noise.offlineSamples(
-      Noise, Cycles,
-      static_cast<size_t>(Config.Search.ReplaysPerEvaluation));
+      Noise, E.BaseCycles,
+      static_cast<size_t>(Config.Search.MaxReplaysPerEvaluation));
+  E.SamplesSpent = static_cast<int>(E.Samples.size());
   E.Samples = removeOutliersMAD(E.Samples);
   E.MedianCycles = median(E.Samples);
   return E;
@@ -143,12 +152,30 @@ RegionEvaluator::compileGenome(const search::Genome &G) {
 
 search::Evaluation
 RegionEvaluator::measureBinary(const search::CompiledBinary &B,
-                               uint64_t NoiseSeed) {
+                               uint64_t NoiseSeed, size_t SampleCount) {
   assert(B.Ok && B.Artifact && "measuring a failed compile");
   const vm::CodeCache &Code =
       *static_cast<const vm::CodeCache *>(B.Artifact.get());
-  Rng Noise(NoiseSeed);
-  return evaluateCache(Code, Noise);
+  search::Evaluation E;
+  if (!verifyCache(Code, E))
+    return E;
+  // Raw samples, indexed draws: the engine owns outlier removal and may
+  // extend the block later without re-verifying.
+  E.Samples = Config.Measure.Noise.offlineSampleRange(NoiseSeed,
+                                                      E.BaseCycles,
+                                                      /*Begin=*/0,
+                                                      SampleCount);
+  E.SamplesSpent = static_cast<int>(E.Samples.size());
+  E.MedianCycles = median(removeOutliersMAD(E.Samples));
+  return E;
+}
+
+std::vector<double>
+RegionEvaluator::extendSamples(const search::Evaluation &E,
+                               uint64_t NoiseSeed, size_t Begin,
+                               size_t Count) {
+  return Config.Measure.Noise.offlineSampleRange(NoiseSeed, E.BaseCycles,
+                                                 Begin, Count);
 }
 
 search::Evaluation RegionEvaluator::evaluate(const search::Genome &G) {
@@ -314,6 +341,10 @@ IterativeCompiler::optimize(const workloads::Application &App) {
   search::EngineOptions EngineOpts;
   EngineOpts.Jobs = Config.Search.Jobs;
   EngineOpts.Memoize = Config.Search.Memoize;
+  EngineOpts.Racing = Config.Search.Racing;
+  EngineOpts.MinReplays = Config.Search.MinReplaysPerEvaluation;
+  EngineOpts.MaxReplays = Config.Search.MaxReplaysPerEvaluation;
+  EngineOpts.RacingAlpha = Config.Search.GA.SignificanceAlpha;
   search::EvaluationEngine Engine(
       [&App, &Report, &Captures, this]() {
         return std::make_unique<RegionEvaluator>(App, Report.Region,
@@ -343,6 +374,7 @@ IterativeCompiler::optimize(const workloads::Application &App) {
   Report.Counters = Engine.counters();
   Report.Counters += Baselines.counters();
   Report.CacheStats = Engine.cacheStats();
+  Report.RacingStats = Engine.racingStats();
   if (!Best) {
     Report.FailureReason = "search produced no valid binary";
     ROPT_METRIC_INC("pipeline.failures");

@@ -40,7 +40,14 @@ namespace core {
 /// Everything that shapes the offline search (phase 4).
 struct SearchOptions {
   search::GaConfig GA;
-  int ReplaysPerEvaluation = 10;
+  /// Adaptive measurement racing (DESIGN.md §11). Off — the paper's
+  /// configuration — every evaluation pays MaxReplaysPerEvaluation
+  /// replays; on, fresh binaries start with MinReplaysPerEvaluation and
+  /// race the incumbent for the rest, early-stopping clear losers.
+  bool Racing = false;
+  int MinReplaysPerEvaluation = 3;
+  /// The measurement budget per binary (the paper's fixed 10).
+  int MaxReplaysPerEvaluation = 10;
   size_t CompileSizeBudget = 2000;
   /// Worker threads for the evaluation engine; 0 = hardware concurrency.
   int Jobs = 0;
@@ -117,11 +124,20 @@ public:
   /// EvalBackend: compile with the genome, hand back hash/size/artifact.
   search::CompiledBinary compileGenome(const search::Genome &G) override;
 
-  /// EvalBackend: verify + sample timings for a compiled binary. Noise is
-  /// drawn from \p NoiseSeed (a pure function of binary identity), so the
-  /// result is independent of scheduling.
+  /// EvalBackend: verify + draw \p SampleCount raw timing samples for a
+  /// compiled binary. Sample \c i is a pure function of (\p NoiseSeed,
+  /// i), so the result is independent of scheduling and of how the
+  /// racing engine splits the budget into blocks.
   search::Evaluation measureBinary(const search::CompiledBinary &B,
-                                   uint64_t NoiseSeed) override;
+                                   uint64_t NoiseSeed,
+                                   size_t SampleCount) override;
+
+  /// EvalBackend: raw samples [\p Begin, \p Begin + \p Count) of an
+  /// already-verified binary's noise stream, drawn around E.BaseCycles —
+  /// no artifact or replay needed.
+  std::vector<double> extendSamples(const search::Evaluation &E,
+                                    uint64_t NoiseSeed, size_t Begin,
+                                    size_t Count) override;
 
   /// Serial convenience: compile + verify + sample in one call, drawing
   /// noise from this evaluator's own stream (the ablation harnesses'
@@ -147,6 +163,10 @@ public:
 
 private:
   search::Evaluation evaluateCache(const vm::CodeCache &Code, Rng &Noise);
+  /// Verified replay against every capture; fills Kind/Error, hash, size
+  /// and BaseCycles (the deterministic cycle sum noise samples around).
+  /// Returns true when the binary is Ok.
+  bool verifyCache(const vm::CodeCache &Code, search::Evaluation &E);
 
   struct CaptureRef {
     const capture::Capture *Cap;
@@ -186,6 +206,8 @@ struct OptimizationReport {
   search::EngineCounters Counters;
   /// The engine's memoization story for the search.
   search::EngineCacheStats CacheStats;
+  /// The engine's replay-budget accounting (racing vs fixed budget).
+  search::EngineRacingStats RacingStats;
 
   /// Whole-program session samples, measured outside the replay
   /// environment (online noise included).

@@ -54,6 +54,29 @@ struct MeasurementModel {
       Out.push_back(offline(R, Cycles));
     return Out;
   }
+
+  /// Offline sample \p Index of the stream identified by \p NoiseSeed — a
+  /// pure function of (NoiseSeed, Index, Cycles), unlike the sequential
+  /// offlineSamples() stream. The racing engine relies on this to extend
+  /// a binary's sample block later (or from another worker) and get
+  /// exactly the values a single up-front draw would have produced.
+  double offlineSampleAt(uint64_t NoiseSeed, size_t Index,
+                         double Cycles) const {
+    Rng R(NoiseSeed +
+          0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(Index) + 1));
+    return offline(R, Cycles);
+  }
+
+  /// Draws offline samples [\p Begin, \p Begin + \p Count) of the
+  /// \p NoiseSeed stream via offlineSampleAt().
+  std::vector<double> offlineSampleRange(uint64_t NoiseSeed, double Cycles,
+                                         size_t Begin, size_t Count) const {
+    std::vector<double> Out;
+    Out.reserve(Count);
+    for (size_t I = 0; I != Count; ++I)
+      Out.push_back(offlineSampleAt(NoiseSeed, Begin + I, Cycles));
+    return Out;
+  }
 };
 
 } // namespace core

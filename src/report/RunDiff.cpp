@@ -89,6 +89,11 @@ support::Result<LoadedRun> report::loadRun(const std::string &Dir) {
         R.CiHigh = V.number("ci_high");
         R.CodeSize = static_cast<uint64_t>(V.number("code_size"));
         R.BinaryHash = V.string("binary_hash");
+        R.SamplesSpent = static_cast<int>(V.number("samples_spent"));
+        R.EscalationRounds =
+            static_cast<int>(V.number("escalation_rounds"));
+        if (const json::Value *ES = V.find("early_stop"))
+          R.EarlyStop = ES->asBool();
         Run.Evaluations.push_back(std::move(R));
       });
   if (!Evals)
@@ -239,6 +244,28 @@ std::string report::summarize(const LoadedRun &Run, bool Markdown) {
     Out << "cache: " << A.CacheHits << "/" << CacheTotal << " hits ("
         << format("%.1f", CacheTotal ? 100.0 * A.CacheHits / CacheTotal : 0.0)
         << "%)\n";
+
+    // Replay-budget accounting (manifest "racing" per app), present in
+    // both modes: spent vs the fixed-budget equivalent of the same fresh
+    // measurements.
+    if (const json::Value *AppsV = M.find("apps"))
+      for (const json::Value &AppV : AppsV->elements()) {
+        if (AppV.string("name") != Name)
+          continue;
+        const json::Value *R = AppV.find("racing");
+        if (!R || R->number("fixed_budget") <= 0.0)
+          break;
+        double Spent = R->number("replays_spent");
+        double Fixed = R->number("fixed_budget");
+        Out << "replay budget: " << format("%.0f", Spent) << " spent vs "
+            << format("%.0f", Fixed) << " fixed-budget equivalent ("
+            << format("%.1f", 100.0 * (Fixed - Spent) / Fixed)
+            << "% saved), early stops "
+            << format("%.0f", R->number("early_stops")) << ", escalations "
+            << format("%.0f", R->number("escalations")) << ", top-ups "
+            << format("%.0f", R->number("top_ups")) << "\n";
+        break;
+      }
 
     if (!A.ByError.empty()) {
       // Top rejection reasons, most frequent first.

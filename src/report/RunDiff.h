@@ -42,6 +42,9 @@ struct EvalRecord {
   double CiHigh = 0.0;
   uint64_t CodeSize = 0;
   std::string BinaryHash; ///< "0x..." hex string.
+  int SamplesSpent = 0;      ///< Raw measurement replays paid.
+  int EscalationRounds = 0;  ///< Racing blocks beyond the seed block.
+  bool EarlyStop = false;    ///< Race ended as a statistically-clear loser.
 };
 
 /// One generations.jsonl record, parsed.

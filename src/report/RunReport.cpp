@@ -49,6 +49,17 @@ std::string cacheJson(const search::EngineCacheStats &S) {
   return std::move(B).str();
 }
 
+std::string racingJson(const search::EngineRacingStats &S) {
+  json::Builder B;
+  B.field("replays_spent", S.ReplaysSpent)
+      .field("fixed_budget", S.FixedBudget)
+      .field("replays_saved", S.saved())
+      .field("early_stops", S.EarlyStops)
+      .field("escalations", S.Escalations)
+      .field("top_ups", S.TopUps);
+  return std::move(B).str();
+}
+
 } // namespace
 
 support::Result<std::unique_ptr<RunReport>>
@@ -127,6 +138,12 @@ uint64_t RunReport::onEvaluation(const search::Genome &G,
   }
   B.field("code_size", E.CodeSize);
   B.field("binary_hash", hexHash(E.BinaryHash));
+  // Measurement-racing provenance: how many raw replays this evaluation
+  // paid, how many escalation blocks it was granted, and whether it was
+  // terminated early as a statistically-clear loser.
+  B.field("samples_spent", E.SamplesSpent);
+  B.field("escalation_rounds", E.EscalationRounds);
+  B.field("early_stop", E.EarlyStop);
   Writer->appendEvaluation(std::move(B).str());
   return Id;
 }
@@ -151,11 +168,17 @@ std::string RunReport::manifestJson() const {
 
   search::EngineCounters Totals;
   search::EngineCacheStats CacheTotals;
+  search::EngineRacingStats RacingTotals;
   for (const AppEntry &A : Apps) {
     Totals += A.Outcome.Counters;
     CacheTotals.GenomeHits += A.Outcome.Cache.GenomeHits;
     CacheTotals.BinaryHits += A.Outcome.Cache.BinaryHits;
     CacheTotals.Misses += A.Outcome.Cache.Misses;
+    RacingTotals.ReplaysSpent += A.Outcome.Racing.ReplaysSpent;
+    RacingTotals.FixedBudget += A.Outcome.Racing.FixedBudget;
+    RacingTotals.EarlyStops += A.Outcome.Racing.EarlyStops;
+    RacingTotals.Escalations += A.Outcome.Racing.Escalations;
+    RacingTotals.TopUps += A.Outcome.Racing.TopUps;
   }
 
   json::Builder B;
@@ -169,7 +192,9 @@ std::string RunReport::manifestJson() const {
     json::Builder C;
     C.field("generations", Info.Generations)
         .field("population", Info.PopulationSize)
-        .field("replays_per_evaluation", Info.ReplaysPerEvaluation)
+        .field("racing", Info.Racing)
+        .field("min_replays_per_evaluation", Info.MinReplaysPerEvaluation)
+        .field("max_replays_per_evaluation", Info.MaxReplaysPerEvaluation)
         .field("captures_per_region", Info.CapturesPerRegion)
         .field("memoize", Info.Memoize);
     B.fieldRaw("config", std::move(C).str());
@@ -188,6 +213,7 @@ std::string RunReport::manifestJson() const {
         E.field("failure", A.Outcome.FailureReason);
       E.fieldRaw("verdicts", countersJson(A.Outcome.Counters));
       E.fieldRaw("cache", cacheJson(A.Outcome.Cache));
+      E.fieldRaw("racing", racingJson(A.Outcome.Racing));
       E.field("region_android_cycles", A.Outcome.RegionAndroid);
       E.field("region_o3_cycles", A.Outcome.RegionO3);
       E.field("region_best_cycles", A.Outcome.RegionBest);
@@ -201,6 +227,7 @@ std::string RunReport::manifestJson() const {
     json::Builder T;
     T.fieldRaw("verdicts", countersJson(Totals));
     T.fieldRaw("cache", cacheJson(CacheTotals));
+    T.fieldRaw("racing", racingJson(RacingTotals));
     B.fieldRaw("totals", std::move(T).str());
   }
   return std::move(B).str();

@@ -46,7 +46,9 @@ struct RunInfo {
   bool Memoize = true;
   int Generations = 0;
   int PopulationSize = 0;
-  int ReplaysPerEvaluation = 0;
+  bool Racing = false; ///< Adaptive measurement racing enabled?
+  int MinReplaysPerEvaluation = 0; ///< Racing seed/escalation block.
+  int MaxReplaysPerEvaluation = 0; ///< Measurement budget per binary.
   int CapturesPerRegion = 0;
 };
 
@@ -57,6 +59,7 @@ struct AppOutcome {
   std::string FailureReason;
   search::EngineCounters Counters;  ///< GA + baseline verdict counts.
   search::EngineCacheStats Cache;   ///< The engine's memoization story.
+  search::EngineRacingStats Racing; ///< Replay-budget accounting.
   double RegionAndroid = 0.0;
   double RegionO3 = 0.0;
   double RegionBest = 0.0;

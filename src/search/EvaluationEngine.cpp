@@ -3,9 +3,11 @@
 #include "search/EvaluationEngine.h"
 
 #include "support/Metrics.h"
+#include "support/Statistics.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace ropt;
@@ -142,15 +144,50 @@ EvaluationEngine::evaluateBatch(const std::vector<Genome> &Genomes) {
     }
   }
 
-  // --- Measure stage (parallel). ------------------------------------------
+  // --- Measure stage (parallel): every distinct fresh binary draws its
+  // racing seed block, or the whole fixed budget when racing is off. -------
+  const size_t MaxReplays =
+      static_cast<size_t>(std::max(1, Options.MaxReplays));
+  const size_t SeedBlock =
+      Options.Racing
+          ? std::min(static_cast<size_t>(std::max(1, Options.MinReplays)),
+                     MaxReplays)
+          : MaxReplays;
   std::vector<Evaluation> Measured(MeasureWork.size());
   Pool->parallelFor(MeasureWork.size(), [&](size_t M, size_t Slot) {
     const MeasureTask &T = MeasureWork[M];
-    Measured[M] =
-        Backends[Slot]->measureBinary(Compiled[T.WorkIndex], T.NoiseSeed);
+    Measured[M] = Backends[Slot]->measureBinary(Compiled[T.WorkIndex],
+                                                T.NoiseSeed, SeedBlock);
   });
 
-  // --- Commit measurements (serial, batch order). -------------------------
+  // --- Commit the raw seed samples (serial, batch order) and collect the
+  // racers. ----------------------------------------------------------------
+  std::vector<Evaluation *> Racers;
+  for (size_t M = 0; M != MeasureWork.size(); ++M) {
+    Evaluation &E = Measured[M];
+    if (!E.ok())
+      continue;
+    RawSamples[E.BinaryHash] = E.Samples; // raw; cleaned view built below
+    Racing.ReplaysSpent += E.Samples.size();
+    Racing.FixedBudget += MaxReplays;
+    Racers.push_back(&E);
+  }
+
+  // --- Racing: serial batch-order escalation decisions, parallel block
+  // draws (no-op when racing is off). --------------------------------------
+  if (Options.Racing)
+    raceFreshBinaries(Racers);
+
+  // --- Finalize the public sample view and commit measurements (serial,
+  // batch order). ----------------------------------------------------------
+  for (Evaluation *E : Racers) {
+    finalizeFromRaw(*E);
+    ROPT_METRIC_OBSERVE("search.replays_per_eval", E->SamplesSpent,
+                        ({1, 2, 3, 5, 7, 10, 15, 20}));
+    if (static_cast<size_t>(E->SamplesSpent) < MaxReplays)
+      ROPT_METRIC_ADD("search.replays_saved",
+                      MaxReplays - static_cast<size_t>(E->SamplesSpent));
+  }
   if (Options.Memoize)
     for (size_t M = 0; M != MeasureWork.size(); ++M)
       BinaryCache.emplace(Compiled[MeasureWork[M].WorkIndex].BinaryHash,
@@ -212,4 +249,141 @@ EvaluationEngine::evaluateBatch(const std::vector<Genome> &Genomes) {
   }
 
   return Results;
+}
+
+void EvaluationEngine::finalizeFromRaw(Evaluation &E) const {
+  auto It = RawSamples.find(E.BinaryHash);
+  if (It == RawSamples.end())
+    return;
+  E.Samples = removeOutliersMAD(It->second);
+  E.MedianCycles = median(E.Samples);
+  E.SamplesSpent = static_cast<int>(It->second.size());
+}
+
+void EvaluationEngine::raceFreshBinaries(
+    const std::vector<Evaluation *> &Racers) {
+  if (Racers.empty())
+    return;
+  const size_t Max = static_cast<size_t>(std::max(1, Options.MaxReplays));
+  const size_t Block =
+      std::min(static_cast<size_t>(std::max(1, Options.MinReplays)), Max);
+  // Escalation rounds needed to go from the seed block to the full budget
+  // in steps of Block; the alpha-spending schedule is laid out over
+  // exactly this horizon so the whole race spends RacingAlpha.
+  const int MaxRounds = static_cast<int>((Max - Block + Block - 1) / Block);
+  if (MaxRounds == 0)
+    return; // seed block is already the full budget
+
+  // The reference every candidate races against: the search's announced
+  // incumbent, or — before any announcement (generation 0) — the batch-
+  // local leader: lowest seed-block median, ties broken by batch order.
+  // The leader takes part in escalation (it needs full samples to become
+  // a trustworthy reference) but is never tested against itself.
+  const Evaluation *Leader = nullptr;
+  if (IncumbentSamples.empty()) {
+    double LeaderMedian = 0.0;
+    for (const Evaluation *E : Racers) {
+      double Med = median(removeOutliersMAD(RawSamples.at(E->BinaryHash)));
+      if (!Leader || Med < LeaderMedian) {
+        Leader = E;
+        LeaderMedian = Med;
+      }
+    }
+  }
+
+  struct Extension {
+    Evaluation *E;
+    size_t Begin;
+    size_t Count;
+    std::vector<double> Drawn;
+  };
+
+  std::vector<char> Active(Racers.size(), 1);
+  for (int Round = 1; Round <= MaxRounds; ++Round) {
+    double RoundAlpha =
+        racingRoundAlpha(Options.RacingAlpha, Round, MaxRounds);
+    const std::vector<double> Reference =
+        IncumbentSamples.empty()
+            ? removeOutliersMAD(RawSamples.at(Leader->BinaryHash))
+            : IncumbentSamples;
+
+    // Decide (serial, batch order): early-stop statistically-clear
+    // losers, grant everyone else another block.
+    std::vector<Extension> Extensions;
+    for (size_t I = 0; I != Racers.size(); ++I) {
+      if (!Active[I])
+        continue;
+      Evaluation *E = Racers[I];
+      std::vector<double> &Raw = RawSamples.at(E->BinaryHash);
+      if (Raw.size() >= Max) {
+        Active[I] = 0;
+        continue;
+      }
+      if (E != Leader &&
+          compareSamples(removeOutliersMAD(Raw), Reference, RoundAlpha) ==
+              SampleOrder::Greater) {
+        Active[I] = 0;
+        E->EarlyStop = true;
+        ++Racing.EarlyStops;
+        ROPT_METRIC_INC("search.early_stops");
+        continue;
+      }
+      Extensions.push_back(
+          Extension{E, Raw.size(), std::min(Block, Max - Raw.size()), {}});
+      ++E->EscalationRounds;
+      ++Racing.Escalations;
+      ROPT_METRIC_INC("search.escalations");
+    }
+    if (Extensions.empty())
+      break;
+
+    // Draw the granted blocks (parallel): sample i is a pure function of
+    // (noise seed, i), so values are independent of scheduling.
+    ensureBackends(std::min(Pool->size(), Extensions.size()));
+    Pool->parallelFor(Extensions.size(), [&](size_t X, size_t Slot) {
+      Extension &Ext = Extensions[X];
+      Ext.Drawn = Backends[Slot]->extendSamples(
+          *Ext.E, noiseSeed(Ext.E->BinaryHash), Ext.Begin, Ext.Count);
+    });
+
+    // Commit (serial, batch order).
+    for (Extension &Ext : Extensions) {
+      std::vector<double> &Raw = RawSamples.at(Ext.E->BinaryHash);
+      Raw.insert(Raw.end(), Ext.Drawn.begin(), Ext.Drawn.end());
+      Racing.ReplaysSpent += Ext.Drawn.size();
+    }
+  }
+}
+
+Evaluation EvaluationEngine::announceIncumbent(const Evaluation &E) {
+  if (!Options.Racing || !E.ok())
+    return E;
+  Evaluation Updated = E;
+  auto It = RawSamples.find(E.BinaryHash);
+  const size_t Max = static_cast<size_t>(std::max(1, Options.MaxReplays));
+  if (It != RawSamples.end() && It->second.size() < Max) {
+    // The incumbent is the one binary every future race is judged
+    // against: give it the full measurement budget so the reference
+    // samples are as tight as a fixed-budget run's.
+    ensureBackends(1);
+    std::vector<double> Drawn = Backends[0]->extendSamples(
+        Updated, noiseSeed(E.BinaryHash), It->second.size(),
+        Max - It->second.size());
+    It->second.insert(It->second.end(), Drawn.begin(), Drawn.end());
+    Racing.ReplaysSpent += Drawn.size();
+    ++Racing.TopUps;
+    finalizeFromRaw(Updated);
+    Updated.EarlyStop = false; // now holds the full budget
+    if (Options.Memoize) {
+      auto CacheIt = BinaryCache.find(E.BinaryHash);
+      if (CacheIt != BinaryCache.end()) {
+        CacheIt->second.Samples = Updated.Samples;
+        CacheIt->second.MedianCycles = Updated.MedianCycles;
+        CacheIt->second.SamplesSpent = Updated.SamplesSpent;
+        CacheIt->second.EarlyStop = false;
+      }
+    }
+  }
+  IncumbentSamples = Updated.Samples;
+  return Updated;
 }

@@ -22,11 +22,23 @@
 ///    machine code cost a hash lookup instead of ReplaysPerEvaluation
 ///    replays).
 ///
-///  - **Determinism.** Work lists and cache commits happen in batch
-///    order on the calling thread; workers only fill pre-assigned slots.
-///    Measurement noise is seeded from (engine seed, binary hash), never
-///    from scheduling order. A seeded run is therefore bit-identical at
-///    any `--jobs` value.
+///  - **Racing (adaptive measurement).** With `EngineOptions::Racing`,
+///    the fixed replays-per-evaluation budget becomes an incumbent-
+///    relative race: every fresh binary gets a seed block of MinReplays
+///    samples, then a sequential rank test against the incumbent's
+///    samples (alpha spent geometrically across escalation rounds, so
+///    the family-wise error of the whole race stays at RacingAlpha)
+///    either terminates it early as a statistically-clear loser,
+///    escalates it by another block, or caps it at MaxReplays as a
+///    contender. Cached evaluations keep their samples and are topped
+///    up to the full budget only when the GA announces them as the
+///    incumbent.
+///
+///  - **Determinism.** Work lists, cache commits and every racing
+///    decision happen in batch order on the calling thread; workers only
+///    fill pre-assigned slots. Measurement noise is seeded from (engine
+///    seed, binary hash, sample index), never from scheduling order. A
+///    seeded run is therefore bit-identical at any `--jobs` value.
 ///
 /// Replay failures surface as typed support::Error values; the engine
 /// maps them onto EvalKind in exactly one place (evalKindForError).
@@ -70,11 +82,25 @@ public:
 
   virtual CompiledBinary compileGenome(const Genome &G) = 0;
 
-  /// Replays/measures a compiled binary. \p NoiseSeed is a pure function
-  /// of binary identity, making the returned samples independent of
-  /// scheduling and worker count.
+  /// Replays/measures a compiled binary, drawing \p SampleCount raw
+  /// timing samples. \p NoiseSeed is a pure function of binary identity
+  /// and sample \c i must be a pure function of (NoiseSeed, i), making
+  /// the samples independent of scheduling, worker count, and of how the
+  /// total draw is split into racing blocks. The returned evaluation
+  /// carries the *raw* samples (the engine owns outlier removal),
+  /// BaseCycles, and SamplesSpent = \p SampleCount.
   virtual Evaluation measureBinary(const CompiledBinary &B,
-                                   uint64_t NoiseSeed) = 0;
+                                   uint64_t NoiseSeed,
+                                   size_t SampleCount) = 0;
+
+  /// Draws raw samples [\p Begin, \p Begin + \p Count) for an
+  /// already-measured binary, without its compiled artifact — a pure
+  /// function of (NoiseSeed, index, E.BaseCycles). Racing uses this to
+  /// escalate a candidate by another block and to top up a memoized
+  /// incumbent whose artifact is long gone.
+  virtual std::vector<double> extendSamples(const Evaluation &E,
+                                            uint64_t NoiseSeed,
+                                            size_t Begin, size_t Count) = 0;
 };
 
 /// The single mapping from typed capture/replay errors onto the GA's
@@ -84,6 +110,32 @@ EvalKind evalKindForError(support::ErrorCode Code);
 struct EngineOptions {
   int Jobs = 0;        ///< Worker threads; 0 = hardware concurrency.
   bool Memoize = true; ///< The two-level genome/binary cache.
+
+  /// Adaptive measurement racing. Off: every fresh binary pays exactly
+  /// MaxReplays samples (the paper's fixed budget). On: fresh binaries
+  /// start with MinReplays and race the incumbent for the rest.
+  bool Racing = false;
+  int MinReplays = 3;  ///< Racing seed block (and escalation block) size.
+  int MaxReplays = 10; ///< Measurement budget per binary.
+  /// Family-wise significance level of one binary's whole race; spent
+  /// across escalation rounds via racingRoundAlpha().
+  double RacingAlpha = 0.05;
+};
+
+/// Replay-budget accounting, kept in both modes so ablations can compare
+/// racing against the fixed budget it replaces.
+struct EngineRacingStats {
+  uint64_t ReplaysSpent = 0; ///< Raw measurement samples actually drawn.
+  /// What the same fresh measurements would have cost at a fixed
+  /// MaxReplays budget (equals ReplaysSpent when racing is off).
+  uint64_t FixedBudget = 0;
+  uint64_t EarlyStops = 0;  ///< Races ended as statistically-clear losers.
+  uint64_t Escalations = 0; ///< Blocks granted beyond the seed block.
+  uint64_t TopUps = 0;      ///< Incumbents topped up to the full budget.
+
+  uint64_t saved() const {
+    return FixedBudget > ReplaysSpent ? FixedBudget - ReplaysSpent : 0;
+  }
 };
 
 /// Outcome classes over every evaluation the engine answered (cache hits
@@ -133,11 +185,16 @@ public:
   std::vector<Evaluation>
   evaluateBatch(const std::vector<Genome> &Genomes) override;
 
+  /// Installs the search's best-so-far as the racing reference and tops
+  /// its samples up to the full budget (no-op when racing is off).
+  Evaluation announceIncumbent(const Evaluation &E) override;
+
   /// Worker threads the engine schedules over.
   size_t jobs() const;
 
   const EngineCounters &counters() const { return Stats; }
   const EngineCacheStats &cacheStats() const { return Cache; }
+  const EngineRacingStats &racingStats() const { return Racing; }
 
 private:
   struct GenomeEntry {
@@ -148,6 +205,13 @@ private:
   /// Lazily constructs backends for slots [0, Count).
   void ensureBackends(size_t Count);
   uint64_t noiseSeed(uint64_t BinaryHash) const;
+  /// Rebuilds the public (outlier-cleaned) sample view of \p E from the
+  /// raw samples stored for its binary hash.
+  void finalizeFromRaw(Evaluation &E) const;
+  /// Races freshly-measured Ok binaries (\p Racers, in batch order, raw
+  /// seed blocks already in RawSamples) against the incumbent: serial
+  /// per-round decisions, parallel block draws.
+  void raceFreshBinaries(const std::vector<Evaluation *> &Racers);
 
   BackendFactory Factory;
   EngineOptions Options;
@@ -159,9 +223,17 @@ private:
   std::unordered_map<std::string, GenomeEntry> GenomeCache;
   /// Level 2: binary hash -> full evaluation.
   std::unordered_map<uint64_t, Evaluation> BinaryCache;
+  /// Raw (pre-outlier-removal) samples per measured binary hash; the
+  /// substrate racing extends deterministically block by block.
+  std::unordered_map<uint64_t, std::vector<double>> RawSamples;
+  /// Cleaned samples of the search's announced best-so-far — the
+  /// reference every race tests against. Empty until the first
+  /// announceIncumbent().
+  std::vector<double> IncumbentSamples;
 
   EngineCounters Stats;
   EngineCacheStats Cache;
+  EngineRacingStats Racing;
 };
 
 } // namespace search

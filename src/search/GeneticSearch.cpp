@@ -119,12 +119,24 @@ bool GeneticSearch::better(const Evaluation &A, const Evaluation &B) const {
     return A.ok();
   if (!A.ok())
     return false;
-  if (significantlyLess(A.Samples, B.Samples, Config.SignificanceAlpha))
+  // One three-way rank test instead of the old significantlyLess(A,B) /
+  // significantlyLess(B,A) pair, which computed the rank sums twice.
+  switch (compareSamples(A.Samples, B.Samples, Config.SignificanceAlpha)) {
+  case SampleOrder::Less:
     return true;
-  if (significantlyLess(B.Samples, A.Samples, Config.SignificanceAlpha))
+  case SampleOrder::Greater:
     return false;
+  case SampleOrder::Indistinguishable:
+    break;
+  }
   // Statistically indistinguishable: prefer the smaller binary.
   return A.CodeSize < B.CodeSize;
+}
+
+void GeneticSearch::announceIncumbent(Scored &S) {
+  if (!S.E.ok())
+    return;
+  S.E = Evaluator.announceIncumbent(S.E);
 }
 
 void GeneticSearch::sortByFitness(std::vector<Scored> &Population) const {
@@ -229,8 +241,16 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
           Scored{std::move(Initial[I]), std::move(Evals[I]), Ids[I]});
 
     // Replace genomes slower than both baselines, one round per retry,
-    // biasing the search toward profitable space (Section 4).
+    // biasing the search toward profitable space (Section 4). Each round
+    // races against the best genome seen so far (the population is not
+    // sorted yet, so find it by scan).
     for (int Retry = 0; Retry != Config.Gen0ReplacementRetries; ++Retry) {
+      size_t BestI = 0;
+      for (size_t I = 1; I < Population.size(); ++I)
+        if (better(Population[I].E, Population[BestI].E))
+          BestI = I;
+      if (!Population.empty())
+        announceIncumbent(Population[BestI]);
       std::vector<size_t> Poor;
       for (size_t I = 0; I != Population.size(); ++I) {
         const Evaluation &E = Population[I].E;
@@ -262,6 +282,11 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
       break;
     }
     ROPT_TRACE_SPAN_V("search.generation", Gen);
+    // The sorted front is this generation's incumbent: fresh children are
+    // raced against it, and a racing evaluator tops its samples up to the
+    // full budget first.
+    if (!Population.empty())
+      announceIncumbent(Population.front());
     std::vector<Scored> Next;
     // Elitism: the best genomes survive unchanged (no re-evaluation).
     for (int E = 0; E < Config.EliteCount &&
@@ -312,6 +337,7 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
   ROPT_TRACE_SPAN("search.hillclimb");
   Scored Best = Population.front();
   for (int Round = 0; Round != Config.HillClimbRounds; ++Round) {
+    announceIncumbent(Best);
     std::vector<Genome> Neighbors = neighborhood(Best.G);
     if (Neighbors.empty())
       break;

@@ -75,6 +75,21 @@ struct Evaluation {
   /// How the evaluation engine answered (Fresh for serial evaluators).
   CacheOrigin Origin = CacheOrigin::Fresh;
 
+  /// The deterministic replay cycle count the measurement-noise model
+  /// samples around (sum over captures). Lets a racing engine draw
+  /// further samples for this binary later without re-verifying.
+  double BaseCycles = 0.0;
+  /// Measurement replays actually paid for this binary (raw draws,
+  /// before outlier removal). Under a fixed budget this is the full
+  /// budget; under racing it is what the race actually spent.
+  int SamplesSpent = 0;
+  /// Escalation blocks the racing engine granted beyond the seed block
+  /// (0 under a fixed budget or for seed-block early stops).
+  int EscalationRounds = 0;
+  /// True when the racing engine terminated measurement early because
+  /// this binary was a statistically-clear loser against the incumbent.
+  bool EarlyStop = false;
+
   bool ok() const { return Kind == EvalKind::Ok; }
 };
 
@@ -89,6 +104,15 @@ public:
   /// Evaluates every genome; Results[i] belongs to Genomes[i].
   virtual std::vector<Evaluation>
   evaluateBatch(const std::vector<Genome> &Genomes) = 0;
+
+  /// Tells the evaluator which evaluation is the search's current
+  /// incumbent (best-so-far); the GA calls this before every batch it
+  /// breeds against that incumbent. Racing evaluators race fresh
+  /// binaries against it and may *top up* its samples to the full
+  /// measurement budget — the returned evaluation is the one the search
+  /// must keep for the incumbent from here on. The default (and any
+  /// fixed-budget evaluator) returns \p E unchanged.
+  virtual Evaluation announceIncumbent(const Evaluation &E) { return E; }
 
   /// Single-genome convenience (a batch of one).
   Evaluation evaluateOne(const Genome &G);
@@ -219,6 +243,9 @@ private:
                 const std::vector<std::vector<uint64_t>> *Parents = nullptr,
                 std::vector<uint64_t> *IdsOut = nullptr);
   void record(const Evaluation &E, int Generation, GaTrace *Trace);
+  /// Hands \p S to the evaluator as the current incumbent and folds the
+  /// (possibly sample-topped-up) evaluation back into the population.
+  void announceIncumbent(Scored &S);
   /// The hill-climb neighborhood of \p Base: gene drops, parameter
   /// nudges, flag toggles, one random extension.
   std::vector<Genome> neighborhood(const Genome &Base);

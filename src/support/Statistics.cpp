@@ -175,13 +175,48 @@ TTestResult ropt::welchTTest(const std::vector<double> &A,
 
 bool ropt::significantlyLess(const std::vector<double> &A,
                              const std::vector<double> &B, double Alpha) {
+  return compareSamples(A, B, Alpha) == SampleOrder::Less;
+}
+
+const char *ropt::sampleOrderName(SampleOrder O) {
+  switch (O) {
+  case SampleOrder::Less: return "less";
+  case SampleOrder::Indistinguishable: return "indistinguishable";
+  case SampleOrder::Greater: return "greater";
+  }
+  return "unknown";
+}
+
+SampleOrder ropt::compareSamples(const std::vector<double> &A,
+                                 const std::vector<double> &B,
+                                 double Alpha) {
   if (A.empty() || B.empty())
-    return false;
-  if (mean(A) >= mean(B))
-    return false;
+    return SampleOrder::Indistinguishable;
+  double MeanA = mean(A), MeanB = mean(B);
+  if (MeanA == MeanB)
+    return SampleOrder::Indistinguishable;
   // Degenerate equal-constant samples: a strict mean difference with zero
   // variance is treated as significant by welchTTest (p = 0).
-  return welchTTest(A, B).PValue < Alpha;
+  if (welchTTest(A, B).PValue >= Alpha)
+    return SampleOrder::Indistinguishable;
+  return MeanA < MeanB ? SampleOrder::Less : SampleOrder::Greater;
+}
+
+double ropt::racingSpentAlpha(double Alpha, int Round, int MaxRounds) {
+  if (MaxRounds <= 0 || Round <= 0)
+    return 0.0;
+  if (Round >= MaxRounds)
+    return Alpha;
+  // 2^r - 1 over 2^R - 1; rounds are small (budget / block size), so the
+  // doubles are exact.
+  double Num = std::ldexp(1.0, Round) - 1.0;
+  double Den = std::ldexp(1.0, MaxRounds) - 1.0;
+  return Alpha * Num / Den;
+}
+
+double ropt::racingRoundAlpha(double Alpha, int Round, int MaxRounds) {
+  return racingSpentAlpha(Alpha, Round, MaxRounds) -
+         racingSpentAlpha(Alpha, Round - 1, MaxRounds);
 }
 
 /// Draws one bootstrap resample of \p Values and returns its mean.

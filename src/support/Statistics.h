@@ -62,6 +62,40 @@ TTestResult welchTTest(const std::vector<double> &A,
 bool significantlyLess(const std::vector<double> &A,
                        const std::vector<double> &B, double Alpha = 0.05);
 
+/// Outcome of a three-way statistical comparison of two timing samples.
+enum class SampleOrder {
+  Less,              ///< A is significantly smaller than B.
+  Indistinguishable, ///< No significant difference at the given level.
+  Greater,           ///< A is significantly larger than B.
+};
+
+const char *sampleOrderName(SampleOrder O);
+
+/// Three-way comparison of two samples at level \p Alpha, computing the
+/// rank statistic once. Exactly equivalent to the pair
+/// (significantlyLess(A,B), significantlyLess(B,A)) — which can never
+/// both be true — at half the cost. Degenerate samples (either empty)
+/// are Indistinguishable.
+SampleOrder compareSamples(const std::vector<double> &A,
+                           const std::vector<double> &B,
+                           double Alpha = 0.05);
+
+/// Alpha-spending schedule for the sequential racing test (DESIGN.md
+/// §11): cumulative significance budget spent after escalation round
+/// \p Round (1-based) of \p MaxRounds. Geometric spending
+///
+///   spent(r) = Alpha * (2^r - 1) / (2^MaxRounds - 1)
+///
+/// so early low-power rounds (few samples) spend little of the budget,
+/// the per-round increments are strictly increasing, and the total over
+/// all rounds is exactly \p Alpha — a Bonferroni bound keeps the
+/// family-wise error of the whole race at or below \p Alpha.
+double racingSpentAlpha(double Alpha, int Round, int MaxRounds);
+
+/// The increment spent at round \p Round alone: the per-round test level
+/// the racing engine passes to compareSamples.
+double racingRoundAlpha(double Alpha, int Round, int MaxRounds);
+
 /// A two-sided bootstrap percentile interval.
 struct BootstrapInterval {
   double Low = 0.0;

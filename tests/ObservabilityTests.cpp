@@ -502,7 +502,7 @@ TEST(ObservabilityPipeline, SmokeCountersAndSpans) {
   Config.Search.GA.Generations = 3;
   Config.Search.GA.PopulationSize = 10;
   Config.Search.GA.HillClimbRounds = 1;
-  Config.Search.ReplaysPerEvaluation = 5;
+  Config.Search.MaxReplaysPerEvaluation = 5;
   Config.Capture.ProfileSessions = 4;
   Config.Measure.FinalMeasurementRuns = 4;
   core::IterativeCompiler Pipeline(Config);

@@ -133,22 +133,38 @@ public:
     return B;
   }
 
-  Evaluation measureBinary(const CompiledBinary &B,
-                           uint64_t NoiseSeed) override {
+  Evaluation measureBinary(const CompiledBinary &B, uint64_t NoiseSeed,
+                           size_t SampleCount) override {
     Measures.fetch_add(1);
     Evaluation E;
     E.Kind = EvalKind::Ok;
     E.CodeSize = B.CodeSize;
     E.BinaryHash = B.BinaryHash;
-    Rng Noise(NoiseSeed);
-    double Base = 1000.0 + static_cast<double>(B.BinaryHash % 977);
-    for (int I = 0; I != 5; ++I)
-      E.Samples.push_back(Base * Noise.logNormal(0.0, 0.01));
+    E.BaseCycles = 1000.0 + static_cast<double>(B.BinaryHash % 977);
+    for (size_t I = 0; I != SampleCount; ++I)
+      E.Samples.push_back(sampleAt(NoiseSeed, I, E.BaseCycles));
+    E.SamplesSpent = static_cast<int>(SampleCount);
     E.MedianCycles = median(E.Samples);
     return E;
   }
 
+  std::vector<double> extendSamples(const Evaluation &E, uint64_t NoiseSeed,
+                                    size_t Begin, size_t Count) override {
+    std::vector<double> Out;
+    for (size_t I = 0; I != Count; ++I)
+      Out.push_back(sampleAt(NoiseSeed, Begin + I, E.BaseCycles));
+    return Out;
+  }
+
 private:
+  /// Sample i is a pure function of (NoiseSeed, i): the engine may split
+  /// the draw into racing blocks without changing any value.
+  static double sampleAt(uint64_t NoiseSeed, size_t Index, double Base) {
+    Rng Noise(NoiseSeed +
+              0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(Index) + 1));
+    return Base * Noise.logNormal(0.0, 0.01);
+  }
+
   std::atomic<int> &Compiles;
   std::atomic<int> &Measures;
 };
@@ -165,7 +181,9 @@ std::vector<Genome> randomBatch(uint64_t Seed, size_t N) {
 bool sameEvaluation(const Evaluation &A, const Evaluation &B) {
   return A.Kind == B.Kind && A.Samples == B.Samples &&
          A.MedianCycles == B.MedianCycles && A.CodeSize == B.CodeSize &&
-         A.BinaryHash == B.BinaryHash;
+         A.BinaryHash == B.BinaryHash && A.SamplesSpent == B.SamplesSpent &&
+         A.EscalationRounds == B.EscalationRounds &&
+         A.EarlyStop == B.EarlyStop;
 }
 
 } // namespace
@@ -220,6 +238,82 @@ TEST(EvaluationEngine, GaIsBitIdenticalAcrossJobCounts) {
   auto Serial = RunGa(1);
   auto Wide = RunGa(8);
   EXPECT_EQ(Serial, Wide);
+}
+
+// --- EvaluationEngine: racing determinism ------------------------------------
+
+TEST(EvaluationEngine, RacingBatchResultsAreIdenticalAtAnyJobCount) {
+  // Racing splits the measurement into seed blocks and escalation blocks
+  // drawn by whichever worker is free — but every sample is a pure
+  // function of (seed, hash, index) and every racing decision is serial
+  // in batch order, so the whole batch (sample vectors, early stops,
+  // escalation counts) is bit-identical at any --jobs.
+  std::vector<Genome> Batch = randomBatch(71, 64);
+  std::vector<std::vector<Evaluation>> Runs;
+  std::vector<EngineRacingStats> Stats;
+  for (int Jobs : {1, 2, 8}) {
+    std::atomic<int> Compiles{0}, Measures{0};
+    EngineOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.Racing = true;
+    EvaluationEngine Engine(
+        [&]() {
+          return std::make_unique<SyntheticBackend>(Compiles, Measures);
+        },
+        Opts, /*Seed=*/9);
+    Runs.push_back(Engine.evaluateBatch(Batch));
+    Stats.push_back(Engine.racingStats());
+  }
+  for (size_t R = 1; R != Runs.size(); ++R) {
+    ASSERT_EQ(Runs[R].size(), Runs[0].size());
+    for (size_t I = 0; I != Runs[0].size(); ++I)
+      EXPECT_TRUE(sameEvaluation(Runs[R][I], Runs[0][I]))
+          << "jobs run " << R << ", genome " << I;
+    EXPECT_EQ(Stats[R].ReplaysSpent, Stats[0].ReplaysSpent);
+    EXPECT_EQ(Stats[R].EarlyStops, Stats[0].EarlyStops);
+    EXPECT_EQ(Stats[R].Escalations, Stats[0].Escalations);
+  }
+  // The synthetic hash landscape spreads base cycles widely, so the
+  // batch-local race must have terminated real losers early.
+  EXPECT_GT(Stats[0].EarlyStops, 0u);
+  EXPECT_LT(Stats[0].ReplaysSpent, Stats[0].FixedBudget);
+}
+
+TEST(EvaluationEngine, RacingGaIsBitIdenticalAcrossJobCounts) {
+  // The full search with racing on — gen-0 retries, incumbent
+  // announcements, top-ups, hill climb — walks the same path at jobs=1
+  // and jobs=8.
+  auto RunGa = [](int Jobs) {
+    std::atomic<int> Compiles{0}, Measures{0};
+    EngineOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.Racing = true;
+    EvaluationEngine Engine(
+        [&]() {
+          return std::make_unique<SyntheticBackend>(Compiles, Measures);
+        },
+        Opts, 5);
+    GaConfig C;
+    C.Generations = 5;
+    C.PopulationSize = 16;
+    GeneticSearch GA(C, 123, Engine);
+    GaTrace Trace;
+    std::optional<Scored> Best = GA.run(5000.0, 4800.0, &Trace);
+    std::string Name = Best ? Best->G.name() : "none";
+    const EngineRacingStats &S = Engine.racingStats();
+    return std::tuple{Name,
+                      Best ? Best->E.MedianCycles : 0.0,
+                      Best ? Best->E.Samples : std::vector<double>{},
+                      Trace.Evaluations.size(),
+                      S.ReplaysSpent,
+                      S.EarlyStops,
+                      S.Escalations,
+                      S.TopUps};
+  };
+  auto Serial = RunGa(1);
+  auto Wide = RunGa(8);
+  EXPECT_EQ(Serial, Wide);
+  EXPECT_GT(std::get<5>(Serial), 0u); // the race stopped losers early
 }
 
 // --- EvaluationEngine: memoization -------------------------------------------
@@ -376,7 +470,7 @@ core::PipelineConfig fastPipelineConfig(int Jobs) {
   C.Search.GA.Generations = 3;
   C.Search.GA.PopulationSize = 10;
   C.Search.GA.HillClimbRounds = 1;
-  C.Search.ReplaysPerEvaluation = 5;
+  C.Search.MaxReplaysPerEvaluation = 5;
   C.Search.Jobs = Jobs;
   C.Capture.ProfileSessions = 4;
   C.Measure.FinalMeasurementRuns = 4;
@@ -413,4 +507,35 @@ TEST(ParallelPipeline, OptimizeIsBitIdenticalAcrossJobCounts) {
   // fired on a default seeded run.
   EXPECT_GT(Serial.CacheStats.hits(), 0u);
   EXPECT_GT(Wide.CacheStats.hits(), 0u);
+}
+
+TEST(ParallelPipeline, RacingOptimizeIsBitIdenticalAcrossJobCounts) {
+  // Same acceptance bar with the racing budget: the real pipeline's
+  // early stops, escalations and top-ups land identically at any --jobs.
+  auto RunOnce = [](int Jobs) {
+    core::PipelineConfig C = fastPipelineConfig(Jobs);
+    C.Search.Racing = true;
+    core::IterativeCompiler Pipeline(C);
+    return Pipeline.optimize(workloads::buildByName("Sieve"));
+  };
+  core::OptimizationReport Serial = RunOnce(1);
+  core::OptimizationReport Wide = RunOnce(4);
+  ASSERT_TRUE(Serial.Succeeded) << Serial.FailureReason;
+  ASSERT_TRUE(Wide.Succeeded) << Wide.FailureReason;
+
+  EXPECT_EQ(Serial.Best.G.name(), Wide.Best.G.name());
+  EXPECT_EQ(Serial.RegionBest, Wide.RegionBest);
+  EXPECT_EQ(Serial.Best.E.Samples, Wide.Best.E.Samples);
+  ASSERT_EQ(Serial.Trace.Evaluations.size(), Wide.Trace.Evaluations.size());
+  for (size_t I = 0; I != Serial.Trace.Evaluations.size(); ++I)
+    EXPECT_EQ(Serial.Trace.Evaluations[I].MedianCycles,
+              Wide.Trace.Evaluations[I].MedianCycles);
+
+  // Identical budget accounting, and a real saving over the fixed budget.
+  EXPECT_EQ(Serial.RacingStats.ReplaysSpent, Wide.RacingStats.ReplaysSpent);
+  EXPECT_EQ(Serial.RacingStats.EarlyStops, Wide.RacingStats.EarlyStops);
+  EXPECT_EQ(Serial.RacingStats.Escalations, Wide.RacingStats.Escalations);
+  EXPECT_EQ(Serial.RacingStats.TopUps, Wide.RacingStats.TopUps);
+  EXPECT_GT(Serial.RacingStats.EarlyStops, 0u);
+  EXPECT_LT(Serial.RacingStats.ReplaysSpent, Serial.RacingStats.FixedBudget);
 }

@@ -24,7 +24,7 @@ PipelineConfig fastConfig(uint64_t Seed = 1) {
   C.Search.GA.Generations = 4;
   C.Search.GA.PopulationSize = 12;
   C.Search.GA.HillClimbRounds = 1;
-  C.Search.ReplaysPerEvaluation = 5;
+  C.Search.MaxReplaysPerEvaluation = 5;
   C.Capture.ProfileSessions = 4;
   C.Measure.FinalMeasurementRuns = 6;
   return C;

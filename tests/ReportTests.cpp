@@ -206,7 +206,7 @@ core::PipelineConfig smallConfig(uint64_t Seed, int Jobs) {
   Config.Search.GA.Generations = 2;
   Config.Search.GA.PopulationSize = 8;
   Config.Search.GA.HillClimbRounds = 1;
-  Config.Search.ReplaysPerEvaluation = 5;
+  Config.Search.MaxReplaysPerEvaluation = 5;
   Config.Search.Jobs = Jobs;
   Config.Capture.ProfileSessions = 4;
   Config.Measure.FinalMeasurementRuns = 4;

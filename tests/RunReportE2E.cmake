@@ -7,6 +7,8 @@
 #   4. ropt-report summarize A       -> renders without error
 #   5. evaluations.jsonl A == B      -> provenance is jobs-invariant
 #   6. ropt-report diff A B          -> zero fitness regressions
+#   7. the same pair with --racing on -> racing provenance (early stops,
+#      escalations, per-eval samples_spent) is byte-identical too
 #
 # Inputs: -DFIG09=..., -DROPT_REPORT=..., -DWORK_DIR=...
 
@@ -20,6 +22,8 @@ file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
 set(RunA "${WORK_DIR}/runA")
 set(RunB "${WORK_DIR}/runB")
+set(RunC "${WORK_DIR}/runC")
+set(RunD "${WORK_DIR}/runD")
 
 execute_process(
   COMMAND ${FIG09} --fast --seed 1 --apps Sieve --report ${RunA}
@@ -80,5 +84,55 @@ if(NOT Out MATCHES "fitness regressions: 0")
   message(FATAL_ERROR "unexpected diff output:\n${Out}")
 endif()
 
+# The racing acceptance bar: the adaptive budget's decisions (who was
+# early-stopped, who escalated, every samples_spent count) are part of
+# the provenance and must also be jobs-invariant.
+execute_process(
+  COMMAND ${FIG09} --fast --seed 1 --apps Sieve --racing on
+          --report ${RunC}
+  RESULT_VARIABLE Rc OUTPUT_QUIET)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "fig09 --racing on --report ${RunC} failed (${Rc})")
+endif()
+
+execute_process(
+  COMMAND ${FIG09} --fast --seed 1 --apps Sieve --racing on --jobs 4
+          --report ${RunD}
+  RESULT_VARIABLE Rc OUTPUT_QUIET)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR
+          "fig09 --racing on --jobs 4 --report ${RunD} failed (${Rc})")
+endif()
+
+execute_process(
+  COMMAND ${ROPT_REPORT} validate ${RunC}
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR
+          "ropt-report validate (racing) failed (${Rc}):\n${Out}${Err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${RunC}/evaluations.jsonl" "${RunD}/evaluations.jsonl"
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "racing evaluations.jsonl differs between "
+                      "--jobs 1 and --jobs 4")
+endif()
+
+# summarize must render the replay-budget line for a racing run.
+execute_process(
+  COMMAND ${ROPT_REPORT} summarize ${RunC}
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR
+          "ropt-report summarize (racing) failed (${Rc}):\n${Out}${Err}")
+endif()
+if(NOT Out MATCHES "replay budget")
+  message(FATAL_ERROR
+          "racing summary lacks the replay-budget line:\n${Out}")
+endif()
+
 message(STATUS "run_report_e2e: all artifacts valid, provenance "
-               "jobs-invariant, diff clean")
+               "jobs-invariant (fixed and racing), diff clean")

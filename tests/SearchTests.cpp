@@ -2,9 +2,13 @@
 
 #include "search/GeneticSearch.h"
 
+#include "search/EvaluationEngine.h"
 #include "support/Statistics.h"
 
 #include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
 
 using namespace ropt;
 using namespace ropt::search;
@@ -51,6 +55,68 @@ Evaluation syntheticEval(const Genome &G, Rng &NoiseRng) {
   E.BinaryHash = H;
   return E;
 }
+
+/// The same landscape behind the EvalBackend interface, so the
+/// EvaluationEngine (and its racing mode) can drive it. Fitness is
+/// decided at compile time and stashed in the artifact; measurement
+/// draws per-index noise around it, the contract racing relies on.
+class LandscapeBackend : public EvalBackend {
+public:
+  CompiledBinary compileGenome(const Genome &G) override {
+    CompiledBinary B;
+    double Cycles = 10000.0;
+    std::set<lir::PassId> Seen;
+    uint64_t H = 14695981039346656037ULL;
+    for (const lir::PassInstance &P : G.Passes) {
+      if (P.Aggressive &&
+          (P.Id == lir::PassId::BoundsCheckElim ||
+           P.Id == lir::PassId::JumpThreading))
+        return B; // unsound flag: rejected
+      if (Seen.insert(P.Id).second)
+        Cycles -= 400.0;
+      if (P.Id == lir::PassId::LoopUnroll)
+        Cycles -= 50.0 * std::min(P.IntParam, 8);
+      H ^= static_cast<uint64_t>(P.Id) * 131 + P.IntParam;
+      H *= 1099511628211ULL;
+    }
+    B.Ok = true;
+    B.BinaryHash = H;
+    B.CodeSize = 100 + 4 * G.Passes.size();
+    B.Artifact =
+        std::make_shared<const double>(std::max(Cycles, 500.0));
+    return B;
+  }
+
+  Evaluation measureBinary(const CompiledBinary &B, uint64_t NoiseSeed,
+                           size_t SampleCount) override {
+    Evaluation E;
+    E.Kind = EvalKind::Ok;
+    E.CodeSize = B.CodeSize;
+    E.BinaryHash = B.BinaryHash;
+    E.BaseCycles = *static_cast<const double *>(B.Artifact.get());
+    for (size_t I = 0; I != SampleCount; ++I)
+      E.Samples.push_back(sampleAt(NoiseSeed, I, E.BaseCycles));
+    E.SamplesSpent = static_cast<int>(SampleCount);
+    E.MedianCycles = ropt::median(E.Samples);
+    return E;
+  }
+
+  std::vector<double> extendSamples(const Evaluation &E,
+                                    uint64_t NoiseSeed, size_t Begin,
+                                    size_t Count) override {
+    std::vector<double> Out;
+    for (size_t I = 0; I != Count; ++I)
+      Out.push_back(sampleAt(NoiseSeed, Begin + I, E.BaseCycles));
+    return Out;
+  }
+
+private:
+  static double sampleAt(uint64_t NoiseSeed, size_t Index, double Base) {
+    Rng Noise(NoiseSeed +
+              0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(Index) + 1));
+    return Base * Noise.logNormal(0.0, 0.005);
+  }
+};
 
 } // namespace
 
@@ -268,4 +334,46 @@ TEST(GeneticSearch, SizeBreaksTiesWhenTimingIsIndistinguishable) {
   ASSERT_TRUE(Best.has_value());
   // The search gravitated toward the minimum length.
   EXPECT_LE(Best->G.Passes.size(), 4u);
+}
+
+// --- Adaptive measurement racing (DESIGN.md §11) -----------------------------
+
+TEST(GeneticSearch, RacingCrownsTheSameWinnerWithFewerReplays) {
+  // The tentpole claim: replacing the fixed replay budget with the
+  // incumbent-relative race keeps the seeded search's winner while
+  // early-stopping statistically-clear losers, cutting total replays
+  // well past the 30% bar.
+  auto RunOnce = [](bool Racing) {
+    EngineOptions Opts;
+    Opts.Jobs = 1;
+    Opts.Racing = Racing;
+    EvaluationEngine Engine(
+        []() { return std::make_unique<LandscapeBackend>(); }, Opts,
+        /*Seed=*/9);
+    GaConfig C;
+    C.Generations = 6;
+    C.PopulationSize = 16;
+    GeneticSearch GA(C, 42, Engine);
+    std::optional<Scored> Best = GA.run(9000.0, 8500.0);
+    const EngineRacingStats &S = Engine.racingStats();
+    return std::tuple{Best ? Best->G.name() : std::string("none"),
+                      Best ? Best->E.MedianCycles : 0.0, S.ReplaysSpent,
+                      S.EarlyStops, S.TopUps};
+  };
+  auto [FixedName, FixedCycles, FixedSpent, FixedStops, FixedTopUps] =
+      RunOnce(false);
+  auto [RacedName, RacedCycles, RacedSpent, RacedStops, RacedTopUps] =
+      RunOnce(true);
+
+  // Same winner genome, indistinguishable final fitness.
+  EXPECT_EQ(FixedName, RacedName);
+  EXPECT_NE(FixedName, "none");
+  EXPECT_NEAR(RacedCycles, FixedCycles, 0.05 * FixedCycles);
+
+  // The fixed budget never stops early; the race did, and saved >= 30%.
+  EXPECT_EQ(FixedStops, 0u);
+  EXPECT_EQ(FixedTopUps, 0u);
+  EXPECT_GT(RacedStops, 0u);
+  EXPECT_LT(RacedSpent, FixedSpent * 7 / 10)
+      << "racing saved less than 30% of the replay budget";
 }

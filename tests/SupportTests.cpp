@@ -241,6 +241,115 @@ TEST(Statistics, SignificantlyLess) {
   EXPECT_FALSE(significantlyLess(Fast, Fast));
 }
 
+TEST(Statistics, CompareSamplesThreeWay) {
+  std::vector<double> Fast = {1.0, 1.02, 0.98, 1.01, 0.99};
+  std::vector<double> Slow = {2.0, 2.02, 1.98, 2.01, 1.99};
+  EXPECT_EQ(compareSamples(Fast, Slow), SampleOrder::Less);
+  EXPECT_EQ(compareSamples(Slow, Fast), SampleOrder::Greater);
+  EXPECT_EQ(compareSamples(Fast, Fast), SampleOrder::Indistinguishable);
+  // Degenerate inputs are never "different".
+  EXPECT_EQ(compareSamples({}, Slow), SampleOrder::Indistinguishable);
+  EXPECT_EQ(compareSamples(Fast, {}), SampleOrder::Indistinguishable);
+  EXPECT_STREQ(sampleOrderName(SampleOrder::Less), "less");
+  EXPECT_STREQ(sampleOrderName(SampleOrder::Greater), "greater");
+}
+
+TEST(Statistics, CompareSamplesMatchesSignificantlyLessPair) {
+  // compareSamples must be exactly the (significantlyLess(A,B),
+  // significantlyLess(B,A)) pair — the double rank-test it replaced.
+  Rng R(311);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    std::vector<double> A, B;
+    double Gap = (Trial % 5) * 0.02; // 0 .. 0.08 relative mean gap
+    for (int I = 0; I != 6; ++I) {
+      A.push_back(R.gaussian(1.0, 0.03));
+      B.push_back(R.gaussian(1.0 + Gap, 0.03));
+    }
+    SampleOrder O = compareSamples(A, B);
+    EXPECT_EQ(O == SampleOrder::Less, significantlyLess(A, B));
+    EXPECT_EQ(O == SampleOrder::Greater, significantlyLess(B, A));
+  }
+}
+
+TEST(Statistics, RacingAlphaSpendingSchedule) {
+  const double Alpha = 0.05;
+  const int Rounds = 4;
+  // Spending is 0 before the race, exactly Alpha at the end, and
+  // strictly increasing in between.
+  EXPECT_DOUBLE_EQ(racingSpentAlpha(Alpha, 0, Rounds), 0.0);
+  EXPECT_DOUBLE_EQ(racingSpentAlpha(Alpha, Rounds, Rounds), Alpha);
+  double Sum = 0.0, PrevIncrement = 0.0;
+  for (int R = 1; R <= Rounds; ++R) {
+    double Increment = racingRoundAlpha(Alpha, R, Rounds);
+    EXPECT_GT(Increment, 0.0) << "round " << R;
+    // Early low-power rounds spend less than later high-power ones.
+    EXPECT_GT(Increment, PrevIncrement) << "round " << R;
+    PrevIncrement = Increment;
+    Sum += Increment;
+    EXPECT_NEAR(racingSpentAlpha(Alpha, R, Rounds), Sum, 1e-12);
+  }
+  EXPECT_NEAR(Sum, Alpha, 1e-12);
+  // One-round race: all of alpha in the single test.
+  EXPECT_DOUBLE_EQ(racingRoundAlpha(Alpha, 1, 1), Alpha);
+}
+
+TEST(Statistics, RacingFalsePositiveRateUnderEqualDistributions) {
+  // Simulate the race's sequential test on two *equal* distributions:
+  // the fraction of races that ever declare "Greater" (an early stop)
+  // must stay near the family-wise alpha.
+  const double Alpha = 0.05;
+  const int Rounds = 3, Block = 3, Trials = 2000;
+  Rng R(631);
+  int FalseStops = 0;
+  for (int T = 0; T != Trials; ++T) {
+    std::vector<double> Ref, Cand;
+    for (int I = 0; I != Block * (Rounds + 1); ++I)
+      Ref.push_back(R.gaussian(100.0, 1.0));
+    for (int I = 0; I != Block; ++I)
+      Cand.push_back(R.gaussian(100.0, 1.0));
+    for (int Round = 1; Round <= Rounds; ++Round) {
+      if (compareSamples(Cand, Ref,
+                         racingRoundAlpha(Alpha, Round, Rounds)) ==
+          SampleOrder::Greater) {
+        ++FalseStops;
+        break;
+      }
+      for (int I = 0; I != Block; ++I)
+        Cand.push_back(R.gaussian(100.0, 1.0));
+    }
+  }
+  double Rate = static_cast<double>(FalseStops) / Trials;
+  // Bonferroni guarantees <= Alpha in expectation; allow sampling slack.
+  EXPECT_LT(Rate, Alpha + 0.02);
+}
+
+TEST(Statistics, RacingPowerUnderKnownGap) {
+  // A candidate 10 sigma slower than the reference must be early-stopped
+  // almost always — that is the whole point of racing.
+  const double Alpha = 0.05;
+  const int Rounds = 3, Block = 3, Trials = 500;
+  Rng R(733);
+  int Stopped = 0;
+  for (int T = 0; T != Trials; ++T) {
+    std::vector<double> Ref, Cand;
+    for (int I = 0; I != Block * (Rounds + 1); ++I)
+      Ref.push_back(R.gaussian(100.0, 1.0));
+    for (int I = 0; I != Block; ++I)
+      Cand.push_back(R.gaussian(110.0, 1.0));
+    for (int Round = 1; Round <= Rounds; ++Round) {
+      if (compareSamples(Cand, Ref,
+                         racingRoundAlpha(Alpha, Round, Rounds)) ==
+          SampleOrder::Greater) {
+        ++Stopped;
+        break;
+      }
+      for (int I = 0; I != Block; ++I)
+        Cand.push_back(R.gaussian(110.0, 1.0));
+    }
+  }
+  EXPECT_GT(static_cast<double>(Stopped) / Trials, 0.95);
+}
+
 TEST(Statistics, BootstrapMeanCIContainsTruth) {
   Rng R(101);
   std::vector<double> Xs;
