@@ -1,0 +1,144 @@
+//===- bench/fleet_scale.cpp - Crowd-sourced search population sweep ------===//
+//
+// The fleet layer's headline experiment (DESIGN.md §12): run the same
+// per-device search budget over populations of 1, 4 and 16 simulated
+// devices and watch crowd-sourcing pay — a larger fleet explores more of
+// the pass-pipeline space per round, the server's leaderboard pools the
+// discoveries, and every device warm-starts its next round from the
+// fleet's verified best. The sweep runs over a lossy SimTransport on
+// purpose: retry masks the loss, so the results column is identical to a
+// perfect network and only the transport counters grow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "fleet/Coordinator.h"
+
+using namespace ropt;
+using namespace ropt::bench;
+
+int main(int Argc, char **Argv) {
+  Options Opt = parseArgs(Argc, Argv);
+  core::PipelineConfig BaseConfig = pipelineConfig(Opt);
+  if (!Opt.Fast) {
+    // Per-round search depth; the fleet rounds multiply it back up.
+    BaseConfig.Search.GA.Generations = 6;
+    BaseConfig.Search.GA.PopulationSize = 16;
+    BaseConfig.Search.GA.HillClimbRounds = 1;
+  }
+  beginObservability(Opt);
+  ReportScope Report(Opt, "fleet_scale", BaseConfig);
+
+  printHeader("Fleet scale: crowd-sourced search vs population size "
+              "(DESIGN.md §12)",
+              "best fleet speedup grows (or holds) with device count at "
+              "the same per-device budget; unsound hints quarantined");
+
+  std::vector<int> Sweep = Opt.Devices;
+  if (Sweep.empty())
+    Sweep = Opt.Fast ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16};
+  int Rounds = Opt.Rounds > 0 ? Opt.Rounds : (Opt.Fast ? 2 : 3);
+
+  std::vector<std::string> Apps = {"Sieve", "FFT"};
+  if (Opt.Fast)
+    Apps = {"Sieve"};
+  if (!Opt.AppFilter.empty()) {
+    std::vector<std::string> Filtered;
+    for (const std::string &A : Apps)
+      if (A.find(Opt.AppFilter) != std::string::npos)
+        Filtered.push_back(A);
+    Apps = Filtered;
+  }
+
+  // A deliberately-degraded network; results must not care.
+  fleet::TransportOptions NetOpt;
+  NetOpt.DropProb = 0.15;
+  NetOpt.ReorderProb = 0.10;
+
+  CsvSink Csv(Opt, "fleet_scale.csv",
+              "app,devices,rounds,best_speedup,best_device,best_from_hint,"
+              "hints_published,hints_adopted,hints_rejected,"
+              "transport_attempts,transport_drops,evaluations");
+
+  std::printf("%-10s %7s | %9s %6s %9s | %6s %6s %6s | %8s %6s\n", "app",
+              "devices", "speedup", "dev", "from-hint", "pub", "adopt",
+              "reject", "attempts", "drops");
+
+  report::FleetSummary Summary;
+  {
+    std::string SweepStr;
+    for (size_t I = 0; I != Sweep.size(); ++I)
+      SweepStr += (I ? "," : "") + std::to_string(Sweep[I]);
+    Summary.DeviceSweep = SweepStr;
+  }
+  Summary.Rounds = Rounds;
+  Summary.TopK = fleet::ServerOptions{}.TopK;
+  Summary.DropProb = NetOpt.DropProb;
+  Summary.ReorderProb = NetOpt.ReorderProb;
+
+  bool AnyFailed = false;
+  for (const std::string &App : Apps) {
+    for (int N : Sweep) {
+      fleet::FleetConfig FC;
+      FC.Devices = N;
+      FC.Rounds = Rounds;
+      FC.Jobs = Opt.Jobs;
+      FC.Seed = Opt.Seed;
+
+      // Fresh server and transport per cell: every sweep point is an
+      // independent population, not a continuation.
+      fleet::Server Srv;
+      fleet::SimTransport Net(NetOpt, Opt.Seed);
+      fleet::Coordinator Co(FC, BaseConfig);
+      fleet::FleetResult R = Co.run(App, Srv, Net, Report.report());
+
+      if (!R.Succeeded) {
+        std::printf("%-10s %7d | fleet failed (%s)\n", App.c_str(), N,
+                    R.FailureReason.c_str());
+        AnyFailed = true;
+        continue;
+      }
+
+      std::printf("%-10s %7d | %8.3fx %6d %9s | %6llu %6llu %6llu | %8llu "
+                  "%6llu\n",
+                  App.c_str(), N, R.BestSpeedup, R.BestDevice,
+                  R.BestFromHint ? "yes" : "no",
+                  static_cast<unsigned long long>(R.HintsPublished),
+                  static_cast<unsigned long long>(R.HintsAdopted),
+                  static_cast<unsigned long long>(R.HintsRejected),
+                  static_cast<unsigned long long>(R.TransportAttempts),
+                  static_cast<unsigned long long>(R.TransportDrops));
+      Csv.row(App + "," + std::to_string(N) + "," + std::to_string(Rounds) +
+              "," + std::to_string(R.BestSpeedup) + "," +
+              std::to_string(R.BestDevice) + "," +
+              (R.BestFromHint ? "1" : "0") + "," +
+              std::to_string(R.HintsPublished) + "," +
+              std::to_string(R.HintsAdopted) + "," +
+              std::to_string(R.HintsRejected) + "," +
+              std::to_string(R.TransportAttempts) + "," +
+              std::to_string(R.TransportDrops) + "," +
+              std::to_string(R.Counters.total()));
+
+      Summary.HintsPublished += R.HintsPublished;
+      Summary.HintsAdopted += R.HintsAdopted;
+      Summary.HintsRejected += R.HintsRejected;
+      Summary.TransportAttempts += R.TransportAttempts;
+      Summary.TransportDrops += R.TransportDrops;
+      Summary.DeliveriesFailed += R.DeliveriesFailed;
+      if (R.BestSpeedup > Summary.BestSpeedup)
+        Summary.BestSpeedup = R.BestSpeedup;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("(speedups are vs each device's own Android baseline; the "
+              "transport dropped %llu of %llu attempts and changed "
+              "nothing but these counters)\n",
+              static_cast<unsigned long long>(Summary.TransportDrops),
+              static_cast<unsigned long long>(Summary.TransportAttempts));
+
+  if (Report.report())
+    Report.report()->setFleetSummary(Summary);
+  finishObservability(Opt);
+  return AnyFailed ? 1 : 0;
+}

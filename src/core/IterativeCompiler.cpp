@@ -367,6 +367,8 @@ IterativeCompiler::optimize(const workloads::Application &App) {
 
     search::GeneticSearch GA(Config.Search.GA, Config.Seed ^ 0x6a5e,
                              Engine, Config.Provenance);
+    if (!Config.Search.WarmStart.empty())
+      GA.seedPopulation(Config.Search.WarmStart);
     Best = GA.run(Android.MedianCycles,
                   O3.ok() ? O3.MedianCycles : Android.MedianCycles,
                   &Report.Trace);

@@ -53,6 +53,11 @@ struct SearchOptions {
   int Jobs = 0;
   /// The engine's two-level genome/binary cache.
   bool Memoize = true;
+  /// Genomes injected into generation 0 ahead of the random fill
+  /// (search::GenomeSource::Seeded). The fleet layer routes re-verified
+  /// server hints and a device's previous best through this; empty — the
+  /// paper's cold-start configuration — leaves generation 0 fully random.
+  std::vector<search::Genome> WarmStart;
 };
 
 /// Everything that shapes profiling and capture (phases 1-3).

@@ -1,0 +1,197 @@
+//===- fleet/Coordinator.cpp - Deterministic fleet rounds -----------------===//
+
+#include "fleet/Coordinator.h"
+
+#include "report/RunReport.h"
+#include "support/Format.h"
+#include "support/Metrics.h"
+#include "support/ThreadPool.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+
+using namespace ropt;
+using namespace ropt::fleet;
+
+std::string FleetResult::digest() const {
+  std::string D = format(
+      "app=%s devices=%d rounds=%d best=%.17g@%d genome=%s fromhint=%d\n",
+      AppName.c_str(), Devices, Rounds, BestSpeedup, BestDevice,
+      BestGenome.c_str(), BestFromHint ? 1 : 0);
+  for (const FleetRoundLog &L : Log) {
+    const DeviceRound &O = L.Outcome;
+    D += format("r%d d%d best=%.17g src=%s fromhint=%d genome=%s recv=%d "
+                "adopt=%d rej=%d evals=%d\n",
+                L.Round, L.Device, O.BestSpeedup,
+                search::genomeSourceName(O.BestSource),
+                O.BestFromHint ? 1 : 0, O.BestGenome.c_str(),
+                O.HintsReceived, O.HintsAdopted, O.HintsRejected,
+                O.Evaluations);
+    for (const HintRejection &Rej : O.Report.Rejections)
+      D += format("  reject %s verdict=%s\n", Rej.Key.c_str(),
+                  Rej.Verdict.c_str());
+  }
+  for (const Server::LeaderEntry &E : Leaderboard)
+    D += format("lb %s speedup=%.17g reports=%d devices=%d q=%d "
+                "verdict=%s hash=%016llx size=%llu\n",
+                E.Key.c_str(), E.Speedup, E.Reports,
+                static_cast<int>(E.Devices.size()), E.Quarantined ? 1 : 0,
+                E.RejectVerdict.c_str(),
+                static_cast<unsigned long long>(E.BinaryHash),
+                static_cast<unsigned long long>(E.CodeSize));
+  return D;
+}
+
+FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
+                             Transport &Net, report::RunReport *Report) {
+  ROPT_TRACE_SPAN("fleet.run");
+  FleetResult Out;
+  Out.AppName = AppName;
+  int N = std::max(1, Config.Devices);
+  Out.Devices = N;
+  Out.Rounds = std::max(0, Config.Rounds);
+
+  std::vector<std::unique_ptr<Device>> Devices;
+  Devices.reserve(static_cast<size_t>(N));
+  for (int I = 0; I != N; ++I)
+    Devices.push_back(std::make_unique<Device>(
+        AppName, Base,
+        DeviceProfile::derive(Config.Seed, I, Config.CostJitter,
+                              Config.NoiseJitter, Config.SessionSpread)));
+
+  ThreadPool Pool(static_cast<size_t>(std::max(0, Config.Jobs)));
+
+  // Device setup (profile + capture + baselines) is embarrassingly
+  // parallel: devices share nothing, not even the dex file.
+  {
+    ROPT_TRACE_SPAN("fleet.setup");
+    std::vector<char> SetupOk(static_cast<size_t>(N), 0);
+    Pool.parallelFor(static_cast<size_t>(N), [&](size_t I, size_t) {
+      SetupOk[I] = Devices[I]->setup() ? 1 : 0;
+    });
+    for (int I = 0; I != N; ++I)
+      if (!SetupOk[static_cast<size_t>(I)]) {
+        Out.FailureReason = format(
+            "device %d: %s", I,
+            Devices[static_cast<size_t>(I)]->failureReason().c_str());
+        return Out;
+      }
+  }
+
+  uint64_t AppId = appKey(AppName);
+  std::vector<DeviceRound> FinalRound(static_cast<size_t>(N));
+  auto AddSend = [&Out](const SendOutcome &S) {
+    Out.TransportAttempts += static_cast<uint64_t>(S.Attempts);
+    Out.TransportDrops += S.Drops;
+    Out.TransportTicks += S.Ticks;
+  };
+
+  for (int R = 0; R != Out.Rounds; ++R) {
+    ROPT_TRACE_SPAN_V("fleet.round", R);
+    ROPT_METRIC_INC("fleet.rounds");
+
+    // 1. Serial: snapshot the hint set and deliver it per device. A
+    // failed delivery (retry cap exhausted — essentially impossible at
+    // sane drop rates) means that device searches cold this round.
+    std::vector<Hint> Hints = Srv.hints(AppName);
+    std::vector<std::vector<Hint>> Served(static_cast<size_t>(N));
+    std::vector<SendOutcome> HintSends(static_cast<size_t>(N));
+    for (int I = 0; I != N; ++I) {
+      MessageKey Key{AppId, Channel::Hints, R, I, 0};
+      SendOutcome &S = HintSends[static_cast<size_t>(I)];
+      S = sendWithRetry(Net, Key, Config.Retry);
+      if (S.Delivered)
+        Served[static_cast<size_t>(I)] = Hints;
+      else
+        ++Out.DeliveriesFailed;
+      Out.HintsPublished += Served[static_cast<size_t>(I)].size();
+    }
+
+    // 2. Parallel: the device rounds. Each device is self-contained and
+    // writes only its own slot, so scheduling cannot leak into results.
+    std::vector<DeviceRound> Rounds(static_cast<size_t>(N));
+    Pool.parallelFor(static_cast<size_t>(N), [&](size_t I, size_t) {
+      Rounds[I] = Devices[I]->runRound(R, Served[I]);
+    });
+
+    // 3. Serial, in device-id order: deliver reports and commit merges.
+    // This is the fleet-scale §9 contract — leaderboard state never
+    // depends on which device's thread finished first.
+    for (int I = 0; I != N; ++I) {
+      DeviceRound &DR = Rounds[static_cast<size_t>(I)];
+      MessageKey Key{AppId, Channel::Report, R, I, 0};
+      SendOutcome S = sendWithRetry(Net, Key, Config.Retry);
+      if (S.Delivered)
+        Srv.merge(AppName, DR.Report);
+      else
+        ++Out.DeliveriesFailed;
+
+      Out.HintsAdopted += static_cast<uint64_t>(DR.HintsAdopted);
+      Out.HintsRejected += static_cast<uint64_t>(DR.HintsRejected);
+      AddSend(HintSends[static_cast<size_t>(I)]);
+      AddSend(S);
+
+      if (Report) {
+        report::FleetRoundRecord Rec;
+        Rec.App = AppName;
+        Rec.FleetDevices = N;
+        Rec.Round = R;
+        Rec.Device = I;
+        Rec.BestSpeedup = DR.BestSpeedup;
+        Rec.BestGenome = DR.BestGenome;
+        Rec.BestSource = search::genomeSourceName(DR.BestSource);
+        Rec.BestFromHint = DR.BestFromHint;
+        Rec.HintsReceived = DR.HintsReceived;
+        Rec.HintsAdopted = DR.HintsAdopted;
+        Rec.HintsRejected = DR.HintsRejected;
+        Rec.Evaluations = DR.Evaluations;
+        Rec.TransportAttempts =
+            HintSends[static_cast<size_t>(I)].Attempts + S.Attempts;
+        Rec.TransportDrops =
+            HintSends[static_cast<size_t>(I)].Drops + S.Drops;
+        Rec.TransportTicks =
+            HintSends[static_cast<size_t>(I)].Ticks + S.Ticks;
+        Rec.Delivered = S.Delivered;
+        Report->onFleetRound(Rec);
+      }
+
+      FinalRound[static_cast<size_t>(I)] = DR;
+      Out.Log.push_back(FleetRoundLog{R, I, std::move(DR),
+                                      HintSends[static_cast<size_t>(I)],
+                                      S});
+    }
+  }
+
+  ROPT_METRIC_ADD("fleet.transport_attempts", Out.TransportAttempts);
+  ROPT_METRIC_ADD("fleet.transport_drops", Out.TransportDrops);
+
+  // Fleet-wide best: max speedup over each device's own baseline.
+  for (int I = 0; I != N; ++I) {
+    const Device &D = *Devices[static_cast<size_t>(I)];
+    Out.Counters += D.counters();
+    Out.Cache.GenomeHits += D.cacheStats().GenomeHits;
+    Out.Cache.BinaryHits += D.cacheStats().BinaryHits;
+    Out.Cache.Misses += D.cacheStats().Misses;
+    Out.Racing.ReplaysSpent += D.racingStats().ReplaysSpent;
+    Out.Racing.FixedBudget += D.racingStats().FixedBudget;
+    Out.Racing.EarlyStops += D.racingStats().EarlyStops;
+    Out.Racing.Escalations += D.racingStats().Escalations;
+    Out.Racing.TopUps += D.racingStats().TopUps;
+    if (!D.best() || !D.best()->E.ok())
+      continue;
+    double Speedup = D.androidMedian() / D.best()->E.MedianCycles;
+    if (Speedup > Out.BestSpeedup) {
+      Out.BestSpeedup = Speedup;
+      Out.BestGenome = D.best()->G.name();
+      Out.BestDevice = I;
+      Out.BestFromHint = FinalRound[static_cast<size_t>(I)].BestFromHint;
+    }
+  }
+  if (const std::vector<Server::LeaderEntry> *L = Srv.leaderboard(AppName))
+    Out.Leaderboard = *L;
+
+  Out.Succeeded = Out.BestSpeedup > 0.0;
+  if (!Out.Succeeded)
+    Out.FailureReason = "no device produced a valid genome";
+  return Out;
+}

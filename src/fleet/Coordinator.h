@@ -1,0 +1,128 @@
+//===- fleet/Coordinator.h - Deterministic fleet rounds ---------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives N devices against one server in synchronous rounds, preserving
+/// the §9 determinism contract at fleet scale:
+///
+///   per round —
+///     1. serial:   snapshot the server's hint set, deliver it per device
+///                  through the transport (retry masks loss);
+///     2. parallel: every device runs its warm-started search round over
+///                  support::ThreadPool (devices are fully self-contained:
+///                  own dex file, own captures, own single-job engine);
+///     3. serial, in device-id order: deliver each device's report and
+///                  commit the server merge.
+///
+/// Device order and merge commits never depend on scheduling, so a seeded
+/// fleet run is bit-identical at any `--jobs` — and, because sendWithRetry
+/// makes delivery effectively certain, identical under transport loss and
+/// reordering too (only the retry/tick counters change). FleetResult::
+/// digest() captures exactly the scheduling-independent outcome for tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_FLEET_COORDINATOR_H
+#define ROPT_FLEET_COORDINATOR_H
+
+#include "fleet/Device.h"
+#include "fleet/Server.h"
+#include "fleet/Transport.h"
+
+#include <string>
+#include <vector>
+
+namespace ropt {
+namespace report {
+class RunReport;
+} // namespace report
+
+namespace fleet {
+
+struct FleetConfig {
+  int Devices = 4;
+  int Rounds = 3;
+  /// Pool threads driving device rounds; 0 = hardware concurrency.
+  /// Results are identical at any value.
+  int Jobs = 0;
+  uint64_t Seed = 1;
+
+  // Heterogeneity of the derived device profiles (see DeviceProfile).
+  double CostJitter = 0.25;
+  double NoiseJitter = 0.5;
+  int64_t SessionSpread = 2;
+
+  RetryPolicy Retry;
+};
+
+/// One (round, device) cell of the round log — the substrate of the
+/// report layer's fleet.jsonl.
+struct FleetRoundLog {
+  int Round = 0;
+  int Device = 0;
+  DeviceRound Outcome;
+  SendOutcome HintDelivery;   ///< Server -> device.
+  SendOutcome ReportDelivery; ///< Device -> server.
+};
+
+/// What one coordinator run produced for one app.
+struct FleetResult {
+  std::string AppName;
+  bool Succeeded = false;
+  std::string FailureReason;
+
+  int Devices = 0;
+  int Rounds = 0;
+  double BestSpeedup = 0.0; ///< Max over devices (vs own baselines).
+  std::string BestGenome;
+  int BestDevice = -1;
+  bool BestFromHint = false;
+
+  std::vector<FleetRoundLog> Log; ///< Round-major, device-minor.
+  std::vector<Server::LeaderEntry> Leaderboard; ///< Final snapshot.
+
+  // Sums over devices / rounds.
+  search::EngineCounters Counters;
+  search::EngineCacheStats Cache;
+  search::EngineRacingStats Racing;
+  uint64_t HintsPublished = 0; ///< Hints handed to devices (pre-dedup).
+  uint64_t HintsAdopted = 0;
+  uint64_t HintsRejected = 0;
+  uint64_t TransportAttempts = 0;
+  uint64_t TransportDrops = 0;
+  uint64_t TransportTicks = 0;
+  uint64_t DeliveriesFailed = 0; ///< Retry cap exhausted (should be 0).
+
+  /// A stable fingerprint of every scheduling-independent outcome: device
+  /// results, adopted/rejected hints, the leaderboard. Transport counters
+  /// are deliberately excluded — they are the one thing a lossy network
+  /// is allowed to change.
+  std::string digest() const;
+};
+
+class Coordinator {
+public:
+  /// \p Base is the per-device pipeline configuration (the device count,
+  /// rounds and seeds come from \p Config; Base.Seed is overridden per
+  /// device).
+  Coordinator(FleetConfig Config, core::PipelineConfig Base)
+      : Config(Config), Base(std::move(Base)) {}
+
+  /// Runs the full round protocol for \p AppName against \p Srv over
+  /// \p Net. When \p Report is non-null, every (round, device) cell is
+  /// appended to its fleet round log.
+  FleetResult run(const std::string &AppName, Server &Srv, Transport &Net,
+                  report::RunReport *Report = nullptr);
+
+private:
+  FleetConfig Config;
+  core::PipelineConfig Base;
+};
+
+} // namespace fleet
+} // namespace ropt
+
+#endif // ROPT_FLEET_COORDINATOR_H

@@ -1,0 +1,229 @@
+//===- fleet/Device.cpp - One simulated fleet member ----------------------===//
+
+#include "fleet/Device.h"
+
+#include "lir/Backend.h"
+#include "support/Metrics.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+
+using namespace ropt;
+using namespace ropt::fleet;
+
+DeviceProfile DeviceProfile::derive(uint64_t FleetSeed, int Id,
+                                    double CostJitter, double NoiseJitter,
+                                    int64_t SessionSpread) {
+  DeviceProfile P;
+  P.Id = Id;
+  Rng R(FleetSeed ^ (0x9e3779b97f4a7c15ull *
+                     (static_cast<uint64_t>(Id) + 1)));
+  P.Seed = R.next();
+  if (CostJitter > 0.0)
+    P.CostScale = 1.0 + R.uniform(-CostJitter, CostJitter);
+  if (NoiseJitter > 0.0)
+    P.NoiseScale = 1.0 + R.uniform(-NoiseJitter, NoiseJitter);
+  if (SessionSpread > 0)
+    P.SessionShift = R.range(-SessionSpread, SessionSpread);
+  return P;
+}
+
+Device::Device(const std::string &AppName, const core::PipelineConfig &Base,
+               const DeviceProfile &Profile)
+    : App(workloads::buildByName(AppName)), Config(Base), Prof(Profile) {
+  Config.Seed = Prof.Seed;
+  // The coordinator's pool provides cross-device parallelism; a nested
+  // single-job engine runs inline on the coordinator's worker (a
+  // multi-thread nested pool would deadlock parallelFor).
+  Config.Search.Jobs = 1;
+  // Device GAs log through fleet.jsonl, not the evaluation stream.
+  Config.Provenance = nullptr;
+
+  // Hardware heterogeneity: scale every per-event kernel cost (a uniformly
+  // slower/faster SoC) and the measurement-noise floor.
+  os::KernelCostModel &K = Config.Capture.KernelCosts;
+  K.ForkBaseUs *= Prof.CostScale;
+  K.ForkPerPageUs *= Prof.CostScale;
+  K.MapsParsePerMappingUs *= Prof.CostScale;
+  K.ProtectCallUs *= Prof.CostScale;
+  K.ProtectPerPageUs *= Prof.CostScale;
+  K.PageFaultUs *= Prof.CostScale;
+  K.CowCopyUs *= Prof.CostScale;
+  Config.Measure.Noise.OfflineSigma *= Prof.NoiseScale;
+  Config.Measure.Noise.OnlineSigma *= Prof.NoiseScale;
+
+  // User heterogeneity: this device's owner exercises a different session
+  // input (only meaningful for apps with a real online parameter range).
+  if (Prof.SessionShift != 0 && App.MinParam < App.MaxParam)
+    App.DefaultParam = std::clamp(App.DefaultParam + Prof.SessionShift,
+                                  App.MinParam, App.MaxParam);
+}
+
+bool Device::setup() {
+  core::IterativeCompiler Pipeline(Config);
+  core::IterativeCompiler::ProfiledApp Profiled = Pipeline.profileApp(App);
+  if (!Profiled.Region) {
+    Failure = "no replayable hot region";
+    return false;
+  }
+  Region = *Profiled.Region;
+  Captures = Pipeline.captureRegionMulti(
+      *Profiled.Instance, Region,
+      std::max(1, Config.Capture.CapturesPerRegion));
+  if (Captures.empty()) {
+    Failure = "capture failed";
+    return false;
+  }
+
+  Baselines =
+      std::make_unique<core::RegionEvaluator>(App, Region, Captures, Config);
+  search::EngineOptions Opts;
+  Opts.Jobs = 1; // See the constructor: never nest a multi-thread pool.
+  Opts.Memoize = Config.Search.Memoize;
+  Opts.Racing = Config.Search.Racing;
+  Opts.MinReplays = Config.Search.MinReplaysPerEvaluation;
+  Opts.MaxReplays = Config.Search.MaxReplaysPerEvaluation;
+  Opts.RacingAlpha = Config.Search.GA.SignificanceAlpha;
+  Engine = std::make_unique<search::EvaluationEngine>(
+      [this]() {
+        return std::make_unique<core::RegionEvaluator>(App, Region,
+                                                       Captures, Config);
+      },
+      Opts, Config.Seed);
+
+  search::Evaluation Android = Baselines->evaluateAndroid();
+  if (!Android.ok()) {
+    Failure = "android baseline replay failed";
+    return false;
+  }
+  AndroidCycles = Android.MedianCycles;
+  search::Evaluation O3 = Baselines->evaluatePipeline(lir::o3Pipeline());
+  O3Cycles = O3.ok() ? O3.MedianCycles : AndroidCycles;
+  return true;
+}
+
+double Device::speedupOf(const search::Evaluation &E) const {
+  return E.MedianCycles > 0.0 ? AndroidCycles / E.MedianCycles : 0.0;
+}
+
+GenomeReport Device::reportFor(const search::Scored &S) const {
+  GenomeReport R;
+  R.G = S.G;
+  R.Key = S.G.name();
+  R.BinaryHash = S.E.BinaryHash;
+  R.CodeSize = S.E.CodeSize;
+  for (double Cycles : S.E.Samples)
+    if (Cycles > 0.0)
+      R.SpeedupSamples.push_back(AndroidCycles / Cycles);
+  R.SpeedupMedian =
+      R.SpeedupSamples.empty() ? speedupOf(S.E) : median(R.SpeedupSamples);
+  R.Source = S.Source;
+  return R;
+}
+
+DeviceRound Device::runRound(int Round, const std::vector<Hint> &Hints) {
+  DeviceRound Out;
+  Out.Report.Device = Prof.Id;
+  Out.Report.Round = Round;
+  int EvalsBefore = Engine->counters().total();
+  ROPT_METRIC_INC("fleet.device_rounds");
+
+  // --- Re-verify foreign hints before adoption (the safety contract):
+  // compile + replay against *this device's* verification map, through
+  // the engine so repeats are cache hits. Hints echoing our own reports
+  // are not foreign and skip the bookkeeping.
+  std::vector<const Hint *> Foreign;
+  std::vector<const Hint *> Fresh;
+  for (const Hint &H : Hints) {
+    if (OwnReported.count(H.Key))
+      continue;
+    Foreign.push_back(&H);
+    if (!KnownHints.count(H.Key))
+      Fresh.push_back(&H);
+  }
+  Out.HintsReceived = static_cast<int>(Foreign.size());
+  if (!Fresh.empty()) {
+    std::vector<search::Genome> ToVerify;
+    ToVerify.reserve(Fresh.size());
+    for (const Hint *H : Fresh)
+      ToVerify.push_back(H->G);
+    std::vector<search::Evaluation> Verdicts =
+        Engine->evaluateBatch(ToVerify);
+    for (size_t I = 0; I != Fresh.size(); ++I) {
+      bool Adopted = Verdicts[I].ok();
+      KnownHints[Fresh[I]->Key] = Adopted;
+      if (Adopted) {
+        AdoptedForeign.insert(Fresh[I]->Key);
+        ROPT_METRIC_INC("fleet.hints_adopted");
+      } else {
+        Out.Report.Rejections.push_back(HintRejection{
+            Fresh[I]->Key, search::evalKindName(Verdicts[I].Kind)});
+        ROPT_METRIC_INC("fleet.hints_rejected");
+      }
+    }
+  }
+  for (const Hint *H : Foreign) {
+    if (KnownHints[H->Key])
+      ++Out.HintsAdopted;
+    else
+      ++Out.HintsRejected;
+  }
+
+  // --- Warm-started local search: own best first, then the adopted
+  // hints in served order (seedPopulation dedups).
+  std::vector<search::Genome> Seeds;
+  if (Best)
+    Seeds.push_back(Best->G);
+  for (const Hint *H : Foreign)
+    if (KnownHints[H->Key])
+      Seeds.push_back(H->G);
+  uint64_t RoundSeed =
+      Config.Seed ^
+      (0x6a5e + 0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(Round) + 1));
+  search::GeneticSearch GA(Config.Search.GA, RoundSeed, *Engine, nullptr);
+  GA.seedPopulation(std::move(Seeds));
+  std::optional<search::Scored> RoundBest =
+      GA.run(AndroidCycles, O3Cycles);
+
+  if (RoundBest && RoundBest->E.ok()) {
+    bool Better =
+        !Best || RoundBest->E.MedianCycles < Best->E.MedianCycles ||
+        (RoundBest->E.MedianCycles == Best->E.MedianCycles &&
+         RoundBest->E.CodeSize < Best->E.CodeSize);
+    if (Better) {
+      Best = *RoundBest;
+      BestIsForeign = Best->Source == search::GenomeSource::Seeded &&
+                      AdoptedForeign.count(Best->G.name()) > 0;
+    }
+  }
+
+  // --- Package the round report: the device's best-so-far, plus the
+  // round's own discovery when it differs (leaderboard diversity).
+  if (Best) {
+    Out.Report.Best.push_back(reportFor(*Best));
+    OwnReported.insert(Best->G.name());
+    if (RoundBest && RoundBest->E.ok() &&
+        RoundBest->G.name() != Best->G.name()) {
+      Out.Report.Best.push_back(reportFor(*RoundBest));
+      OwnReported.insert(RoundBest->G.name());
+    }
+    Out.BestSpeedup = speedupOf(Best->E);
+    Out.BestGenome = Best->G.name();
+    Out.BestSource = Best->Source;
+    Out.BestFromHint = BestIsForeign;
+  }
+  Out.Evaluations = Engine->counters().total() - EvalsBefore;
+  return Out;
+}
+
+const search::EngineCounters &Device::counters() const {
+  return Engine->counters();
+}
+
+const search::EngineCacheStats &Device::cacheStats() const {
+  return Engine->cacheStats();
+}
+
+const search::EngineRacingStats &Device::racingStats() const {
+  return Engine->racingStats();
+}

@@ -1,0 +1,138 @@
+//===- fleet/Device.h - One simulated fleet member --------------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One device of the simulated population: a full capture/replay/search
+/// pipeline instance living on perturbed hardware. Heterogeneity comes in
+/// three axes, all derived deterministically from (fleet seed, device id):
+/// a scaled os::KernelCostModel (slow vs fast kernels), a scaled
+/// measurement-noise floor (quiet vs thermally-throttled phones), and a
+/// shifted session parameter (different users exercise different inputs,
+/// the paper's §5.4 concern). The device profiles and captures its *own*
+/// region, measures its *own* Android baseline, and reports fitness as
+/// speedup over that baseline — the only figure comparable across the
+/// fleet.
+///
+/// The safety contract (DESIGN.md §12): every foreign hint is compiled
+/// and replayed against the device's own verification map before it may
+/// seed the local GA. A hint that miscompiles here — whatever it did on
+/// the device that reported it — is rejected, counted in
+/// `fleet.hints_rejected`, and reported back so the server quarantines
+/// the genome fleet-wide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_FLEET_DEVICE_H
+#define ROPT_FLEET_DEVICE_H
+
+#include "core/IterativeCompiler.h"
+#include "fleet/Server.h"
+#include "workloads/Workloads.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ropt {
+namespace fleet {
+
+/// A device's identity in the population.
+struct DeviceProfile {
+  int Id = 0;
+  uint64_t Seed = 1;        ///< Drives all device-local randomness.
+  double CostScale = 1.0;   ///< Kernel cost-model scale (capture overhead).
+  double NoiseScale = 1.0;  ///< Measurement-noise sigma scale.
+  int64_t SessionShift = 0; ///< Added to the app's default session param.
+
+  /// Derives member \p Id of the population seeded by \p FleetSeed.
+  /// \p CostJitter / \p NoiseJitter bound the uniform scale perturbation
+  /// (e.g. 0.25 -> scales in [0.75, 1.25]); \p SessionSpread bounds the
+  /// absolute session-parameter shift. Zeros give a homogeneous fleet.
+  static DeviceProfile derive(uint64_t FleetSeed, int Id, double CostJitter,
+                              double NoiseJitter, int64_t SessionSpread);
+};
+
+/// What one device did in one round.
+struct DeviceRound {
+  RoundReport Report; ///< What goes to the server (best + rejections).
+  int HintsReceived = 0;
+  int HintsAdopted = 0;  ///< Verified Ok locally, seeded into the GA.
+  int HintsRejected = 0; ///< Failed local verification; reported back.
+  int Evaluations = 0;   ///< Engine answers this round (cache hits incl.).
+  double BestSpeedup = 0.0; ///< Device best-so-far vs own Android median.
+  std::string BestGenome;
+  search::GenomeSource BestSource = search::GenomeSource::Random;
+  bool BestFromHint = false; ///< Best-so-far originated as a foreign hint.
+};
+
+class Device {
+public:
+  /// \p Base is the fleet-wide pipeline configuration; the device applies
+  /// its profile on top (seed, cost/noise scaling, session shift) and
+  /// forces the evaluation engine to a single job — cross-device
+  /// parallelism belongs to the coordinator's pool, and a nested
+  /// single-thread engine runs inline on the coordinator's worker.
+  Device(const std::string &AppName, const core::PipelineConfig &Base,
+         const DeviceProfile &Profile);
+
+  /// Phases 1-3 plus baselines, once per device: profile, capture the hot
+  /// region, measure stock Android and -O3, build the evaluation engine.
+  /// Returns false (see failureReason()) when the app yields no
+  /// replayable region on this device.
+  bool setup();
+
+  const std::string &failureReason() const { return Failure; }
+
+  /// One crowd round: re-verify the served hints, warm-start the GA from
+  /// the survivors plus the device's own best, search, and package the
+  /// round report.
+  DeviceRound runRound(int Round, const std::vector<Hint> &Hints);
+
+  const DeviceProfile &profile() const { return Prof; }
+  double androidMedian() const { return AndroidCycles; }
+  const std::optional<search::Scored> &best() const { return Best; }
+  /// Engine statistics accumulated over every round so far.
+  const search::EngineCounters &counters() const;
+  const search::EngineCacheStats &cacheStats() const;
+  const search::EngineRacingStats &racingStats() const;
+
+private:
+  /// Speedup of \p E over this device's Android baseline.
+  double speedupOf(const search::Evaluation &E) const;
+  GenomeReport reportFor(const search::Scored &S) const;
+
+  workloads::Application App; ///< Private copy: no cross-device sharing.
+  core::PipelineConfig Config;
+  DeviceProfile Prof;
+  std::string Failure;
+
+  // Pipeline state frozen by setup(); Captures must not move afterwards
+  // (the engine's backends hold references into it).
+  profiler::HotRegion Region;
+  std::vector<core::CapturedRegion> Captures;
+  std::unique_ptr<core::RegionEvaluator> Baselines;
+  std::unique_ptr<search::EvaluationEngine> Engine;
+  double AndroidCycles = 0.0;
+  double O3Cycles = 0.0;
+
+  std::optional<search::Scored> Best; ///< Best-so-far across rounds.
+  bool BestIsForeign = false;
+  /// Hints already verified (either way) — received again, they are
+  /// neither re-verified nor re-counted.
+  std::map<std::string, bool> KnownHints; ///< Key -> adopted?
+  std::set<std::string> AdoptedForeign;   ///< Keys of adopted hints.
+  /// Genomes this device reported to the server; echoed back as hints,
+  /// they are not foreign and skip the verification bookkeeping.
+  std::set<std::string> OwnReported;
+};
+
+} // namespace fleet
+} // namespace ropt
+
+#endif // ROPT_FLEET_DEVICE_H

@@ -1,0 +1,136 @@
+//===- fleet/Server.cpp - Per-app genome leaderboard ----------------------===//
+
+#include "fleet/Server.h"
+
+#include "support/Metrics.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+
+using namespace ropt;
+using namespace ropt::fleet;
+
+Server::LeaderEntry &Server::entryFor(AppBoard &Board, const GenomeReport &G,
+                                      bool &Existing) {
+  // Dedup: binary hash first (the ISSUE's key — textually different
+  // genomes landing on the same machine code are one entry), genome name
+  // as fallback (injected hints carry no hash; the same genome can hash
+  // differently across heterogeneous devices).
+  Existing = true;
+  if (G.BinaryHash != 0) {
+    auto It = Board.ByHash.find(G.BinaryHash);
+    if (It != Board.ByHash.end())
+      return Board.Entries[It->second];
+  }
+  auto It = Board.ByKey.find(G.Key);
+  if (It != Board.ByKey.end()) {
+    LeaderEntry &E = Board.Entries[It->second];
+    // Learn the hash the fallback path was missing.
+    if (E.BinaryHash == 0 && G.BinaryHash != 0) {
+      E.BinaryHash = G.BinaryHash;
+      Board.ByHash.emplace(G.BinaryHash, It->second);
+    }
+    return E;
+  }
+
+  Existing = false;
+  Board.Entries.emplace_back();
+  size_t Index = Board.Entries.size() - 1;
+  LeaderEntry &E = Board.Entries.back();
+  E.G = G.G;
+  E.Key = G.Key;
+  E.BinaryHash = G.BinaryHash;
+  E.CodeSize = G.CodeSize;
+  Board.ByKey.emplace(G.Key, Index);
+  if (G.BinaryHash != 0)
+    Board.ByHash.emplace(G.BinaryHash, Index);
+  return E;
+}
+
+void Server::merge(const std::string &App, const RoundReport &R) {
+  AppBoard &Board = Boards[App];
+  ++Stats.ReportsMerged;
+  ROPT_METRIC_INC("fleet.reports_merged");
+
+  for (const GenomeReport &G : R.Best) {
+    ++Stats.GenomesReported;
+    bool Existing = false;
+    LeaderEntry &E = entryFor(Board, G, Existing);
+    if (Existing) {
+      ++Stats.Duplicates;
+      ROPT_METRIC_INC("fleet.duplicate_reports");
+    }
+    // Statistical merging: pool the normalized samples (first
+    // MaxPooledSamples survive — deterministic, arrival-ordered by the
+    // coordinator's serialized commits) and re-rank by pooled median.
+    for (double S : G.SpeedupSamples) {
+      if (E.Samples.size() >= Opt.MaxPooledSamples)
+        break;
+      E.Samples.push_back(S);
+    }
+    if (E.Samples.empty())
+      E.Samples.push_back(G.SpeedupMedian);
+    E.Speedup = median(E.Samples);
+    E.Devices.insert(R.Device);
+    ++E.Reports;
+  }
+
+  // A rejection retires the genome fleet-wide: one device's verification
+  // map proving a miscompile outweighs any number of speedup reports.
+  for (const HintRejection &Rej : R.Rejections) {
+    auto It = Board.ByKey.find(Rej.Key);
+    if (It == Board.ByKey.end())
+      continue;
+    LeaderEntry &E = Board.Entries[It->second];
+    if (!E.Quarantined) {
+      E.Quarantined = true;
+      E.RejectVerdict = Rej.Verdict;
+      ++Stats.Quarantined;
+      ROPT_METRIC_INC("fleet.quarantined");
+    }
+  }
+}
+
+std::vector<Hint> Server::hints(const std::string &App) {
+  std::vector<Hint> Out;
+  auto It = Boards.find(App);
+  if (It == Boards.end())
+    return Out;
+
+  std::vector<const LeaderEntry *> Ranked;
+  for (const LeaderEntry &E : It->second.Entries)
+    if (!E.Quarantined)
+      Ranked.push_back(&E);
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const LeaderEntry *A, const LeaderEntry *B) {
+              if (A->Speedup != B->Speedup)
+                return A->Speedup > B->Speedup;
+              return A->Key < B->Key;
+            });
+  for (const LeaderEntry *E : Ranked) {
+    if (Out.size() == static_cast<size_t>(std::max(0, Opt.TopK)))
+      break;
+    Out.push_back(Hint{E->G, E->Key, E->Speedup, E->Reports});
+  }
+  Stats.HintsServed += Out.size();
+  return Out;
+}
+
+void Server::injectHint(const std::string &App, const search::Genome &G,
+                        double Speedup) {
+  GenomeReport R;
+  R.G = G;
+  R.Key = G.name();
+  R.SpeedupMedian = Speedup;
+  R.SpeedupSamples = {Speedup};
+  RoundReport Injected;
+  Injected.Device = -1; // Not a real fleet member.
+  Injected.Best.push_back(std::move(R));
+  merge(App, Injected);
+}
+
+const std::vector<Server::LeaderEntry> *
+Server::leaderboard(const std::string &App) const {
+  auto It = Boards.find(App);
+  return It == Boards.end() ? nullptr : &It->second.Entries;
+}

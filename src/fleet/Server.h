@@ -1,0 +1,146 @@
+//===- fleet/Server.h - Per-app genome leaderboard --------------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central aggregation side of the crowd-sourced search (the server
+/// role of "Iterative compilation on mobile devices", PAPERS.md): devices
+/// report their best genomes after every search round, the server merges
+/// the reports into a per-app leaderboard, and the current top-k becomes
+/// the "hint" set the next round's devices warm-start from.
+///
+/// Fitness is reported as *speedup over the reporting device's own stock
+/// Android baseline*, not absolute cycles — devices are heterogeneous
+/// (perturbed cost models, noise floors, session inputs), so only the
+/// normalized figure is comparable across the fleet. Entries are keyed by
+/// the reported binary hash with a genome-name fallback, pooled samples
+/// are capped and re-ranked by median, and a genome any device rejects
+/// against its verification map is quarantined — it never appears in a
+/// hint set again. The server is plain deterministic state: merge order
+/// is the coordinator's problem (it serializes commits in device order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_FLEET_SERVER_H
+#define ROPT_FLEET_SERVER_H
+
+#include "search/GeneticSearch.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ropt {
+namespace fleet {
+
+/// One Ok genome a device reports after a round.
+struct GenomeReport {
+  search::Genome G;
+  std::string Key;         ///< Canonical genome name (G.name()).
+  uint64_t BinaryHash = 0; ///< Binary identity on the reporting device.
+  uint64_t CodeSize = 0;
+  double SpeedupMedian = 0.0; ///< Median of SpeedupSamples.
+  /// Per-replay speedups vs the device's own Android baseline.
+  std::vector<double> SpeedupSamples;
+  /// How the device found it (random exploration, adopted hint, ...).
+  search::GenomeSource Source = search::GenomeSource::Random;
+};
+
+/// A foreign hint the device's own verification map (or compiler) turned
+/// down — the fleet-scale miscompile report.
+struct HintRejection {
+  std::string Key;     ///< Canonical genome name of the rejected hint.
+  std::string Verdict; ///< evalKindName() spelling of the failure.
+};
+
+/// Everything one device tells the server about one round.
+struct RoundReport {
+  int Device = 0;
+  int Round = 0;
+  std::vector<GenomeReport> Best;
+  std::vector<HintRejection> Rejections;
+};
+
+/// One leaderboard entry served to devices.
+struct Hint {
+  search::Genome G;
+  std::string Key;
+  double Speedup = 0.0; ///< Merged (pooled-median) speedup.
+  int Reports = 0;      ///< Device reports folded into the entry.
+};
+
+struct ServerOptions {
+  int TopK = 4;                 ///< Hint-set size.
+  size_t MaxPooledSamples = 96; ///< Per-entry speedup-sample cap.
+};
+
+struct ServerStats {
+  uint64_t ReportsMerged = 0;   ///< RoundReports accepted.
+  uint64_t GenomesReported = 0; ///< GenomeReports seen (dups included).
+  uint64_t Duplicates = 0;      ///< Folded into an existing entry.
+  uint64_t Quarantined = 0;     ///< Entries retired by rejection reports.
+  uint64_t HintsServed = 0;     ///< Hints handed out across hints() calls.
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opt = {}) : Opt(Opt) {}
+
+  /// One leaderboard row.
+  struct LeaderEntry {
+    search::Genome G;
+    std::string Key;
+    uint64_t BinaryHash = 0;
+    uint64_t CodeSize = 0;
+    std::vector<double> Samples; ///< Pooled speedups, capped.
+    double Speedup = 0.0;        ///< median(Samples).
+    std::set<int> Devices;       ///< Devices that reported it.
+    int Reports = 0;
+    bool Quarantined = false;
+    std::string RejectVerdict; ///< First rejection verdict, if any.
+  };
+
+  /// Folds one device's round report into the app's leaderboard:
+  /// statistical merging (pooled speedup samples, median re-rank), dedup
+  /// by binary hash / genome name, and quarantine of rejected hints.
+  void merge(const std::string &App, const RoundReport &R);
+
+  /// The current top-k hint set for \p App: non-quarantined entries,
+  /// best merged speedup first (genome name breaks ties, so the set is
+  /// stable across runs).
+  std::vector<Hint> hints(const std::string &App);
+
+  /// Pre-seeds the leaderboard with an unverified genome, as if a device
+  /// had reported it at \p Speedup. Entry point for cross-run hint
+  /// persistence — and for the safety tests' deliberately-unsound hints.
+  void injectHint(const std::string &App, const search::Genome &G,
+                  double Speedup);
+
+  /// The app's full leaderboard, or null if it never got a report.
+  const std::vector<LeaderEntry> *leaderboard(const std::string &App) const;
+
+  const ServerStats &stats() const { return Stats; }
+
+private:
+  struct AppBoard {
+    std::vector<LeaderEntry> Entries;
+    std::map<uint64_t, size_t> ByHash; ///< BinaryHash != 0 -> entry index.
+    std::map<std::string, size_t> ByKey; ///< Genome name -> entry index.
+  };
+
+  LeaderEntry &entryFor(AppBoard &Board, const GenomeReport &G,
+                        bool &Existing);
+
+  ServerOptions Opt;
+  std::map<std::string, AppBoard> Boards;
+  ServerStats Stats;
+};
+
+} // namespace fleet
+} // namespace ropt
+
+#endif // ROPT_FLEET_SERVER_H

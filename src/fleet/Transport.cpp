@@ -1,0 +1,67 @@
+//===- fleet/Transport.cpp - Injectable device<->server messaging ---------===//
+
+#include "fleet/Transport.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+
+using namespace ropt;
+using namespace ropt::fleet;
+
+uint64_t fleet::appKey(const std::string &Name) {
+  uint64_t H = 0xcbf29ce484222325ull; // FNV-1a
+  for (char C : Name) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+uint64_t MessageKey::mix() const {
+  // SplitMix-style fold of every identity field; Rng's SplitMix64 seeding
+  // then decorrelates nearby keys.
+  uint64_t H = App;
+  auto Fold = [&H](uint64_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  };
+  Fold(static_cast<uint64_t>(Dir));
+  Fold(static_cast<uint64_t>(Round) + 1);
+  Fold(static_cast<uint64_t>(Device) + 1);
+  Fold(static_cast<uint64_t>(Attempt) + 1);
+  return H;
+}
+
+Delivery SimTransport::attempt(const MessageKey &Key) {
+  // One private stream per attempt identity: the verdict cannot depend on
+  // how many other messages were sent before this one.
+  Rng R(Seed ^ Key.mix());
+  Delivery D;
+  D.Delivered = !R.chance(Opt.DropProb);
+  uint64_t Lo = Opt.MinLatencyTicks;
+  uint64_t Hi = std::max(Opt.MaxLatencyTicks, Lo);
+  D.LatencyTicks = Lo + (Hi > Lo ? R.below(Hi - Lo + 1) : 0);
+  D.Reordered = D.Delivered && R.chance(Opt.ReorderProb);
+  return D;
+}
+
+SendOutcome fleet::sendWithRetry(Transport &T, MessageKey Key,
+                                 const RetryPolicy &Policy) {
+  SendOutcome Out;
+  for (int A = 0; A < Policy.MaxAttempts; ++A) {
+    Key.Attempt = A;
+    Delivery D = T.attempt(Key);
+    ++Out.Attempts;
+    Out.Ticks += D.LatencyTicks;
+    if (D.Delivered) {
+      Out.Delivered = true;
+      Out.Reordered = Out.Reordered || D.Reordered;
+      return Out;
+    }
+    ++Out.Drops;
+    uint64_t Backoff = Policy.BackoffBaseTicks
+                       << std::min<uint64_t>(static_cast<uint64_t>(A), 16);
+    Out.Ticks += std::min(Backoff, Policy.BackoffCapTicks);
+  }
+  return Out;
+}

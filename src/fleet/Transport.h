@@ -1,0 +1,131 @@
+//===- fleet/Transport.h - Injectable device<->server messaging -*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The message layer between fleet devices and the aggregation server.
+/// Real deployments talk over flaky mobile networks, so the simulated
+/// transport injects seeded drop, latency and reordering — but the fleet
+/// protocol must stay *result-deterministic* under any of it (DESIGN.md
+/// §12). Two properties make that hold:
+///
+///  - A transport's verdict for one delivery attempt is a pure function
+///    of the attempt's identity (app, round, device, direction, attempt
+///    number) and the transport seed — never of wall-clock time or call
+///    order. Replaying the same protocol replays the same packet fates.
+///
+///  - Devices send through sendWithRetry(): capped-backoff retries until
+///    delivery or a generous attempt cap. Loss therefore costs simulated
+///    ticks and retry counters, not payloads — a lossy run computes the
+///    same genomes, leaderboard and hints as the lossless run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_FLEET_TRANSPORT_H
+#define ROPT_FLEET_TRANSPORT_H
+
+#include <cstdint>
+#include <string>
+
+namespace ropt {
+namespace fleet {
+
+/// Which way a fleet message travels (half of an attempt's identity).
+enum class Channel : uint64_t {
+  Hints = 1,  ///< Server -> device: the round's top-k hint set.
+  Report = 2, ///< Device -> server: round results + hint rejections.
+};
+
+/// Identity of one delivery attempt. Transports must derive their verdict
+/// purely from this (plus their own seed) so packet fates are replayable.
+struct MessageKey {
+  uint64_t App = 0; ///< appKey() of the application name.
+  Channel Dir = Channel::Report;
+  int Round = 0;
+  int Device = 0;
+  int Attempt = 0;
+
+  /// Mixes the fields into one 64-bit stream seed.
+  uint64_t mix() const;
+};
+
+/// Stable 64-bit key for an application name (FNV-1a).
+uint64_t appKey(const std::string &Name);
+
+/// One attempt's fate.
+struct Delivery {
+  bool Delivered = true;
+  uint64_t LatencyTicks = 1; ///< Simulated one-way latency.
+  /// The packet was overtaken in flight. Log-only: the coordinator's
+  /// round barrier serializes merge commits, so reordering never changes
+  /// results — which is the point the injection exists to demonstrate.
+  bool Reordered = false;
+};
+
+class Transport {
+public:
+  virtual ~Transport() = default;
+
+  /// Decides the fate of one delivery attempt.
+  virtual Delivery attempt(const MessageKey &Key) = 0;
+};
+
+/// The ideal network: every attempt lands with unit latency.
+class PerfectTransport : public Transport {
+public:
+  Delivery attempt(const MessageKey &) override { return Delivery{}; }
+};
+
+/// Degradation knobs for the simulated network.
+struct TransportOptions {
+  double DropProb = 0.0;    ///< Per-attempt loss probability.
+  double ReorderProb = 0.0; ///< Per-delivery overtaking probability.
+  uint64_t MinLatencyTicks = 1;
+  uint64_t MaxLatencyTicks = 4;
+};
+
+/// Seeded lossy transport: drop/latency/reorder drawn from a stream
+/// keyed on (seed, attempt identity), independent of call order.
+class SimTransport : public Transport {
+public:
+  SimTransport(TransportOptions Opt, uint64_t Seed)
+      : Opt(Opt), Seed(Seed) {}
+
+  Delivery attempt(const MessageKey &Key) override;
+
+private:
+  TransportOptions Opt;
+  uint64_t Seed;
+};
+
+/// Device-side retry policy: capped exponential backoff. The default cap
+/// of 64 attempts makes delivery effectively certain at any plausible
+/// drop rate (P(fail) = DropProb^64), which is what lets the coordinator
+/// promise loss-invariant results.
+struct RetryPolicy {
+  int MaxAttempts = 64;
+  uint64_t BackoffBaseTicks = 1; ///< Wait before attempt n: base << (n-1).
+  uint64_t BackoffCapTicks = 16;
+};
+
+/// What one sendWithRetry() cost. Only the counters vary with network
+/// quality; whether the payload arrived is (by design) almost always yes.
+struct SendOutcome {
+  bool Delivered = false;
+  int Attempts = 0;
+  uint64_t Drops = 0;
+  uint64_t Ticks = 0; ///< Simulated latency plus backoff waits.
+  bool Reordered = false;
+};
+
+/// Pushes one message through \p T, retrying dropped attempts with capped
+/// exponential backoff until delivery or Policy.MaxAttempts.
+SendOutcome sendWithRetry(Transport &T, MessageKey Key,
+                          const RetryPolicy &Policy);
+
+} // namespace fleet
+} // namespace ropt
+
+#endif // ROPT_FLEET_TRANSPORT_H

@@ -32,6 +32,8 @@ ReportWriter::~ReportWriter() {
     std::fclose(Evals);
   if (Gens)
     std::fclose(Gens);
+  if (Fleet)
+    std::fclose(Fleet);
 }
 
 void ReportWriter::appendLine(std::FILE *F, const std::string &Json) {
@@ -49,6 +51,19 @@ void ReportWriter::appendEvaluation(const std::string &Json) {
 
 void ReportWriter::appendGeneration(const std::string &Json) {
   appendLine(Gens, Json);
+}
+
+void ReportWriter::appendFleetRound(const std::string &Json) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!Fleet) {
+      std::string Path = Dir + "/" + FleetFile;
+      Fleet = std::fopen(Path.c_str(), "w");
+      if (!Fleet)
+        return;
+    }
+  }
+  appendLine(Fleet, Json);
 }
 
 bool ReportWriter::writeFile(const char *Name, const std::string &Content) {

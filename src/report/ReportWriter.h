@@ -37,6 +37,9 @@ inline constexpr const char *EvaluationsFile = "evaluations.jsonl";
 inline constexpr const char *GenerationsFile = "generations.jsonl";
 inline constexpr const char *MetricsFile = "metrics.json";
 inline constexpr const char *TraceFile = "trace.json";
+/// Per-(round, device) log of a fleet run; absent in single-device runs
+/// (readers treat a missing stream as "pre-fleet or non-fleet run").
+inline constexpr const char *FleetFile = "fleet.jsonl";
 
 /// Owns one run directory and its streams. Create through open();
 /// destruction closes the streams (finish-time artifacts are the
@@ -58,6 +61,9 @@ public:
   /// Appends one pre-rendered JSON object as a line; flushes.
   void appendEvaluation(const std::string &Json);
   void appendGeneration(const std::string &Json);
+  /// Same, for the fleet round log. The stream opens lazily on first
+  /// append, so only fleet runs grow a fleet.jsonl.
+  void appendFleetRound(const std::string &Json);
 
   /// Writes \p Content verbatim to `<dir>/<Name>`; false on I/O failure.
   bool writeFile(const char *Name, const std::string &Content);
@@ -70,6 +76,7 @@ private:
   std::mutex Mutex;
   std::FILE *Evals = nullptr;
   std::FILE *Gens = nullptr;
+  std::FILE *Fleet = nullptr; ///< Lazily opened by appendFleetRound().
 };
 
 } // namespace report

@@ -114,22 +114,61 @@ support::Result<LoadedRun> report::loadRun(const std::string &Dir) {
   if (!Gens)
     return Gens.error();
 
+  // fleet.jsonl only exists for fleet runs (and only since schema 2);
+  // a missing stream is normal, a present-but-unparseable one is not.
+  std::string FleetPath = Dir + "/" + FleetFile;
+  if (std::ifstream(FleetPath).good()) {
+    Run.HasFleetLog = true;
+    support::Result<bool> Fleet =
+        forEachJsonl(FleetPath, [&Run](const json::Value &V) {
+          FleetRecord R;
+          R.App = V.string("app");
+          R.FleetDevices = static_cast<int>(V.number("devices"));
+          R.Round = static_cast<int>(V.number("round"));
+          R.Device = static_cast<int>(V.number("device"));
+          R.BestSpeedup = V.number("best_speedup");
+          R.BestGenome = V.string("best_genome");
+          R.BestSource = V.string("best_source");
+          if (const json::Value *F = V.find("best_from_hint"))
+            R.BestFromHint = F->asBool();
+          R.HintsReceived = static_cast<int>(V.number("hints_received"));
+          R.HintsAdopted = static_cast<int>(V.number("hints_adopted"));
+          R.HintsRejected = static_cast<int>(V.number("hints_rejected"));
+          R.Evaluations = static_cast<int>(V.number("evaluations"));
+          R.TransportAttempts =
+              static_cast<int>(V.number("transport_attempts"));
+          R.TransportDrops = V.number("transport_drops");
+          R.TransportTicks = V.number("transport_ticks");
+          if (const json::Value *D = V.find("delivered"))
+            R.Delivered = D->asBool();
+          Run.Fleet.push_back(std::move(R));
+        });
+    if (!Fleet)
+      return Fleet.error();
+  }
+
   return Run;
 }
 
 // --- Validation -------------------------------------------------------------
 
-std::vector<std::string> report::validateRun(const LoadedRun &Run) {
-  std::vector<std::string> Problems;
-  auto Problem = [&Problems](std::string Msg) {
-    Problems.push_back(std::move(Msg));
+ValidationResult report::validateRun(const LoadedRun &Run) {
+  ValidationResult Result;
+  auto Problem = [&Result](std::string Msg) {
+    Result.Problems.push_back(std::move(Msg));
+  };
+  auto Warning = [&Result](std::string Msg) {
+    Result.Warnings.push_back(std::move(Msg));
   };
 
   for (const char *Key : {"schema", "tool", "git", "seed", "jobs",
                           "config", "apps", "totals"})
     if (!Run.Manifest.find(Key))
       Problem(std::string("manifest.json: missing field \"") + Key + "\"");
-  if (Run.Manifest.find("schema") && Run.Manifest.number("schema") != 1)
+  // Schema 1 = pre-fleet runs, schema 2 added the optional fleet section;
+  // both stay loadable so old baselines keep diffing against new runs.
+  double Schema = Run.Manifest.number("schema");
+  if (Run.Manifest.find("schema") && Schema != 1 && Schema != 2)
     Problem("manifest.json: unknown schema version");
 
   static const std::set<std::string> Verdicts = {
@@ -167,7 +206,46 @@ std::vector<std::string> report::validateRun(const LoadedRun &Run) {
     ++GenSeen[G.App];
   }
   (void)GenSeen;
-  return Problems;
+
+  // --- Fleet artifacts. Their absence is normal for pre-fleet and
+  // non-fleet runs, so presence mismatches are warnings; internally
+  // inconsistent records are problems.
+  const json::Value *FleetM = Run.Manifest.find("fleet");
+  if (FleetM && !Run.HasFleetLog)
+    Warning("manifest.json has a fleet section but fleet.jsonl is "
+            "missing (truncated run directory?)");
+  if (!FleetM && Run.HasFleetLog)
+    Warning("fleet.jsonl present but manifest.json has no fleet section "
+            "(pre-fleet tool wrote the manifest?)");
+
+  static const std::set<std::string> Sources = {"random", "seeded", "bred",
+                                                "hill-climb"};
+  uint64_t Adopted = 0, Rejected = 0;
+  for (size_t I = 0; I < Run.Fleet.size(); ++I) {
+    const FleetRecord &R = Run.Fleet[I];
+    std::string Where = "fleet.jsonl line " + std::to_string(I + 1);
+    if (!R.BestGenome.empty() && !Sources.count(R.BestSource))
+      Problem(Where + ": unknown best_source \"" + R.BestSource + "\"");
+    if (R.HintsAdopted + R.HintsRejected > R.HintsReceived)
+      Problem(Where + ": hints_adopted + hints_rejected > hints_received");
+    if (R.FleetDevices > 0 && R.Device >= R.FleetDevices)
+      Problem(Where + ": device id " + std::to_string(R.Device) +
+              " out of range for a " + std::to_string(R.FleetDevices) +
+              "-device run");
+    if (R.BestSpeedup < 0.0)
+      Problem(Where + ": negative best_speedup");
+    Adopted += static_cast<uint64_t>(R.HintsAdopted);
+    Rejected += static_cast<uint64_t>(R.HintsRejected);
+  }
+  if (FleetM && Run.HasFleetLog) {
+    if (static_cast<uint64_t>(FleetM->number("hints_adopted")) != Adopted)
+      Problem("manifest.json fleet.hints_adopted disagrees with the "
+              "fleet.jsonl round log");
+    if (static_cast<uint64_t>(FleetM->number("hints_rejected")) != Rejected)
+      Problem("manifest.json fleet.hints_rejected disagrees with the "
+              "fleet.jsonl round log");
+  }
+  return Result;
 }
 
 // --- Summarizing ------------------------------------------------------------
@@ -293,6 +371,48 @@ std::string report::summarize(const LoadedRun &Run, bool Markdown) {
     if (A.BestCycles != 0.0)
       Out << "best median cycles: " << format("%.1f", A.BestCycles)
           << "\n";
+    Out << "\n";
+  }
+
+  // Fleet section: manifest aggregate plus a per-(app, device-count)
+  // round digest. Pre-fleet runs simply have neither.
+  const json::Value *F = M.find("fleet");
+  if (F || Run.HasFleetLog) {
+    Out << H << "fleet" << HEnd << "\n";
+    if (F) {
+      Out << "devices: " << F->string("devices", "?") << "   rounds: "
+          << static_cast<int>(F->number("rounds")) << "   top-k: "
+          << static_cast<int>(F->number("top_k")) << "\n";
+      Out << "hints: " << format("%.0f", F->number("hints_published"))
+          << " published, " << format("%.0f", F->number("hints_adopted"))
+          << " adopted, " << format("%.0f", F->number("hints_rejected"))
+          << " rejected\n";
+      Out << "transport: " << format("%.0f", F->number("transport_attempts"))
+          << " attempts, " << format("%.0f", F->number("transport_drops"))
+          << " drops (p=" << format("%.2f", F->number("drop_prob"))
+          << "), " << format("%.0f", F->number("deliveries_failed"))
+          << " failed deliveries\n";
+      Out << "best speedup: " << format("%.3f", F->number("best_speedup"))
+          << "x\n";
+    }
+    // Group the round log by (app, device count) in stream order.
+    std::vector<std::pair<std::string, int>> Groups;
+    for (const FleetRecord &R : Run.Fleet) {
+      std::pair<std::string, int> Key{R.App, R.FleetDevices};
+      if (std::find(Groups.begin(), Groups.end(), Key) == Groups.end())
+        Groups.push_back(Key);
+    }
+    for (const auto &G : Groups) {
+      Out << G.first << " x" << G.second << " devices:";
+      std::map<int, double> BestByRound;
+      for (const FleetRecord &R : Run.Fleet)
+        if (R.App == G.first && R.FleetDevices == G.second &&
+            R.BestSpeedup > BestByRound[R.Round])
+          BestByRound[R.Round] = R.BestSpeedup;
+      for (const auto &KV : BestByRound)
+        Out << " r" << KV.first << ":" << format("%.3f", KV.second) << "x";
+      Out << "\n";
+    }
     Out << "\n";
   }
   return Out.str();

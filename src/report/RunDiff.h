@@ -58,23 +58,56 @@ struct GenRecord {
   double MeanCycles = 0.0;
 };
 
+/// One fleet.jsonl record, parsed (schema 2; absent in pre-fleet runs).
+struct FleetRecord {
+  std::string App;
+  int FleetDevices = 0; ///< Device count of the coordinator run.
+  int Round = 0;
+  int Device = 0;
+  double BestSpeedup = 0.0;
+  std::string BestGenome;
+  std::string BestSource; ///< search::genomeSourceName spelling.
+  bool BestFromHint = false;
+  int HintsReceived = 0;
+  int HintsAdopted = 0;
+  int HintsRejected = 0;
+  int Evaluations = 0;
+  int TransportAttempts = 0;
+  double TransportDrops = 0.0;
+  double TransportTicks = 0.0;
+  bool Delivered = true;
+};
+
 /// A run directory pulled back into memory.
 struct LoadedRun {
   std::string Dir;
   json::Value Manifest;
   std::vector<EvalRecord> Evaluations;
   std::vector<GenRecord> Generations;
+  std::vector<FleetRecord> Fleet; ///< Empty when HasFleetLog is false.
+  bool HasFleetLog = false;       ///< fleet.jsonl existed and parsed.
 };
 
 /// Reads manifest.json + the JSONL streams. Fails on missing files or
-/// unparseable JSON (line number in the message).
+/// unparseable JSON (line number in the message). fleet.jsonl is
+/// optional — pre-fleet run directories load fine without one.
 support::Result<LoadedRun> loadRun(const std::string &Dir);
+
+/// Outcome of validateRun: problems fail the gate (ropt-report validate
+/// exits 1), warnings are reported but tolerated — e.g. a pre-fleet run
+/// directory missing the fleet section entirely.
+struct ValidationResult {
+  std::vector<std::string> Problems;
+  std::vector<std::string> Warnings;
+
+  bool ok() const { return Problems.empty(); }
+};
 
 /// Structural checks beyond parseability: manifest fields present, record
 /// ids dense and increasing, parent ids referencing earlier records,
-/// known verdict/cache spellings. Returns one message per problem (empty
-/// = valid).
-std::vector<std::string> validateRun(const LoadedRun &Run);
+/// known verdict/cache spellings, and — when fleet artifacts are present
+/// — round-log consistency against the manifest's fleet section.
+ValidationResult validateRun(const LoadedRun &Run);
 
 /// Renders the run: manifest header, per-app verdict breakdown, cache
 /// hit rate, best-fitness-per-generation curve, top rejection reasons.

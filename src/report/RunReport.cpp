@@ -148,6 +148,34 @@ uint64_t RunReport::onEvaluation(const search::Genome &G,
   return Id;
 }
 
+void RunReport::onFleetRound(const FleetRoundRecord &R) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  json::Builder B;
+  B.field("app", R.App);
+  B.field("devices", R.FleetDevices);
+  B.field("round", R.Round);
+  B.field("device", R.Device);
+  B.field("best_speedup", R.BestSpeedup);
+  B.field("best_genome", R.BestGenome);
+  B.field("best_source", R.BestSource);
+  B.field("best_from_hint", R.BestFromHint);
+  B.field("hints_received", R.HintsReceived);
+  B.field("hints_adopted", R.HintsAdopted);
+  B.field("hints_rejected", R.HintsRejected);
+  B.field("evaluations", R.Evaluations);
+  B.field("transport_attempts", R.TransportAttempts);
+  B.field("transport_drops", R.TransportDrops);
+  B.field("transport_ticks", R.TransportTicks);
+  B.field("delivered", R.Delivered);
+  Writer->appendFleetRound(std::move(B).str());
+}
+
+void RunReport::setFleetSummary(const FleetSummary &S) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  HasFleet = true;
+  Fleet = S;
+}
+
 void RunReport::onGenerationDone(const search::GenerationStats &S) {
   std::lock_guard<std::mutex> Lock(Mutex);
   json::Builder B;
@@ -182,7 +210,9 @@ std::string RunReport::manifestJson() const {
   }
 
   json::Builder B;
-  B.field("schema", 1);
+  // Schema 2 added the optional "fleet" section and fleet.jsonl stream;
+  // readers accept 1 (pre-fleet) and 2.
+  B.field("schema", 2);
   B.field("tool", Info.Tool);
   B.field("git", ROPT_GIT_DESCRIBE);
   B.field("seed", Info.Seed);
@@ -229,6 +259,22 @@ std::string RunReport::manifestJson() const {
     T.fieldRaw("cache", cacheJson(CacheTotals));
     T.fieldRaw("racing", racingJson(RacingTotals));
     B.fieldRaw("totals", std::move(T).str());
+  }
+  if (HasFleet) {
+    json::Builder F;
+    F.field("devices", Fleet.DeviceSweep)
+        .field("rounds", Fleet.Rounds)
+        .field("top_k", Fleet.TopK)
+        .field("drop_prob", Fleet.DropProb)
+        .field("reorder_prob", Fleet.ReorderProb)
+        .field("hints_published", Fleet.HintsPublished)
+        .field("hints_adopted", Fleet.HintsAdopted)
+        .field("hints_rejected", Fleet.HintsRejected)
+        .field("transport_attempts", Fleet.TransportAttempts)
+        .field("transport_drops", Fleet.TransportDrops)
+        .field("deliveries_failed", Fleet.DeliveriesFailed)
+        .field("best_speedup", Fleet.BestSpeedup);
+    B.fieldRaw("fleet", std::move(F).str());
   }
   return std::move(B).str();
 }

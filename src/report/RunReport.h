@@ -67,6 +67,48 @@ struct AppOutcome {
   double SpeedupGaOverO3 = 0.0;
 };
 
+/// One (round, device) cell of a fleet run — one fleet.jsonl line. Like
+/// evaluation records, it is a pure function of the run's results (no
+/// timestamps), so a seeded fleet run's round log is byte-identical at
+/// any `--jobs` value.
+struct FleetRoundRecord {
+  std::string App;
+  int FleetDevices = 0; ///< Device count of the coordinator run (a sweep
+                        ///< writes several runs into one stream).
+  int Round = 0;
+  int Device = 0;
+  double BestSpeedup = 0.0; ///< Device best-so-far vs its own baseline.
+  std::string BestGenome;
+  std::string BestSource; ///< search::genomeSourceName() spelling.
+  bool BestFromHint = false;
+  int HintsReceived = 0;
+  int HintsAdopted = 0;
+  int HintsRejected = 0;
+  int Evaluations = 0;
+  // Transport accounting for this cell (hints + report deliveries).
+  // Varies with injected network loss; everything above must not.
+  int TransportAttempts = 0;
+  uint64_t TransportDrops = 0;
+  uint64_t TransportTicks = 0;
+  bool Delivered = true; ///< The round report reached the server.
+};
+
+/// Run-level fleet aggregate for the manifest's "fleet" section.
+struct FleetSummary {
+  std::string DeviceSweep; ///< Device counts run, e.g. "1,4,16".
+  int Rounds = 0;
+  int TopK = 0;
+  double DropProb = 0.0;
+  double ReorderProb = 0.0;
+  uint64_t HintsPublished = 0;
+  uint64_t HintsAdopted = 0;
+  uint64_t HintsRejected = 0;
+  uint64_t TransportAttempts = 0;
+  uint64_t TransportDrops = 0;
+  uint64_t DeliveriesFailed = 0;
+  double BestSpeedup = 0.0; ///< Best across the whole sweep.
+};
+
 /// The flight recorder. Open one per run, point PipelineConfig at it (it
 /// is the search's ProvenanceSink), bracket each app with
 /// beginApp()/endApp(), and call finish() (or let the destructor) to seal
@@ -93,6 +135,14 @@ public:
                         const std::vector<uint64_t> &Parents) override;
   void onGenerationDone(const search::GenerationStats &S) override;
 
+  /// One fleet round cell, appended to fleet.jsonl. The coordinator
+  /// calls this serially in (round, device) order.
+  void onFleetRound(const FleetRoundRecord &R);
+
+  /// Installs the run-level fleet aggregate; the manifest grows a
+  /// "fleet" section (and bumps nothing else) only when this was called.
+  void setFleetSummary(const FleetSummary &S);
+
   /// Writes manifest.json, metrics.json and (when the recorder is
   /// enabled) trace.json. Idempotent; returns false on I/O failure.
   bool finish();
@@ -117,6 +167,8 @@ private:
   uint64_t NextId = 1;
   uint64_t TotalEvaluations = 0;
   bool Finished = false;
+  bool HasFleet = false;
+  FleetSummary Fleet;
 };
 
 } // namespace report

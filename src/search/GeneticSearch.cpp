@@ -24,6 +24,16 @@ const char *search::evalKindName(EvalKind K) {
   return "unknown";
 }
 
+const char *search::genomeSourceName(GenomeSource S) {
+  switch (S) {
+  case GenomeSource::Random: return "random";
+  case GenomeSource::Seeded: return "seeded";
+  case GenomeSource::Bred: return "bred";
+  case GenomeSource::HillClimb: return "hill-climb";
+  }
+  return "unknown";
+}
+
 const char *search::cacheOriginName(CacheOrigin O) {
   switch (O) {
   case CacheOrigin::Fresh: return "miss";
@@ -52,6 +62,21 @@ GeneticSearch::GeneticSearch(GaConfig Config, uint64_t Seed,
                              BatchEvaluator &Evaluator,
                              ProvenanceSink *Sink)
     : Config(Config), R(Seed), Evaluator(Evaluator), Sink(Sink) {}
+
+void GeneticSearch::seedPopulation(std::vector<Genome> NewSeeds) {
+  // Deduplicate by canonical name (first occurrence wins) and cap at the
+  // population size — a seed slot spent twice on the same genome is a
+  // wasted random draw.
+  Seeds.clear();
+  std::set<std::string> Names;
+  for (Genome &G : NewSeeds) {
+    removeRedundantPasses(G);
+    if (Seeds.size() == static_cast<size_t>(Config.PopulationSize))
+      break;
+    if (Names.insert(G.name()).second)
+      Seeds.push_back(std::move(G));
+  }
+}
 
 void GeneticSearch::record(const Evaluation &E, int Generation,
                            GaTrace *Trace) {
@@ -226,9 +251,15 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
   std::vector<Scored> Population;
   {
     ROPT_TRACE_SPAN_V("search.generation", 0);
+    // Seeded genomes (fleet hints, warm starts) lead the batch; the
+    // random sampler fills the remaining slots. Seeds were deduplicated
+    // and capped at the population size by seedPopulation().
     std::vector<Genome> Initial;
     Initial.reserve(static_cast<size_t>(Config.PopulationSize));
-    for (int I = 0; I != Config.PopulationSize; ++I) {
+    for (const Genome &S : Seeds)
+      Initial.push_back(S);
+    size_t NumSeeded = Initial.size();
+    while (Initial.size() < static_cast<size_t>(Config.PopulationSize)) {
       Genome G = randomGenome(R, Config.Genomes);
       removeRedundantPasses(G);
       Initial.push_back(std::move(G));
@@ -237,8 +268,10 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
     std::vector<Evaluation> Evals =
         evaluateBatch(Initial, 0, Trace, nullptr, &Ids);
     for (size_t I = 0; I != Initial.size(); ++I)
-      Population.push_back(
-          Scored{std::move(Initial[I]), std::move(Evals[I]), Ids[I]});
+      Population.push_back(Scored{std::move(Initial[I]), std::move(Evals[I]),
+                                  Ids[I],
+                                  I < NumSeeded ? GenomeSource::Seeded
+                                                : GenomeSource::Random});
 
     // Replace genomes slower than both baselines, one round per retry,
     // biasing the search toward profitable space (Section 4). Each round
@@ -268,8 +301,9 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
       }
       Evals = evaluateBatch(Replacements, 0, Trace, nullptr, &Ids);
       for (size_t I = 0; I != Poor.size(); ++I)
-        Population[Poor[I]] =
-            Scored{std::move(Replacements[I]), std::move(Evals[I]), Ids[I]};
+        Population[Poor[I]] = Scored{std::move(Replacements[I]),
+                                     std::move(Evals[I]), Ids[I],
+                                     GenomeSource::Random};
     }
   }
   sortByFitness(Population);
@@ -310,8 +344,8 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
     std::vector<Evaluation> Evals =
         evaluateBatch(Children, Gen, Trace, &ChildParents, &Ids);
     for (size_t I = 0; I != Children.size(); ++I)
-      Next.push_back(
-          Scored{std::move(Children[I]), std::move(Evals[I]), Ids[I]});
+      Next.push_back(Scored{std::move(Children[I]), std::move(Evals[I]),
+                            Ids[I], GenomeSource::Bred});
 
     Population = std::move(Next);
     sortByFitness(Population);
@@ -350,7 +384,8 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
     bool Improved = false;
     for (size_t I = 0; I != Neighbors.size(); ++I) {
       if (Evals[I].ok() && better(Evals[I], Best.E)) {
-        Best = Scored{std::move(Neighbors[I]), std::move(Evals[I]), Ids[I]};
+        Best = Scored{std::move(Neighbors[I]), std::move(Evals[I]), Ids[I],
+                      GenomeSource::HillClimb};
         Improved = true;
       }
     }

@@ -147,6 +147,19 @@ struct GaConfig {
   double SignificanceAlpha = 0.05;
 };
 
+/// Where a population member's genome came from. `Seeded` marks genomes
+/// injected through seedPopulation() — e.g. fleet hints or a warm-start
+/// from a previous run — so downstream consumers can attribute a win to
+/// crowd knowledge rather than local exploration.
+enum class GenomeSource {
+  Random,    ///< Drawn by the gen-0 random sampler (or a replacement).
+  Seeded,    ///< Injected via seedPopulation() before generation 0.
+  Bred,      ///< Crossover/mutation child of two population members.
+  HillClimb, ///< Neighborhood step from the post-GA best.
+};
+
+const char *genomeSourceName(GenomeSource S);
+
 /// One scored population member. ReportId is the provenance-record id the
 /// genome's evaluation received (0 when no sink is attached); children
 /// cite their parents' ids in the run report.
@@ -154,6 +167,7 @@ struct Scored {
   Genome G;
   Evaluation E;
   uint64_t ReportId = 0;
+  GenomeSource Source = GenomeSource::Random;
 };
 
 /// Figure 9's raw material: one entry per evaluation.
@@ -219,6 +233,16 @@ public:
   GeneticSearch(GaConfig Config, uint64_t Seed, BatchEvaluator &Evaluator,
                 ProvenanceSink *Sink = nullptr);
 
+  /// Warm-starts generation 0: the given genomes (deduplicated by
+  /// canonical name, truncated to the population size) are evaluated
+  /// ahead of the random fill and enter the population with
+  /// GenomeSource::Seeded. Callers wanting the paper's safety contract
+  /// must only pass genomes they verified against their own verification
+  /// map — the GA itself treats seeds like any other candidate (a seed
+  /// that fails evaluation is eligible for gen-0 replacement). Call
+  /// before run(); seeds persist across run() calls until replaced.
+  void seedPopulation(std::vector<Genome> Seeds);
+
   /// Runs the full search. \p AndroidCycles and \p O3Cycles drive the
   /// gen-0 replacement biasing. Returns the best valid genome found, or
   /// nullopt if every evaluation failed.
@@ -263,6 +287,7 @@ private:
   Rng R;
   BatchEvaluator &Evaluator;
   ProvenanceSink *Sink = nullptr;
+  std::vector<Genome> Seeds;
   std::set<uint64_t> SeenBinaries;
   std::vector<GenerationStats> GenStats;
   int IdenticalCount = 0;

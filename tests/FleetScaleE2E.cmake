@@ -1,0 +1,82 @@
+# End-to-end check of the fleet layer over the real binaries (invoked by
+# ctest as the `fleet_scale_e2e` test):
+#
+#   1. fleet_scale --fast --seed 1 --report A                 (jobs 1)
+#   2. fleet_scale --fast --seed 1 --jobs 4 --report B
+#   3. the run directory grew fleet.jsonl and a manifest fleet section
+#   4. ropt-report validate A     -> fleet artifacts cross-check clean
+#   5. ropt-report summarize A    -> renders the fleet section
+#   6. fleet.jsonl A == B         -> the round log is jobs-invariant
+#
+# Inputs: -DFLEET_SCALE=..., -DROPT_REPORT=..., -DWORK_DIR=...
+
+foreach(Var FLEET_SCALE ROPT_REPORT WORK_DIR)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "missing -D${Var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(RunA "${WORK_DIR}/runA")
+set(RunB "${WORK_DIR}/runB")
+
+execute_process(
+  COMMAND ${FLEET_SCALE} --fast --seed 1 --report ${RunA}
+  RESULT_VARIABLE Rc OUTPUT_QUIET)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "fleet_scale --report ${RunA} failed (${Rc})")
+endif()
+
+execute_process(
+  COMMAND ${FLEET_SCALE} --fast --seed 1 --jobs 4 --report ${RunB}
+  RESULT_VARIABLE Rc OUTPUT_QUIET)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "fleet_scale --jobs 4 --report ${RunB} failed (${Rc})")
+endif()
+
+foreach(Artifact manifest.json evaluations.jsonl generations.jsonl
+        metrics.json trace.json fleet.jsonl)
+  if(NOT EXISTS "${RunA}/${Artifact}")
+    message(FATAL_ERROR "missing artifact ${RunA}/${Artifact}")
+  endif()
+endforeach()
+
+file(READ "${RunA}/manifest.json" Manifest)
+if(NOT Manifest MATCHES "\"fleet\"")
+  message(FATAL_ERROR "manifest.json lacks the fleet section")
+endif()
+
+execute_process(
+  COMMAND ${ROPT_REPORT} validate ${RunA}
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "ropt-report validate failed (${Rc}):\n${Out}${Err}")
+endif()
+if(Err MATCHES "warning:")
+  message(FATAL_ERROR "validate warned on a complete fleet run:\n${Err}")
+endif()
+
+execute_process(
+  COMMAND ${ROPT_REPORT} summarize ${RunA}
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "ropt-report summarize failed (${Rc}):\n${Out}${Err}")
+endif()
+if(NOT Out MATCHES "fleet")
+  message(FATAL_ERROR "summary lacks the fleet section:\n${Out}")
+endif()
+
+# The fleet-scale determinism bar: the whole round log — device bests,
+# hint adoption, even the seeded transport's retry counters — is
+# byte-identical at any --jobs value.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${RunA}/fleet.jsonl" "${RunB}/fleet.jsonl"
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "fleet.jsonl differs between --jobs 1 and --jobs 4")
+endif()
+
+message(STATUS "fleet_scale_e2e: fleet artifacts valid, round log "
+               "jobs-invariant, summary renders the fleet section")

@@ -1,0 +1,377 @@
+//===- tests/FleetTests.cpp - Crowd-sourced fleet search --------------------===//
+//
+// The fleet layer's acceptance criteria (DESIGN.md §12):
+//
+//   (a) a seeded fleet run is bit-identical across --jobs values and
+//       across re-runs at the same seed;
+//   (b) a 4-device fleet's final best fitness is at least the 1-device
+//       best at the same per-device budget;
+//   (c) a deliberately-unsound injected hint is rejected by every
+//       device's own verification map, counted, and quarantined;
+//   (d) transport drop/reordering changes retry counters only — results
+//       are identical to a lossless run.
+//
+// Plus unit coverage of the transport's pure-function verdicts, the
+// server's statistical merging/dedup/quarantine, device-profile
+// derivation, and the core warm-start hook the fleet seeds through.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Coordinator.h"
+#include "fleet/Server.h"
+#include "fleet/Transport.h"
+
+#include "core/IterativeCompiler.h"
+#include "lir/Passes.h"
+#include "support/Metrics.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace ropt;
+
+namespace {
+
+/// Small-but-real per-device pipeline budget: every fleet test runs the
+/// full profile/capture/replay/search stack per device.
+core::PipelineConfig fleetBase(uint64_t Seed) {
+  core::PipelineConfig Config;
+  Config.Seed = Seed;
+  Config.Search.GA.Generations = 3;
+  Config.Search.GA.PopulationSize = 8;
+  Config.Search.GA.HillClimbRounds = 1;
+  Config.Search.MaxReplaysPerEvaluation = 4;
+  Config.Capture.ProfileSessions = 4;
+  Config.Measure.FinalMeasurementRuns = 4;
+  return Config;
+}
+
+fleet::FleetConfig fleetConfig(int Devices, int Rounds, int Jobs,
+                               uint64_t Seed) {
+  fleet::FleetConfig FC;
+  FC.Devices = Devices;
+  FC.Rounds = Rounds;
+  FC.Jobs = Jobs;
+  FC.Seed = Seed;
+  return FC;
+}
+
+fleet::FleetResult runFleet(const fleet::FleetConfig &FC,
+                            fleet::Transport &Net,
+                            const std::string &App = "Sieve") {
+  fleet::Server Srv;
+  fleet::Coordinator Co(FC, fleetBase(FC.Seed));
+  return Co.run(App, Srv, Net);
+}
+
+/// A genome whose aggressive modes are mechanistically unsound (LICM
+/// division speculation, divisibility-assuming unroll, naive bounds-check
+/// elimination) — the fleet-scale stand-in for a device-specific
+/// miscompile that some other device's inputs never caught.
+search::Genome unsoundGenome() {
+  search::Genome G;
+  G.Passes.push_back(lir::PassInstance{lir::PassId::Licm, 0, true});
+  G.Passes.push_back(
+      lir::PassInstance{lir::PassId::LoopUnroll, 3, true});
+  G.Passes.push_back(
+      lir::PassInstance{lir::PassId::BoundsCheckElim, 0, true});
+  return G;
+}
+
+} // namespace
+
+// --- Transport --------------------------------------------------------------
+
+TEST(FleetTransport, VerdictIsPureFunctionOfAttemptIdentity) {
+  fleet::TransportOptions Opt;
+  Opt.DropProb = 0.5;
+  Opt.ReorderProb = 0.5;
+  fleet::SimTransport Net(Opt, /*Seed=*/7);
+
+  fleet::MessageKey Key{fleet::appKey("Sieve"), fleet::Channel::Report, 2,
+                        1, 0};
+  fleet::Delivery First = Net.attempt(Key);
+  // Same identity, any later call: same fate. No hidden call-order state.
+  for (int I = 0; I != 5; ++I) {
+    fleet::Delivery Again = Net.attempt(Key);
+    EXPECT_EQ(Again.Delivered, First.Delivered);
+    EXPECT_EQ(Again.LatencyTicks, First.LatencyTicks);
+    EXPECT_EQ(Again.Reordered, First.Reordered);
+  }
+
+  // Distinct attempt numbers draw independent fates; over many keys both
+  // outcomes must occur at DropProb = 0.5.
+  int Delivered = 0, Dropped = 0;
+  for (int A = 0; A != 64; ++A) {
+    fleet::MessageKey K = Key;
+    K.Attempt = A;
+    (Net.attempt(K).Delivered ? Delivered : Dropped) += 1;
+  }
+  EXPECT_GT(Delivered, 0);
+  EXPECT_GT(Dropped, 0);
+}
+
+TEST(FleetTransport, SendWithRetryMasksHeavyLoss) {
+  fleet::TransportOptions Opt;
+  Opt.DropProb = 0.6;
+  fleet::SimTransport Net(Opt, /*Seed=*/3);
+  fleet::RetryPolicy Policy;
+
+  int TotalAttempts = 0;
+  for (int D = 0; D != 32; ++D) {
+    fleet::MessageKey Key{fleet::appKey("FFT"), fleet::Channel::Hints, 0, D,
+                          0};
+    fleet::SendOutcome S = fleet::sendWithRetry(Net, Key, Policy);
+    EXPECT_TRUE(S.Delivered); // P(fail) = 0.6^64 — effectively never.
+    EXPECT_GE(S.Attempts, 1);
+    EXPECT_EQ(S.Drops, static_cast<uint64_t>(S.Attempts - 1));
+    TotalAttempts += S.Attempts;
+  }
+  EXPECT_GT(TotalAttempts, 32); // The loss was real: retries happened.
+
+  fleet::PerfectTransport Ideal;
+  fleet::SendOutcome S = fleet::sendWithRetry(
+      Ideal, fleet::MessageKey{1, fleet::Channel::Hints, 0, 0, 0}, Policy);
+  EXPECT_TRUE(S.Delivered);
+  EXPECT_EQ(S.Attempts, 1);
+  EXPECT_EQ(S.Drops, 0u);
+}
+
+// --- Server -----------------------------------------------------------------
+
+namespace {
+
+fleet::GenomeReport genomeReport(const search::Genome &G, uint64_t Hash,
+                                 std::vector<double> Speedups) {
+  fleet::GenomeReport R;
+  R.G = G;
+  R.Key = G.name();
+  R.BinaryHash = Hash;
+  R.SpeedupSamples = std::move(Speedups);
+  R.SpeedupMedian = R.SpeedupSamples[R.SpeedupSamples.size() / 2];
+  return R;
+}
+
+} // namespace
+
+TEST(FleetServer, MergesDeduplicatesAndRanks) {
+  fleet::Server Srv;
+  search::Genome G1, G2;
+  G1.Passes.push_back(lir::PassInstance{lir::PassId::Gvn, 0, false});
+  G1.Passes.push_back(lir::PassInstance{lir::PassId::Dce, 0, false});
+  G2.Passes.push_back(lir::PassInstance{lir::PassId::Sink, 0, false});
+  G2.Passes.push_back(lir::PassInstance{lir::PassId::Dce, 0, false});
+
+  fleet::RoundReport R0;
+  R0.Device = 0;
+  R0.Best.push_back(genomeReport(G1, 0xaaa, {1.2, 1.3, 1.4}));
+  Srv.merge("App", R0);
+
+  // A second device reports the same binary hash: the entry is folded,
+  // not duplicated, and the pooled samples re-rank the median.
+  fleet::RoundReport R1;
+  R1.Device = 1;
+  R1.Best.push_back(genomeReport(G1, 0xaaa, {1.6, 1.7, 1.8}));
+  R1.Best.push_back(genomeReport(G2, 0xbbb, {2.0, 2.1, 2.2}));
+  Srv.merge("App", R1);
+
+  const std::vector<fleet::Server::LeaderEntry> *Board =
+      Srv.leaderboard("App");
+  ASSERT_NE(Board, nullptr);
+  ASSERT_EQ(Board->size(), 2u);
+  EXPECT_EQ(Srv.stats().Duplicates, 1u);
+  EXPECT_EQ(Srv.stats().ReportsMerged, 2u);
+
+  // Hints come back best-first: G2's 2.1 median beats G1's pooled median.
+  std::vector<fleet::Hint> Hints = Srv.hints("App");
+  ASSERT_EQ(Hints.size(), 2u);
+  EXPECT_EQ(Hints[0].Key, G2.name());
+  EXPECT_GT(Hints[0].Speedup, Hints[1].Speedup);
+  EXPECT_EQ(Hints[1].Reports, 2);
+
+  // A rejection report quarantines the genome: it leaves the hint set
+  // for good, but stays on the leaderboard for the post-mortem.
+  fleet::RoundReport R2;
+  R2.Device = 2;
+  R2.Rejections.push_back(fleet::HintRejection{G2.name(), "wrong-output"});
+  Srv.merge("App", R2);
+  Hints = Srv.hints("App");
+  ASSERT_EQ(Hints.size(), 1u);
+  EXPECT_EQ(Hints[0].Key, G1.name());
+  EXPECT_EQ(Srv.stats().Quarantined, 1u);
+}
+
+TEST(FleetServer, UnknownAppHasNoBoardOrHints) {
+  fleet::Server Srv;
+  EXPECT_EQ(Srv.leaderboard("Nope"), nullptr);
+  EXPECT_TRUE(Srv.hints("Nope").empty());
+}
+
+// --- Device profiles --------------------------------------------------------
+
+TEST(FleetDevice, ProfileDerivationIsDeterministicAndBounded) {
+  fleet::DeviceProfile A =
+      fleet::DeviceProfile::derive(42, 3, 0.25, 0.5, 2);
+  fleet::DeviceProfile B =
+      fleet::DeviceProfile::derive(42, 3, 0.25, 0.5, 2);
+  EXPECT_EQ(A.Seed, B.Seed);
+  EXPECT_EQ(A.CostScale, B.CostScale);
+  EXPECT_EQ(A.NoiseScale, B.NoiseScale);
+  EXPECT_EQ(A.SessionShift, B.SessionShift);
+  EXPECT_GE(A.CostScale, 0.75);
+  EXPECT_LE(A.CostScale, 1.25);
+  EXPECT_GE(A.NoiseScale, 0.5);
+  EXPECT_LE(A.NoiseScale, 1.5);
+  EXPECT_GE(A.SessionShift, -2);
+  EXPECT_LE(A.SessionShift, 2);
+
+  // Different members of the same population get different seeds.
+  fleet::DeviceProfile C =
+      fleet::DeviceProfile::derive(42, 4, 0.25, 0.5, 2);
+  EXPECT_NE(A.Seed, C.Seed);
+
+  // Zero jitter: a homogeneous fleet.
+  fleet::DeviceProfile H = fleet::DeviceProfile::derive(42, 3, 0, 0, 0);
+  EXPECT_EQ(H.CostScale, 1.0);
+  EXPECT_EQ(H.NoiseScale, 1.0);
+  EXPECT_EQ(H.SessionShift, 0);
+}
+
+// --- (a) Determinism: bit-identical at any --jobs and across re-runs --------
+
+TEST(FleetCoordinator, ResultsAreIdenticalAcrossJobsAndReruns) {
+  fleet::PerfectTransport Net;
+  fleet::FleetResult Serial =
+      runFleet(fleetConfig(3, 2, /*Jobs=*/1, /*Seed=*/1), Net);
+  fleet::FleetResult Parallel =
+      runFleet(fleetConfig(3, 2, /*Jobs=*/4, /*Seed=*/1), Net);
+  fleet::FleetResult Rerun =
+      runFleet(fleetConfig(3, 2, /*Jobs=*/4, /*Seed=*/1), Net);
+
+  ASSERT_TRUE(Serial.Succeeded) << Serial.FailureReason;
+  EXPECT_FALSE(Serial.digest().empty());
+  EXPECT_EQ(Serial.digest(), Parallel.digest());
+  EXPECT_EQ(Parallel.digest(), Rerun.digest());
+  EXPECT_EQ(Serial.BestSpeedup, Parallel.BestSpeedup);
+  EXPECT_EQ(Serial.BestGenome, Parallel.BestGenome);
+}
+
+// --- (b) Crowd-sourcing pays: more devices, no worse a best -----------------
+
+TEST(FleetCoordinator, FourDevicesFindAtLeastTheSingleDeviceBest) {
+  // Homogeneous fleet: identical hardware, so best-speedup comparisons
+  // across population sizes are apples to apples. Each device still
+  // searches from its own seed — the population explores more of the
+  // space, and the leaderboard shares what it finds.
+  fleet::FleetConfig One = fleetConfig(1, 2, 1, /*Seed=*/1);
+  One.CostJitter = 0.0;
+  One.NoiseJitter = 0.0;
+  One.SessionSpread = 0;
+  fleet::FleetConfig Four = One;
+  Four.Devices = 4;
+  Four.Jobs = 4;
+
+  fleet::PerfectTransport Net;
+  fleet::FleetResult R1 = runFleet(One, Net);
+  fleet::FleetResult R4 = runFleet(Four, Net);
+
+  ASSERT_TRUE(R1.Succeeded) << R1.FailureReason;
+  ASSERT_TRUE(R4.Succeeded) << R4.FailureReason;
+  EXPECT_GT(R1.BestSpeedup, 0.0);
+  EXPECT_GE(R4.BestSpeedup, R1.BestSpeedup);
+  // The crowd actually talked: hints flowed and some were adopted.
+  EXPECT_GT(R4.HintsPublished, 0u);
+  EXPECT_GT(R4.HintsAdopted, 0u);
+}
+
+// --- (c) Safety: unsound hints are re-verified, rejected, quarantined -------
+
+TEST(FleetCoordinator, UnsoundHintIsRejectedByVerificationAndQuarantined) {
+  uint64_t RejectedBefore =
+      Metrics::instance().snapshot().counter("fleet.hints_rejected");
+
+  fleet::Server Srv;
+  search::Genome Evil = unsoundGenome();
+  // The poisoned leaderboard: an unsound genome claiming a 9.9x speedup,
+  // as if reported by a device whose inputs never tripped the bug. Every
+  // device must re-verify it against its own map before adoption.
+  Srv.injectHint("Sieve", Evil, /*Speedup=*/9.9);
+
+  fleet::PerfectTransport Net;
+  fleet::Coordinator Co(fleetConfig(2, 2, 1, /*Seed=*/1), fleetBase(1));
+  fleet::FleetResult R = Co.run("Sieve", Srv, Net);
+
+  ASSERT_TRUE(R.Succeeded) << R.FailureReason;
+  // Both devices saw the hint, neither adopted it, and the rejection was
+  // counted and reported back.
+  EXPECT_GT(R.HintsRejected, 0u);
+  EXPECT_NE(R.BestGenome, Evil.name());
+  uint64_t RejectedAfter =
+      Metrics::instance().snapshot().counter("fleet.hints_rejected");
+  EXPECT_GT(RejectedAfter, RejectedBefore);
+
+  // The server quarantined the genome on the first rejection report: it
+  // is out of the hint set for good.
+  const std::vector<fleet::Server::LeaderEntry> *Board =
+      Srv.leaderboard("Sieve");
+  ASSERT_NE(Board, nullptr);
+  bool FoundQuarantined = false;
+  for (const fleet::Server::LeaderEntry &E : *Board)
+    if (E.Key == Evil.name()) {
+      EXPECT_TRUE(E.Quarantined);
+      EXPECT_FALSE(E.RejectVerdict.empty());
+      FoundQuarantined = true;
+    }
+  EXPECT_TRUE(FoundQuarantined);
+  for (const fleet::Hint &H : Srv.hints("Sieve"))
+    EXPECT_NE(H.Key, Evil.name());
+}
+
+// --- (d) Loss invariance: a lossy network changes counters, not results -----
+
+TEST(FleetCoordinator, LossyTransportLeavesResultsIdentical) {
+  fleet::PerfectTransport Ideal;
+  fleet::FleetResult Clean =
+      runFleet(fleetConfig(2, 2, 1, /*Seed=*/1), Ideal);
+
+  fleet::TransportOptions Opt;
+  Opt.DropProb = 0.3;
+  Opt.ReorderProb = 0.3;
+  fleet::SimTransport Lossy(Opt, /*Seed=*/1);
+  fleet::FleetResult Noisy =
+      runFleet(fleetConfig(2, 2, 1, /*Seed=*/1), Lossy);
+
+  ASSERT_TRUE(Clean.Succeeded) << Clean.FailureReason;
+  ASSERT_TRUE(Noisy.Succeeded) << Noisy.FailureReason;
+  // The loss was real...
+  EXPECT_GT(Noisy.TransportDrops, 0u);
+  EXPECT_GT(Noisy.TransportAttempts, Clean.TransportAttempts);
+  EXPECT_EQ(Noisy.DeliveriesFailed, 0u);
+  // ...and changed nothing that matters: same genomes, same leaderboard,
+  // same round outcomes, to the byte.
+  EXPECT_EQ(Clean.digest(), Noisy.digest());
+  EXPECT_EQ(Clean.BestSpeedup, Noisy.BestSpeedup);
+  EXPECT_EQ(Clean.BestGenome, Noisy.BestGenome);
+}
+
+// --- The core warm-start hook the fleet seeds through -----------------------
+
+TEST(FleetWarmStart, WarmStartedSearchIsNoWorseThanColdAtSameBudget) {
+  workloads::Application App = workloads::buildByName("Sieve");
+
+  core::PipelineConfig Cold = fleetBase(/*Seed=*/1);
+  core::IterativeCompiler ColdPipeline(Cold);
+  core::OptimizationReport ColdRun = ColdPipeline.optimize(App);
+  ASSERT_TRUE(ColdRun.Succeeded) << ColdRun.FailureReason;
+
+  // Same budget, same seed, but gen-0 starts from the cold run's winner
+  // — exactly how a fleet device re-enters each round. The warm run can
+  // only match or beat the seed it started from.
+  core::PipelineConfig Warm = fleetBase(/*Seed=*/1);
+  Warm.Search.WarmStart.push_back(ColdRun.Best.G);
+  core::IterativeCompiler WarmPipeline(Warm);
+  core::OptimizationReport WarmRun = WarmPipeline.optimize(App);
+  ASSERT_TRUE(WarmRun.Succeeded) << WarmRun.FailureReason;
+
+  EXPECT_LE(WarmRun.RegionBest, ColdRun.RegionBest);
+}

@@ -183,7 +183,9 @@ TEST(RunReport, RoundTripsThroughRunDirectory) {
   ASSERT_EQ(Run.Generations.size(), 1u);
   EXPECT_EQ(Run.Generations[0].Evaluations, 2);
 
-  EXPECT_TRUE(report::validateRun(Run).empty());
+  report::ValidationResult V = report::validateRun(Run);
+  EXPECT_TRUE(V.ok());
+  EXPECT_TRUE(V.Warnings.empty());
 
   std::string Summary = report::summarize(Run);
   EXPECT_NE(Summary.find("TestApp"), std::string::npos);
@@ -264,7 +266,7 @@ TEST(RunReport, RecordsAreIdenticalAtAnyJobsCount) {
   support::Result<report::LoadedRun> B = report::loadRun(DirB.str());
   ASSERT_TRUE(A.ok());
   ASSERT_TRUE(B.ok());
-  EXPECT_TRUE(report::validateRun(A.value()).empty());
+  EXPECT_TRUE(report::validateRun(A.value()).ok());
   report::DiffResult D = report::diffRuns(A.value(), B.value());
   EXPECT_EQ(D.FitnessRegressions, 0);
   EXPECT_EQ(D.VerdictShifts, 0);
@@ -347,6 +349,138 @@ TEST(RunDiff, FlagsVerdictMixShifts) {
   EXPECT_GT(D.VerdictShifts, 0);
   // Mix shifts warn but do not fail the gate on their own.
   EXPECT_FALSE(D.regressed());
+}
+
+// --- Older-schema run directories -------------------------------------------
+//
+// Run directories written before measurement racing and the fleet layer
+// (manifest schema 1, no racing block, no fleet section, no fleet.jsonl)
+// must still load, validate without problems, summarize and diff.
+
+namespace {
+
+void writeRawFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::binary);
+  Out << Content;
+  ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+}
+
+/// A minimal schema-1 run directory, as the pre-racing pre-fleet tool
+/// wrote them: evaluation records without racing provenance fields, app
+/// manifest entries without "racing", no fleet artifacts at all.
+void synthesizeSchema1Run(const std::string &Dir) {
+  std::filesystem::create_directories(Dir);
+  writeRawFile(
+      Dir + "/manifest.json",
+      "{\"schema\":1,\"tool\":\"synth_v1\",\"git\":\"deadbee\","
+      "\"seed\":1,\"jobs\":1,\"fast\":false,"
+      "\"config\":{\"generations\":2,\"population\":4},"
+      "\"wall_seconds\":0.5,\"evaluations\":2,"
+      "\"apps\":[{\"name\":\"Synth\",\"succeeded\":true,\"failure\":null,"
+      "\"verdicts\":{\"ok\":1,\"compile_error\":0,\"runtime_crash\":1,"
+      "\"runtime_timeout\":0,\"wrong_output\":0,\"total\":2},"
+      "\"cache\":{\"genome_hits\":0,\"binary_hits\":0,\"misses\":2,"
+      "\"hit_rate\":0},"
+      "\"region_android_cycles\":200,\"region_o3_cycles\":150,"
+      "\"region_best_cycles\":100,"
+      "\"speedup_ga_over_android\":2,\"speedup_ga_over_o3\":1.5}],"
+      "\"totals\":{\"verdicts\":{\"ok\":1,\"total\":2},"
+      "\"cache\":{\"misses\":2}}}");
+  writeRawFile(
+      Dir + "/evaluations.jsonl",
+      "{\"id\":1,\"app\":\"Synth\",\"gen\":0,\"genome\":\"g1\","
+      "\"parents\":[],\"verdict\":\"ok\",\"error\":null,"
+      "\"cache\":\"miss\",\"median_cycles\":100,\"ci_low\":99,"
+      "\"ci_high\":101,\"samples\":[100],\"code_size\":10,"
+      "\"binary_hash\":\"0x0000000000000001\"}\n"
+      "{\"id\":2,\"app\":\"Synth\",\"gen\":0,\"genome\":\"g2\","
+      "\"parents\":[1],\"verdict\":\"runtime-crash\","
+      "\"error\":\"replay-crash\",\"cache\":\"miss\","
+      "\"median_cycles\":0,\"ci_low\":0,\"ci_high\":0,\"samples\":[],"
+      "\"code_size\":0,\"binary_hash\":\"0x0000000000000000\"}\n");
+  writeRawFile(Dir + "/generations.jsonl",
+               "{\"app\":\"Synth\",\"gen\":0,\"evaluations\":2,"
+               "\"invalid\":1,\"best_cycles\":100,\"worst_cycles\":100,"
+               "\"mean_cycles\":100}\n");
+}
+
+} // namespace
+
+TEST(RunDiff, ToleratesPreFleetSchema1RunDirectories) {
+  TempRunDir Dir("ropt_schema1");
+  synthesizeSchema1Run(Dir.str());
+
+  support::Result<report::LoadedRun> Loaded = report::loadRun(Dir.str());
+  ASSERT_TRUE(Loaded.ok()) << Loaded.error().Message;
+  const report::LoadedRun &Run = Loaded.value();
+  EXPECT_FALSE(Run.HasFleetLog);
+  EXPECT_TRUE(Run.Fleet.empty());
+
+  // Missing racing/fleet sections are at most warnings, never problems.
+  report::ValidationResult V = report::validateRun(Run);
+  EXPECT_TRUE(V.ok()) << (V.Problems.empty() ? "" : V.Problems.front());
+  EXPECT_TRUE(V.Warnings.empty());
+
+  // Summarize must not crash on the missing racing block or fleet data.
+  std::string Summary = report::summarize(Run);
+  EXPECT_NE(Summary.find("Synth"), std::string::npos);
+  EXPECT_EQ(Summary.find("replay budget"), std::string::npos);
+  EXPECT_EQ(Summary.find("fleet"), std::string::npos);
+
+  // Diffing a schema-1 baseline against a current-schema run works: the
+  // gate only needs the evaluation stream both schemas share.
+  TempRunDir NewDir("ropt_schema2_vs_1");
+  synthesizeRun(NewDir.str(), {100.0}, 1);
+  report::LoadedRun NewRun = report::loadRun(NewDir.str()).value();
+  report::DiffResult D = report::diffRuns(Run, NewRun);
+  EXPECT_FALSE(D.regressed());
+  EXPECT_FALSE(report::diffRuns(Run, Run).regressed());
+}
+
+TEST(RunDiff, WarnsButDoesNotFailOnFleetArtifactMismatch) {
+  TempRunDir Dir("ropt_fleet_mismatch");
+  synthesizeSchema1Run(Dir.str());
+  // A stray fleet.jsonl next to a manifest with no fleet section: the
+  // validator flags it as a warning, not a gate failure.
+  writeRawFile(Dir.str() + "/fleet.jsonl",
+               "{\"app\":\"Synth\",\"devices\":2,\"round\":0,"
+               "\"device\":0,\"best_speedup\":1.5,\"best_genome\":\"g1\","
+               "\"best_source\":\"seeded\",\"best_from_hint\":true,"
+               "\"hints_received\":2,\"hints_adopted\":1,"
+               "\"hints_rejected\":1,\"evaluations\":8,"
+               "\"transport_attempts\":2,\"transport_drops\":0,"
+               "\"transport_ticks\":4,\"delivered\":true}\n");
+
+  report::LoadedRun Run = report::loadRun(Dir.str()).value();
+  ASSERT_TRUE(Run.HasFleetLog);
+  ASSERT_EQ(Run.Fleet.size(), 1u);
+  EXPECT_EQ(Run.Fleet[0].BestSource, "seeded");
+  EXPECT_TRUE(Run.Fleet[0].BestFromHint);
+
+  report::ValidationResult V = report::validateRun(Run);
+  EXPECT_TRUE(V.ok());
+  ASSERT_FALSE(V.Warnings.empty());
+  EXPECT_NE(V.Warnings.front().find("fleet"), std::string::npos);
+}
+
+TEST(RunDiff, FlagsInternallyInconsistentFleetRecords) {
+  TempRunDir Dir("ropt_fleet_bad");
+  synthesizeSchema1Run(Dir.str());
+  // adopted + rejected exceeds received, and the source spelling is
+  // unknown: both are validation problems.
+  writeRawFile(Dir.str() + "/fleet.jsonl",
+               "{\"app\":\"Synth\",\"devices\":2,\"round\":0,"
+               "\"device\":0,\"best_speedup\":1.5,\"best_genome\":\"g1\","
+               "\"best_source\":\"psychic\",\"hints_received\":1,"
+               "\"hints_adopted\":1,\"hints_rejected\":1,"
+               "\"evaluations\":8,\"transport_attempts\":2,"
+               "\"transport_drops\":0,\"transport_ticks\":4,"
+               "\"delivered\":true}\n");
+
+  report::LoadedRun Run = report::loadRun(Dir.str()).value();
+  report::ValidationResult V = report::validateRun(Run);
+  EXPECT_FALSE(V.ok());
+  EXPECT_GE(V.Problems.size(), 2u);
 }
 
 // --- bench/BenchUtil.h::parseArgs -------------------------------------------

@@ -89,14 +89,18 @@ int runValidate(int Argc, char **Argv) {
   if (Argc != 3)
     return usage(Argv[0]);
   report::LoadedRun Run = loadOrExit(Argv[2]);
-  std::vector<std::string> Problems = report::validateRun(Run);
-  for (const std::string &P : Problems)
+  report::ValidationResult V = report::validateRun(Run);
+  // Warnings (e.g. a pre-fleet run directory without a fleet section)
+  // are reported but do not fail the gate.
+  for (const std::string &W : V.Warnings)
+    std::fprintf(stderr, "warning: %s\n", W.c_str());
+  for (const std::string &P : V.Problems)
     std::fprintf(stderr, "problem: %s\n", P.c_str());
-  if (Problems.empty()) {
+  if (V.ok()) {
     std::printf("%s: %zu evaluation records, %zu generation records, "
-                "manifest ok\n",
+                "%zu fleet records, manifest ok\n",
                 Run.Dir.c_str(), Run.Evaluations.size(),
-                Run.Generations.size());
+                Run.Generations.size(), Run.Fleet.size());
     return 0;
   }
   return 1;
