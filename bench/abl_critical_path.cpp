@@ -1,0 +1,138 @@
+//===- bench/abl_critical_path.cpp - Criticality-weighted budget ablation -===//
+//
+// The observability loop (DESIGN.md §13) ranks an app's candidate hot
+// regions by profiled cycles, labels each region's bottleneck, and scales
+// the GA budget quadratically by criticality: the slack-0 region keeps
+// the paper's full search untouched while cooler regions get shrunken,
+// bottleneck-pruned searches. This ablation optimizes *every* candidate
+// region of each app twice with the same seed — once with the uniform
+// full budget per region, once analysis-guided — and reports the
+// evaluations each arm spent and the best speedup each found. Because the
+// critical region's search is bit-identical in both arms, the weighted
+// arm's best speedup can never be worse; the question the table answers
+// is how much of the uniform budget it needed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+using namespace ropt;
+using namespace ropt::bench;
+
+int main(int Argc, char **Argv) {
+  Options Opt = parseArgs(Argc, Argv);
+  core::PipelineConfig BaseConfig = pipelineConfig(Opt);
+  beginObservability(Opt);
+  ReportScope Report(Opt, "abl_critical_path", BaseConfig);
+
+  printHeader("Ablation: criticality-weighted search budget (DESIGN.md §13)",
+              "equal best speedup (the critical region's search is "
+              "bit-identical) at a fraction of the uniform evaluations");
+
+  std::printf("%-18s %7s | %9s %9s %6s | %11s %11s %5s\n", "app", "regions",
+              "uniform", "weighted", "ratio", "crit@unif", "crit@wght",
+              "ok");
+
+  std::vector<std::string> Apps = {"FFT", "SOR", "Sieve", "Dhrystone",
+                                   "Reversi Android"};
+  if (Opt.Fast)
+    Apps = {"FFT", "Sieve"};
+
+  CsvSink Csv(Opt, "abl_critical_path.csv",
+              "app,regions,evals_uniform,evals_weighted,ratio_pct,"
+              "best_uniform,best_weighted,equal_or_better");
+
+  uint64_t TotalUniform = 0, TotalWeighted = 0;
+  int Rows = 0, EqualOrBetter = 0;
+  for (const std::string &Name : Apps) {
+    workloads::Application App = workloads::buildByName(Name);
+
+    // Enumerate the candidate regions once, from the same deterministic
+    // profile both arms will re-derive.
+    core::IterativeCompiler Probe(pipelineConfig(Opt));
+    core::IterativeCompiler::ProfiledApp Profiled = Probe.profileApp(App);
+    analysis::AppAnalysis Analysis =
+        analysis::analyzeApp(*App.File, Profiled.Profile, Profiled.RA);
+    if (Analysis.empty()) {
+      std::printf("%-18s no candidate regions\n", Name.c_str());
+      continue;
+    }
+
+    // One pipeline run per (arm, region). The arm's best speedup is the
+    // *critical* region's — that is the binary the real pipeline
+    // installs (optimize() without a forced root searches exactly that
+    // region); cool-region searches are exploratory and their
+    // region-local speedups apply to far fewer cycles.
+    auto RunArm = [&](bool Guided, uint64_t &Evals, double &BestSpeedup) {
+      bool Ok = true;
+      for (size_t I = 0; I != Analysis.Regions.size(); ++I) {
+        const analysis::RegionReport &Region = Analysis.Regions[I];
+        core::PipelineConfig Config = pipelineConfig(Opt);
+        Config.Search.AnalysisGuided = Guided;
+        Config.ForceRegionRoot = Region.Root;
+        Config.Provenance = Report.report();
+        Report.beginApp(Name + (Guided ? "@weighted#" : "@uniform#") +
+                        std::to_string(I));
+        core::IterativeCompiler Pipeline(Config);
+        core::OptimizationReport R = Pipeline.optimize(App);
+        Report.endApp(R);
+        if (!R.Succeeded) {
+          Ok = false;
+          continue;
+        }
+        Evals += static_cast<uint64_t>(R.Counters.total());
+        if (I == 0 && R.RegionBest > 0.0)
+          BestSpeedup = R.RegionAndroid / R.RegionBest;
+      }
+      return Ok;
+    };
+
+    uint64_t EvalsUniform = 0, EvalsWeighted = 0;
+    double BestUniform = 0.0, BestWeighted = 0.0;
+    bool OkU = RunArm(false, EvalsUniform, BestUniform);
+    bool OkW = RunArm(true, EvalsWeighted, BestWeighted);
+    if (!OkU || !OkW || EvalsUniform == 0) {
+      std::printf("%-18s pipeline failed on a region\n", Name.c_str());
+      continue;
+    }
+
+    double Ratio = 100.0 * static_cast<double>(EvalsWeighted) /
+                   static_cast<double>(EvalsUniform);
+    bool Equal = BestWeighted >= BestUniform - 1e-12;
+
+    std::printf("%-18s %7zu | %9llu %9llu %5.1f%% | %11.3f %11.3f %5s\n",
+                Name.c_str(), Analysis.Regions.size(),
+                static_cast<unsigned long long>(EvalsUniform),
+                static_cast<unsigned long long>(EvalsWeighted), Ratio,
+                BestUniform, BestWeighted, Equal ? "yes" : "NO");
+    Csv.row(Name + "," + std::to_string(Analysis.Regions.size()) + "," +
+            std::to_string(EvalsUniform) + "," +
+            std::to_string(EvalsWeighted) + "," + std::to_string(Ratio) +
+            "," + std::to_string(BestUniform) + "," +
+            std::to_string(BestWeighted) + "," + (Equal ? "1" : "0"));
+
+    TotalUniform += EvalsUniform;
+    TotalWeighted += EvalsWeighted;
+    EqualOrBetter += Equal ? 1 : 0;
+    ++Rows;
+  }
+
+  if (Rows) {
+    double TotalRatio = TotalUniform
+                            ? 100.0 * static_cast<double>(TotalWeighted) /
+                                  static_cast<double>(TotalUniform)
+                            : 0.0;
+    std::printf("\ntotal evaluations: uniform %llu, weighted %llu "
+                "(%.1f%% of uniform); equal-or-better best speedup on "
+                "%d/%d apps\n",
+                static_cast<unsigned long long>(TotalUniform),
+                static_cast<unsigned long long>(TotalWeighted), TotalRatio,
+                EqualOrBetter, Rows);
+    std::printf("(the slack-0 region keeps the full budget and the whole "
+                "pass space, so the weighted arm's winner there is the "
+                "same genome; savings come from quadratically shrunken "
+                "cool-region searches)\n");
+  }
+  finishObservability(Opt);
+  return 0;
+}

@@ -1,0 +1,281 @@
+//===- analysis/RegionAnalysis.cpp - Criticality and bottlenecks -----------===//
+
+#include "analysis/RegionAnalysis.h"
+
+#include "lir/Passes.h"
+#include "vm/CostModel.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+using namespace ropt;
+using namespace ropt::analysis;
+using namespace ropt::dex;
+
+const char *analysis::bottleneckName(Bottleneck B) {
+  switch (B) {
+  case Bottleneck::NativeHeavy: return "native_heavy";
+  case Bottleneck::MemoryBound: return "memory_bound";
+  case Bottleneck::Branchy: return "branchy";
+  case Bottleneck::Compute: return "compute";
+  case Bottleneck::Balanced: return "balanced";
+  }
+  return "balanced";
+}
+
+Bottleneck analysis::bottleneckFromName(const std::string &Name) {
+  if (Name == "native_heavy")
+    return Bottleneck::NativeHeavy;
+  if (Name == "memory_bound")
+    return Bottleneck::MemoryBound;
+  if (Name == "branchy")
+    return Bottleneck::Branchy;
+  if (Name == "compute")
+    return Bottleneck::Compute;
+  return Bottleneck::Balanced;
+}
+
+double RegionFeatures::nativeShare() const {
+  uint64_t Total = Cycles + NativeCycles;
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(NativeCycles) / static_cast<double>(Total);
+}
+
+double RegionFeatures::memShare() const {
+  if (Cycles == 0)
+    return 0.0;
+  // Priced with the default cost model: the classifier wants the share of
+  // managed cycles spent moving data (including allocator machinery), not
+  // the raw event counts.
+  vm::CycleCostModel Costs;
+  uint64_t MemCycles = MemReads * Costs.LoadCycles +
+                       CacheMisses * Costs.CacheMissPenalty +
+                       MemWrites * Costs.StoreCycles +
+                       Allocs * Costs.AllocBaseCycles +
+                       AllocSlots * Costs.AllocPerSlotCycles;
+  return static_cast<double>(MemCycles) / static_cast<double>(Cycles);
+}
+
+double RegionFeatures::mispredictsPerKiloInsn() const {
+  if (Insns == 0)
+    return 0.0;
+  return 1000.0 * static_cast<double>(Mispredicts) /
+         static_cast<double>(Insns);
+}
+
+Bottleneck analysis::classify(const RegionFeatures &F,
+                              const ClassifierRules &Rules) {
+  if (F.nativeShare() >= Rules.NativeShareMin)
+    return Bottleneck::NativeHeavy;
+  if (F.memShare() >= Rules.MemShareMin)
+    return Bottleneck::MemoryBound;
+  if (F.mispredictsPerKiloInsn() >= Rules.MispredictPerKiloInsnMin)
+    return Bottleneck::Branchy;
+  if (F.memShare() <= Rules.ComputeMemShareMax &&
+      F.mispredictsPerKiloInsn() < Rules.ComputeMispredictMax)
+    return Bottleneck::Compute;
+  return Bottleneck::Balanced;
+}
+
+const RegionReport *AppAnalysis::byRoot(MethodId Root) const {
+  for (const RegionReport &R : Regions)
+    if (R.Root == Root)
+      return &R;
+  return nullptr;
+}
+
+namespace {
+
+/// Deterministic callee list of \p M restricted to \p Closure: static
+/// targets plus every possible virtual dispatch target, in code order,
+/// first occurrence only.
+std::vector<MethodId> calleesIn(const DexFile &File, const Method &M,
+                                const std::set<MethodId> &Closure) {
+  std::vector<MethodId> Out;
+  auto Add = [&](MethodId Id) {
+    if (Id == M.Id || !Closure.count(Id))
+      return;
+    if (std::find(Out.begin(), Out.end(), Id) == Out.end())
+      Out.push_back(Id);
+  };
+  for (const Insn &I : M.Code) {
+    if (I.Op == Opcode::InvokeStatic) {
+      Add(I.Idx);
+    } else if (I.Op == Opcode::InvokeVirtual) {
+      const Method &Declared = File.method(I.Idx);
+      for (const ClassInfo &C : File.classes()) {
+        if (!File.isSubclassOf(C.Id, Declared.Owner))
+          continue;
+        if (Declared.VTableSlot >= 0 &&
+            static_cast<size_t>(Declared.VTableSlot) < C.VTable.size())
+          Add(C.VTable[static_cast<size_t>(Declared.VTableSlot)]);
+      }
+    }
+  }
+  return Out;
+}
+
+/// Longest exclusive-cycle chain from \p Id down the region's static call
+/// graph. Back edges (recursion) are cut by the on-stack set; the graph
+/// is method-count small, so plain DFS is fine.
+uint64_t longestChain(const DexFile &File,
+                      const profiler::MethodProfile &Profile,
+                      const std::set<MethodId> &Closure, MethodId Id,
+                      std::set<MethodId> &OnStack,
+                      std::vector<MethodId> &Chain) {
+  uint64_t Self = Id < Profile.ExclusiveCycles.size()
+                      ? Profile.ExclusiveCycles[Id]
+                      : 0;
+  OnStack.insert(Id);
+  uint64_t BestBelow = 0;
+  std::vector<MethodId> BestChain;
+  for (MethodId Callee : calleesIn(File, File.method(Id), Closure)) {
+    if (OnStack.count(Callee))
+      continue;
+    std::vector<MethodId> Sub;
+    uint64_t C = longestChain(File, Profile, Closure, Callee, OnStack, Sub);
+    if (C > BestBelow) {
+      BestBelow = C;
+      BestChain = std::move(Sub);
+    }
+  }
+  OnStack.erase(Id);
+  Chain.clear();
+  Chain.push_back(Id);
+  Chain.insert(Chain.end(), BestChain.begin(), BestChain.end());
+  return Self + BestBelow;
+}
+
+struct Candidate {
+  MethodId Root = InvalidId;
+  std::vector<MethodId> Methods;
+  uint64_t Cycles = 0;
+};
+
+} // namespace
+
+AppAnalysis analysis::analyzeApp(const DexFile &File,
+                                 const profiler::MethodProfile &Profile,
+                                 const profiler::ReplayabilityAnalysis &RA,
+                                 size_t MaxRegions,
+                                 const ClassifierRules &Rules) {
+  AppAnalysis Out;
+
+  // Algorithm 1's root enumeration, keeping every candidate instead of
+  // only the winner.
+  std::vector<Candidate> Candidates;
+  for (const Method &M : File.methods()) {
+    if (!RA.isReplayable(M.Id) || !RA.isCompilable(M.Id))
+      continue;
+    if (M.Id >= Profile.ExclusiveCycles.size())
+      continue;
+    Candidate C;
+    C.Root = M.Id;
+    C.Methods = profiler::compilableRegion(File, RA, M.Id);
+    for (MethodId R : C.Methods)
+      if (R < Profile.ExclusiveCycles.size())
+        C.Cycles += Profile.ExclusiveCycles[R];
+    if (C.Cycles == 0)
+      continue;
+    Candidates.push_back(std::move(C));
+  }
+
+  // Hottest first; root id breaks ties so the winner matches
+  // detectHotRegion()'s first-max choice.
+  std::sort(Candidates.begin(), Candidates.end(),
+            [](const Candidate &A, const Candidate &B) {
+              if (A.Cycles != B.Cycles)
+                return A.Cycles > B.Cycles;
+              return A.Root < B.Root;
+            });
+
+  // Nested candidates are the same work seen from a lower root: a root
+  // already inside a kept (hotter) region is not a separate candidate.
+  std::vector<Candidate> Kept;
+  for (Candidate &C : Candidates) {
+    if (Kept.size() >= MaxRegions)
+      break;
+    bool Nested = false;
+    for (const Candidate &K : Kept)
+      if (std::find(K.Methods.begin(), K.Methods.end(), C.Root) !=
+          K.Methods.end()) {
+        Nested = true;
+        break;
+      }
+    if (!Nested)
+      Kept.push_back(std::move(C));
+  }
+  if (Kept.empty())
+    return Out;
+
+  double SumSq = 0.0;
+  for (const Candidate &K : Kept) {
+    double C = static_cast<double>(K.Cycles);
+    SumSq += C * C;
+  }
+  double MaxCycles = static_cast<double>(Kept.front().Cycles);
+
+  for (Candidate &K : Kept) {
+    RegionReport R;
+    R.Root = K.Root;
+    R.RootName = File.method(K.Root).Name;
+    R.Methods = std::move(K.Methods);
+    R.Features.Cycles = K.Cycles;
+    for (MethodId Id : R.Methods) {
+      if (Id >= Profile.Features.size())
+        continue;
+      const vm::MethodFeatureCounters &F = Profile.Features[Id];
+      R.Features.Insns += F.Insns;
+      R.Features.Branches += F.Branches;
+      R.Features.Mispredicts += F.Mispredicts;
+      R.Features.MemReads += F.MemReads;
+      R.Features.MemWrites += F.MemWrites;
+      R.Features.CacheMisses += F.CacheMisses;
+      R.Features.Allocs += F.Allocs;
+      R.Features.AllocSlots += F.AllocSlots;
+      R.Features.NativeCycles += F.NativeCycles;
+    }
+    R.Label = classify(R.Features, Rules);
+
+    std::set<MethodId> Closure(R.Methods.begin(), R.Methods.end());
+    std::set<MethodId> OnStack;
+    R.CriticalPathCycles = longestChain(File, Profile, Closure, R.Root,
+                                        OnStack, R.CriticalChain);
+
+    R.Slack = Kept.front().Cycles - K.Cycles;
+    double C = static_cast<double>(K.Cycles);
+    R.BudgetWeight = SumSq > 0.0 ? (C * C) / SumSq : 0.0;
+    R.BudgetScale =
+        MaxCycles > 0.0 ? (C * C) / (MaxCycles * MaxCycles) : 0.0;
+    Out.Regions.push_back(std::move(R));
+  }
+  return Out;
+}
+
+uint32_t analysis::prunedPassMask(Bottleneck B) {
+  auto Bit = [](lir::PassId P) {
+    return 1u << static_cast<uint32_t>(P);
+  };
+  switch (B) {
+  case Bottleneck::MemoryBound:
+    // Unrolling and peeling multiply the working set without shortening
+    // the data-movement spine; JNI intrinsics have nothing to intrinsify.
+    return Bit(lir::PassId::LoopUnroll) | Bit(lir::PassId::LoopPeel) |
+           Bit(lir::PassId::JniIntrinsics);
+  case Bottleneck::NativeHeavy:
+    // The time is on the far side of the JNI boundary: loop-body
+    // restructuring and bounds-check elimination move managed cycles only.
+    return Bit(lir::PassId::LoopUnroll) | Bit(lir::PassId::LoopPeel) |
+           Bit(lir::PassId::BoundsCheckElim);
+  case Bottleneck::Branchy:
+    return Bit(lir::PassId::JniIntrinsics) |
+           Bit(lir::PassId::Reassociate);
+  case Bottleneck::Compute:
+    return Bit(lir::PassId::JniIntrinsics);
+  case Bottleneck::Balanced:
+    return 0;
+  }
+  return 0;
+}

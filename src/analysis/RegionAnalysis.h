@@ -1,0 +1,141 @@
+//===- analysis/RegionAnalysis.h - Criticality and bottlenecks --*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision side of the observability loop (DESIGN.md §13): turn the
+/// profiler's per-method exclusive cycles and microarchitectural feature
+/// counts into (1) a ranked set of candidate hot regions with per-region
+/// slack and critical-path cycles, (2) one auditable bottleneck label per
+/// region from a deterministic rule cascade, and (3) a criticality-
+/// weighted search-budget allocation: the slack-0 region keeps the full
+/// GA budget untouched, cooler regions get quadratically scaled-down
+/// budgets plus a bottleneck-specific mask of genome arms not worth
+/// drawing. Everything here is a pure function of the profile, so the
+/// output is byte-identical across --jobs and reruns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_ANALYSIS_REGION_ANALYSIS_H
+#define ROPT_ANALYSIS_REGION_ANALYSIS_H
+
+#include "profiler/HotRegion.h"
+
+#include <string>
+#include <vector>
+
+namespace ropt {
+namespace analysis {
+
+/// The label vocabulary. Exactly one per region; the first matching rule
+/// in classify()'s cascade wins.
+enum class Bottleneck {
+  NativeHeavy, ///< JNI transitions + native bodies dominate.
+  MemoryBound, ///< Loads/stores + cache misses dominate.
+  Branchy,     ///< High mispredict density.
+  Compute,     ///< ALU-bound: little memory traffic, predictable branches.
+  Balanced,    ///< Nothing dominates.
+};
+
+const char *bottleneckName(Bottleneck B);
+/// Inverse of bottleneckName(); Balanced for unknown strings.
+Bottleneck bottleneckFromName(const std::string &Name);
+
+/// Feature vector for one region (sums over the closure's methods), plus
+/// the derived shares the classifier actually tests — recorded alongside
+/// the label so every labeling decision is auditable from the run report.
+struct RegionFeatures {
+  uint64_t Cycles = 0; ///< Closure exclusive cycles (managed code only).
+  uint64_t Insns = 0;
+  uint64_t Branches = 0;
+  uint64_t Mispredicts = 0;
+  uint64_t MemReads = 0;
+  uint64_t MemWrites = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t Allocs = 0;
+  uint64_t AllocSlots = 0;
+  uint64_t NativeCycles = 0; ///< JNI work triggered by closure methods.
+
+  /// JNI share of the region's total footprint (managed + native).
+  double nativeShare() const;
+  /// Estimated memory-cycle share of the managed cycles, priced with the
+  /// default cost model (loads, stores, miss penalty, alloc machinery).
+  double memShare() const;
+  /// Mispredicted branches per thousand instructions.
+  double mispredictsPerKiloInsn() const;
+};
+
+/// Rule thresholds (documented in DESIGN.md §13). Defaults are what the
+/// pipeline ships; tests construct variants to probe the cascade.
+struct ClassifierRules {
+  double NativeShareMin = 0.25;
+  double MemShareMin = 0.40;
+  double MispredictPerKiloInsnMin = 12.0;
+  double ComputeMemShareMax = 0.15;
+  double ComputeMispredictMax = 4.0;
+};
+
+/// The rule cascade: native_heavy > memory_bound > branchy > compute >
+/// balanced, first match wins.
+Bottleneck classify(const RegionFeatures &F,
+                    const ClassifierRules &Rules = ClassifierRules());
+
+/// One candidate region with everything the budget allocator and the
+/// run report need.
+struct RegionReport {
+  dex::MethodId Root = dex::InvalidId;
+  std::string RootName;
+  std::vector<dex::MethodId> Methods; ///< Compilable closure incl. Root.
+  RegionFeatures Features;
+  Bottleneck Label = Bottleneck::Balanced;
+  /// Longest root-to-leaf chain of exclusive cycles through the region's
+  /// static call graph (back edges cut) — the region's serial spine.
+  uint64_t CriticalPathCycles = 0;
+  /// Method ids along that chain, root first.
+  std::vector<dex::MethodId> CriticalChain;
+  /// Hottest-region cycles minus this region's cycles; 0 marks the
+  /// critical region.
+  uint64_t Slack = 0;
+  /// Quadratic criticality weight; weights sum to 1 over the set.
+  double BudgetWeight = 0.0;
+  /// BudgetWeight normalized so the slack-0 region gets exactly 1.0 —
+  /// its GA budget is the full, untouched configuration.
+  double BudgetScale = 0.0;
+};
+
+/// The per-app analysis: candidate regions hottest-first (index 0 is the
+/// slack-0 critical region detectHotRegion() would have picked).
+struct AppAnalysis {
+  std::vector<RegionReport> Regions;
+
+  bool empty() const { return Regions.empty(); }
+  const RegionReport *critical() const {
+    return Regions.empty() ? nullptr : &Regions.front();
+  }
+  /// Region whose root is \p Root, or nullptr.
+  const RegionReport *byRoot(dex::MethodId Root) const;
+};
+
+/// Enumerates candidate regions the way Algorithm 1 enumerates roots
+/// (replayable + compilable, nonzero profiled cycles), dedupes nested
+/// candidates (a root already inside a hotter region's closure is not a
+/// separate candidate), keeps the top \p MaxRegions by cycles, then
+/// classifies and allocates budget. Pure function of its inputs.
+AppAnalysis analyzeApp(const dex::DexFile &File,
+                       const profiler::MethodProfile &Profile,
+                       const profiler::ReplayabilityAnalysis &RA,
+                       size_t MaxRegions = 3,
+                       const ClassifierRules &Rules = ClassifierRules());
+
+/// Genome arms not worth drawing for a region with label \p B, as a
+/// bitmask over lir::PassId (GenomeConfig::DisabledPassMask). Applied
+/// only to slack>0 regions — the critical region always searches the
+/// full space.
+uint32_t prunedPassMask(Bottleneck B);
+
+} // namespace analysis
+} // namespace ropt
+
+#endif // ROPT_ANALYSIS_REGION_ANALYSIS_H

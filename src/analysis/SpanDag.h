@@ -1,0 +1,86 @@
+//===- analysis/SpanDag.h - Span tree over trace events ---------*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reconstructs the execution DAG from the trace recorder's Complete
+/// spans: per-thread nesting by interval containment, self time (span
+/// duration minus child durations), per-name aggregates for the
+/// summarizer's top-spans table, and the wall-clock critical path (the
+/// longest root span followed down its longest-child chain). Spans carry
+/// wall-clock durations, so this view feeds human-facing summaries; the
+/// byte-stable decision data lives in RegionAnalysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_ANALYSIS_SPAN_DAG_H
+#define ROPT_ANALYSIS_SPAN_DAG_H
+
+#include "support/Result.h"
+#include "support/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ropt {
+namespace analysis {
+
+/// One span in the reconstructed tree.
+struct SpanNode {
+  std::string Name;
+  uint64_t StartUs = 0;
+  uint64_t DurUs = 0;
+  uint64_t SelfUs = 0; ///< DurUs minus children's DurUs, clamped at 0.
+  uint32_t ThreadId = 0;
+  int Parent = -1; ///< Index into nodes(), -1 for a root.
+  std::vector<int> Children;
+};
+
+/// Per-name rollup for the top-spans table.
+struct SpanStats {
+  std::string Name;
+  uint64_t TotalUs = 0;
+  uint64_t SelfUs = 0;
+  uint64_t Count = 0;
+};
+
+class SpanDag {
+public:
+  /// Builds from recorder events (Counter/Instant events are ignored).
+  static SpanDag fromEvents(const std::vector<TraceEvent> &Events);
+  /// Parses a Chrome trace_event export (trace.json) and builds from its
+  /// "ph":"X" entries.
+  static support::Result<SpanDag> fromChromeJson(const std::string &Text);
+
+  const std::vector<SpanNode> &nodes() const { return Nodes; }
+  const std::vector<int> &roots() const { return Roots; }
+
+  /// The wall-clock critical path: the longest root span, then its
+  /// longest child, and so on to a leaf. Node indices, root first. Ties
+  /// break toward the earlier start, then the lexically smaller name.
+  std::vector<int> criticalPath() const;
+
+  /// Per-name aggregates, the \p N largest by total duration (ties break
+  /// by name), for summarize's top-spans table.
+  std::vector<SpanStats> topSpans(size_t N) const;
+
+private:
+  struct RawSpan {
+    std::string Name;
+    uint64_t StartUs = 0;
+    uint64_t DurUs = 0;
+    uint32_t ThreadId = 0;
+  };
+  static SpanDag build(std::vector<RawSpan> Spans);
+
+  std::vector<SpanNode> Nodes;
+  std::vector<int> Roots;
+};
+
+} // namespace analysis
+} // namespace ropt
+
+#endif // ROPT_ANALYSIS_SPAN_DAG_H

@@ -7,7 +7,9 @@
 #include "support/Statistics.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 using namespace ropt;
 using namespace ropt::core;
@@ -16,6 +18,22 @@ PipelineConfig PipelineConfig::paperDefaults() {
   // The member initializers are the Section 4 values already; the named
   // constructor exists so call sites say which configuration they mean.
   return PipelineConfig{};
+}
+
+search::GaConfig core::scaledGaConfig(const search::GaConfig &Base,
+                                      double Scale) {
+  if (Scale >= 1.0)
+    return Base;
+  search::GaConfig Out = Base;
+  double Axis = std::sqrt(std::max(Scale, 0.0));
+  Out.Generations = std::max(
+      2, static_cast<int>(std::lround(Base.Generations * Axis)));
+  Out.PopulationSize = std::max(
+      8, static_cast<int>(std::lround(Base.PopulationSize * Axis)));
+  Out.TournamentSize = std::min(Out.TournamentSize, Out.PopulationSize);
+  Out.EliteCount = std::min(Out.EliteCount, Out.PopulationSize - 1);
+  Out.HillClimbRounds = std::min(Out.HillClimbRounds, Out.Generations);
+  return Out;
 }
 
 // --- RegionEvaluator ----------------------------------------------------------
@@ -314,12 +332,36 @@ IterativeCompiler::optimize(const workloads::Application &App) {
   // --- Phases 1-2: online profile + hot region (Section 3.1). ----------
   ProfiledApp Profiled = profileApp(App);
   Report.Breakdown = Profiled.Breakdown;
-  if (!Profiled.Region) {
+
+  // The observability loop's decision data: candidate regions, features,
+  // labels, slack, budget shares. Pure function of the profile, so it is
+  // identical at any --jobs and costs microseconds — always computed.
+  Report.Analysis =
+      analysis::analyzeApp(*App.File, Profiled.Profile, Profiled.RA);
+
+  if (Config.ForceRegionRoot != dex::InvalidId) {
+    // Multi-region harnesses point the pipeline at a specific candidate.
+    profiler::HotRegion Forced;
+    Forced.Root = Config.ForceRegionRoot;
+    Forced.Methods =
+        profiler::compilableRegion(*App.File, Profiled.RA,
+                                   Config.ForceRegionRoot);
+    for (dex::MethodId Id : Forced.Methods)
+      if (Id < Profiled.Profile.ExclusiveCycles.size())
+        Forced.EstimatedCycles += Profiled.Profile.ExclusiveCycles[Id];
+    if (Forced.Methods.empty() || Forced.EstimatedCycles == 0) {
+      Report.FailureReason = "forced region root has no profiled closure";
+      ROPT_METRIC_INC("pipeline.failures");
+      return Report;
+    }
+    Report.Region = std::move(Forced);
+  } else if (Profiled.Region) {
+    Report.Region = *Profiled.Region;
+  } else {
     Report.FailureReason = "no replayable hot region";
     ROPT_METRIC_INC("pipeline.failures");
     return Report;
   }
-  Report.Region = *Profiled.Region;
 
   // --- Phase 3: transparent capture + interpreted replay (3.2-3.4). ----
   std::vector<CapturedRegion> Captures = captureRegionMulti(
@@ -365,7 +407,23 @@ IterativeCompiler::optimize(const workloads::Application &App) {
     Report.RegionAndroid = Android.MedianCycles;
     Report.RegionO3 = O3.ok() ? O3.MedianCycles : 0.0;
 
-    search::GeneticSearch GA(Config.Search.GA, Config.Seed ^ 0x6a5e,
+    // Criticality-weighted allocation: the slack-0 region keeps the full
+    // configuration bit-for-bit; cooler regions search a scaled-down
+    // budget with the label's pruned arms masked out.
+    search::GaConfig GaCfg = Config.Search.GA;
+    if (Config.Search.AnalysisGuided) {
+      if (const analysis::RegionReport *R =
+              Report.Analysis.byRoot(Report.Region.Root)) {
+        Report.AppliedBudgetScale = R->BudgetScale;
+        GaCfg = scaledGaConfig(GaCfg, R->BudgetScale);
+        if (R->Slack > 0)
+          GaCfg.Genomes.DisabledPassMask |=
+              analysis::prunedPassMask(R->Label);
+        Report.AppliedPassMask = GaCfg.Genomes.DisabledPassMask;
+      }
+    }
+
+    search::GeneticSearch GA(GaCfg, Config.Seed ^ 0x6a5e,
                              Engine, Config.Provenance);
     if (!Config.Search.WarmStart.empty())
       GA.seedPopulation(Config.Search.WarmStart);

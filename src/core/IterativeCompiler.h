@@ -23,6 +23,7 @@
 #ifndef ROPT_CORE_ITERATIVE_COMPILER_H
 #define ROPT_CORE_ITERATIVE_COMPILER_H
 
+#include "analysis/RegionAnalysis.h"
 #include "capture/CaptureManager.h"
 #include "core/AppInstance.h"
 #include "core/Measurement.h"
@@ -58,7 +59,21 @@ struct SearchOptions {
   /// server hints and a device's previous best through this; empty — the
   /// paper's cold-start configuration — leaves generation 0 fully random.
   std::vector<search::Genome> WarmStart;
+  /// Close the observability loop (DESIGN.md §13): scale the GA budget by
+  /// the optimized region's criticality (the slack-0 region keeps the
+  /// full budget; cooler regions get quadratically less) and disable the
+  /// genome arms the region's bottleneck label rules out. Off — the
+  /// default — leaves the search identical to the paper's configuration.
+  bool AnalysisGuided = false;
 };
+
+/// \p Scale in (0, 1]: shrinks generations and population evenly (sqrt
+/// split, so total evaluations scale roughly linearly with \p Scale) with
+/// floors of 2 generations and 8 genomes; tournament/elite sizes are
+/// re-clamped to the smaller population. Scale >= 1 returns \p Base
+/// untouched — the critical region's search is bit-identical to the
+/// unscaled configuration.
+search::GaConfig scaledGaConfig(const search::GaConfig &Base, double Scale);
 
 /// Everything that shapes profiling and capture (phases 1-3).
 struct CaptureOptions {
@@ -89,6 +104,11 @@ struct PipelineConfig {
   /// opened one with --report: the GA hands it one provenance record per
   /// evaluation, strictly in batch order. Not owned; may be null.
   search::ProvenanceSink *Provenance = nullptr;
+
+  /// When set, optimize() searches the compilable closure of this root
+  /// instead of the detected hot region — the multi-region harnesses
+  /// (abl_critical_path) point the pipeline at each candidate in turn.
+  dex::MethodId ForceRegionRoot = dex::InvalidId;
 
   /// The configuration of the paper's evaluation (Section 4): 11x50 GA,
   /// 10 replays per evaluation, single capture, 6 profile sessions.
@@ -199,6 +219,15 @@ struct OptimizationReport {
   profiler::CodeBreakdown Breakdown;
   capture::Capture Cap;
   uint64_t CapturePostponements = 0;
+
+  /// The observability loop's region analysis: every candidate region
+  /// with its features, label, slack and budget share (always computed —
+  /// it is a cheap pure function of the profile — and recorded in the run
+  /// report whether or not AnalysisGuided applied it).
+  analysis::AppAnalysis Analysis;
+  /// What the search actually ran with: 1.0 / 0 unless AnalysisGuided.
+  double AppliedBudgetScale = 1.0;
+  uint32_t AppliedPassMask = 0;
 
   /// Region-level replay medians (cycles).
   double RegionAndroid = 0.0;

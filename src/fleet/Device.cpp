@@ -67,6 +67,23 @@ bool Device::setup() {
     return false;
   }
   Region = *Profiled.Region;
+
+  // Fleet rounds inherit the observability loop's allocation: when the
+  // coordinator runs analysis-guided, each device derives its own
+  // criticality scale and bottleneck mask from its own profile, and every
+  // round's GA (runRound reads Config.Search.GA) searches under them.
+  if (Config.Search.AnalysisGuided) {
+    analysis::AppAnalysis Analysis =
+        analysis::analyzeApp(*App.File, Profiled.Profile, Profiled.RA);
+    if (const analysis::RegionReport *R = Analysis.byRoot(Region.Root)) {
+      Config.Search.GA = core::scaledGaConfig(Config.Search.GA,
+                                              R->BudgetScale);
+      if (R->Slack > 0)
+        Config.Search.GA.Genomes.DisabledPassMask |=
+            analysis::prunedPassMask(R->Label);
+    }
+  }
+
   Captures = Pipeline.captureRegionMulti(
       *Profiled.Instance, Region,
       std::max(1, Config.Capture.CapturesPerRegion));

@@ -12,6 +12,7 @@ using namespace ropt::profiler;
 MethodProfile MethodProfile::fromRuntime(const vm::Runtime &RT) {
   MethodProfile P;
   P.ExclusiveCycles = RT.methodCycles();
+  P.Features = RT.methodFeatures();
   for (uint64_t C : P.ExclusiveCycles)
     P.TotalCycles += C;
   return P;

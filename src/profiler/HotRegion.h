@@ -26,9 +26,11 @@
 namespace ropt {
 namespace profiler {
 
-/// Snapshot of per-method exclusive cycles.
+/// Snapshot of per-method exclusive cycles plus the microarchitectural
+/// feature counts the bottleneck classifier consumes (same indexing).
 struct MethodProfile {
   std::vector<uint64_t> ExclusiveCycles;
+  std::vector<vm::MethodFeatureCounters> Features;
   uint64_t TotalCycles = 0;
 
   static MethodProfile fromRuntime(const vm::Runtime &RT);

@@ -34,6 +34,8 @@ ReportWriter::~ReportWriter() {
     std::fclose(Gens);
   if (Fleet)
     std::fclose(Fleet);
+  if (Analysis)
+    std::fclose(Analysis);
 }
 
 void ReportWriter::appendLine(std::FILE *F, const std::string &Json) {
@@ -64,6 +66,19 @@ void ReportWriter::appendFleetRound(const std::string &Json) {
     }
   }
   appendLine(Fleet, Json);
+}
+
+void ReportWriter::appendAnalysis(const std::string &Json) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!Analysis) {
+      std::string Path = Dir + "/" + AnalysisFile;
+      Analysis = std::fopen(Path.c_str(), "w");
+      if (!Analysis)
+        return;
+    }
+  }
+  appendLine(Analysis, Json);
 }
 
 bool ReportWriter::writeFile(const char *Name, const std::string &Content) {

@@ -40,6 +40,10 @@ inline constexpr const char *TraceFile = "trace.json";
 /// Per-(round, device) log of a fleet run; absent in single-device runs
 /// (readers treat a missing stream as "pre-fleet or non-fleet run").
 inline constexpr const char *FleetFile = "fleet.jsonl";
+/// Per-region observability-loop records (schema 3): one line per
+/// candidate region per app with its feature vector, bottleneck label,
+/// slack and budget share. Absent in pre-analysis run directories.
+inline constexpr const char *AnalysisFile = "analysis.jsonl";
 
 /// Owns one run directory and its streams. Create through open();
 /// destruction closes the streams (finish-time artifacts are the
@@ -64,6 +68,9 @@ public:
   /// Same, for the fleet round log. The stream opens lazily on first
   /// append, so only fleet runs grow a fleet.jsonl.
   void appendFleetRound(const std::string &Json);
+  /// Same, for the per-region analysis log; lazily opened, so only runs
+  /// that produced a region analysis grow an analysis.jsonl.
+  void appendAnalysis(const std::string &Json);
 
   /// Writes \p Content verbatim to `<dir>/<Name>`; false on I/O failure.
   bool writeFile(const char *Name, const std::string &Content);
@@ -77,6 +84,7 @@ private:
   std::FILE *Evals = nullptr;
   std::FILE *Gens = nullptr;
   std::FILE *Fleet = nullptr; ///< Lazily opened by appendFleetRound().
+  std::FILE *Analysis = nullptr; ///< Lazily opened by appendAnalysis().
 };
 
 } // namespace report

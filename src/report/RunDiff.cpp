@@ -2,6 +2,7 @@
 
 #include "report/RunDiff.h"
 
+#include "analysis/SpanDag.h"
 #include "report/ReportWriter.h"
 #include "support/Format.h"
 
@@ -147,6 +148,49 @@ support::Result<LoadedRun> report::loadRun(const std::string &Dir) {
       return Fleet.error();
   }
 
+  // analysis.jsonl only exists since schema 3 and only for runs whose
+  // pipeline produced a region analysis; absence is normal.
+  std::string AnalysisPath = Dir + "/" + AnalysisFile;
+  if (std::ifstream(AnalysisPath).good()) {
+    Run.HasAnalysisLog = true;
+    support::Result<bool> Analysis =
+        forEachJsonl(AnalysisPath, [&Run](const json::Value &V) {
+          AnalysisRecord R;
+          R.App = V.string("app");
+          R.Root = static_cast<uint64_t>(V.number("root"));
+          R.RootName = V.string("root_name");
+          R.Label = V.string("label");
+          if (const json::Value *F = V.find("features")) {
+            R.Cycles = F->number("cycles");
+            R.Insns = F->number("insns");
+            R.Branches = F->number("branches");
+            R.Mispredicts = F->number("mispredicts");
+            R.MemReads = F->number("mem_reads");
+            R.MemWrites = F->number("mem_writes");
+            R.CacheMisses = F->number("cache_misses");
+            R.Allocs = F->number("allocs");
+            R.AllocSlots = F->number("alloc_slots");
+            R.NativeCycles = F->number("native_cycles");
+            R.NativeShare = F->number("native_share");
+            R.MemShare = F->number("mem_share");
+            R.MispredictsPerKiloInsn =
+                F->number("mispredicts_per_kiloinsn");
+          }
+          R.CriticalPathCycles = V.number("critical_path_cycles");
+          if (const json::Value *C = V.find("critical_chain"))
+            for (const json::Value &E : C->elements())
+              R.CriticalChain.push_back(
+                  static_cast<uint64_t>(E.asNumber()));
+          R.Slack = V.number("slack");
+          R.BudgetWeight = V.number("budget_weight");
+          R.BudgetScale = V.number("budget_scale");
+          R.Methods = static_cast<int>(V.number("methods"));
+          Run.Analysis.push_back(std::move(R));
+        });
+    if (!Analysis)
+      return Analysis.error();
+  }
+
   return Run;
 }
 
@@ -165,11 +209,21 @@ ValidationResult report::validateRun(const LoadedRun &Run) {
                           "config", "apps", "totals"})
     if (!Run.Manifest.find(Key))
       Problem(std::string("manifest.json: missing field \"") + Key + "\"");
-  // Schema 1 = pre-fleet runs, schema 2 added the optional fleet section;
-  // both stay loadable so old baselines keep diffing against new runs.
+  // Schema 1 = pre-fleet runs, schema 2 added the optional fleet
+  // section, schema 3 the observability flag and region analysis; all
+  // stay loadable so old baselines keep diffing against new runs.
   double Schema = Run.Manifest.number("schema");
-  if (Run.Manifest.find("schema") && Schema != 1 && Schema != 2)
+  if (Run.Manifest.find("schema") && Schema != 1 && Schema != 2 &&
+      Schema != 3)
     Problem("manifest.json: unknown schema version");
+
+  // A run built without the tracing/metrics layer records
+  // observability:false and legitimately has no trace.json/metrics.json;
+  // that is worth a heads-up, never a gate failure.
+  if (const json::Value *Obs = Run.Manifest.find("observability"))
+    if (!Obs->asBool())
+      Warning("manifest.json: run built with ROPT_OBSERVABILITY=0 — "
+              "trace.json/metrics.json are intentionally absent");
 
   static const std::set<std::string> Verdicts = {
       "ok", "compile-error", "runtime-crash", "runtime-timeout",
@@ -245,6 +299,59 @@ ValidationResult report::validateRun(const LoadedRun &Run) {
       Problem("manifest.json fleet.hints_rejected disagrees with the "
               "fleet.jsonl round log");
   }
+
+  // --- Region analysis (schema 3). Absence is normal (pre-analysis runs
+  // and harnesses whose pipeline never produced one); present records
+  // must satisfy the allocator's invariants.
+  static const std::set<std::string> Labels = {
+      "native_heavy", "memory_bound", "branchy", "compute", "balanced"};
+  std::map<std::string, double> WeightSum;
+  std::map<std::string, int> SlackZero;
+  for (size_t I = 0; I < Run.Analysis.size(); ++I) {
+    const AnalysisRecord &R = Run.Analysis[I];
+    std::string Where = "analysis.jsonl line " + std::to_string(I + 1);
+    if (!Labels.count(R.Label))
+      Problem(Where + ": unknown bottleneck label \"" + R.Label + "\"");
+    if (R.BudgetWeight < 0.0 || R.BudgetWeight > 1.0)
+      Problem(Where + ": budget_weight outside [0, 1]");
+    if (R.BudgetScale < 0.0 || R.BudgetScale > 1.0)
+      Problem(Where + ": budget_scale outside [0, 1]");
+    if (R.Slack < 0.0)
+      Problem(Where + ": negative slack");
+    if (R.Slack == 0.0) {
+      ++SlackZero[R.App];
+      if (R.BudgetScale != 1.0)
+        Problem(Where + ": the slack-0 region must keep the full budget "
+                        "(budget_scale 1)");
+    }
+    if (R.CriticalPathCycles > R.Cycles)
+      Problem(Where + ": critical_path_cycles exceeds region cycles");
+    WeightSum[R.App] += R.BudgetWeight;
+  }
+  for (const auto &KV : WeightSum) {
+    if (std::fabs(KV.second - 1.0) > 1e-9)
+      Problem("analysis.jsonl " + KV.first +
+              ": budget weights do not sum to 1");
+    if (SlackZero[KV.first] != 1)
+      Problem("analysis.jsonl " + KV.first +
+              ": expected exactly one slack-0 region");
+  }
+  const bool ManifestHasAnalysis = [&Run] {
+    const json::Value *AppsV = Run.Manifest.find("apps");
+    if (!AppsV)
+      return false;
+    for (const json::Value &AppV : AppsV->elements())
+      if (AppV.find("region_analysis"))
+        return true;
+    return false;
+  }();
+  if (ManifestHasAnalysis && !Run.HasAnalysisLog)
+    Warning("manifest.json has region_analysis sections but "
+            "analysis.jsonl is missing (truncated run directory?)");
+  if (!ManifestHasAnalysis && Run.HasAnalysisLog)
+    Warning("analysis.jsonl present but manifest.json has no "
+            "region_analysis section (pre-analysis tool wrote the "
+            "manifest?)");
   return Result;
 }
 
@@ -371,6 +478,20 @@ std::string report::summarize(const LoadedRun &Run, bool Markdown) {
     if (A.BestCycles != 0.0)
       Out << "best median cycles: " << format("%.1f", A.BestCycles)
           << "\n";
+    // One line per candidate region from the observability loop (the
+    // full story is `ropt-report analyze`).
+    bool AnyRegion = false;
+    for (const AnalysisRecord &R : Run.Analysis) {
+      if (R.App != Name)
+        continue;
+      if (!AnyRegion)
+        Out << "regions:";
+      AnyRegion = true;
+      Out << " " << R.RootName << "[" << R.Label << " "
+          << format("%.0f", 100.0 * R.BudgetWeight) << "%]";
+    }
+    if (AnyRegion)
+      Out << "\n";
     Out << "\n";
   }
 
@@ -415,6 +536,94 @@ std::string report::summarize(const LoadedRun &Run, bool Markdown) {
     }
     Out << "\n";
   }
+
+  // Top spans by wall-clock, from the run's Chrome trace. Absent or
+  // empty traces (ROPT_OBSERVABILITY=0 builds record observability:false
+  // and write none) simply skip the section.
+  if (support::Result<std::string> TraceText =
+          slurp(Run.Dir + "/" + TraceFile)) {
+    support::Result<analysis::SpanDag> Dag =
+        analysis::SpanDag::fromChromeJson(TraceText.value());
+    if (Dag && !Dag.value().nodes().empty()) {
+      std::vector<analysis::SpanStats> Top = Dag.value().topSpans(10);
+      Out << H << "top spans" << HEnd << "\n";
+      Out << format("%-28s %8s %12s %12s", "name", "count", "total ms",
+                    "self ms")
+          << "\n";
+      for (const analysis::SpanStats &S : Top)
+        Out << format("%-28s %8llu %12.3f %12.3f", S.Name.c_str(),
+                      static_cast<unsigned long long>(S.Count),
+                      S.TotalUs / 1000.0, S.SelfUs / 1000.0)
+            << "\n";
+      Out << "\n";
+    }
+  }
+  return Out.str();
+}
+
+// --- Analyzing --------------------------------------------------------------
+
+std::string report::analyzeRun(const LoadedRun &Run,
+                               const LoadedRun *Baseline) {
+  std::ostringstream Out;
+  const json::Value &M = Run.Manifest;
+
+  Out << "=== analysis " << Run.Dir << " ===\n";
+  Out << "tool: " << M.string("tool", "?") << "   seed: "
+      << static_cast<uint64_t>(M.number("seed")) << "\n";
+  bool Guided = false;
+  if (const json::Value *C = M.find("config"))
+    if (const json::Value *G = C->find("analysis_guided"))
+      Guided = G->asBool();
+  Out << "analysis-guided search: " << (Guided ? "on" : "off") << "\n\n";
+
+  if (!Run.HasAnalysisLog) {
+    Out << "no analysis.jsonl — pre-analysis run directory\n";
+    return Out.str();
+  }
+
+  // Stream order is run order: regions arrive hottest-first per app.
+  std::vector<std::string> Order;
+  std::set<std::string> Seen;
+  for (const AnalysisRecord &R : Run.Analysis)
+    if (Seen.insert(R.App).second)
+      Order.push_back(R.App);
+
+  int LabelChanges = 0;
+  for (const std::string &App : Order) {
+    Out << "--- " << App << " ---\n";
+    for (const AnalysisRecord &R : Run.Analysis) {
+      if (R.App != App)
+        continue;
+      Out << (R.Slack == 0.0 ? "* " : "  ") << R.RootName << " ("
+          << R.Methods << " methods): " << R.Label << ", cycles "
+          << format("%.0f", R.Cycles) << ", critical path "
+          << format("%.0f", R.CriticalPathCycles) << ", slack "
+          << format("%.0f", R.Slack) << ", budget "
+          << format("%.1f", 100.0 * R.BudgetWeight) << "% (scale "
+          << format("%.3f", R.BudgetScale) << ")\n";
+      Out << "    features: native " << format("%.2f", R.NativeShare)
+          << ", mem " << format("%.2f", R.MemShare) << ", mispredicts/ki "
+          << format("%.2f", R.MispredictsPerKiloInsn) << "\n";
+      if (R.Slack == 0.0 && !R.CriticalChain.empty()) {
+        Out << "    critical chain:";
+        for (uint64_t Id : R.CriticalChain)
+          Out << " m" << Id;
+        Out << "\n";
+      }
+      if (Baseline)
+        for (const AnalysisRecord &B : Baseline->Analysis)
+          if (B.App == R.App && B.Root == R.Root && B.Label != R.Label) {
+            ++LabelChanges;
+            Out << "    LABEL CHANGE vs baseline: " << B.Label << " -> "
+                << R.Label << "\n";
+          }
+    }
+    Out << "\n";
+  }
+  if (Baseline)
+    Out << "label changes vs " << Baseline->Dir << ": " << LabelChanges
+        << "\n";
   return Out.str();
 }
 

@@ -78,6 +78,37 @@ struct FleetRecord {
   bool Delivered = true;
 };
 
+/// One analysis.jsonl record, parsed (schema 3; absent in pre-analysis
+/// runs): a candidate region's feature vector, bottleneck label and
+/// budget allocation.
+struct AnalysisRecord {
+  std::string App;
+  uint64_t Root = 0;
+  std::string RootName;
+  std::string Label; ///< bottleneckName spelling ("memory_bound"...).
+  // Feature vector (the classifier's auditable inputs).
+  double Cycles = 0.0;
+  double Insns = 0.0;
+  double Branches = 0.0;
+  double Mispredicts = 0.0;
+  double MemReads = 0.0;
+  double MemWrites = 0.0;
+  double CacheMisses = 0.0;
+  double Allocs = 0.0;
+  double AllocSlots = 0.0;
+  double NativeCycles = 0.0;
+  double NativeShare = 0.0;
+  double MemShare = 0.0;
+  double MispredictsPerKiloInsn = 0.0;
+  // Criticality + allocation.
+  double CriticalPathCycles = 0.0;
+  std::vector<uint64_t> CriticalChain;
+  double Slack = 0.0;
+  double BudgetWeight = 0.0;
+  double BudgetScale = 0.0;
+  int Methods = 0;
+};
+
 /// A run directory pulled back into memory.
 struct LoadedRun {
   std::string Dir;
@@ -86,6 +117,8 @@ struct LoadedRun {
   std::vector<GenRecord> Generations;
   std::vector<FleetRecord> Fleet; ///< Empty when HasFleetLog is false.
   bool HasFleetLog = false;       ///< fleet.jsonl existed and parsed.
+  std::vector<AnalysisRecord> Analysis; ///< Empty without analysis.jsonl.
+  bool HasAnalysisLog = false; ///< analysis.jsonl existed and parsed.
 };
 
 /// Reads manifest.json + the JSONL streams. Fails on missing files or
@@ -110,8 +143,19 @@ struct ValidationResult {
 ValidationResult validateRun(const LoadedRun &Run);
 
 /// Renders the run: manifest header, per-app verdict breakdown, cache
-/// hit rate, best-fitness-per-generation curve, top rejection reasons.
+/// hit rate, best-fitness-per-generation curve, top rejection reasons,
+/// and — when the run directory has a non-empty trace.json — the top
+/// spans by total and self duration.
 std::string summarize(const LoadedRun &Run, bool Markdown = false);
+
+/// Renders the observability-loop analysis of a run: per-app region DAG
+/// summary (candidate regions hottest first), the critical region's
+/// chain, and each region's bottleneck label, slack and budget share.
+/// With \p Baseline, flags regions whose label changed between the runs.
+/// A pure function of analysis.jsonl + the manifest — byte-identical for
+/// byte-identical streams (never reads the trace or wall-clock fields).
+std::string analyzeRun(const LoadedRun &Run,
+                       const LoadedRun *Baseline = nullptr);
 
 struct DiffOptions {
   /// Relative best-fitness slowdown that counts as a regression (B worse

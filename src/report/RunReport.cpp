@@ -60,6 +60,65 @@ std::string racingJson(const search::EngineRacingStats &S) {
   return std::move(B).str();
 }
 
+/// Compact per-region entry for the manifest's "region_analysis" section
+/// (the full feature vector lives in analysis.jsonl).
+std::string regionManifestJson(const analysis::RegionReport &R) {
+  json::Builder B;
+  B.field("root", static_cast<uint64_t>(R.Root));
+  B.field("root_name", R.RootName);
+  B.field("label", analysis::bottleneckName(R.Label));
+  B.field("cycles", R.Features.Cycles);
+  B.field("critical_path_cycles", R.CriticalPathCycles);
+  B.field("slack", R.Slack);
+  B.field("budget_weight", R.BudgetWeight);
+  B.field("budget_scale", R.BudgetScale);
+  B.field("methods", static_cast<uint64_t>(R.Methods.size()));
+  return std::move(B).str();
+}
+
+/// One analysis.jsonl line: the region's full auditable feature vector
+/// next to the label and allocation it produced. Like evaluation records
+/// it is a pure function of the profile — no timestamps, %.17g doubles —
+/// so a seeded run's stream is byte-identical at any --jobs value.
+std::string regionStreamJson(const std::string &App,
+                             const analysis::RegionReport &R) {
+  const analysis::RegionFeatures &F = R.Features;
+  json::Builder B;
+  B.field("app", App);
+  B.field("root", static_cast<uint64_t>(R.Root));
+  B.field("root_name", R.RootName);
+  B.field("label", analysis::bottleneckName(R.Label));
+  {
+    json::Builder FB;
+    FB.field("cycles", F.Cycles)
+        .field("insns", F.Insns)
+        .field("branches", F.Branches)
+        .field("mispredicts", F.Mispredicts)
+        .field("mem_reads", F.MemReads)
+        .field("mem_writes", F.MemWrites)
+        .field("cache_misses", F.CacheMisses)
+        .field("allocs", F.Allocs)
+        .field("alloc_slots", F.AllocSlots)
+        .field("native_cycles", F.NativeCycles)
+        .field("native_share", F.nativeShare())
+        .field("mem_share", F.memShare())
+        .field("mispredicts_per_kiloinsn", F.mispredictsPerKiloInsn());
+    B.fieldRaw("features", std::move(FB).str());
+  }
+  B.field("critical_path_cycles", R.CriticalPathCycles);
+  {
+    json::Builder C(/*Array=*/true);
+    for (dex::MethodId M : R.CriticalChain)
+      C.element(static_cast<uint64_t>(M));
+    B.fieldRaw("critical_chain", std::move(C).str());
+  }
+  B.field("slack", R.Slack);
+  B.field("budget_weight", R.BudgetWeight);
+  B.field("budget_scale", R.BudgetScale);
+  B.field("methods", static_cast<uint64_t>(R.Methods.size()));
+  return std::move(B).str();
+}
+
 } // namespace
 
 support::Result<std::unique_ptr<RunReport>>
@@ -88,6 +147,10 @@ void RunReport::endApp(const AppOutcome &Outcome) {
     Apps.push_back(AppEntry{"", AppOutcome{}, false});
   Apps.back().Outcome = Outcome;
   Apps.back().Ended = true;
+  // One analysis.jsonl line per candidate region, hottest first (the
+  // stream opens lazily, so pre-analysis harnesses don't grow the file).
+  for (const analysis::RegionReport &R : Outcome.Analysis.Regions)
+    Writer->appendAnalysis(regionStreamJson(Apps.back().Name, R));
 }
 
 uint64_t RunReport::onEvaluation(const search::Genome &G,
@@ -210,14 +273,19 @@ std::string RunReport::manifestJson() const {
   }
 
   json::Builder B;
-  // Schema 2 added the optional "fleet" section and fleet.jsonl stream;
-  // readers accept 1 (pre-fleet) and 2.
-  B.field("schema", 2);
+  // Schema 2 added the optional fleet section/stream; schema 3 the
+  // observability flag, the per-app region_analysis section and the
+  // analysis.jsonl stream. Readers accept all three.
+  B.field("schema", 3);
   B.field("tool", Info.Tool);
   B.field("git", ROPT_GIT_DESCRIBE);
   B.field("seed", Info.Seed);
   B.field("jobs", Info.Jobs);
   B.field("fast", Info.Fast);
+  // Whether the build carried the tracing/metrics layer at all: readers
+  // treat a missing trace.json/metrics.json in an observability:false
+  // run directory as expected, not truncated.
+  B.field("observability", ROPT_OBSERVABILITY != 0);
   {
     json::Builder C;
     C.field("generations", Info.Generations)
@@ -226,7 +294,8 @@ std::string RunReport::manifestJson() const {
         .field("min_replays_per_evaluation", Info.MinReplaysPerEvaluation)
         .field("max_replays_per_evaluation", Info.MaxReplaysPerEvaluation)
         .field("captures_per_region", Info.CapturesPerRegion)
-        .field("memoize", Info.Memoize);
+        .field("memoize", Info.Memoize)
+        .field("analysis_guided", Info.AnalysisGuided);
     B.fieldRaw("config", std::move(C).str());
   }
   B.field("wall_seconds", WallSeconds);
@@ -249,6 +318,15 @@ std::string RunReport::manifestJson() const {
       E.field("region_best_cycles", A.Outcome.RegionBest);
       E.field("speedup_ga_over_android", A.Outcome.SpeedupGaOverAndroid);
       E.field("speedup_ga_over_o3", A.Outcome.SpeedupGaOverO3);
+      if (!A.Outcome.Analysis.empty()) {
+        json::Builder RegionsB(/*Array=*/true);
+        for (const analysis::RegionReport &R : A.Outcome.Analysis.Regions)
+          RegionsB.elementRaw(regionManifestJson(R));
+        E.fieldRaw("region_analysis", std::move(RegionsB).str());
+        E.field("applied_budget_scale", A.Outcome.AppliedBudgetScale);
+        E.field("applied_pass_mask",
+                static_cast<uint64_t>(A.Outcome.AppliedPassMask));
+      }
       AppsB.elementRaw(std::move(E).str());
     }
     B.fieldRaw("apps", std::move(AppsB).str());
@@ -286,11 +364,14 @@ bool RunReport::finish() {
   Finished = true;
 
   bool Ok = Writer->writeFile(ManifestFile, manifestJson());
+#if ROPT_OBSERVABILITY
   Ok &= Writer->writeFile(MetricsFile,
                           Metrics::instance().snapshot().toJson());
-  // Always write the trace so a run directory has the same artifact set
-  // whether or not instrumentation recorded anything (it compiles away
-  // under -Dropt_observability=OFF, leaving an empty event list).
   Ok &= Writer->writeFile(TraceFile, TraceRecorder::instance().toChromeJson());
+#else
+  // The tracing/metrics layer is compiled out: writing empty shells would
+  // only trip readers into treating the run as broken. The manifest's
+  // observability:false field records why the files are absent.
+#endif
   return Ok;
 }

@@ -23,6 +23,7 @@
 #ifndef ROPT_REPORT_RUN_REPORT_H
 #define ROPT_REPORT_RUN_REPORT_H
 
+#include "analysis/RegionAnalysis.h"
 #include "report/ReportWriter.h"
 #include "search/EvaluationEngine.h"
 #include "search/GeneticSearch.h"
@@ -50,6 +51,7 @@ struct RunInfo {
   int MinReplaysPerEvaluation = 0; ///< Racing seed/escalation block.
   int MaxReplaysPerEvaluation = 0; ///< Measurement budget per binary.
   int CapturesPerRegion = 0;
+  bool AnalysisGuided = false; ///< Criticality-weighted search budget?
 };
 
 /// Everything the harness reports when one app's pipeline run ends;
@@ -65,6 +67,14 @@ struct AppOutcome {
   double RegionBest = 0.0;
   double SpeedupGaOverAndroid = 0.0;
   double SpeedupGaOverO3 = 0.0;
+  /// The observability loop's region analysis (manifest "region_analysis"
+  /// section + one analysis.jsonl line per region). A pure function of
+  /// the profile, so manifests stay byte-identical across --jobs.
+  analysis::AppAnalysis Analysis;
+  /// What the search actually ran with (1.0 / 0 unless the run was
+  /// analysis-guided).
+  double AppliedBudgetScale = 1.0;
+  uint32_t AppliedPassMask = 0;
 };
 
 /// One (round, device) cell of a fleet run — one fleet.jsonl line. Like

@@ -47,8 +47,30 @@ bool Genome::operator==(const Genome &O) const {
 
 PassInstance search::randomGene(Rng &R, const GenomeConfig &Config) {
   const auto &Registry = lir::passRegistry();
-  const PassDescriptor &D =
-      Registry[static_cast<size_t>(R.below(Registry.size()))];
+  const PassDescriptor *Pick = nullptr;
+  // Rejection-sample around pruned arms (DisabledPassMask). The mask can
+  // never cover the whole registry, so this terminates; bounded attempts
+  // keep a pathological mask from spinning regardless.
+  for (int Attempt = 0; Attempt != 64; ++Attempt) {
+    const PassDescriptor &D =
+        Registry[static_cast<size_t>(R.below(Registry.size()))];
+    if (Config.DisabledPassMask &
+        (1u << static_cast<uint32_t>(D.Id)))
+      continue;
+    Pick = &D;
+    break;
+  }
+  if (!Pick) {
+    for (const PassDescriptor &D : Registry)
+      if (!(Config.DisabledPassMask &
+            (1u << static_cast<uint32_t>(D.Id)))) {
+        Pick = &D;
+        break;
+      }
+    if (!Pick)
+      Pick = &Registry[0];
+  }
+  const PassDescriptor &D = *Pick;
   PassInstance P;
   P.Id = D.Id;
   if (D.HasIntParam)

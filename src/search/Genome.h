@@ -45,6 +45,11 @@ struct GenomeConfig {
   double AggressiveProb = 0.65;
   /// Probability that mutation perturbs each gene.
   double GeneMutationProb = 0.05;
+  /// Bitmask over lir::PassId of arms the search must not draw — the
+  /// analysis layer's per-bottleneck pruning. Generation and mutation
+  /// rejection-sample around masked passes; 0 (the default) disables
+  /// nothing.
+  uint32_t DisabledPassMask = 0;
 };
 
 /// Uniformly random genome.

@@ -3,6 +3,9 @@
 #include "support/Trace.h"
 
 #include "support/Json.h"
+#include "support/Metrics.h"
+
+#include <algorithm>
 
 #include <chrono>
 #include <cstdio>
@@ -100,6 +103,37 @@ TraceRecorder &TraceRecorder::instance() {
 void TraceRecorder::clear() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Events.clear();
+  DroppedEvents = 0;
+}
+
+void TraceRecorder::setMaxEvents(size_t Cap) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MaxEvents = std::max<size_t>(Cap, 1);
+  while (Events.size() > MaxEvents) {
+    Events.pop_front();
+    ++DroppedEvents;
+    ROPT_METRIC_INC("trace.dropped_events");
+  }
+}
+
+size_t TraceRecorder::maxEvents() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return MaxEvents;
+}
+
+uint64_t TraceRecorder::droppedEvents() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return DroppedEvents;
+}
+
+void TraceRecorder::append(const TraceEvent &E) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Events.size() >= MaxEvents) {
+    Events.pop_front();
+    ++DroppedEvents;
+    ROPT_METRIC_INC("trace.dropped_events");
+  }
+  Events.push_back(E);
 }
 
 uint64_t TraceRecorder::nowUs() const {
@@ -119,8 +153,7 @@ void TraceRecorder::recordComplete(const char *Name, uint64_t StartUs,
   E.Value = Value;
   E.HasValue = HasValue;
   E.ThreadId = currentThreadId();
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Events.push_back(E);
+  append(E);
 }
 
 void TraceRecorder::recordCounter(const char *Name, int64_t Value) {
@@ -133,8 +166,7 @@ void TraceRecorder::recordCounter(const char *Name, int64_t Value) {
   E.Value = Value;
   E.HasValue = true;
   E.ThreadId = currentThreadId();
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Events.push_back(E);
+  append(E);
 }
 
 void TraceRecorder::recordInstant(const char *Name) {
@@ -145,8 +177,7 @@ void TraceRecorder::recordInstant(const char *Name) {
   E.Name = Name;
   E.StartUs = nowUs();
   E.ThreadId = currentThreadId();
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Events.push_back(E);
+  append(E);
 }
 
 void TraceRecorder::setCurrentThreadName(const std::string &Name) {
@@ -167,7 +198,7 @@ size_t TraceRecorder::eventCount() const {
 
 std::vector<TraceEvent> TraceRecorder::events() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Events;
+  return std::vector<TraceEvent>(Events.begin(), Events.end());
 }
 
 std::string TraceRecorder::toChromeJson() const {

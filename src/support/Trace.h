@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
@@ -62,8 +63,20 @@ public:
   void enable(bool On) { Enabled.store(On, std::memory_order_relaxed); }
   bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
 
-  /// Drops every recorded event (the epoch is unchanged).
+  /// Drops every recorded event (the epoch is unchanged); the dropped
+  /// counter resets with the buffer.
   void clear();
+
+  /// The in-memory buffer is bounded: past \p Cap events the oldest are
+  /// dropped first, so week-long fleet runs cannot grow without limit.
+  /// The default cap is one million events (~40 MB). A cap of 0 keeps
+  /// exactly one event (the cap is clamped to >= 1, not unlimited).
+  static constexpr size_t DefaultMaxEvents = 1000000;
+  void setMaxEvents(size_t Cap);
+  size_t maxEvents() const;
+  /// Events evicted oldest-first since the last clear(); also exported
+  /// as the `trace.dropped_events` metrics counter.
+  uint64_t droppedEvents() const;
 
   /// Microseconds since the recorder was constructed.
   uint64_t nowUs() const;
@@ -100,10 +113,15 @@ public:
 private:
   TraceRecorder();
 
+  /// Appends under the lock, evicting the oldest event past MaxEvents.
+  void append(const TraceEvent &E);
+
   std::atomic<bool> Enabled{false};
   uint64_t EpochNs = 0;
   mutable std::mutex Mutex;
-  std::vector<TraceEvent> Events;
+  std::deque<TraceEvent> Events;
+  size_t MaxEvents = DefaultMaxEvents;
+  uint64_t DroppedEvents = 0;
   std::map<uint32_t, std::string> ThreadNames;
 };
 

@@ -108,6 +108,7 @@ Value Runtime::execMachine(const MachineFunction &Fn,
           (static_cast<uint64_t>(Fn.Method) << 20) ^ Pc, Taken);
     if (!PredictedRight)
       charge(Costs.BranchMispredictPenalty);
+    noteBranch((static_cast<uint64_t>(Fn.Method) << 20) ^ Pc, Taken);
   };
 
   size_t Pc = 0;
@@ -370,6 +371,7 @@ Value Runtime::execMachine(const MachineFunction &Fn,
       const dex::ClassInfo &Cls = Dex.classAt(I.Idx);
       charge(Costs.AllocBaseCycles +
              Costs.AllocPerSlotCycles * Cls.InstanceSlots);
+      noteAlloc(Cls.InstanceSlots);
       Regs[I.A] = Value::fromRef(TheHeap.allocate(
           ObjKind::Object, Cls.Id, Cls.InstanceSlots, Trap));
       break;
@@ -382,6 +384,7 @@ Value Runtime::execMachine(const MachineFunction &Fn,
       }
       charge(Costs.AllocBaseCycles +
              Costs.AllocPerSlotCycles * static_cast<uint64_t>(Len));
+      noteAlloc(static_cast<uint64_t>(Len));
       Regs[I.A] = Value::fromRef(
           TheHeap.allocate(static_cast<ObjKind>(I.Idx), 0,
                            static_cast<uint64_t>(Len), Trap));

@@ -211,6 +211,9 @@ Value Runtime::interpret(const dex::Method &M,
       default: Taken = A >= B; break;
       }
       charge(Costs.BranchCycles);
+      // Same site key the executor feeds its predictor, so the profiled
+      // mispredict features line up with the cost model's behavior.
+      noteBranch((static_cast<uint64_t>(M.Id) << 20) ^ Pc, Taken);
       if (Taken) {
         NextPc = static_cast<size_t>(I.Target);
         // Loop back-edge: poll for GC, as ART's interpreter does.
@@ -269,6 +272,7 @@ Value Runtime::interpret(const dex::Method &M,
       const dex::ClassInfo &Cls = Dex.classAt(I.Idx);
       charge(Costs.AllocBaseCycles +
              Costs.AllocPerSlotCycles * Cls.InstanceSlots);
+      noteAlloc(Cls.InstanceSlots);
       Regs[I.A] = Value::fromRef(TheHeap.allocate(
           ObjKind::Object, Cls.Id, Cls.InstanceSlots, Trap));
       break;
@@ -286,6 +290,7 @@ Value Runtime::interpret(const dex::Method &M,
                                                  : ObjKind::ArrayR;
       charge(Costs.AllocBaseCycles +
              Costs.AllocPerSlotCycles * static_cast<uint64_t>(Len));
+      noteAlloc(static_cast<uint64_t>(Len));
       Regs[I.A] = Value::fromRef(
           TheHeap.allocate(Kind, 0, static_cast<uint64_t>(Len), Trap));
       break;

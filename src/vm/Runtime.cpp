@@ -22,6 +22,8 @@ Runtime::Runtime(os::AddressSpace &Space, const dex::DexFile &Dex,
     ResolvedNatives.push_back(Impl);
   }
   MethodCycles.assign(Dex.methods().size() + Dex.natives().size(), 0);
+  MethodFeatures.assign(Dex.methods().size() + Dex.natives().size(),
+                        MethodFeatureCounters());
 }
 
 void Runtime::mapStandardLayout(os::AddressSpace &Space,
@@ -79,14 +81,40 @@ void Runtime::charge(uint64_t Cycles) {
 
 void Runtime::chargeMemRead(uint64_t Addr) {
   uint64_t Cost = Costs.LoadCycles;
-  if (!DCache.access(Addr))
+  bool Hit = DCache.access(Addr);
+  if (!Hit)
     Cost += Costs.CacheMissPenalty;
+  if (Config.AttributeCycles && !AttributionStack.empty()) {
+    MethodFeatureCounters &F = MethodFeatures[AttributionStack.back()];
+    ++F.MemReads;
+    if (!Hit)
+      ++F.CacheMisses;
+  }
   charge(Cost);
 }
 
 void Runtime::chargeMemWrite(uint64_t Addr) {
   DCache.access(Addr); // stores install the line; latency is absorbed
+  if (Config.AttributeCycles && !AttributionStack.empty())
+    ++MethodFeatures[AttributionStack.back()].MemWrites;
   charge(Costs.StoreCycles);
+}
+
+void Runtime::noteBranch(uint64_t Site, bool Taken) {
+  if (!Config.AttributeCycles || AttributionStack.empty())
+    return;
+  MethodFeatureCounters &F = MethodFeatures[AttributionStack.back()];
+  ++F.Branches;
+  if (!FeaturePredictor.predictAndUpdate(Site, Taken))
+    ++F.Mispredicts;
+}
+
+void Runtime::noteAlloc(uint64_t Slots) {
+  if (!Config.AttributeCycles || AttributionStack.empty())
+    return;
+  MethodFeatureCounters &F = MethodFeatures[AttributionStack.back()];
+  ++F.Allocs;
+  F.AllocSlots += Slots;
 }
 
 bool Runtime::memLoad(uint64_t Addr, uint64_t &Out) {
@@ -111,6 +139,8 @@ bool Runtime::memStore(uint64_t Addr, uint64_t ValueBits) {
 bool Runtime::consumeInsn() {
   ++CallInsns;
   ++TotalInsns;
+  if (Config.AttributeCycles && !AttributionStack.empty())
+    ++MethodFeatures[AttributionStack.back()].Insns;
   if (CallInsns > Config.InsnBudget) {
     Trap = TrapKind::Timeout;
     return false;
@@ -132,6 +162,16 @@ Value Runtime::callNative(dex::NativeId Id,
   // attributed to the native itself (profile slots after the method table)
   // so the code-breakdown's JNI category sees it.
   charge(Costs.NativeCallCycles);
+  if (Config.AttributeCycles && !AttributionStack.empty()) {
+    // Feature attribution goes to the nearest managed caller beneath the
+    // native wrapper (the wrapper itself sits outside every compilable
+    // region, so the region's JNI share would otherwise be invisible).
+    dex::MethodId Caller = AttributionStack.size() >= 2
+                               ? AttributionStack[AttributionStack.size() - 2]
+                               : AttributionStack.back();
+    MethodFeatures[Caller].NativeCycles +=
+        Costs.NativeCallCycles + Impl->WorkCycles;
+  }
   if (Config.AttributeCycles)
     AttributionStack.push_back(
         static_cast<dex::MethodId>(Dex.methods().size() + Id));
@@ -220,6 +260,9 @@ CallResult Runtime::call(dex::MethodId Method,
 
 void Runtime::resetProfile() {
   MethodCycles.assign(Dex.methods().size() + Dex.natives().size(), 0);
+  MethodFeatures.assign(Dex.methods().size() + Dex.natives().size(),
+                        MethodFeatureCounters());
+  FeaturePredictor.reset();
 }
 
 Value Runtime::readStatic(dex::StaticFieldId Id) {

@@ -48,6 +48,25 @@ public:
   virtual void onCellWrite(uint64_t Addr) { (void)Addr; }
 };
 
+/// Per-method microarchitectural event counts, filled alongside the
+/// exclusive-cycle profile (only when AttributeCycles is on) and indexed
+/// like Runtime::methodCycles(). The analysis layer's bottleneck
+/// classifier consumes these; measurement runs never touch them, and the
+/// counting-only branch-predictor consult uses a dedicated predictor so
+/// profiling cannot perturb the cost model's state.
+struct MethodFeatureCounters {
+  uint64_t Insns = 0;
+  uint64_t Branches = 0;      ///< Conditional branches executed.
+  uint64_t Mispredicts = 0;   ///< Counting-only 2-bit-predictor misses.
+  uint64_t MemReads = 0;
+  uint64_t MemWrites = 0;
+  uint64_t CacheMisses = 0;   ///< L1D-model misses on the read side.
+  uint64_t Allocs = 0;
+  uint64_t AllocSlots = 0;
+  uint64_t NativeCycles = 0;  ///< JNI transition + body, charged to the
+                              ///< nearest managed caller.
+};
+
 /// Runtime configuration.
 struct RuntimeConfig {
   uint64_t InsnBudget = 50000000; ///< Per top-level call; Timeout beyond.
@@ -138,6 +157,11 @@ public:
   /// Entries past the method table — [methods().size(),
   /// methods().size() + natives().size()) — attribute native (JNI) work.
   const std::vector<uint64_t> &methodCycles() const { return MethodCycles; }
+  /// Per-method feature counts, same indexing as methodCycles() (only
+  /// filled when AttributeCycles).
+  const std::vector<MethodFeatureCounters> &methodFeatures() const {
+    return MethodFeatures;
+  }
   void resetProfile();
 
   /// Static field cell address.
@@ -159,6 +183,10 @@ private:
   Value callNative(dex::NativeId Id, const std::vector<Value> &Args);
   Value invoke(dex::MethodId Method, const std::vector<Value> &Args);
   void safepoint();
+  /// Feature counting (profiling only, no cycle charge): a conditional
+  /// branch at \p Site that went \p Taken, and an allocation of \p Slots.
+  void noteBranch(uint64_t Site, bool Taken);
+  void noteAlloc(uint64_t Slots);
 
   // --- Interpreter (Interpreter.cpp) ---------------------------------------
   Value interpret(const dex::Method &M, const std::vector<Value> &Args);
@@ -205,7 +233,9 @@ private:
 
   // Profiling.
   std::vector<uint64_t> MethodCycles;
+  std::vector<MethodFeatureCounters> MethodFeatures;
   std::vector<dex::MethodId> AttributionStack;
+  BranchPredictor FeaturePredictor; ///< Counting-only, never charges.
 };
 
 } // namespace vm

@@ -255,6 +255,31 @@ TEST(Trace, SpanArgumentAndCounterValueSurvive) {
   EXPECT_EQ(Events[1].Value, 1234);
 }
 
+TEST(Trace, BoundedBufferEvictsOldestFirst) {
+  TraceSession Session;
+  TraceRecorder &T = TraceRecorder::instance();
+  T.setMaxEvents(10);
+  EXPECT_EQ(T.maxEvents(), 10u);
+  for (int I = 0; I != 25; ++I)
+    T.recordCounter("test.bounded", I);
+  EXPECT_EQ(T.eventCount(), 10u);
+  EXPECT_EQ(T.droppedEvents(), 15u);
+  // The survivors are the newest 10, in recording order.
+  std::vector<TraceEvent> Events = T.events();
+  ASSERT_EQ(Events.size(), 10u);
+  for (size_t I = 0; I != Events.size(); ++I)
+    EXPECT_EQ(Events[I].Value, static_cast<int64_t>(15 + I));
+  // Shrinking the cap below the current size evicts immediately; the
+  // dropped counter keeps accumulating until clear().
+  T.setMaxEvents(4);
+  EXPECT_EQ(T.eventCount(), 4u);
+  EXPECT_EQ(T.droppedEvents(), 21u);
+  EXPECT_EQ(T.events().back().Value, 24);
+  T.clear();
+  EXPECT_EQ(T.droppedEvents(), 0u);
+  T.setMaxEvents(TraceRecorder::DefaultMaxEvents);
+}
+
 TEST(Trace, ThreadSafetyUnderConcurrentRecording) {
   TraceSession Session;
   constexpr int Threads = 8, PerThread = 500;

@@ -8,6 +8,11 @@
 //   ropt-report diff A B [--threshold F]     regression gate (exit 1 on
 //                                            fitness regressions)
 //   ropt-report validate DIR                 structural artifact checks
+//   ropt-report analyze DIR [--baseline OLD] observability-loop view:
+//                                            region DAG, critical path,
+//                                            bottleneck labels + budget
+//                                            shares; flags label changes
+//                                            against a baseline run
 //
 // Exit codes: 0 clean, 1 regressions/validation problems, 2 usage or
 // unreadable run directory.
@@ -29,8 +34,9 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s summarize DIR [--markdown]\n"
                "       %s diff BASELINE_DIR NEW_DIR [--threshold FRACTION]\n"
-               "       %s validate DIR\n",
-               Argv0, Argv0, Argv0);
+               "       %s validate DIR\n"
+               "       %s analyze DIR [--baseline OLD_DIR]\n",
+               Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -106,6 +112,28 @@ int runValidate(int Argc, char **Argv) {
   return 1;
 }
 
+int runAnalyze(int Argc, char **Argv) {
+  std::string Dir, BaselineDir;
+  for (int I = 2; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--baseline") && I + 1 < Argc)
+      BaselineDir = Argv[++I];
+    else if (Argv[I][0] != '-' && Dir.empty())
+      Dir = Argv[I];
+    else
+      return usage(Argv[0]);
+  }
+  if (Dir.empty())
+    return usage(Argv[0]);
+  report::LoadedRun Run = loadOrExit(Dir);
+  if (BaselineDir.empty()) {
+    std::fputs(report::analyzeRun(Run).c_str(), stdout);
+    return 0;
+  }
+  report::LoadedRun Baseline = loadOrExit(BaselineDir);
+  std::fputs(report::analyzeRun(Run, &Baseline).c_str(), stdout);
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -117,5 +145,7 @@ int main(int Argc, char **Argv) {
     return runDiff(Argc, Argv);
   if (!std::strcmp(Argv[1], "validate"))
     return runValidate(Argc, Argv);
+  if (!std::strcmp(Argv[1], "analyze"))
+    return runAnalyze(Argc, Argv);
   return usage(Argv[0]);
 }
