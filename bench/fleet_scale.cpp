@@ -1,18 +1,30 @@
 //===- bench/fleet_scale.cpp - Crowd-sourced search population sweep ------===//
 //
-// The fleet layer's headline experiment (DESIGN.md §12): run the same
-// per-device search budget over populations of 1, 4 and 16 simulated
-// devices and watch crowd-sourcing pay — a larger fleet explores more of
-// the pass-pipeline space per round, the server's leaderboard pools the
-// discoveries, and every device warm-starts its next round from the
-// fleet's verified best. The sweep runs over a lossy SimTransport on
-// purpose: retry masks the loss, so the results column is identical to a
-// perfect network and only the transport counters grow.
+// The fleet layer's headline experiment (DESIGN.md §12, §14): run the
+// same per-device search budget over growing device populations and
+// watch crowd-sourcing pay — a larger fleet explores more of the
+// pass-pipeline space, the server's leaderboard pools the discoveries,
+// and every device warm-starts its next step from the fleet's verified
+// best. Since the event-loop redesign the sweep runs on virtual time:
+// devices finish steps asynchronously, reports and hints travel with
+// real in-flight latency over a lossy SimTransport, and loss genuinely
+// costs virtual time (a dropped hint response deterministically misses
+// the step it would have seeded). Results are still bit-identical across
+// --jobs and reruns at the same seed.
+//
+// At four-digit populations (--devices 1000,10000) the harness switches
+// to install-base budgets — each device contributes a sliver of search
+// and shares a device-class pipeline state — so per-device wall-clock
+// *falls* as the population grows: the sublinear-scaling acceptance
+// check reads the ms/dev column.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "fleet/Coordinator.h"
+
+#include <algorithm>
+#include <chrono>
 
 using namespace ropt;
 using namespace ropt::bench;
@@ -21,7 +33,7 @@ int main(int Argc, char **Argv) {
   Options Opt = parseArgs(Argc, Argv);
   core::PipelineConfig BaseConfig = pipelineConfig(Opt);
   if (!Opt.Fast) {
-    // Per-round search depth; the fleet rounds multiply it back up.
+    // Per-step search depth; the fleet steps multiply it back up.
     BaseConfig.Search.GA.Generations = 6;
     BaseConfig.Search.GA.PopulationSize = 16;
     BaseConfig.Search.GA.HillClimbRounds = 1;
@@ -30,9 +42,10 @@ int main(int Argc, char **Argv) {
   ReportScope Report(Opt, "fleet_scale", BaseConfig);
 
   printHeader("Fleet scale: crowd-sourced search vs population size "
-              "(DESIGN.md §12)",
+              "(DESIGN.md §12, §14)",
               "best fleet speedup grows (or holds) with device count at "
-              "the same per-device budget; unsound hints quarantined");
+              "the same per-device budget; per-device wall-clock falls "
+              "at install-base scale; unsound hints quarantined");
 
   std::vector<int> Sweep = Opt.Devices;
   if (Sweep.empty())
@@ -50,19 +63,22 @@ int main(int Argc, char **Argv) {
     Apps = Filtered;
   }
 
-  // A deliberately-degraded network; results must not care.
-  fleet::TransportOptions NetOpt;
-  NetOpt.DropProb = 0.15;
-  NetOpt.ReorderProb = 0.10;
+  // The paper-default lossy network; loss costs virtual time and can
+  // reorder which hints seed which step, but seeded runs stay
+  // bit-identical across --jobs and reruns.
+  const fleet::FleetOptions Defaults = fleet::FleetOptions::paperDefaults();
 
   CsvSink Csv(Opt, "fleet_scale.csv",
               "app,devices,rounds,best_speedup,best_device,best_from_hint,"
               "hints_published,hints_adopted,hints_rejected,"
-              "transport_attempts,transport_drops,evaluations");
+              "transport_attempts,transport_drops,deliveries_failed,"
+              "reorders_effective,evaluations,devices_left,devices_joined,"
+              "virtual_time,wall_ms,wall_ms_per_device");
 
-  std::printf("%-10s %7s | %9s %6s %9s | %6s %6s %6s | %8s %6s\n", "app",
-              "devices", "speedup", "dev", "from-hint", "pub", "adopt",
-              "reject", "attempts", "drops");
+  std::printf("%-10s %7s | %8s %5s %4s | %5s %5s %5s | %7s %6s | %4s %4s "
+              "| %8s %8s\n",
+              "app", "devices", "speedup", "dev", "hint", "pub", "adopt",
+              "rej", "attempt", "drop", "left", "join", "vtime", "ms/dev");
 
   report::FleetSummary Summary;
   {
@@ -73,24 +89,68 @@ int main(int Argc, char **Argv) {
   }
   Summary.Rounds = Rounds;
   Summary.TopK = fleet::ServerOptions{}.TopK;
-  Summary.DropProb = NetOpt.DropProb;
-  Summary.ReorderProb = NetOpt.ReorderProb;
+  Summary.DropProb = Defaults.Net.DropProb;
+  Summary.ReorderProb = Defaults.Net.ReorderProb;
 
   bool AnyFailed = false;
   for (const std::string &App : Apps) {
     for (int N : Sweep) {
-      fleet::FleetConfig FC;
-      FC.Devices = N;
-      FC.Rounds = Rounds;
-      FC.Jobs = Opt.Jobs;
-      FC.Seed = Opt.Seed;
+      fleet::FleetOptions FO = fleet::FleetOptions::paperDefaults();
+      FO.Devices = N;
+      FO.Rounds = Rounds;
+      FO.Jobs = Opt.Jobs;
+      FO.Seed = Opt.Seed;
+      // Device classes make four-digit populations tractable: class
+      // members share one pipeline state and memoized engine, so
+      // evaluations dedup across the crowd. Small sweeps keep the
+      // historical one-class-per-device behavior.
+      FO.ProfileClasses = Opt.Classes >= 0 ? Opt.Classes
+                                           : (N >= 100 ? 24 : 0);
+
+      core::PipelineConfig Cfg = BaseConfig;
+      if (N >= 500) {
+        // Install-base budgets: each device runs a sliver of search per
+        // step; the population supplies the volume.
+        Cfg.Search.GA.Generations = 1;
+        Cfg.Search.GA.PopulationSize = 4;
+        Cfg.Search.GA.HillClimbRounds = 0;
+        Cfg.Search.MaxReplaysPerEvaluation = 3;
+      }
+
+      fleet::ServerOptions SrvOpt;
+      if (Opt.ChurnPercent > 0) {
+        double F = Opt.ChurnPercent / 100.0;
+        FO.Population.LeaveFraction = F;
+        FO.Population.JoinFraction = F;
+        // Size the churn horizon to the run's expected virtual length so
+        // leaves actually land mid-run: steps cost roughly Base plus a
+        // cache miss per fresh evaluation.
+        int EvalsPerStep =
+            Cfg.Search.GA.PopulationSize *
+                std::max(1, Cfg.Search.GA.Generations) +
+            8;
+        FO.Population.HorizonTicks =
+            static_cast<fleet::VirtualTime>(Rounds) *
+            (FO.Costs.BaseTicks +
+             FO.Costs.MissTicks * static_cast<uint64_t>(EvalsPerStep) +
+             FO.IdleTicks);
+        // With members coming and going, leaderboard entries nobody
+        // re-confirms within a device lifetime age out.
+        SrvOpt.TtlTicks = FO.Population.HorizonTicks;
+      }
 
       // Fresh server and transport per cell: every sweep point is an
       // independent population, not a continuation.
-      fleet::Server Srv;
-      fleet::SimTransport Net(NetOpt, Opt.Seed);
-      fleet::Coordinator Co(FC, BaseConfig);
+      fleet::Server Srv(SrvOpt);
+      fleet::SimTransport Net(FO.Net, Opt.Seed);
+      fleet::Coordinator Co(FO, Cfg);
+      std::chrono::steady_clock::time_point T0 =
+          std::chrono::steady_clock::now();
       fleet::FleetResult R = Co.run(App, Srv, Net, Report.report());
+      double WallMs = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - T0)
+                          .count();
+      double MsPerDevice = WallMs / static_cast<double>(std::max(1, R.Devices));
 
       if (!R.Succeeded) {
         std::printf("%-10s %7d | fleet failed (%s)\n", App.c_str(), N,
@@ -99,15 +159,18 @@ int main(int Argc, char **Argv) {
         continue;
       }
 
-      std::printf("%-10s %7d | %8.3fx %6d %9s | %6llu %6llu %6llu | %8llu "
-                  "%6llu\n",
+      std::printf("%-10s %7d | %7.3fx %5d %4s | %5llu %5llu %5llu | "
+                  "%7llu %6llu | %4d %4d | %8llu %8.2f\n",
                   App.c_str(), N, R.BestSpeedup, R.BestDevice,
                   R.BestFromHint ? "yes" : "no",
                   static_cast<unsigned long long>(R.HintsPublished),
                   static_cast<unsigned long long>(R.HintsAdopted),
                   static_cast<unsigned long long>(R.HintsRejected),
-                  static_cast<unsigned long long>(R.TransportAttempts),
-                  static_cast<unsigned long long>(R.TransportDrops));
+                  static_cast<unsigned long long>(R.Transport.Attempts),
+                  static_cast<unsigned long long>(R.Transport.Drops),
+                  R.DevicesLeft, R.DevicesJoined,
+                  static_cast<unsigned long long>(R.VirtualDuration),
+                  MsPerDevice);
       Csv.row(App + "," + std::to_string(N) + "," + std::to_string(Rounds) +
               "," + std::to_string(R.BestSpeedup) + "," +
               std::to_string(R.BestDevice) + "," +
@@ -115,16 +178,20 @@ int main(int Argc, char **Argv) {
               std::to_string(R.HintsPublished) + "," +
               std::to_string(R.HintsAdopted) + "," +
               std::to_string(R.HintsRejected) + "," +
-              std::to_string(R.TransportAttempts) + "," +
-              std::to_string(R.TransportDrops) + "," +
-              std::to_string(R.Counters.total()));
+              std::to_string(R.Transport.Attempts) + "," +
+              std::to_string(R.Transport.Drops) + "," +
+              std::to_string(R.Transport.Failed) + "," +
+              std::to_string(R.Transport.ReordersEffective) + "," +
+              std::to_string(R.Counters.total()) + "," +
+              std::to_string(R.DevicesLeft) + "," +
+              std::to_string(R.DevicesJoined) + "," +
+              std::to_string(R.VirtualDuration) + "," +
+              std::to_string(WallMs) + "," + std::to_string(MsPerDevice));
 
       Summary.HintsPublished += R.HintsPublished;
       Summary.HintsAdopted += R.HintsAdopted;
       Summary.HintsRejected += R.HintsRejected;
-      Summary.TransportAttempts += R.TransportAttempts;
-      Summary.TransportDrops += R.TransportDrops;
-      Summary.DeliveriesFailed += R.DeliveriesFailed;
+      Summary.Transport += R.Transport;
       if (R.BestSpeedup > Summary.BestSpeedup)
         Summary.BestSpeedup = R.BestSpeedup;
     }
@@ -132,10 +199,14 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("(speedups are vs each device's own Android baseline; the "
-              "transport dropped %llu of %llu attempts and changed "
-              "nothing but these counters)\n",
-              static_cast<unsigned long long>(Summary.TransportDrops),
-              static_cast<unsigned long long>(Summary.TransportAttempts));
+              "transport dropped %llu of %llu attempts — %llu deliveries "
+              "never landed and %llu reorders changed which hints seeded "
+              "a step, all deterministically at this seed)\n",
+              static_cast<unsigned long long>(Summary.Transport.Drops),
+              static_cast<unsigned long long>(Summary.Transport.Attempts),
+              static_cast<unsigned long long>(Summary.Transport.Failed),
+              static_cast<unsigned long long>(
+                  Summary.Transport.ReordersEffective));
 
   if (Report.report())
     Report.report()->setFleetSummary(Summary);

@@ -1,4 +1,4 @@
-//===- fleet/Coordinator.cpp - Deterministic fleet rounds -----------------===//
+//===- fleet/Coordinator.cpp - Event-driven fleet simulation --------------===//
 
 #include "fleet/Coordinator.h"
 
@@ -9,20 +9,34 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 
 using namespace ropt;
 using namespace ropt::fleet;
 
+FleetOptions FleetOptions::paperDefaults() {
+  FleetOptions O;
+  // The deployment-realistic mobile network of the paper's install-base
+  // model: noticeable loss and reordering over a few ticks of latency.
+  O.Net.DropProb = 0.15;
+  O.Net.ReorderProb = 0.10;
+  return O;
+}
+
 std::string FleetResult::digest() const {
   std::string D = format(
-      "app=%s devices=%d rounds=%d best=%.17g@%d genome=%s fromhint=%d\n",
-      AppName.c_str(), Devices, Rounds, BestSpeedup, BestDevice,
-      BestGenome.c_str(), BestFromHint ? 1 : 0);
-  for (const FleetRoundLog &L : Log) {
+      "app=%s devices=%d rounds=%d vtime=%llu best=%.17g@%d genome=%s "
+      "fromhint=%d\n",
+      AppName.c_str(), Devices, Rounds,
+      static_cast<unsigned long long>(VirtualDuration), BestSpeedup,
+      BestDevice, BestGenome.c_str(), BestFromHint ? 1 : 0);
+  for (const FleetStepLog &L : Log) {
     const DeviceRound &O = L.Outcome;
-    D += format("r%d d%d best=%.17g src=%s fromhint=%d genome=%s recv=%d "
-                "adopt=%d rej=%d evals=%d\n",
-                L.Round, L.Device, O.BestSpeedup,
+    D += format("t=%llu s%d d%d drop=%d best=%.17g src=%s fromhint=%d "
+                "genome=%s recv=%d adopt=%d rej=%d evals=%d\n",
+                static_cast<unsigned long long>(L.Time), L.Step, L.Device,
+                L.Dropped ? 1 : 0, O.BestSpeedup,
                 search::genomeSourceName(O.BestSource),
                 O.BestFromHint ? 1 : 0, O.BestGenome.c_str(),
                 O.HintsReceived, O.HintsAdopted, O.HintsRejected,
@@ -32,159 +46,319 @@ std::string FleetResult::digest() const {
                   Rej.Verdict.c_str());
   }
   for (const Server::LeaderEntry &E : Leaderboard)
-    D += format("lb %s speedup=%.17g reports=%d devices=%d q=%d "
+    D += format("lb %s speedup=%.17g reports=%d devices=%d q=%d exp=%d "
                 "verdict=%s hash=%016llx size=%llu\n",
                 E.Key.c_str(), E.Speedup, E.Reports,
                 static_cast<int>(E.Devices.size()), E.Quarantined ? 1 : 0,
-                E.RejectVerdict.c_str(),
+                E.Expired ? 1 : 0, E.RejectVerdict.c_str(),
                 static_cast<unsigned long long>(E.BinaryHash),
                 static_cast<unsigned long long>(E.CodeSize));
   return D;
 }
+
+namespace {
+
+/// Per-device actor state the event handlers thread through the loop.
+/// Everything here is mutated only from commits or from the device's own
+/// (lane-serialized) step computes, so no locking is needed.
+struct DeviceState {
+  std::unique_ptr<Device> Dev;
+  DeviceProfile Prof;
+  int StepsDone = 0;
+  bool Left = false;          ///< Died at a step past LeaveTick.
+  VirtualTime LeaveTick = 0;  ///< 0 = never leaves.
+  bool Joiner = false;
+  /// Hints delivered since the device last started a step; the next
+  /// step's compute drains it.
+  std::vector<Hint> Mailbox;
+  /// The in-flight step: written by the StepExec compute, consumed by
+  /// the StepDone commit.
+  StepResult Pending;
+  /// Effective-reorder detection on the hint channel: hint pushes to
+  /// this device get monotone send sequences; an arrival below the max
+  /// already-arrived sequence was genuinely overtaken.
+  uint64_t NextHintSendSeq = 0;
+  uint64_t MaxArrivedHintSeq = 0;
+  bool AnyHintArrived = false;
+  /// Start tick of the device's most recently scheduled step — the
+  /// boundary a reordered hint can miss.
+  VirtualTime NextStepAt = 0;
+  /// The newest step report that actually reached the server — the
+  /// fleet best is a max over *delivered* reports, so a device whose
+  /// last words were lost contributes its previous delivered state.
+  DeviceRound LastMerged;
+  int LastMergedStep = -1;
+};
+
+} // namespace
 
 FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
                              Transport &Net, report::RunReport *Report) {
   ROPT_TRACE_SPAN("fleet.run");
   FleetResult Out;
   Out.AppName = AppName;
-  int N = std::max(1, Config.Devices);
-  Out.Devices = N;
-  Out.Rounds = std::max(0, Config.Rounds);
+  int N = std::max(1, Opt.Devices);
+  int Steps = std::max(0, Opt.Rounds);
+  Out.Rounds = Steps;
 
-  std::vector<std::unique_ptr<Device>> Devices;
-  Devices.reserve(static_cast<size_t>(N));
-  for (int I = 0; I != N; ++I)
-    Devices.push_back(std::make_unique<Device>(
+  int JoinCount = static_cast<int>(
+      Opt.Population.JoinFraction * static_cast<double>(N));
+  int Total = N + JoinCount;
+  Out.Devices = Total;
+  Out.DevicesJoined = JoinCount;
+  int Classes = Opt.ProfileClasses <= 0 ? Total
+                                        : std::min(Opt.ProfileClasses, Total);
+
+  // --- Build the class pipelines and the device actors on top of them.
+  std::vector<std::shared_ptr<DeviceClassState>> Class(
+      static_cast<size_t>(Classes));
+  for (int C = 0; C != Classes; ++C)
+    Class[static_cast<size_t>(C)] = std::make_shared<DeviceClassState>(
         AppName, Base,
-        DeviceProfile::derive(Config.Seed, I, Config.CostJitter,
-                              Config.NoiseJitter, Config.SessionSpread)));
+        DeviceProfile::derive(Opt.Seed, C, Opt.CostJitter, Opt.NoiseJitter,
+                              Opt.SessionSpread));
 
-  ThreadPool Pool(static_cast<size_t>(std::max(0, Config.Jobs)));
+  std::vector<DeviceState> States(static_cast<size_t>(Total));
+  for (int I = 0; I != Total; ++I) {
+    DeviceState &DS = States[static_cast<size_t>(I)];
+    DS.Prof = DeviceProfile::deriveClassed(Opt.Seed, I, Opt.ProfileClasses,
+                                           Opt.CostJitter, Opt.NoiseJitter,
+                                           Opt.SessionSpread);
+    DS.Dev = std::make_unique<Device>(
+        Class[static_cast<size_t>(DS.Prof.ClassId % Classes)], DS.Prof,
+        Opt.Costs);
+    DS.Joiner = I >= N;
+  }
 
-  // Device setup (profile + capture + baselines) is embarrassingly
-  // parallel: devices share nothing, not even the dex file.
+  ThreadPool Pool(static_cast<size_t>(std::max(0, Opt.Jobs)));
+
+  // Class setup (profile + capture + baselines) is embarrassingly
+  // parallel: classes share nothing, not even the dex file.
   {
     ROPT_TRACE_SPAN("fleet.setup");
-    std::vector<char> SetupOk(static_cast<size_t>(N), 0);
-    Pool.parallelFor(static_cast<size_t>(N), [&](size_t I, size_t) {
-      SetupOk[I] = Devices[I]->setup() ? 1 : 0;
+    std::vector<char> SetupOk(static_cast<size_t>(Classes), 0);
+    Pool.parallelFor(static_cast<size_t>(Classes), [&](size_t I, size_t) {
+      SetupOk[I] = Class[I]->setup() ? 1 : 0;
     });
-    for (int I = 0; I != N; ++I)
-      if (!SetupOk[static_cast<size_t>(I)]) {
+    for (int C = 0; C != Classes; ++C)
+      if (!SetupOk[static_cast<size_t>(C)]) {
         Out.FailureReason = format(
-            "device %d: %s", I,
-            Devices[static_cast<size_t>(I)]->failureReason().c_str());
+            "class %d: %s", C,
+            Class[static_cast<size_t>(C)]->failureReason().c_str());
         return Out;
       }
   }
 
   uint64_t AppId = appKey(AppName);
-  std::vector<DeviceRound> FinalRound(static_cast<size_t>(N));
-  auto AddSend = [&Out](const SendOutcome &S) {
-    Out.TransportAttempts += static_cast<uint64_t>(S.Attempts);
-    Out.TransportDrops += S.Drops;
-    Out.TransportTicks += S.Ticks;
+  EventLoop Loop(Pool);
+  VirtualTime Idle = std::max<VirtualTime>(1, Opt.IdleTicks);
+  VirtualTime Grid = std::max<VirtualTime>(1, Opt.StepGridTicks);
+
+  // --- Event handlers. Scheduling only happens from serial contexts
+  // (here before run(), and inside commits), so Seq assignment — and the
+  // whole simulation — is deterministic at any --jobs.
+  std::function<void(EventLoop &, int, VirtualTime)> StartStep;
+
+  // HintArrive: the server's hint push lands in the device mailbox. A
+  // reorder was *effective* when it changed which hints seed which
+  // search: either this push was overtaken by a later one (arrives below
+  // the max already-landed send sequence), or its reorder delay carried
+  // it past the step start it would otherwise have seeded.
+  auto HintArrive = [&](int Id, uint64_t SendSeq, uint64_t ReorderTicks,
+                        std::vector<Hint> Hints) {
+    return [&, Id, SendSeq, ReorderTicks,
+            Hints = std::move(Hints)](EventLoop &L) mutable {
+      DeviceState &DS = States[static_cast<size_t>(Id)];
+      VirtualTime T = L.now();
+      bool Effective = DS.AnyHintArrived && SendSeq < DS.MaxArrivedHintSeq;
+      if (!Effective && ReorderTicks > 0 && DS.NextStepAt != 0 &&
+          T > DS.NextStepAt && T - ReorderTicks <= DS.NextStepAt)
+        Effective = true;
+      if (Effective) {
+        ++Out.Transport.ReordersEffective;
+        ROPT_METRIC_INC("fleet.reorders_effective");
+      }
+      DS.MaxArrivedHintSeq = std::max(DS.MaxArrivedHintSeq, SendSeq);
+      DS.AnyHintArrived = true;
+      if (DS.Left)
+        return; // Dead phones receive nothing.
+      for (Hint &H : Hints)
+        DS.Mailbox.push_back(std::move(H));
+    };
   };
 
-  for (int R = 0; R != Out.Rounds; ++R) {
-    ROPT_TRACE_SPAN_V("fleet.round", R);
-    ROPT_METRIC_INC("fleet.rounds");
+  // ReportArrive: merge at the server, then push the hint set as it
+  // stands *at arrival time* back toward the device.
+  auto ReportArrive = [&](int Id, int StepIdx, DeviceRound DR) {
+    return [&, Id, StepIdx, DR = std::move(DR)](EventLoop &L) mutable {
+      VirtualTime T = L.now();
+      Srv.merge(AppName, DR.Report, T);
+      DeviceState &DS = States[static_cast<size_t>(Id)];
+      if (StepIdx > DS.LastMergedStep) {
+        DS.LastMergedStep = StepIdx;
+        DS.LastMerged = std::move(DR);
+      }
+      if (DS.Left)
+        return;
+      std::vector<Hint> Hints = Srv.hints(AppName, T);
+      if (Hints.empty())
+        return;
+      MessageKey Key{AppId, Channel::Hints, StepIdx, Id, 0};
+      SendOutcome S = planDelivery(Net, Key, Opt.Retry);
+      Out.Transport.count(S);
+      if (!S.Delivered)
+        return;
+      Out.HintsPublished += Hints.size();
+      uint64_t SendSeq = DS.NextHintSendSeq++;
+      L.schedule(T + S.DelayTicks, -1, nullptr,
+                 HintArrive(Id, SendSeq, S.Reordered ? S.ReorderTicks : 0,
+                            std::move(Hints)));
+    };
+  };
 
-    // 1. Serial: snapshot the hint set and deliver it per device. A
-    // failed delivery (retry cap exhausted — essentially impossible at
-    // sane drop rates) means that device searches cold this round.
-    std::vector<Hint> Hints = Srv.hints(AppName);
-    std::vector<std::vector<Hint>> Served(static_cast<size_t>(N));
-    std::vector<SendOutcome> HintSends(static_cast<size_t>(N));
-    for (int I = 0; I != N; ++I) {
-      MessageKey Key{AppId, Channel::Hints, R, I, 0};
-      SendOutcome &S = HintSends[static_cast<size_t>(I)];
-      S = sendWithRetry(Net, Key, Config.Retry);
+  // StepDone: log the completed step, apply churn, send the report.
+  auto FinishStep = [&](EventLoop &L, int Id) {
+    DeviceState &DS = States[static_cast<size_t>(Id)];
+    VirtualTime T = L.now();
+    int StepIdx = DS.StepsDone++;
+    DeviceRound DR = std::move(DS.Pending.Round);
+
+    FleetStepLog Cell;
+    Cell.Time = T;
+    Cell.Step = StepIdx;
+    Cell.Device = Id;
+    Out.HintsAdopted += static_cast<uint64_t>(DR.HintsAdopted);
+    Out.HintsRejected += static_cast<uint64_t>(DR.HintsRejected);
+
+    // Churn: a device past its leave tick died while the step ran. The
+    // step's results leave with it — nothing is reported, and no further
+    // steps are scheduled.
+    if (DS.LeaveTick != 0 && T >= DS.LeaveTick) {
+      DS.Left = true;
+      ++Out.DevicesLeft;
+      ROPT_METRIC_INC("fleet.devices_left");
+      Cell.Dropped = true;
+    } else {
+      MessageKey Key{AppId, Channel::Report, StepIdx, Id, 0};
+      SendOutcome S = planDelivery(Net, Key, Opt.Retry);
+      Out.Transport.count(S);
+      Cell.ReportDelivery = S;
       if (S.Delivered)
-        Served[static_cast<size_t>(I)] = Hints;
-      else
-        ++Out.DeliveriesFailed;
-      Out.HintsPublished += Served[static_cast<size_t>(I)].size();
+        L.schedule(T + S.DelayTicks, -1, nullptr,
+                   ReportArrive(Id, StepIdx, DR));
+      // A lost report costs its retry time, not the device's life: the
+      // next step happens regardless (its report re-carries the best).
+      if (DS.StepsDone < Steps)
+        StartStep(L, Id, T + Idle);
     }
 
-    // 2. Parallel: the device rounds. Each device is self-contained and
-    // writes only its own slot, so scheduling cannot leak into results.
-    std::vector<DeviceRound> Rounds(static_cast<size_t>(N));
-    Pool.parallelFor(static_cast<size_t>(N), [&](size_t I, size_t) {
-      Rounds[I] = Devices[I]->runRound(R, Served[I]);
-    });
+    if (Report) {
+      report::FleetRoundRecord Rec;
+      Rec.App = AppName;
+      Rec.FleetDevices = Total;
+      Rec.Round = StepIdx;
+      Rec.Device = Id;
+      Rec.VirtualTime = T;
+      Rec.BestSpeedup = DR.BestSpeedup;
+      Rec.BestGenome = DR.BestGenome;
+      Rec.BestSource = search::genomeSourceName(DR.BestSource);
+      Rec.BestFromHint = DR.BestFromHint;
+      Rec.HintsReceived = DR.HintsReceived;
+      Rec.HintsAdopted = DR.HintsAdopted;
+      Rec.HintsRejected = DR.HintsRejected;
+      Rec.Evaluations = DR.Evaluations;
+      Rec.TransportAttempts = Cell.ReportDelivery.Attempts;
+      Rec.TransportDrops = Cell.ReportDelivery.Drops;
+      Rec.TransportTicks = Cell.ReportDelivery.DelayTicks;
+      Rec.Delivered = Cell.ReportDelivery.Delivered;
+      Report->onFleetRound(Rec);
+    }
 
-    // 3. Serial, in device-id order: deliver reports and commit merges.
-    // This is the fleet-scale §9 contract — leaderboard state never
-    // depends on which device's thread finished first.
-    for (int I = 0; I != N; ++I) {
-      DeviceRound &DR = Rounds[static_cast<size_t>(I)];
-      MessageKey Key{AppId, Channel::Report, R, I, 0};
-      SendOutcome S = sendWithRetry(Net, Key, Config.Retry);
-      if (S.Delivered)
-        Srv.merge(AppName, DR.Report);
-      else
-        ++Out.DeliveriesFailed;
+    Cell.Outcome = std::move(DR);
+    Out.Log.push_back(std::move(Cell));
+  };
 
-      Out.HintsAdopted += static_cast<uint64_t>(DR.HintsAdopted);
-      Out.HintsRejected += static_cast<uint64_t>(DR.HintsRejected);
-      AddSend(HintSends[static_cast<size_t>(I)]);
-      AddSend(S);
+  // StepExec: the expensive compute on the class lane. The wall-clock
+  // work happens *now*, but the device only finishes at begin + virtual
+  // duration — the commit books a StepDone event there, so hints landing
+  // while the step "runs" wait in the mailbox for the next one. Starts
+  // are aligned up to the grid: devices due within the same grid slot
+  // compute in one parallel batch.
+  StartStep = [&](EventLoop &L, int Id, VirtualTime At) {
+    At = (At + Grid - 1) / Grid * Grid;
+    DeviceState &DS = States[static_cast<size_t>(Id)];
+    DS.NextStepAt = At;
+    L.schedule(
+        At, DS.Prof.ClassId % Classes,
+        [&States, Id, At]() {
+          DeviceState &DS = States[static_cast<size_t>(Id)];
+          std::vector<Hint> Hints = std::move(DS.Mailbox);
+          DS.Mailbox.clear();
+          DS.Pending = DS.Dev->step(At, DS.StepsDone, Hints);
+        },
+        [&, Id](EventLoop &L2) {
+          DeviceState &DS = States[static_cast<size_t>(Id)];
+          L2.schedule(L2.now() + DS.Pending.Duration, -1, nullptr,
+                      [&FinishStep, Id](EventLoop &L3) {
+                        FinishStep(L3, Id);
+                      });
+        });
+  };
 
-      if (Report) {
-        report::FleetRoundRecord Rec;
-        Rec.App = AppName;
-        Rec.FleetDevices = N;
-        Rec.Round = R;
-        Rec.Device = I;
-        Rec.BestSpeedup = DR.BestSpeedup;
-        Rec.BestGenome = DR.BestGenome;
-        Rec.BestSource = search::genomeSourceName(DR.BestSource);
-        Rec.BestFromHint = DR.BestFromHint;
-        Rec.HintsReceived = DR.HintsReceived;
-        Rec.HintsAdopted = DR.HintsAdopted;
-        Rec.HintsRejected = DR.HintsRejected;
-        Rec.Evaluations = DR.Evaluations;
-        Rec.TransportAttempts =
-            HintSends[static_cast<size_t>(I)].Attempts + S.Attempts;
-        Rec.TransportDrops =
-            HintSends[static_cast<size_t>(I)].Drops + S.Drops;
-        Rec.TransportTicks =
-            HintSends[static_cast<size_t>(I)].Ticks + S.Ticks;
-        Rec.Delivered = S.Delivered;
-        Report->onFleetRound(Rec);
+  // --- Seed the population: start ticks, churn schedule, joiners.
+  if (Steps > 0) {
+    for (int I = 0; I != Total; ++I) {
+      DeviceState &DS = States[static_cast<size_t>(I)];
+      Rng R(DS.Prof.Seed ^ 0x57A7u);
+      VirtualTime Start;
+      if (DS.Joiner) {
+        Start = 1 + R.below(std::max<uint64_t>(
+                    Opt.Population.HorizonTicks, 1));
+      } else {
+        Start = 1 + R.below(Opt.StartSpreadTicks + 1);
+        if (Opt.Population.LeaveFraction > 0.0 &&
+            R.chance(Opt.Population.LeaveFraction)) {
+          VirtualTime H = std::max<VirtualTime>(Opt.Population.HorizonTicks,
+                                                4);
+          DS.LeaveTick = H / 4 + R.below(H - H / 4 + 1);
+        }
       }
-
-      FinalRound[static_cast<size_t>(I)] = DR;
-      Out.Log.push_back(FleetRoundLog{R, I, std::move(DR),
-                                      HintSends[static_cast<size_t>(I)],
-                                      S});
+      StartStep(Loop, I, Start);
     }
   }
 
-  ROPT_METRIC_ADD("fleet.transport_attempts", Out.TransportAttempts);
-  ROPT_METRIC_ADD("fleet.transport_drops", Out.TransportDrops);
+  {
+    ROPT_TRACE_SPAN("fleet.eventloop");
+    Loop.run();
+  }
+  Out.VirtualDuration = Loop.now();
 
-  // Fleet-wide best: max speedup over each device's own baseline.
-  for (int I = 0; I != N; ++I) {
-    const Device &D = *Devices[static_cast<size_t>(I)];
-    Out.Counters += D.counters();
-    Out.Cache.GenomeHits += D.cacheStats().GenomeHits;
-    Out.Cache.BinaryHits += D.cacheStats().BinaryHits;
-    Out.Cache.Misses += D.cacheStats().Misses;
-    Out.Racing.ReplaysSpent += D.racingStats().ReplaysSpent;
-    Out.Racing.FixedBudget += D.racingStats().FixedBudget;
-    Out.Racing.EarlyStops += D.racingStats().EarlyStops;
-    Out.Racing.Escalations += D.racingStats().Escalations;
-    Out.Racing.TopUps += D.racingStats().TopUps;
-    if (!D.best() || !D.best()->E.ok())
+  ROPT_METRIC_ADD("fleet.transport_attempts", Out.Transport.Attempts);
+  ROPT_METRIC_ADD("fleet.transport_drops", Out.Transport.Drops);
+
+  // --- Aggregate: engine totals per class, fleet best over delivered
+  // reports (a device's own view vs its own baseline).
+  for (int C = 0; C != Classes; ++C) {
+    const DeviceClassState &CS = *Class[static_cast<size_t>(C)];
+    Out.Counters += CS.counters();
+    Out.Cache.GenomeHits += CS.cacheStats().GenomeHits;
+    Out.Cache.BinaryHits += CS.cacheStats().BinaryHits;
+    Out.Cache.Misses += CS.cacheStats().Misses;
+    Out.Racing.ReplaysSpent += CS.racingStats().ReplaysSpent;
+    Out.Racing.FixedBudget += CS.racingStats().FixedBudget;
+    Out.Racing.EarlyStops += CS.racingStats().EarlyStops;
+    Out.Racing.Escalations += CS.racingStats().Escalations;
+    Out.Racing.TopUps += CS.racingStats().TopUps;
+  }
+  for (int I = 0; I != Total; ++I) {
+    const DeviceState &DS = States[static_cast<size_t>(I)];
+    if (DS.LastMergedStep < 0)
       continue;
-    double Speedup = D.androidMedian() / D.best()->E.MedianCycles;
-    if (Speedup > Out.BestSpeedup) {
-      Out.BestSpeedup = Speedup;
-      Out.BestGenome = D.best()->G.name();
+    if (DS.LastMerged.BestSpeedup > Out.BestSpeedup) {
+      Out.BestSpeedup = DS.LastMerged.BestSpeedup;
+      Out.BestGenome = DS.LastMerged.BestGenome;
       Out.BestDevice = I;
-      Out.BestFromHint = FinalRound[static_cast<size_t>(I)].BestFromHint;
+      Out.BestFromHint = DS.LastMerged.BestFromHint;
     }
   }
   if (const std::vector<Server::LeaderEntry> *L = Srv.leaderboard(AppName))
@@ -192,6 +366,6 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
 
   Out.Succeeded = Out.BestSpeedup > 0.0;
   if (!Out.Succeeded)
-    Out.FailureReason = "no device produced a valid genome";
+    Out.FailureReason = "no delivered report carried a valid genome";
   return Out;
 }

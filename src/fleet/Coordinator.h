@@ -1,27 +1,43 @@
-//===- fleet/Coordinator.h - Deterministic fleet rounds ---------*- C++ -*-===//
+//===- fleet/Coordinator.h - Event-driven fleet simulation ------*- C++ -*-===//
 //
 // Part of ReplayOpt (PLDI 2021 reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Drives N devices against one server in synchronous rounds, preserving
-/// the §9 determinism contract at fleet scale:
+/// Drives a device population against one server as a deterministic
+/// discrete-event simulation (DESIGN.md §14). The paper's deployment
+/// model is an install base of phones that report whenever they finish —
+/// not a lock-step barrier — so there are no rounds here, only events on
+/// the fleet EventLoop's virtual clock:
 ///
-///   per round —
-///     1. serial:   snapshot the server's hint set, deliver it per device
-///                  through the transport (retry masks loss);
-///     2. parallel: every device runs its warm-started search round over
-///                  support::ThreadPool (devices are fully self-contained:
-///                  own dex file, own captures, own single-job engine);
-///     3. serial, in device-id order: deliver each device's report and
-///                  commit the server merge.
+///   StepExec(d)    the device runs one warm-started search step. The
+///                  expensive compute runs on a pool lane (one lane per
+///                  device class, so a shared class engine never sees two
+///                  concurrent members); the commit schedules...
+///   StepDone(d)    ...at begin + the step's virtual duration (derived
+///                  from the evaluation work done and the device's cost
+///                  scale). Logs the step, applies churn (a device past
+///                  its leave tick dies here — results discarded), and
+///                  plans the report's delivery through the transport.
+///   ReportArrive   the report lands at the server after real in-flight
+///                  latency: merge into the leaderboard (TTL-stamped),
+///                  snapshot the hint set *at arrival time*, and plan the
+///                  hint response's delivery back to the device.
+///   HintArrive     the hints land in the device's mailbox — possibly
+///                  mid-step, in which case they seed the step after the
+///                  next. A hint push overtaken in flight (a later send
+///                  arriving first) is counted in `reorders_effective`:
+///                  reordering now deterministically changes which hints
+///                  seed which search, instead of being hidden by a
+///                  barrier.
 ///
-/// Device order and merge commits never depend on scheduling, so a seeded
-/// fleet run is bit-identical at any `--jobs` — and, because sendWithRetry
-/// makes delivery effectively certain, identical under transport loss and
-/// reordering too (only the retry/tick counters change). FleetResult::
-/// digest() captures exactly the scheduling-independent outcome for tests.
+/// Devices self-schedule: after each step the next StepExec fires a
+/// short idle later, up to the configured step count; joiners start at
+/// their seeded join tick. The §9 determinism contract holds at any
+/// `--jobs` because every shared-state mutation is an event commit and
+/// commits serialize in `(virtual time, seq)` order — FleetResult::
+/// digest() captures exactly that scheduling-independent outcome.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +45,7 @@
 #define ROPT_FLEET_COORDINATOR_H
 
 #include "fleet/Device.h"
+#include "fleet/EventLoop.h"
 #include "fleet/Server.h"
 #include "fleet/Transport.h"
 
@@ -42,10 +59,32 @@ class RunReport;
 
 namespace fleet {
 
-struct FleetConfig {
+/// Seeded population churn: which devices die mid-run and which join
+/// late, all derived from (fleet seed, device id) so a churn run is as
+/// replayable as a stable one.
+struct Churn {
+  /// Each of the initial devices leaves with this probability; a leaver
+  /// dies at a seeded tick in [HorizonTicks/4, HorizonTicks] — its
+  /// in-flight step is discarded and it never reports again.
+  double LeaveFraction = 0.0;
+  /// floor(JoinFraction * Devices) extra devices join at seeded ticks in
+  /// [1, HorizonTicks] and run the full step count from there.
+  double JoinFraction = 0.0;
+  /// The virtual-time span the leave/join ticks are drawn from.
+  VirtualTime HorizonTicks = 1500;
+};
+
+/// The one fleet-layer configuration aggregate (mirrors
+/// core::PipelineConfig): population shape, heterogeneity, network
+/// degradation, retry policy, step cost model and churn, with
+/// paperDefaults() as the deployment-realistic baseline. The transport
+/// itself is still injected into run() — Net describes the network a
+/// SimTransport caller should build.
+struct FleetOptions {
   int Devices = 4;
+  /// Search steps each device runs (the old synchronous "rounds").
   int Rounds = 3;
-  /// Pool threads driving device rounds; 0 = hardware concurrency.
+  /// Pool threads driving event computes; 0 = hardware concurrency.
   /// Results are identical at any value.
   int Jobs = 0;
   uint64_t Seed = 1;
@@ -54,18 +93,45 @@ struct FleetConfig {
   double CostJitter = 0.25;
   double NoiseJitter = 0.5;
   int64_t SessionSpread = 2;
+  /// Quantize the population into this many hardware/user classes that
+  /// share one pipeline + evaluation engine (see DeviceClassState).
+  /// 0 = one class per device (the fully-continuous small-fleet mode).
+  int ProfileClasses = 0;
 
+  TransportOptions Net; ///< For the caller's SimTransport.
   RetryPolicy Retry;
+
+  StepCosts Costs; ///< Virtual duration model of one search step.
+  /// Idle ticks between a step's completion and the next step's start
+  /// (the user's next app session). Covers a healthy round trip, so a
+  /// timely hint response seeds the next step and a retried or reordered
+  /// one deterministically misses it.
+  VirtualTime IdleTicks = 16;
+  /// Devices start their first step at a seeded tick in
+  /// [1, 1 + StartSpreadTicks] — an install base never starts in phase.
+  VirtualTime StartSpreadTicks = 8;
+  /// Step starts are rounded up to this grid so device computes share
+  /// ticks and batch on the event loop (see EventLoop.h: parallelism
+  /// comes from the schedule, the loop itself is strictly ordered).
+  /// 0 or 1 = no alignment, fully spread starts.
+  VirtualTime StepGridTicks = 32;
+
+  Churn Population;
+
+  /// The paper-faithful deployment defaults: a flaky mobile network
+  /// (15% drop, 10% reorder) over the default heterogeneity spread.
+  static FleetOptions paperDefaults();
 };
 
-/// One (round, device) cell of the round log — the substrate of the
-/// report layer's fleet.jsonl.
-struct FleetRoundLog {
-  int Round = 0;
+/// One completed device step in commit `(time, seq)` order — the
+/// substrate of the report layer's fleet.jsonl.
+struct FleetStepLog {
+  VirtualTime Time = 0; ///< Virtual completion time of the step.
+  int Step = 0;         ///< The device's step index (0-based).
   int Device = 0;
   DeviceRound Outcome;
-  SendOutcome HintDelivery;   ///< Server -> device.
-  SendOutcome ReportDelivery; ///< Device -> server.
+  SendOutcome ReportDelivery; ///< Device -> server (unplanned if Dropped).
+  bool Dropped = false;       ///< Device died at this step (churn).
 };
 
 /// What one coordinator run produced for one app.
@@ -74,51 +140,52 @@ struct FleetResult {
   bool Succeeded = false;
   std::string FailureReason;
 
-  int Devices = 0;
-  int Rounds = 0;
-  double BestSpeedup = 0.0; ///< Max over devices (vs own baselines).
+  int Devices = 0; ///< Total participants (initial + joiners).
+  int Rounds = 0;  ///< Steps per device.
+  double BestSpeedup = 0.0; ///< Max over delivered reports (vs own base).
   std::string BestGenome;
   int BestDevice = -1;
   bool BestFromHint = false;
 
-  std::vector<FleetRoundLog> Log; ///< Round-major, device-minor.
+  std::vector<FleetStepLog> Log; ///< Commit order: (time, seq).
   std::vector<Server::LeaderEntry> Leaderboard; ///< Final snapshot.
 
-  // Sums over devices / rounds.
+  VirtualTime VirtualDuration = 0; ///< Loop time when the queue drained.
+  int DevicesLeft = 0;   ///< Churn: devices that died mid-run.
+  int DevicesJoined = 0; ///< Churn: late joiners.
+
+  // Sums over classes / steps.
   search::EngineCounters Counters;
   search::EngineCacheStats Cache;
   search::EngineRacingStats Racing;
-  uint64_t HintsPublished = 0; ///< Hints handed to devices (pre-dedup).
+  uint64_t HintsPublished = 0; ///< Hints sent to devices (pre-dedup).
   uint64_t HintsAdopted = 0;
   uint64_t HintsRejected = 0;
-  uint64_t TransportAttempts = 0;
-  uint64_t TransportDrops = 0;
-  uint64_t TransportTicks = 0;
-  uint64_t DeliveriesFailed = 0; ///< Retry cap exhausted (should be 0).
+  TransportStats Transport; ///< All sends, both channels.
 
   /// A stable fingerprint of every scheduling-independent outcome: device
-  /// results, adopted/rejected hints, the leaderboard. Transport counters
-  /// are deliberately excluded — they are the one thing a lossy network
-  /// is allowed to change.
+  /// step results with their virtual times, adopted/rejected hints, the
+  /// leaderboard. Transport volume counters are deliberately excluded —
+  /// but arrival *consequences* (which hints seeded what, when) are in.
   std::string digest() const;
 };
 
 class Coordinator {
 public:
-  /// \p Base is the per-device pipeline configuration (the device count,
-  /// rounds and seeds come from \p Config; Base.Seed is overridden per
-  /// device).
-  Coordinator(FleetConfig Config, core::PipelineConfig Base)
-      : Config(Config), Base(std::move(Base)) {}
+  /// \p Base is the per-class pipeline configuration (the population
+  /// shape and seeds come from \p Opt; Base.Seed is overridden per
+  /// class).
+  Coordinator(FleetOptions Opt, core::PipelineConfig Base)
+      : Opt(Opt), Base(std::move(Base)) {}
 
-  /// Runs the full round protocol for \p AppName against \p Srv over
-  /// \p Net. When \p Report is non-null, every (round, device) cell is
-  /// appended to its fleet round log.
+  /// Runs the event-driven fleet simulation for \p AppName against
+  /// \p Srv over \p Net. When \p Report is non-null, every completed
+  /// step is appended to its fleet log with its virtual time.
   FleetResult run(const std::string &AppName, Server &Srv, Transport &Net,
                   report::RunReport *Report = nullptr);
 
 private:
-  FleetConfig Config;
+  FleetOptions Opt;
   core::PipelineConfig Base;
 };
 

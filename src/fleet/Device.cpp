@@ -16,6 +16,7 @@ DeviceProfile DeviceProfile::derive(uint64_t FleetSeed, int Id,
                                     int64_t SessionSpread) {
   DeviceProfile P;
   P.Id = Id;
+  P.ClassId = Id;
   Rng R(FleetSeed ^ (0x9e3779b97f4a7c15ull *
                      (static_cast<uint64_t>(Id) + 1)));
   P.Seed = R.next();
@@ -28,13 +29,35 @@ DeviceProfile DeviceProfile::derive(uint64_t FleetSeed, int Id,
   return P;
 }
 
-Device::Device(const std::string &AppName, const core::PipelineConfig &Base,
-               const DeviceProfile &Profile)
-    : App(workloads::buildByName(AppName)), Config(Base), Prof(Profile) {
+DeviceProfile DeviceProfile::deriveClassed(uint64_t FleetSeed, int Id,
+                                           int Classes, double CostJitter,
+                                           double NoiseJitter,
+                                           int64_t SessionSpread) {
+  if (Classes <= 0)
+    return derive(FleetSeed, Id, CostJitter, NoiseJitter, SessionSpread);
+  int ClassId = Id % Classes;
+  // Hardware/user axes from the class stream: all members of a class are
+  // the same phone model in the same hands.
+  DeviceProfile P =
+      derive(FleetSeed, ClassId, CostJitter, NoiseJitter, SessionSpread);
+  P.Id = Id;
+  P.ClassId = ClassId;
+  // Search seed from the device stream: class members explore differently.
+  Rng R(FleetSeed ^ (0x9e3779b97f4a7c15ull *
+                     (static_cast<uint64_t>(Id) + 1)));
+  P.Seed = R.next();
+  return P;
+}
+
+DeviceClassState::DeviceClassState(const std::string &AppName,
+                                   const core::PipelineConfig &Base,
+                                   const DeviceProfile &ClassProfile)
+    : App(workloads::buildByName(AppName)), Config(Base),
+      Prof(ClassProfile) {
   Config.Seed = Prof.Seed;
-  // The coordinator's pool provides cross-device parallelism; a nested
-  // single-job engine runs inline on the coordinator's worker (a
-  // multi-thread nested pool would deadlock parallelFor).
+  // The event loop's lanes provide cross-class parallelism; a nested
+  // single-job engine runs inline on the loop's worker (a multi-thread
+  // nested pool would deadlock parallelFor).
   Config.Search.Jobs = 1;
   // Device GAs log through fleet.jsonl, not the evaluation stream.
   Config.Provenance = nullptr;
@@ -52,14 +75,14 @@ Device::Device(const std::string &AppName, const core::PipelineConfig &Base,
   Config.Measure.Noise.OfflineSigma *= Prof.NoiseScale;
   Config.Measure.Noise.OnlineSigma *= Prof.NoiseScale;
 
-  // User heterogeneity: this device's owner exercises a different session
+  // User heterogeneity: this class's owners exercise a different session
   // input (only meaningful for apps with a real online parameter range).
   if (Prof.SessionShift != 0 && App.MinParam < App.MaxParam)
     App.DefaultParam = std::clamp(App.DefaultParam + Prof.SessionShift,
                                   App.MinParam, App.MaxParam);
 }
 
-bool Device::setup() {
+bool DeviceClassState::setup() {
   core::IterativeCompiler Pipeline(Config);
   core::IterativeCompiler::ProfiledApp Profiled = Pipeline.profileApp(App);
   if (!Profiled.Region) {
@@ -68,10 +91,10 @@ bool Device::setup() {
   }
   Region = *Profiled.Region;
 
-  // Fleet rounds inherit the observability loop's allocation: when the
-  // coordinator runs analysis-guided, each device derives its own
+  // Fleet steps inherit the observability loop's allocation: when the
+  // coordinator runs analysis-guided, each class derives its own
   // criticality scale and bottleneck mask from its own profile, and every
-  // round's GA (runRound reads Config.Search.GA) searches under them.
+  // member step's GA (step() reads Config.Search.GA) searches under them.
   if (Config.Search.AnalysisGuided) {
     analysis::AppAnalysis Analysis =
         analysis::analyzeApp(*App.File, Profiled.Profile, Profiled.RA);
@@ -119,8 +142,24 @@ bool Device::setup() {
   return true;
 }
 
+const search::EngineCounters &DeviceClassState::counters() const {
+  return Engine->counters();
+}
+
+const search::EngineCacheStats &DeviceClassState::cacheStats() const {
+  return Engine->cacheStats();
+}
+
+const search::EngineRacingStats &DeviceClassState::racingStats() const {
+  return Engine->racingStats();
+}
+
+Device::Device(std::shared_ptr<DeviceClassState> Class,
+               const DeviceProfile &Prof, const StepCosts &Costs)
+    : Class(std::move(Class)), Prof(Prof), Costs(Costs) {}
+
 double Device::speedupOf(const search::Evaluation &E) const {
-  return E.MedianCycles > 0.0 ? AndroidCycles / E.MedianCycles : 0.0;
+  return E.MedianCycles > 0.0 ? Class->AndroidCycles / E.MedianCycles : 0.0;
 }
 
 GenomeReport Device::reportFor(const search::Scored &S) const {
@@ -131,22 +170,26 @@ GenomeReport Device::reportFor(const search::Scored &S) const {
   R.CodeSize = S.E.CodeSize;
   for (double Cycles : S.E.Samples)
     if (Cycles > 0.0)
-      R.SpeedupSamples.push_back(AndroidCycles / Cycles);
+      R.SpeedupSamples.push_back(Class->AndroidCycles / Cycles);
   R.SpeedupMedian =
       R.SpeedupSamples.empty() ? speedupOf(S.E) : median(R.SpeedupSamples);
   R.Source = S.Source;
   return R;
 }
 
-DeviceRound Device::runRound(int Round, const std::vector<Hint> &Hints) {
-  DeviceRound Out;
+StepResult Device::step(VirtualTime, int StepIndex,
+                        const std::vector<Hint> &Hints) {
+  StepResult Res;
+  DeviceRound &Out = Res.Round;
+  search::EvaluationEngine &Engine = *Class->Engine;
   Out.Report.Device = Prof.Id;
-  Out.Report.Round = Round;
-  int EvalsBefore = Engine->counters().total();
+  Out.Report.Round = StepIndex;
+  int EvalsBefore = Engine.counters().total();
+  search::EngineCacheStats CacheBefore = Engine.cacheStats();
   ROPT_METRIC_INC("fleet.device_rounds");
 
   // --- Re-verify foreign hints before adoption (the safety contract):
-  // compile + replay against *this device's* verification map, through
+  // compile + replay against *this class's* verification map, through
   // the engine so repeats are cache hits. Hints echoing our own reports
   // are not foreign and skip the bookkeeping.
   std::vector<const Hint *> Foreign;
@@ -165,7 +208,7 @@ DeviceRound Device::runRound(int Round, const std::vector<Hint> &Hints) {
     for (const Hint *H : Fresh)
       ToVerify.push_back(H->G);
     std::vector<search::Evaluation> Verdicts =
-        Engine->evaluateBatch(ToVerify);
+        Engine.evaluateBatch(ToVerify);
     for (size_t I = 0; I != Fresh.size(); ++I) {
       bool Adopted = Verdicts[I].ok();
       KnownHints[Fresh[I]->Key] = Adopted;
@@ -187,60 +230,63 @@ DeviceRound Device::runRound(int Round, const std::vector<Hint> &Hints) {
   }
 
   // --- Warm-started local search: own best first, then the adopted
-  // hints in served order (seedPopulation dedups).
+  // hints in delivered order (seedPopulation dedups). The step seed is
+  // the *device* seed salted by the step index, so class members sharing
+  // an engine still explore distinct trajectories.
   std::vector<search::Genome> Seeds;
   if (Best)
     Seeds.push_back(Best->G);
   for (const Hint *H : Foreign)
     if (KnownHints[H->Key])
       Seeds.push_back(H->G);
-  uint64_t RoundSeed =
-      Config.Seed ^
-      (0x6a5e + 0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(Round) + 1));
-  search::GeneticSearch GA(Config.Search.GA, RoundSeed, *Engine, nullptr);
+  uint64_t StepSeed =
+      Prof.Seed ^ (0x6a5e + 0x9e3779b97f4a7c15ull *
+                              (static_cast<uint64_t>(StepIndex) + 1));
+  search::GeneticSearch GA(Class->Config.Search.GA, StepSeed, Engine,
+                           nullptr);
   GA.seedPopulation(std::move(Seeds));
-  std::optional<search::Scored> RoundBest =
-      GA.run(AndroidCycles, O3Cycles);
+  std::optional<search::Scored> StepBest =
+      GA.run(Class->AndroidCycles, Class->O3Cycles);
 
-  if (RoundBest && RoundBest->E.ok()) {
+  if (StepBest && StepBest->E.ok()) {
     bool Better =
-        !Best || RoundBest->E.MedianCycles < Best->E.MedianCycles ||
-        (RoundBest->E.MedianCycles == Best->E.MedianCycles &&
-         RoundBest->E.CodeSize < Best->E.CodeSize);
+        !Best || StepBest->E.MedianCycles < Best->E.MedianCycles ||
+        (StepBest->E.MedianCycles == Best->E.MedianCycles &&
+         StepBest->E.CodeSize < Best->E.CodeSize);
     if (Better) {
-      Best = *RoundBest;
+      Best = *StepBest;
       BestIsForeign = Best->Source == search::GenomeSource::Seeded &&
                       AdoptedForeign.count(Best->G.name()) > 0;
     }
   }
 
   // --- Package the round report: the device's best-so-far, plus the
-  // round's own discovery when it differs (leaderboard diversity).
+  // step's own discovery when it differs (leaderboard diversity).
   if (Best) {
     Out.Report.Best.push_back(reportFor(*Best));
     OwnReported.insert(Best->G.name());
-    if (RoundBest && RoundBest->E.ok() &&
-        RoundBest->G.name() != Best->G.name()) {
-      Out.Report.Best.push_back(reportFor(*RoundBest));
-      OwnReported.insert(RoundBest->G.name());
+    if (StepBest && StepBest->E.ok() &&
+        StepBest->G.name() != Best->G.name()) {
+      Out.Report.Best.push_back(reportFor(*StepBest));
+      OwnReported.insert(StepBest->G.name());
     }
     Out.BestSpeedup = speedupOf(Best->E);
     Out.BestGenome = Best->G.name();
     Out.BestSource = Best->Source;
     Out.BestFromHint = BestIsForeign;
   }
-  Out.Evaluations = Engine->counters().total() - EvalsBefore;
-  return Out;
-}
+  Out.Evaluations = Engine.counters().total() - EvalsBefore;
 
-const search::EngineCounters &Device::counters() const {
-  return Engine->counters();
-}
-
-const search::EngineCacheStats &Device::cacheStats() const {
-  return Engine->cacheStats();
-}
-
-const search::EngineRacingStats &Device::racingStats() const {
-  return Engine->racingStats();
+  // --- Virtual duration: what the step cost *this* device. Fresh
+  // compiles dominate; cache hits (often warmed by class siblings) are
+  // near-free, which is exactly why per-device wall-clock shrinks as the
+  // class fills up.
+  search::EngineCacheStats CacheAfter = Engine.cacheStats();
+  uint64_t Misses = CacheAfter.Misses - CacheBefore.Misses;
+  uint64_t Hits = CacheAfter.hits() - CacheBefore.hits();
+  double Ticks = static_cast<double>(Costs.BaseTicks + Costs.MissTicks * Misses +
+                                     Costs.HitTicks * Hits) *
+                 Prof.CostScale;
+  Res.Duration = std::max<VirtualTime>(1, static_cast<VirtualTime>(Ticks));
+  return Res;
 }

@@ -5,23 +5,41 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// One device of the simulated population: a full capture/replay/search
+/// One device of the simulated population: a capture/replay/search
 /// pipeline instance living on perturbed hardware. Heterogeneity comes in
-/// three axes, all derived deterministically from (fleet seed, device id):
-/// a scaled os::KernelCostModel (slow vs fast kernels), a scaled
+/// three axes, all derived deterministically from the fleet seed: a
+/// scaled os::KernelCostModel (slow vs fast kernels), a scaled
 /// measurement-noise floor (quiet vs thermally-throttled phones), and a
 /// shifted session parameter (different users exercise different inputs,
-/// the paper's §5.4 concern). The device profiles and captures its *own*
-/// region, measures its *own* Android baseline, and reports fitness as
-/// speedup over that baseline — the only figure comparable across the
-/// fleet.
+/// the paper's §5.4 concern).
 ///
-/// The safety contract (DESIGN.md §12): every foreign hint is compiled
-/// and replayed against the device's own verification map before it may
-/// seed the local GA. A hint that miscompiles here — whatever it did on
-/// the device that reported it — is rejected, counted in
-/// `fleet.hints_rejected`, and reported back so the server quarantines
-/// the genome fleet-wide.
+/// Since the event-loop redesign (DESIGN.md §14) the pipeline state is
+/// split in two. A DeviceClassState is one *hardware/user class* — the
+/// app copy, captured region, baselines and memoized evaluation engine
+/// for one point in the heterogeneity space. A Device is one *member*: a
+/// private search seed, best-so-far and hint bookkeeping on top of its
+/// class's pipeline. A real install base of 10k phones spans a few dozen
+/// SoC/OS/input classes, not 10k unique pipelines (the per-cluster
+/// population treatment in the marnaed exemplar); sharing the class
+/// engine is also what makes the simulation scale — class members hit
+/// each other's memoized evaluations, so per-device wall-clock *falls*
+/// as the population grows. `ProfileClasses = 0` keeps one class per
+/// device, the fully-continuous population of the old round-based fleet.
+///
+/// Devices are actors on the fleet EventLoop: `step()` runs one search
+/// round at a virtual instant and returns, with the round report, the
+/// *virtual duration* the step took on this device — derived from the
+/// evaluation work actually done (cache misses are compiles+replays,
+/// hits are table lookups) and the device's hardware cost scale. The
+/// coordinator turns that duration into the step-completion event, so a
+/// slow device genuinely reports later than a fast one.
+///
+/// The safety contract (DESIGN.md §12) is unchanged: every foreign hint
+/// is compiled and replayed against the device's own verification map
+/// before it may seed the local GA. A hint that miscompiles here —
+/// whatever it did on the device that reported it — is rejected, counted
+/// in `fleet.hints_rejected`, and reported back so the server
+/// quarantines the genome fleet-wide.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +47,7 @@
 #define ROPT_FLEET_DEVICE_H
 
 #include "core/IterativeCompiler.h"
+#include "fleet/EventLoop.h"
 #include "fleet/Server.h"
 #include "workloads/Workloads.h"
 
@@ -45,6 +64,7 @@ namespace fleet {
 /// A device's identity in the population.
 struct DeviceProfile {
   int Id = 0;
+  int ClassId = 0;          ///< Hardware/user class (shares a pipeline).
   uint64_t Seed = 1;        ///< Drives all device-local randomness.
   double CostScale = 1.0;   ///< Kernel cost-model scale (capture overhead).
   double NoiseScale = 1.0;  ///< Measurement-noise sigma scale.
@@ -54,62 +74,95 @@ struct DeviceProfile {
   /// \p CostJitter / \p NoiseJitter bound the uniform scale perturbation
   /// (e.g. 0.25 -> scales in [0.75, 1.25]); \p SessionSpread bounds the
   /// absolute session-parameter shift. Zeros give a homogeneous fleet.
+  /// ClassId = Id (one class per device).
   static DeviceProfile derive(uint64_t FleetSeed, int Id, double CostJitter,
                               double NoiseJitter, int64_t SessionSpread);
+
+  /// The classed variant: quantizes the population into \p Classes
+  /// hardware/user classes (ClassId = Id % Classes). The hardware axes
+  /// (cost, noise, session) are drawn from the *class* stream — every
+  /// member of a class is the same phone model in the same hands — while
+  /// Seed stays the *device* stream, so class members still explore
+  /// different search trajectories. \p Classes <= 0 falls back to
+  /// derive() (one class per device).
+  static DeviceProfile deriveClassed(uint64_t FleetSeed, int Id, int Classes,
+                                     double CostJitter, double NoiseJitter,
+                                     int64_t SessionSpread);
 };
 
-/// What one device did in one round.
+/// Virtual-cost model of one search step, in event-loop ticks. A step's
+/// duration is (Base + Misses*Miss + Hits*Hit) * CostScale: a cache miss
+/// pays a compile plus replays, a hit pays a lookup, and the whole step
+/// scales with the device's hardware speed. The defaults make one fresh
+/// evaluation ~3x the transport latency ceiling, so a round's search
+/// dominates its messaging — the paper's regime.
+struct StepCosts {
+  uint64_t BaseTicks = 40; ///< Fixed per-step overhead (GA bookkeeping).
+  uint64_t MissTicks = 12; ///< Per evaluation paid with a fresh compile.
+  uint64_t HitTicks = 1;   ///< Per evaluation answered from the cache.
+};
+
+/// What one device did in one step (the unit the old fleet called a
+/// "round"; under the event loop steps self-schedule, so devices are
+/// usually at different step indices at the same virtual instant).
 struct DeviceRound {
   RoundReport Report; ///< What goes to the server (best + rejections).
   int HintsReceived = 0;
   int HintsAdopted = 0;  ///< Verified Ok locally, seeded into the GA.
   int HintsRejected = 0; ///< Failed local verification; reported back.
-  int Evaluations = 0;   ///< Engine answers this round (cache hits incl.).
+  int Evaluations = 0;   ///< Engine answers this step (cache hits incl.).
   double BestSpeedup = 0.0; ///< Device best-so-far vs own Android median.
   std::string BestGenome;
   search::GenomeSource BestSource = search::GenomeSource::Random;
   bool BestFromHint = false; ///< Best-so-far originated as a foreign hint.
 };
 
-class Device {
-public:
-  /// \p Base is the fleet-wide pipeline configuration; the device applies
-  /// its profile on top (seed, cost/noise scaling, session shift) and
-  /// forces the evaluation engine to a single job — cross-device
-  /// parallelism belongs to the coordinator's pool, and a nested
-  /// single-thread engine runs inline on the coordinator's worker.
-  Device(const std::string &AppName, const core::PipelineConfig &Base,
-         const DeviceProfile &Profile);
+/// A completed step: the round report plus how long the step took in
+/// virtual time (the coordinator schedules the completion event at
+/// begin + Duration).
+struct StepResult {
+  DeviceRound Round;
+  VirtualTime Duration = 1;
+};
 
-  /// Phases 1-3 plus baselines, once per device: profile, capture the hot
+/// The shared pipeline of one hardware/user class: app copy, captured
+/// region, baselines, and the memoized evaluation engine every class
+/// member searches through. Built and set up once per class; afterwards
+/// only touched from Device::step, which the event loop serializes
+/// per class (one lane per class), so the engine never sees two
+/// concurrent members.
+class DeviceClassState {
+public:
+  /// \p Base is the fleet-wide pipeline configuration; the class applies
+  /// its profile on top (seed, cost/noise scaling, session shift) and
+  /// forces the evaluation engine to a single job — parallelism belongs
+  /// to the event loop's lanes, and a nested single-thread engine runs
+  /// inline on the loop's worker.
+  DeviceClassState(const std::string &AppName,
+                   const core::PipelineConfig &Base,
+                   const DeviceProfile &ClassProfile);
+
+  /// Phases 1-3 plus baselines, once per class: profile, capture the hot
   /// region, measure stock Android and -O3, build the evaluation engine.
   /// Returns false (see failureReason()) when the app yields no
-  /// replayable region on this device.
+  /// replayable region on this class's hardware.
   bool setup();
 
   const std::string &failureReason() const { return Failure; }
-
-  /// One crowd round: re-verify the served hints, warm-start the GA from
-  /// the survivors plus the device's own best, search, and package the
-  /// round report.
-  DeviceRound runRound(int Round, const std::vector<Hint> &Hints);
-
   const DeviceProfile &profile() const { return Prof; }
   double androidMedian() const { return AndroidCycles; }
-  const std::optional<search::Scored> &best() const { return Best; }
-  /// Engine statistics accumulated over every round so far.
+  double o3Median() const { return O3Cycles; }
+  /// Engine statistics accumulated over every member step so far.
   const search::EngineCounters &counters() const;
   const search::EngineCacheStats &cacheStats() const;
   const search::EngineRacingStats &racingStats() const;
 
 private:
-  /// Speedup of \p E over this device's Android baseline.
-  double speedupOf(const search::Evaluation &E) const;
-  GenomeReport reportFor(const search::Scored &S) const;
+  friend class Device;
 
-  workloads::Application App; ///< Private copy: no cross-device sharing.
+  workloads::Application App; ///< Private copy: no cross-class sharing.
   core::PipelineConfig Config;
-  DeviceProfile Prof;
+  DeviceProfile Prof; ///< The class's hardware/user point (Id = ClassId).
   std::string Failure;
 
   // Pipeline state frozen by setup(); Captures must not move afterwards
@@ -120,8 +173,39 @@ private:
   std::unique_ptr<search::EvaluationEngine> Engine;
   double AndroidCycles = 0.0;
   double O3Cycles = 0.0;
+};
 
-  std::optional<search::Scored> Best; ///< Best-so-far across rounds.
+/// One fleet member: per-device search state on top of a shared class
+/// pipeline.
+class Device {
+public:
+  /// \p Class must outlive the device and must already be set up.
+  Device(std::shared_ptr<DeviceClassState> Class, const DeviceProfile &Prof,
+         const StepCosts &Costs);
+
+  /// One resumable search step at virtual instant \p Now: re-verify the
+  /// hints delivered since the last step, warm-start the GA from the
+  /// survivors plus the device's own best, search, and package the round
+  /// report plus the step's virtual duration. \p StepIndex salts the
+  /// step's search seed (the old round number's only surviving role).
+  StepResult step(VirtualTime Now, int StepIndex,
+                  const std::vector<Hint> &Hints);
+
+  const DeviceProfile &profile() const { return Prof; }
+  double androidMedian() const { return Class->androidMedian(); }
+  const std::optional<search::Scored> &best() const { return Best; }
+  const DeviceClassState &classState() const { return *Class; }
+
+private:
+  /// Speedup of \p E over this device's class Android baseline.
+  double speedupOf(const search::Evaluation &E) const;
+  GenomeReport reportFor(const search::Scored &S) const;
+
+  std::shared_ptr<DeviceClassState> Class;
+  DeviceProfile Prof;
+  StepCosts Costs;
+
+  std::optional<search::Scored> Best; ///< Best-so-far across steps.
   bool BestIsForeign = false;
   /// Hints already verified (either way) — received again, they are
   /// neither re-verified nor re-counted.

@@ -1,0 +1,99 @@
+//===- fleet/EventLoop.cpp - Deterministic discrete-event engine ----------===//
+
+#include "fleet/EventLoop.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace ropt;
+using namespace ropt::fleet;
+
+EventLoop::EventLoop(ThreadPool &Pool) : Pool(Pool) {}
+
+uint64_t EventLoop::schedule(VirtualTime At, int Lane, ComputeFn Compute,
+                             CommitFn Commit) {
+  Event E;
+  // Clamp instead of assert: a zero-latency transport draw or a zero-tick
+  // step must still move time forward, or same-key events would pile up.
+  E.Time = std::max<VirtualTime>(At, Running ? Now + 1 : At);
+  uint64_t Seq = NextSeq++;
+  E.Seq = Seq;
+  E.Lane = Lane;
+  E.Compute = std::move(Compute);
+  E.Commit = std::move(Commit);
+  Queue.push(std::move(E));
+  return Seq;
+}
+
+void EventLoop::run() {
+  assert(!Running && "EventLoop::run is not re-entrant");
+  Running = true;
+  std::vector<Event> Batch;
+  while (!Queue.empty()) {
+    // Commit-only events (message arrivals, step completions) process
+    // strictly one at a time: a compute must never run ahead of an
+    // earlier-keyed commit that could feed it (a hint landing in its
+    // mailbox).
+    if (!Queue.top().Compute) {
+      Event E = Queue.top();
+      Queue.pop();
+      Now = std::max(Now, E.Time);
+      ++Processed;
+      if (E.Commit)
+        E.Commit(*this);
+      continue;
+    }
+
+    // Batch: the maximal run of consecutive compute events sharing the
+    // front's tick. Same-tick computes cannot observe each other's
+    // commits under strict order either (commits of equal-time events
+    // run after all their computes would have in any serialization that
+    // respects the compute/commit split), so running them in parallel is
+    // observationally identical to the serial schedule. Membership
+    // depends only on queue content here, which is deterministic.
+    Batch.clear();
+    VirtualTime Tick = Queue.top().Time;
+    while (!Queue.empty() && Queue.top().Time == Tick &&
+           Queue.top().Compute) {
+      Batch.push_back(Queue.top());
+      Queue.pop();
+    }
+    ++Batches;
+    MaxBatch = std::max<uint64_t>(MaxBatch, Batch.size());
+
+    // Compute phase: one pool task per lane, each running its lane's
+    // computes in (Time, Seq) order. The batch vector came off the heap
+    // already key-sorted, so in-lane order is the global order
+    // restricted to the lane.
+    std::map<int, std::vector<const Event *>> Lanes;
+    for (const Event &E : Batch)
+      Lanes[E.Lane].push_back(&E);
+    if (Lanes.size() == 1) {
+      for (const Event *E : Lanes.begin()->second)
+        E->Compute();
+    } else {
+      std::vector<const std::vector<const Event *> *> Work;
+      Work.reserve(Lanes.size());
+      for (const auto &KV : Lanes)
+        Work.push_back(&KV.second);
+      Pool.parallelFor(Work.size(), [&Work](size_t I, size_t) {
+        for (const Event *E : *Work[I])
+          E->Compute();
+      });
+    }
+
+    // Commit phase: serial, in key order, on this thread. Commits may
+    // schedule; schedule() clamps to Now+1 using the committing event's
+    // time, so the queue never receives an event at or before Now.
+    for (Event &E : Batch) {
+      Now = std::max(Now, E.Time);
+      ++Processed;
+      if (E.Commit)
+        E.Commit(*this);
+    }
+  }
+  Running = false;
+}

@@ -47,7 +47,8 @@ Server::LeaderEntry &Server::entryFor(AppBoard &Board, const GenomeReport &G,
   return E;
 }
 
-void Server::merge(const std::string &App, const RoundReport &R) {
+void Server::merge(const std::string &App, const RoundReport &R,
+                   VirtualTime Now) {
   AppBoard &Board = Boards[App];
   ++Stats.ReportsMerged;
   ROPT_METRIC_INC("fleet.reports_merged");
@@ -60,6 +61,10 @@ void Server::merge(const std::string &App, const RoundReport &R) {
       ++Stats.Duplicates;
       ROPT_METRIC_INC("fleet.duplicate_reports");
     }
+    // A fresh report renews the TTL clock and revives an expired entry:
+    // live confirmation beats staleness.
+    E.LastReportTick = std::max(E.LastReportTick, Now);
+    E.Expired = false;
     // Statistical merging: pool the normalized samples (first
     // MaxPooledSamples survive — deterministic, arrival-ordered by the
     // coordinator's serialized commits) and re-rank by pooled median.
@@ -91,25 +96,43 @@ void Server::merge(const std::string &App, const RoundReport &R) {
   }
 }
 
-std::vector<Hint> Server::hints(const std::string &App) {
+std::vector<Hint> Server::hints(const std::string &App, VirtualTime Now) {
   std::vector<Hint> Out;
   auto It = Boards.find(App);
   if (It == Boards.end())
     return Out;
 
+  // Lazy TTL sweep: expiry only matters when hints are served, so the
+  // aging check lives here rather than on a timer event.
+  if (Opt.TtlTicks != 0) {
+    for (LeaderEntry &E : It->second.Entries) {
+      if (E.Expired || Now <= E.LastReportTick + Opt.TtlTicks)
+        continue;
+      E.Expired = true;
+      ++Stats.Expired;
+      ROPT_METRIC_INC("fleet.leaderboard_expired");
+    }
+  }
+
   std::vector<const LeaderEntry *> Ranked;
   for (const LeaderEntry &E : It->second.Entries)
-    if (!E.Quarantined)
+    if (!E.Quarantined && !E.Expired)
       Ranked.push_back(&E);
-  std::sort(Ranked.begin(), Ranked.end(),
-            [](const LeaderEntry *A, const LeaderEntry *B) {
-              if (A->Speedup != B->Speedup)
-                return A->Speedup > B->Speedup;
-              return A->Key < B->Key;
-            });
-  for (const LeaderEntry *E : Ranked) {
-    if (Out.size() == static_cast<size_t>(std::max(0, Opt.TopK)))
-      break;
+  // Only the top-k leave the server, and (speedup, key) is a total
+  // order, so a partial sort returns exactly the fully-sorted prefix —
+  // at 10k-device scale this call runs once per report arrival over
+  // thousands of entries, and O(E log k) matters.
+  size_t K = std::min(Ranked.size(),
+                      static_cast<size_t>(std::max(0, Opt.TopK)));
+  std::partial_sort(Ranked.begin(), Ranked.begin() + static_cast<long>(K),
+                    Ranked.end(),
+                    [](const LeaderEntry *A, const LeaderEntry *B) {
+                      if (A->Speedup != B->Speedup)
+                        return A->Speedup > B->Speedup;
+                      return A->Key < B->Key;
+                    });
+  for (size_t I = 0; I != K; ++I) {
+    const LeaderEntry *E = Ranked[I];
     Out.push_back(Hint{E->G, E->Key, E->Speedup, E->Reports});
   }
   Stats.HintsServed += Out.size();

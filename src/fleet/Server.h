@@ -19,13 +19,17 @@
 /// are capped and re-ranked by median, and a genome any device rejects
 /// against its verification map is quarantined — it never appears in a
 /// hint set again. The server is plain deterministic state: merge order
-/// is the coordinator's problem (it serializes commits in device order).
+/// is the coordinator's problem (the event loop serializes commits in
+/// `(virtual time, seq)` order), and the server's only notion of time is
+/// the virtual tick the coordinator passes in — entries age out of the
+/// hint set when no report has renewed them for `TtlTicks`.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ROPT_FLEET_SERVER_H
 #define ROPT_FLEET_SERVER_H
 
+#include "fleet/EventLoop.h"
 #include "search/GeneticSearch.h"
 
 #include <cstdint>
@@ -76,6 +80,12 @@ struct Hint {
 struct ServerOptions {
   int TopK = 4;                 ///< Hint-set size.
   size_t MaxPooledSamples = 96; ///< Per-entry speedup-sample cap.
+  /// Leaderboard entry time-to-live in virtual ticks (0 = entries never
+  /// age out). Under churn, a device that left the fleet stops renewing
+  /// its entries; once no report has confirmed an entry for TtlTicks it
+  /// expires out of the hint set — stale discoveries from dead hardware
+  /// do not steer live devices forever. A fresh report revives the entry.
+  uint64_t TtlTicks = 0;
 };
 
 struct ServerStats {
@@ -84,6 +94,7 @@ struct ServerStats {
   uint64_t Duplicates = 0;      ///< Folded into an existing entry.
   uint64_t Quarantined = 0;     ///< Entries retired by rejection reports.
   uint64_t HintsServed = 0;     ///< Hints handed out across hints() calls.
+  uint64_t Expired = 0;         ///< Entries the virtual-time TTL retired.
 };
 
 class Server {
@@ -101,18 +112,24 @@ public:
     std::set<int> Devices;       ///< Devices that reported it.
     int Reports = 0;
     bool Quarantined = false;
-    std::string RejectVerdict; ///< First rejection verdict, if any.
+    std::string RejectVerdict;      ///< First rejection verdict, if any.
+    VirtualTime LastReportTick = 0; ///< Virtual time of the last report.
+    bool Expired = false;           ///< Aged out by ServerOptions::TtlTicks.
   };
 
   /// Folds one device's round report into the app's leaderboard:
   /// statistical merging (pooled speedup samples, median re-rank), dedup
   /// by binary hash / genome name, and quarantine of rejected hints.
-  void merge(const std::string &App, const RoundReport &R);
+  /// \p Now stamps the touched entries for TTL aging (and revives an
+  /// expired entry the report re-confirms).
+  void merge(const std::string &App, const RoundReport &R,
+             VirtualTime Now = 0);
 
-  /// The current top-k hint set for \p App: non-quarantined entries,
-  /// best merged speedup first (genome name breaks ties, so the set is
-  /// stable across runs).
-  std::vector<Hint> hints(const std::string &App);
+  /// The current top-k hint set for \p App: non-quarantined, non-expired
+  /// entries, best merged speedup first (genome name breaks ties, so the
+  /// set is stable across runs). When TtlTicks is set, entries whose last
+  /// report is older than \p Now - TtlTicks expire here first.
+  std::vector<Hint> hints(const std::string &App, VirtualTime Now = 0);
 
   /// Pre-seeds the leaderboard with an unverified genome, as if a device
   /// had reported it at \p Speedup. Entry point for cross-run hint

@@ -42,26 +42,33 @@ Delivery SimTransport::attempt(const MessageKey &Key) {
   uint64_t Hi = std::max(Opt.MaxLatencyTicks, Lo);
   D.LatencyTicks = Lo + (Hi > Lo ? R.below(Hi - Lo + 1) : 0);
   D.Reordered = D.Delivered && R.chance(Opt.ReorderProb);
+  if (D.Reordered)
+    D.ReorderTicks = 1 + R.below(std::max<uint64_t>(2 * Hi, 1));
   return D;
 }
 
-SendOutcome fleet::sendWithRetry(Transport &T, MessageKey Key,
-                                 const RetryPolicy &Policy) {
+SendOutcome fleet::planDelivery(Transport &T, MessageKey Key,
+                                const RetryPolicy &Policy) {
   SendOutcome Out;
   for (int A = 0; A < Policy.MaxAttempts; ++A) {
     Key.Attempt = A;
     Delivery D = T.attempt(Key);
     ++Out.Attempts;
-    Out.Ticks += D.LatencyTicks;
     if (D.Delivered) {
       Out.Delivered = true;
-      Out.Reordered = Out.Reordered || D.Reordered;
+      Out.Reordered = D.Reordered;
+      Out.ReorderTicks = D.ReorderTicks;
+      Out.DelayTicks += D.LatencyTicks + D.ReorderTicks;
       return Out;
     }
+    // A drop costs the sender a timeout: the attempt's latency (the time
+    // it takes to conclude nothing came back) plus the capped backoff
+    // before the retransmit. All of it lands in the arrival delay.
     ++Out.Drops;
+    Out.DelayTicks += D.LatencyTicks;
     uint64_t Backoff = Policy.BackoffBaseTicks
                        << std::min<uint64_t>(static_cast<uint64_t>(A), 16);
-    Out.Ticks += std::min(Backoff, Policy.BackoffCapTicks);
+    Out.DelayTicks += std::min(Backoff, Policy.BackoffCapTicks);
   }
   return Out;
 }

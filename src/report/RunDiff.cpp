@@ -127,6 +127,8 @@ support::Result<LoadedRun> report::loadRun(const std::string &Dir) {
           R.FleetDevices = static_cast<int>(V.number("devices"));
           R.Round = static_cast<int>(V.number("round"));
           R.Device = static_cast<int>(V.number("device"));
+          // Schema 4; absent (0) on older streams.
+          R.VirtualTime = static_cast<uint64_t>(V.number("virtual_time"));
           R.BestSpeedup = V.number("best_speedup");
           R.BestGenome = V.string("best_genome");
           R.BestSource = V.string("best_source");
@@ -210,11 +212,12 @@ ValidationResult report::validateRun(const LoadedRun &Run) {
     if (!Run.Manifest.find(Key))
       Problem(std::string("manifest.json: missing field \"") + Key + "\"");
   // Schema 1 = pre-fleet runs, schema 2 added the optional fleet
-  // section, schema 3 the observability flag and region analysis; all
-  // stay loadable so old baselines keep diffing against new runs.
+  // section, schema 3 the observability flag and region analysis,
+  // schema 4 virtual_time on fleet records; all stay loadable so old
+  // baselines keep diffing against new runs.
   double Schema = Run.Manifest.number("schema");
   if (Run.Manifest.find("schema") && Schema != 1 && Schema != 2 &&
-      Schema != 3)
+      Schema != 3 && Schema != 4)
     Problem("manifest.json: unknown schema version");
 
   // A run built without the tracing/metrics layer records
@@ -275,6 +278,9 @@ ValidationResult report::validateRun(const LoadedRun &Run) {
   static const std::set<std::string> Sources = {"random", "seeded", "bred",
                                                 "hill-climb"};
   uint64_t Adopted = 0, Rejected = 0;
+  // Schema 4 streams are written in event-commit order, so virtual times
+  // must be non-decreasing within one (app, device-count) run.
+  std::map<std::pair<std::string, int>, uint64_t> LastVirtual;
   for (size_t I = 0; I < Run.Fleet.size(); ++I) {
     const FleetRecord &R = Run.Fleet[I];
     std::string Where = "fleet.jsonl line " + std::to_string(I + 1);
@@ -288,6 +294,10 @@ ValidationResult report::validateRun(const LoadedRun &Run) {
               "-device run");
     if (R.BestSpeedup < 0.0)
       Problem(Where + ": negative best_speedup");
+    uint64_t &Last = LastVirtual[{R.App, R.FleetDevices}];
+    if (R.VirtualTime < Last)
+      Problem(Where + ": virtual_time runs backwards (not commit order)");
+    Last = R.VirtualTime;
     Adopted += static_cast<uint64_t>(R.HintsAdopted);
     Rejected += static_cast<uint64_t>(R.HintsRejected);
   }
@@ -513,10 +523,14 @@ std::string report::summarize(const LoadedRun &Run, bool Markdown) {
           << " drops (p=" << format("%.2f", F->number("drop_prob"))
           << "), " << format("%.0f", F->number("deliveries_failed"))
           << " failed deliveries\n";
+      // TransportStats fields (schema 4); both default to 0 on old runs.
+      Out << "reorders: " << format("%.0f", F->number("reorders"))
+          << " drawn, " << format("%.0f", F->number("reorders_effective"))
+          << " changed hint arrival order\n";
       Out << "best speedup: " << format("%.3f", F->number("best_speedup"))
           << "x\n";
     }
-    // Group the round log by (app, device count) in stream order.
+    // Group the step log by (app, device count) in stream order.
     std::vector<std::pair<std::string, int>> Groups;
     for (const FleetRecord &R : Run.Fleet) {
       std::pair<std::string, int> Key{R.App, R.FleetDevices};
@@ -526,12 +540,17 @@ std::string report::summarize(const LoadedRun &Run, bool Markdown) {
     for (const auto &G : Groups) {
       Out << G.first << " x" << G.second << " devices:";
       std::map<int, double> BestByRound;
+      uint64_t EndTime = 0;
       for (const FleetRecord &R : Run.Fleet)
-        if (R.App == G.first && R.FleetDevices == G.second &&
-            R.BestSpeedup > BestByRound[R.Round])
-          BestByRound[R.Round] = R.BestSpeedup;
+        if (R.App == G.first && R.FleetDevices == G.second) {
+          if (R.BestSpeedup > BestByRound[R.Round])
+            BestByRound[R.Round] = R.BestSpeedup;
+          EndTime = std::max(EndTime, R.VirtualTime);
+        }
       for (const auto &KV : BestByRound)
-        Out << " r" << KV.first << ":" << format("%.3f", KV.second) << "x";
+        Out << " s" << KV.first << ":" << format("%.3f", KV.second) << "x";
+      if (EndTime)
+        Out << "  (vt " << EndTime << ")";
       Out << "\n";
     }
     Out << "\n";

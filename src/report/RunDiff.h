@@ -62,8 +62,10 @@ struct GenRecord {
 struct FleetRecord {
   std::string App;
   int FleetDevices = 0; ///< Device count of the coordinator run.
-  int Round = 0;
+  int Round = 0;        ///< The device's step index (async since schema 4).
   int Device = 0;
+  /// Virtual completion time of the step (schema 4; 0 on older runs).
+  uint64_t VirtualTime = 0;
   double BestSpeedup = 0.0;
   std::string BestGenome;
   std::string BestSource; ///< search::genomeSourceName spelling.

@@ -218,6 +218,7 @@ void RunReport::onFleetRound(const FleetRoundRecord &R) {
   B.field("devices", R.FleetDevices);
   B.field("round", R.Round);
   B.field("device", R.Device);
+  B.field("virtual_time", R.VirtualTime);
   B.field("best_speedup", R.BestSpeedup);
   B.field("best_genome", R.BestGenome);
   B.field("best_source", R.BestSource);
@@ -275,8 +276,10 @@ std::string RunReport::manifestJson() const {
   json::Builder B;
   // Schema 2 added the optional fleet section/stream; schema 3 the
   // observability flag, the per-app region_analysis section and the
-  // analysis.jsonl stream. Readers accept all three.
-  B.field("schema", 3);
+  // analysis.jsonl stream; schema 4 the virtual_time field on fleet
+  // records and the TransportStats fleet-section fields. Readers accept
+  // all four.
+  B.field("schema", 4);
   B.field("tool", Info.Tool);
   B.field("git", ROPT_GIT_DESCRIBE);
   B.field("seed", Info.Seed);
@@ -347,11 +350,9 @@ std::string RunReport::manifestJson() const {
         .field("reorder_prob", Fleet.ReorderProb)
         .field("hints_published", Fleet.HintsPublished)
         .field("hints_adopted", Fleet.HintsAdopted)
-        .field("hints_rejected", Fleet.HintsRejected)
-        .field("transport_attempts", Fleet.TransportAttempts)
-        .field("transport_drops", Fleet.TransportDrops)
-        .field("deliveries_failed", Fleet.DeliveriesFailed)
-        .field("best_speedup", Fleet.BestSpeedup);
+        .field("hints_rejected", Fleet.HintsRejected);
+    Fleet.Transport.emitJson(F);
+    F.field("best_speedup", Fleet.BestSpeedup);
     B.fieldRaw("fleet", std::move(F).str());
   }
   return std::move(B).str();

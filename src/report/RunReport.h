@@ -24,6 +24,7 @@
 #define ROPT_REPORT_RUN_REPORT_H
 
 #include "analysis/RegionAnalysis.h"
+#include "fleet/Transport.h"
 #include "report/ReportWriter.h"
 #include "search/EvaluationEngine.h"
 #include "search/GeneticSearch.h"
@@ -77,16 +78,19 @@ struct AppOutcome {
   uint32_t AppliedPassMask = 0;
 };
 
-/// One (round, device) cell of a fleet run — one fleet.jsonl line. Like
-/// evaluation records, it is a pure function of the run's results (no
-/// timestamps), so a seeded fleet run's round log is byte-identical at
-/// any `--jobs` value.
+/// One completed device step of a fleet run — one fleet.jsonl line.
+/// Like evaluation records, it is a pure function of the run's results
+/// (virtual times are simulated, not wall-clock), so a seeded fleet
+/// run's step log is byte-identical at any `--jobs` value.
 struct FleetRoundRecord {
   std::string App;
   int FleetDevices = 0; ///< Device count of the coordinator run (a sweep
                         ///< writes several runs into one stream).
-  int Round = 0;
+  int Round = 0; ///< The device's step index (steps are asynchronous).
   int Device = 0;
+  /// Virtual completion time of the step on the fleet event loop
+  /// (schema 4; deterministic, unlike a wall clock).
+  uint64_t VirtualTime = 0;
   double BestSpeedup = 0.0; ///< Device best-so-far vs its own baseline.
   std::string BestGenome;
   std::string BestSource; ///< search::genomeSourceName() spelling.
@@ -113,9 +117,9 @@ struct FleetSummary {
   uint64_t HintsPublished = 0;
   uint64_t HintsAdopted = 0;
   uint64_t HintsRejected = 0;
-  uint64_t TransportAttempts = 0;
-  uint64_t TransportDrops = 0;
-  uint64_t DeliveriesFailed = 0;
+  /// All sends, both channels, across the sweep (one shared struct and
+  /// JSON emitter with FleetResult — see fleet/Transport.h).
+  fleet::TransportStats Transport;
   double BestSpeedup = 0.0; ///< Best across the whole sweep.
 };
 

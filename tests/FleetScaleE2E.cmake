@@ -2,11 +2,13 @@
 # ctest as the `fleet_scale_e2e` test):
 #
 #   1. fleet_scale --fast --seed 1 --report A                 (jobs 1)
-#   2. fleet_scale --fast --seed 1 --jobs 4 --report B
-#   3. the run directory grew fleet.jsonl and a manifest fleet section
+#   2. fleet_scale --fast --seed 1 --jobs 8 --report B
+#   3. the run directory grew fleet.jsonl (with schema-4 virtual times)
+#      and a manifest fleet section
 #   4. ropt-report validate A     -> fleet artifacts cross-check clean
 #   5. ropt-report summarize A    -> renders the fleet section
-#   6. fleet.jsonl A == B         -> the round log is jobs-invariant
+#   6. fleet.jsonl A == B         -> the step log is jobs-invariant
+#   7. the same invariance under 30% churn (C jobs 1 == D jobs 8)
 #
 # Inputs: -DFLEET_SCALE=..., -DROPT_REPORT=..., -DWORK_DIR=...
 
@@ -29,22 +31,35 @@ if(NOT Rc EQUAL 0)
 endif()
 
 execute_process(
-  COMMAND ${FLEET_SCALE} --fast --seed 1 --jobs 4 --report ${RunB}
+  COMMAND ${FLEET_SCALE} --fast --seed 1 --jobs 8 --report ${RunB}
   RESULT_VARIABLE Rc OUTPUT_QUIET)
 if(NOT Rc EQUAL 0)
-  message(FATAL_ERROR "fleet_scale --jobs 4 --report ${RunB} failed (${Rc})")
+  message(FATAL_ERROR "fleet_scale --jobs 8 --report ${RunB} failed (${Rc})")
 endif()
 
-foreach(Artifact manifest.json evaluations.jsonl generations.jsonl
-        metrics.json trace.json fleet.jsonl)
+# An ROPT_OBSERVABILITY=0 build intentionally ships no trace/metrics
+# snapshots (the manifest records observability:false); everything else
+# is required in every config.
+file(READ "${RunA}/manifest.json" Manifest)
+set(Artifacts manifest.json evaluations.jsonl generations.jsonl
+    fleet.jsonl)
+if(NOT Manifest MATCHES "\"observability\"[ \t]*:[ \t]*false")
+  list(APPEND Artifacts metrics.json trace.json)
+endif()
+foreach(Artifact IN LISTS Artifacts)
   if(NOT EXISTS "${RunA}/${Artifact}")
     message(FATAL_ERROR "missing artifact ${RunA}/${Artifact}")
   endif()
 endforeach()
-
-file(READ "${RunA}/manifest.json" Manifest)
 if(NOT Manifest MATCHES "\"fleet\"")
   message(FATAL_ERROR "manifest.json lacks the fleet section")
+endif()
+
+# Schema 4: every fleet.jsonl record carries the step's virtual
+# completion time on the event loop.
+file(READ "${RunA}/fleet.jsonl" FleetLog)
+if(NOT FleetLog MATCHES "\"virtual_time\"")
+  message(FATAL_ERROR "fleet.jsonl lacks virtual_time (schema 4)")
 endif()
 
 execute_process(
@@ -53,7 +68,7 @@ execute_process(
 if(NOT Rc EQUAL 0)
   message(FATAL_ERROR "ropt-report validate failed (${Rc}):\n${Out}${Err}")
 endif()
-if(Err MATCHES "warning:")
+if(Err MATCHES "warning:" AND NOT Err MATCHES "ROPT_OBSERVABILITY=0")
   message(FATAL_ERROR "validate warned on a complete fleet run:\n${Err}")
 endif()
 
@@ -67,16 +82,49 @@ if(NOT Out MATCHES "fleet")
   message(FATAL_ERROR "summary lacks the fleet section:\n${Out}")
 endif()
 
-# The fleet-scale determinism bar: the whole round log — device bests,
-# hint adoption, even the seeded transport's retry counters — is
-# byte-identical at any --jobs value.
+# The fleet-scale determinism bar: the whole step log — virtual times,
+# device bests, hint adoption, even the seeded transport's retry
+# counters — is byte-identical at any --jobs value.
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E compare_files
           "${RunA}/fleet.jsonl" "${RunB}/fleet.jsonl"
   RESULT_VARIABLE Rc)
 if(NOT Rc EQUAL 0)
-  message(FATAL_ERROR "fleet.jsonl differs between --jobs 1 and --jobs 4")
+  message(FATAL_ERROR "fleet.jsonl differs between --jobs 1 and --jobs 8")
 endif()
 
-message(STATUS "fleet_scale_e2e: fleet artifacts valid, round log "
-               "jobs-invariant, summary renders the fleet section")
+# And the same bar under churn: 30% of devices leave mid-run and 30%
+# join late on a seeded schedule; the step log must stay jobs-invariant.
+set(RunC "${WORK_DIR}/runC")
+set(RunD "${WORK_DIR}/runD")
+execute_process(
+  COMMAND ${FLEET_SCALE} --fast --seed 1 --churn 30 --report ${RunC}
+  RESULT_VARIABLE Rc OUTPUT_QUIET)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "fleet_scale --churn 30 --report ${RunC} failed (${Rc})")
+endif()
+execute_process(
+  COMMAND ${FLEET_SCALE} --fast --seed 1 --churn 30 --jobs 8
+          --report ${RunD}
+  RESULT_VARIABLE Rc OUTPUT_QUIET)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "fleet_scale --churn 30 --jobs 8 failed (${Rc})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${RunC}/fleet.jsonl" "${RunD}/fleet.jsonl"
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "churned fleet.jsonl differs between --jobs 1 and 8")
+endif()
+execute_process(
+  COMMAND ${ROPT_REPORT} validate ${RunC}
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "validate failed on the churned run (${Rc}):\n"
+                      "${Out}${Err}")
+endif()
+
+message(STATUS "fleet_scale_e2e: fleet artifacts valid, step log "
+               "jobs-invariant (with and without churn), summary renders "
+               "the fleet section")

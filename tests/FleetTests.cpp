@@ -1,29 +1,34 @@
 //===- tests/FleetTests.cpp - Crowd-sourced fleet search --------------------===//
 //
-// The fleet layer's acceptance criteria (DESIGN.md §12):
+// The fleet layer's acceptance criteria (DESIGN.md §12, §14):
 //
 //   (a) a seeded fleet run is bit-identical across --jobs values and
-//       across re-runs at the same seed;
+//       across re-runs at the same seed — including under a lossy,
+//       reordering transport and under device churn;
 //   (b) a 4-device fleet's final best fitness is at least the 1-device
 //       best at the same per-device budget;
 //   (c) a deliberately-unsound injected hint is rejected by every
 //       device's own verification map, counted, and quarantined;
-//   (d) transport drop/reordering changes retry counters only — results
-//       are identical to a lossless run.
+//   (d) loss and reordering are *real* since the virtual-time redesign:
+//       they shift delivery times and can change which hints seed which
+//       search — what stays fixed is determinism at a given seed.
 //
-// Plus unit coverage of the transport's pure-function verdicts, the
-// server's statistical merging/dedup/quarantine, device-profile
-// derivation, and the core warm-start hook the fleet seeds through.
+// Plus unit coverage of the event loop's (time, seq) commit order, the
+// transport's pure-function verdicts and delivery planning, the server's
+// statistical merging/dedup/quarantine/TTL, device-profile derivation
+// (per-device and classed), and the core warm-start hook.
 //
 //===----------------------------------------------------------------------===//
 
 #include "fleet/Coordinator.h"
+#include "fleet/EventLoop.h"
 #include "fleet/Server.h"
 #include "fleet/Transport.h"
 
 #include "core/IterativeCompiler.h"
 #include "lir/Passes.h"
 #include "support/Metrics.h"
+#include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
@@ -46,21 +51,21 @@ core::PipelineConfig fleetBase(uint64_t Seed) {
   return Config;
 }
 
-fleet::FleetConfig fleetConfig(int Devices, int Rounds, int Jobs,
-                               uint64_t Seed) {
-  fleet::FleetConfig FC;
-  FC.Devices = Devices;
-  FC.Rounds = Rounds;
-  FC.Jobs = Jobs;
-  FC.Seed = Seed;
-  return FC;
+fleet::FleetOptions fleetOptions(int Devices, int Rounds, int Jobs,
+                                 uint64_t Seed) {
+  fleet::FleetOptions FO;
+  FO.Devices = Devices;
+  FO.Rounds = Rounds;
+  FO.Jobs = Jobs;
+  FO.Seed = Seed;
+  return FO;
 }
 
-fleet::FleetResult runFleet(const fleet::FleetConfig &FC,
+fleet::FleetResult runFleet(const fleet::FleetOptions &FO,
                             fleet::Transport &Net,
                             const std::string &App = "Sieve") {
   fleet::Server Srv;
-  fleet::Coordinator Co(FC, fleetBase(FC.Seed));
+  fleet::Coordinator Co(FO, fleetBase(FO.Seed));
   return Co.run(App, Srv, Net);
 }
 
@@ -80,6 +85,53 @@ search::Genome unsoundGenome() {
 
 } // namespace
 
+// --- Event loop -------------------------------------------------------------
+
+TEST(FleetEventLoop, CommitsRunInTimeSeqOrder) {
+  ThreadPool Pool(4);
+  fleet::EventLoop Loop(Pool);
+
+  std::vector<int> Order;
+  auto Committer = [&Order](int Tag) {
+    return [&Order, Tag](fleet::EventLoop &) { Order.push_back(Tag); };
+  };
+  // Scheduled out of order; same-time events tie-break on schedule seq.
+  Loop.schedule(5, /*Lane=*/0, nullptr, Committer(50));
+  Loop.schedule(3, /*Lane=*/1, nullptr, Committer(30));
+  Loop.schedule(3, /*Lane=*/2, nullptr, Committer(31));
+  Loop.schedule(7, /*Lane=*/-1, nullptr,
+                [&](fleet::EventLoop &L) {
+                  Order.push_back(70);
+                  // Scheduling from a commit lands in a later wave, never
+                  // the current one.
+                  L.schedule(7, -1, nullptr, Committer(71));
+                });
+  Loop.run();
+
+  EXPECT_EQ(Order, (std::vector<int>{30, 31, 50, 70, 71}));
+  EXPECT_EQ(Loop.eventsProcessed(), 5u);
+  EXPECT_GE(Loop.now(), 7u);
+}
+
+TEST(FleetEventLoop, ParallelComputesCommitDeterministically) {
+  // Many same-window events across lanes: computes may run on any
+  // worker, but commits must land in (time, seq) order at any pool size.
+  auto Run = [](size_t Workers) {
+    ThreadPool Pool(Workers);
+    fleet::EventLoop Loop(Pool);
+    std::vector<int> Order;
+    for (int I = 0; I != 32; ++I) {
+      int Lane = I % 5;
+      Loop.schedule(static_cast<fleet::VirtualTime>(1 + (I % 3)), Lane,
+                    []() { /* lane-parallel compute */ },
+                    [&Order, I](fleet::EventLoop &) { Order.push_back(I); });
+    }
+    Loop.run();
+    return Order;
+  };
+  EXPECT_EQ(Run(1), Run(8));
+}
+
 // --- Transport --------------------------------------------------------------
 
 TEST(FleetTransport, VerdictIsPureFunctionOfAttemptIdentity) {
@@ -97,6 +149,7 @@ TEST(FleetTransport, VerdictIsPureFunctionOfAttemptIdentity) {
     EXPECT_EQ(Again.Delivered, First.Delivered);
     EXPECT_EQ(Again.LatencyTicks, First.LatencyTicks);
     EXPECT_EQ(Again.Reordered, First.Reordered);
+    EXPECT_EQ(Again.ReorderTicks, First.ReorderTicks);
   }
 
   // Distinct attempt numbers draw independent fates; over many keys both
@@ -111,7 +164,7 @@ TEST(FleetTransport, VerdictIsPureFunctionOfAttemptIdentity) {
   EXPECT_GT(Dropped, 0);
 }
 
-TEST(FleetTransport, SendWithRetryMasksHeavyLoss) {
+TEST(FleetTransport, PlanDeliveryAccumulatesRetriesAndLatency) {
   fleet::TransportOptions Opt;
   Opt.DropProb = 0.6;
   fleet::SimTransport Net(Opt, /*Seed=*/3);
@@ -121,20 +174,47 @@ TEST(FleetTransport, SendWithRetryMasksHeavyLoss) {
   for (int D = 0; D != 32; ++D) {
     fleet::MessageKey Key{fleet::appKey("FFT"), fleet::Channel::Hints, 0, D,
                           0};
-    fleet::SendOutcome S = fleet::sendWithRetry(Net, Key, Policy);
+    fleet::SendOutcome S = fleet::planDelivery(Net, Key, Policy);
     EXPECT_TRUE(S.Delivered); // P(fail) = 0.6^64 — effectively never.
     EXPECT_GE(S.Attempts, 1);
     EXPECT_EQ(S.Drops, static_cast<uint64_t>(S.Attempts - 1));
+    // Every attempt costs at least its latency tick; retries add backoff
+    // on top — loss is paid in virtual time, not hidden by the retry.
+    EXPECT_GE(S.DelayTicks, static_cast<uint64_t>(S.Attempts));
+    if (S.Attempts > 1)
+      EXPECT_GT(S.DelayTicks, static_cast<uint64_t>(S.Attempts));
     TotalAttempts += S.Attempts;
   }
   EXPECT_GT(TotalAttempts, 32); // The loss was real: retries happened.
 
   fleet::PerfectTransport Ideal;
-  fleet::SendOutcome S = fleet::sendWithRetry(
+  fleet::SendOutcome S = fleet::planDelivery(
       Ideal, fleet::MessageKey{1, fleet::Channel::Hints, 0, 0, 0}, Policy);
   EXPECT_TRUE(S.Delivered);
   EXPECT_EQ(S.Attempts, 1);
   EXPECT_EQ(S.Drops, 0u);
+  EXPECT_EQ(S.DelayTicks, 1u); // PerfectTransport: one tick in flight.
+}
+
+TEST(FleetTransport, PlanDeliveryCanGenuinelyFail) {
+  fleet::TransportOptions Opt;
+  Opt.DropProb = 1.0; // A dead link: every attempt is lost.
+  fleet::SimTransport Net(Opt, /*Seed=*/9);
+  fleet::RetryPolicy Policy;
+  Policy.MaxAttempts = 8;
+
+  fleet::SendOutcome S = fleet::planDelivery(
+      Net, fleet::MessageKey{2, fleet::Channel::Report, 0, 0, 0}, Policy);
+  EXPECT_FALSE(S.Delivered);
+  EXPECT_EQ(S.Attempts, 8);
+  EXPECT_EQ(S.Drops, 8u);
+  // The failure still cost time: latency per attempt plus capped backoff.
+  EXPECT_GT(S.DelayTicks, 8u);
+
+  fleet::TransportStats Stats;
+  Stats.count(S);
+  EXPECT_EQ(Stats.Failed, 1u);
+  EXPECT_EQ(Stats.Attempts, 8u);
 }
 
 // --- Server -----------------------------------------------------------------
@@ -207,6 +287,38 @@ TEST(FleetServer, UnknownAppHasNoBoardOrHints) {
   EXPECT_TRUE(Srv.hints("Nope").empty());
 }
 
+TEST(FleetServer, LeaderboardTtlExpiresStaleEntries) {
+  fleet::ServerOptions Opt;
+  Opt.TtlTicks = 100;
+  fleet::Server Srv(Opt);
+
+  search::Genome G;
+  G.Passes.push_back(lir::PassInstance{lir::PassId::Gvn, 0, false});
+  fleet::RoundReport R;
+  R.Device = 0;
+  R.Best.push_back(genomeReport(G, 0xaaa, {1.5, 1.6, 1.7}));
+  Srv.merge("App", R, /*Now=*/10);
+
+  // Fresh within the TTL window: served.
+  EXPECT_EQ(Srv.hints("App", /*Now=*/60).size(), 1u);
+  EXPECT_EQ(Srv.stats().Expired, 0u);
+
+  // Past LastReportTick + TtlTicks: aged out of the hint set, counted,
+  // but kept on the leaderboard for the post-mortem.
+  EXPECT_TRUE(Srv.hints("App", /*Now=*/111).empty());
+  EXPECT_EQ(Srv.stats().Expired, 1u);
+  const std::vector<fleet::Server::LeaderEntry> *Board =
+      Srv.leaderboard("App");
+  ASSERT_NE(Board, nullptr);
+  ASSERT_EQ(Board->size(), 1u);
+  EXPECT_TRUE(Board->front().Expired);
+
+  // A fresh report revives the entry: live confirmation beats staleness.
+  Srv.merge("App", R, /*Now=*/120);
+  EXPECT_EQ(Srv.hints("App", /*Now=*/150).size(), 1u);
+  EXPECT_FALSE(Board->front().Expired);
+}
+
 // --- Device profiles --------------------------------------------------------
 
 TEST(FleetDevice, ProfileDerivationIsDeterministicAndBounded) {
@@ -237,16 +349,43 @@ TEST(FleetDevice, ProfileDerivationIsDeterministicAndBounded) {
   EXPECT_EQ(H.SessionShift, 0);
 }
 
+TEST(FleetDevice, ClassedProfilesShareHardwareNotSeeds) {
+  // Device 7 of a 4-class fleet lands in class 3 and inherits class 3's
+  // hardware axes (that is what lets class members share one pipeline
+  // state)...
+  fleet::DeviceProfile D7 =
+      fleet::DeviceProfile::deriveClassed(42, 7, 4, 0.25, 0.5, 2);
+  fleet::DeviceProfile C3 = fleet::DeviceProfile::derive(42, 3, 0.25, 0.5, 2);
+  EXPECT_EQ(D7.Id, 7);
+  EXPECT_EQ(D7.ClassId, 3);
+  EXPECT_EQ(D7.CostScale, C3.CostScale);
+  EXPECT_EQ(D7.NoiseScale, C3.NoiseScale);
+  EXPECT_EQ(D7.SessionShift, C3.SessionShift);
+
+  // ...but searches from its own seed: class siblings explore distinct
+  // trajectories.
+  fleet::DeviceProfile D3 =
+      fleet::DeviceProfile::deriveClassed(42, 3, 4, 0.25, 0.5, 2);
+  EXPECT_EQ(D3.ClassId, D7.ClassId);
+  EXPECT_NE(D3.Seed, D7.Seed);
+
+  // Classes = 0 degenerates to the historical per-device derivation.
+  fleet::DeviceProfile Solo =
+      fleet::DeviceProfile::deriveClassed(42, 3, 0, 0.25, 0.5, 2);
+  EXPECT_EQ(Solo.Seed, C3.Seed);
+  EXPECT_EQ(Solo.ClassId, 3);
+}
+
 // --- (a) Determinism: bit-identical at any --jobs and across re-runs --------
 
 TEST(FleetCoordinator, ResultsAreIdenticalAcrossJobsAndReruns) {
   fleet::PerfectTransport Net;
   fleet::FleetResult Serial =
-      runFleet(fleetConfig(3, 2, /*Jobs=*/1, /*Seed=*/1), Net);
+      runFleet(fleetOptions(3, 2, /*Jobs=*/1, /*Seed=*/1), Net);
   fleet::FleetResult Parallel =
-      runFleet(fleetConfig(3, 2, /*Jobs=*/4, /*Seed=*/1), Net);
+      runFleet(fleetOptions(3, 2, /*Jobs=*/4, /*Seed=*/1), Net);
   fleet::FleetResult Rerun =
-      runFleet(fleetConfig(3, 2, /*Jobs=*/4, /*Seed=*/1), Net);
+      runFleet(fleetOptions(3, 2, /*Jobs=*/4, /*Seed=*/1), Net);
 
   ASSERT_TRUE(Serial.Succeeded) << Serial.FailureReason;
   EXPECT_FALSE(Serial.digest().empty());
@@ -254,6 +393,7 @@ TEST(FleetCoordinator, ResultsAreIdenticalAcrossJobsAndReruns) {
   EXPECT_EQ(Parallel.digest(), Rerun.digest());
   EXPECT_EQ(Serial.BestSpeedup, Parallel.BestSpeedup);
   EXPECT_EQ(Serial.BestGenome, Parallel.BestGenome);
+  EXPECT_GT(Serial.VirtualDuration, 0u);
 }
 
 // --- (b) Crowd-sourcing pays: more devices, no worse a best -----------------
@@ -262,12 +402,15 @@ TEST(FleetCoordinator, FourDevicesFindAtLeastTheSingleDeviceBest) {
   // Homogeneous fleet: identical hardware, so best-speedup comparisons
   // across population sizes are apples to apples. Each device still
   // searches from its own seed — the population explores more of the
-  // space, and the leaderboard shares what it finds.
-  fleet::FleetConfig One = fleetConfig(1, 2, 1, /*Seed=*/1);
+  // space, and the leaderboard shares what it finds. Three steps so the
+  // asynchronous hint loop closes: a device needs a delivered report
+  // (step n), the piggybacked hint push, and a later step (n+1 or n+2)
+  // to adopt.
+  fleet::FleetOptions One = fleetOptions(1, 3, 1, /*Seed=*/1);
   One.CostJitter = 0.0;
   One.NoiseJitter = 0.0;
   One.SessionSpread = 0;
-  fleet::FleetConfig Four = One;
+  fleet::FleetOptions Four = One;
   Four.Devices = 4;
   Four.Jobs = 4;
 
@@ -287,8 +430,10 @@ TEST(FleetCoordinator, FourDevicesFindAtLeastTheSingleDeviceBest) {
 // --- (c) Safety: unsound hints are re-verified, rejected, quarantined -------
 
 TEST(FleetCoordinator, UnsoundHintIsRejectedByVerificationAndQuarantined) {
+#if ROPT_OBSERVABILITY
   uint64_t RejectedBefore =
       Metrics::instance().snapshot().counter("fleet.hints_rejected");
+#endif
 
   fleet::Server Srv;
   search::Genome Evil = unsoundGenome();
@@ -298,7 +443,7 @@ TEST(FleetCoordinator, UnsoundHintIsRejectedByVerificationAndQuarantined) {
   Srv.injectHint("Sieve", Evil, /*Speedup=*/9.9);
 
   fleet::PerfectTransport Net;
-  fleet::Coordinator Co(fleetConfig(2, 2, 1, /*Seed=*/1), fleetBase(1));
+  fleet::Coordinator Co(fleetOptions(2, 2, 1, /*Seed=*/1), fleetBase(1));
   fleet::FleetResult R = Co.run("Sieve", Srv, Net);
 
   ASSERT_TRUE(R.Succeeded) << R.FailureReason;
@@ -306,9 +451,11 @@ TEST(FleetCoordinator, UnsoundHintIsRejectedByVerificationAndQuarantined) {
   // counted and reported back.
   EXPECT_GT(R.HintsRejected, 0u);
   EXPECT_NE(R.BestGenome, Evil.name());
+#if ROPT_OBSERVABILITY
   uint64_t RejectedAfter =
       Metrics::instance().snapshot().counter("fleet.hints_rejected");
   EXPECT_GT(RejectedAfter, RejectedBefore);
+#endif
 
   // The server quarantined the genome on the first rejection report: it
   // is out of the hint set for good.
@@ -327,31 +474,71 @@ TEST(FleetCoordinator, UnsoundHintIsRejectedByVerificationAndQuarantined) {
     EXPECT_NE(H.Key, Evil.name());
 }
 
-// --- (d) Loss invariance: a lossy network changes counters, not results -----
+// --- (d) Loss is real, determinism survives it ------------------------------
 
-TEST(FleetCoordinator, LossyTransportLeavesResultsIdentical) {
+TEST(FleetCoordinator, LossyTransportIsDeterministicAndCounted) {
   fleet::PerfectTransport Ideal;
   fleet::FleetResult Clean =
-      runFleet(fleetConfig(2, 2, 1, /*Seed=*/1), Ideal);
+      runFleet(fleetOptions(2, 2, 1, /*Seed=*/1), Ideal);
 
   fleet::TransportOptions Opt;
   Opt.DropProb = 0.3;
   Opt.ReorderProb = 0.3;
-  fleet::SimTransport Lossy(Opt, /*Seed=*/1);
-  fleet::FleetResult Noisy =
-      runFleet(fleetConfig(2, 2, 1, /*Seed=*/1), Lossy);
+  auto RunLossy = [&](int Jobs) {
+    fleet::SimTransport Lossy(Opt, /*Seed=*/1);
+    return runFleet(fleetOptions(2, 2, Jobs, /*Seed=*/1), Lossy);
+  };
+  fleet::FleetResult Noisy = RunLossy(1);
+  fleet::FleetResult NoisyParallel = RunLossy(8);
+  fleet::FleetResult NoisyRerun = RunLossy(1);
 
   ASSERT_TRUE(Clean.Succeeded) << Clean.FailureReason;
   ASSERT_TRUE(Noisy.Succeeded) << Noisy.FailureReason;
-  // The loss was real...
-  EXPECT_GT(Noisy.TransportDrops, 0u);
-  EXPECT_GT(Noisy.TransportAttempts, Clean.TransportAttempts);
-  EXPECT_EQ(Noisy.DeliveriesFailed, 0u);
-  // ...and changed nothing that matters: same genomes, same leaderboard,
-  // same round outcomes, to the byte.
-  EXPECT_EQ(Clean.digest(), Noisy.digest());
-  EXPECT_EQ(Clean.BestSpeedup, Noisy.BestSpeedup);
-  EXPECT_EQ(Clean.BestGenome, Noisy.BestGenome);
+  // The loss was real: retries happened and cost virtual time. Since the
+  // redesign loss may legitimately change *results* too (late hints miss
+  // steps) — what must hold is determinism at the seed.
+  EXPECT_GT(Noisy.Transport.Drops, 0u);
+  EXPECT_GT(Noisy.Transport.Attempts, Clean.Transport.Attempts);
+  EXPECT_EQ(Clean.Transport.Drops, 0u);
+  EXPECT_EQ(Noisy.digest(), NoisyParallel.digest());
+  EXPECT_EQ(Noisy.digest(), NoisyRerun.digest());
+}
+
+// --- Churn: seeded join/leave, TTL, determinism -----------------------------
+
+TEST(FleetCoordinator, ChurnedFleetIsDeterministicAcrossJobsAndReruns) {
+  // 30% of the initial population disconnects mid-run (their in-flight
+  // results die with them) and 30% joins late, on a seeded schedule.
+  auto ChurnOptions = [](int Jobs) {
+    fleet::FleetOptions FO = fleetOptions(10, 2, Jobs, /*Seed=*/5);
+    FO.ProfileClasses = 2; // Class sharing keeps ten devices cheap.
+    FO.Population.LeaveFraction = 0.3;
+    FO.Population.JoinFraction = 0.3;
+    FO.Population.HorizonTicks = 900;
+    return FO;
+  };
+
+  auto RunChurn = [&](int Jobs) {
+    fleet::ServerOptions SrvOpt;
+    SrvOpt.TtlTicks = 900; // Stale entries age out within a lifetime.
+    fleet::Server Srv(SrvOpt);
+    fleet::SimTransport Net(fleet::TransportOptions{}, /*Seed=*/5);
+    fleet::Coordinator Co(ChurnOptions(Jobs), fleetBase(5));
+    return Co.run("Sieve", Srv, Net);
+  };
+
+  fleet::FleetResult Serial = RunChurn(1);
+  fleet::FleetResult Parallel = RunChurn(8);
+  fleet::FleetResult Rerun = RunChurn(1);
+
+  ASSERT_TRUE(Serial.Succeeded) << Serial.FailureReason;
+  // The churn schedule actually fired at this seed.
+  EXPECT_GT(Serial.DevicesLeft, 0);
+  EXPECT_EQ(Serial.DevicesJoined, 3);
+  EXPECT_EQ(Serial.Devices, 13);
+  // And the simulation stayed bit-identical across --jobs and reruns.
+  EXPECT_EQ(Serial.digest(), Parallel.digest());
+  EXPECT_EQ(Serial.digest(), Rerun.digest());
 }
 
 // --- The core warm-start hook the fleet seeds through -----------------------
@@ -365,7 +552,7 @@ TEST(FleetWarmStart, WarmStartedSearchIsNoWorseThanColdAtSameBudget) {
   ASSERT_TRUE(ColdRun.Succeeded) << ColdRun.FailureReason;
 
   // Same budget, same seed, but gen-0 starts from the cold run's winner
-  // — exactly how a fleet device re-enters each round. The warm run can
+  // — exactly how a fleet device re-enters each step. The warm run can
   // only match or beat the seed it started from.
   core::PipelineConfig Warm = fleetBase(/*Seed=*/1);
   Warm.Search.WarmStart.push_back(ColdRun.Best.G);
