@@ -188,6 +188,26 @@ int main(int Argc, char **Argv) {
               std::to_string(R.VirtualDuration) + "," +
               std::to_string(WallMs) + "," + std::to_string(MsPerDevice));
 
+      // The winning genome's fleet journey: who discovered it, when it
+      // reached the server, and how far the hint plane carried it.
+      if (R.BestProv.Id != 0) {
+        for (const fleet::ProvenanceChain &C : R.Telemetry.Chains) {
+          if (C.Id != R.BestProv.Id)
+            continue;
+          std::printf("           winner %s %s: discovered d%d@vt%llu, "
+                      "merged@vt%llu, %llu arrivals, %llu adopted, "
+                      "%llu rejected\n",
+                      fleet::provenanceHex(C.Id).c_str(), C.Key.c_str(),
+                      C.Device,
+                      static_cast<unsigned long long>(C.DiscoveryTime),
+                      static_cast<unsigned long long>(C.FirstMergeTime),
+                      static_cast<unsigned long long>(C.Arrivals),
+                      static_cast<unsigned long long>(C.Adoptions),
+                      static_cast<unsigned long long>(C.Rejections));
+          break;
+        }
+      }
+
       Summary.HintsPublished += R.HintsPublished;
       Summary.HintsAdopted += R.HintsAdopted;
       Summary.HintsRejected += R.HintsRejected;

@@ -1,0 +1,150 @@
+//===- analysis/FleetTrace.cpp - Fleet-wide virtual-clock trace -----------===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FleetTrace.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ropt {
+namespace analysis {
+
+void FleetTrace::beginCell(const std::string &App, int Devices,
+                           int NumTracks) {
+  Cell C;
+  C.App = App;
+  C.Devices = Devices;
+  C.NumTracks = NumTracks < 1 ? 1 : NumTracks;
+  Cells.push_back(std::move(C));
+}
+
+void FleetTrace::add(FleetTraceEvent E) {
+  if (Cells.empty())
+    beginCell("", 0, 1);
+  Cells.back().Events.push_back(std::move(E));
+}
+
+namespace {
+
+std::string metadataEvent(uint64_t Pid, const std::string &Label) {
+  json::Builder B;
+  B.field("name", "process_name")
+      .field("ph", "M")
+      .field("pid", Pid)
+      .field("tid", uint64_t(0));
+  json::Builder Args;
+  Args.field("name", Label);
+  B.fieldRaw("args", std::move(Args).str());
+  return std::move(B).str();
+}
+
+} // namespace
+
+std::string FleetTrace::toChromeJson() const {
+  std::string Out;
+  Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  auto Emit = [&](std::string Json) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += Json;
+  };
+
+  uint64_t BasePid = 0;
+  for (const Cell &C : Cells) {
+    // pid 0 of the block is the server track, 1..NumTracks the classes.
+    std::string Prefix = C.App + " x" + std::to_string(C.Devices);
+    Emit(metadataEvent(BasePid, Prefix + " server"));
+    for (int T = 0; T < C.NumTracks; ++T)
+      Emit(metadataEvent(BasePid + 1 + static_cast<uint64_t>(T),
+                         Prefix + " class " + std::to_string(T)));
+
+    // Events arrive in commit order, but churn schedules are placed at
+    // future ticks before the loop runs — sort by the virtual key.
+    std::vector<const FleetTraceEvent *> Order;
+    Order.reserve(C.Events.size());
+    for (const FleetTraceEvent &E : C.Events)
+      Order.push_back(&E);
+    std::stable_sort(Order.begin(), Order.end(),
+                     [](const FleetTraceEvent *A, const FleetTraceEvent *B) {
+                       if (A->Time != B->Time)
+                         return A->Time < B->Time;
+                       return A->Seq < B->Seq;
+                     });
+
+    for (const FleetTraceEvent *E : Order) {
+      uint64_t Pid = BasePid + static_cast<uint64_t>(E->Track < 0
+                                                         ? 0
+                                                         : 1 + E->Track);
+      uint64_t Tid = static_cast<uint64_t>(E->Device < 0 ? 0 : E->Device);
+      switch (E->K) {
+      case FleetTraceEvent::Kind::Step: {
+        json::Builder B;
+        B.field("name", E->Name)
+            .field("cat", "fleet.step")
+            .field("ph", "X")
+            .field("ts", E->Time)
+            .field("dur", E->Duration)
+            .field("pid", Pid)
+            .field("tid", Tid);
+        json::Builder Args;
+        Args.field("best_speedup", E->Value);
+        B.fieldRaw("args", std::move(Args).str());
+        Emit(std::move(B).str());
+        break;
+      }
+      case FleetTraceEvent::Kind::Delivery: {
+        // Async begin/end pair: Chrome draws the in-flight window (and,
+        // with flow arrows enabled, the arc) between the two ticks.
+        json::Builder Begin;
+        Begin.field("name", E->Name)
+            .field("cat", "fleet.delivery")
+            .field("ph", "b")
+            .field("id", E->FlowId)
+            .field("ts", E->Time)
+            .field("pid", Pid)
+            .field("tid", Tid);
+        Emit(std::move(Begin).str());
+        json::Builder End;
+        End.field("name", E->Name)
+            .field("cat", "fleet.delivery")
+            .field("ph", "e")
+            .field("id", E->FlowId)
+            .field("ts", E->EndTime)
+            .field("pid", Pid)
+            .field("tid", Tid);
+        Emit(std::move(End).str());
+        break;
+      }
+      case FleetTraceEvent::Kind::Merge:
+      case FleetTraceEvent::Kind::Join:
+      case FleetTraceEvent::Kind::Leave: {
+        json::Builder B;
+        B.field("name", E->Name)
+            .field("cat", E->K == FleetTraceEvent::Kind::Merge
+                              ? "fleet.server"
+                              : "fleet.churn")
+            .field("ph", "i")
+            .field("s", "p")
+            .field("ts", E->Time)
+            .field("pid", Pid)
+            .field("tid", Tid);
+        Emit(std::move(B).str());
+        break;
+      }
+      }
+    }
+    BasePid += static_cast<uint64_t>(C.NumTracks) + 1;
+  }
+  Out += "]}";
+  return Out;
+}
+
+} // namespace analysis
+} // namespace ropt

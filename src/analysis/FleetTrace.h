@@ -1,0 +1,89 @@
+//===- analysis/FleetTrace.h - Fleet-wide virtual-clock trace ---*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the whole fleet's virtual-time history as one Chrome trace
+/// (`fleet.trace.json`, DESIGN.md §15): device search steps as Complete
+/// spans, in-flight report/hint deliveries as async arrows, server merges
+/// and churn join/leave as instants. The model is deliberately neutral —
+/// plain events, no fleet types — so the analysis layer stays below the
+/// fleet in the dependency order and the report layer can render traces
+/// without linking `ropt_fleet`.
+///
+/// Determinism contract: events are appended from serial contexts (event
+/// loop commits) carrying the loop's own `(Time, Seq)` key, the renderer
+/// sorts by that key and emits everything serially — the JSON is a pure
+/// function of the events and therefore byte-identical at any `--jobs`.
+///
+/// Track layout: one Chrome *process* per device class plus one for the
+/// server, per coordinator cell (app x device-count); the device id is
+/// the thread. Virtual ticks are emitted as microseconds, so a 1500-tick
+/// horizon renders as a 1.5 ms timeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_ANALYSIS_FLEET_TRACE_H
+#define ROPT_ANALYSIS_FLEET_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ropt {
+namespace analysis {
+
+/// One virtual-time event of a fleet run.
+struct FleetTraceEvent {
+  enum class Kind {
+    Step,     ///< One device search step (Complete span of Duration ticks).
+    Delivery, ///< An in-flight message (async arrow Time -> EndTime).
+    Merge,    ///< A server-side leaderboard merge (instant, server track).
+    Join,     ///< A churn joiner's first step was scheduled (instant).
+    Leave,    ///< A device died mid-run (instant).
+  };
+  Kind K = Kind::Step;
+  uint64_t Time = 0; ///< Virtual start tick.
+  uint64_t Seq = 0;  ///< Tie-break within a tick (append order).
+  int Track = -1;    ///< Device class id; -1 selects the server track.
+  int Device = -1;   ///< Reporting device (Chrome thread id).
+  uint64_t Duration = 0; ///< Step: virtual ticks spent.
+  uint64_t EndTime = 0;  ///< Delivery: arrival tick.
+  uint64_t FlowId = 0;   ///< Delivery: async-arrow id (unique per cell).
+  std::string Name;      ///< Human label ("step 3", "hints", "merge d2").
+  double Value = 0.0;    ///< Step: best speedup after the step.
+};
+
+/// Accumulates per-cell events and renders the single Chrome JSON.
+class FleetTrace {
+public:
+  /// Opens a new cell (one coordinator run: app x device count); its
+  /// server track and \p NumTracks class tracks get a private pid block
+  /// so several sweep cells coexist in one timeline.
+  void beginCell(const std::string &App, int Devices, int NumTracks);
+
+  /// Appends one event to the current cell (beginCell() first).
+  void add(FleetTraceEvent E);
+
+  bool empty() const { return Cells.empty(); }
+
+  /// The deterministic `{"displayTimeUnit":...,"traceEvents":[...]}`
+  /// rendering of every cell, events sorted by `(Time, Seq)`.
+  std::string toChromeJson() const;
+
+private:
+  struct Cell {
+    std::string App;
+    int Devices = 0;
+    int NumTracks = 0;
+    std::vector<FleetTraceEvent> Events;
+  };
+  std::vector<Cell> Cells;
+};
+
+} // namespace analysis
+} // namespace ropt
+
+#endif // ROPT_ANALYSIS_FLEET_TRACE_H

@@ -34,25 +34,33 @@ std::string FleetResult::digest() const {
   for (const FleetStepLog &L : Log) {
     const DeviceRound &O = L.Outcome;
     D += format("t=%llu s%d d%d drop=%d best=%.17g src=%s fromhint=%d "
-                "genome=%s recv=%d adopt=%d rej=%d evals=%d\n",
+                "genome=%s prov=%016llx disc=d%d@%llu recv=%d adopt=%d "
+                "rej=%d evals=%d\n",
                 static_cast<unsigned long long>(L.Time), L.Step, L.Device,
                 L.Dropped ? 1 : 0, O.BestSpeedup,
                 search::genomeSourceName(O.BestSource),
                 O.BestFromHint ? 1 : 0, O.BestGenome.c_str(),
+                static_cast<unsigned long long>(O.BestProv.Id),
+                O.BestProv.Device,
+                static_cast<unsigned long long>(O.BestProv.Time),
                 O.HintsReceived, O.HintsAdopted, O.HintsRejected,
                 O.Evaluations);
     for (const HintRejection &Rej : O.Report.Rejections)
-      D += format("  reject %s verdict=%s\n", Rej.Key.c_str(),
-                  Rej.Verdict.c_str());
+      D += format("  reject %s verdict=%s prov=%016llx\n", Rej.Key.c_str(),
+                  Rej.Verdict.c_str(),
+                  static_cast<unsigned long long>(Rej.ProvenanceId));
   }
   for (const Server::LeaderEntry &E : Leaderboard)
     D += format("lb %s speedup=%.17g reports=%d devices=%d q=%d exp=%d "
-                "verdict=%s hash=%016llx size=%llu\n",
+                "verdict=%s hash=%016llx size=%llu prov=%016llx "
+                "disc=d%d@%llu\n",
                 E.Key.c_str(), E.Speedup, E.Reports,
                 static_cast<int>(E.Devices.size()), E.Quarantined ? 1 : 0,
                 E.Expired ? 1 : 0, E.RejectVerdict.c_str(),
                 static_cast<unsigned long long>(E.BinaryHash),
-                static_cast<unsigned long long>(E.CodeSize));
+                static_cast<unsigned long long>(E.CodeSize),
+                static_cast<unsigned long long>(E.Prov.Id), E.Prov.Device,
+                static_cast<unsigned long long>(E.Prov.Time));
   return D;
 }
 
@@ -154,6 +162,15 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
   VirtualTime Idle = std::max<VirtualTime>(1, Opt.IdleTicks);
   VirtualTime Grid = std::max<VirtualTime>(1, Opt.StepGridTicks);
 
+  // Telemetry: per-class sketches, provenance chains and the bounded
+  // per-device trace buffers. All hub calls below happen in commits (or
+  // in the serial seeding loop), so the accumulated state is a pure
+  // function of the event schedule — byte-identical at any --jobs.
+  TelemetryHub Hub(AppName, Total, Classes, Opt.TelemetryEventsPerDevice);
+  for (int I = 0; I != Total; ++I)
+    Hub.setDeviceClass(I, States[static_cast<size_t>(I)].Prof.ClassId %
+                              Classes);
+
   // --- Event handlers. Scheduling only happens from serial contexts
   // (here before run(), and inside commits), so Seq assignment — and the
   // whole simulation — is deterministic at any --jobs.
@@ -182,8 +199,12 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
       DS.AnyHintArrived = true;
       if (DS.Left)
         return; // Dead phones receive nothing.
-      for (Hint &H : Hints)
+      for (Hint &H : Hints) {
+        // The chain's hint-latency sample: discovery virtual time to
+        // this arrival, observed into the *receiving* class's sketch.
+        Hub.onHintArrival(Id, H.Prov, H.Key, T);
         DS.Mailbox.push_back(std::move(H));
+      }
     };
   };
 
@@ -193,6 +214,9 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
     return [&, Id, StepIdx, DR = std::move(DR)](EventLoop &L) mutable {
       VirtualTime T = L.now();
       Srv.merge(AppName, DR.Report, T);
+      Hub.onMerge(Id, T);
+      for (const GenomeReport &G : DR.Report.Best)
+        Hub.onGenomeMerged(G.Prov, G.Key, T);
       DeviceState &DS = States[static_cast<size_t>(Id)];
       if (StepIdx > DS.LastMergedStep) {
         DS.LastMergedStep = StepIdx;
@@ -210,6 +234,7 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
         return;
       Out.HintsPublished += Hints.size();
       uint64_t SendSeq = DS.NextHintSendSeq++;
+      Hub.onDelivery(/*HintChannel=*/true, Id, T, T + S.DelayTicks);
       L.schedule(T + S.DelayTicks, -1, nullptr,
                  HintArrive(Id, SendSeq, S.Reordered ? S.ReorderTicks : 0,
                             std::move(Hints)));
@@ -220,6 +245,7 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
   auto FinishStep = [&](EventLoop &L, int Id) {
     DeviceState &DS = States[static_cast<size_t>(Id)];
     VirtualTime T = L.now();
+    VirtualTime StepStart = T - DS.Pending.Duration;
     int StepIdx = DS.StepsDone++;
     DeviceRound DR = std::move(DS.Pending.Round);
 
@@ -230,6 +256,15 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
     Out.HintsAdopted += static_cast<uint64_t>(DR.HintsAdopted);
     Out.HintsRejected += static_cast<uint64_t>(DR.HintsRejected);
 
+    // Telemetry: the step span + sketches, and the chain verdicts of
+    // every hint the step verified (adoptions stamp the step's start —
+    // the instant the GA actually consumed the seed).
+    Hub.onStep(Id, StepIdx, StepStart, T, DR.BestSpeedup);
+    for (uint64_t P : DR.AdoptedProvenance)
+      Hub.onAdoption(Id, P, StepStart);
+    for (uint64_t P : DR.RejectedProvenance)
+      Hub.onRejection(Id, P);
+
     // Churn: a device past its leave tick died while the step ran. The
     // step's results leave with it — nothing is reported, and no further
     // steps are scheduled.
@@ -238,14 +273,17 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
       ++Out.DevicesLeft;
       ROPT_METRIC_INC("fleet.devices_left");
       Cell.Dropped = true;
+      Hub.onLeave(Id, T);
     } else {
       MessageKey Key{AppId, Channel::Report, StepIdx, Id, 0};
       SendOutcome S = planDelivery(Net, Key, Opt.Retry);
       Out.Transport.count(S);
       Cell.ReportDelivery = S;
-      if (S.Delivered)
+      if (S.Delivered) {
+        Hub.onDelivery(/*HintChannel=*/false, Id, T, T + S.DelayTicks);
         L.schedule(T + S.DelayTicks, -1, nullptr,
                    ReportArrive(Id, StepIdx, DR));
+      }
       // A lost report costs its retry time, not the device's life: the
       // next step happens regardless (its report re-carries the best).
       if (DS.StepsDone < Steps)
@@ -267,6 +305,10 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
       Rec.HintsAdopted = DR.HintsAdopted;
       Rec.HintsRejected = DR.HintsRejected;
       Rec.Evaluations = DR.Evaluations;
+      Rec.DeviceClass = DS.Prof.ClassId % Classes;
+      Rec.BestProvenance = DR.BestProv.Id;
+      Rec.BestDiscoveryDevice = DR.BestProv.Device;
+      Rec.BestDiscoveryTime = DR.BestProv.Time;
       Rec.TransportAttempts = Cell.ReportDelivery.Attempts;
       Rec.TransportDrops = Cell.ReportDelivery.Drops;
       Rec.TransportTicks = Cell.ReportDelivery.DelayTicks;
@@ -314,6 +356,9 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
       if (DS.Joiner) {
         Start = 1 + R.below(std::max<uint64_t>(
                     Opt.Population.HorizonTicks, 1));
+        // The joiner's first step lands on the grid — mark the join
+        // instant where its track actually lights up.
+        Hub.onJoin(I, (Start + Grid - 1) / Grid * Grid);
       } else {
         Start = 1 + R.below(Opt.StartSpreadTicks + 1);
         if (Opt.Population.LeaveFraction > 0.0 &&
@@ -359,10 +404,22 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
       Out.BestGenome = DS.LastMerged.BestGenome;
       Out.BestDevice = I;
       Out.BestFromHint = DS.LastMerged.BestFromHint;
+      Out.BestProv = DS.LastMerged.BestProv;
     }
   }
   if (const std::vector<Server::LeaderEntry> *L = Srv.leaderboard(AppName))
     Out.Leaderboard = *L;
+
+  // Close the telemetry: crown the winning chain, snapshot the merged
+  // sketches (device -> class -> cell) and the surviving trace events.
+  if (Out.BestProv.Id != 0)
+    Hub.markWinner(Out.BestProv.Id);
+  Out.Telemetry = Hub.telemetry();
+  Out.TraceEvents = Hub.traceEvents();
+  if (Report) {
+    Report->onFleetCell(Out.Telemetry);
+    Report->onFleetTrace(AppName, Total, Classes, Out.TraceEvents);
+  }
 
   Out.Succeeded = Out.BestSpeedup > 0.0;
   if (!Out.Succeeded)

@@ -47,6 +47,7 @@
 #include "fleet/Device.h"
 #include "fleet/EventLoop.h"
 #include "fleet/Server.h"
+#include "fleet/Telemetry.h"
 #include "fleet/Transport.h"
 
 #include <string>
@@ -116,6 +117,11 @@ struct FleetOptions {
   /// 0 or 1 = no alignment, fully spread starts.
   VirtualTime StepGridTicks = 32;
 
+  /// Per-device cap on buffered fleet-trace events (drop-oldest past it,
+  /// counted by `fleet.telemetry_dropped`) — the PR 6 TraceRecorder
+  /// bound, applied per device so 10k-device runs stay flat in memory.
+  size_t TelemetryEventsPerDevice = 2048;
+
   Churn Population;
 
   /// The paper-faithful deployment defaults: a flaky mobile network
@@ -146,6 +152,10 @@ struct FleetResult {
   std::string BestGenome;
   int BestDevice = -1;
   bool BestFromHint = false;
+  /// Chain of the winning genome: the device that discovered it and the
+  /// virtual instant it did (not necessarily BestDevice — that is who
+  /// *reported* the winning speedup).
+  Provenance BestProv;
 
   std::vector<FleetStepLog> Log; ///< Commit order: (time, seq).
   std::vector<Server::LeaderEntry> Leaderboard; ///< Final snapshot.
@@ -162,6 +172,12 @@ struct FleetResult {
   uint64_t HintsAdopted = 0;
   uint64_t HintsRejected = 0;
   TransportStats Transport; ///< All sends, both channels.
+
+  /// Per-class sketches, their cell merge, and every provenance chain.
+  FleetTelemetry Telemetry;
+  /// The surviving virtual-clock trace events in `(time, seq)` order
+  /// (analysis::FleetTrace renders them as fleet.trace.json).
+  std::vector<analysis::FleetTraceEvent> TraceEvents;
 
   /// A stable fingerprint of every scheduling-independent outcome: device
   /// step results with their virtual times, adopted/rejected hints, the

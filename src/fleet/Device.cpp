@@ -162,7 +162,8 @@ double Device::speedupOf(const search::Evaluation &E) const {
   return E.MedianCycles > 0.0 ? Class->AndroidCycles / E.MedianCycles : 0.0;
 }
 
-GenomeReport Device::reportFor(const search::Scored &S) const {
+GenomeReport Device::reportFor(const search::Scored &S, VirtualTime Now,
+                               int StepIndex) {
   GenomeReport R;
   R.G = S.G;
   R.Key = S.G.name();
@@ -174,10 +175,22 @@ GenomeReport Device::reportFor(const search::Scored &S) const {
   R.SpeedupMedian =
       R.SpeedupSamples.empty() ? speedupOf(S.E) : median(R.SpeedupSamples);
   R.Source = S.Source;
+  // Chain bookkeeping: a genome that entered as an adopted hint keeps
+  // the chain it arrived on; anything else reported here for the first
+  // time is a local discovery and mints a fresh chain at this step's
+  // virtual instant. Re-reports in later steps keep the original mint.
+  auto It = GenomeProv.find(R.Key);
+  if (It == GenomeProv.end())
+    It = GenomeProv
+             .emplace(R.Key,
+                      Provenance{mintProvenanceId(Prof.Id, StepIndex, R.Key),
+                                 Prof.Id, StepIndex, Now})
+             .first;
+  R.Prov = It->second;
   return R;
 }
 
-StepResult Device::step(VirtualTime, int StepIndex,
+StepResult Device::step(VirtualTime Now, int StepIndex,
                         const std::vector<Hint> &Hints) {
   StepResult Res;
   DeviceRound &Out = Res.Round;
@@ -214,10 +227,17 @@ StepResult Device::step(VirtualTime, int StepIndex,
       KnownHints[Fresh[I]->Key] = Adopted;
       if (Adopted) {
         AdoptedForeign.insert(Fresh[I]->Key);
+        // The adopted genome rides the foreign chain from here on —
+        // reportFor() must not mint a local one for it.
+        GenomeProv[Fresh[I]->Key] = Fresh[I]->Prov;
+        Out.AdoptedProvenance.push_back(Fresh[I]->Prov.Id);
         ROPT_METRIC_INC("fleet.hints_adopted");
       } else {
-        Out.Report.Rejections.push_back(HintRejection{
-            Fresh[I]->Key, search::evalKindName(Verdicts[I].Kind)});
+        Out.Report.Rejections.push_back(
+            HintRejection{Fresh[I]->Key,
+                          search::evalKindName(Verdicts[I].Kind),
+                          Fresh[I]->Prov.Id});
+        Out.RejectedProvenance.push_back(Fresh[I]->Prov.Id);
         ROPT_METRIC_INC("fleet.hints_rejected");
       }
     }
@@ -233,12 +253,15 @@ StepResult Device::step(VirtualTime, int StepIndex,
   // hints in delivered order (seedPopulation dedups). The step seed is
   // the *device* seed salted by the step index, so class members sharing
   // an engine still explore distinct trajectories.
-  std::vector<search::Genome> Seeds;
-  if (Best)
-    Seeds.push_back(Best->G);
+  std::vector<search::SeedGenome> Seeds;
+  if (Best) {
+    auto It = GenomeProv.find(Best->G.name());
+    Seeds.push_back(search::SeedGenome{
+        Best->G, It == GenomeProv.end() ? 0 : It->second.Id});
+  }
   for (const Hint *H : Foreign)
     if (KnownHints[H->Key])
-      Seeds.push_back(H->G);
+      Seeds.push_back(search::SeedGenome{H->G, H->Prov.Id});
   uint64_t StepSeed =
       Prof.Seed ^ (0x6a5e + 0x9e3779b97f4a7c15ull *
                               (static_cast<uint64_t>(StepIndex) + 1));
@@ -263,17 +286,18 @@ StepResult Device::step(VirtualTime, int StepIndex,
   // --- Package the round report: the device's best-so-far, plus the
   // step's own discovery when it differs (leaderboard diversity).
   if (Best) {
-    Out.Report.Best.push_back(reportFor(*Best));
+    Out.Report.Best.push_back(reportFor(*Best, Now, StepIndex));
     OwnReported.insert(Best->G.name());
     if (StepBest && StepBest->E.ok() &&
         StepBest->G.name() != Best->G.name()) {
-      Out.Report.Best.push_back(reportFor(*StepBest));
+      Out.Report.Best.push_back(reportFor(*StepBest, Now, StepIndex));
       OwnReported.insert(StepBest->G.name());
     }
     Out.BestSpeedup = speedupOf(Best->E);
     Out.BestGenome = Best->G.name();
     Out.BestSource = Best->Source;
     Out.BestFromHint = BestIsForeign;
+    Out.BestProv = GenomeProv[Best->G.name()]; // reportFor minted above.
   }
   Out.Evaluations = Engine.counters().total() - EvalsBefore;
 

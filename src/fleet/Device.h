@@ -115,6 +115,13 @@ struct DeviceRound {
   std::string BestGenome;
   search::GenomeSource BestSource = search::GenomeSource::Random;
   bool BestFromHint = false; ///< Best-so-far originated as a foreign hint.
+  /// Provenance of the best-so-far genome: the chain minted when this
+  /// device discovered it, or the foreign chain the adopted hint carried.
+  Provenance BestProv;
+  /// Chains verified this step, split by verdict (adopted chains were
+  /// seeded into the GA; rejected ones were reported for quarantine).
+  std::vector<uint64_t> AdoptedProvenance;
+  std::vector<uint64_t> RejectedProvenance;
 };
 
 /// A completed step: the round report plus how long the step took in
@@ -199,7 +206,11 @@ public:
 private:
   /// Speedup of \p E over this device's class Android baseline.
   double speedupOf(const search::Evaluation &E) const;
-  GenomeReport reportFor(const search::Scored &S) const;
+  /// Packages \p S for the server, minting a provenance chain at
+  /// (\p Now, \p StepIndex) if this device is the genome's discoverer
+  /// (an adopted hint keeps the chain it arrived on).
+  GenomeReport reportFor(const search::Scored &S, VirtualTime Now,
+                         int StepIndex);
 
   std::shared_ptr<DeviceClassState> Class;
   DeviceProfile Prof;
@@ -214,6 +225,10 @@ private:
   /// Genomes this device reported to the server; echoed back as hints,
   /// they are not foreign and skip the verification bookkeeping.
   std::set<std::string> OwnReported;
+  /// Canonical name -> the provenance chain the genome rides on here:
+  /// foreign chains enter at hint adoption, local chains are minted the
+  /// first time the genome is reported.
+  std::map<std::string, Provenance> GenomeProv;
 };
 
 } // namespace fleet

@@ -61,6 +61,12 @@ void Server::merge(const std::string &App, const RoundReport &R,
       ++Stats.Duplicates;
       ROPT_METRIC_INC("fleet.duplicate_reports");
     }
+    // First reporter wins the discovery credit: the entry's provenance
+    // is fixed when the entry is created (or when a pre-provenance entry
+    // first sees a provenanced report) and later duplicates never
+    // re-attribute the chain.
+    if (E.Prov.Id == 0 && G.Prov.Id != 0)
+      E.Prov = G.Prov;
     // A fresh report renews the TTL clock and revives an expired entry:
     // live confirmation beats staleness.
     E.LastReportTick = std::max(E.LastReportTick, Now);
@@ -133,7 +139,7 @@ std::vector<Hint> Server::hints(const std::string &App, VirtualTime Now) {
                     });
   for (size_t I = 0; I != K; ++I) {
     const LeaderEntry *E = Ranked[I];
-    Out.push_back(Hint{E->G, E->Key, E->Speedup, E->Reports});
+    Out.push_back(Hint{E->G, E->Key, E->Speedup, E->Reports, E->Prov});
   }
   Stats.HintsServed += Out.size();
   return Out;
@@ -146,6 +152,9 @@ void Server::injectHint(const std::string &App, const search::Genome &G,
   R.Key = G.name();
   R.SpeedupMedian = Speedup;
   R.SpeedupSamples = {Speedup};
+  // Injected genomes still get a chain (so rejections and adoptions are
+  // attributable) but no discovery time — Device -1 marks it synthetic.
+  R.Prov = Provenance{mintProvenanceId(-1, 0, R.Key), -1, 0, 0};
   RoundReport Injected;
   Injected.Device = -1; // Not a real fleet member.
   Injected.Best.push_back(std::move(R));

@@ -30,6 +30,7 @@
 #define ROPT_FLEET_SERVER_H
 
 #include "fleet/EventLoop.h"
+#include "fleet/Telemetry.h"
 #include "search/GeneticSearch.h"
 
 #include <cstdint>
@@ -52,6 +53,10 @@ struct GenomeReport {
   std::vector<double> SpeedupSamples;
   /// How the device found it (random exploration, adopted hint, ...).
   search::GenomeSource Source = search::GenomeSource::Random;
+  /// The provenance chain the genome rides on: minted at the reporting
+  /// device's evaluation if it discovered the genome itself, or carried
+  /// over from the hint it adopted.
+  Provenance Prov;
 };
 
 /// A foreign hint the device's own verification map (or compiler) turned
@@ -59,6 +64,7 @@ struct GenomeReport {
 struct HintRejection {
   std::string Key;     ///< Canonical genome name of the rejected hint.
   std::string Verdict; ///< evalKindName() spelling of the failure.
+  uint64_t ProvenanceId = 0; ///< Chain the rejected hint carried.
 };
 
 /// Everything one device tells the server about one round.
@@ -75,6 +81,7 @@ struct Hint {
   std::string Key;
   double Speedup = 0.0; ///< Merged (pooled-median) speedup.
   int Reports = 0;      ///< Device reports folded into the entry.
+  Provenance Prov;      ///< Discovery provenance (first reporter's).
 };
 
 struct ServerOptions {
@@ -115,6 +122,10 @@ public:
     std::string RejectVerdict;      ///< First rejection verdict, if any.
     VirtualTime LastReportTick = 0; ///< Virtual time of the last report.
     bool Expired = false;           ///< Aged out by ServerOptions::TtlTicks.
+    /// The first reporter's provenance — the chain every hint cut from
+    /// this entry carries. A later duplicate report never re-attributes
+    /// the discovery.
+    Provenance Prov;
   };
 
   /// Folds one device's round report into the app's leaderboard:

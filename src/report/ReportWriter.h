@@ -44,6 +44,15 @@ inline constexpr const char *FleetFile = "fleet.jsonl";
 /// candidate region per app with its feature vector, bottleneck label,
 /// slack and budget share. Absent in pre-analysis run directories.
 inline constexpr const char *AnalysisFile = "analysis.jsonl";
+/// Fleet-wide Chrome trace on the virtual clock (schema 5): one track
+/// per device class per coordinator cell, async delivery arrows, churn
+/// instants. Absent in non-fleet runs.
+inline constexpr const char *FleetTraceFile = "fleet.trace.json";
+/// Mergeable per-class telemetry sketches and provenance chains
+/// (schema 5). Absent in non-fleet runs. Unlike metrics.json this is a
+/// pure function of the simulation, so it is written even when the
+/// observability layer is compiled out.
+inline constexpr const char *TelemetryFile = "telemetry.json";
 
 /// Owns one run directory and its streams. Create through open();
 /// destruction closes the streams (finish-time artifacts are the

@@ -3,12 +3,14 @@
 #include "report/RunDiff.h"
 
 #include "analysis/SpanDag.h"
+#include "fleet/Telemetry.h"
 #include "report/ReportWriter.h"
 #include "support/Format.h"
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <set>
@@ -138,6 +140,17 @@ support::Result<LoadedRun> report::loadRun(const std::string &Dir) {
           R.HintsAdopted = static_cast<int>(V.number("hints_adopted"));
           R.HintsRejected = static_cast<int>(V.number("hints_rejected"));
           R.Evaluations = static_cast<int>(V.number("evaluations"));
+          // Schema 5 provenance fields; defaults on older streams.
+          R.DeviceClass = static_cast<int>(V.number("device_class"));
+          std::string Prov = V.string("best_provenance");
+          if (Prov.rfind("0x", 0) == 0)
+            R.BestProvenance =
+                std::strtoull(Prov.c_str() + 2, nullptr, 16);
+          if (V.find("best_discovery_device"))
+            R.BestDiscoveryDevice =
+                static_cast<int>(V.number("best_discovery_device"));
+          R.BestDiscoveryTime =
+              static_cast<uint64_t>(V.number("best_discovery_time"));
           R.TransportAttempts =
               static_cast<int>(V.number("transport_attempts"));
           R.TransportDrops = V.number("transport_drops");
@@ -193,6 +206,20 @@ support::Result<LoadedRun> report::loadRun(const std::string &Dir) {
       return Analysis.error();
   }
 
+  // telemetry.json only exists since schema 5 and only for fleet runs;
+  // absence is normal, an unparseable one is not.
+  if (support::Result<std::string> TelemetryText =
+          slurp(Dir + "/" + TelemetryFile)) {
+    support::Result<json::Value> Telemetry =
+        json::parse(TelemetryText.value());
+    if (!Telemetry)
+      return support::Error(support::ErrorCode::Unknown,
+                            Dir + "/" + TelemetryFile + ": " +
+                                Telemetry.error().Message);
+    Run.Telemetry = std::move(Telemetry).value();
+    Run.HasTelemetry = true;
+  }
+
   return Run;
 }
 
@@ -213,11 +240,12 @@ ValidationResult report::validateRun(const LoadedRun &Run) {
       Problem(std::string("manifest.json: missing field \"") + Key + "\"");
   // Schema 1 = pre-fleet runs, schema 2 added the optional fleet
   // section, schema 3 the observability flag and region analysis,
-  // schema 4 virtual_time on fleet records; all stay loadable so old
-  // baselines keep diffing against new runs.
+  // schema 4 virtual_time on fleet records, schema 5 per-record
+  // provenance plus telemetry.json; all stay loadable so old baselines
+  // keep diffing against new runs.
   double Schema = Run.Manifest.number("schema");
   if (Run.Manifest.find("schema") && Schema != 1 && Schema != 2 &&
-      Schema != 3 && Schema != 4)
+      Schema != 3 && Schema != 4 && Schema != 5)
     Problem("manifest.json: unknown schema version");
 
   // A run built without the tracing/metrics layer records
@@ -308,6 +336,124 @@ ValidationResult report::validateRun(const LoadedRun &Run) {
     if (static_cast<uint64_t>(FleetM->number("hints_rejected")) != Rejected)
       Problem("manifest.json fleet.hints_rejected disagrees with the "
               "fleet.jsonl round log");
+  }
+
+  // --- Fleet telemetry (schema 5). The sketch-merge law is checkable
+  // from the artifact alone: fixed bounds make the merge a bucket-wise
+  // sum, so class sketches must sum exactly to their cell total and cell
+  // totals to the fleet total. Chains must be causally ordered (nothing
+  // merges or gets adopted before it was discovered), and every
+  // fleet.jsonl best_provenance must resolve to a chain of its cell.
+  if (Schema >= 5 && Run.HasFleetLog && !Run.HasTelemetry)
+    Warning("schema-5 fleet run without telemetry.json (truncated run "
+            "directory?)");
+  // Chain ids and discovery times per (app, devices) cell, for the
+  // record cross-check below.
+  std::map<std::pair<std::string, int>, std::map<uint64_t, uint64_t>>
+      CellChains;
+  if (Run.HasTelemetry) {
+    const json::Value &T = Run.Telemetry;
+    auto CountsOf = [](const json::Value *S) {
+      std::vector<uint64_t> C;
+      if (S)
+        if (const json::Value *Co = S->find("counts"))
+          for (const json::Value &E : Co->elements())
+            C.push_back(static_cast<uint64_t>(E.asNumber()));
+      return C;
+    };
+    auto AddInto = [](std::vector<uint64_t> &Acc,
+                      const std::vector<uint64_t> &C) {
+      if (Acc.size() < C.size())
+        Acc.resize(C.size(), 0);
+      for (size_t I = 0; I < C.size(); ++I)
+        Acc[I] += C[I];
+    };
+    static const char *SketchKeys[] = {"speedup", "step_ticks",
+                                       "hint_latency"};
+    std::map<std::string, std::vector<uint64_t>> FleetAcc;
+    if (const json::Value *Cells = T.find("cells")) {
+      int CellNo = 0;
+      for (const json::Value &Cell : Cells->elements()) {
+        ++CellNo;
+        std::string Where =
+            "telemetry.json cell " + std::to_string(CellNo);
+        std::string App = Cell.string("app");
+        int Devices = static_cast<int>(Cell.number("devices"));
+        const json::Value *Total = Cell.find("total");
+        for (const char *Key : SketchKeys) {
+          std::vector<uint64_t> ClassSum;
+          if (const json::Value *Classes = Cell.find("classes"))
+            for (const json::Value &Cl : Classes->elements())
+              AddInto(ClassSum, CountsOf(Cl.find(Key)));
+          std::vector<uint64_t> CellTotal =
+              CountsOf(Total ? Total->find(Key) : nullptr);
+          if (ClassSum != CellTotal)
+            Problem(Where + ": class " + Key +
+                    " sketches do not sum to the cell total "
+                    "(merge law violated)");
+          AddInto(FleetAcc[Key], CellTotal);
+        }
+        if (const json::Value *Chains = Cell.find("chains"))
+          for (const json::Value &Ch : Chains->elements()) {
+            std::string Hex = Ch.string("id");
+            uint64_t Id = Hex.rfind("0x", 0) == 0
+                              ? std::strtoull(Hex.c_str() + 2, nullptr, 16)
+                              : 0;
+            uint64_t Disc =
+                static_cast<uint64_t>(Ch.number("discovery_time"));
+            uint64_t Merge =
+                static_cast<uint64_t>(Ch.number("first_merge_time"));
+            uint64_t Adopt =
+                static_cast<uint64_t>(Ch.number("first_adopt_time"));
+            std::string ChWhere = Where + " chain " + Hex;
+            if (Id == 0)
+              Problem(ChWhere + ": unparseable chain id");
+            if (Merge != 0 && Merge < Disc)
+              Problem(ChWhere + ": merged before it was discovered");
+            if (Adopt != 0 && Adopt < Disc)
+              Problem(ChWhere + ": adopted before it was discovered");
+            if (Ch.number("adoptions") > 0 && Ch.number("arrivals") == 0)
+              Problem(ChWhere + ": adoptions without any hint arrival");
+            CellChains[{App, Devices}][Id] = Disc;
+          }
+      }
+    }
+    for (const char *Key : SketchKeys) {
+      std::vector<uint64_t> FleetTotal;
+      if (const json::Value *F = T.find("fleet"))
+        AddInto(FleetTotal, CountsOf(F->find(Key)));
+      if (FleetAcc[Key] != FleetTotal)
+        Problem(std::string("telemetry.json: cell ") + Key +
+                " totals do not sum to the fleet total "
+                "(merge law violated)");
+    }
+    for (size_t I = 0; I < Run.Fleet.size(); ++I) {
+      const FleetRecord &R = Run.Fleet[I];
+      // Undelivered reports never reach the server, so their genomes'
+      // chains legitimately may not exist — only delivered records must
+      // resolve.
+      if (R.BestProvenance == 0 || !R.Delivered)
+        continue;
+      std::string Where = "fleet.jsonl line " + std::to_string(I + 1);
+      auto Cell = CellChains.find({R.App, R.FleetDevices});
+      if (Cell == CellChains.end()) {
+        Problem(Where + ": best_provenance set but telemetry.json has "
+                        "no chains for this cell");
+        continue;
+      }
+      auto Chain = Cell->second.find(R.BestProvenance);
+      if (Chain == Cell->second.end()) {
+        Problem(Where + ": best_provenance does not resolve to a "
+                        "telemetry chain");
+        continue;
+      }
+      if (R.BestDiscoveryTime != Chain->second)
+        Problem(Where + ": best_discovery_time disagrees with the "
+                        "chain's discovery_time");
+      if (R.BestDiscoveryTime > R.VirtualTime)
+        Problem(Where + ": best genome discovered after the step that "
+                        "reported it (time travel)");
+    }
   }
 
   // --- Region analysis (schema 3). Absence is normal (pre-analysis runs
@@ -553,6 +699,37 @@ std::string report::summarize(const LoadedRun &Run, bool Markdown) {
         Out << "  (vt " << EndTime << ")";
       Out << "\n";
     }
+    // Per-device-class breakdown from the telemetry sketches (schema 5).
+    if (Run.HasTelemetry)
+      if (const json::Value *Cells = Run.Telemetry.find("cells"))
+        for (const json::Value &Cell : Cells->elements()) {
+          Out << Cell.string("app") << " x"
+              << static_cast<int>(Cell.number("devices"))
+              << " by device class:\n";
+          Out << format("%8s %8s %10s %12s %10s %10s", "class", "devices",
+                        "best", "quarantines", "lat p50", "lat p95")
+              << "\n";
+          const json::Value *Classes = Cell.find("classes");
+          if (!Classes)
+            continue;
+          for (const json::Value &Cl : Classes->elements()) {
+            const json::Value *Sp = Cl.find("speedup");
+            const json::Value *HL = Cl.find("hint_latency");
+            double Best = Sp && Sp->number("count") > 0 ? Sp->number("max")
+                                                        : 0.0;
+            Histogram::Snapshot Lat =
+                HL ? fleet::sketchSnapshot(*HL)
+                   : Histogram::Snapshot();
+            Out << format(
+                       "%8d %8d %9.3fx %12.0f %10.1f %10.1f",
+                       static_cast<int>(Cl.number("class")),
+                       static_cast<int>(Cl.number("devices")), Best,
+                       Cl.number("quarantines"),
+                       Lat.Count ? Lat.quantile(0.5) : 0.0,
+                       Lat.Count ? Lat.quantile(0.95) : 0.0)
+                << "\n";
+          }
+        }
     Out << "\n";
   }
 
@@ -648,6 +825,113 @@ std::string report::analyzeRun(const LoadedRun &Run,
 
 // --- Diffing ----------------------------------------------------------------
 
+namespace {
+
+/// Fleet cells of a run in stream order, with each cell's final best
+/// speedup (max over its step records — the device-best is monotone, so
+/// this is the end-of-run fleet best).
+std::vector<std::pair<std::pair<std::string, int>, double>>
+cellBests(const LoadedRun &Run) {
+  std::vector<std::pair<std::pair<std::string, int>, double>> Cells;
+  for (const FleetRecord &R : Run.Fleet) {
+    std::pair<std::string, int> Key{R.App, R.FleetDevices};
+    auto It = std::find_if(Cells.begin(), Cells.end(),
+                           [&Key](const auto &C) { return C.first == Key; });
+    if (It == Cells.end())
+      Cells.push_back({Key, R.BestSpeedup});
+    else
+      It->second = std::max(It->second, R.BestSpeedup);
+  }
+  return Cells;
+}
+
+using CellList = std::vector<std::pair<std::pair<std::string, int>, double>>;
+
+/// Pairs baseline cells with new-run cells for the fleet gate: exact
+/// (app, device-count) matches first, then — because churn folds late
+/// joiners into a cell's participant count — a same-app fallback when
+/// each run has exactly one cell of that app left over. Returns, for
+/// each baseline cell, the index of its new-run partner (-1: unmatched).
+std::vector<int> matchFleetCells(const CellList &A, const CellList &B) {
+  std::vector<int> Match(A.size(), -1);
+  std::vector<bool> Used(B.size(), false);
+  for (size_t I = 0; I < A.size(); ++I)
+    for (size_t J = 0; J < B.size(); ++J)
+      if (!Used[J] && B[J].first == A[I].first) {
+        Match[I] = static_cast<int>(J);
+        Used[J] = true;
+        break;
+      }
+  for (size_t I = 0; I < A.size(); ++I) {
+    if (Match[I] != -1)
+      continue;
+    const std::string &App = A[I].first.first;
+    size_t LeftA = 0;
+    for (size_t K = 0; K < A.size(); ++K)
+      if (Match[K] == -1 && A[K].first.first == App)
+        ++LeftA;
+    int Cand = -1;
+    size_t LeftB = 0;
+    for (size_t J = 0; J < B.size(); ++J)
+      if (!Used[J] && B[J].first.first == App) {
+        ++LeftB;
+        Cand = static_cast<int>(J);
+      }
+    if (LeftA == 1 && LeftB == 1) {
+      Match[I] = Cand;
+      Used[static_cast<size_t>(Cand)] = true;
+    }
+  }
+  return Match;
+}
+
+/// The fleet gate shared by diffRuns and fleetReport: each baseline
+/// cell's final best speedup against its matched new-run cell. Appends
+/// regression/improvement/unmatched lines to \p Text and returns the
+/// regression count. Unmatched cells are noted but never gate —
+/// device-count sweeps legitimately differ between runs.
+int gateFleetCells(const CellList &CellsA, const CellList &CellsB,
+                   const std::string &DirA, const std::string &DirB,
+                   double Threshold, std::ostringstream &Text) {
+  int Regressions = 0;
+  std::vector<int> Match = matchFleetCells(CellsA, CellsB);
+  std::vector<bool> Used(CellsB.size(), false);
+  for (int J : Match)
+    if (J >= 0)
+      Used[static_cast<size_t>(J)] = true;
+  for (size_t I = 0; I < CellsA.size(); ++I) {
+    std::string Cell =
+        CellsA[I].first.first + " x" + std::to_string(CellsA[I].first.second);
+    if (Match[I] < 0) {
+      Text << Cell << ": fleet cell only in baseline " << DirA << "\n";
+      continue;
+    }
+    const auto &CB = CellsB[static_cast<size_t>(Match[I])];
+    if (CB.first != CellsA[I].first)
+      Cell += " -> x" + std::to_string(CB.first.second);
+    double BestA = CellsA[I].second, BestB = CB.second;
+    if (BestA <= 0.0)
+      continue;
+    double Rel = (BestA - BestB) / BestA;
+    if (Rel > Threshold) {
+      ++Regressions;
+      Text << Cell << ": FLEET REGRESSION best speedup "
+           << format("%.3f", BestA) << "x -> " << format("%.3f", BestB)
+           << "x (-" << format("%.1f", 100.0 * Rel) << "%)\n";
+    } else if (Rel < -Threshold) {
+      Text << Cell << ": fleet improved best " << format("%.3f", BestA)
+           << "x -> " << format("%.3f", BestB) << "x\n";
+    }
+  }
+  for (size_t J = 0; J < CellsB.size(); ++J)
+    if (!Used[J])
+      Text << CellsB[J].first.first << " x" << CellsB[J].first.second
+           << ": fleet cell only in new run " << DirB << "\n";
+  return Regressions;
+}
+
+} // namespace
+
 DiffResult report::diffRuns(const LoadedRun &A, const LoadedRun &B,
                             const DiffOptions &Opt) {
   DiffResult Out;
@@ -714,8 +998,138 @@ DiffResult report::diffRuns(const LoadedRun &A, const LoadedRun &B,
     if (!RollA.count(Name))
       Text << Name << ": only in new run " << B.Dir << "\n";
 
-  if (Out.FitnessRegressions == 0 && Out.VerdictShifts == 0)
+  // Fleet gate (schema 5): each (app, device-count) cell's final best
+  // speedup, B against A (churned cells pair by app when the device
+  // count shifted — see matchFleetCells).
+  Out.FleetRegressions = gateFleetCells(cellBests(A), cellBests(B), A.Dir,
+                                        B.Dir, Opt.FleetThreshold, Text);
+
+  if (Out.FitnessRegressions == 0 && Out.VerdictShifts == 0 &&
+      Out.FleetRegressions == 0)
     Text << "no regressions (" << A.Dir << " vs " << B.Dir << ")\n";
+  Out.Text = Text.str();
+  return Out;
+}
+
+// --- Fleet report -----------------------------------------------------------
+
+FleetDiffResult report::fleetReport(const LoadedRun &Run,
+                                    const LoadedRun *Baseline,
+                                    double Threshold) {
+  FleetDiffResult Out;
+  std::ostringstream Text;
+  Text << "=== fleet " << Run.Dir << " ===\n";
+  if (!Run.HasFleetLog) {
+    Text << "no fleet.jsonl — not a fleet run\n";
+    Out.Text = Text.str();
+    return Out;
+  }
+
+  auto Cells = cellBests(Run);
+  for (const auto &Cell : Cells) {
+    const std::string &App = Cell.first.first;
+    int Devices = Cell.first.second;
+    Text << "--- " << App << " x" << Devices << " devices (best "
+         << format("%.3f", Cell.second) << "x) ---\n";
+
+    // Round curves per device class: best speedup any class member had
+    // reported by each step index.
+    std::map<int, std::map<int, double>> ByClass; // class -> round -> best
+    int Attempts = 0, Steps = 0, Delivered = 0;
+    double Drops = 0.0, Ticks = 0.0;
+    for (const FleetRecord &R : Run.Fleet) {
+      if (R.App != App || R.FleetDevices != Devices)
+        continue;
+      double &Best = ByClass[R.DeviceClass][R.Round];
+      Best = std::max(Best, R.BestSpeedup);
+      ++Steps;
+      Attempts += R.TransportAttempts;
+      Drops += R.TransportDrops;
+      Ticks += R.TransportTicks;
+      Delivered += R.Delivered ? 1 : 0;
+    }
+    for (const auto &KV : ByClass) {
+      Text << "class " << KV.first << ":";
+      for (const auto &RK : KV.second)
+        Text << " s" << RK.first << ":" << format("%.3f", RK.second)
+             << "x";
+      Text << "\n";
+    }
+    Text << "transport: " << Attempts << " attempts, "
+         << format("%.0f", Drops) << " drops, " << Delivered << "/"
+         << Steps << " reports delivered, avg latency "
+         << format("%.1f", Attempts ? Ticks / Attempts : 0.0)
+         << " ticks\n";
+
+    // Top provenance chains of this cell, winner first, then by fleet
+    // reach (adoptions, arrivals).
+    if (!Run.HasTelemetry)
+      continue;
+    const json::Value *CellsV = Run.Telemetry.find("cells");
+    if (!CellsV)
+      continue;
+    for (const json::Value &CellV : CellsV->elements()) {
+      if (CellV.string("app") != App ||
+          static_cast<int>(CellV.number("devices")) != Devices)
+        continue;
+      const json::Value *Chains = CellV.find("chains");
+      if (!Chains)
+        break;
+      auto Won = [](const json::Value &Ch) {
+        const json::Value *W = Ch.find("won");
+        return W && W->asBool();
+      };
+      std::vector<const json::Value *> Sorted;
+      for (const json::Value &Ch : Chains->elements())
+        Sorted.push_back(&Ch);
+      std::stable_sort(Sorted.begin(), Sorted.end(),
+                       [&Won](const json::Value *L, const json::Value *R) {
+                         if (Won(*L) != Won(*R))
+                           return Won(*L);
+                         if (L->number("adoptions") != R->number("adoptions"))
+                           return L->number("adoptions") >
+                                  R->number("adoptions");
+                         return L->number("arrivals") > R->number("arrivals");
+                       });
+      size_t Shown = std::min<size_t>(Sorted.size(), 5);
+      Text << "chains (" << Shown << " of " << Sorted.size() << "):\n";
+      for (size_t I = 0; I < Shown; ++I) {
+        const json::Value &Ch = *Sorted[I];
+        double Arrivals = Ch.number("arrivals");
+        Text << "  " << Ch.string("id") << " " << Ch.string("key")
+             << ": discovered d"
+             << static_cast<int>(Ch.number("device")) << "@vt"
+             << format("%.0f", Ch.number("discovery_time")) << ", merged@vt"
+             << format("%.0f", Ch.number("first_merge_time")) << ", "
+             << format("%.0f", Arrivals) << " arrivals";
+        if (Arrivals > 0)
+          Text << " (mean latency "
+               << format("%.1f",
+                         Ch.number("latency_ticks_total") / Arrivals)
+               << " ticks)";
+        Text << ", " << format("%.0f", Ch.number("adoptions"))
+             << " adopted, " << format("%.0f", Ch.number("rejections"))
+             << " rejected";
+        if (Ch.number("adoptions") > 0)
+          Text << ", first adopter d"
+               << static_cast<int>(Ch.number("first_adopt_device")) << "@vt"
+               << format("%.0f", Ch.number("first_adopt_time"));
+        if (Won(Ch))
+          Text << "  [winner]";
+        Text << "\n";
+      }
+      break;
+    }
+  }
+
+  // Baseline gate: same per-cell final-best comparison as diffRuns.
+  if (Baseline) {
+    Out.Regressions = gateFleetCells(cellBests(*Baseline), Cells,
+                                     Baseline->Dir, Run.Dir, Threshold, Text);
+    if (Out.Regressions == 0)
+      Text << "no fleet regressions (" << Baseline->Dir << " vs "
+           << Run.Dir << ")\n";
+  }
   Out.Text = Text.str();
   return Out;
 }

@@ -74,6 +74,11 @@ struct FleetRecord {
   int HintsAdopted = 0;
   int HintsRejected = 0;
   int Evaluations = 0;
+  /// Schema 5 provenance fields; zero/-1 defaults on older streams.
+  int DeviceClass = 0;
+  uint64_t BestProvenance = 0; ///< Parsed from the "0x..." hex spelling.
+  int BestDiscoveryDevice = -1;
+  uint64_t BestDiscoveryTime = 0;
   int TransportAttempts = 0;
   double TransportDrops = 0.0;
   double TransportTicks = 0.0;
@@ -121,6 +126,10 @@ struct LoadedRun {
   bool HasFleetLog = false;       ///< fleet.jsonl existed and parsed.
   std::vector<AnalysisRecord> Analysis; ///< Empty without analysis.jsonl.
   bool HasAnalysisLog = false; ///< analysis.jsonl existed and parsed.
+  /// telemetry.json parsed wholesale (schema 5): per-class sketches, cell
+  /// and fleet totals, provenance chains. Absent in non-fleet runs.
+  json::Value Telemetry;
+  bool HasTelemetry = false;
 };
 
 /// Reads manifest.json + the JSONL streams. Fails on missing files or
@@ -166,19 +175,41 @@ struct DiffOptions {
   /// Absolute shift in a verdict's share of evaluations that counts as a
   /// mix shift.
   double MixThreshold = 0.05;
+  /// Relative drop in a fleet cell's final best speedup that counts as a
+  /// fleet regression. Looser than the fitness gate: fleet bests ride on
+  /// hint timing, so small wobbles between configurations are expected.
+  double FleetThreshold = 0.05;
 };
 
 struct DiffResult {
   int FitnessRegressions = 0;
   int VerdictShifts = 0;
+  /// Fleet gate (schema 5): per-(app, device-count) cells whose final
+  /// best speedup regressed beyond DiffOptions::FleetThreshold.
+  int FleetRegressions = 0;
   std::string Text; ///< Human-readable diff report.
 
-  bool regressed() const { return FitnessRegressions != 0; }
+  bool regressed() const {
+    return FitnessRegressions != 0 || FleetRegressions != 0;
+  }
 };
 
 /// Compares run B against baseline A, app by app.
 DiffResult diffRuns(const LoadedRun &A, const LoadedRun &B,
                     const DiffOptions &Opt = DiffOptions());
+
+/// The fleet view of a run (`ropt-report fleet`): per-(app, device-class)
+/// round curves, top provenance chains (discovery -> merge -> adoption
+/// with virtual-time latency), and transport health. With \p Baseline,
+/// applies the same best-speedup gate as diffRuns and counts regressed
+/// cells. A pure function of fleet.jsonl + telemetry.json.
+struct FleetDiffResult {
+  int Regressions = 0;
+  std::string Text;
+};
+FleetDiffResult fleetReport(const LoadedRun &Run,
+                            const LoadedRun *Baseline = nullptr,
+                            double Threshold = 0.05);
 
 } // namespace report
 } // namespace ropt

@@ -227,6 +227,11 @@ void RunReport::onFleetRound(const FleetRoundRecord &R) {
   B.field("hints_adopted", R.HintsAdopted);
   B.field("hints_rejected", R.HintsRejected);
   B.field("evaluations", R.Evaluations);
+  // Schema 5: the device's class and the best genome's provenance chain.
+  B.field("device_class", R.DeviceClass);
+  B.field("best_provenance", hexHash(R.BestProvenance));
+  B.field("best_discovery_device", R.BestDiscoveryDevice);
+  B.field("best_discovery_time", R.BestDiscoveryTime);
   B.field("transport_attempts", R.TransportAttempts);
   B.field("transport_drops", R.TransportDrops);
   B.field("transport_ticks", R.TransportTicks);
@@ -238,6 +243,20 @@ void RunReport::setFleetSummary(const FleetSummary &S) {
   std::lock_guard<std::mutex> Lock(Mutex);
   HasFleet = true;
   Fleet = S;
+}
+
+void RunReport::onFleetCell(const fleet::FleetTelemetry &T) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  TelemetryCells.push_back(T);
+}
+
+void RunReport::onFleetTrace(
+    const std::string &App, int Devices, int NumClasses,
+    const std::vector<analysis::FleetTraceEvent> &Events) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  FleetTraceOut.beginCell(App, Devices, NumClasses);
+  for (const analysis::FleetTraceEvent &E : Events)
+    FleetTraceOut.add(E);
 }
 
 void RunReport::onGenerationDone(const search::GenerationStats &S) {
@@ -277,9 +296,11 @@ std::string RunReport::manifestJson() const {
   // Schema 2 added the optional fleet section/stream; schema 3 the
   // observability flag, the per-app region_analysis section and the
   // analysis.jsonl stream; schema 4 the virtual_time field on fleet
-  // records and the TransportStats fleet-section fields. Readers accept
-  // all four.
-  B.field("schema", 4);
+  // records and the TransportStats fleet-section fields; schema 5 the
+  // per-record provenance fields (device_class, best_provenance,
+  // best_discovery_*) plus the telemetry.json and fleet.trace.json
+  // artifacts. Readers accept all five.
+  B.field("schema", 5);
   B.field("tool", Info.Tool);
   B.field("git", ROPT_GIT_DESCRIBE);
   B.field("seed", Info.Seed);
@@ -365,6 +386,31 @@ bool RunReport::finish() {
   Finished = true;
 
   bool Ok = Writer->writeFile(ManifestFile, manifestJson());
+
+  // Fleet telemetry + trace are pure functions of the simulation (virtual
+  // clock, no wall time), so unlike metrics/trace they are written even
+  // when the observability layer is compiled out — and stay byte-identical
+  // at any --jobs.
+  if (!TelemetryCells.empty()) {
+    json::Builder B;
+    B.field("schema", 5);
+    uint64_t Dropped = 0;
+    for (const fleet::FleetTelemetry &T : TelemetryCells)
+      Dropped += T.DroppedEvents;
+    B.field("dropped_events", Dropped);
+    json::Builder Cells(/*Array=*/true);
+    fleet::SketchSet FleetTotal;
+    for (const fleet::FleetTelemetry &T : TelemetryCells) {
+      Cells.elementRaw(T.json());
+      FleetTotal += T.Total;
+    }
+    B.fieldRaw("cells", std::move(Cells).str());
+    B.fieldRaw("fleet", FleetTotal.json());
+    Ok &= Writer->writeFile(TelemetryFile, std::move(B).str());
+  }
+  if (!FleetTraceOut.empty())
+    Ok &= Writer->writeFile(FleetTraceFile, FleetTraceOut.toChromeJson());
+
 #if ROPT_OBSERVABILITY
   Ok &= Writer->writeFile(MetricsFile,
                           Metrics::instance().snapshot().toJson());

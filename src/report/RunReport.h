@@ -23,7 +23,9 @@
 #ifndef ROPT_REPORT_RUN_REPORT_H
 #define ROPT_REPORT_RUN_REPORT_H
 
+#include "analysis/FleetTrace.h"
 #include "analysis/RegionAnalysis.h"
+#include "fleet/Telemetry.h"
 #include "fleet/Transport.h"
 #include "report/ReportWriter.h"
 #include "search/EvaluationEngine.h"
@@ -99,6 +101,13 @@ struct FleetRoundRecord {
   int HintsAdopted = 0;
   int HintsRejected = 0;
   int Evaluations = 0;
+  /// Schema 5: the device's hardware/user class and the provenance chain
+  /// of its best genome — which device discovered it, and when (virtual
+  /// time) the discovery happened.
+  int DeviceClass = 0;
+  uint64_t BestProvenance = 0; ///< 0 = no best yet.
+  int BestDiscoveryDevice = -1;
+  uint64_t BestDiscoveryTime = 0;
   // Transport accounting for this cell (hints + report deliveries).
   // Varies with injected network loss; everything above must not.
   int TransportAttempts = 0;
@@ -157,6 +166,17 @@ public:
   /// "fleet" section (and bumps nothing else) only when this was called.
   void setFleetSummary(const FleetSummary &S);
 
+  /// One coordinator cell's merged telemetry (schema 5). finish() folds
+  /// every cell into telemetry.json: per-class sketches, the cell
+  /// totals, a fleet-level merge, and all provenance chains.
+  void onFleetCell(const fleet::FleetTelemetry &T);
+
+  /// One coordinator cell's virtual-clock trace events; finish() renders
+  /// every cell into one fleet.trace.json (one Chrome track per device
+  /// class, async delivery arrows, churn instants).
+  void onFleetTrace(const std::string &App, int Devices, int NumClasses,
+                    const std::vector<analysis::FleetTraceEvent> &Events);
+
   /// Writes manifest.json, metrics.json and (when the recorder is
   /// enabled) trace.json. Idempotent; returns false on I/O failure.
   bool finish();
@@ -183,6 +203,8 @@ private:
   bool Finished = false;
   bool HasFleet = false;
   FleetSummary Fleet;
+  std::vector<fleet::FleetTelemetry> TelemetryCells;
+  analysis::FleetTrace FleetTraceOut;
 };
 
 } // namespace report

@@ -64,17 +64,25 @@ GeneticSearch::GeneticSearch(GaConfig Config, uint64_t Seed,
     : Config(Config), R(Seed), Evaluator(Evaluator), Sink(Sink) {}
 
 void GeneticSearch::seedPopulation(std::vector<Genome> NewSeeds) {
+  std::vector<SeedGenome> Tagged;
+  Tagged.reserve(NewSeeds.size());
+  for (Genome &G : NewSeeds)
+    Tagged.push_back(SeedGenome{std::move(G), 0});
+  seedPopulation(std::move(Tagged));
+}
+
+void GeneticSearch::seedPopulation(std::vector<SeedGenome> NewSeeds) {
   // Deduplicate by canonical name (first occurrence wins) and cap at the
   // population size — a seed slot spent twice on the same genome is a
   // wasted random draw.
   Seeds.clear();
   std::set<std::string> Names;
-  for (Genome &G : NewSeeds) {
-    removeRedundantPasses(G);
+  for (SeedGenome &S : NewSeeds) {
+    removeRedundantPasses(S.G);
     if (Seeds.size() == static_cast<size_t>(Config.PopulationSize))
       break;
-    if (Names.insert(G.name()).second)
-      Seeds.push_back(std::move(G));
+    if (Names.insert(S.G.name()).second)
+      Seeds.push_back(std::move(S));
   }
 }
 
@@ -256,8 +264,8 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
     // and capped at the population size by seedPopulation().
     std::vector<Genome> Initial;
     Initial.reserve(static_cast<size_t>(Config.PopulationSize));
-    for (const Genome &S : Seeds)
-      Initial.push_back(S);
+    for (const SeedGenome &S : Seeds)
+      Initial.push_back(S.G);
     size_t NumSeeded = Initial.size();
     while (Initial.size() < static_cast<size_t>(Config.PopulationSize)) {
       Genome G = randomGenome(R, Config.Genomes);
@@ -271,7 +279,8 @@ std::optional<Scored> GeneticSearch::run(double AndroidCycles,
       Population.push_back(Scored{std::move(Initial[I]), std::move(Evals[I]),
                                   Ids[I],
                                   I < NumSeeded ? GenomeSource::Seeded
-                                                : GenomeSource::Random});
+                                                : GenomeSource::Random,
+                                  I < NumSeeded ? Seeds[I].Provenance : 0});
 
     // Replace genomes slower than both baselines, one round per retry,
     // biasing the search toward profitable space (Section 4). Each round

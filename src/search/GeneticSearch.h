@@ -168,6 +168,17 @@ struct Scored {
   Evaluation E;
   uint64_t ReportId = 0;
   GenomeSource Source = GenomeSource::Random;
+  /// For Seeded members: the fleet provenance-chain id the seed carried
+  /// through seedPopulation() (0 for local seeds and every other source).
+  /// Lets the fleet attribute a winning genome to the device that
+  /// originally discovered it.
+  uint64_t SeedProvenance = 0;
+};
+
+/// A gen-0 seed plus the provenance chain it rides on (0 = local).
+struct SeedGenome {
+  Genome G;
+  uint64_t Provenance = 0;
 };
 
 /// Figure 9's raw material: one entry per evaluation.
@@ -243,6 +254,11 @@ public:
   /// before run(); seeds persist across run() calls until replaced.
   void seedPopulation(std::vector<Genome> Seeds);
 
+  /// Same, with each seed carrying its fleet provenance-chain id; the
+  /// resulting Seeded population members get Scored::SeedProvenance, so
+  /// "which device found the winner" survives the search.
+  void seedPopulation(std::vector<SeedGenome> Seeds);
+
   /// Runs the full search. \p AndroidCycles and \p O3Cycles drive the
   /// gen-0 replacement biasing. Returns the best valid genome found, or
   /// nullopt if every evaluation failed.
@@ -287,7 +303,7 @@ private:
   Rng R;
   BatchEvaluator &Evaluator;
   ProvenanceSink *Sink = nullptr;
-  std::vector<Genome> Seeds;
+  std::vector<SeedGenome> Seeds;
   std::set<uint64_t> SeenBinaries;
   std::vector<GenerationStats> GenStats;
   int IdenticalCount = 0;

@@ -1,0 +1,87 @@
+# End-to-end check of the fleet-aware report diff gate (invoked by ctest
+# as the `fleet_diff_e2e` test):
+#
+#   1. BASE: fleet_scale --fast --seed 1 --rounds 2 --report base
+#      REG:  fleet_scale --fast --seed 1 --rounds 1 --report reg
+#      At seed 1 the extra step improves only the 4-device cell
+#      (deterministically, by ~1%); the 1-device cell is byte-identical.
+#   2. ropt-report fleet reg --baseline base --threshold 0.005
+#        -> exits 1, flags FLEET REGRESSION exactly once (the x4 cell)
+#   3. ropt-report fleet base --baseline reg --threshold 0.005
+#        -> the improved direction exits 0, no regressions
+#   4. ropt-report diff base reg (default thresholds)
+#        -> the 1% wobble is below the fleet gate's default, exits 0
+#
+# Inputs: -DFLEET_SCALE=..., -DROPT_REPORT=..., -DWORK_DIR=...
+
+foreach(Var FLEET_SCALE ROPT_REPORT WORK_DIR)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "missing -D${Var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(Base "${WORK_DIR}/base")
+set(Reg "${WORK_DIR}/reg")
+
+execute_process(
+  COMMAND ${FLEET_SCALE} --fast --seed 1 --rounds 2 --report ${Base}
+  RESULT_VARIABLE Rc OUTPUT_QUIET)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "fleet_scale --rounds 2 --report ${Base} failed (${Rc})")
+endif()
+execute_process(
+  COMMAND ${FLEET_SCALE} --fast --seed 1 --rounds 1 --report ${Reg}
+  RESULT_VARIABLE Rc OUTPUT_QUIET)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "fleet_scale --rounds 1 --report ${Reg} failed (${Rc})")
+endif()
+
+# Regressed direction: the gate must fire, exactly once.
+execute_process(
+  COMMAND ${ROPT_REPORT} fleet ${Reg} --baseline ${Base} --threshold 0.005
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Rc EQUAL 1)
+  message(FATAL_ERROR "fleet diff gate did not fire on a regressed run "
+                      "(exit ${Rc}):\n${Out}${Err}")
+endif()
+if(NOT Out MATCHES "fleet regressions: 1")
+  message(FATAL_ERROR "expected exactly one fleet regression:\n${Out}")
+endif()
+string(REGEX MATCHALL "FLEET REGRESSION" Fires "${Out}")
+list(LENGTH Fires FireCount)
+if(NOT FireCount EQUAL 1)
+  message(FATAL_ERROR "expected exactly one FLEET REGRESSION line, got "
+                      "${FireCount}:\n${Out}")
+endif()
+
+# Improved direction: clean exit, no regressions.
+execute_process(
+  COMMAND ${ROPT_REPORT} fleet ${Base} --baseline ${Reg} --threshold 0.005
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "fleet diff gate fired on an improved run "
+                      "(exit ${Rc}):\n${Out}${Err}")
+endif()
+if(NOT Out MATCHES "fleet regressions: 0")
+  message(FATAL_ERROR "improved direction should report zero "
+                      "regressions:\n${Out}")
+endif()
+
+# The general diff subcommand now carries the fleet gate too; at the
+# default (generous) fleet threshold the 1% wobble stays clean.
+execute_process(
+  COMMAND ${ROPT_REPORT} diff ${Base} ${Reg}
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "diff regressed at default thresholds "
+                      "(exit ${Rc}):\n${Out}${Err}")
+endif()
+if(NOT Out MATCHES "fleet regressions: 0")
+  message(FATAL_ERROR "diff output lacks the fleet regression count:\n${Out}")
+endif()
+
+message(STATUS "fleet_diff_e2e: gate fires exactly once on the regressed "
+               "cell, stays quiet on the improved direction and at "
+               "default thresholds")

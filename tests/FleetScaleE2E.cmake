@@ -3,11 +3,15 @@
 #
 #   1. fleet_scale --fast --seed 1 --report A                 (jobs 1)
 #   2. fleet_scale --fast --seed 1 --jobs 8 --report B
-#   3. the run directory grew fleet.jsonl (with schema-4 virtual times)
+#   3. the run directory grew fleet.jsonl (with schema-4 virtual times,
+#      schema-5 provenance fields), telemetry.json and fleet.trace.json,
 #      and a manifest fleet section
 #   4. ropt-report validate A     -> fleet artifacts cross-check clean
+#      (including the schema-5 sketch merge law and chain causality)
 #   5. ropt-report summarize A    -> renders the fleet section
-#   6. fleet.jsonl A == B         -> the step log is jobs-invariant
+#      ropt-report fleet A        -> renders chains and class curves
+#   6. fleet.jsonl, telemetry.json and fleet.trace.json A == B
+#                                 -> all fleet artifacts are jobs-invariant
 #   7. the same invariance under 30% churn (C jobs 1 == D jobs 8)
 #
 # Inputs: -DFLEET_SCALE=..., -DROPT_REPORT=..., -DWORK_DIR=...
@@ -42,7 +46,7 @@ endif()
 # is required in every config.
 file(READ "${RunA}/manifest.json" Manifest)
 set(Artifacts manifest.json evaluations.jsonl generations.jsonl
-    fleet.jsonl)
+    fleet.jsonl telemetry.json fleet.trace.json)
 if(NOT Manifest MATCHES "\"observability\"[ \t]*:[ \t]*false")
   list(APPEND Artifacts metrics.json trace.json)
 endif()
@@ -60,6 +64,15 @@ endif()
 file(READ "${RunA}/fleet.jsonl" FleetLog)
 if(NOT FleetLog MATCHES "\"virtual_time\"")
   message(FATAL_ERROR "fleet.jsonl lacks virtual_time (schema 4)")
+endif()
+# Schema 5: records carry the best genome's provenance chain, and the
+# telemetry artifact carries the chains + mergeable sketches.
+if(NOT FleetLog MATCHES "\"best_provenance\"")
+  message(FATAL_ERROR "fleet.jsonl lacks best_provenance (schema 5)")
+endif()
+file(READ "${RunA}/telemetry.json" Telemetry)
+if(NOT Telemetry MATCHES "\"chains\"")
+  message(FATAL_ERROR "telemetry.json lacks provenance chains")
 endif()
 
 execute_process(
@@ -82,16 +95,35 @@ if(NOT Out MATCHES "fleet")
   message(FATAL_ERROR "summary lacks the fleet section:\n${Out}")
 endif()
 
+# The fleet view: per-device-class round curves and at least one
+# complete provenance chain (discovery -> merge -> arrivals).
+execute_process(
+  COMMAND ${ROPT_REPORT} fleet ${RunA}
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "ropt-report fleet failed (${Rc}):\n${Out}${Err}")
+endif()
+if(NOT Out MATCHES "class 0:")
+  message(FATAL_ERROR "fleet view lacks per-class round curves:\n${Out}")
+endif()
+if(NOT Out MATCHES "discovered d[0-9]+@vt[0-9]+, merged@vt[0-9]+")
+  message(FATAL_ERROR "fleet view lacks a complete provenance chain:\n${Out}")
+endif()
+
 # The fleet-scale determinism bar: the whole step log — virtual times,
 # device bests, hint adoption, even the seeded transport's retry
-# counters — is byte-identical at any --jobs value.
-execute_process(
-  COMMAND ${CMAKE_COMMAND} -E compare_files
-          "${RunA}/fleet.jsonl" "${RunB}/fleet.jsonl"
-  RESULT_VARIABLE Rc)
-if(NOT Rc EQUAL 0)
-  message(FATAL_ERROR "fleet.jsonl differs between --jobs 1 and --jobs 8")
-endif()
+# counters — is byte-identical at any --jobs value. Since schema 5 the
+# same holds for the merged telemetry sketches and the virtual-clock
+# trace.
+foreach(Artifact fleet.jsonl telemetry.json fleet.trace.json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${RunA}/${Artifact}" "${RunB}/${Artifact}"
+    RESULT_VARIABLE Rc)
+  if(NOT Rc EQUAL 0)
+    message(FATAL_ERROR "${Artifact} differs between --jobs 1 and --jobs 8")
+  endif()
+endforeach()
 
 # And the same bar under churn: 30% of devices leave mid-run and 30%
 # join late on a seeded schedule; the step log must stay jobs-invariant.
@@ -110,13 +142,15 @@ execute_process(
 if(NOT Rc EQUAL 0)
   message(FATAL_ERROR "fleet_scale --churn 30 --jobs 8 failed (${Rc})")
 endif()
-execute_process(
-  COMMAND ${CMAKE_COMMAND} -E compare_files
-          "${RunC}/fleet.jsonl" "${RunD}/fleet.jsonl"
-  RESULT_VARIABLE Rc)
-if(NOT Rc EQUAL 0)
-  message(FATAL_ERROR "churned fleet.jsonl differs between --jobs 1 and 8")
-endif()
+foreach(Artifact fleet.jsonl telemetry.json fleet.trace.json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${RunC}/${Artifact}" "${RunD}/${Artifact}"
+    RESULT_VARIABLE Rc)
+  if(NOT Rc EQUAL 0)
+    message(FATAL_ERROR "churned ${Artifact} differs between --jobs 1 and 8")
+  endif()
+endforeach()
 execute_process(
   COMMAND ${ROPT_REPORT} validate ${RunC}
   RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
@@ -125,6 +159,6 @@ if(NOT Rc EQUAL 0)
                       "${Out}${Err}")
 endif()
 
-message(STATUS "fleet_scale_e2e: fleet artifacts valid, step log "
-               "jobs-invariant (with and without churn), summary renders "
-               "the fleet section")
+message(STATUS "fleet_scale_e2e: fleet artifacts valid, step log + "
+               "telemetry + trace jobs-invariant (with and without "
+               "churn), summary and fleet views render")

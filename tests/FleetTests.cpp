@@ -562,3 +562,171 @@ TEST(FleetWarmStart, WarmStartedSearchIsNoWorseThanColdAtSameBudget) {
 
   EXPECT_LE(WarmRun.RegionBest, ColdRun.RegionBest);
 }
+
+// --- Telemetry: sketches, provenance chains, bounded buffers ----------------
+
+TEST(FleetTelemetry, SketchMergeIsAssociativeAndCommutative) {
+  using fleet::TelemetrySketch;
+  TelemetrySketch A(TelemetrySketch::Kind::Speedup);
+  TelemetrySketch B(TelemetrySketch::Kind::Speedup);
+  TelemetrySketch C(TelemetrySketch::Kind::Speedup);
+  for (double V : {0.4, 1.1, 2.2})
+    A.observe(V);
+  B.observe(1.6);
+  for (double V : {3.5, 9.0})
+    C.observe(V);
+
+  // (A + B) + C == A + (B + C) == C + B + A on the counts — fixed bounds
+  // make the merge a plain bucket-wise sum, which is what lets device
+  // sketches roll up to class, cell and fleet totals in any grouping.
+  TelemetrySketch L = A;
+  L += B;
+  L += C;
+  TelemetrySketch BC = B;
+  BC += C;
+  TelemetrySketch R = A;
+  R += BC;
+  TelemetrySketch Rev = C;
+  Rev += B;
+  Rev += A;
+  EXPECT_EQ(L.counts(), R.counts());
+  EXPECT_EQ(L.counts(), Rev.counts());
+  EXPECT_EQ(L.count(), 6u);
+  EXPECT_EQ(L.min(), 0.4);
+  EXPECT_EQ(L.max(), 9.0);
+  EXPECT_DOUBLE_EQ(L.sum(), R.sum());
+  // The snapshot view powers the report layer's quantile tables.
+  EXPECT_GT(L.snapshot().quantile(0.5), 0.0);
+  EXPECT_LE(L.snapshot().quantile(0.5), L.snapshot().quantile(0.95));
+}
+
+TEST(FleetTelemetry, TelemetryAndTraceAreIdenticalAcrossJobsAndReruns) {
+  fleet::PerfectTransport Net;
+  fleet::FleetResult Serial =
+      runFleet(fleetOptions(3, 2, /*Jobs=*/1, /*Seed=*/1), Net);
+  fleet::FleetResult Parallel =
+      runFleet(fleetOptions(3, 2, /*Jobs=*/8, /*Seed=*/1), Net);
+  fleet::FleetResult Rerun =
+      runFleet(fleetOptions(3, 2, /*Jobs=*/1, /*Seed=*/1), Net);
+  ASSERT_TRUE(Serial.Succeeded) << Serial.FailureReason;
+
+  // The rendered telemetry (sketches + chains) is a pure function of the
+  // simulation: byte-identical at any --jobs and across reruns.
+  EXPECT_FALSE(Serial.Telemetry.Chains.empty());
+  EXPECT_GT(Serial.Telemetry.Total.StepTicks.count(), 0u);
+  EXPECT_EQ(Serial.Telemetry.json(), Parallel.Telemetry.json());
+  EXPECT_EQ(Serial.Telemetry.json(), Rerun.Telemetry.json());
+
+  // Same bar for the virtual-clock Chrome trace.
+  auto Render = [](const fleet::FleetResult &R) {
+    analysis::FleetTrace T;
+    T.beginCell(R.AppName, R.Devices, /*NumTracks=*/R.Devices);
+    for (const analysis::FleetTraceEvent &E : R.TraceEvents)
+      T.add(E);
+    return T.toChromeJson();
+  };
+  EXPECT_FALSE(Serial.TraceEvents.empty());
+  EXPECT_EQ(Render(Serial), Render(Parallel));
+  EXPECT_EQ(Render(Serial), Render(Rerun));
+}
+
+TEST(FleetTelemetry, ProvenanceChainFollowsTheWinningGenome) {
+  // The homogeneous 4-device fleet from the crowd-sourcing test: hints
+  // flow and get adopted, so chains record complete fleet journeys.
+  fleet::FleetOptions FO = fleetOptions(4, 3, /*Jobs=*/4, /*Seed=*/1);
+  FO.CostJitter = 0.0;
+  FO.NoiseJitter = 0.0;
+  FO.SessionSpread = 0;
+  fleet::PerfectTransport Net;
+  fleet::FleetResult R = runFleet(FO, Net);
+  ASSERT_TRUE(R.Succeeded) << R.FailureReason;
+
+  // The winning genome's chain: flagged, keyed by the winning genome,
+  // and causally ordered (discovered before it reached the server).
+  ASSERT_NE(R.BestProv.Id, 0u);
+  const fleet::ProvenanceChain *Winner = nullptr;
+  for (const fleet::ProvenanceChain &C : R.Telemetry.Chains)
+    if (C.Id == R.BestProv.Id)
+      Winner = &C;
+  ASSERT_NE(Winner, nullptr);
+  EXPECT_TRUE(Winner->Won);
+  EXPECT_EQ(Winner->Key, R.BestGenome);
+  EXPECT_EQ(Winner->Device, R.BestProv.Device);
+  EXPECT_EQ(Winner->DiscoveryTime, R.BestProv.Time);
+  if (Winner->FirstMergeTime != 0) {
+    EXPECT_GE(Winner->FirstMergeTime, Winner->DiscoveryTime);
+  }
+
+  // The crowd adopted at least one chain, after its discovery, and the
+  // adoption latency landed in the hint-latency sketch.
+  ASSERT_GT(R.HintsAdopted, 0u);
+  bool AnyAdopted = false;
+  for (const fleet::ProvenanceChain &C : R.Telemetry.Chains) {
+    if (C.Adoptions == 0)
+      continue;
+    AnyAdopted = true;
+    EXPECT_GE(C.Arrivals, 1u);
+    EXPECT_GE(C.FirstAdoptTime, C.DiscoveryTime);
+    EXPECT_GE(C.FirstAdoptDevice, 0);
+  }
+  EXPECT_TRUE(AnyAdopted);
+  EXPECT_GT(R.Telemetry.Total.HintLatency.count(), 0u);
+}
+
+TEST(FleetTelemetry, BoundedBuffersDropOldestWithoutChangingResults) {
+  auto Run = [](size_t EventsPerDevice) {
+    fleet::PerfectTransport Net;
+    fleet::FleetOptions FO = fleetOptions(3, 3, /*Jobs=*/1, /*Seed=*/1);
+    FO.TelemetryEventsPerDevice = EventsPerDevice;
+    fleet::Server Srv;
+    fleet::Coordinator Co(FO, fleetBase(FO.Seed));
+    return Co.run("Sieve", Srv, Net);
+  };
+  fleet::FleetResult Wide = Run(2048);
+  fleet::FleetResult Tight = Run(1); // Clamped to the 8-event floor.
+  ASSERT_TRUE(Wide.Succeeded) << Wide.FailureReason;
+  ASSERT_TRUE(Tight.Succeeded) << Tight.FailureReason;
+
+  // The cap bit: oldest events dropped and counted, fewer survivors.
+  EXPECT_EQ(Wide.Telemetry.DroppedEvents, 0u);
+  EXPECT_GT(Tight.Telemetry.DroppedEvents, 0u);
+  EXPECT_LT(Tight.TraceEvents.size(), Wide.TraceEvents.size());
+
+  // Telemetry is observability, not policy: bounding the buffers must
+  // not change a single search outcome, and the aggregate sketches and
+  // chains (leaderboard-like state, not buffered events) stay complete.
+  EXPECT_EQ(Wide.digest(), Tight.digest());
+  EXPECT_EQ(Wide.Telemetry.Total.Speedup.count(),
+            Tight.Telemetry.Total.Speedup.count());
+  EXPECT_EQ(Wide.Telemetry.Chains.size(), Tight.Telemetry.Chains.size());
+}
+
+TEST(FleetTelemetry, InjectedUnsoundHintChainRecordsRejections) {
+  fleet::Server Srv;
+  search::Genome Evil = unsoundGenome();
+  Srv.injectHint("Sieve", Evil, /*Speedup=*/9.9);
+
+  fleet::PerfectTransport Net;
+  fleet::Coordinator Co(fleetOptions(2, 2, 1, /*Seed=*/1), fleetBase(1));
+  fleet::FleetResult R = Co.run("Sieve", Srv, Net);
+  ASSERT_TRUE(R.Succeeded) << R.FailureReason;
+
+  // The poisoned hint's chain: marked server-injected (device -1), every
+  // adoption attempt ended in a re-verification rejection, and it never
+  // won anything.
+  const fleet::ProvenanceChain *EvilChain = nullptr;
+  for (const fleet::ProvenanceChain &C : R.Telemetry.Chains)
+    if (C.Key == Evil.name())
+      EvilChain = &C;
+  ASSERT_NE(EvilChain, nullptr);
+  EXPECT_EQ(EvilChain->Device, -1);
+  EXPECT_GE(EvilChain->Rejections, 1u);
+  EXPECT_EQ(EvilChain->Adoptions, 0u);
+  EXPECT_FALSE(EvilChain->Won);
+
+  // And the rejections surfaced as class-level quarantine counts.
+  uint64_t Quarantines = 0;
+  for (const fleet::ClassTelemetry &C : R.Telemetry.Classes)
+    Quarantines += C.Quarantines;
+  EXPECT_GE(Quarantines, 1u);
+}

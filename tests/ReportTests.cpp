@@ -483,6 +483,45 @@ TEST(RunDiff, FlagsInternallyInconsistentFleetRecords) {
   EXPECT_GE(V.Problems.size(), 2u);
 }
 
+TEST(RunDiff, FleetGateFlagsBestSpeedupRegressions) {
+  // Two in-memory runs with one fleet cell each (Synth x4) whose final
+  // best speedup drops 2.0x -> 1.5x: the fleet gate in both diffRuns and
+  // fleetReport must flag the regressed direction and only that one.
+  auto MakeRun = [](double Best) {
+    report::LoadedRun Run;
+    Run.Dir = "synth";
+    Run.HasFleetLog = true;
+    report::FleetRecord R;
+    R.App = "Synth";
+    R.FleetDevices = 4;
+    R.BestSpeedup = Best;
+    R.BestGenome = "g1";
+    R.Delivered = true;
+    Run.Fleet.push_back(R);
+    return Run;
+  };
+  report::LoadedRun A = MakeRun(2.0);
+  report::LoadedRun B = MakeRun(1.5);
+
+  report::DiffResult D = report::diffRuns(A, B);
+  EXPECT_EQ(D.FleetRegressions, 1);
+  EXPECT_TRUE(D.regressed());
+  EXPECT_NE(D.Text.find("FLEET REGRESSION"), std::string::npos);
+
+  // Identity and the improved direction stay clean.
+  EXPECT_FALSE(report::diffRuns(A, A).regressed());
+  EXPECT_FALSE(report::diffRuns(B, A).regressed());
+
+  // The standalone fleet view applies the same gate...
+  EXPECT_EQ(report::fleetReport(B, &A, 0.05).Regressions, 1);
+  EXPECT_EQ(report::fleetReport(A, &B, 0.05).Regressions, 0);
+
+  // ...and a generous threshold swallows the 25% drop.
+  report::DiffOptions Opt;
+  Opt.FleetThreshold = 0.5;
+  EXPECT_FALSE(report::diffRuns(A, B, Opt).regressed());
+}
+
 // --- bench/BenchUtil.h::parseArgs -------------------------------------------
 
 TEST(BenchParseArgs, UnknownFlagExitsNonZeroWithUsage) {

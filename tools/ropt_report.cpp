@@ -13,6 +13,12 @@
 //                                            bottleneck labels + budget
 //                                            shares; flags label changes
 //                                            against a baseline run
+//   ropt-report fleet DIR [--baseline OLD]   fleet view: per-device-class
+//                        [--threshold F]     round curves, provenance
+//                                            chains, transport health;
+//                                            with a baseline, gates on
+//                                            per-cell best-speedup
+//                                            regressions (exit 1)
 //
 // Exit codes: 0 clean, 1 regressions/validation problems, 2 usage or
 // unreadable run directory.
@@ -35,8 +41,10 @@ int usage(const char *Argv0) {
                "usage: %s summarize DIR [--markdown]\n"
                "       %s diff BASELINE_DIR NEW_DIR [--threshold FRACTION]\n"
                "       %s validate DIR\n"
-               "       %s analyze DIR [--baseline OLD_DIR]\n",
-               Argv0, Argv0, Argv0, Argv0);
+               "       %s analyze DIR [--baseline OLD_DIR]\n"
+               "       %s fleet DIR [--baseline OLD_DIR] "
+               "[--threshold FRACTION]\n",
+               Argv0, Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -86,9 +94,39 @@ int runDiff(int Argc, char **Argv) {
   report::LoadedRun B = loadOrExit(DirB);
   report::DiffResult D = report::diffRuns(A, B, Opt);
   std::fputs(D.Text.c_str(), stdout);
-  std::printf("fitness regressions: %d, verdict mix shifts: %d\n",
-              D.FitnessRegressions, D.VerdictShifts);
+  std::printf("fitness regressions: %d, verdict mix shifts: %d, "
+              "fleet regressions: %d\n",
+              D.FitnessRegressions, D.VerdictShifts, D.FleetRegressions);
   return D.regressed() ? 1 : 0;
+}
+
+int runFleet(int Argc, char **Argv) {
+  std::string Dir, BaselineDir;
+  double Threshold = 0.05;
+  for (int I = 2; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--baseline") && I + 1 < Argc)
+      BaselineDir = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--threshold") && I + 1 < Argc)
+      Threshold = std::strtod(Argv[++I], nullptr);
+    else if (Argv[I][0] != '-' && Dir.empty())
+      Dir = Argv[I];
+    else
+      return usage(Argv[0]);
+  }
+  if (Dir.empty())
+    return usage(Argv[0]);
+  report::LoadedRun Run = loadOrExit(Dir);
+  report::FleetDiffResult F;
+  if (BaselineDir.empty()) {
+    F = report::fleetReport(Run, nullptr, Threshold);
+    std::fputs(F.Text.c_str(), stdout);
+    return 0;
+  }
+  report::LoadedRun Baseline = loadOrExit(BaselineDir);
+  F = report::fleetReport(Run, &Baseline, Threshold);
+  std::fputs(F.Text.c_str(), stdout);
+  std::printf("fleet regressions: %d\n", F.Regressions);
+  return F.Regressions ? 1 : 0;
 }
 
 int runValidate(int Argc, char **Argv) {
@@ -147,5 +185,7 @@ int main(int Argc, char **Argv) {
     return runValidate(Argc, Argv);
   if (!std::strcmp(Argv[1], "analyze"))
     return runAnalyze(Argc, Argv);
+  if (!std::strcmp(Argv[1], "fleet"))
+    return runFleet(Argc, Argv);
   return usage(Argv[0]);
 }
