@@ -208,6 +208,23 @@ int main(int Argc, char **Argv) {
         }
       }
 
+      // Fork-server session accounting across the cell's class engines.
+      if (R.ReplayBackend.any())
+        std::printf("           replay backend: %llu session replays / "
+                    "%llu sessions, %llu delta resets (%.1f pages/reset), "
+                    "%llu fresh, %llu rebuilds\n",
+                    static_cast<unsigned long long>(
+                        R.ReplayBackend.SessionReplays),
+                    static_cast<unsigned long long>(
+                        R.ReplayBackend.SessionsCreated),
+                    static_cast<unsigned long long>(
+                        R.ReplayBackend.DeltaResets),
+                    R.ReplayBackend.pagesPerReset(),
+                    static_cast<unsigned long long>(
+                        R.ReplayBackend.FreshReplays),
+                    static_cast<unsigned long long>(
+                        R.ReplayBackend.FullRebuilds));
+
       Summary.HintsPublished += R.HintsPublished;
       Summary.HintsAdopted += R.HintsAdopted;
       Summary.HintsRejected += R.HintsRejected;

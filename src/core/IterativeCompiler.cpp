@@ -49,6 +49,7 @@ RegionEvaluator::RegionEvaluator(const workloads::Application &App,
       Rep(*App.File, Natives, App.RtConfig, Config.Seed ^ 0xa51f),
       NoiseRng(Config.Seed ^ 0x90153) {
   Caps.push_back(CaptureRef{&Cap, &Map});
+  Rep.setSessionMode(Config.Search.SessionBackends);
 }
 
 RegionEvaluator::RegionEvaluator(
@@ -64,6 +65,19 @@ RegionEvaluator::RegionEvaluator(
     Caps.push_back(CaptureRef{&C.Cap, &C.Map});
     Profile.merge(C.Profile);
   }
+  Rep.setSessionMode(Config.Search.SessionBackends);
+}
+
+search::ReplayBackendStats RegionEvaluator::replayStats() const {
+  const replay::SessionStats &S = Rep.sessionStats();
+  search::ReplayBackendStats R;
+  R.SessionsCreated = S.SessionsCreated;
+  R.SessionReplays = S.SessionReplays;
+  R.FreshReplays = S.FreshReplays;
+  R.DeltaResets = S.DeltaResets;
+  R.PagesReverted = S.PagesReverted;
+  R.FullRebuilds = S.FullRebuilds;
+  return R;
 }
 
 namespace {
@@ -435,6 +449,8 @@ IterativeCompiler::optimize(const workloads::Application &App) {
   Report.Counters += Baselines.counters();
   Report.CacheStats = Engine.cacheStats();
   Report.RacingStats = Engine.racingStats();
+  Report.ReplayBackend = Engine.replayBackendStats();
+  Report.ReplayBackend += Baselines.replayStats();
   if (!Best) {
     Report.FailureReason = "search produced no valid binary";
     ROPT_METRIC_INC("pipeline.failures");

@@ -47,6 +47,12 @@ struct SearchOptions {
   /// race the incumbent for the rest, early-stopping clear losers.
   bool Racing = false;
   int MinReplaysPerEvaluation = 3;
+  /// Fork-server replay sessions (DESIGN.md §16): each evaluation backend
+  /// keeps one pristine restored address space per capture and
+  /// delta-resets dirty pages between replays instead of re-running the
+  /// loader. Purely a throughput lever — measurements, digests and
+  /// evaluations.jsonl are byte-identical either way.
+  bool SessionBackends = true;
   /// The measurement budget per binary (the paper's fixed 10).
   int MaxReplaysPerEvaluation = 10;
   size_t CompileSizeBudget = 2000;
@@ -164,6 +170,10 @@ public:
                                     uint64_t NoiseSeed, size_t Begin,
                                     size_t Count) override;
 
+  /// EvalBackend: this evaluator's fork-server session accounting
+  /// (all-zeros when SearchOptions::SessionBackends is off).
+  search::ReplayBackendStats replayStats() const override;
+
   /// Serial convenience: compile + verify + sample in one call, drawing
   /// noise from this evaluator's own stream (the ablation harnesses'
   /// entry point).
@@ -242,6 +252,9 @@ struct OptimizationReport {
   search::EngineCacheStats CacheStats;
   /// The engine's replay-budget accounting (racing vs fixed budget).
   search::EngineRacingStats RacingStats;
+  /// Fork-server replay-session accounting, summed over every evaluation
+  /// backend (engine workers plus the serial baselines evaluator).
+  search::ReplayBackendStats ReplayBackend;
 
   /// Whole-program session samples, measured outside the replay
   /// environment (online noise included).

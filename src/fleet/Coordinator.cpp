@@ -394,6 +394,7 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
     Out.Racing.EarlyStops += CS.racingStats().EarlyStops;
     Out.Racing.Escalations += CS.racingStats().Escalations;
     Out.Racing.TopUps += CS.racingStats().TopUps;
+    Out.ReplayBackend += CS.replayBackendStats();
   }
   for (int I = 0; I != Total; ++I) {
     const DeviceState &DS = States[static_cast<size_t>(I)];

@@ -168,6 +168,8 @@ struct FleetResult {
   search::EngineCounters Counters;
   search::EngineCacheStats Cache;
   search::EngineRacingStats Racing;
+  /// Fork-server replay-session accounting over every class backend.
+  search::ReplayBackendStats ReplayBackend;
   uint64_t HintsPublished = 0; ///< Hints sent to devices (pre-dedup).
   uint64_t HintsAdopted = 0;
   uint64_t HintsRejected = 0;

@@ -154,6 +154,13 @@ const search::EngineRacingStats &DeviceClassState::racingStats() const {
   return Engine->racingStats();
 }
 
+search::ReplayBackendStats DeviceClassState::replayBackendStats() const {
+  search::ReplayBackendStats R = Engine->replayBackendStats();
+  if (Baselines)
+    R += Baselines->replayStats();
+  return R;
+}
+
 Device::Device(std::shared_ptr<DeviceClassState> Class,
                const DeviceProfile &Prof, const StepCosts &Costs)
     : Class(std::move(Class)), Prof(Prof), Costs(Costs) {}

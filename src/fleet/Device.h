@@ -163,6 +163,9 @@ public:
   const search::EngineCounters &counters() const;
   const search::EngineCacheStats &cacheStats() const;
   const search::EngineRacingStats &racingStats() const;
+  /// Fork-server session accounting over the class engine's backends plus
+  /// the class's serial baselines evaluator.
+  search::ReplayBackendStats replayBackendStats() const;
 
 private:
   friend class Device;

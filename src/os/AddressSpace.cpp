@@ -50,8 +50,9 @@ void AddressSpace::mapRegion(uint64_t Start, uint64_t Size, uint8_t Prot,
       Mappings.begin(), Mappings.end(), M,
       [](const Mapping &A, const Mapping &B) { return A.Start < B.Start; });
   Mappings.insert(Pos, std::move(M));
-  CachedEntry = nullptr;
-  CachedPageNum = ~0ULL;
+  invalidateTranslations();
+  if (SnapshotArmed)
+    StructuralChange = true; // the snapshot no longer describes this space
 }
 
 void AddressSpace::unmapRegion(uint64_t Start, uint64_t Size) {
@@ -73,8 +74,9 @@ void AddressSpace::unmapRegion(uint64_t Start, uint64_t Size) {
       It->Start = End;
     ++It;
   }
-  CachedEntry = nullptr;
-  CachedPageNum = ~0ULL;
+  invalidateTranslations();
+  if (SnapshotArmed)
+    StructuralChange = true;
 }
 
 void AddressSpace::protectRange(uint64_t Start, uint64_t Size, uint8_t Prot) {
@@ -89,6 +91,8 @@ void AddressSpace::protectRange(uint64_t Start, uint64_t Size, uint8_t Prot) {
     if (It->second.Prot != Prot) {
       It->second.Prot = Prot;
       ++Stats.PagesProtected;
+      if (SnapshotArmed)
+        Dirty.insert(P); // reset must re-arm the snapshot protection
     }
   }
 }
@@ -110,9 +114,15 @@ const Mapping *AddressSpace::findMapping(uint64_t Addr) const {
   return nullptr;
 }
 
-void AddressSpace::ensurePrivate(PageEntry &Entry) {
+void AddressSpace::ensurePrivate(uint64_t PageNum, PageEntry &Entry) {
+  // Every first write after takeSnapshot() lands here: the snapshot's
+  // page-table copy holds a reference to every materialized page (so
+  // use_count > 1), and lazy-zero pages have no backing yet. A private
+  // materialized page can only mean the dirty set already has this page.
   if (!Entry.Phys) {
     Entry.Phys = std::make_shared<PhysicalPage>();
+    if (SnapshotArmed)
+      Dirty.insert(PageNum);
     return;
   }
   if (Entry.Phys.use_count() <= 1)
@@ -123,23 +133,22 @@ void AddressSpace::ensurePrivate(PageEntry &Entry) {
   auto Copy = std::make_shared<PhysicalPage>(*Entry.Phys);
   Entry.Phys = std::move(Copy);
   ++Stats.CowCopies;
+  if (SnapshotArmed)
+    Dirty.insert(PageNum);
 }
 
 uint64_t AddressSpace::accessChunk(uint64_t Addr, void *Buf, uint64_t Size,
                                    bool IsWrite, AccessResult &Result) {
   uint64_t PageNum = pageNumber(Addr);
-  PageEntry *Entry;
-  if (PageNum == CachedPageNum && CachedEntry) {
-    Entry = CachedEntry;
-  } else {
+  PageEntry *Entry = lookupTranslation(PageNum);
+  if (!Entry) {
     auto It = Pages.find(PageNum);
     if (It == Pages.end()) {
       Result = AccessResult::Unmapped;
       return 0;
     }
     Entry = &It->second;
-    CachedPageNum = PageNum;
-    CachedEntry = Entry;
+    fillTranslation(PageNum, Entry);
   }
 
   uint8_t Needed = IsWrite ? ProtWrite : ProtRead;
@@ -156,7 +165,7 @@ uint64_t AddressSpace::accessChunk(uint64_t Addr, void *Buf, uint64_t Size,
   }
 
   if (IsWrite)
-    ensurePrivate(*Entry);
+    ensurePrivate(PageNum, *Entry);
 
   uint64_t Offset = Addr - pageBase(Addr);
   uint64_t Chunk = std::min(Size, PageSize - Offset);
@@ -170,7 +179,7 @@ uint64_t AddressSpace::accessChunk(uint64_t Addr, void *Buf, uint64_t Size,
   return Chunk;
 }
 
-AccessResult AddressSpace::read(uint64_t Addr, void *Out, uint64_t Size) {
+AccessResult AddressSpace::readSlow(uint64_t Addr, void *Out, uint64_t Size) {
   uint8_t *Buf = static_cast<uint8_t *>(Out);
   while (Size > 0) {
     AccessResult Result;
@@ -184,8 +193,8 @@ AccessResult AddressSpace::read(uint64_t Addr, void *Out, uint64_t Size) {
   return AccessResult::Ok;
 }
 
-AccessResult AddressSpace::write(uint64_t Addr, const void *Data,
-                                 uint64_t Size) {
+AccessResult AddressSpace::writeSlow(uint64_t Addr, const void *Data,
+                                     uint64_t Size) {
   const uint8_t *Buf = static_cast<const uint8_t *>(Data);
   while (Size > 0) {
     AccessResult Result;
@@ -222,12 +231,11 @@ bool AddressSpace::peek(uint64_t Addr, void *Out, uint64_t Size) const {
 bool AddressSpace::poke(uint64_t Addr, const void *Data, uint64_t Size) {
   const uint8_t *Buf = static_cast<const uint8_t *>(Data);
   while (Size > 0) {
-    auto It = Pages.find(pageNumber(Addr));
+    uint64_t PageNum = pageNumber(Addr);
+    auto It = Pages.find(PageNum);
     if (It == Pages.end())
       return false;
-    ensurePrivate(It->second);
-    CachedEntry = nullptr;
-    CachedPageNum = ~0ULL;
+    ensurePrivate(PageNum, It->second);
     uint64_t Offset = Addr - pageBase(Addr);
     uint64_t Chunk = std::min(Size, PageSize - Offset);
     std::memcpy(It->second.Phys->Data.data() + Offset, Buf, Chunk);
@@ -248,4 +256,42 @@ AddressSpace AddressSpace::forkClone() const {
 PhysPageRef AddressSpace::physicalPage(uint64_t Addr) const {
   auto It = Pages.find(pageNumber(Addr));
   return It == Pages.end() ? nullptr : It->second.Phys;
+}
+
+void AddressSpace::takeSnapshot() {
+  SnapshotPages = Pages; // bumps every materialized page to shared
+  Dirty.clear();
+  SnapshotArmed = true;
+  StructuralChange = false;
+  ++Stats.SnapshotsTaken;
+}
+
+int64_t AddressSpace::resetToSnapshot() {
+  if (!SnapshotArmed || StructuralChange)
+    return -1;
+  int64_t Reverted = 0;
+  for (uint64_t P : Dirty) {
+    auto It = Pages.find(P);
+    auto SIt = SnapshotPages.find(P);
+    if (It == Pages.end() || SIt == SnapshotPages.end()) {
+      // Unreachable while StructuralChange tracking is sound; degrade to
+      // "snapshot invalid" rather than half-restoring silently.
+      StructuralChange = true;
+      return -1;
+    }
+    It->second = SIt->second; // re-share the snapshot page, re-arm Prot
+    ++Reverted;
+  }
+  Dirty.clear();
+  invalidateTranslations();
+  ++Stats.SnapshotResets;
+  Stats.PagesReverted += static_cast<uint64_t>(Reverted);
+  return Reverted;
+}
+
+void AddressSpace::dropSnapshot() {
+  SnapshotPages.clear();
+  Dirty.clear();
+  SnapshotArmed = false;
+  StructuralChange = false;
 }

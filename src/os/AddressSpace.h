@@ -11,6 +11,25 @@
 /// record first accesses, and let CoW preserve the pre-region state of any
 /// page the application writes.
 ///
+/// Two performance features serve the replay fork-server (DESIGN.md §16):
+///
+/// - **Snapshots.** `takeSnapshot()` freezes the current content as a
+///   restore point; every page written afterwards is recorded in a dirty
+///   set, and `resetToSnapshot()` reverts exactly those pages by dropping
+///   their private copies and re-sharing the snapshot's physical pages
+///   (re-arming the snapshot protections with them). Dirty recording rides
+///   the existing CoW path: taking the snapshot bumps every materialized
+///   page to shared, so the first post-snapshot write necessarily transits
+///   `ensurePrivate`, which is the single recording point.
+///
+/// - **Inline access fast path.** `read`/`write` handle the common case —
+///   page-local access, permitted protection, (for writes) already-private
+///   backing — entirely in the header against a small multi-entry
+///   translation cache; everything else tails into the out-of-line slow
+///   path, which also keeps the fault accounting. A private page under an
+///   armed snapshot is by construction already in the dirty set, so the
+///   inline write path can skip the recording check.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ROPT_OS_ADDRESS_SPACE_H
@@ -18,9 +37,11 @@
 
 #include "os/Memory.h"
 
+#include <array>
 #include <cstring>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace ropt {
@@ -35,6 +56,9 @@ struct MemoryStats {
   uint64_t WriteFaults = 0;    ///< Faults taken on write access.
   uint64_t CowCopies = 0;      ///< Pages duplicated by Copy-on-Write.
   uint64_t MapsEnumerations = 0; ///< procMaps() style walks.
+  uint64_t SnapshotsTaken = 0;   ///< takeSnapshot() restore points armed.
+  uint64_t SnapshotResets = 0;   ///< Successful resetToSnapshot() calls.
+  uint64_t PagesReverted = 0;    ///< Dirty pages reverted across resets.
 };
 
 /// Outcome of a memory access attempt.
@@ -77,11 +101,41 @@ public:
     OnFault = std::move(Handler);
   }
 
-  /// Reads \p Size bytes at \p Addr into \p Out. May span pages.
-  AccessResult read(uint64_t Addr, void *Out, uint64_t Size);
+  /// Reads \p Size bytes at \p Addr into \p Out. May span pages. The
+  /// page-local permitted case is served inline from the translation
+  /// cache; faults, misses and page-spanning accesses take the slow path.
+  AccessResult read(uint64_t Addr, void *Out, uint64_t Size) {
+    uint64_t Offset = Addr & (PageSize - 1);
+    if (Offset + Size <= PageSize) {
+      if (const PageEntry *E = lookupTranslation(pageNumber(Addr))) {
+        if (E->Prot & ProtRead) {
+          if (E->Phys)
+            std::memcpy(Out, E->Phys->Data.data() + Offset, Size);
+          else
+            std::memset(Out, 0, Size); // untouched page reads as zeros
+          return AccessResult::Ok;
+        }
+      }
+    }
+    return readSlow(Addr, Out, Size);
+  }
 
-  /// Writes \p Size bytes at \p Addr. May span pages. Triggers CoW.
-  AccessResult write(uint64_t Addr, const void *Data, uint64_t Size);
+  /// Writes \p Size bytes at \p Addr. May span pages. Triggers CoW. The
+  /// inline path additionally requires a private, materialized page — a
+  /// shared or lazy-zero page must transit ensurePrivate (CoW + dirty-set
+  /// recording) on the slow path.
+  AccessResult write(uint64_t Addr, const void *Data, uint64_t Size) {
+    uint64_t Offset = Addr & (PageSize - 1);
+    if (Offset + Size <= PageSize) {
+      if (PageEntry *E = lookupTranslation(pageNumber(Addr))) {
+        if ((E->Prot & ProtWrite) && E->Phys && E->Phys.use_count() == 1) {
+          std::memcpy(E->Phys->Data.data() + Offset, Data, Size);
+          return AccessResult::Ok;
+        }
+      }
+    }
+    return writeSlow(Addr, Data, Size);
+  }
 
   /// Typed helpers; assert on unaligned page-spanning is not required —
   /// they go through read()/write().
@@ -123,6 +177,7 @@ public:
 
   /// Clones this space for fork(): page table copied, physical pages
   /// shared, so the first write on either side triggers Copy-on-Write.
+  /// The clone starts without a snapshot or dirty set of its own.
   AddressSpace forkClone() const;
 
   /// Returns the physical page ref for tests/capture; nullptr if unmapped.
@@ -130,6 +185,31 @@ public:
 
   /// Total number of mapped pages.
   uint64_t mappedPageCount() const { return Pages.size(); }
+
+  /// Freezes the current content and protections as the restore point for
+  /// later resetToSnapshot() calls. Every materialized page becomes shared
+  /// with the snapshot, so any later write necessarily pays one CoW copy —
+  /// the price of knowing exactly which pages to revert. Replaces any
+  /// earlier snapshot and clears the dirty set.
+  void takeSnapshot();
+
+  /// Reverts every page written (or re-protected) since takeSnapshot() to
+  /// its snapshot content and protection, dropping the private copies and
+  /// re-sharing the snapshot's physical pages. Returns the number of pages
+  /// reverted, or -1 when there is no valid restore point — no snapshot
+  /// taken, or the address-space *structure* (map/unmap) changed since,
+  /// which invalidates it. On -1 the caller must rebuild from scratch.
+  int64_t resetToSnapshot();
+
+  /// True while resetToSnapshot() would succeed.
+  bool hasValidSnapshot() const { return SnapshotArmed && !StructuralChange; }
+
+  /// Forgets the restore point and the dirty set (frees the snapshot's
+  /// page-table copy; shared physical pages are released lazily by CoW).
+  void dropSnapshot();
+
+  /// Pages written or re-protected since the last takeSnapshot().
+  uint64_t dirtyPageCount() const { return Dirty.size(); }
 
   const MemoryStats &stats() const { return Stats; }
   void resetStats() { Stats = MemoryStats(); }
@@ -142,23 +222,60 @@ private:
     uint8_t Prot = ProtNone;
   };
 
-  /// Ensures this space holds a private, materialized copy of the page
-  /// before writing.
-  void ensurePrivate(PageEntry &Entry);
+  /// Ensures this space holds a private, materialized copy of page
+  /// \p PageNum before writing; records it in the dirty set while a
+  /// snapshot is armed. This is the single point every first-after-
+  /// snapshot write passes through (see the header comment invariant).
+  void ensurePrivate(uint64_t PageNum, PageEntry &Entry);
 
   /// One page-bounded access step. Returns the number of bytes handled or
   /// sets \p Result and returns 0 on failure.
   uint64_t accessChunk(uint64_t Addr, void *Buf, uint64_t Size, bool IsWrite,
                        AccessResult &Result);
 
+  AccessResult readSlow(uint64_t Addr, void *Out, uint64_t Size);
+  AccessResult writeSlow(uint64_t Addr, const void *Data, uint64_t Size);
+
+  // Small fully-associative translation cache in front of the page table.
+  // unordered_map never moves its nodes, so cached PageEntry pointers stay
+  // valid until a page is erased (unmapRegion invalidates the cache).
+  static constexpr size_t TranslationWays = 4;
+  struct TranslationEntry {
+    uint64_t PageNum = ~0ULL;
+    PageEntry *Entry = nullptr;
+  };
+
+  PageEntry *lookupTranslation(uint64_t PageNum) const {
+    for (const TranslationEntry &T : Translations)
+      if (T.PageNum == PageNum)
+        return T.Entry;
+    return nullptr;
+  }
+
+  void fillTranslation(uint64_t PageNum, PageEntry *Entry) const {
+    Translations[TranslationVictim] = {PageNum, Entry};
+    TranslationVictim = (TranslationVictim + 1) % TranslationWays;
+  }
+
+  void invalidateTranslations() const {
+    for (TranslationEntry &T : Translations)
+      T = TranslationEntry();
+    TranslationVictim = 0;
+  }
+
   std::unordered_map<uint64_t, PageEntry> Pages;
   std::vector<Mapping> Mappings; ///< Kept sorted by Start.
   FaultHandler OnFault;
   MemoryStats Stats;
 
-  // One-entry translation cache to keep the hot interpreter path cheap.
-  mutable uint64_t CachedPageNum = ~0ULL;
-  mutable PageEntry *CachedEntry = nullptr;
+  mutable std::array<TranslationEntry, TranslationWays> Translations;
+  mutable size_t TranslationVictim = 0;
+
+  // Snapshot/restore state (replay fork-server support).
+  std::unordered_map<uint64_t, PageEntry> SnapshotPages;
+  std::unordered_set<uint64_t> Dirty;
+  bool SnapshotArmed = false;
+  bool StructuralChange = false;
 };
 
 } // namespace os

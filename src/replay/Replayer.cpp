@@ -86,13 +86,44 @@ os::AddressSpace &Replayer::bootTemplate(const capture::Capture &Cap) {
       .first->second;
 }
 
-ReplayResult Replayer::replayImpl(
-    const capture::Capture &Cap, ReplayCode Mode,
-    const vm::CodeCache *Code, vm::ExecObserver *Observer,
-    const std::function<void(AddressSpace &, const vm::CallResult &)>
-        &PostRun) {
-  ROPT_TRACE_SPAN("replay.run");
-  ReplayResult Out;
+uint64_t Replayer::captureFingerprint(const capture::Capture &Cap) {
+  // FNV-1a over the capture's structure plus a light content sample: a
+  // capture mutated in place under a live session must not replay against
+  // stale session memory. Cost is O(pages) with a small constant — paid
+  // once per session replay, not per instruction.
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ULL;
+  };
+  Mix(Cap.BootId);
+  Mix(Cap.Root);
+  Mix(Cap.Args.size());
+  for (const vm::Value &A : Cap.Args)
+    Mix(A.Raw);
+  Mix(Cap.Mappings.size());
+  for (const Mapping &M : Cap.Mappings) {
+    Mix(M.Start);
+    Mix(M.End);
+    Mix(static_cast<uint64_t>(M.Kind));
+  }
+  Mix(Cap.Pages.size());
+  for (const capture::PageRecord &P : Cap.Pages) {
+    Mix(P.Addr);
+    Mix(P.Bytes.size());
+    if (P.Bytes.size() >= 8) {
+      uint64_t First = 0, Last = 0;
+      std::memcpy(&First, P.Bytes.data(), 8);
+      std::memcpy(&Last, P.Bytes.data() + P.Bytes.size() - 8, 8);
+      Mix(First);
+      Mix(Last);
+    }
+  }
+  return H;
+}
+
+os::AddressSpace Replayer::buildRestoredSpace(const capture::Capture &Cap,
+                                              LoaderStats &Loader) {
   // Start from the per-boot template: runtime-image pages shared CoW.
   AddressSpace Space = bootTemplate(Cap).forkClone();
 
@@ -104,7 +135,7 @@ ReplayResult Replayer::replayImpl(
   Space.mapRegion(LoaderBase, LoaderPages * PageSize,
                   os::ProtRead | os::ProtWrite, MappingKind::Anonymous,
                   "loader");
-  Out.Loader.LoaderBase = LoaderBase;
+  Loader.LoaderBase = LoaderBase;
 
   // --- Stage 1: map the captured layout; collisions stage elsewhere. ----
   uint64_t StagingBase = findFreeArea(Cap, 0xa0000000, LoaderPages);
@@ -112,7 +143,7 @@ ReplayResult Replayer::replayImpl(
 
   for (const Mapping &M : Cap.Mappings) {
     if (M.Kind == MappingKind::RuntimeImage) {
-      Out.Loader.CommonPagesMapped += M.pageCount();
+      Loader.CommonPagesMapped += M.pageCount();
       continue; // mapped via the boot template
     }
     bool CollidesWithLoader =
@@ -135,7 +166,7 @@ ReplayResult Replayer::replayImpl(
       Space.mapRegion(Temp, PageSize, os::ProtRead | os::ProtWrite,
                       MappingKind::Anonymous, "staged");
       Staged.emplace_back(Addr, Temp);
-      ++Out.Loader.CollidingPages;
+      ++Loader.CollidingPages;
     }
   }
 
@@ -151,7 +182,7 @@ ReplayResult Replayer::replayImpl(
     [[maybe_unused]] bool Ok =
         Space.poke(TargetAddr(P.Addr), P.Bytes.data(), P.Bytes.size());
     assert(Ok && "captured page has no mapping");
-    ++Out.Loader.PagesRestored;
+    ++Loader.PagesRestored;
   }
 
   // --- Stages 2+3: break-free — drop the loader, relocate staged pages. -
@@ -170,12 +201,21 @@ ReplayResult Replayer::replayImpl(
     (void)Space.poke(Final, Bytes.data(), PageSize);
     Space.unmapRegion(Temp, PageSize);
   }
+  return Space;
+}
 
+void Replayer::runRegion(AddressSpace &Space, const capture::Capture &Cap,
+                         ReplayCode Mode, const vm::CodeCache *Code,
+                         vm::ExecObserver *Observer, ReplayResult &Out) {
   // --- Stage 4: pick the code version and execute the region. -----------
+  // Always a fresh Runtime: its cache simulator, branch predictor and
+  // cycle totals are per-replay state — reusing them across replays would
+  // change charged cycles (and Env.NowMillis) and break digest identity.
   vm::Runtime RT(Space, File, Natives, Config);
   if (Mode == ReplayCode::Compiled && Code) {
-    for (const auto &KV : Code->functions())
-      RT.codeCache().install(KV.second);
+    // Zero-copy install: the compiled binary is shared by pointer instead
+    // of copied into the runtime-owned cache function by function.
+    RT.setSharedCode(Code);
     RT.setMode(vm::ExecMode::Mixed);
   } else {
     RT.setMode(vm::ExecMode::InterpretOnly);
@@ -189,14 +229,90 @@ ReplayResult Replayer::replayImpl(
   }
 
   ROPT_METRIC_INC("replay.replays");
-  ROPT_METRIC_ADD("replay.pages_restored", Out.Loader.PagesRestored);
-  ROPT_METRIC_ADD("replay.collisions_handled", Out.Loader.CollidingPages);
   ROPT_METRIC_OBSERVE("replay.cycles", Out.Result.Cycles,
                       ({1e4, 1e5, 1e6, 1e7, 1e8, 1e9}));
+}
 
+/// Loader-work metrics count work actually performed, so the session path
+/// emits them once per session build while ReplayResult::Loader carries
+/// the cumulative per-session numbers on every replay.
+static void emitLoaderMetrics(const LoaderStats &L) {
+  ROPT_METRIC_ADD("replay.pages_restored", L.PagesRestored);
+  ROPT_METRIC_ADD("replay.collisions_handled", L.CollidingPages);
+}
+
+ReplayResult Replayer::replayImpl(
+    const capture::Capture &Cap, ReplayCode Mode,
+    const vm::CodeCache *Code, vm::ExecObserver *Observer,
+    const std::function<void(AddressSpace &, const vm::CallResult &)>
+        &PostRun) {
+  ROPT_TRACE_SPAN("replay.run");
+  ReplayResult Out;
+
+  if (!SessionMode) {
+    AddressSpace Space = buildRestoredSpace(Cap, Out.Loader);
+    emitLoaderMetrics(Out.Loader);
+    runRegion(Space, Cap, Mode, Code, Observer, Out);
+    ++SessStats.FreshReplays;
+    if (PostRun)
+      PostRun(Space, Out.Result);
+    return Out;
+  }
+
+  // Fork-server path: find (or build) the pristine session for this
+  // capture, execute against it, then delta-reset the dirty pages.
+  uint64_t Fp = captureFingerprint(Cap);
+  auto It = Sessions.find(&Cap);
+  if (It != Sessions.end() && It->second.Fingerprint != Fp) {
+    // The capture changed in place (or a new capture reuses the address):
+    // the session memory is stale. Rebuild from scratch.
+    Sessions.erase(It);
+    It = Sessions.end();
+    ++SessStats.FullRebuilds;
+    ROPT_METRIC_INC("replay.full_rebuilds");
+  }
+  if (It == Sessions.end()) {
+    Session S;
+    S.Space = buildRestoredSpace(Cap, S.Loader);
+    S.Space.takeSnapshot();
+    S.Fingerprint = Fp;
+    It = Sessions.emplace(&Cap, std::move(S)).first;
+    ++SessStats.SessionsCreated;
+    ROPT_METRIC_INC("replay.sessions_created");
+    emitLoaderMetrics(It->second.Loader);
+  }
+
+  Session &S = It->second;
+  Out.Loader = S.Loader; // cumulative per-session loader work (see .h)
+  runRegion(S.Space, Cap, Mode, Code, Observer, Out);
+  ++SessStats.SessionReplays;
   if (PostRun)
-    PostRun(Space, Out.Result);
+    PostRun(S.Space, Out.Result);
+
+  int64_t Reverted = S.Space.resetToSnapshot();
+  if (Reverted < 0) {
+    // Structural change during the region (never happens for well-formed
+    // workloads — the heap never unmaps). Drop the session; the next
+    // replay rebuilds it.
+    Sessions.erase(It);
+    ++SessStats.FullRebuilds;
+    ROPT_METRIC_INC("replay.full_rebuilds");
+  } else {
+    ++SessStats.DeltaResets;
+    SessStats.PagesReverted += static_cast<uint64_t>(Reverted);
+    ROPT_METRIC_INC("replay.session_resets");
+    ROPT_METRIC_ADD("replay.pages_reverted",
+                    static_cast<uint64_t>(Reverted));
+  }
   return Out;
+}
+
+void Replayer::setSessionMode(bool On) {
+  if (SessionMode == On)
+    return;
+  SessionMode = On;
+  if (!On)
+    Sessions.clear();
 }
 
 ReplayResult Replayer::replay(const capture::Capture &Cap, ReplayCode Mode,

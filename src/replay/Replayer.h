@@ -17,6 +17,22 @@
 /// their final addresses — faithfully modelled over the simulated address
 /// space, with every step observable for tests.
 ///
+/// **Replay sessions (fork-server mode, DESIGN.md §16).** With
+/// `setSessionMode(true)`, the Replayer keeps one pristine restored
+/// address space per capture: the boot template is forked once, the
+/// loader runs once, and a snapshot is taken of the final restored
+/// layout. Every replay then executes directly against that space and is
+/// followed by a dirty-page delta reset (`os::AddressSpace::
+/// resetToSnapshot`) that reverts exactly the pages the region wrote.
+/// Because the reset restores bit-identical pre-region memory and every
+/// replay still gets a fresh `vm::Runtime` (cache simulator, branch
+/// predictor, cycle totals), session replays produce byte-identical
+/// `CallResult`s and `VerificationMap`s to fresh rebuilds — the session
+/// is invisible to every digest. If a capture's content changes under a
+/// live session, or the reset is ever impossible (structural address-
+/// space change), the session is dropped and rebuilt (`SessionStats::
+/// FullRebuilds`, `replay.full_rebuilds`).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ROPT_REPLAY_REPLAYER_H
@@ -41,11 +57,47 @@ enum class ReplayCode {
 };
 
 /// Loader bookkeeping, exposed for tests and the micro benches.
+///
+/// Semantics under session mode: loader work happens once per session, so
+/// the session-*building* replay reports the full restore (PagesRestored,
+/// CollidingPages, ...) and every session-*reusing* replay reports the
+/// same cumulative per-session numbers again — the loader work that backs
+/// the replay, not work done during it. Sum LoaderStats across replays of
+/// one session and you count the build once per replay; use
+/// `Replayer::sessionStats()` for cross-replay accounting instead.
 struct LoaderStats {
   uint64_t LoaderBase = 0;
   uint64_t CollidingPages = 0; ///< Captured pages staged + relocated.
   uint64_t PagesRestored = 0;
   uint64_t CommonPagesMapped = 0;
+};
+
+/// Fork-server accounting across one Replayer's lifetime.
+struct SessionStats {
+  uint64_t SessionsCreated = 0; ///< Pristine spaces built (loader runs).
+  uint64_t SessionReplays = 0;  ///< Replays served from a live session.
+  uint64_t FreshReplays = 0;    ///< Replays that rebuilt from scratch
+                                ///< (session mode off).
+  uint64_t DeltaResets = 0;     ///< Dirty-page reverts between replays.
+  uint64_t PagesReverted = 0;   ///< Pages those resets reverted in total.
+  uint64_t FullRebuilds = 0;    ///< Sessions dropped: capture changed or
+                                ///< the delta reset was impossible.
+
+  SessionStats &operator+=(const SessionStats &O) {
+    SessionsCreated += O.SessionsCreated;
+    SessionReplays += O.SessionReplays;
+    FreshReplays += O.FreshReplays;
+    DeltaResets += O.DeltaResets;
+    PagesReverted += O.PagesReverted;
+    FullRebuilds += O.FullRebuilds;
+    return *this;
+  }
+
+  double pagesPerReset() const {
+    return DeltaResets ? static_cast<double>(PagesReverted) /
+                             static_cast<double>(DeltaResets)
+                       : 0.0;
+  }
 };
 
 /// Externally visible behaviour of one region execution: the final values
@@ -73,7 +125,8 @@ struct InterpretedReplayResult {
 };
 
 /// Replays captured executions. One Replayer per application; each replay
-/// builds a fresh partial process.
+/// builds a fresh partial process — or, in session mode, reuses a
+/// per-capture fork-server process reset between replays.
 class Replayer {
 public:
   Replayer(const dex::DexFile &File, const vm::NativeRegistry &Natives,
@@ -100,14 +153,54 @@ public:
   verifiedReplay(const capture::Capture &Cap, const vm::CodeCache &Code,
                  const VerificationMap &Map);
 
+  /// Fork-server replay sessions: keep one restored address space per
+  /// capture and delta-reset dirty pages between replays instead of
+  /// rebuilding. Off by default — raw Replayer users (tests, loader
+  /// benches) see the classic per-replay loader behaviour; evaluation
+  /// backends turn it on via SearchOptions::SessionBackends. Turning it
+  /// off drops every live session.
+  void setSessionMode(bool On);
+  bool sessionMode() const { return SessionMode; }
+
+  /// Cross-replay session accounting (see LoaderStats for the
+  /// per-replay/per-session split).
+  const SessionStats &sessionStats() const { return SessStats; }
+
+  /// Live sessions currently held (tests/benches).
+  size_t liveSessions() const { return Sessions.size(); }
+
 private:
+  /// One fork-server process: the restored space snapshot plus the loader
+  /// work that built it and a fingerprint to detect capture changes.
+  struct Session {
+    os::AddressSpace Space;
+    LoaderStats Loader;
+    uint64_t Fingerprint = 0;
+  };
+
   /// Core replay; \p PostRun (optional) observes the address space after
-  /// the region finished, before teardown.
+  /// the region finished, before teardown (or before the session reset).
   ReplayResult
   replayImpl(const capture::Capture &Cap, ReplayCode Mode,
              const vm::CodeCache *Code, vm::ExecObserver *Observer,
              const std::function<void(os::AddressSpace &,
                                       const vm::CallResult &)> &PostRun);
+
+  /// Stages 0-3: fork the boot template and run the loader dance until
+  /// the space holds exactly the captured layout. Fills \p Loader.
+  os::AddressSpace buildRestoredSpace(const capture::Capture &Cap,
+                                      LoaderStats &Loader);
+
+  /// Stage 4: execute the region in \p Space under the chosen code
+  /// version with a fresh vm::Runtime; fills \p Out.Result and emits the
+  /// per-replay metrics.
+  void runRegion(os::AddressSpace &Space, const capture::Capture &Cap,
+                 ReplayCode Mode, const vm::CodeCache *Code,
+                 vm::ExecObserver *Observer, ReplayResult &Out);
+
+  /// Cheap content signature used to notice a capture changing in place
+  /// under a live session.
+  static uint64_t captureFingerprint(const capture::Capture &Cap);
 
   /// Per-boot template space holding the (immutable) runtime image; each
   /// replay forks it so the 12 MiB of content is shared copy-on-write
@@ -119,6 +212,10 @@ private:
   vm::RuntimeConfig Config;
   Rng AslrRng;
   std::map<uint64_t, os::AddressSpace> BootTemplates;
+
+  bool SessionMode = false;
+  std::map<const capture::Capture *, Session> Sessions;
+  SessionStats SessStats;
 };
 
 } // namespace replay

@@ -220,6 +220,19 @@ support::Result<LoadedRun> report::loadRun(const std::string &Dir) {
     Run.HasTelemetry = true;
   }
 
+  // metrics.json only exists for observability builds; absence is normal,
+  // an unparseable one is not.
+  if (support::Result<std::string> MetricsText =
+          slurp(Dir + "/" + MetricsFile)) {
+    support::Result<json::Value> Metrics = json::parse(MetricsText.value());
+    if (!Metrics)
+      return support::Error(support::ErrorCode::Unknown,
+                            Dir + "/" + MetricsFile + ": " +
+                                Metrics.error().Message);
+    Run.Metrics = std::move(Metrics).value();
+    Run.HasMetrics = true;
+  }
+
   return Run;
 }
 
@@ -241,12 +254,36 @@ ValidationResult report::validateRun(const LoadedRun &Run) {
   // Schema 1 = pre-fleet runs, schema 2 added the optional fleet
   // section, schema 3 the observability flag and region analysis,
   // schema 4 virtual_time on fleet records, schema 5 per-record
-  // provenance plus telemetry.json; all stay loadable so old baselines
-  // keep diffing against new runs.
+  // provenance plus telemetry.json, schema 6 session_backends and the
+  // replay_backend sections; all stay loadable so old baselines keep
+  // diffing against new runs.
   double Schema = Run.Manifest.number("schema");
   if (Run.Manifest.find("schema") && Schema != 1 && Schema != 2 &&
-      Schema != 3 && Schema != 4 && Schema != 5)
+      Schema != 3 && Schema != 4 && Schema != 5 && Schema != 6)
     Problem("manifest.json: unknown schema version");
+
+  // Schema 6 session accounting: a run that *claims* fresh (non-session)
+  // evaluation backends pays the loader on every replay, so a metrics
+  // snapshot with replays but zero replay.pages_restored contradicts the
+  // claim — loader stats were dropped somewhere (the exact bug session
+  // mode's LoaderStats semantics were designed to avoid). Session runs
+  // legitimately restore pages only once per session, so the check only
+  // applies when session_backends is explicitly false.
+  if (Schema >= 6 && Run.HasMetrics) {
+    const json::Value *Config = Run.Manifest.find("config");
+    const json::Value *SessionB =
+        Config ? Config->find("session_backends") : nullptr;
+    if (SessionB && !SessionB->asBool()) {
+      if (const json::Value *Counters = Run.Metrics.find("counters")) {
+        double Replays = Counters->number("replay.replays");
+        double Restored = Counters->number("replay.pages_restored");
+        if (Replays > 0.0 && Restored == 0.0)
+          Warning("metrics.json: replay.pages_restored is zero in a "
+                  "schema-6 run claiming fresh (session_backends=false) "
+                  "backends — loader stats were lost");
+      }
+    }
+  }
 
   // A run built without the tracing/metrics layer records
   // observability:false and legitimately has no trace.json/metrics.json;
@@ -605,6 +642,30 @@ std::string report::summarize(const LoadedRun &Run, bool Markdown) {
             << format("%.0f", R->number("early_stops")) << ", escalations "
             << format("%.0f", R->number("escalations")) << ", top-ups "
             << format("%.0f", R->number("top_ups")) << "\n";
+        break;
+      }
+
+    // Fork-server session accounting (manifest "replay_backend" per app,
+    // schema 6): how the replays above were served.
+    if (const json::Value *AppsV = M.find("apps"))
+      for (const json::Value &AppV : AppsV->elements()) {
+        if (AppV.string("name") != Name)
+          continue;
+        const json::Value *RB = AppV.find("replay_backend");
+        if (!RB)
+          break;
+        double SessionReplays = RB->number("session_replays");
+        double FreshReplays = RB->number("fresh_replays");
+        if (SessionReplays + FreshReplays <= 0.0)
+          break;
+        Out << "replay backend: " << format("%.0f", SessionReplays)
+            << " session replays across "
+            << format("%.0f", RB->number("sessions_created"))
+            << " sessions, " << format("%.0f", RB->number("delta_resets"))
+            << " delta resets (" << format("%.1f", RB->number("pages_per_reset"))
+            << " pages/reset), " << format("%.0f", FreshReplays)
+            << " fresh, " << format("%.0f", RB->number("full_rebuilds"))
+            << " rebuilds\n";
         break;
       }
 

@@ -130,6 +130,11 @@ struct LoadedRun {
   /// and fleet totals, provenance chains. Absent in non-fleet runs.
   json::Value Telemetry;
   bool HasTelemetry = false;
+  /// metrics.json, when the run was built with the observability layer
+  /// (schema-6 validation cross-checks replay counters against the
+  /// manifest's session_backends claim).
+  json::Value Metrics;
+  bool HasMetrics = false;
 };
 
 /// Reads manifest.json + the JSONL streams. Fails on missing files or

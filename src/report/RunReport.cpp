@@ -49,6 +49,22 @@ std::string cacheJson(const search::EngineCacheStats &S) {
   return std::move(B).str();
 }
 
+/// Fork-server session accounting (schema 6, "replay_backend"). Session
+/// and backend counts depend on the worker count, so this section is
+/// jobs-variant — like wall_seconds — while every measurement stream
+/// stays byte-identical.
+std::string replayBackendJson(const search::ReplayBackendStats &S) {
+  json::Builder B;
+  B.field("sessions_created", S.SessionsCreated)
+      .field("session_replays", S.SessionReplays)
+      .field("fresh_replays", S.FreshReplays)
+      .field("delta_resets", S.DeltaResets)
+      .field("pages_reverted", S.PagesReverted)
+      .field("full_rebuilds", S.FullRebuilds)
+      .field("pages_per_reset", S.pagesPerReset());
+  return std::move(B).str();
+}
+
 std::string racingJson(const search::EngineRacingStats &S) {
   json::Builder B;
   B.field("replays_spent", S.ReplaysSpent)
@@ -280,6 +296,7 @@ std::string RunReport::manifestJson() const {
   search::EngineCounters Totals;
   search::EngineCacheStats CacheTotals;
   search::EngineRacingStats RacingTotals;
+  search::ReplayBackendStats ReplayTotals;
   for (const AppEntry &A : Apps) {
     Totals += A.Outcome.Counters;
     CacheTotals.GenomeHits += A.Outcome.Cache.GenomeHits;
@@ -290,6 +307,7 @@ std::string RunReport::manifestJson() const {
     RacingTotals.EarlyStops += A.Outcome.Racing.EarlyStops;
     RacingTotals.Escalations += A.Outcome.Racing.Escalations;
     RacingTotals.TopUps += A.Outcome.Racing.TopUps;
+    ReplayTotals += A.Outcome.ReplayBackend;
   }
 
   json::Builder B;
@@ -299,8 +317,10 @@ std::string RunReport::manifestJson() const {
   // records and the TransportStats fleet-section fields; schema 5 the
   // per-record provenance fields (device_class, best_provenance,
   // best_discovery_*) plus the telemetry.json and fleet.trace.json
-  // artifacts. Readers accept all five.
-  B.field("schema", 5);
+  // artifacts; schema 6 the config session_backends flag and the
+  // per-app/totals "replay_backend" sections (fork-server replay
+  // sessions). Readers accept all six.
+  B.field("schema", 6);
   B.field("tool", Info.Tool);
   B.field("git", ROPT_GIT_DESCRIBE);
   B.field("seed", Info.Seed);
@@ -319,7 +339,8 @@ std::string RunReport::manifestJson() const {
         .field("max_replays_per_evaluation", Info.MaxReplaysPerEvaluation)
         .field("captures_per_region", Info.CapturesPerRegion)
         .field("memoize", Info.Memoize)
-        .field("analysis_guided", Info.AnalysisGuided);
+        .field("analysis_guided", Info.AnalysisGuided)
+        .field("session_backends", Info.SessionBackends);
     B.fieldRaw("config", std::move(C).str());
   }
   B.field("wall_seconds", WallSeconds);
@@ -337,6 +358,7 @@ std::string RunReport::manifestJson() const {
       E.fieldRaw("verdicts", countersJson(A.Outcome.Counters));
       E.fieldRaw("cache", cacheJson(A.Outcome.Cache));
       E.fieldRaw("racing", racingJson(A.Outcome.Racing));
+      E.fieldRaw("replay_backend", replayBackendJson(A.Outcome.ReplayBackend));
       E.field("region_android_cycles", A.Outcome.RegionAndroid);
       E.field("region_o3_cycles", A.Outcome.RegionO3);
       E.field("region_best_cycles", A.Outcome.RegionBest);
@@ -360,6 +382,7 @@ std::string RunReport::manifestJson() const {
     T.fieldRaw("verdicts", countersJson(Totals));
     T.fieldRaw("cache", cacheJson(CacheTotals));
     T.fieldRaw("racing", racingJson(RacingTotals));
+    T.fieldRaw("replay_backend", replayBackendJson(ReplayTotals));
     B.fieldRaw("totals", std::move(T).str());
   }
   if (HasFleet) {

@@ -55,6 +55,8 @@ struct RunInfo {
   int MaxReplaysPerEvaluation = 0; ///< Measurement budget per binary.
   int CapturesPerRegion = 0;
   bool AnalysisGuided = false; ///< Criticality-weighted search budget?
+  /// Schema 6: fork-server replay sessions in the evaluation backends?
+  bool SessionBackends = true;
 };
 
 /// Everything the harness reports when one app's pipeline run ends;
@@ -65,6 +67,11 @@ struct AppOutcome {
   search::EngineCounters Counters;  ///< GA + baseline verdict counts.
   search::EngineCacheStats Cache;   ///< The engine's memoization story.
   search::EngineRacingStats Racing; ///< Replay-budget accounting.
+  /// Schema 6: fork-server replay-session accounting over the app's
+  /// evaluation backends. Session/backend counts depend on worker count,
+  /// so the manifest's "replay_backend" section is jobs-variant (like
+  /// wall_seconds) — evaluations.jsonl stays byte-identical regardless.
+  search::ReplayBackendStats ReplayBackend;
   double RegionAndroid = 0.0;
   double RegionO3 = 0.0;
   double RegionBest = 0.0;

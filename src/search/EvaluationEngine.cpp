@@ -145,7 +145,16 @@ EvaluationEngine::evaluateBatch(const std::vector<Genome> &Genomes) {
   }
 
   // --- Measure stage (parallel): every distinct fresh binary draws its
-  // racing seed block, or the whole fixed budget when racing is off. -------
+  // racing seed block, or the whole fixed budget when racing is off.
+  // Same-binary batching: tasks are partitioned over backend lanes by
+  // binary hash, so a binary measured again later (memoization off, or a
+  // re-compiled duplicate) lands on the backend whose replay sessions and
+  // verify cache already hold its state, and all of one binary's verified
+  // replays run back-to-back on one backend under one shared code install.
+  // The lane of a task is a pure function of the binary hash and the lane
+  // count, never of scheduling — measurements themselves are pure
+  // functions of (noise seed, index), so results stay bit-identical at
+  // any --jobs value. ------------------------------------------------------
   const size_t MaxReplays =
       static_cast<size_t>(std::max(1, Options.MaxReplays));
   const size_t SeedBlock =
@@ -154,10 +163,21 @@ EvaluationEngine::evaluateBatch(const std::vector<Genome> &Genomes) {
                      MaxReplays)
           : MaxReplays;
   std::vector<Evaluation> Measured(MeasureWork.size());
-  Pool->parallelFor(MeasureWork.size(), [&](size_t M, size_t Slot) {
-    const MeasureTask &T = MeasureWork[M];
-    Measured[M] = Backends[Slot]->measureBinary(Compiled[T.WorkIndex],
-                                                T.NoiseSeed, SeedBlock);
+  const size_t LaneCount =
+      std::max<size_t>(1, std::min(Pool->size(), MeasureWork.size()));
+  ensureBackends(LaneCount);
+  std::vector<std::vector<size_t>> Lanes(LaneCount);
+  for (size_t M = 0; M != MeasureWork.size(); ++M) {
+    uint64_t Hash = Compiled[MeasureWork[M].WorkIndex].BinaryHash;
+    Lanes[Hash % LaneCount].push_back(M);
+  }
+  Pool->parallelFor(LaneCount, [&](size_t Lane, size_t Slot) {
+    (void)Slot; // one task per lane: Backends[Lane] is single-threaded
+    for (size_t M : Lanes[Lane]) {
+      const MeasureTask &T = MeasureWork[M];
+      Measured[M] = Backends[Lane]->measureBinary(Compiled[T.WorkIndex],
+                                                  T.NoiseSeed, SeedBlock);
+    }
   });
 
   // --- Commit the raw seed samples (serial, batch order) and collect the
@@ -353,6 +373,13 @@ void EvaluationEngine::raceFreshBinaries(
       Racing.ReplaysSpent += Ext.Drawn.size();
     }
   }
+}
+
+ReplayBackendStats EvaluationEngine::replayBackendStats() const {
+  ReplayBackendStats Total;
+  for (const std::unique_ptr<EvalBackend> &B : Backends)
+    Total += B->replayStats();
+  return Total;
 }
 
 Evaluation EvaluationEngine::announceIncumbent(const Evaluation &E) {

@@ -70,6 +70,39 @@ struct CompiledBinary {
   std::shared_ptr<const void> Artifact;
 };
 
+/// Fork-server replay-session accounting, aggregated by the engine across
+/// its backends (all zeros for backends without sessions). Mirrors
+/// replay::SessionStats without making the search layer depend on replay.
+struct ReplayBackendStats {
+  uint64_t SessionsCreated = 0;
+  uint64_t SessionReplays = 0;
+  uint64_t FreshReplays = 0;
+  uint64_t DeltaResets = 0;
+  uint64_t PagesReverted = 0;
+  uint64_t FullRebuilds = 0;
+
+  ReplayBackendStats &operator+=(const ReplayBackendStats &O) {
+    SessionsCreated += O.SessionsCreated;
+    SessionReplays += O.SessionReplays;
+    FreshReplays += O.FreshReplays;
+    DeltaResets += O.DeltaResets;
+    PagesReverted += O.PagesReverted;
+    FullRebuilds += O.FullRebuilds;
+    return *this;
+  }
+
+  double pagesPerReset() const {
+    return DeltaResets ? static_cast<double>(PagesReverted) /
+                             static_cast<double>(DeltaResets)
+                       : 0.0;
+  }
+
+  bool any() const {
+    return SessionsCreated || SessionReplays || FreshReplays ||
+           DeltaResets || FullRebuilds;
+  }
+};
+
 /// Per-worker compile+measure backend. The engine constructs one backend
 /// per worker slot and guarantees a backend is never driven by two
 /// threads at once, so implementations may keep mutable state (replay
@@ -101,6 +134,10 @@ public:
   virtual std::vector<double> extendSamples(const Evaluation &E,
                                             uint64_t NoiseSeed,
                                             size_t Begin, size_t Count) = 0;
+
+  /// Fork-server session accounting for this backend; default for
+  /// backends that do not replay (or run sessions off) is all-zeros.
+  virtual ReplayBackendStats replayStats() const { return {}; }
 };
 
 /// The single mapping from typed capture/replay errors onto the GA's
@@ -195,6 +232,8 @@ public:
   const EngineCounters &counters() const { return Stats; }
   const EngineCacheStats &cacheStats() const { return Cache; }
   const EngineRacingStats &racingStats() const { return Racing; }
+  /// Sum of replayStats() over every backend built so far.
+  ReplayBackendStats replayBackendStats() const;
 
 private:
   struct GenomeEntry {

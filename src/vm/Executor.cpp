@@ -9,6 +9,7 @@
 
 #include "vm/Runtime.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -73,14 +74,31 @@ Value Runtime::execMachine(const MachineFunction &Fn,
                            const std::vector<Value> &Args) {
   assert(Args.size() == Fn.ParamCount && "argument count mismatch");
 
-  std::vector<Value> Regs(Fn.NumRegs);
+  // Frames overwhelmingly fit the inline buffer, so a call costs no
+  // allocation; only pathological register counts spill to the heap.
+  Value StackRegs[48];
+  std::vector<Value> HeapRegs;
+  Value *R;
+  if (Fn.NumRegs <= 48) {
+    std::fill_n(StackRegs, Fn.NumRegs, Value());
+    R = StackRegs;
+  } else {
+    HeapRegs.resize(Fn.NumRegs);
+    R = HeapRegs.data(); // never resized below
+  }
   for (size_t I = 0; I != Args.size(); ++I)
-    Regs[I] = Args[I];
+    R[I] = Args[I];
+
+  // Scratch argument buffer: one allocation per frame, not per call insn.
+  std::vector<Value> CallArgs;
 
   charge(Costs.CallCycles);
 
   // Extra cycles per touch of a register that did not fit the physical
-  // register file: the regalloc quality dimension.
+  // register file: the regalloc quality dimension. A function whose frame
+  // fits the register file cannot touch a spilled register at all, so the
+  // whole per-instruction scan is hoisted behind one loop-invariant test.
+  const bool MaySpill = Fn.NumRegs > PhysRegCount;
   auto SpillCost = [&](const MInsn &I) {
     uint32_t Touches = 0;
     if (I.A != MNoReg && I.A >= PhysRegCount)
@@ -112,10 +130,11 @@ Value Runtime::execMachine(const MachineFunction &Fn,
   };
 
   size_t Pc = 0;
-  const std::vector<MInsn> &Code = Fn.Code;
+  const MInsn *Code = Fn.Code.data();
+  const size_t CodeSize = Fn.Code.size();
 
   while (Trap == TrapKind::None) {
-    if (Pc >= Code.size()) {
+    if (Pc >= CodeSize) {
       // Malformed code (e.g. produced by a broken pass pipeline that
       // slipped past the IR verifier): treat as a crash.
       Trap = TrapKind::MemoryFault;
@@ -124,7 +143,8 @@ Value Runtime::execMachine(const MachineFunction &Fn,
     const MInsn &I = Code[Pc];
     if (!consumeInsn())
       break;
-    SpillCost(I);
+    if (MaySpill)
+      SpillCost(I);
 
     size_t NextPc = Pc + 1;
 
@@ -132,115 +152,115 @@ Value Runtime::execMachine(const MachineFunction &Fn,
     case MOpcode::MNop:
       break;
     case MOpcode::MMovImmI:
-      Regs[I.A] = Value::fromI64(I.ImmI);
+      R[I.A] = Value::fromI64(I.ImmI);
       charge(Costs.MoveCycles);
       break;
     case MOpcode::MMovImmF:
-      Regs[I.A] = Value::fromF64(I.ImmF);
+      R[I.A] = Value::fromF64(I.ImmF);
       charge(Costs.MoveCycles);
       break;
     case MOpcode::MMov:
-      Regs[I.A] = Regs[I.B];
+      R[I.A] = R[I.B];
       charge(Costs.MoveCycles);
       break;
 
     case MOpcode::MAddI:
-      Regs[I.A] = Value::fromI64(Regs[I.B].asI64() + Regs[I.C].asI64());
+      R[I.A] = Value::fromI64(R[I.B].asI64() + R[I.C].asI64());
       charge(Costs.AluCycles);
       break;
     case MOpcode::MSubI:
-      Regs[I.A] = Value::fromI64(Regs[I.B].asI64() - Regs[I.C].asI64());
+      R[I.A] = Value::fromI64(R[I.B].asI64() - R[I.C].asI64());
       charge(Costs.AluCycles);
       break;
     case MOpcode::MMulI:
-      Regs[I.A] = Value::fromI64(Regs[I.B].asI64() * Regs[I.C].asI64());
+      R[I.A] = Value::fromI64(R[I.B].asI64() * R[I.C].asI64());
       charge(Costs.MulCycles);
       break;
     case MOpcode::MDivI: {
       // Unchecked: the compiler must have emitted MCheckDiv if the divisor
       // can be zero. Hardware still faults on zero.
-      int64_t Divisor = Regs[I.C].asI64();
+      int64_t Divisor = R[I.C].asI64();
       if (Divisor == 0) {
         Trap = TrapKind::DivByZero;
         break;
       }
-      Regs[I.A] = Value::fromI64(safeDiv(Regs[I.B].asI64(), Divisor));
+      R[I.A] = Value::fromI64(safeDiv(R[I.B].asI64(), Divisor));
       charge(Costs.DivCycles);
       break;
     }
     case MOpcode::MRemI: {
-      int64_t Divisor = Regs[I.C].asI64();
+      int64_t Divisor = R[I.C].asI64();
       if (Divisor == 0) {
         Trap = TrapKind::DivByZero;
         break;
       }
-      Regs[I.A] = Value::fromI64(safeRem(Regs[I.B].asI64(), Divisor));
+      R[I.A] = Value::fromI64(safeRem(R[I.B].asI64(), Divisor));
       charge(Costs.DivCycles);
       break;
     }
     case MOpcode::MAndI:
-      Regs[I.A] = Value::fromI64(Regs[I.B].asI64() & Regs[I.C].asI64());
+      R[I.A] = Value::fromI64(R[I.B].asI64() & R[I.C].asI64());
       charge(Costs.AluCycles);
       break;
     case MOpcode::MOrI:
-      Regs[I.A] = Value::fromI64(Regs[I.B].asI64() | Regs[I.C].asI64());
+      R[I.A] = Value::fromI64(R[I.B].asI64() | R[I.C].asI64());
       charge(Costs.AluCycles);
       break;
     case MOpcode::MXorI:
-      Regs[I.A] = Value::fromI64(Regs[I.B].asI64() ^ Regs[I.C].asI64());
+      R[I.A] = Value::fromI64(R[I.B].asI64() ^ R[I.C].asI64());
       charge(Costs.AluCycles);
       break;
     case MOpcode::MShlI:
-      Regs[I.A] = Value::fromI64(Regs[I.B].asI64()
-                                 << (Regs[I.C].asI64() & 63));
+      R[I.A] = Value::fromI64(R[I.B].asI64()
+                                 << (R[I.C].asI64() & 63));
       charge(Costs.AluCycles);
       break;
     case MOpcode::MShrI:
-      Regs[I.A] =
-          Value::fromI64(Regs[I.B].asI64() >> (Regs[I.C].asI64() & 63));
+      R[I.A] =
+          Value::fromI64(R[I.B].asI64() >> (R[I.C].asI64() & 63));
       charge(Costs.AluCycles);
       break;
     case MOpcode::MNegI:
-      Regs[I.A] = Value::fromI64(-Regs[I.B].asI64());
+      R[I.A] = Value::fromI64(-R[I.B].asI64());
       charge(Costs.AluCycles);
       break;
 
     case MOpcode::MAddF:
-      Regs[I.A] = Value::fromF64(Regs[I.B].asF64() + Regs[I.C].asF64());
+      R[I.A] = Value::fromF64(R[I.B].asF64() + R[I.C].asF64());
       charge(Costs.FAddCycles);
       break;
     case MOpcode::MSubF:
-      Regs[I.A] = Value::fromF64(Regs[I.B].asF64() - Regs[I.C].asF64());
+      R[I.A] = Value::fromF64(R[I.B].asF64() - R[I.C].asF64());
       charge(Costs.FAddCycles);
       break;
     case MOpcode::MMulF:
-      Regs[I.A] = Value::fromF64(Regs[I.B].asF64() * Regs[I.C].asF64());
+      R[I.A] = Value::fromF64(R[I.B].asF64() * R[I.C].asF64());
       charge(Costs.FMulCycles);
       break;
     case MOpcode::MDivF:
-      Regs[I.A] = Value::fromF64(Regs[I.B].asF64() / Regs[I.C].asF64());
+      R[I.A] = Value::fromF64(R[I.B].asF64() / R[I.C].asF64());
       charge(Costs.FDivCycles);
       break;
     case MOpcode::MNegF:
-      Regs[I.A] = Value::fromF64(-Regs[I.B].asF64());
+      R[I.A] = Value::fromF64(-R[I.B].asF64());
       charge(Costs.FAddCycles);
       break;
     case MOpcode::MCmpF: {
-      double A = Regs[I.B].asF64(), B = Regs[I.C].asF64();
-      Regs[I.A] = Value::fromI64((A < B) ? -1 : (A == B ? 0 : 1));
+      double A = R[I.B].asF64(), B = R[I.C].asF64();
+      R[I.A] = Value::fromI64((A < B) ? -1 : (A == B ? 0 : 1));
       charge(Costs.FAddCycles);
       break;
     }
     case MOpcode::MSqrtF:
-      Regs[I.A] = Value::fromF64(std::sqrt(Regs[I.B].asF64()));
+      R[I.A] = Value::fromF64(std::sqrt(R[I.B].asF64()));
       charge(Costs.FSqrtCycles);
       break;
     case MOpcode::MI2F:
-      Regs[I.A] = Value::fromF64(static_cast<double>(Regs[I.B].asI64()));
+      R[I.A] = Value::fromF64(static_cast<double>(R[I.B].asI64()));
       charge(Costs.ConvCycles);
       break;
     case MOpcode::MF2I:
-      Regs[I.A] = Value::fromI64(doubleToInt(Regs[I.B].asF64()));
+      R[I.A] = Value::fromI64(doubleToInt(R[I.B].asF64()));
       charge(Costs.ConvCycles);
       break;
 
@@ -260,8 +280,8 @@ Value Runtime::execMachine(const MachineFunction &Fn,
     case MOpcode::MIfLez:
     case MOpcode::MIfGtz:
     case MOpcode::MIfGez: {
-      int64_t A = Regs[I.B].asI64();
-      int64_t B = I.C == MNoReg ? 0 : Regs[I.C].asI64();
+      int64_t A = R[I.B].asI64();
+      int64_t B = I.C == MNoReg ? 0 : R[I.C].asI64();
       bool Taken = false;
       switch (I.Op) {
       case MOpcode::MIfEq: case MOpcode::MIfEqz: Taken = A == B; break;
@@ -279,26 +299,26 @@ Value Runtime::execMachine(const MachineFunction &Fn,
 
     case MOpcode::MCheckNull:
       charge(Costs.CheckCycles);
-      if (Regs[I.B].isNullRef())
+      if (R[I.B].isNullRef())
         Trap = TrapKind::NullPointer;
       break;
     case MOpcode::MCheckBounds: {
       charge(Costs.CheckCycles);
-      uint64_t Arr = Regs[I.B].asRef();
+      uint64_t Arr = R[I.B].asRef();
       ObjectHeader Header;
       chargeMemRead(Arr);
       if (!TheHeap.readHeader(Arr, Header)) {
         Trap = TrapKind::MemoryFault;
         break;
       }
-      int64_t Index = Regs[I.C].asI64();
+      int64_t Index = R[I.C].asI64();
       if (Index < 0 || static_cast<uint64_t>(Index) >= Header.Count)
         Trap = TrapKind::OutOfBounds;
       break;
     }
     case MOpcode::MCheckDiv:
       charge(Costs.CheckCycles);
-      if (Regs[I.B].asI64() == 0)
+      if (R[I.B].asI64() == 0)
         Trap = TrapKind::DivByZero;
       break;
     case MOpcode::MSafepoint:
@@ -306,7 +326,7 @@ Value Runtime::execMachine(const MachineFunction &Fn,
       break;
     case MOpcode::MGuardClass: {
       charge(Costs.CheckCycles);
-      uint64_t Obj = Regs[I.B].asRef();
+      uint64_t Obj = R[I.B].asRef();
       ObjectHeader Header;
       chargeMemRead(Obj);
       if (Obj == 0 || !TheHeap.readHeader(Obj, Header)) {
@@ -323,47 +343,47 @@ Value Runtime::execMachine(const MachineFunction &Fn,
 
     case MOpcode::MLoadSlot: {
       uint64_t Bits = 0;
-      if (memLoad(Heap::slotAddr(Regs[I.B].asRef(), I.Idx), Bits))
-        Regs[I.A].Raw = Bits;
+      if (memLoad(Heap::slotAddr(R[I.B].asRef(), I.Idx), Bits))
+        R[I.A].Raw = Bits;
       break;
     }
     case MOpcode::MStoreSlot:
-      memStore(Heap::slotAddr(Regs[I.B].asRef(), I.Idx), Regs[I.A].Raw);
+      memStore(Heap::slotAddr(R[I.B].asRef(), I.Idx), R[I.A].Raw);
       break;
     case MOpcode::MLoadStatic: {
       uint64_t Bits = 0;
       if (memLoad(staticSlotAddr(I.Idx), Bits))
-        Regs[I.A].Raw = Bits;
+        R[I.A].Raw = Bits;
       break;
     }
     case MOpcode::MStoreStatic:
-      memStore(staticSlotAddr(I.Idx), Regs[I.A].Raw);
+      memStore(staticSlotAddr(I.Idx), R[I.A].Raw);
       break;
     case MOpcode::MALoad: {
       // Unchecked by design: a wrong index after an unsound bounds-check
       // elimination reads whatever lives there.
       uint64_t Addr = Heap::elemAddr(
-          Regs[I.B].asRef(), static_cast<uint64_t>(Regs[I.C].asI64()));
+          R[I.B].asRef(), static_cast<uint64_t>(R[I.C].asI64()));
       uint64_t Bits = 0;
       if (memLoad(Addr, Bits))
-        Regs[I.A].Raw = Bits;
+        R[I.A].Raw = Bits;
       break;
     }
     case MOpcode::MAStore: {
       uint64_t Addr = Heap::elemAddr(
-          Regs[I.B].asRef(), static_cast<uint64_t>(Regs[I.C].asI64()));
-      memStore(Addr, Regs[I.A].Raw);
+          R[I.B].asRef(), static_cast<uint64_t>(R[I.C].asI64()));
+      memStore(Addr, R[I.A].Raw);
       break;
     }
     case MOpcode::MArrayLen: {
-      uint64_t Arr = Regs[I.B].asRef();
+      uint64_t Arr = R[I.B].asRef();
       ObjectHeader Header;
       chargeMemRead(Arr);
       if (!TheHeap.readHeader(Arr, Header)) {
         Trap = TrapKind::MemoryFault;
         break;
       }
-      Regs[I.A] = Value::fromI64(static_cast<int64_t>(Header.Count));
+      R[I.A] = Value::fromI64(static_cast<int64_t>(Header.Count));
       break;
     }
 
@@ -372,12 +392,12 @@ Value Runtime::execMachine(const MachineFunction &Fn,
       charge(Costs.AllocBaseCycles +
              Costs.AllocPerSlotCycles * Cls.InstanceSlots);
       noteAlloc(Cls.InstanceSlots);
-      Regs[I.A] = Value::fromRef(TheHeap.allocate(
+      R[I.A] = Value::fromRef(TheHeap.allocate(
           ObjKind::Object, Cls.Id, Cls.InstanceSlots, Trap));
       break;
     }
     case MOpcode::MNewArray: {
-      int64_t Len = Regs[I.B].asI64();
+      int64_t Len = R[I.B].asI64();
       if (Len < 0) {
         Trap = TrapKind::OutOfBounds;
         break;
@@ -385,7 +405,7 @@ Value Runtime::execMachine(const MachineFunction &Fn,
       charge(Costs.AllocBaseCycles +
              Costs.AllocPerSlotCycles * static_cast<uint64_t>(Len));
       noteAlloc(static_cast<uint64_t>(Len));
-      Regs[I.A] = Value::fromRef(
+      R[I.A] = Value::fromRef(
           TheHeap.allocate(static_cast<ObjKind>(I.Idx), 0,
                            static_cast<uint64_t>(Len), Trap));
       break;
@@ -394,9 +414,9 @@ Value Runtime::execMachine(const MachineFunction &Fn,
     case MOpcode::MCallStatic:
     case MOpcode::MCallVirtual:
     case MOpcode::MCallNative: {
-      std::vector<Value> CallArgs(I.ArgCount);
+      CallArgs.resize(I.ArgCount);
       for (unsigned N = 0; N != I.ArgCount; ++N)
-        CallArgs[N] = Regs[I.Args[N]];
+        CallArgs[N] = R[I.Args[N]];
       Value Ret;
       if (I.Op == MOpcode::MCallNative) {
         Ret = callNative(I.Idx, CallArgs);
@@ -433,23 +453,23 @@ Value Runtime::execMachine(const MachineFunction &Fn,
       if (Trap != TrapKind::None)
         break;
       if (I.A != MNoReg)
-        Regs[I.A] = Ret;
+        R[I.A] = Ret;
       break;
     }
 
     case MOpcode::MIntrinsic: {
       Value ArgVals[MMaxArgs];
       for (unsigned N = 0; N != I.ArgCount; ++N)
-        ArgVals[N] = Regs[I.Args[N]];
+        ArgVals[N] = R[I.Args[N]];
       charge(intrinsicWorkCycles(static_cast<IntrinsicKind>(I.Idx)));
-      Regs[I.A] = Value::fromF64(
+      R[I.A] = Value::fromF64(
           runIntrinsic(static_cast<IntrinsicKind>(I.Idx), ArgVals));
       break;
     }
 
     case MOpcode::MRet:
       charge(Costs.ReturnCycles);
-      return Regs[I.B];
+      return R[I.B];
     case MOpcode::MRetVoid:
       charge(Costs.ReturnCycles);
       return Value();

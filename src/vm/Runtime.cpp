@@ -72,87 +72,17 @@ void Runtime::mapStandardLayout(os::AddressSpace &Space,
   }
 }
 
-void Runtime::charge(uint64_t Cycles) {
-  CallCycles += Cycles;
-  TotalCycles += Cycles;
-  if (Config.AttributeCycles && !AttributionStack.empty())
-    MethodCycles[AttributionStack.back()] += Cycles;
-}
-
-void Runtime::chargeMemRead(uint64_t Addr) {
-  uint64_t Cost = Costs.LoadCycles;
-  bool Hit = DCache.access(Addr);
-  if (!Hit)
-    Cost += Costs.CacheMissPenalty;
-  if (Config.AttributeCycles && !AttributionStack.empty()) {
-    MethodFeatureCounters &F = MethodFeatures[AttributionStack.back()];
-    ++F.MemReads;
-    if (!Hit)
-      ++F.CacheMisses;
-  }
-  charge(Cost);
-}
-
-void Runtime::chargeMemWrite(uint64_t Addr) {
-  DCache.access(Addr); // stores install the line; latency is absorbed
-  if (Config.AttributeCycles && !AttributionStack.empty())
-    ++MethodFeatures[AttributionStack.back()].MemWrites;
-  charge(Costs.StoreCycles);
-}
-
-void Runtime::noteBranch(uint64_t Site, bool Taken) {
-  if (!Config.AttributeCycles || AttributionStack.empty())
-    return;
+void Runtime::noteBranchSlow(uint64_t Site, bool Taken) {
   MethodFeatureCounters &F = MethodFeatures[AttributionStack.back()];
   ++F.Branches;
   if (!FeaturePredictor.predictAndUpdate(Site, Taken))
     ++F.Mispredicts;
 }
 
-void Runtime::noteAlloc(uint64_t Slots) {
-  if (!Config.AttributeCycles || AttributionStack.empty())
-    return;
+void Runtime::noteAllocSlow(uint64_t Slots) {
   MethodFeatureCounters &F = MethodFeatures[AttributionStack.back()];
   ++F.Allocs;
   F.AllocSlots += Slots;
-}
-
-bool Runtime::memLoad(uint64_t Addr, uint64_t &Out) {
-  chargeMemRead(Addr);
-  if (Space.loadU64(Addr, Out) == os::AccessResult::Ok)
-    return true;
-  Trap = TrapKind::MemoryFault;
-  return false;
-}
-
-bool Runtime::memStore(uint64_t Addr, uint64_t ValueBits) {
-  chargeMemWrite(Addr);
-  if (Space.storeU64(Addr, ValueBits) == os::AccessResult::Ok) {
-    if (Observer)
-      Observer->onCellWrite(Addr);
-    return true;
-  }
-  Trap = TrapKind::MemoryFault;
-  return false;
-}
-
-bool Runtime::consumeInsn() {
-  ++CallInsns;
-  ++TotalInsns;
-  if (Config.AttributeCycles && !AttributionStack.empty())
-    ++MethodFeatures[AttributionStack.back()].Insns;
-  if (CallInsns > Config.InsnBudget) {
-    Trap = TrapKind::Timeout;
-    return false;
-  }
-  return true;
-}
-
-void Runtime::safepoint() {
-  charge(Costs.SafepointCycles);
-  uint64_t GcCost = TheHeap.pollSafepoint(Costs.GcPauseCycles);
-  if (GcCost > 0)
-    charge(GcCost);
 }
 
 Value Runtime::callNative(dex::NativeId Id,
@@ -210,15 +140,21 @@ Value Runtime::invoke(dex::MethodId MethodId,
   }
 
   Value Ret;
-  if (M.IsNative) {
-    Ret = callNative(M.Native, Args);
-  } else if (const MachineFunction *Fn =
-                 Mode == ExecMode::Mixed ? Cache.lookup(MethodId)
-                                         : nullptr) {
-    Ret = execMachine(*Fn, Args);
-  } else {
-    Ret = interpret(M, Args);
+  const MachineFunction *Fn = nullptr;
+  if (!M.IsNative && Mode == ExecMode::Mixed) {
+    // The session-shared cache wins: it is the immutable compiled binary
+    // under evaluation; the runtime-owned cache serves online installs.
+    if (SharedCode)
+      Fn = SharedCode->lookup(MethodId);
+    if (!Fn)
+      Fn = Cache.lookup(MethodId);
   }
+  if (M.IsNative)
+    Ret = callNative(M.Native, Args);
+  else if (Fn)
+    Ret = execMachine(*Fn, Args);
+  else
+    Ret = interpret(M, Args);
 
   if (FiredHook) {
     if (Hook.OnExit)

@@ -129,6 +129,14 @@ public:
   void setMode(ExecMode M) { Mode = M; }
   ExecMode mode() const { return Mode; }
 
+  /// Zero-copy code install for replay sessions: points the Mixed tier at
+  /// an immutable, externally-owned code cache. Lookups consult it before
+  /// the runtime-owned cache (which still serves online installs), so one
+  /// compiled binary serves any number of fresh Runtimes without per-replay
+  /// install work. The caller guarantees \p Code outlives this Runtime.
+  void setSharedCode(const CodeCache *Code) { SharedCode = Code; }
+  const CodeCache *sharedCode() const { return SharedCode; }
+
   void setObserver(ExecObserver *Obs) { Observer = Obs; }
 
   /// Arms hooks around the outermost call of \p Target (recursion does not
@@ -173,20 +181,34 @@ public:
   Value readStatic(dex::StaticFieldId Id);
 
 private:
-  // --- Shared execution plumbing (Runtime.cpp) ---------------------------
+  // --- Shared execution plumbing -----------------------------------------
+  // The per-instruction helpers are defined inline at the bottom of this
+  // header: they sit on the interpreter/executor dispatch hot path and the
+  // call through a separate TU cost roughly a third of replay throughput.
   void charge(uint64_t Cycles);
   void chargeMemRead(uint64_t Addr);
   void chargeMemWrite(uint64_t Addr);
   bool memLoad(uint64_t Addr, uint64_t &Out);
   bool memStore(uint64_t Addr, uint64_t ValueBits);
   bool consumeInsn();
+  void safepoint();
+  // Cold paths stay in Runtime.cpp.
   Value callNative(dex::NativeId Id, const std::vector<Value> &Args);
   Value invoke(dex::MethodId Method, const std::vector<Value> &Args);
-  void safepoint();
   /// Feature counting (profiling only, no cycle charge): a conditional
   /// branch at \p Site that went \p Taken, and an allocation of \p Slots.
-  void noteBranch(uint64_t Site, bool Taken);
-  void noteAlloc(uint64_t Slots);
+  /// The AttributeCycles early-out is inline (one predictable branch per
+  /// dynamic branch instruction); the counting body stays in Runtime.cpp.
+  void noteBranch(uint64_t Site, bool Taken) {
+    if (Config.AttributeCycles && !AttributionStack.empty())
+      noteBranchSlow(Site, Taken);
+  }
+  void noteAlloc(uint64_t Slots) {
+    if (Config.AttributeCycles && !AttributionStack.empty())
+      noteAllocSlow(Slots);
+  }
+  void noteBranchSlow(uint64_t Site, bool Taken);
+  void noteAllocSlow(uint64_t Slots);
 
   // --- Interpreter (Interpreter.cpp) ---------------------------------------
   Value interpret(const dex::Method &M, const std::vector<Value> &Args);
@@ -204,6 +226,7 @@ private:
   CycleCostModel Costs;
   Heap TheHeap;
   CodeCache Cache;
+  const CodeCache *SharedCode = nullptr; ///< Session-shared, immutable.
   ExecMode Mode = ExecMode::Mixed;
   ExecObserver *Observer = nullptr;
 
@@ -238,7 +261,76 @@ private:
   BranchPredictor FeaturePredictor; ///< Counting-only, never charges.
 };
 
+// --- Hot-path plumbing, inline ------------------------------------------
+
+inline void Runtime::charge(uint64_t Cycles) {
+  CallCycles += Cycles;
+  TotalCycles += Cycles;
+  if (Config.AttributeCycles && !AttributionStack.empty())
+    MethodCycles[AttributionStack.back()] += Cycles;
+}
+
+inline void Runtime::chargeMemRead(uint64_t Addr) {
+  uint64_t Cost = Costs.LoadCycles;
+  bool Hit = DCache.access(Addr);
+  if (!Hit)
+    Cost += Costs.CacheMissPenalty;
+  if (Config.AttributeCycles && !AttributionStack.empty()) {
+    MethodFeatureCounters &F = MethodFeatures[AttributionStack.back()];
+    ++F.MemReads;
+    if (!Hit)
+      ++F.CacheMisses;
+  }
+  charge(Cost);
+}
+
+inline void Runtime::chargeMemWrite(uint64_t Addr) {
+  DCache.access(Addr); // stores install the line; latency is absorbed
+  if (Config.AttributeCycles && !AttributionStack.empty())
+    ++MethodFeatures[AttributionStack.back()].MemWrites;
+  charge(Costs.StoreCycles);
+}
+
+inline bool Runtime::memLoad(uint64_t Addr, uint64_t &Out) {
+  chargeMemRead(Addr);
+  if (Space.loadU64(Addr, Out) == os::AccessResult::Ok)
+    return true;
+  Trap = TrapKind::MemoryFault;
+  return false;
+}
+
+inline bool Runtime::memStore(uint64_t Addr, uint64_t ValueBits) {
+  chargeMemWrite(Addr);
+  if (Space.storeU64(Addr, ValueBits) == os::AccessResult::Ok) {
+    if (Observer)
+      Observer->onCellWrite(Addr);
+    return true;
+  }
+  Trap = TrapKind::MemoryFault;
+  return false;
+}
+
+inline bool Runtime::consumeInsn() {
+  ++CallInsns;
+  ++TotalInsns;
+  if (Config.AttributeCycles && !AttributionStack.empty())
+    ++MethodFeatures[AttributionStack.back()].Insns;
+  if (CallInsns > Config.InsnBudget) {
+    Trap = TrapKind::Timeout;
+    return false;
+  }
+  return true;
+}
+
+inline void Runtime::safepoint() {
+  charge(Costs.SafepointCycles);
+  uint64_t GcCost = TheHeap.pollSafepoint(Costs.GcPauseCycles);
+  if (GcCost > 0)
+    charge(GcCost);
+}
+
 } // namespace vm
 } // namespace ropt
 
 #endif // ROPT_VM_RUNTIME_H
+

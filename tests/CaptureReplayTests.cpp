@@ -1,6 +1,8 @@
 //===- tests/CaptureReplayTests.cpp - capture/ + replay/ tests --------------===//
 
 #include "capture/CaptureManager.h"
+#include "core/IterativeCompiler.h"
+#include "workloads/Workloads.h"
 #include "hgraph/AndroidCompiler.h"
 #include "lir/Backend.h"
 #include "profiler/HotRegion.h"
@@ -631,4 +633,163 @@ TEST(Breakdown, SharesSumToOne) {
       BD.Compiled + BD.Cold + BD.Jni + BD.Unreplayable + BD.Uncompilable;
   EXPECT_NEAR(Total, 1.0, 1e-9);
   EXPECT_GT(BD.Compiled, 0.5); // step dominates
+}
+
+// --- Fork-server replay sessions (DESIGN.md §16) -----------------------------
+
+TEST(Session, SessionReplayBitIdenticalToFresh) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, 300, 9);
+
+  vm::CodeCache Android;
+  hgraph::compileAllAndroid(App.File, {App.Step}, Android);
+
+  Replayer Fresh(App.File, Env.Natives, Env.Config);
+  Replayer Session(App.File, Env.Natives, Env.Config);
+  Session.setSessionMode(true);
+
+  // Every replay in the session must be bit-identical to its fresh twin:
+  // the delta reset restores the exact pre-replay memory, and each replay
+  // gets a virgin Runtime (cache sim, predictor, cycle totals).
+  for (int I = 0; I != 6; ++I) {
+    ReplayResult A = Fresh.replay(Cap, ReplayCode::Compiled, &Android);
+    ReplayResult B = Session.replay(Cap, ReplayCode::Compiled, &Android);
+    ASSERT_TRUE(A.Result.ok());
+    ASSERT_TRUE(B.Result.ok());
+    EXPECT_EQ(A.Result.Ret.Raw, B.Result.Ret.Raw);
+    EXPECT_EQ(A.Result.Cycles, B.Result.Cycles);
+    EXPECT_EQ(A.Result.Insns, B.Result.Insns);
+  }
+  EXPECT_EQ(Session.sessionStats().SessionsCreated, 1u);
+  EXPECT_EQ(Session.sessionStats().SessionReplays, 6u);
+  EXPECT_EQ(Session.sessionStats().DeltaResets, 6u);
+  EXPECT_GT(Session.sessionStats().PagesReverted, 0u);
+  EXPECT_EQ(Session.sessionStats().FullRebuilds, 0u);
+  EXPECT_EQ(Fresh.sessionStats().FreshReplays, 6u);
+}
+
+TEST(Session, VerificationMapIdenticalToFresh) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, 300, 4);
+
+  Replayer Fresh(App.File, Env.Natives, Env.Config);
+  Replayer Session(App.File, Env.Natives, Env.Config);
+  Session.setSessionMode(true);
+
+  auto A = Fresh.interpretedReplay(Cap);
+  auto B = Session.interpretedReplay(Cap);
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(B.ok());
+  EXPECT_EQ(A.value().Map.Cells, B.value().Map.Cells);
+  EXPECT_EQ(A.value().Map.HasReturn, B.value().Map.HasReturn);
+  EXPECT_EQ(A.value().Map.ReturnBits, B.value().Map.ReturnBits);
+  // And a second session pass sees the identical map again: the reset
+  // left no residue from the first interpreted replay's writes.
+  auto C = Session.interpretedReplay(Cap);
+  ASSERT_TRUE(C.ok());
+  EXPECT_EQ(B.value().Map.Cells, C.value().Map.Cells);
+}
+
+TEST(Session, LoaderStatsAreCumulativePerSession) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, 300, 9);
+
+  Replayer Session(App.File, Env.Natives, Env.Config);
+  Session.setSessionMode(true);
+
+  ReplayResult First = Session.replay(Cap, ReplayCode::Interpreter, nullptr);
+  ReplayResult Later = Session.replay(Cap, ReplayCode::Interpreter, nullptr);
+  // The session-reuse path must not zero the loader stats (the old bug):
+  // every replay reports the cumulative per-session loader work.
+  EXPECT_GT(First.Loader.PagesRestored, 0u);
+  EXPECT_EQ(Later.Loader.PagesRestored, First.Loader.PagesRestored);
+  EXPECT_EQ(Later.Loader.LoaderBase, First.Loader.LoaderBase);
+}
+
+TEST(Session, CaptureChangeForcesFullRebuild) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, 300, 9);
+
+  Replayer Session(App.File, Env.Natives, Env.Config);
+  Session.setSessionMode(true);
+
+  auto Before = Session.interpretedReplay(Cap);
+  ASSERT_TRUE(Before.ok());
+
+  // Mutate the capture in place: different argument, same storage. The
+  // fingerprint check must drop the stale session and rebuild — the
+  // region's external writes (arr[i] += x) now land different values.
+  Cap.Args[0] = Value::fromI64(10);
+  auto After = Session.interpretedReplay(Cap);
+  ASSERT_TRUE(After.ok());
+  EXPECT_NE(After.value().Map.Cells, Before.value().Map.Cells);
+  EXPECT_EQ(Session.sessionStats().FullRebuilds, 1u);
+  EXPECT_EQ(Session.sessionStats().SessionsCreated, 2u);
+
+  // The rebuilt session replays the mutated capture deterministically.
+  auto Again = Session.interpretedReplay(Cap);
+  ASSERT_TRUE(Again.ok());
+  EXPECT_EQ(Again.value().Map.Cells, After.value().Map.Cells);
+  EXPECT_EQ(Again.value().Replay.Result.Cycles,
+            After.value().Replay.Result.Cycles);
+}
+
+TEST(Session, TurningSessionModeOffDropsSessions) {
+  StatefulApp App;
+  AppEnv Env(App.File);
+  Capture Cap = captureStep(App, Env, 300, 9);
+
+  Replayer R(App.File, Env.Natives, Env.Config);
+  R.setSessionMode(true);
+  ReplayResult A = R.replay(Cap, ReplayCode::Interpreter, nullptr);
+  R.setSessionMode(false);
+  ReplayResult B = R.replay(Cap, ReplayCode::Interpreter, nullptr);
+  EXPECT_EQ(A.Result.Ret.Raw, B.Result.Ret.Raw);
+  EXPECT_EQ(A.Result.Cycles, B.Result.Cycles);
+  EXPECT_EQ(R.sessionStats().SessionReplays, 1u);
+  EXPECT_EQ(R.sessionStats().FreshReplays, 1u);
+}
+
+TEST(Session, BitIdenticalAcrossWorkloads) {
+  // The acceptance sweep: across kernel and interactive workloads, a
+  // session-reset compiled replay is bit-identical (result, charged
+  // cycles, instruction count) to a fresh-rebuild replay of the same
+  // capture, replay after replay.
+  const char *Names[] = {"FFT", "SOR", "Sieve", "Dhrystone",
+                         "Reversi Android"};
+  for (const char *Name : Names) {
+    SCOPED_TRACE(Name);
+    workloads::Application App = workloads::buildByName(Name);
+    core::PipelineConfig Config;
+    core::IterativeCompiler Pipeline(Config);
+    auto P = Pipeline.profileApp(App);
+    ASSERT_TRUE(P.Region.has_value());
+    auto Captured = Pipeline.captureRegion(*P.Instance, *P.Region);
+    ASSERT_TRUE(Captured.has_value());
+
+    vm::NativeRegistry Natives = vm::NativeRegistry::standardLibrary();
+    vm::CodeCache Android;
+    hgraph::compileAllAndroid(*App.File, P.Region->Methods, Android);
+
+    Replayer Fresh(*App.File, Natives, App.RtConfig, 3);
+    Replayer Session(*App.File, Natives, App.RtConfig, 3);
+    Session.setSessionMode(true);
+    for (int I = 0; I != 3; ++I) {
+      ReplayResult A =
+          Fresh.replay(Captured->Cap, ReplayCode::Compiled, &Android);
+      ReplayResult B =
+          Session.replay(Captured->Cap, ReplayCode::Compiled, &Android);
+      EXPECT_EQ(A.Result.Ret.Raw, B.Result.Ret.Raw);
+      EXPECT_EQ(A.Result.Cycles, B.Result.Cycles);
+      EXPECT_EQ(A.Result.Insns, B.Result.Insns);
+      EXPECT_EQ(static_cast<int>(A.Result.Trap),
+                static_cast<int>(B.Result.Trap));
+    }
+    EXPECT_EQ(Session.sessionStats().SessionsCreated, 1u);
+    EXPECT_EQ(Session.sessionStats().SessionReplays, 3u);
+  }
 }

@@ -295,3 +295,165 @@ TEST(CostModel, ForkLandsInPaperBand) {
   EXPECT_GT(SmallUs, 800.0);
   EXPECT_LT(LargeUs, 7000.0);
 }
+
+// --- Snapshots (replay fork-server support) ----------------------------------
+
+TEST(Snapshot, ResetRevertsExactlyTheDirtyPages) {
+  AddressSpace Space = makeSpace(8);
+  uint64_t A = 0x1111, B = 0x2222;
+  ASSERT_EQ(Space.write(Base, &A, 8), AccessResult::Ok);
+  ASSERT_EQ(Space.write(Base + PageSize, &B, 8), AccessResult::Ok);
+
+  Space.takeSnapshot();
+  EXPECT_TRUE(Space.hasValidSnapshot());
+  EXPECT_EQ(Space.dirtyPageCount(), 0u);
+
+  // Dirty two of the eight pages.
+  uint64_t X = 0xdead;
+  ASSERT_EQ(Space.write(Base, &X, 8), AccessResult::Ok);
+  ASSERT_EQ(Space.write(Base + 3 * PageSize, &X, 8), AccessResult::Ok);
+  EXPECT_EQ(Space.dirtyPageCount(), 2u);
+
+  int64_t Reverted = Space.resetToSnapshot();
+  EXPECT_EQ(Reverted, 2);
+  EXPECT_EQ(Space.dirtyPageCount(), 0u);
+
+  // Snapshot content is back; the snapshot survives for the next round.
+  uint64_t V = 0;
+  ASSERT_EQ(Space.read(Base, &V, 8), AccessResult::Ok);
+  EXPECT_EQ(V, 0x1111u);
+  ASSERT_EQ(Space.read(Base + PageSize, &V, 8), AccessResult::Ok);
+  EXPECT_EQ(V, 0x2222u);
+  ASSERT_EQ(Space.read(Base + 3 * PageSize, &V, 8), AccessResult::Ok);
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(Space.hasValidSnapshot());
+
+  EXPECT_EQ(Space.stats().SnapshotsTaken, 1u);
+  EXPECT_EQ(Space.stats().SnapshotResets, 1u);
+  EXPECT_EQ(Space.stats().PagesReverted, 2u);
+}
+
+TEST(Snapshot, RepeatedResetCyclesAreStable) {
+  AddressSpace Space = makeSpace(4);
+  uint64_t Init = 7;
+  ASSERT_EQ(Space.write(Base, &Init, 8), AccessResult::Ok);
+  Space.takeSnapshot();
+
+  for (int Round = 0; Round != 5; ++Round) {
+    uint64_t V = 0;
+    ASSERT_EQ(Space.read(Base, &V, 8), AccessResult::Ok);
+    ASSERT_EQ(V, 7u) << "round " << Round;
+    uint64_t X = 100 + Round;
+    ASSERT_EQ(Space.write(Base, &X, 8), AccessResult::Ok);
+    EXPECT_EQ(Space.resetToSnapshot(), 1);
+  }
+  EXPECT_EQ(Space.stats().PagesReverted, 5u);
+}
+
+TEST(Snapshot, ResetRearmsProtections) {
+  AddressSpace Space = makeSpace(2);
+  Space.takeSnapshot();
+  // A capture-style protect pass after the snapshot is dirtying too:
+  // reset must restore the snapshot's protections, not just content.
+  Space.protectRange(Base, PageSize, ProtRead);
+  EXPECT_EQ(Space.protectionOf(Base), ProtRead);
+  EXPECT_GE(Space.resetToSnapshot(), 1);
+  EXPECT_EQ(Space.protectionOf(Base), ProtRead | ProtWrite);
+}
+
+TEST(Snapshot, StructuralChangeInvalidates) {
+  AddressSpace Space = makeSpace(4);
+  Space.takeSnapshot();
+  Space.mapRegion(Base + 0x100000, PageSize, ProtRead | ProtWrite,
+                  MappingKind::Anonymous, "late");
+  EXPECT_FALSE(Space.hasValidSnapshot());
+  EXPECT_EQ(Space.resetToSnapshot(), -1);
+}
+
+TEST(Snapshot, UnmapAlsoInvalidates) {
+  AddressSpace Space = makeSpace(4);
+  Space.takeSnapshot();
+  Space.unmapRegion(Base + 2 * PageSize, PageSize);
+  EXPECT_FALSE(Space.hasValidSnapshot());
+  EXPECT_EQ(Space.resetToSnapshot(), -1);
+}
+
+TEST(Snapshot, NoSnapshotMeansNoReset) {
+  AddressSpace Space = makeSpace(2);
+  EXPECT_FALSE(Space.hasValidSnapshot());
+  EXPECT_EQ(Space.resetToSnapshot(), -1);
+}
+
+TEST(Snapshot, DropSnapshotForgetsRestorePoint) {
+  AddressSpace Space = makeSpace(2);
+  Space.takeSnapshot();
+  uint64_t X = 1;
+  ASSERT_EQ(Space.write(Base, &X, 8), AccessResult::Ok);
+  Space.dropSnapshot();
+  EXPECT_FALSE(Space.hasValidSnapshot());
+  EXPECT_EQ(Space.dirtyPageCount(), 0u);
+  // Content written after the drop is simply kept.
+  uint64_t V = 0;
+  ASSERT_EQ(Space.read(Base, &V, 8), AccessResult::Ok);
+  EXPECT_EQ(V, 1u);
+}
+
+TEST(Snapshot, ForkCloneStartsWithoutSnapshot) {
+  AddressSpace Space = makeSpace(2);
+  Space.takeSnapshot();
+  AddressSpace Clone = Space.forkClone();
+  EXPECT_FALSE(Clone.hasValidSnapshot());
+  EXPECT_TRUE(Space.hasValidSnapshot());
+  // Writes in the clone never dirty the parent's snapshot accounting.
+  uint64_t X = 9;
+  ASSERT_EQ(Clone.write(Base, &X, 8), AccessResult::Ok);
+  EXPECT_EQ(Space.dirtyPageCount(), 0u);
+  EXPECT_GE(Space.resetToSnapshot(), 0);
+}
+
+TEST(Snapshot, PokeIsDirtyTrackedToo) {
+  // Kernel-style writes (capture/verification tooling) must participate
+  // in dirty tracking, or a reset would leak their effects into the next
+  // replay.
+  AddressSpace Space = makeSpace(2);
+  uint64_t Init = 5;
+  ASSERT_EQ(Space.write(Base, &Init, 8), AccessResult::Ok);
+  Space.takeSnapshot();
+  uint64_t X = 77;
+  ASSERT_TRUE(Space.poke(Base, &X, 8));
+  EXPECT_EQ(Space.dirtyPageCount(), 1u);
+  EXPECT_EQ(Space.resetToSnapshot(), 1);
+  uint64_t V = 0;
+  ASSERT_EQ(Space.read(Base, &V, 8), AccessResult::Ok);
+  EXPECT_EQ(V, 5u);
+}
+
+// --- Translation cache --------------------------------------------------------
+
+TEST(TranslationCache, UnmapInvalidatesCachedEntries) {
+  AddressSpace Space = makeSpace(4);
+  uint64_t X = 1;
+  // Populate the cache with hits on two pages.
+  ASSERT_EQ(Space.write(Base, &X, 8), AccessResult::Ok);
+  ASSERT_EQ(Space.write(Base + PageSize, &X, 8), AccessResult::Ok);
+  ASSERT_EQ(Space.read(Base, &X, 8), AccessResult::Ok);
+
+  Space.unmapRegion(Base, PageSize);
+  // A stale cache entry would serve the unmapped page from its old
+  // physical backing; the correct answer is Unmapped.
+  uint64_t V = 0;
+  EXPECT_EQ(Space.read(Base, &V, 8), AccessResult::Unmapped);
+  EXPECT_EQ(Space.read(Base + PageSize, &V, 8), AccessResult::Ok);
+}
+
+TEST(TranslationCache, ProtectionChangeIsHonored) {
+  AddressSpace Space = makeSpace(2);
+  uint64_t X = 3;
+  ASSERT_EQ(Space.write(Base, &X, 8), AccessResult::Ok); // cache the page
+  Space.protectRange(Base, PageSize, ProtRead);
+  // The cached translation must not bypass the new protection.
+  EXPECT_EQ(Space.write(Base, &X, 8), AccessResult::Violation);
+  uint64_t V = 0;
+  EXPECT_EQ(Space.read(Base, &V, 8), AccessResult::Ok);
+  EXPECT_EQ(V, 3u);
+}

@@ -539,3 +539,40 @@ TEST(ParallelPipeline, RacingOptimizeIsBitIdenticalAcrossJobCounts) {
   EXPECT_GT(Serial.RacingStats.EarlyStops, 0u);
   EXPECT_LT(Serial.RacingStats.ReplaysSpent, Serial.RacingStats.FixedBudget);
 }
+
+TEST(ParallelPipeline, SessionBackendsAreSemanticallyInvisible) {
+  // Fork-server sessions (DESIGN.md §16) are a pure performance
+  // substrate: the same seeded GA must walk the identical evaluation
+  // stream with sessions on (the default) and off, at any job count.
+  // The E2E twin of this test byte-compares evaluations.jsonl over the
+  // real binaries (RunReportE2E.cmake).
+  auto RunOnce = [](int Jobs, bool Sessions) {
+    core::PipelineConfig C = fastPipelineConfig(Jobs);
+    C.Search.SessionBackends = Sessions;
+    core::IterativeCompiler Pipeline(C);
+    return Pipeline.optimize(workloads::buildByName("Sieve"));
+  };
+  core::OptimizationReport On = RunOnce(1, true);
+  core::OptimizationReport Off = RunOnce(4, false);
+  ASSERT_TRUE(On.Succeeded) << On.FailureReason;
+  ASSERT_TRUE(Off.Succeeded) << Off.FailureReason;
+
+  EXPECT_EQ(On.Best.G.name(), Off.Best.G.name());
+  EXPECT_EQ(On.RegionBest, Off.RegionBest);
+  EXPECT_EQ(On.Best.E.Samples, Off.Best.E.Samples);
+  EXPECT_EQ(On.WholeGa, Off.WholeGa);
+  ASSERT_EQ(On.Trace.Evaluations.size(), Off.Trace.Evaluations.size());
+  for (size_t I = 0; I != On.Trace.Evaluations.size(); ++I) {
+    EXPECT_EQ(On.Trace.Evaluations[I].MedianCycles,
+              Off.Trace.Evaluations[I].MedianCycles);
+    EXPECT_EQ(On.Trace.Evaluations[I].Valid, Off.Trace.Evaluations[I].Valid);
+  }
+
+  // The substrate itself must have been exercised on the session run —
+  // and never on the fresh run.
+  EXPECT_GT(On.ReplayBackend.SessionReplays, 0u);
+  EXPECT_GT(On.ReplayBackend.DeltaResets, 0u);
+  EXPECT_GT(On.ReplayBackend.SessionsCreated, 0u);
+  EXPECT_EQ(Off.ReplayBackend.SessionReplays, 0u);
+  EXPECT_GT(Off.ReplayBackend.FreshReplays, 0u);
+}

@@ -543,3 +543,115 @@ TEST(BenchParseArgs, ParsesReportFlag) {
   EXPECT_EQ(Opt.ReportDir, "/tmp/some-run");
   EXPECT_EQ(Opt.Jobs, 3);
 }
+
+/// True when some validation warning mentions the loader-stats check.
+/// (Match by substring, not position or count: observability-off builds
+/// add an unrelated warning about the absent trace/metrics files.)
+static bool hasLoaderWarning(const report::ValidationResult &V) {
+  for (const std::string &W : V.Warnings)
+    if (W.find("pages_restored") != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(RunDiff, WarnsWhenFreshBackendsLostLoaderStats) {
+  // A schema-6 run claiming fresh (session_backends=false) backends must
+  // show loader work in metrics.json: replays without pages_restored mean
+  // the LoaderStats plumbing regressed (the pre-session-fix bug).
+  auto MakeRun = [](TempRunDir &Dir, double PagesRestored) {
+    report::RunInfo Info;
+    Info.Tool = "report_tests";
+    Info.SessionBackends = false;
+    auto Opened = report::RunReport::open(Dir.str(), Info);
+    ASSERT_TRUE(Opened.ok()) << Opened.error().Message;
+    report::RunReport &RR = *Opened.value();
+    RR.beginApp("App");
+    report::AppOutcome Out;
+    Out.Succeeded = true;
+    RR.endApp(Out);
+    EXPECT_TRUE(RR.finish());
+    std::ofstream M(Dir.str() + "/metrics.json", std::ios::binary);
+    M << "{\"counters\":{\"replay.replays\":12,\"replay.pages_restored\":"
+      << PagesRestored << "},\"gauges\":{},\"histograms\":{}}\n";
+  };
+
+  TempRunDir Bad("ropt_report_fresh_noloader");
+  MakeRun(Bad, 0);
+  auto BadRun = report::loadRun(Bad.str());
+  ASSERT_TRUE(BadRun.ok()) << BadRun.error().Message;
+  EXPECT_TRUE(hasLoaderWarning(report::validateRun(BadRun.value())));
+
+  // Control: the same run with loader work recorded draws no warning.
+  TempRunDir Good("ropt_report_fresh_withloader");
+  MakeRun(Good, 480);
+  auto GoodRun = report::loadRun(Good.str());
+  ASSERT_TRUE(GoodRun.ok()) << GoodRun.error().Message;
+  EXPECT_FALSE(hasLoaderWarning(report::validateRun(GoodRun.value())));
+}
+
+TEST(RunDiff, SessionBackendRunDoesNotWarnOnZeroRestores) {
+  // Sessions legitimately restore pages only once per session build, so
+  // a session_backends=true run is exempt from the loader-stats check.
+  TempRunDir Dir("ropt_report_session_backends");
+  report::RunInfo Info;
+  Info.Tool = "report_tests"; // SessionBackends defaults to true
+  auto Opened = report::RunReport::open(Dir.str(), Info);
+  ASSERT_TRUE(Opened.ok()) << Opened.error().Message;
+  report::RunReport &RR = *Opened.value();
+  RR.beginApp("App");
+  report::AppOutcome Out;
+  Out.Succeeded = true;
+  RR.endApp(Out);
+  EXPECT_TRUE(RR.finish());
+  std::ofstream M(Dir.str() + "/metrics.json", std::ios::binary);
+  M << "{\"counters\":{\"replay.replays\":12,\"replay.pages_restored\":0},"
+       "\"gauges\":{},\"histograms\":{}}\n";
+  M.close();
+
+  auto Run = report::loadRun(Dir.str());
+  ASSERT_TRUE(Run.ok()) << Run.error().Message;
+  EXPECT_FALSE(hasLoaderWarning(report::validateRun(Run.value())));
+}
+
+TEST(RunReport, ReplayBackendSectionRoundTrips) {
+  TempRunDir Dir("ropt_report_replay_backend");
+  report::RunInfo Info;
+  Info.Tool = "report_tests";
+  auto Opened = report::RunReport::open(Dir.str(), Info);
+  ASSERT_TRUE(Opened.ok()) << Opened.error().Message;
+  report::RunReport &RR = *Opened.value();
+  RR.beginApp("App");
+  {
+    Rng R(3);
+    search::Evaluation Ok;
+    Ok.Kind = search::EvalKind::Ok;
+    Ok.Samples = {10.0};
+    Ok.MedianCycles = 10.0;
+    RR.onEvaluation(search::randomGenome(R, search::GenomeConfig{}), Ok, 0,
+                    {});
+  }
+  report::AppOutcome Out;
+  Out.Succeeded = true;
+  Out.ReplayBackend.SessionsCreated = 2;
+  Out.ReplayBackend.SessionReplays = 40;
+  Out.ReplayBackend.DeltaResets = 40;
+  Out.ReplayBackend.PagesReverted = 120;
+  RR.endApp(Out);
+  EXPECT_TRUE(RR.finish());
+
+  auto Run = report::loadRun(Dir.str());
+  ASSERT_TRUE(Run.ok()) << Run.error().Message;
+  EXPECT_EQ(Run.value().Manifest.number("schema"), 6.0);
+  const json::Value *Config = Run.value().Manifest.find("config");
+  ASSERT_NE(Config, nullptr);
+  EXPECT_TRUE(Config->find("session_backends") != nullptr);
+
+  // The per-app replay_backend section survives the round trip and the
+  // summarize rendering shows the replay-backend line.
+  std::string Manifest = slurpFile(Dir.str() + "/manifest.json");
+  EXPECT_NE(Manifest.find("\"replay_backend\""), std::string::npos);
+  EXPECT_NE(Manifest.find("\"session_replays\":40"), std::string::npos);
+  std::string Summary = report::summarize(Run.value());
+  EXPECT_NE(Summary.find("replay backend"), std::string::npos);
+  EXPECT_NE(Summary.find("40 session replays"), std::string::npos);
+}

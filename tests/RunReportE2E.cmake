@@ -9,6 +9,9 @@
 #   6. ropt-report diff A B          -> zero fitness regressions
 #   7. the same pair with --racing on -> racing provenance (early stops,
 #      escalations, per-eval samples_spent) is byte-identical too
+#   8. fig09 --sessions off -> evaluations.jsonl is byte-identical to the
+#      default (sessions-on) run: fork-server replay sessions are a pure
+#      backend optimization with no observable effect on provenance
 #
 # Inputs: -DFIG09=..., -DROPT_REPORT=..., -DWORK_DIR=...
 
@@ -24,6 +27,7 @@ set(RunA "${WORK_DIR}/runA")
 set(RunB "${WORK_DIR}/runB")
 set(RunC "${WORK_DIR}/runC")
 set(RunD "${WORK_DIR}/runD")
+set(RunE "${WORK_DIR}/runE")
 
 execute_process(
   COMMAND ${FIG09} --fast --seed 1 --apps Sieve --report ${RunA}
@@ -84,6 +88,27 @@ if(NOT Out MATCHES "fitness regressions: 0")
   message(FATAL_ERROR "unexpected diff output:\n${Out}")
 endif()
 
+# The session acceptance bar: turning the fork-server replay sessions off
+# must not change a byte of provenance. Sessions only change how a replay's
+# address space is prepared (delta reset vs full rebuild); every replay
+# still runs on a fresh vm::Runtime over bit-identical memory.
+execute_process(
+  COMMAND ${FIG09} --fast --seed 1 --apps Sieve --sessions off
+          --report ${RunE}
+  RESULT_VARIABLE Rc OUTPUT_QUIET)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "fig09 --sessions off --report ${RunE} failed (${Rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${RunA}/evaluations.jsonl" "${RunE}/evaluations.jsonl"
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "evaluations.jsonl differs between --sessions on "
+                      "(default) and --sessions off")
+endif()
+
 # The racing acceptance bar: the adaptive budget's decisions (who was
 # early-stopped, who escalated, every samples_spent count) are part of
 # the provenance and must also be jobs-invariant.
@@ -135,4 +160,5 @@ if(NOT Out MATCHES "replay budget")
 endif()
 
 message(STATUS "run_report_e2e: all artifacts valid, provenance "
-               "jobs-invariant (fixed and racing), diff clean")
+               "jobs-invariant (fixed and racing), session-invariant, "
+               "diff clean")
