@@ -22,9 +22,13 @@
 
 #include "bench/BenchUtil.h"
 #include "fleet/Coordinator.h"
+#include "store/Store.h"
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <set>
+#include <utility>
 
 using namespace ropt;
 using namespace ropt::bench;
@@ -40,6 +44,43 @@ int main(int Argc, char **Argv) {
   }
   beginObservability(Opt);
   ReportScope Report(Opt, "fleet_scale", BaseConfig);
+
+  // --store DIR: the persistent optimization service (DESIGN.md §17).
+  // The store is loaded once; every sweep cell's fresh server imports the
+  // prior night's leaderboards (quarantine included) and pre-seeds device
+  // mailboxes, and each completed cell folds its final board back into
+  // the next save. Two runs with the same store directory are a
+  // two-night deployment.
+  std::unique_ptr<store::Store> St;
+  store::Store::LoadResult Loaded;
+  report::WarmStartInfo Warm;
+  // (app name, genome key) pairs that predate this run, for the
+  // class-leaderboard "restored" flag.
+  std::set<std::pair<std::string, std::string>> LoadedKeys;
+  if (!Opt.StoreDir.empty()) {
+    St.reset(new store::Store(Opt.StoreDir));
+    Loaded = St->load();
+    if (!Loaded.Warning.empty())
+      std::fprintf(stderr, "warning: %s\n", Loaded.Warning.c_str());
+    Warm.Used = Loaded.Found && Loaded.Warning.empty();
+    Warm.StoreSchema = Loaded.State.Schema;
+    Warm.Nights = Loaded.State.Nights;
+    for (const store::StoredApp &A : Loaded.State.Apps)
+      for (const store::StoredEntry &E : A.Entries) {
+        ++Warm.EntriesLoaded;
+        if (E.Quarantined)
+          ++Warm.QuarantinedLoaded;
+        LoadedKeys.insert({A.Name, E.Genome});
+      }
+    if (Warm.Used)
+      std::printf("store: %s (night %llu, %llu entries, %llu quarantined)\n",
+                  St->path().c_str(),
+                  static_cast<unsigned long long>(Loaded.State.Nights),
+                  static_cast<unsigned long long>(Warm.EntriesLoaded),
+                  static_cast<unsigned long long>(Warm.QuarantinedLoaded));
+    else
+      std::printf("store: %s (cold start)\n", St->path().c_str());
+  }
 
   printHeader("Fleet scale: crowd-sourced search vs population size "
               "(DESIGN.md §12, §14)",
@@ -93,6 +134,11 @@ int main(int Argc, char **Argv) {
   Summary.ReorderProb = Defaults.Net.ReorderProb;
 
   bool AnyFailed = false;
+  // The night's accumulating snapshot: the last cell per app (the most
+  // crowd-sourced population) supplies that app's board; the class model
+  // carries over from last night until a k-means cell replaces it.
+  std::map<std::string, store::StoredApp> NextApps;
+  store::StoredClassModel NextClasses = Loaded.State.Classes;
   for (const std::string &App : Apps) {
     for (int N : Sweep) {
       fleet::FleetOptions FO = fleet::FleetOptions::paperDefaults();
@@ -106,6 +152,17 @@ int main(int Argc, char **Argv) {
       // historical one-class-per-device behavior.
       FO.ProfileClasses = Opt.Classes >= 0 ? Opt.Classes
                                            : (N >= 100 ? 24 : 0);
+      if (St) {
+        // Store mode: classes come from seeded k-means over the
+        // continuous profile vectors (per-class leaderboards need real
+        // hardware classes), and devices warm-start from the restored
+        // hint set. Small cells still get a few classes by default so
+        // the class boards are populated.
+        if (Opt.Classes < 0)
+          FO.ProfileClasses = N >= 100 ? 24 : (N >= 4 ? 4 : 0);
+        FO.KMeansClasses = true;
+        FO.WarmStartHints = Warm.EntriesLoaded > 0;
+      }
 
       core::PipelineConfig Cfg = BaseConfig;
       if (N >= 500) {
@@ -140,8 +197,15 @@ int main(int Argc, char **Argv) {
       }
 
       // Fresh server and transport per cell: every sweep point is an
-      // independent population, not a continuation.
+      // independent population, not a continuation. Cross-run continuity
+      // comes from the store: each cell restores last night's boards.
       fleet::Server Srv(SrvOpt);
+      if (St && Warm.EntriesLoaded > 0) {
+        std::vector<std::string> ImportWarnings;
+        Srv.importState(Loaded.State, &ImportWarnings);
+        for (const std::string &W : ImportWarnings)
+          std::fprintf(stderr, "warning: %s\n", W.c_str());
+      }
       fleet::SimTransport Net(FO.Net, Opt.Seed);
       fleet::Coordinator Co(FO, Cfg);
       std::chrono::steady_clock::time_point T0 =
@@ -231,6 +295,65 @@ int main(int Argc, char **Argv) {
       Summary.Transport += R.Transport;
       if (R.BestSpeedup > Summary.BestSpeedup)
         Summary.BestSpeedup = R.BestSpeedup;
+
+      if (St) {
+        Warm.HintsInjected += R.WarmStartHintCount;
+
+        // Fold the cell's final board into the night's snapshot and
+        // publish it: saving after every completed cell means a crashed
+        // sweep still keeps the cells that finished (save is atomic).
+        store::StoreState CellState;
+        Srv.exportState(CellState);
+        for (store::StoredApp &A : CellState.Apps)
+          NextApps[A.Name] = std::move(A);
+        if (!R.ClassCentroids.empty()) {
+          NextClasses = store::StoredClassModel();
+          NextClasses.K = static_cast<int>(R.ClassCentroids.size());
+          NextClasses.Dims =
+              static_cast<int>(R.ClassCentroids.front().size());
+          NextClasses.Centroids = R.ClassCentroids;
+          NextClasses.Assignments = R.ClassOf;
+        }
+        store::StoreState Night;
+        Night.Nights = Loaded.State.Nights + 1;
+        Night.FleetSeed = Opt.Seed;
+        Night.Classes = NextClasses;
+        for (const auto &KV : NextApps)
+          Night.Apps.push_back(KV.second);
+        std::string Err;
+        if (!St->save(Night, &Err))
+          std::fprintf(stderr, "warning: %s\n", Err.c_str());
+
+        // Per-class leaderboard snapshot for the run report: the best
+        // class-confirmed entry per device class in this cell.
+        if (!R.ClassCentroids.empty()) {
+          if (const std::vector<fleet::Server::LeaderEntry> *Board =
+                  Srv.leaderboard(App)) {
+            int K = static_cast<int>(R.ClassCentroids.size());
+            for (int C = 0; C != K; ++C) {
+              const fleet::Server::LeaderEntry *BestE = nullptr;
+              for (const fleet::Server::LeaderEntry &E : *Board) {
+                if (E.Quarantined || E.Expired || !E.Classes.count(C))
+                  continue;
+                if (!BestE || E.Speedup > BestE->Speedup ||
+                    (E.Speedup == BestE->Speedup && E.Key < BestE->Key))
+                  BestE = &E;
+              }
+              if (!BestE)
+                continue;
+              report::ClassLeaderboardRow Row;
+              Row.App = App;
+              Row.Devices = N;
+              Row.Class = C;
+              Row.Genome = BestE->Key;
+              Row.Speedup = BestE->Speedup;
+              Row.Reports = BestE->Reports;
+              Row.Restored = LoadedKeys.count({App, BestE->Key}) != 0;
+              Summary.ClassBoards.push_back(Row);
+            }
+          }
+        }
+      }
     }
     std::printf("\n");
   }
@@ -245,8 +368,17 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(
                   Summary.Transport.ReordersEffective));
 
-  if (Report.report())
+  if (Report.report()) {
     Report.report()->setFleetSummary(Summary);
+    if (St)
+      Report.report()->setWarmStart(Warm);
+  }
+  if (St)
+    std::printf("store: saved %s (night %llu, %llu warm-start hints "
+                "pre-seeded)\n",
+                St->path().c_str(),
+                static_cast<unsigned long long>(Loaded.State.Nights + 1),
+                static_cast<unsigned long long>(Warm.HintsInjected));
   finishObservability(Opt);
   return AnyFailed ? 1 : 0;
 }

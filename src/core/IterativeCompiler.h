@@ -61,10 +61,13 @@ struct SearchOptions {
   /// The engine's two-level genome/binary cache.
   bool Memoize = true;
   /// Genomes injected into generation 0 ahead of the random fill
-  /// (search::GenomeSource::Seeded). The fleet layer routes re-verified
-  /// server hints and a device's previous best through this; empty — the
-  /// paper's cold-start configuration — leaves generation 0 fully random.
-  std::vector<search::Genome> WarmStart;
+  /// (search::GenomeSource::Seeded), each carrying the provenance id of
+  /// the hint chain it rides on (0 = locally minted). The fleet layer
+  /// routes re-verified server hints and a device's previous best through
+  /// this, and the persistent store's restored leaderboard entries keep
+  /// their prior-night chains; empty — the paper's cold-start
+  /// configuration — leaves generation 0 fully random.
+  std::vector<search::SeedGenome> WarmStart;
   /// Close the observability loop (DESIGN.md §13): scale the GA budget by
   /// the optimized region's criticality (the slack-0 region keeps the
   /// full budget; cooler regions get quadratically less) and disable the

@@ -3,12 +3,14 @@
 #include "fleet/Coordinator.h"
 
 #include "report/RunReport.h"
+#include "store/KMeans.h"
 #include "support/Format.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <memory>
 
@@ -50,17 +52,29 @@ std::string FleetResult::digest() const {
                   Rej.Verdict.c_str(),
                   static_cast<unsigned long long>(Rej.ProvenanceId));
   }
-  for (const Server::LeaderEntry &E : Leaderboard)
-    D += format("lb %s speedup=%.17g reports=%d devices=%d q=%d exp=%d "
-                "verdict=%s hash=%016llx size=%llu prov=%016llx "
+  for (const Server::LeaderEntry &E : Leaderboard) {
+    std::string Classes;
+    for (int C : E.Classes)
+      Classes += (Classes.empty() ? "" : ",") + std::to_string(C);
+    D += format("lb %s speedup=%.17g reports=%d devices=%d classes=%s q=%d "
+                "exp=%d verdict=%s hash=%016llx size=%llu prov=%016llx "
                 "disc=d%d@%llu\n",
                 E.Key.c_str(), E.Speedup, E.Reports,
-                static_cast<int>(E.Devices.size()), E.Quarantined ? 1 : 0,
-                E.Expired ? 1 : 0, E.RejectVerdict.c_str(),
+                static_cast<int>(E.Devices.size()), Classes.c_str(),
+                E.Quarantined ? 1 : 0, E.Expired ? 1 : 0,
+                E.RejectVerdict.c_str(),
                 static_cast<unsigned long long>(E.BinaryHash),
                 static_cast<unsigned long long>(E.CodeSize),
                 static_cast<unsigned long long>(E.Prov.Id), E.Prov.Device,
                 static_cast<unsigned long long>(E.Prov.Time));
+  }
+  if (!ClassOf.empty()) {
+    D += "kmeans assign=";
+    for (size_t I = 0; I != ClassOf.size(); ++I)
+      D += (I ? "," : "") + std::to_string(ClassOf[I]);
+    D += format(" warm=%llu\n",
+                static_cast<unsigned long long>(WarmStartHintCount));
+  }
   return D;
 }
 
@@ -118,25 +132,71 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
                                         : std::min(Opt.ProfileClasses, Total);
 
   // --- Build the class pipelines and the device actors on top of them.
+  // Two class models: the historical modulo quantization (class members
+  // *are* the class hardware), and seeded k-means over the continuous
+  // profile vectors (devices keep their own axes; the class pipeline is
+  // the cluster centroid's hardware). Both run in this serial context,
+  // so the clustering — like everything else — is --jobs-independent.
+  bool UseKMeans = Opt.KMeansClasses && Opt.ProfileClasses > 0 &&
+                   Classes < Total;
   std::vector<std::shared_ptr<DeviceClassState>> Class(
       static_cast<size_t>(Classes));
-  for (int C = 0; C != Classes; ++C)
-    Class[static_cast<size_t>(C)] = std::make_shared<DeviceClassState>(
-        AppName, Base,
-        DeviceProfile::derive(Opt.Seed, C, Opt.CostJitter, Opt.NoiseJitter,
-                              Opt.SessionSpread));
-
   std::vector<DeviceState> States(static_cast<size_t>(Total));
-  for (int I = 0; I != Total; ++I) {
-    DeviceState &DS = States[static_cast<size_t>(I)];
-    DS.Prof = DeviceProfile::deriveClassed(Opt.Seed, I, Opt.ProfileClasses,
-                                           Opt.CostJitter, Opt.NoiseJitter,
-                                           Opt.SessionSpread);
-    DS.Dev = std::make_unique<Device>(
-        Class[static_cast<size_t>(DS.Prof.ClassId % Classes)], DS.Prof,
-        Opt.Costs);
-    DS.Joiner = I >= N;
+  if (UseKMeans) {
+    std::vector<DeviceProfile> Profs;
+    std::vector<std::vector<double>> Points;
+    for (int I = 0; I != Total; ++I) {
+      Profs.push_back(DeviceProfile::derive(Opt.Seed, I, Opt.CostJitter,
+                                            Opt.NoiseJitter,
+                                            Opt.SessionSpread));
+      Points.push_back(profileVector(Profs.back()));
+    }
+    store::KMeansResult KM = store::kmeans(Points, Classes, Opt.Seed);
+    Classes = static_cast<int>(KM.Centroids.size());
+    for (int C = 0; C != Classes; ++C) {
+      // The class pipeline lives at the cluster centroid: representative
+      // hardware axes, class-stream seed (same stream as the modulo
+      // model, so class configs stay comparable across modes).
+      DeviceProfile CP = DeviceProfile::derive(Opt.Seed, C, 0, 0, 0);
+      CP.ClassId = C;
+      const std::vector<double> &Cen = KM.Centroids[static_cast<size_t>(C)];
+      CP.CostScale = Cen[0];
+      CP.NoiseScale = Cen[7];
+      CP.SessionShift = static_cast<int64_t>(std::llround(Cen[9]));
+      Class[static_cast<size_t>(C)] =
+          std::make_shared<DeviceClassState>(AppName, Base, CP);
+    }
+    for (int I = 0; I != Total; ++I) {
+      DeviceState &DS = States[static_cast<size_t>(I)];
+      DS.Prof = Profs[static_cast<size_t>(I)];
+      DS.Prof.ClassId = KM.Assignment[static_cast<size_t>(I)];
+      DS.Dev = std::make_unique<Device>(
+          Class[static_cast<size_t>(DS.Prof.ClassId)], DS.Prof, Opt.Costs);
+      DS.Joiner = I >= N;
+    }
+    Out.ClassOf = std::move(KM.Assignment);
+    Out.ClassCentroids = std::move(KM.Centroids);
+  } else {
+    for (int C = 0; C != Classes; ++C)
+      Class[static_cast<size_t>(C)] = std::make_shared<DeviceClassState>(
+          AppName, Base,
+          DeviceProfile::derive(Opt.Seed, C, Opt.CostJitter, Opt.NoiseJitter,
+                                Opt.SessionSpread));
+    for (int I = 0; I != Total; ++I) {
+      DeviceState &DS = States[static_cast<size_t>(I)];
+      DS.Prof = DeviceProfile::deriveClassed(Opt.Seed, I, Opt.ProfileClasses,
+                                             Opt.CostJitter, Opt.NoiseJitter,
+                                             Opt.SessionSpread);
+      DS.Dev = std::make_unique<Device>(
+          Class[static_cast<size_t>(DS.Prof.ClassId % Classes)], DS.Prof,
+          Opt.Costs);
+      DS.Joiner = I >= N;
+    }
   }
+  // Class-local hint serving only makes sense when classes are genuine
+  // profile clusters; the modulo model keeps the global ranking (one
+  // class per device would otherwise kill crowd-sourcing outright).
+  bool ClassHints = UseKMeans;
 
   ThreadPool Pool(static_cast<size_t>(std::max(0, Opt.Jobs)));
 
@@ -170,6 +230,14 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
   for (int I = 0; I != Total; ++I)
     Hub.setDeviceClass(I, States[static_cast<size_t>(I)].Prof.ClassId %
                               Classes);
+  // Chains restored from a persistent store carry a *prior run's*
+  // discovery clock: register them up front so telemetry never compares
+  // their timestamps against this run's, and validators can skip
+  // same-clock causality checks.
+  if (const std::vector<Server::LeaderEntry> *Board = Srv.leaderboard(AppName))
+    for (const Server::LeaderEntry &E : *Board)
+      if (E.Restored)
+        Hub.markRestored(E.Prov, E.Key);
 
   // --- Event handlers. Scheduling only happens from serial contexts
   // (here before run(), and inside commits), so Seq assignment — and the
@@ -224,7 +292,8 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
       }
       if (DS.Left)
         return;
-      std::vector<Hint> Hints = Srv.hints(AppName, T);
+      std::vector<Hint> Hints = Srv.hints(
+          AppName, T, ClassHints ? DS.Prof.ClassId % Classes : -1);
       if (Hints.empty())
         return;
       MessageKey Key{AppId, Channel::Hints, StepIdx, Id, 0};
@@ -351,6 +420,17 @@ FleetResult Coordinator::run(const std::string &AppName, Server &Srv,
   if (Steps > 0) {
     for (int I = 0; I != Total; ++I) {
       DeviceState &DS = States[static_cast<size_t>(I)];
+      // The cross-run warm start: restored leaderboard hints land in the
+      // mailbox before the first step, exactly as if delivered — the
+      // device still re-verifies them against its own verification map.
+      // Serial context, so the pre-seed is deterministic at any --jobs.
+      if (Opt.WarmStartHints) {
+        std::vector<Hint> WH = Srv.hints(
+            AppName, 0, ClassHints ? DS.Prof.ClassId % Classes : -1);
+        Out.WarmStartHintCount += WH.size();
+        for (Hint &H : WH)
+          DS.Mailbox.push_back(std::move(H));
+      }
       Rng R(DS.Prof.Seed ^ 0x57A7u);
       VirtualTime Start;
       if (DS.Joiner) {

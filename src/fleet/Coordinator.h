@@ -98,6 +98,21 @@ struct FleetOptions {
   /// share one pipeline + evaluation engine (see DeviceClassState).
   /// 0 = one class per device (the fully-continuous small-fleet mode).
   int ProfileClasses = 0;
+  /// Derive classes by seeded k-means over each device's *continuous*
+  /// cost-model profile vector (store::kmeans over fleet::profileVector)
+  /// instead of the modulo quantization: devices keep their own hardware
+  /// axes, cluster membership follows actual profile similarity, and the
+  /// class pipeline is built from the cluster centroid. Hints are then
+  /// served class-locally (per-class top-k + cross-class exploration
+  /// tail). Only meaningful with ProfileClasses > 0 and fewer classes
+  /// than devices.
+  bool KMeansClasses = false;
+  /// Pre-seed every device's mailbox with the server's hint set before
+  /// its first step — the cross-run warm start. The server is expected
+  /// to hold restored leaderboards (Server::importState /
+  /// Server::injectHint); devices still re-verify every restored hint
+  /// against their own verification map before adopting it.
+  bool WarmStartHints = false;
 
   TransportOptions Net; ///< For the caller's SimTransport.
   RetryPolicy Retry;
@@ -163,6 +178,14 @@ struct FleetResult {
   VirtualTime VirtualDuration = 0; ///< Loop time when the queue drained.
   int DevicesLeft = 0;   ///< Churn: devices that died mid-run.
   int DevicesJoined = 0; ///< Churn: late joiners.
+
+  /// KMeansClasses run: per-device class assignment and the centroids
+  /// (profile-vector space, stable lexicographic id order) — what the
+  /// store persists as the night's class model. Empty otherwise.
+  std::vector<int> ClassOf;
+  std::vector<std::vector<double>> ClassCentroids;
+  /// Warm-start hints pre-seeded into device mailboxes (WarmStartHints).
+  uint64_t WarmStartHintCount = 0;
 
   // Sums over classes / steps.
   search::EngineCounters Counters;

@@ -49,6 +49,17 @@ DeviceProfile DeviceProfile::deriveClassed(uint64_t FleetSeed, int Id,
   return P;
 }
 
+std::vector<double> fleet::profileVector(const DeviceProfile &P) {
+  std::vector<double> V;
+  V.reserve(ProfileVectorDims);
+  for (int I = 0; I != 7; ++I)
+    V.push_back(P.CostScale); // One slot per scaled kernel-cost event.
+  V.push_back(P.NoiseScale);  // OfflineSigma scale.
+  V.push_back(P.NoiseScale);  // OnlineSigma scale.
+  V.push_back(static_cast<double>(P.SessionShift));
+  return V;
+}
+
 DeviceClassState::DeviceClassState(const std::string &AppName,
                                    const core::PipelineConfig &Base,
                                    const DeviceProfile &ClassProfile)
@@ -204,6 +215,7 @@ StepResult Device::step(VirtualTime Now, int StepIndex,
   search::EvaluationEngine &Engine = *Class->Engine;
   Out.Report.Device = Prof.Id;
   Out.Report.Round = StepIndex;
+  Out.Report.DeviceClass = Prof.ClassId;
   int EvalsBefore = Engine.counters().total();
   search::EngineCacheStats CacheBefore = Engine.cacheStats();
   ROPT_METRIC_INC("fleet.device_rounds");

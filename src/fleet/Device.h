@@ -90,6 +90,16 @@ struct DeviceProfile {
                                      int64_t SessionSpread);
 };
 
+/// A device's cost-model profile as a clustering feature vector
+/// (DESIGN.md §17): [0..6] the seven kernel-cost scales (fork base/page,
+/// maps parse, protect call/page, page fault, CoW copy — all equal to
+/// CostScale today, kept per-event so the store format survives
+/// per-event scaling), [7..8] the offline/online noise-sigma scales,
+/// [9] the session-parameter shift. store::kmeans over these vectors is
+/// what groups an install base into hardware/user classes.
+inline constexpr int ProfileVectorDims = 10;
+std::vector<double> profileVector(const DeviceProfile &P);
+
 /// Virtual-cost model of one search step, in event-loop ticks. A step's
 /// duration is (Base + Misses*Miss + Hits*Hit) * CostScale: a cache miss
 /// pays a compile plus replays, a hit pays a lookup, and the whole step

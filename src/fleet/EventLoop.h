@@ -43,6 +43,13 @@
 /// (FleetOptions::StepGridTicks), so thousands of device computes share
 /// a tick and batch together.
 ///
+/// Warm starts (DESIGN.md §17) happen strictly *before* run(): the
+/// coordinator pre-seeds device hint mailboxes from a restored store
+/// in the serial scheduling context, so persisted state never races
+/// the event order — the first scheduled step already sees the hints,
+/// and the virtual clock starts at 0 on every night regardless of how
+/// many nights the store has accumulated.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ROPT_FLEET_EVENT_LOOP_H

@@ -32,6 +32,7 @@
 #include "fleet/EventLoop.h"
 #include "fleet/Telemetry.h"
 #include "search/GeneticSearch.h"
+#include "store/Store.h"
 
 #include <cstdint>
 #include <map>
@@ -71,6 +72,10 @@ struct HintRejection {
 struct RoundReport {
   int Device = 0;
   int Round = 0;
+  /// Reporting device's hardware class (-1 = unknown/synthetic). Feeds
+  /// the per-class leaderboards: an entry remembers which classes
+  /// confirmed it, and class-local hint serving prefers those entries.
+  int DeviceClass = -1;
   std::vector<GenomeReport> Best;
   std::vector<HintRejection> Rejections;
 };
@@ -86,6 +91,12 @@ struct Hint {
 
 struct ServerOptions {
   int TopK = 4;                 ///< Hint-set size.
+  /// Class-local hint serving (hints() with Class >= 0) appends up to
+  /// this many best entries *other* classes found on top of the class's
+  /// own top-k — the cross-class exploration tail. A slow-SoC class
+  /// mostly follows its own winners but still occasionally re-verifies a
+  /// fast-SoC discovery on its own hardware.
+  int ExplorationTail = 2;
   size_t MaxPooledSamples = 96; ///< Per-entry speedup-sample cap.
   /// Leaderboard entry time-to-live in virtual ticks (0 = entries never
   /// age out). Under churn, a device that left the fleet stops renewing
@@ -102,6 +113,11 @@ struct ServerStats {
   uint64_t Quarantined = 0;     ///< Entries retired by rejection reports.
   uint64_t HintsServed = 0;     ///< Hints handed out across hints() calls.
   uint64_t Expired = 0;         ///< Entries the virtual-time TTL retired.
+  uint64_t HintsInjected = 0;   ///< injectHint() calls that merged.
+  /// injectHint() calls dropped because the genome is quarantined — a
+  /// restored hint a prior night proved unsound never re-enters.
+  uint64_t InjectionsDropped = 0;
+  uint64_t EntriesRestored = 0; ///< Leaderboard rows loaded from a store.
 };
 
 class Server {
@@ -122,6 +138,13 @@ public:
     std::string RejectVerdict;      ///< First rejection verdict, if any.
     VirtualTime LastReportTick = 0; ///< Virtual time of the last report.
     bool Expired = false;           ///< Aged out by ServerOptions::TtlTicks.
+    /// Hardware classes whose devices confirmed this entry — the
+    /// substrate of class-local hint serving.
+    std::set<int> Classes;
+    /// The entry was loaded from a persistent store this process (never
+    /// persisted itself): its provenance timestamps are a prior run's
+    /// virtual clock, so telemetry must treat the chain as cross-epoch.
+    bool Restored = false;
     /// The first reporter's provenance — the chain every hint cut from
     /// this entry carries. A later duplicate report never re-attributes
     /// the discovery.
@@ -140,16 +163,46 @@ public:
   /// entries, best merged speedup first (genome name breaks ties, so the
   /// set is stable across runs). When TtlTicks is set, entries whose last
   /// report is older than \p Now - TtlTicks expire here first.
-  std::vector<Hint> hints(const std::string &App, VirtualTime Now = 0);
+  ///
+  /// With \p Class >= 0 the set is class-local: the top-k among entries
+  /// some device of that class confirmed, followed by up to
+  /// ServerOptions::ExplorationTail best entries only other classes have
+  /// seen (the cross-class exploration tail). Class -1 keeps the global
+  /// ranking.
+  std::vector<Hint> hints(const std::string &App, VirtualTime Now = 0,
+                          int Class = -1);
 
   /// Pre-seeds the leaderboard with an unverified genome, as if a device
-  /// had reported it at \p Speedup. Entry point for cross-run hint
-  /// persistence — and for the safety tests' deliberately-unsound hints.
+  /// of \p Class had reported it at \p Speedup. Entry point for
+  /// cross-run hint persistence — and for the safety tests'
+  /// deliberately-unsound hints. A genome whose leaderboard entry is
+  /// quarantined is dropped (counted in InjectionsDropped and
+  /// `fleet.hints_rejected`): restarts never resurrect a proven
+  /// miscompile.
   void injectHint(const std::string &App, const search::Genome &G,
-                  double Speedup);
+                  double Speedup, int Class = -1);
 
   /// The app's full leaderboard, or null if it never got a report.
   const std::vector<LeaderEntry> *leaderboard(const std::string &App) const;
+
+  /// Every app with a board, in name order.
+  std::vector<std::string> apps() const;
+
+  /// Snapshots every board (plus nothing else — seeds and class models
+  /// are the caller's) into \p Out.Apps, replacing its contents. The
+  /// export is deterministic (map order, entry order preserved) and
+  /// import(export(S)) == S board-wise, so a load -> save round trip
+  /// through the store is a byte fixed point.
+  void exportState(store::StoreState &Out) const;
+
+  /// Replaces the server's boards with the stored ones. Genomes are
+  /// parsed back from their canonical strings; an unparseable
+  /// non-quarantined entry is skipped with a warning, while an
+  /// unparseable *quarantined* entry is kept genome-less — its key alone
+  /// must keep blocking injection. Returns the number of restored
+  /// entries (also accumulated in EntriesRestored).
+  size_t importState(const store::StoreState &S,
+                     std::vector<std::string> *Warnings = nullptr);
 
   const ServerStats &stats() const { return Stats; }
 

@@ -106,9 +106,10 @@ void TelemetryHub::onHintArrival(int Device, const Provenance &P,
     return;
   ProvenanceChain &C = chainFor(P, Key);
   ++C.Arrivals;
-  // Injected hints (Device -1) have no discovery time; only chains minted
-  // on a real device get a latency observation.
-  if (P.Device >= 0 && At >= P.Time) {
+  // Injected hints (Device -1) have no discovery time, and a restored
+  // chain's discovery is on a prior run's clock; only chains minted on a
+  // real device *this run* get a latency observation.
+  if (P.Device >= 0 && !C.Restored && At >= P.Time) {
     uint64_t Lat = At - P.Time;
     C.LatencyTicksTotal += Lat;
     int Cls = DeviceClass[static_cast<size_t>(Device)];
@@ -160,6 +161,12 @@ void TelemetryHub::markWinner(uint64_t ProvId) {
   auto It = Chains.find(ProvId);
   if (It != Chains.end())
     It->second.Won = true;
+}
+
+void TelemetryHub::markRestored(const Provenance &P, const std::string &Key) {
+  if (P.Id == 0)
+    return;
+  chainFor(P, Key).Restored = true;
 }
 
 FleetTelemetry TelemetryHub::telemetry() const {

@@ -219,6 +219,11 @@ struct ProvenanceChain {
   int FirstAdoptDevice = -1;
   VirtualTime FirstAdoptTime = 0;
   bool Won = false; ///< Ended the run as the fleet-best genome.
+  /// The chain was restored from a persistent store: its discovery
+  /// instant is on a *prior run's* virtual clock, so this run's
+  /// merge/adoption times are incomparable with it (and validators must
+  /// not apply same-clock causality checks).
+  bool Restored = false;
 
   std::string json() const {
     json::Builder B;
@@ -234,7 +239,8 @@ struct ProvenanceChain {
         .field("rejections", Rejections)
         .field("first_adopt_device", FirstAdoptDevice)
         .field("first_adopt_time", FirstAdoptTime)
-        .field("won", Won);
+        .field("won", Won)
+        .field("restored", Restored);
     return std::move(B).str();
   }
 };
@@ -353,6 +359,12 @@ public:
 
   /// Flags the chain that produced the run's best genome.
   void markWinner(uint64_t ProvId);
+
+  /// Pre-registers \p P as a chain restored from a persistent store:
+  /// its discovery time is a prior run's clock, so hint-latency
+  /// observations and same-clock causality checks must not apply. Call
+  /// before the loop runs (serial seeding context).
+  void markRestored(const Provenance &P, const std::string &Key);
 
   /// The merged cell telemetry (per-class -> total, chains sorted by
   /// discovery time then id).

@@ -255,12 +255,26 @@ ValidationResult report::validateRun(const LoadedRun &Run) {
   // section, schema 3 the observability flag and region analysis,
   // schema 4 virtual_time on fleet records, schema 5 per-record
   // provenance plus telemetry.json, schema 6 session_backends and the
-  // replay_backend sections; all stay loadable so old baselines keep
-  // diffing against new runs.
+  // replay_backend sections, schema 7 the persistent store (config.store,
+  // warm_start section, fleet class_leaderboards); all stay loadable so
+  // old baselines keep diffing against new runs.
   double Schema = Run.Manifest.number("schema");
   if (Run.Manifest.find("schema") && Schema != 1 && Schema != 2 &&
-      Schema != 3 && Schema != 4 && Schema != 5 && Schema != 6)
+      Schema != 3 && Schema != 4 && Schema != 5 && Schema != 6 &&
+      Schema != 7)
     Problem("manifest.json: unknown schema version");
+
+  // Schema 7: a warm_start section only makes sense for a run that was
+  // pointed at a store directory.
+  if (const json::Value *W = Run.Manifest.find("warm_start")) {
+    const json::Value *Config = Run.Manifest.find("config");
+    std::string StoreDir = Config ? Config->string("store") : "";
+    if (StoreDir.empty())
+      Warning("manifest.json: warm_start section present but config.store "
+              "is empty");
+    if (W->number("entries_loaded") > 0 && !W->find("used"))
+      Problem("manifest.json: warm_start section is missing \"used\"");
+  }
 
   // Schema 6 session accounting: a run that *claims* fresh (non-session)
   // evaluation backends pays the loader on every replay, so a metrics
@@ -384,9 +398,10 @@ ValidationResult report::validateRun(const LoadedRun &Run) {
   if (Schema >= 5 && Run.HasFleetLog && !Run.HasTelemetry)
     Warning("schema-5 fleet run without telemetry.json (truncated run "
             "directory?)");
-  // Chain ids and discovery times per (app, devices) cell, for the
-  // record cross-check below.
-  std::map<std::pair<std::string, int>, std::map<uint64_t, uint64_t>>
+  // Chain ids and (discovery time, restored flag) per (app, devices)
+  // cell, for the record cross-check below.
+  std::map<std::pair<std::string, int>,
+           std::map<uint64_t, std::pair<uint64_t, bool>>>
       CellChains;
   if (Run.HasTelemetry) {
     const json::Value &T = Run.Telemetry;
@@ -442,16 +457,22 @@ ValidationResult report::validateRun(const LoadedRun &Run) {
                 static_cast<uint64_t>(Ch.number("first_merge_time"));
             uint64_t Adopt =
                 static_cast<uint64_t>(Ch.number("first_adopt_time"));
+            // Schema 7: a chain restored from a persistent store was
+            // discovered on a prior run's virtual clock, so same-clock
+            // causality checks do not apply to its discovery time.
+            bool Restored = false;
+            if (const json::Value *R = Ch.find("restored"))
+              Restored = R->asBool();
             std::string ChWhere = Where + " chain " + Hex;
             if (Id == 0)
               Problem(ChWhere + ": unparseable chain id");
-            if (Merge != 0 && Merge < Disc)
+            if (!Restored && Merge != 0 && Merge < Disc)
               Problem(ChWhere + ": merged before it was discovered");
-            if (Adopt != 0 && Adopt < Disc)
+            if (!Restored && Adopt != 0 && Adopt < Disc)
               Problem(ChWhere + ": adopted before it was discovered");
             if (Ch.number("adoptions") > 0 && Ch.number("arrivals") == 0)
               Problem(ChWhere + ": adoptions without any hint arrival");
-            CellChains[{App, Devices}][Id] = Disc;
+            CellChains[{App, Devices}][Id] = {Disc, Restored};
           }
       }
     }
@@ -484,10 +505,12 @@ ValidationResult report::validateRun(const LoadedRun &Run) {
                         "telemetry chain");
         continue;
       }
-      if (R.BestDiscoveryTime != Chain->second)
+      if (R.BestDiscoveryTime != Chain->second.first)
         Problem(Where + ": best_discovery_time disagrees with the "
                         "chain's discovery_time");
-      if (R.BestDiscoveryTime > R.VirtualTime)
+      // Restored chains were discovered on a prior run's clock, which
+      // may legitimately read later than this run's step times.
+      if (!Chain->second.second && R.BestDiscoveryTime > R.VirtualTime)
         Problem(Where + ": best genome discovered after the step that "
                         "reported it (time travel)");
     }
@@ -736,6 +759,31 @@ std::string report::summarize(const LoadedRun &Run, bool Markdown) {
           << " changed hint arrival order\n";
       Out << "best speedup: " << format("%.3f", F->number("best_speedup"))
           << "x\n";
+      // Schema 7: per-class leaderboard winners, one line per
+      // (app, devices, class) cell.
+      if (const json::Value *Boards = F->find("class_leaderboards"))
+        for (const json::Value &Row : Boards->elements())
+          Out << "class board " << Row.string("app") << " x"
+              << static_cast<int>(Row.number("devices")) << " c"
+              << static_cast<int>(Row.number("class")) << ": "
+              << Row.string("genome") << " "
+              << format("%.3f", Row.number("speedup")) << "x ("
+              << static_cast<int>(Row.number("reports")) << " reports"
+              << (Row.find("restored") && Row.find("restored")->asBool()
+                      ? ", restored"
+                      : "")
+              << ")\n";
+    }
+    // Schema 7: the persistent-store warm start, if the run used one.
+    if (const json::Value *W = Run.Manifest.find("warm_start")) {
+      Out << "warm start: "
+          << (W->find("used") && W->find("used")->asBool() ? "yes" : "no")
+          << ", night " << static_cast<int>(W->number("nights")) << ", "
+          << static_cast<int>(W->number("entries_loaded")) << " entries ("
+          << static_cast<int>(W->number("quarantined_loaded"))
+          << " quarantined) loaded, "
+          << static_cast<int>(W->number("hints_injected"))
+          << " hints pre-seeded\n";
     }
     // Group the step log by (app, device count) in stream order.
     std::vector<std::pair<std::string, int>> Groups;

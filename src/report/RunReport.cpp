@@ -261,6 +261,12 @@ void RunReport::setFleetSummary(const FleetSummary &S) {
   Fleet = S;
 }
 
+void RunReport::setWarmStart(const WarmStartInfo &W) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  HasWarmStart = true;
+  Warm = W;
+}
+
 void RunReport::onFleetCell(const fleet::FleetTelemetry &T) {
   std::lock_guard<std::mutex> Lock(Mutex);
   TelemetryCells.push_back(T);
@@ -319,8 +325,10 @@ std::string RunReport::manifestJson() const {
   // best_discovery_*) plus the telemetry.json and fleet.trace.json
   // artifacts; schema 6 the config session_backends flag and the
   // per-app/totals "replay_backend" sections (fork-server replay
-  // sessions). Readers accept all six.
-  B.field("schema", 6);
+  // sessions); schema 7 the config store field, the warm_start section
+  // and the fleet class_leaderboards snapshot (the persistent
+  // optimization service). Readers accept all seven.
+  B.field("schema", 7);
   B.field("tool", Info.Tool);
   B.field("git", ROPT_GIT_DESCRIBE);
   B.field("seed", Info.Seed);
@@ -340,7 +348,8 @@ std::string RunReport::manifestJson() const {
         .field("captures_per_region", Info.CapturesPerRegion)
         .field("memoize", Info.Memoize)
         .field("analysis_guided", Info.AnalysisGuided)
-        .field("session_backends", Info.SessionBackends);
+        .field("session_backends", Info.SessionBackends)
+        .field("store", Info.StoreDir);
     B.fieldRaw("config", std::move(C).str());
   }
   B.field("wall_seconds", WallSeconds);
@@ -397,7 +406,32 @@ std::string RunReport::manifestJson() const {
         .field("hints_rejected", Fleet.HintsRejected);
     Fleet.Transport.emitJson(F);
     F.field("best_speedup", Fleet.BestSpeedup);
+    if (!Fleet.ClassBoards.empty()) {
+      json::Builder Rows(/*Array=*/true);
+      for (const ClassLeaderboardRow &R : Fleet.ClassBoards) {
+        json::Builder Row;
+        Row.field("app", R.App)
+            .field("devices", R.Devices)
+            .field("class", R.Class)
+            .field("genome", R.Genome)
+            .field("speedup", R.Speedup)
+            .field("reports", R.Reports)
+            .field("restored", R.Restored);
+        Rows.elementRaw(std::move(Row).str());
+      }
+      F.fieldRaw("class_leaderboards", std::move(Rows).str());
+    }
     B.fieldRaw("fleet", std::move(F).str());
+  }
+  if (HasWarmStart) {
+    json::Builder W;
+    W.field("used", Warm.Used)
+        .field("store_schema", Warm.StoreSchema)
+        .field("nights", Warm.Nights)
+        .field("entries_loaded", Warm.EntriesLoaded)
+        .field("quarantined_loaded", Warm.QuarantinedLoaded)
+        .field("hints_injected", Warm.HintsInjected);
+    B.fieldRaw("warm_start", std::move(W).str());
   }
   return std::move(B).str();
 }

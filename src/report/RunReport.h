@@ -57,6 +57,9 @@ struct RunInfo {
   bool AnalysisGuided = false; ///< Criticality-weighted search budget?
   /// Schema 6: fork-server replay sessions in the evaluation backends?
   bool SessionBackends = true;
+  /// Schema 7: the persistent-store directory the run loaded/saved
+  /// (config.store; empty = no store, a cold one-night run).
+  std::string StoreDir;
 };
 
 /// Everything the harness reports when one app's pipeline run ends;
@@ -123,6 +126,31 @@ struct FleetRoundRecord {
   bool Delivered = true; ///< The round report reached the server.
 };
 
+/// Schema 7: what the persistent optimization service contributed to
+/// this run — the manifest's "warm_start" section. Written only when the
+/// harness ran with --store.
+struct WarmStartInfo {
+  bool Used = false;          ///< A prior night's store was loaded.
+  int StoreSchema = 0;        ///< Schema of the loaded document.
+  uint64_t Nights = 0;        ///< Nights folded into the store pre-run.
+  uint64_t EntriesLoaded = 0; ///< Leaderboard rows restored.
+  uint64_t QuarantinedLoaded = 0; ///< Restored rows under quarantine.
+  uint64_t HintsInjected = 0; ///< Warm-start hints pre-seeded to devices.
+};
+
+/// Schema 7: one per-class leaderboard row of the manifest's
+/// "fleet.class_leaderboards" snapshot (top entries per device class at
+/// the end of each sweep cell).
+struct ClassLeaderboardRow {
+  std::string App;
+  int Devices = 0; ///< Sweep cell (device count) the row belongs to.
+  int Class = 0;
+  std::string Genome;
+  double Speedup = 0.0;
+  int Reports = 0;
+  bool Restored = false; ///< Entry predates this run (store-loaded).
+};
+
 /// Run-level fleet aggregate for the manifest's "fleet" section.
 struct FleetSummary {
   std::string DeviceSweep; ///< Device counts run, e.g. "1,4,16".
@@ -137,6 +165,8 @@ struct FleetSummary {
   /// JSON emitter with FleetResult — see fleet/Transport.h).
   fleet::TransportStats Transport;
   double BestSpeedup = 0.0; ///< Best across the whole sweep.
+  /// Schema 7: per-class leaderboard snapshot across the sweep cells.
+  std::vector<ClassLeaderboardRow> ClassBoards;
 };
 
 /// The flight recorder. Open one per run, point PipelineConfig at it (it
@@ -172,6 +202,10 @@ public:
   /// Installs the run-level fleet aggregate; the manifest grows a
   /// "fleet" section (and bumps nothing else) only when this was called.
   void setFleetSummary(const FleetSummary &S);
+
+  /// Installs the persistent-store contribution; the manifest grows a
+  /// "warm_start" section (schema 7) only when this was called.
+  void setWarmStart(const WarmStartInfo &W);
 
   /// One coordinator cell's merged telemetry (schema 5). finish() folds
   /// every cell into telemetry.json: per-class sketches, the cell
@@ -210,6 +244,8 @@ private:
   bool Finished = false;
   bool HasFleet = false;
   FleetSummary Fleet;
+  bool HasWarmStart = false;
+  WarmStartInfo Warm;
   std::vector<fleet::FleetTelemetry> TelemetryCells;
   analysis::FleetTrace FleetTraceOut;
 };

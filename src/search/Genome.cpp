@@ -172,3 +172,37 @@ void search::removeRedundantPasses(Genome &G) {
       Out.push_back(P);
   G.Passes = std::move(Out);
 }
+
+bool search::parseGenome(const std::string &Name, Genome &Out) {
+  Genome G;
+  std::string Body = Name;
+  // The register-allocator suffix is the only '|'-separated section.
+  size_t Bar = Body.find('|');
+  if (Bar != std::string::npos) {
+    std::string Ra = Body.substr(Bar + 1);
+    Body.resize(Bar);
+    if (Ra == "ra=freq")
+      G.RegAlloc = hgraph::RegAllocKind::Frequency;
+    else if (Ra == "ra=first-use")
+      G.RegAlloc = hgraph::RegAllocKind::FirstUse;
+    else if (Ra == "ra=none")
+      G.RegAlloc = hgraph::RegAllocKind::None;
+    else
+      return false;
+  }
+  size_t Pos = 0;
+  while (Pos <= Body.size() && !Body.empty()) {
+    size_t Comma = Body.find(',', Pos);
+    std::string Spec = Body.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    PassInstance P;
+    if (!lir::parsePassInstance(Spec, P))
+      return false;
+    G.Passes.push_back(P);
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  Out = std::move(G);
+  return true;
+}

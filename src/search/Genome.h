@@ -70,6 +70,13 @@ Genome crossover(const Genome &A, const Genome &B, Rng &R,
 /// Gen-0 cleanup: collapse immediately repeated identical genes.
 void removeRedundantPasses(Genome &G);
 
+/// Parses a canonical pipeline string (the Genome::name() format,
+/// e.g. "gvn,loop-unroll=4,licm!|ra=freq") back into a genome — the
+/// persistent store's on-disk representation. Returns false (leaving
+/// \p Out untouched) on an unknown pass or register-allocator spelling;
+/// the empty string parses to the empty genome.
+bool parseGenome(const std::string &Name, Genome &Out);
+
 } // namespace search
 } // namespace ropt
 

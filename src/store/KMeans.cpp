@@ -1,0 +1,180 @@
+//===- store/KMeans.cpp - Deterministic device-class clustering -----------===//
+
+#include "store/KMeans.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ropt;
+using namespace ropt::store;
+
+namespace {
+
+double sqDist(const std::vector<double> &A, const std::vector<double> &B) {
+  double D = 0.0;
+  for (size_t I = 0; I != A.size(); ++I) {
+    double X = A[I] - B[I];
+    D += X * X;
+  }
+  return D;
+}
+
+/// Index of the centroid nearest to \p P; the lowest index wins exact
+/// distance ties, so assignment is a total deterministic function.
+int nearest(const std::vector<std::vector<double>> &Centroids,
+            const std::vector<double> &P) {
+  int Best = 0;
+  double BestD = sqDist(Centroids[0], P);
+  for (size_t C = 1; C != Centroids.size(); ++C) {
+    double D = sqDist(Centroids[C], P);
+    if (D < BestD) {
+      BestD = D;
+      Best = static_cast<int>(C);
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+KMeansResult store::kmeans(const std::vector<std::vector<double>> &Points,
+                           int K, uint64_t Seed, int MaxIterations) {
+  KMeansResult Out;
+  if (Points.empty() || K <= 0)
+    return Out;
+  size_t N = Points.size();
+  size_t Dims = Points[0].size();
+  size_t Kn = std::min(static_cast<size_t>(K), N);
+
+  // Seeded k-means++: first centroid uniform, the rest weighted by
+  // squared distance to the nearest chosen centroid. The weighted draw is
+  // a deterministic scan over a single uniform sample.
+  Rng R(Seed ^ 0x6b6d65616e73ull); // "kmeans"
+  std::vector<std::vector<double>> C;
+  C.push_back(Points[static_cast<size_t>(R.below(N))]);
+  std::vector<double> MinD(N);
+  while (C.size() < Kn) {
+    double Total = 0.0;
+    for (size_t I = 0; I != N; ++I) {
+      MinD[I] = sqDist(C.back(), Points[I]);
+      for (size_t J = 0; J + 1 < C.size(); ++J)
+        MinD[I] = std::min(MinD[I], sqDist(C[J], Points[I]));
+      Total += MinD[I];
+    }
+    size_t Pick = 0;
+    if (Total > 0.0) {
+      double Target = R.uniform() * Total;
+      double Acc = 0.0;
+      for (size_t I = 0; I != N; ++I) {
+        Acc += MinD[I];
+        if (Acc >= Target) {
+          Pick = I;
+          break;
+        }
+      }
+    } else {
+      // All remaining points coincide with a centroid; any choice yields
+      // an empty-ish cluster — take the next index round-robin.
+      Pick = C.size() % N;
+    }
+    C.push_back(Points[Pick]);
+  }
+
+  // Lloyd iterations under a fixed cap; stop early once the assignment
+  // is a fixed point.
+  std::vector<int> Assign(N, 0);
+  for (int It = 0; It != std::max(1, MaxIterations); ++It) {
+    bool Changed = It == 0;
+    for (size_t I = 0; I != N; ++I) {
+      int A = nearest(C, Points[I]);
+      if (A != Assign[I]) {
+        Assign[I] = A;
+        Changed = true;
+      }
+    }
+    Out.Iterations = It + 1;
+    if (!Changed && It != 0)
+      break;
+
+    // Recompute centroids; an emptied cluster is re-seeded with the point
+    // farthest from its current centroid (lowest index on ties) so K
+    // never silently collapses.
+    std::vector<std::vector<double>> Sum(C.size(),
+                                         std::vector<double>(Dims, 0.0));
+    std::vector<size_t> Count(C.size(), 0);
+    for (size_t I = 0; I != N; ++I) {
+      for (size_t D = 0; D != Dims; ++D)
+        Sum[static_cast<size_t>(Assign[I])][D] += Points[I][D];
+      ++Count[static_cast<size_t>(Assign[I])];
+    }
+    for (size_t Cl = 0; Cl != C.size(); ++Cl) {
+      if (Count[Cl] == 0) {
+        size_t Far = 0;
+        double FarD = -1.0;
+        for (size_t I = 0; I != N; ++I) {
+          double D = sqDist(C[static_cast<size_t>(Assign[I])], Points[I]);
+          if (D > FarD) {
+            FarD = D;
+            Far = I;
+          }
+        }
+        C[Cl] = Points[Far];
+        continue;
+      }
+      for (size_t D = 0; D != Dims; ++D)
+        C[Cl][D] = Sum[Cl][D] / static_cast<double>(Count[Cl]);
+    }
+  }
+
+  // Every class must end with at least one member — an empty class would
+  // cost the fleet a full pipeline setup for nobody. Ascending over empty
+  // clusters, steal the point farthest from its current centroid among
+  // clusters that can spare one (lowest index on ties).
+  {
+    std::vector<size_t> Count(C.size(), 0);
+    for (int A : Assign)
+      ++Count[static_cast<size_t>(A)];
+    for (size_t Cl = 0; Cl != C.size(); ++Cl) {
+      if (Count[Cl] != 0)
+        continue;
+      size_t Far = N;
+      double FarD = -1.0;
+      for (size_t I = 0; I != N; ++I) {
+        if (Count[static_cast<size_t>(Assign[I])] < 2)
+          continue;
+        double D = sqDist(C[static_cast<size_t>(Assign[I])], Points[I]);
+        if (D > FarD) {
+          FarD = D;
+          Far = I;
+        }
+      }
+      if (Far == N)
+        continue; // Fewer distinct points than clusters; nothing to steal.
+      --Count[static_cast<size_t>(Assign[Far])];
+      Assign[Far] = static_cast<int>(Cl);
+      ++Count[Cl];
+      C[Cl] = Points[Far];
+    }
+  }
+
+  // Stable ids: relabel clusters by lexicographic centroid order (original
+  // index breaks exact ties), so the same population always gets the same
+  // class numbering no matter which seed point started which cluster.
+  std::vector<size_t> Order(C.size());
+  for (size_t I = 0; I != Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&C](size_t A, size_t B) { return C[A] < C[B]; });
+  std::vector<int> Relabel(C.size(), 0);
+  Out.Centroids.resize(C.size());
+  for (size_t NewId = 0; NewId != Order.size(); ++NewId) {
+    Relabel[Order[NewId]] = static_cast<int>(NewId);
+    Out.Centroids[NewId] = C[Order[NewId]];
+  }
+  Out.Assignment.resize(N);
+  for (size_t I = 0; I != N; ++I)
+    Out.Assignment[I] = Relabel[static_cast<size_t>(Assign[I])];
+  return Out;
+}

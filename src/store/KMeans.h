@@ -1,0 +1,51 @@
+//===- store/KMeans.h - Deterministic device-class clustering ---*- C++ -*-===//
+//
+// Part of ReplayOpt (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded k-means for device-class clustering (DESIGN.md §17): the
+/// persistent optimization service groups devices by their cost-model
+/// profile vector (kernel cost scale per event type, noise sigma scale,
+/// session parameter) so per-class leaderboards keep slow-SoC devices
+/// from chasing fast-SoC winners — the perf-counter task-clustering idea
+/// of the CAT policy work (PAPERS.md) applied to an install base.
+///
+/// Everything is deterministic: seeded k-means++ initialization, a fixed
+/// iteration cap, lowest-index tie-breaks on equidistant centroids, and a
+/// final relabeling by lexicographic centroid order so class ids are
+/// stable across reruns regardless of which random point seeded which
+/// cluster. Clustering runs once per fleet run in a serial context, so
+/// the assignment is also independent of `--jobs`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROPT_STORE_KMEANS_H
+#define ROPT_STORE_KMEANS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ropt {
+namespace store {
+
+struct KMeansResult {
+  /// Final centroids in lexicographic order — the stable class ids.
+  std::vector<std::vector<double>> Centroids;
+  /// Per-input-point class id (index into Centroids).
+  std::vector<int> Assignment;
+  /// Lloyd iterations actually run (<= the cap).
+  int Iterations = 0;
+};
+
+/// Clusters \p Points into at most \p K classes. K is clamped to the
+/// number of points; every point keeps its dimensionality (all points
+/// must agree on it). The result is a pure function of (Points, K, Seed).
+KMeansResult kmeans(const std::vector<std::vector<double>> &Points, int K,
+                    uint64_t Seed, int MaxIterations = 24);
+
+} // namespace store
+} // namespace ropt
+
+#endif // ROPT_STORE_KMEANS_H

@@ -319,6 +319,102 @@ TEST(FleetServer, LeaderboardTtlExpiresStaleEntries) {
   EXPECT_FALSE(Board->front().Expired);
 }
 
+TEST(FleetServer, InjectHintRespectsQuarantine) {
+  fleet::Server Srv;
+  search::Genome G = unsoundGenome();
+
+  // First injection lands (nothing known against the genome yet)...
+  Srv.injectHint("App", G, 2.0);
+  EXPECT_EQ(Srv.stats().HintsInjected, 1u);
+  ASSERT_EQ(Srv.hints("App").size(), 1u);
+
+  // ...then a device's verification map rejects it and it's quarantined.
+  fleet::RoundReport R;
+  R.Device = 0;
+  R.Rejections.push_back(fleet::HintRejection{G.name(), "wrong-output"});
+  Srv.merge("App", R);
+  EXPECT_EQ(Srv.stats().Quarantined, 1u);
+
+  // Re-injecting the proven miscompile (the restart-from-store path)
+  // must be dropped, not merged: quarantine survives injection.
+  Srv.injectHint("App", G, 2.5);
+  EXPECT_EQ(Srv.stats().InjectionsDropped, 1u);
+  EXPECT_EQ(Srv.stats().HintsInjected, 1u);
+  EXPECT_TRUE(Srv.hints("App").empty());
+
+  // A different, clean genome still injects fine.
+  search::Genome Clean;
+  Clean.Passes.push_back(lir::PassInstance{lir::PassId::Gvn, 0, false});
+  Clean.Passes.push_back(lir::PassInstance{lir::PassId::Dce, 0, false});
+  Srv.injectHint("App", Clean, 1.5);
+  EXPECT_EQ(Srv.stats().HintsInjected, 2u);
+  ASSERT_EQ(Srv.hints("App").size(), 1u);
+  EXPECT_EQ(Srv.hints("App")[0].Key, Clean.name());
+}
+
+TEST(FleetServer, ClassLocalHintsServeClassTopKPlusExplorationTail) {
+  fleet::ServerOptions Opt;
+  Opt.TopK = 2;
+  Opt.ExplorationTail = 1;
+  fleet::Server Srv(Opt);
+
+  auto MakeGenome = [](lir::PassId Id) {
+    search::Genome G;
+    G.Passes.push_back(lir::PassInstance{Id, 0, false});
+    G.Passes.push_back(lir::PassInstance{lir::PassId::Dce, 0, false});
+    return G;
+  };
+  auto Report = [&](const search::Genome &G, uint64_t Hash, double Speedup,
+                    int Device, int Class) {
+    fleet::RoundReport R;
+    R.Device = Device;
+    R.DeviceClass = Class;
+    R.Best.push_back(
+        genomeReport(G, Hash, {Speedup, Speedup, Speedup}));
+    Srv.merge("App", R);
+  };
+
+  // Class 0 confirmed three entries; class 1 confirmed two faster ones
+  // (different silicon, different winners).
+  search::Genome A = MakeGenome(lir::PassId::Gvn);
+  search::Genome B = MakeGenome(lir::PassId::Sink);
+  search::Genome C = MakeGenome(lir::PassId::Licm);
+  search::Genome D = MakeGenome(lir::PassId::InstCombine);
+  search::Genome E = MakeGenome(lir::PassId::SimplifyCfg);
+  Report(A, 0xa, 1.4, /*Device=*/0, /*Class=*/0);
+  Report(B, 0xb, 1.3, /*Device=*/1, /*Class=*/0);
+  Report(C, 0xc, 1.2, /*Device=*/2, /*Class=*/0);
+  Report(D, 0xd, 2.0, /*Device=*/3, /*Class=*/1);
+  Report(E, 0xe, 1.9, /*Device=*/4, /*Class=*/1);
+
+  // Class 0 gets its own top-2 first — not class 1's globally-better
+  // entries — then the single best foreign entry as the exploration
+  // tail.
+  std::vector<fleet::Hint> H0 = Srv.hints("App", /*Now=*/0, /*Class=*/0);
+  ASSERT_EQ(H0.size(), 3u);
+  EXPECT_EQ(H0[0].Key, A.name());
+  EXPECT_EQ(H0[1].Key, B.name());
+  EXPECT_EQ(H0[2].Key, D.name());
+
+  // Class 1 symmetric: own two winners, then class 0's best.
+  std::vector<fleet::Hint> H1 = Srv.hints("App", /*Now=*/0, /*Class=*/1);
+  ASSERT_EQ(H1.size(), 3u);
+  EXPECT_EQ(H1[0].Key, D.name());
+  EXPECT_EQ(H1[1].Key, E.name());
+  EXPECT_EQ(H1[2].Key, A.name());
+
+  // A class nobody reported from is all exploration tail.
+  std::vector<fleet::Hint> H9 = Srv.hints("App", /*Now=*/0, /*Class=*/9);
+  ASSERT_EQ(H9.size(), 1u);
+  EXPECT_EQ(H9[0].Key, D.name());
+
+  // Class -1 keeps the global ranking (best first, no tail).
+  std::vector<fleet::Hint> HG = Srv.hints("App");
+  ASSERT_EQ(HG.size(), 2u);
+  EXPECT_EQ(HG[0].Key, D.name());
+  EXPECT_EQ(HG[1].Key, E.name());
+}
+
 // --- Device profiles --------------------------------------------------------
 
 TEST(FleetDevice, ProfileDerivationIsDeterministicAndBounded) {
@@ -555,7 +651,8 @@ TEST(FleetWarmStart, WarmStartedSearchIsNoWorseThanColdAtSameBudget) {
   // — exactly how a fleet device re-enters each step. The warm run can
   // only match or beat the seed it started from.
   core::PipelineConfig Warm = fleetBase(/*Seed=*/1);
-  Warm.Search.WarmStart.push_back(ColdRun.Best.G);
+  Warm.Search.WarmStart.push_back(
+      search::SeedGenome{ColdRun.Best.G, /*Provenance=*/0});
   core::IterativeCompiler WarmPipeline(Warm);
   core::OptimizationReport WarmRun = WarmPipeline.optimize(App);
   ASSERT_TRUE(WarmRun.Succeeded) << WarmRun.FailureReason;

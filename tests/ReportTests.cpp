@@ -641,7 +641,7 @@ TEST(RunReport, ReplayBackendSectionRoundTrips) {
 
   auto Run = report::loadRun(Dir.str());
   ASSERT_TRUE(Run.ok()) << Run.error().Message;
-  EXPECT_EQ(Run.value().Manifest.number("schema"), 6.0);
+  EXPECT_EQ(Run.value().Manifest.number("schema"), 7.0);
   const json::Value *Config = Run.value().Manifest.find("config");
   ASSERT_NE(Config, nullptr);
   EXPECT_TRUE(Config->find("session_backends") != nullptr);

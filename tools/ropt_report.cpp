@@ -19,17 +19,26 @@
 //                                            with a baseline, gates on
 //                                            per-cell best-speedup
 //                                            regressions (exit 1)
+//   ropt-report store STORE_DIR              persistent-store inspector:
+//                                            schema/night header, class
+//                                            roster, per-app boards; also
+//                                            validates the canonical
+//                                            serialization fixed point
+//                                            and flags duplicate keys
 //
 // Exit codes: 0 clean, 1 regressions/validation problems, 2 usage or
-// unreadable run directory.
+// unreadable run/store directory.
 //
 //===----------------------------------------------------------------------===//
 
 #include "report/RunDiff.h"
+#include "store/Store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 
 using namespace ropt;
@@ -43,8 +52,9 @@ int usage(const char *Argv0) {
                "       %s validate DIR\n"
                "       %s analyze DIR [--baseline OLD_DIR]\n"
                "       %s fleet DIR [--baseline OLD_DIR] "
-               "[--threshold FRACTION]\n",
-               Argv0, Argv0, Argv0, Argv0, Argv0);
+               "[--threshold FRACTION]\n"
+               "       %s store STORE_DIR\n",
+               Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -172,6 +182,116 @@ int runAnalyze(int Argc, char **Argv) {
   return 0;
 }
 
+// `ropt-report store DIR`: inspect and validate one persistent store.
+// Exit 0 = loaded and canonical, 1 = structural problems, 2 = missing
+// store (or usage).
+int runStore(int Argc, char **Argv) {
+  if (Argc != 3)
+    return usage(Argv[0]);
+  store::Store St(Argv[2]);
+  store::Store::LoadResult L = St.load();
+  if (!L.Found) {
+    std::fprintf(stderr, "error: no store at %s\n", St.path().c_str());
+    return 2;
+  }
+  int Problems = 0;
+  if (!L.Warning.empty()) {
+    std::fprintf(stderr, "problem: %s\n", L.Warning.c_str());
+    ++Problems;
+  }
+
+  const store::StoreState &S = L.State;
+  std::printf("%s: schema %d, night %llu, fleet seed %llu\n",
+              St.path().c_str(), S.Schema,
+              static_cast<unsigned long long>(S.Nights),
+              static_cast<unsigned long long>(S.FleetSeed));
+
+  // Canonical fixed point: a current-schema document must re-serialize
+  // to the exact bytes on disk — the property that makes store bytes
+  // comparable across --jobs and load -> save a no-op.
+  if (L.Warning.empty()) {
+    if (S.Schema == store::CurrentSchema) {
+      if (store::serialize(S) != L.RawBytes) {
+        std::fprintf(stderr,
+                     "problem: store is not in canonical form "
+                     "(re-serialization differs from the on-disk bytes)\n");
+        ++Problems;
+      }
+    } else {
+      std::printf("  (older schema %d: canonical-form check skipped)\n",
+                  S.Schema);
+    }
+  }
+
+  if (S.Classes.K > 0) {
+    std::printf("classes: k=%d over %d-dim profile vectors, %zu devices "
+                "assigned\n",
+                S.Classes.K, S.Classes.Dims, S.Classes.Assignments.size());
+    std::vector<int> Roster(static_cast<size_t>(S.Classes.K), 0);
+    for (int A : S.Classes.Assignments) {
+      if (A < 0 || A >= S.Classes.K) {
+        std::fprintf(stderr,
+                     "problem: class assignment %d out of range [0,%d)\n", A,
+                     S.Classes.K);
+        ++Problems;
+        continue;
+      }
+      ++Roster[static_cast<size_t>(A)];
+    }
+    for (int C = 0; C != S.Classes.K; ++C)
+      std::printf("  class %d: %d devices\n", C, Roster[static_cast<size_t>(C)]);
+    if (static_cast<int>(S.Classes.Centroids.size()) != S.Classes.K) {
+      std::fprintf(stderr, "problem: %zu centroids for k=%d\n",
+                   S.Classes.Centroids.size(), S.Classes.K);
+      ++Problems;
+    }
+  }
+
+  for (const store::StoredApp &A : S.Apps) {
+    size_t Quarantined = 0;
+    uint64_t NewestTick = 0;
+    std::set<std::string> Keys;
+    for (const store::StoredEntry &E : A.Entries) {
+      if (E.Quarantined)
+        ++Quarantined;
+      NewestTick = std::max(NewestTick, E.LastReportTick);
+      if (!Keys.insert(E.Genome).second) {
+        std::fprintf(stderr, "problem: %s: duplicate genome key '%s'\n",
+                     A.Name.c_str(), E.Genome.c_str());
+        ++Problems;
+      }
+    }
+    std::printf("app %s: %zu entries (%zu quarantined)\n", A.Name.c_str(),
+                A.Entries.size(), Quarantined);
+    size_t Shown = 0;
+    for (const store::StoredEntry &E : A.Entries) {
+      if (E.Quarantined || E.Expired)
+        continue;
+      // Leaderboard age: how many ticks before the app's newest report
+      // this entry was last confirmed.
+      std::printf("  %7.3fx %3d reports  age %llu  %s\n", E.Speedup,
+                  E.Reports,
+                  static_cast<unsigned long long>(NewestTick -
+                                                  E.LastReportTick),
+                  E.Genome.c_str());
+      if (++Shown == 4)
+        break;
+    }
+    for (const store::StoredEntry &E : A.Entries)
+      if (E.Quarantined)
+        std::printf("  quarantined (%s): %s\n",
+                    E.RejectVerdict.empty() ? "unverified"
+                                            : E.RejectVerdict.c_str(),
+                    E.Genome.c_str());
+  }
+  if (Problems) {
+    std::printf("%d problems\n", Problems);
+    return 1;
+  }
+  std::printf("store ok: canonical, %zu apps\n", S.Apps.size());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -187,5 +307,7 @@ int main(int Argc, char **Argv) {
     return runAnalyze(Argc, Argv);
   if (!std::strcmp(Argv[1], "fleet"))
     return runFleet(Argc, Argv);
+  if (!std::strcmp(Argv[1], "store"))
+    return runStore(Argc, Argv);
   return usage(Argv[0]);
 }
